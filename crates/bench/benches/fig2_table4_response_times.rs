@@ -1,0 +1,50 @@
+//! Regenerates paper Table IV and Fig. 2 (response times per
+//! oversubscription level, dedicated machines vs SlackVM co-hosting)
+//! and times the contention-model replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slackvm::experiments::physical::{render_fig2, render_table4};
+use slackvm::perf::Fig2Scenario;
+use slackvm_bench::banner;
+
+fn print_results() {
+    banner("Table IV — median of per-VM p90 response times");
+    let outcome = Fig2Scenario::default().run();
+    println!("{}", render_table4(&outcome));
+    banner("Fig. 2 — per-VM p90 distributions");
+    println!("{}", render_fig2(&outcome));
+}
+
+fn print_calibration() {
+    use slackvm::perf::{calibrate, CalibrationTargets};
+    banner("Calibration — fitting (base latency, pressure coeff) to the paper's Table IV");
+    let fit = calibrate(&CalibrationTargets::paper_table4(), 2400);
+    println!(
+        "fitted base {:.2} ms, pressure coeff {:.1} (residual {:.3})",
+        fit.base_latency_ms, fit.pressure_coeff, fit.residual
+    );
+    for (i, (b, s)) in fit.fitted_medians.iter().enumerate() {
+        println!("  level {}: fitted {b:.2} -> {s:.2} ms", i + 1);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    print_calibration();
+    // A coarser replay for timing (the printed run above uses the
+    // default 120 s steps).
+    let scenario = Fig2Scenario {
+        step_secs: 1200,
+        ..Fig2Scenario::default()
+    };
+    c.bench_function("fig2/scenario_replay_coarse", |b| {
+        b.iter(|| std::hint::black_box(scenario.run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Regenerates paper Fig. 3 (unallocated CPU/memory shares across the
+//! fifteen distributions, baseline vs SlackVM, both providers) and
+//! times a full distribution replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slackvm::experiments::{compare_packing, run_fig3};
+use slackvm::workload::{catalog, DistributionPoint};
+use slackvm_bench::{banner, bench_packing_config};
+
+fn print_fig3() {
+    let config = bench_packing_config();
+    for cat in [catalog::azure(), catalog::ovhcloud()] {
+        banner(&format!(
+            "Fig. 3 — unallocated resources at peak ({}, {} VMs)",
+            cat.provider, config.target_population
+        ));
+        println!(
+            "{:<4} {:<12} {:>10} {:>10} {:>10} {:>10} {:>14}",
+            "dist", "mix", "base cpu", "base mem", "slack cpu", "slack mem", "PMs"
+        );
+        for r in run_fig3(&cat, &config) {
+            println!(
+                "{:<4} {:<12} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>8}->{}",
+                r.letter,
+                format!("{}/{}/{}", r.shares.0, r.shares.1, r.shares.2),
+                r.baseline_cpu * 100.0,
+                r.baseline_mem * 100.0,
+                r.slackvm_cpu * 100.0,
+                r.slackvm_mem * 100.0,
+                r.baseline_pms,
+                r.slackvm_pms,
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig3();
+    let config = bench_packing_config();
+    let cat = catalog::ovhcloud();
+    let f = DistributionPoint::by_letter('F').unwrap().mix();
+    c.bench_function("fig3/compare_packing_F_ovh", |b| {
+        b.iter(|| std::hint::black_box(compare_packing(&cat, &f, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

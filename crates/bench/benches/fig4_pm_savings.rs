@@ -1,0 +1,63 @@
+//! Regenerates paper Fig. 4 (PM savings across the oversubscription
+//! share grid, both providers) and times one grid cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slackvm::experiments::{compare_packing, run_fig4};
+use slackvm::workload::{catalog, LevelMix};
+use slackvm_bench::{banner, bench_packing_config};
+
+fn print_fig4() {
+    let config = bench_packing_config();
+    for cat in [catalog::azure(), catalog::ovhcloud()] {
+        banner(&format!(
+            "Fig. 4 — PM savings grid ({}, {} VMs)",
+            cat.provider, config.target_population
+        ));
+        let grid = run_fig4(&cat, &config, 25);
+        println!("rows: 2:1 share, columns: 1:1 share, cells: % PMs saved\n");
+        print!("{:>6}", "");
+        for p1 in [0u32, 25, 50, 75, 100] {
+            print!("{p1:>8}");
+        }
+        println!();
+        for p2 in [100u32, 75, 50, 25, 0] {
+            print!("{p2:>6}");
+            for p1 in [0u32, 25, 50, 75, 100] {
+                match grid.at(p1, p2) {
+                    Some(cell) => print!("{:>7.1}%", cell.savings_pct),
+                    None => print!("{:>8}", ""),
+                }
+            }
+            println!();
+        }
+        if let Some(best) = grid.best() {
+            println!(
+                "\nbest: {}/{}/{} -> {:.1}% ({} -> {} PMs); paper max: {}\n",
+                best.p1,
+                best.p2,
+                best.p3,
+                best.savings_pct,
+                best.baseline_pms,
+                best.slackvm_pms,
+                if cat.provider == "ovhcloud" { "9.6% (distribution F)" } else { "8.8%" },
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig4();
+    let config = bench_packing_config();
+    let cat = catalog::azure();
+    let mix = LevelMix::three_level(25.0, 25.0, 50.0).unwrap();
+    c.bench_function("fig4/grid_cell_azure", |b| {
+        b.iter(|| std::hint::black_box(compare_packing(&cat, &mix, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

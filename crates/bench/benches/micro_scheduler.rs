@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the global-scheduler hot path: Algorithm 2
+//! scoring and candidate selection at control-plane scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slackvm::model::{gib, AllocView, Millicores, OversubLevel, PmConfig, PmId, VmSpec};
+use slackvm::sched::{progress_score, Candidate, PlacementPolicy, ProgressConfig, ProgressScorer};
+
+fn candidates(n: u32) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| Candidate {
+            id: PmId(i),
+            config: PmConfig::simulation_host(),
+            alloc: AllocView::new(
+                Millicores::from_cores(i % 32),
+                gib(((i * 7) % 128) as u64),
+            ),
+            vms: (i % 9) as usize,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = PmConfig::simulation_host();
+    let alloc = AllocView::new(Millicores::from_cores(10), gib(20));
+    let vm = VmSpec::of(2, gib(12), OversubLevel::of(3));
+    let knobs = ProgressConfig::default();
+
+    c.bench_function("sched/progress_score_single", |b| {
+        b.iter(|| std::hint::black_box(progress_score(&cfg, &alloc, &vm, knobs)))
+    });
+
+    let mut group = c.benchmark_group("sched/select");
+    for n in [16u32, 128, 1024, 8192] {
+        let cands = candidates(n);
+        let scored = PlacementPolicy::scored(ProgressScorer::paper());
+        group.bench_with_input(BenchmarkId::new("progress", n), &cands, |b, cands| {
+            b.iter(|| std::hint::black_box(scored.select(cands, &vm)))
+        });
+        let ff = PlacementPolicy::FirstFit;
+        group.bench_with_input(BenchmarkId::new("first_fit", n), &cands, |b, cands| {
+            b.iter(|| std::hint::black_box(ff.select(cands, &vm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

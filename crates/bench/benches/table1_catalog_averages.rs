@@ -1,0 +1,58 @@
+//! Regenerates paper Table I (average vCPU & vRAM requests per VM) and
+//! times the catalog statistics plus weighted sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use slackvm::workload::catalog;
+use slackvm_bench::banner;
+
+fn print_table1() {
+    banner("Table I — average vCPU & vRAM requests per VM");
+    println!("{:<10} {:>12} {:>12} | paper: vCPU / vRAM", "dataset", "mean vCPU", "mean vRAM");
+    for (cat, pv, pm) in [
+        (catalog::azure(), 2.25, 4.8),
+        (catalog::ovhcloud(), 3.24, 10.05),
+    ] {
+        println!(
+            "{:<10} {:>12.2} {:>9.2} GiB | paper: {:.2} / {:.2} GB",
+            cat.provider,
+            cat.mean_vcpus(),
+            cat.mean_mem_gib(),
+            pv,
+            pm
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    let azure = catalog::azure();
+    let ovh = catalog::ovhcloud();
+
+    c.bench_function("table1/catalog_means", |b| {
+        b.iter(|| {
+            std::hint::black_box(azure.mean_vcpus() + azure.mean_mem_gib());
+            std::hint::black_box(ovh.mean_vcpus() + ovh.mean_mem_gib());
+        })
+    });
+
+    c.bench_function("table1/weighted_sample_1k", |b| {
+        b.iter_batched(
+            || rand_chacha::ChaCha8Rng::seed_from_u64(1),
+            |mut rng| {
+                for _ in 0..1000 {
+                    std::hint::black_box(azure.sample(&mut rng));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

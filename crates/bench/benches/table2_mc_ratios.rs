@@ -1,0 +1,47 @@
+//! Regenerates paper Table II (M/C ratio of oversubscribed VMs) and
+//! times the tier-ratio computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slackvm::model::OversubLevel;
+use slackvm::workload::catalog;
+use slackvm_bench::banner;
+
+fn print_table2() {
+    banner("Table II — M/C ratio of oversubscribed VMs (GiB per physical core)");
+    println!("{:<10} {:>8} {:>8} {:>8} | paper", "dataset", "1:1", "2:1", "3:1");
+    for (cat, paper) in [
+        (catalog::azure(), [2.1, 3.0, 4.5]),
+        (catalog::ovhcloud(), [3.1, 3.9, 5.8]),
+    ] {
+        let r: Vec<f64> = (1..=3)
+            .map(|n| cat.mc_ratio_at(OversubLevel::of(n)))
+            .collect();
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1} | {:.1} / {:.1} / {:.1}",
+            cat.provider, r[0], r[1], r[2], paper[0], paper[1], paper[2]
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let cat = catalog::ovhcloud();
+    c.bench_function("table2/mc_ratio_three_tiers", |b| {
+        b.iter(|| {
+            for n in 1..=3 {
+                std::hint::black_box(cat.mc_ratio_at(OversubLevel::of(n)));
+            }
+        })
+    });
+    c.bench_function("table2/restricted_catalog", |b| {
+        b.iter(|| std::hint::black_box(cat.restricted(slackvm::model::gib(8))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared helpers for the SlackVM bench harness.
+//!
+//! Every bench target regenerates its paper artifact (table rows or
+//! figure series) on stdout *before* running its Criterion timings, so
+//! `cargo bench` doubles as the reproduction driver.
+
+use slackvm::experiments::PackingConfig;
+
+/// The population used by the packing benches. The paper's protocol
+/// targets 500 VMs; benches default to the same but can be trimmed via
+/// `SLACKVM_BENCH_POPULATION` when iterating.
+pub fn bench_packing_config() -> PackingConfig {
+    let population = std::env::var("SLACKVM_BENCH_POPULATION")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    PackingConfig {
+        target_population: population,
+        ..PackingConfig::default()
+    }
+}
+
+/// Prints a section banner so bench output reads as a report.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_population_matches_paper() {
+        // (Runs without the env var in CI.)
+        if std::env::var("SLACKVM_BENCH_POPULATION").is_err() {
+            assert_eq!(bench_packing_config().target_population, 500);
+        }
+    }
+}

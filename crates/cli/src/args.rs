@@ -1,0 +1,157 @@
+//! A small, dependency-free argument parser.
+//!
+//! Grammar: `slackvm <command> [--key value]... [--flag]...`. Values
+//! never start with `--`; everything else is a positional argument.
+
+use std::collections::BTreeMap;
+
+use crate::error::CliError;
+
+/// Parsed arguments of one invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// The subcommand (first positional).
+    pub command: String,
+    /// Remaining positionals, in order.
+    pub positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    pub fn parse<I, S>(raw: I) -> Result<Args, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(CliError::BadArgument("--".into()));
+                }
+                // `--key=value` or `--key value` or bare flag.
+                if let Some((key, value)) = name.split_once('=') {
+                    args.options.insert(key.to_string(), value.to_string());
+                } else if iter.peek().is_some_and(|next| !next.starts_with("--")) {
+                    let value = iter.next().expect("peeked");
+                    args.options.insert(name.to_string(), value);
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else if args.command.is_empty() {
+                args.command = token;
+            } else {
+                args.positionals.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric option.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::BadValue {
+                    key: key.to_string(),
+                    value: raw.to_string(),
+                }),
+        }
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        Ok(self.get_parsed(key)?.unwrap_or(default))
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Rejects unknown option keys (typo protection).
+    pub fn expect_keys(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::UnknownOption(key.clone()));
+            }
+        }
+        for flag in &self.flags {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(CliError::UnknownOption(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let args = Args::parse(["fig3", "--provider", "azure", "--population=300", "--json"])
+            .unwrap();
+        assert_eq!(args.command, "fig3");
+        assert_eq!(args.get("provider"), Some("azure"));
+        assert_eq!(args.get_parsed_or::<u32>("population", 500).unwrap(), 300);
+        assert!(args.has_flag("json"));
+        assert!(!args.has_flag("provider"));
+    }
+
+    #[test]
+    fn positionals_are_kept_in_order() {
+        let args = Args::parse(["sweep", "mc", "extra"]).unwrap();
+        assert_eq!(args.command, "sweep");
+        assert_eq!(args.positionals, vec!["mc", "extra"]);
+    }
+
+    #[test]
+    fn bad_numeric_value_is_reported() {
+        let args = Args::parse(["x", "--population", "many"]).unwrap();
+        let err = args.get_parsed::<u32>("population").unwrap_err();
+        assert!(err.to_string().contains("population"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let args = Args::parse(["x", "--provder", "azure"]).unwrap();
+        let err = args.expect_keys(&["provider"]).unwrap_err();
+        assert!(err.to_string().contains("provder"));
+        assert!(args.expect_keys(&["provder"]).is_ok());
+    }
+
+    #[test]
+    fn double_dash_alone_is_an_error() {
+        assert!(Args::parse(["x", "--"]).is_err());
+    }
+
+    #[test]
+    fn flag_before_option_value_boundary() {
+        // `--json --provider azure`: json is a flag, not consuming
+        // "--provider" as its value.
+        let args = Args::parse(["x", "--json", "--provider", "azure"]).unwrap();
+        assert!(args.has_flag("json"));
+        assert_eq!(args.get("provider"), Some("azure"));
+    }
+}

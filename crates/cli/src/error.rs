@@ -1,0 +1,65 @@
+//! CLI errors.
+
+use thiserror::Error;
+
+/// Anything that can go wrong between argv and output.
+#[derive(Debug, Error)]
+pub enum CliError {
+    /// An argument that is not valid syntax.
+    #[error("malformed argument: {0}")]
+    BadArgument(String),
+
+    /// An option with an unparsable value.
+    #[error("invalid value for --{key}: {value:?}")]
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending raw value.
+        value: String,
+    },
+
+    /// An option the command does not know.
+    #[error("unknown option --{0} (see `slackvm help`)")]
+    UnknownOption(String),
+
+    /// An unknown subcommand.
+    #[error("unknown command {0:?} (see `slackvm help`)")]
+    UnknownCommand(String),
+
+    /// A required option that was not given.
+    #[error("missing required option --{0}")]
+    MissingOption(&'static str),
+
+    /// A semantically invalid value.
+    #[error("{0}")]
+    Invalid(String),
+
+    /// I/O failure reading or writing a trace file.
+    #[error("i/o error on {path}: {source}")]
+    Io {
+        /// File involved.
+        path: String,
+        /// Underlying error.
+        #[source]
+        source: std::io::Error,
+    },
+
+    /// JSON (de)serialization failure.
+    #[error("json error: {0}")]
+    Json(#[from] serde_json::Error),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        assert!(CliError::UnknownCommand("fig9".into())
+            .to_string()
+            .contains("fig9"));
+        assert!(CliError::MissingOption("provider")
+            .to_string()
+            .contains("--provider"));
+    }
+}

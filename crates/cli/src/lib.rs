@@ -1,0 +1,81 @@
+//! # slackvm-cli
+//!
+//! The `slackvm` command-line tool: regenerate every paper artifact,
+//! generate and replay workload traces, analyze compactions, and sweep
+//! sensitivities — all from a shell.
+//!
+//! Commands (see [`run`] or `slackvm help`):
+//!
+//! | command | what it does |
+//! |---|---|
+//! | `tables` | Tables I–III vs the paper |
+//! | `fig2` | Table IV + Fig. 2 response times |
+//! | `fig3` | unallocated resources across distributions A..O |
+//! | `fig4` | PM-savings grid |
+//! | `generate` | write a workload trace as JSON |
+//! | `replay` | replay a JSON trace against a deployment model |
+//! | `compact` | compaction analysis of a mid-replay cluster state |
+//! | `sweep` | sensitivity sweeps (`mc`, `population`, `seeds`) |
+//! | `recommend` | dynamic oversubscription-level recommendation |
+//!
+//! Command implementations return their report as a `String`, keeping
+//! them unit-testable; `main` only prints.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::Args;
+pub use error::CliError;
+
+/// Dispatches one parsed invocation to its command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "" | "help" | "--help" | "-h" => Ok(commands::help()),
+        "tables" => commands::tables(args),
+        "fig2" => commands::fig2(args),
+        "fig3" => commands::fig3(args),
+        "fig4" => commands::fig4(args),
+        "generate" => commands::generate(args),
+        "replay" => commands::replay(args),
+        "compact" => commands::compact(args),
+        "sweep" => commands::sweep(args),
+        "layout" => commands::layout(args),
+        "scenarios" => commands::scenarios(args),
+        "steady" => commands::steady(args),
+        "report" => commands::report(args),
+        "calibrate" => commands::calibrate_cmd(args),
+        "recommend" => commands::recommend(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_lists_every_command() {
+        let help = run(&Args::parse(["help"]).unwrap()).unwrap();
+        for cmd in [
+            "tables", "fig2", "fig3", "fig4", "generate", "replay", "compact", "sweep",
+            "recommend", "scenarios", "steady", "layout", "report", "calibrate",
+        ] {
+            assert!(help.contains(cmd), "help misses {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&Args::parse(["fig9"]).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+    }
+
+    #[test]
+    fn empty_invocation_prints_help() {
+        let out = run(&Args::parse(Vec::<String>::new()).unwrap()).unwrap();
+        assert!(out.contains("usage"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Regeneration of every table and figure of the paper's evaluation.
+//!
+//! | artifact | function |
+//! |---|---|
+//! | Table I (mean request sizes)        | [`tables::table1`] |
+//! | Table II (tier M/C ratios)          | [`tables::table2`] |
+//! | Table III (testbed description)     | [`tables::table3`] |
+//! | Table IV + Fig. 2 (response times)  | [`physical::run_fig2_table4`] |
+//! | Fig. 3 (unallocated resources)      | [`packing::run_fig3`] |
+//! | Fig. 4 (PM savings grid)            | [`savings::run_fig4`] |
+//! | sensitivity sweeps (extensions)     | [`sensitivity`] |
+
+pub mod packing;
+pub mod physical;
+pub mod savings;
+pub mod sensitivity;
+pub mod summary;
+pub mod tables;
+
+pub use packing::{
+    compare_packing, compare_packing_with_compaction, run_fig3, Fig3Row, PackingComparison,
+    PackingConfig,
+};
+pub use physical::run_fig2_table4;
+pub use savings::{run_fig4, Fig4Cell, Fig4Grid};
+pub use sensitivity::{
+    hardware_mc_sweep, population_sweep, replicated_savings, McSweepRow, PopulationSweepRow,
+    ReplicatedSavings,
+};
+pub use summary::trace_report;
+pub use tables::{table1, table2, table3, Table1Row, Table2Row};

@@ -1,0 +1,98 @@
+//! Table IV and Fig. 2: the physical-experiment reproduction.
+
+use slackvm_perf::{Fig2Outcome, Fig2Scenario};
+
+use crate::report::{ms, TextTable};
+
+/// Runs the default Fig. 2 / Table IV scenario and returns the outcome
+/// together with a rendered Table IV.
+pub fn run_fig2_table4() -> (Fig2Outcome, String) {
+    let outcome = Fig2Scenario::default().run();
+    let table = render_table4(&outcome);
+    (outcome, table)
+}
+
+/// Renders Table IV ("performance comparison by the median of the 90th
+/// response times measured") from an outcome.
+pub fn render_table4(outcome: &Fig2Outcome) -> String {
+    let mut t = TextTable::new([
+        "Oversubscription level",
+        "Baseline (ms)",
+        "SlackVM (ms)",
+        "Factor",
+        "Paper (ms -> ms, factor)",
+    ]);
+    let paper = [
+        ("1.16", "1.27", "x1.09"),
+        ("1.46", "1.65", "x1.13"),
+        ("3.47", "7.67", "x2.21"),
+    ];
+    for (row, (pb, ps, pf)) in outcome.levels.iter().zip(paper) {
+        t.row([
+            row.level.to_string(),
+            ms(row.baseline_ms),
+            ms(row.slackvm_ms),
+            format!("x{:.2}", row.overhead),
+            format!("{pb} -> {ps}, {pf}"),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the Fig. 2 distribution summary (per-VM p90 distributions per
+/// level and scenario — the textual stand-in for the paper's box plot).
+pub fn render_fig2(outcome: &Fig2Outcome) -> String {
+    let mut t = TextTable::new([
+        "Level",
+        "Scenario",
+        "p50 of p90s",
+        "p90 of p90s",
+        "p99 of p90s",
+        "max",
+        "VMs",
+    ]);
+    for row in &outcome.levels {
+        for (scenario, dist) in [("baseline", &row.baseline_dist), ("slackvm", &row.slackvm_dist)]
+        {
+            t.row([
+                row.level.to_string(),
+                scenario.to_string(),
+                ms(dist.p50),
+                ms(dist.p90),
+                ms(dist.p99),
+                ms(dist.max),
+                dist.count.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_outcome() -> Fig2Outcome {
+        Fig2Scenario {
+            step_secs: 1200,
+            ..Fig2Scenario::default()
+        }
+        .run()
+    }
+
+    #[test]
+    fn table4_mentions_all_levels_and_paper_values() {
+        let t = render_table4(&quick_outcome());
+        for needle in ["1:1", "2:1", "3:1", "1.16", "7.67"] {
+            assert!(t.contains(needle), "missing {needle} in\n{t}");
+        }
+    }
+
+    #[test]
+    fn fig2_rendering_has_two_rows_per_level() {
+        let out = quick_outcome();
+        let rendered = render_fig2(&out);
+        assert_eq!(rendered.matches("baseline").count(), 3);
+        assert_eq!(rendered.matches("slackvm").count(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 4: PM savings across the oversubscription-share grid.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use slackvm_workload::{Catalog, LevelMix};
+
+use super::packing::{compare_packing, PackingConfig};
+
+/// One cell of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Cell {
+    /// Share of 1:1 VMs (percent points, x-axis).
+    pub p1: u32,
+    /// Share of 2:1 VMs (percent points, y-axis).
+    pub p2: u32,
+    /// Share of 3:1 VMs (complement).
+    pub p3: u32,
+    /// PMs required by the dedicated baseline.
+    pub baseline_pms: u32,
+    /// PMs required by SlackVM.
+    pub slackvm_pms: u32,
+    /// Savings in percent.
+    pub savings_pct: f64,
+}
+
+/// The full grid for one provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Grid {
+    /// Provider label.
+    pub provider: String,
+    /// Grid step in percent points.
+    pub step: u32,
+    /// All cells (p1 + p2 ≤ 100).
+    pub cells: Vec<Fig4Cell>,
+}
+
+impl Fig4Grid {
+    /// The cell with the highest savings.
+    pub fn best(&self) -> Option<&Fig4Cell> {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.savings_pct.total_cmp(&b.savings_pct))
+    }
+
+    /// The cell at given shares, if present.
+    pub fn at(&self, p1: u32, p2: u32) -> Option<&Fig4Cell> {
+        self.cells.iter().find(|c| c.p1 == p1 && c.p2 == p2)
+    }
+
+    /// Cells along the no-3:1 diagonal (p1 + p2 = 100), where the paper
+    /// expects only marginal threshold-effect gains.
+    pub fn no_level3_cells(&self) -> Vec<&Fig4Cell> {
+        self.cells.iter().filter(|c| c.p3 == 0).collect()
+    }
+}
+
+/// Computes Fig. 4 for a provider over the share grid with the given
+/// `step` (25 reproduces the paper's 15 cells).
+pub fn run_fig4(catalog: &Catalog, config: &PackingConfig, step: u32) -> Fig4Grid {
+    let cells: Vec<Fig4Cell> = slackvm_workload::mix::simplex_grid(step)
+        .into_par_iter()
+        .map(|(p1, p2, p3)| {
+            let mix = LevelMix::three_level(p1 as f64, p2 as f64, p3 as f64)
+                .expect("grid cells have positive total");
+            let cmp = compare_packing(catalog, &mix, config);
+            Fig4Cell {
+                p1,
+                p2,
+                p3,
+                baseline_pms: cmp.baseline.opened_pms,
+                slackvm_pms: cmp.slackvm.opened_pms,
+                savings_pct: cmp.savings_pct(),
+            }
+        })
+        .collect();
+    Fig4Grid {
+        provider: catalog.provider.clone(),
+        step,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_workload::catalog;
+
+    fn quick_config() -> PackingConfig {
+        PackingConfig {
+            target_population: 400,
+            ..PackingConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_has_expected_cells() {
+        let grid = run_fig4(&catalog::ovhcloud(), &quick_config(), 50);
+        // step 50 -> cells (0,0),(0,50),(0,100),(50,0),(50,50),(100,0).
+        assert_eq!(grid.cells.len(), 6);
+        assert!(grid.at(50, 0).is_some());
+        assert!(grid.at(25, 0).is_none());
+        assert_eq!(grid.no_level3_cells().len(), 3); // (0,100), (50,50), (100,0)
+    }
+
+    #[test]
+    fn best_cell_exploits_complementarity() {
+        let grid = run_fig4(&catalog::ovhcloud(), &quick_config(), 50);
+        let best = grid.best().unwrap();
+        // The best mix includes 3:1 VMs (the memory-biased tier that
+        // complements CPU-bound premium VMs).
+        assert!(best.p3 > 0, "best cell {best:?} lacks 3:1 VMs");
+        assert!(best.savings_pct > 0.0);
+    }
+
+    #[test]
+    fn savings_are_bounded_by_sanity() {
+        let grid = run_fig4(&catalog::azure(), &quick_config(), 50);
+        for cell in &grid.cells {
+            assert!(
+                (-10.0..=30.0).contains(&cell.savings_pct),
+                "implausible savings {cell:?}"
+            );
+        }
+    }
+}

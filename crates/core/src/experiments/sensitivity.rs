@@ -1,0 +1,224 @@
+//! Sensitivity studies around the headline experiments.
+//!
+//! The paper's evaluation fixes the worker shape (M/C 4), one workload
+//! seed and exponential lifetimes. These sweeps probe how robust the
+//! SlackVM gains are to each of those choices — the questions a provider
+//! would ask before adopting the architecture.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{gib, PmConfig};
+use slackvm_workload::{Catalog, LevelMix};
+
+use super::packing::{compare_packing, PackingComparison, PackingConfig};
+
+/// One row of the hardware Memory-per-Core sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McSweepRow {
+    /// Worker memory (GiB) at 32 cores.
+    pub mem_gib: u64,
+    /// The worker's target M/C ratio.
+    pub target_ratio: f64,
+    /// PMs, baseline.
+    pub baseline_pms: u32,
+    /// PMs, SlackVM.
+    pub slackvm_pms: u32,
+    /// Savings (%).
+    pub savings_pct: f64,
+}
+
+/// Sweeps the worker hardware's M/C ratio (32 cores, varying DRAM):
+/// gains peak where the workload's tiers straddle the hardware ratio and
+/// vanish when one resource dominates every tier.
+pub fn hardware_mc_sweep(
+    catalog: &Catalog,
+    mix: &LevelMix,
+    config: &PackingConfig,
+    mem_gib_options: &[u64],
+) -> Vec<McSweepRow> {
+    mem_gib_options
+        .par_iter()
+        .map(|&mem_gib| {
+            let host = PmConfig::of(32, gib(mem_gib));
+            let cfg = PackingConfig { host, ..config.clone() };
+            let cmp = compare_packing(catalog, mix, &cfg);
+            McSweepRow {
+                mem_gib,
+                target_ratio: host.target_ratio().gib_per_core(),
+                baseline_pms: cmp.baseline.opened_pms,
+                slackvm_pms: cmp.slackvm.opened_pms,
+                savings_pct: cmp.savings_pct(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the population sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSweepRow {
+    /// Steady-state population target.
+    pub population: u32,
+    /// PMs, baseline.
+    pub baseline_pms: u32,
+    /// PMs, SlackVM.
+    pub slackvm_pms: u32,
+    /// Savings (%).
+    pub savings_pct: f64,
+}
+
+/// Sweeps the workload scale. The paper notes its gains "scale with the
+/// cluster size" while the First-Fit threshold effect (≤ n−1 PMs) does
+/// not; this sweep separates the two regimes.
+pub fn population_sweep(
+    catalog: &Catalog,
+    mix: &LevelMix,
+    config: &PackingConfig,
+    populations: &[u32],
+) -> Vec<PopulationSweepRow> {
+    populations
+        .par_iter()
+        .map(|&population| {
+            let cfg = PackingConfig {
+                target_population: population,
+                ..config.clone()
+            };
+            let cmp = compare_packing(catalog, mix, &cfg);
+            PopulationSweepRow {
+                population,
+                baseline_pms: cmp.baseline.opened_pms,
+                slackvm_pms: cmp.slackvm.opened_pms,
+                savings_pct: cmp.savings_pct(),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate statistics over seed replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedSavings {
+    /// Number of replications.
+    pub runs: usize,
+    /// Mean savings (%).
+    pub mean: f64,
+    /// Sample standard deviation of savings (%).
+    pub std_dev: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// The individual comparisons, by seed order.
+    pub comparisons: Vec<PackingComparison>,
+}
+
+/// Replays the comparison across `seeds` and aggregates the savings —
+/// the error bars the paper's single-run protocol lacks.
+pub fn replicated_savings(
+    catalog: &Catalog,
+    mix: &LevelMix,
+    config: &PackingConfig,
+    seeds: &[u64],
+) -> ReplicatedSavings {
+    let comparisons: Vec<PackingComparison> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let cfg = PackingConfig { seed, ..config.clone() };
+            compare_packing(catalog, mix, &cfg)
+        })
+        .collect();
+    let savings: Vec<f64> = comparisons.iter().map(|c| c.savings_pct()).collect();
+    let n = savings.len().max(1);
+    let mean = savings.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        savings.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    ReplicatedSavings {
+        runs: savings.len(),
+        mean,
+        std_dev: var.sqrt(),
+        min: savings.iter().copied().fold(f64::INFINITY, f64::min),
+        max: savings.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_workload::{catalog, DistributionPoint};
+
+    fn cfg() -> PackingConfig {
+        PackingConfig {
+            target_population: 250,
+            ..PackingConfig::default()
+        }
+    }
+
+    fn mix_f() -> LevelMix {
+        DistributionPoint::by_letter('F').unwrap().mix()
+    }
+
+    #[test]
+    fn mc_sweep_changes_the_gain_structure() {
+        let rows = hardware_mc_sweep(
+            &catalog::ovhcloud(),
+            &mix_f(),
+            &cfg(),
+            &[64, 128, 256],
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].target_ratio, 2.0);
+        assert_eq!(rows[1].target_ratio, 4.0);
+        assert_eq!(rows[2].target_ratio, 8.0);
+        // At 8 GiB/core every tier is CPU-bound (max tier ratio 5.8):
+        // memory never binds, so there is no complementarity left and
+        // the two architectures converge.
+        let extreme = &rows[2];
+        assert!(
+            extreme.savings_pct.abs() <= 5.0,
+            "no complementarity expected at M/C 8, got {:.1}%",
+            extreme.savings_pct
+        );
+        // At 4 GiB/core (the paper's shape) the gain is substantial.
+        assert!(rows[1].savings_pct > 3.0, "got {:.1}%", rows[1].savings_pct);
+    }
+
+    #[test]
+    fn population_sweep_is_monotone_in_cluster_size() {
+        let rows = population_sweep(
+            &catalog::ovhcloud(),
+            &mix_f(),
+            &cfg(),
+            &[100, 300, 600],
+        );
+        assert_eq!(rows.len(), 3);
+        for pair in rows.windows(2) {
+            assert!(pair[1].baseline_pms >= pair[0].baseline_pms);
+        }
+        // Gains persist at scale (they are not just the threshold
+        // effect, which would decay as 1/PMs).
+        assert!(rows[2].savings_pct > 2.0, "got {:.1}%", rows[2].savings_pct);
+    }
+
+    #[test]
+    fn replication_quantifies_seed_noise() {
+        let stats = replicated_savings(
+            &catalog::ovhcloud(),
+            &mix_f(),
+            &cfg(),
+            &[1, 2, 3, 4, 5],
+        );
+        assert_eq!(stats.runs, 5);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+        assert!(stats.std_dev >= 0.0);
+        // The headline effect survives averaging across seeds.
+        assert!(
+            stats.mean > 3.0,
+            "mean savings {:.1}% ± {:.1}",
+            stats.mean,
+            stats.std_dev
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Tables I–III: catalog statistics and the testbed description.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::OversubLevel;
+use slackvm_topology::builders;
+use slackvm_workload::catalog::{azure, ovhcloud};
+use slackvm_workload::Catalog;
+
+/// One row of Table I: average request sizes per VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Provider label.
+    pub provider: String,
+    /// Mean vCPUs per VM.
+    pub mean_vcpus: f64,
+    /// Mean memory per VM (GiB).
+    pub mean_mem_gib: f64,
+    /// The value the paper reports, for side-by-side comparison.
+    pub paper_vcpus: f64,
+    /// The paper's memory value (GB).
+    pub paper_mem_gb: f64,
+}
+
+/// Computes Table I from the calibrated catalogs.
+pub fn table1() -> Vec<Table1Row> {
+    let paper = [("azure", 2.25, 4.8), ("ovhcloud", 3.24, 10.05)];
+    [azure(), ovhcloud()]
+        .into_iter()
+        .zip(paper)
+        .map(|(catalog, (_, pv, pm))| Table1Row {
+            provider: catalog.provider.clone(),
+            mean_vcpus: catalog.mean_vcpus(),
+            mean_mem_gib: catalog.mean_mem_gib(),
+            paper_vcpus: pv,
+            paper_mem_gb: pm,
+        })
+        .collect()
+}
+
+/// One row of Table II: the provisioned M/C ratio per oversubscription
+/// level (GiB per physical core).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Provider label.
+    pub provider: String,
+    /// Measured ratios at 1:1, 2:1, 3:1.
+    pub ratios: [f64; 3],
+    /// The paper's values.
+    pub paper: [f64; 3],
+}
+
+/// Computes Table II from the calibrated catalogs (oversubscribed tiers
+/// restricted to ≤ 8 GiB flavors, as in the paper).
+pub fn table2() -> Vec<Table2Row> {
+    let ratios = |c: &Catalog| {
+        [1u32, 2, 3].map(|n| c.mc_ratio_at(OversubLevel::of(n)))
+    };
+    vec![
+        Table2Row {
+            provider: "azure".into(),
+            ratios: ratios(&azure()),
+            paper: [2.1, 3.0, 4.5],
+        },
+        Table2Row {
+            provider: "ovhcloud".into(),
+            ratios: ratios(&ovhcloud()),
+            paper: [3.1, 3.9, 5.8],
+        },
+    ]
+}
+
+/// Renders Table III — the testbed hardware — from the modeled topology
+/// (2× AMD EPYC 7662, 256 threads, 1 TiB, M/C = 4).
+pub fn table3() -> String {
+    let topo = builders::dual_epyc_7662();
+    let threads = topo.num_cores();
+    let mem_gib = 1024u64;
+    format!(
+        "Processor: AMD EPYC 7662 64-cores x2 (modeled)\n\
+         Total threads: {} ({} sockets x 64 cores x 2 hyperthreads)\n\
+         Memory: {} GiB\n\
+         Memory per Core (M/C): {}/{} = {}\n\
+         Topology: {}",
+        threads,
+        topo.num_sockets(),
+        mem_gib,
+        mem_gib,
+        threads,
+        mem_gib / threads as u64,
+        topo.summary(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_tracks_paper_within_5_percent() {
+        for row in table1() {
+            assert!(
+                (row.mean_vcpus - row.paper_vcpus).abs() / row.paper_vcpus < 0.05,
+                "{}: vcpus {} vs paper {}",
+                row.provider,
+                row.mean_vcpus,
+                row.paper_vcpus
+            );
+            assert!(
+                (row.mean_mem_gib - row.paper_mem_gb).abs() / row.paper_mem_gb < 0.05,
+                "{}: mem {} vs paper {}",
+                row.provider,
+                row.mean_mem_gib,
+                row.paper_mem_gb
+            );
+        }
+    }
+
+    #[test]
+    fn table2_tracks_paper_within_5_percent() {
+        for row in table2() {
+            for (got, want) in row.ratios.iter().zip(row.paper) {
+                assert!(
+                    (got - want).abs() / want < 0.05,
+                    "{}: {} vs paper {}",
+                    row.provider,
+                    got,
+                    want
+                );
+            }
+            // Ratios grow with the oversubscription level.
+            assert!(row.ratios[0] < row.ratios[1] && row.ratios[1] < row.ratios[2]);
+        }
+    }
+
+    #[test]
+    fn table3_mentions_the_testbed() {
+        let t = table3();
+        assert!(t.contains("256"));
+        assert!(t.contains("1024"));
+        assert!(t.contains("= 4"));
+    }
+}

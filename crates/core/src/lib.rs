@@ -1,0 +1,53 @@
+//! # slackvm
+//!
+//! A from-scratch Rust reproduction of **"SlackVM: Packing Virtual
+//! Machines in Oversubscribed Cloud Infrastructures"** (Jacquet, Ledoux,
+//! Rouvoy — IEEE CLUSTER 2024).
+//!
+//! SlackVM lets VMs sold at different oversubscription levels (1:1
+//! premium, 2:1, 3:1, …) share the same physical machines instead of
+//! living in dedicated clusters. Two pieces make that work:
+//!
+//! - a **local scheduler** ([`slackvm_hypervisor`]) that partitions each
+//!   machine's cores into per-level *vNodes*, resized dynamically with a
+//!   cache-topology-aware core-distance metric (paper Algorithm 1);
+//! - a **global scheduler metric** ([`slackvm_sched`]) scoring each
+//!   candidate machine by how much a deployment would move its allocated
+//!   Memory-per-Core ratio towards the hardware's ratio (paper
+//!   Algorithm 2), so CPU-heavy and memory-heavy tiers end up
+//!   *complementing* each other on the same host.
+//!
+//! This facade crate re-exports the workspace layers and adds the
+//! [`experiments`] module, which regenerates every table and figure of
+//! the paper's evaluation, plus [`report`] for rendering them.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use slackvm::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A shared SlackVM pool of 32-core / 128 GiB workers...
+//! let mut pool = SharedDeployment::new(Arc::new(flat(32)), gib(128));
+//! // ...hosting a premium VM and a 3:1 VM on the same machine.
+//! let premium = VmSpec::of(4, gib(8), OversubLevel::of(1));
+//! let burst = VmSpec::of(6, gib(8), OversubLevel::of(3));
+//! let mut model = DeploymentModel::Shared(pool);
+//! let pm_a = model.deploy(VmId(0), premium).unwrap();
+//! let pm_b = model.deploy(VmId(1), burst).unwrap();
+//! assert_eq!(pm_a, pm_b); // co-hosted, isolated by vNodes
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod prelude;
+pub mod report;
+
+pub use slackvm_hypervisor as hypervisor;
+pub use slackvm_model as model;
+pub use slackvm_perf as perf;
+pub use slackvm_sched as sched;
+pub use slackvm_sim as sim;
+pub use slackvm_topology as topology;
+pub use slackvm_workload as workload;

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple fixed-width ASCII table builder.
+///
+/// Keeps the bench harness and examples free of formatting noise; the
+/// output is stable enough to diff across runs.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        let rule: String = format!(
+            "+{}+\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        out.push_str(&rule);
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&rule);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out.push_str(&rule);
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `42.3%`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats milliseconds with two decimals, e.g. `3.47 ms`.
+pub fn ms(value: f64) -> String {
+    format!("{value:.2} ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "123456"]);
+        let s = t.render();
+        assert!(s.contains("| name  | value  |"));
+        assert!(s.contains("| alpha | 1      |"));
+        assert!(s.contains("| b     | 123456 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+        // Three columns rendered even though one cell was provided.
+        assert_eq!(s.lines().nth(1).unwrap().matches('|').count(), 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.096), "9.6%");
+        assert_eq!(ms(3.4712), "3.47 ms");
+    }
+}

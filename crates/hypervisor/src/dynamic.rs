@@ -1,0 +1,193 @@
+//! Dynamic oversubscription levels — the paper's §VIII perspective
+//! ("While our vNodes adopted static oversubscription levels, they could
+//! potentially benefit from dynamically computed levels"), following the
+//! peak-prediction approach of the paper's reference \[1\] (Bashir et al.,
+//! "Take it to the limit"): a vNode whose VMs collectively peak well
+//! below their allocation can safely expose more vCPUs per core.
+//!
+//! Like [`crate::compaction`], this module is *advisory*: it recommends
+//! levels and quantifies the cores a retune would free; the actual knob
+//! ("used to tune the performances of hosted services according to
+//! agreed SLA") belongs to the provider's control loop.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::OversubLevel;
+
+/// Tuning parameters of the level recommender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicLevelConfig {
+    /// Demand quantile treated as the "peak" (reference \[1\] uses
+    /// high percentiles of historical usage).
+    pub peak_quantile: f64,
+    /// Multiplicative head-room on the predicted peak.
+    pub safety_margin: f64,
+    /// Hardest oversubscription the provider is willing to sell.
+    pub max_level: u32,
+}
+
+impl Default for DynamicLevelConfig {
+    fn default() -> Self {
+        DynamicLevelConfig {
+            peak_quantile: 0.98,
+            safety_margin: 1.25,
+            max_level: 8,
+        }
+    }
+}
+
+/// The recommendation for one vNode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelRecommendation {
+    /// The level the vNode currently enforces.
+    pub current: OversubLevel,
+    /// The level the demand history supports.
+    pub recommended: OversubLevel,
+    /// The peak (quantile) demand observed, in core-units.
+    pub peak_demand_cores: f64,
+    /// Span size at the current level.
+    pub cores_now: u32,
+    /// Span size at the recommended level.
+    pub cores_after: u32,
+}
+
+impl LevelRecommendation {
+    /// Cores a retune would free (negative when the vNode must grow).
+    pub fn cores_freed(&self) -> i64 {
+        self.cores_now as i64 - self.cores_after as i64
+    }
+}
+
+/// Recommends an oversubscription level for a vNode exposing
+/// `total_vcpus`, given its aggregate demand history (core-units per
+/// sample).
+///
+/// The recommendation never *loosens* a guarantee the provider sold:
+/// it is clamped to be at least as strict as... rather, at most as
+/// *oversubscribed* as `config.max_level`, and at least 1:1. Note that
+/// raising the level of already-sold premium VMs would break their SLA;
+/// callers apply recommendations per vNode *policy*, not per VM.
+pub fn recommend_level(
+    demand_history: &[f64],
+    total_vcpus: u32,
+    current: OversubLevel,
+    config: &DynamicLevelConfig,
+) -> LevelRecommendation {
+    let peak = peak_demand(demand_history, config.peak_quantile);
+    let padded = peak * config.safety_margin;
+    let recommended_ratio = if padded <= f64::EPSILON {
+        config.max_level
+    } else {
+        // The span must keep `padded` cores available; at level n the
+        // span has ceil(vcpus/n) cores, so pick the largest n with
+        // vcpus/n >= padded.
+        ((total_vcpus as f64 / padded).floor() as u32).clamp(1, config.max_level)
+    };
+    let recommended = OversubLevel::of(recommended_ratio.clamp(1, 64));
+    LevelRecommendation {
+        current,
+        recommended,
+        peak_demand_cores: peak,
+        cores_now: current.cores_needed(total_vcpus),
+        cores_after: recommended.cores_needed(total_vcpus),
+    }
+}
+
+/// The demand quantile over a history (nearest-rank; 0 on empty input).
+fn peak_demand(history: &[f64], quantile: f64) -> f64 {
+    if history.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = history.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((quantile.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> DynamicLevelConfig {
+        DynamicLevelConfig::default()
+    }
+
+    #[test]
+    fn quiet_vnode_can_tighten_to_the_cap() {
+        // 48 vCPUs peaking at 4 cores of demand: 48 / (4·1.25) = 9.6 ->
+        // clamped to max_level 8.
+        let history = vec![2.0, 3.0, 4.0, 3.5, 2.5];
+        let rec = recommend_level(&history, 48, OversubLevel::of(3), &cfg());
+        assert_eq!(rec.recommended.ratio(), 8);
+        assert_eq!(rec.cores_now, 16);
+        assert_eq!(rec.cores_after, 6);
+        assert_eq!(rec.cores_freed(), 10);
+    }
+
+    #[test]
+    fn hot_vnode_falls_back_to_premium() {
+        // 16 vCPUs peaking at 15 cores: only 1:1 is safe.
+        let history = vec![14.0, 15.0, 13.0];
+        let rec = recommend_level(&history, 16, OversubLevel::of(2), &cfg());
+        assert_eq!(rec.recommended, OversubLevel::PREMIUM);
+        assert!(rec.cores_freed() < 0, "the span must grow");
+    }
+
+    #[test]
+    fn idle_history_recommends_the_cap() {
+        let rec = recommend_level(&[0.0, 0.0], 12, OversubLevel::of(2), &cfg());
+        assert_eq!(rec.recommended.ratio(), 8);
+        let rec = recommend_level(&[], 12, OversubLevel::of(2), &cfg());
+        assert_eq!(rec.recommended.ratio(), 8);
+        assert_eq!(rec.peak_demand_cores, 0.0);
+    }
+
+    #[test]
+    fn peak_uses_the_requested_quantile() {
+        // 100 samples at 1.0 plus one spike of 50: p98 ignores...
+        // actually with 101 samples rank(0.98)=99 -> 1.0; max would be 50.
+        let mut history = vec![1.0; 100];
+        history.push(50.0);
+        let rec = recommend_level(&history, 32, OversubLevel::of(2), &cfg());
+        assert!((rec.peak_demand_cores - 1.0).abs() < 1e-12);
+        let strict = DynamicLevelConfig { peak_quantile: 1.0, ..cfg() };
+        let rec = recommend_level(&history, 32, OversubLevel::of(2), &strict);
+        assert!((rec.peak_demand_cores - 50.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn recommendation_is_always_safe(
+            history in prop::collection::vec(0.0f64..64.0, 1..200),
+            vcpus in 1u32..256,
+        ) {
+            let rec = recommend_level(&history, vcpus, OversubLevel::of(3), &cfg());
+            let n = rec.recommended.ratio();
+            prop_assert!((1..=cfg().max_level).contains(&n));
+            // The recommended span still covers the padded peak:
+            // vcpus/n >= peak·margin (up to the floor's slack of one n).
+            let span_capacity = vcpus as f64 / n as f64;
+            if n > 1 {
+                prop_assert!(
+                    span_capacity >= rec.peak_demand_cores * cfg().safety_margin - 1e-9,
+                    "span {span_capacity} vs padded peak {}",
+                    rec.peak_demand_cores * cfg().safety_margin
+                );
+            }
+        }
+
+        #[test]
+        fn lower_demand_never_lowers_the_level(
+            history in prop::collection::vec(0.1f64..32.0, 5..100),
+            vcpus in 8u32..128,
+            scale in 0.1f64..1.0,
+        ) {
+            let rec_full = recommend_level(&history, vcpus, OversubLevel::of(2), &cfg());
+            let scaled: Vec<f64> = history.iter().map(|d| d * scale).collect();
+            let rec_scaled = recommend_level(&scaled, vcpus, OversubLevel::of(2), &cfg());
+            prop_assert!(rec_scaled.recommended.ratio() >= rec_full.recommended.ratio());
+        }
+    }
+}

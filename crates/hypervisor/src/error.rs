@@ -1,0 +1,65 @@
+//! Local-scheduler errors.
+
+use slackvm_model::{OversubLevel, VmId};
+use thiserror::Error;
+
+/// Errors raised by host deploy/remove operations.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum HypervisorError {
+    /// Not enough free cores to grow (or create) the level's vNode.
+    #[error("insufficient CPU: vNode {level} needs {needed} more core(s), {free} free")]
+    InsufficientCpu {
+        /// Level whose vNode could not grow.
+        level: OversubLevel,
+        /// Cores the growth requires.
+        needed: u32,
+        /// Unassigned cores available.
+        free: u32,
+    },
+
+    /// Not enough free memory for the VM.
+    #[error("insufficient memory: request {requested_mib} MiB, {free_mib} MiB free")]
+    InsufficientMemory {
+        /// Requested MiB.
+        requested_mib: u64,
+        /// Free MiB.
+        free_mib: u64,
+    },
+
+    /// The VM id is already hosted here.
+    #[error("{0} is already deployed on this machine")]
+    DuplicateVm(VmId),
+
+    /// The VM id is not hosted here.
+    #[error("{0} is not deployed on this machine")]
+    UnknownVm(VmId),
+
+    /// A uniform (single-level) host refused a VM of another level.
+    #[error("host is dedicated to level {host_level}, VM is {vm_level}")]
+    LevelMismatch {
+        /// The host's level.
+        host_level: OversubLevel,
+        /// The VM's level.
+        vm_level: OversubLevel,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = HypervisorError::InsufficientCpu {
+            level: OversubLevel::of(3),
+            needed: 2,
+            free: 1,
+        };
+        assert!(e.to_string().contains("vNode 3:1 needs 2 more core(s), 1 free"));
+        let e = HypervisorError::LevelMismatch {
+            host_level: OversubLevel::of(1),
+            vm_level: OversubLevel::of(2),
+        };
+        assert!(e.to_string().contains("dedicated to level 1:1"));
+    }
+}

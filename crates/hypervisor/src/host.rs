@@ -1,0 +1,46 @@
+//! The common host interface shared by SlackVM and baseline workers.
+
+use slackvm_model::{AllocView, PmConfig, PmId, VmId, VmSpec};
+
+use crate::error::HypervisorError;
+
+/// A machine that can admit and release VMs.
+///
+/// Both the partitioned SlackVM worker ([`crate::PhysicalMachine`]) and
+/// the dedicated-cluster baseline worker ([`crate::UniformMachine`])
+/// implement this; the simulator and the global scheduler only ever see
+/// this interface plus the pure `(PmConfig, AllocView)` scoring inputs.
+pub trait Host {
+    /// Stable identifier within the cluster.
+    fn id(&self) -> PmId;
+
+    /// Hardware configuration.
+    fn config(&self) -> PmConfig;
+
+    /// Current physical allocation (whole-core accounting for
+    /// partitioned hosts — oversubscribed vNodes are "considered through
+    /// the PM allocation", paper §VI).
+    fn alloc(&self) -> AllocView;
+
+    /// Whether `spec` could be deployed right now.
+    fn can_host(&self, spec: &VmSpec) -> bool;
+
+    /// Deploys a VM. Must succeed when [`Host::can_host`] just returned
+    /// true and no other mutation intervened.
+    fn deploy(&mut self, id: VmId, spec: VmSpec) -> Result<(), HypervisorError>;
+
+    /// Removes a VM, returning its spec.
+    fn remove(&mut self, id: VmId) -> Result<VmSpec, HypervisorError>;
+
+    /// Number of hosted VMs.
+    fn num_vms(&self) -> usize;
+
+    /// Ids of the hosted VMs, ascending (used for eviction on host
+    /// failure and for snapshots).
+    fn vm_ids(&self) -> Vec<VmId>;
+
+    /// True when nothing is hosted.
+    fn is_idle(&self) -> bool {
+        self.num_vms() == 0
+    }
+}

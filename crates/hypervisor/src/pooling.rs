@@ -1,0 +1,212 @@
+//! vNode pooling (paper §V-B): execution spans.
+//!
+//! For *allocation*, every vNode owns its cores exclusively. For
+//! *execution*, SlackVM may pool the oversubscribed vNodes — letting
+//! their VMs schedule over the union of their cores plus any unassigned
+//! cores — provided the union still honours the **strictest** pooled
+//! level's `n:1` guarantee ("a VM with a 2:1 oversubscription level may
+//! coexist with VM belonging to a 3:1 oversubscription level, if and only
+//! if the set of physical resources still complies with the 2:1 ratio").
+//!
+//! Pooling increases workload heterogeneity inside the span (more VMs →
+//! more statistical multiplexing), which is why the perf model consumes
+//! these spans rather than raw vNodes. Premium (1:1) vNodes are never
+//! pooled.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::OversubLevel;
+use slackvm_model::VmId;
+use slackvm_topology::CoreId;
+
+use crate::machine::PhysicalMachine;
+
+/// A set of cores over which a set of VMs is actually scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSpan {
+    /// Oversubscription levels whose VMs run on this span.
+    pub levels: Vec<OversubLevel>,
+    /// The cores of the span, ascending.
+    pub cores: Vec<CoreId>,
+    /// VMs scheduled on the span.
+    pub vm_ids: Vec<VmId>,
+    /// Total vCPUs exposed on the span.
+    pub total_vcpus: u32,
+    /// The guarantee the span must honour (strictest pooled level).
+    pub guarantee: OversubLevel,
+}
+
+impl ExecutionSpan {
+    /// vCPUs per core over the span — must not exceed `guarantee.ratio()`.
+    pub fn pressure(&self) -> f64 {
+        if self.cores.is_empty() {
+            0.0
+        } else {
+            self.total_vcpus as f64 / self.cores.len() as f64
+        }
+    }
+
+    /// True when the span honours its guarantee.
+    pub fn is_valid(&self) -> bool {
+        self.total_vcpus <= self.guarantee.vcpu_capacity(self.cores.len() as u32)
+    }
+}
+
+/// Computes the machine's execution spans.
+///
+/// With `pooling` disabled every vNode is its own span. With it enabled,
+/// all oversubscribed vNodes merge — together with the machine's free
+/// cores — when the merged span still honours the strictest level;
+/// otherwise vNodes stay separate (deterministic, conservative fallback).
+pub fn execution_spans(machine: &PhysicalMachine, pooling: bool) -> Vec<ExecutionSpan> {
+    let own_span = |vnode: &crate::vnode::VNode| ExecutionSpan {
+        levels: vec![vnode.level()],
+        cores: vnode.core_vec(),
+        vm_ids: vnode.vms().map(|(id, _)| *id).collect(),
+        total_vcpus: vnode.total_vcpus(),
+        guarantee: vnode.level(),
+    };
+
+    let mut spans = Vec::new();
+    let mut pooled_levels = Vec::new();
+    let mut pooled_cores = Vec::new();
+    let mut pooled_vms = Vec::new();
+    let mut pooled_vcpus = 0u32;
+    let mut strictest: Option<OversubLevel> = None;
+
+    for vnode in machine.vnodes() {
+        if vnode.level().is_premium() || !pooling {
+            spans.push(own_span(vnode));
+        } else {
+            pooled_levels.push(vnode.level());
+            pooled_cores.extend(vnode.core_vec());
+            pooled_vms.extend(vnode.vms().map(|(id, _)| *id));
+            pooled_vcpus += vnode.total_vcpus();
+            strictest = Some(match strictest {
+                Some(s) if s.satisfies(vnode.level()) => s,
+                _ => vnode.level(),
+            });
+        }
+    }
+
+    if let Some(guarantee) = strictest {
+        // Fold in the machine's unassigned cores: resources "that remain
+        // unallocated by the non-oversubscribed vNode on the same PM".
+        pooled_cores.extend(machine.free_cores());
+        pooled_cores.sort_unstable();
+        let candidate = ExecutionSpan {
+            levels: pooled_levels,
+            cores: pooled_cores,
+            vm_ids: pooled_vms,
+            total_vcpus: pooled_vcpus,
+            guarantee,
+        };
+        if candidate.is_valid() {
+            spans.push(candidate);
+        } else {
+            // Conservative fallback: no pooling for this machine state.
+            for vnode in machine.vnodes() {
+                if !vnode.level().is_premium() {
+                    spans.push(own_span(vnode));
+                }
+            }
+        }
+    }
+    spans.sort_by_key(|s| s.guarantee);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use slackvm_model::{gib, PmId, VmSpec};
+    use slackvm_topology::builders;
+    use std::sync::Arc;
+
+    fn machine() -> PhysicalMachine {
+        PhysicalMachine::with_topology_policy(PmId(0), Arc::new(builders::flat(32)), gib(128))
+    }
+
+    fn spec(vcpus: u32, mem_gib: u64, level: u32) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level))
+    }
+
+    #[test]
+    fn premium_never_pools() {
+        let mut m = machine();
+        m.deploy(VmId(0), spec(4, 4, 1)).unwrap();
+        m.deploy(VmId(1), spec(4, 4, 2)).unwrap();
+        m.deploy(VmId(2), spec(3, 3, 3)).unwrap();
+        let spans = execution_spans(&m, true);
+        assert_eq!(spans.len(), 2);
+        let premium = &spans[0];
+        assert_eq!(premium.levels, vec![OversubLevel::of(1)]);
+        assert_eq!(premium.cores.len(), 4);
+        let pooled = &spans[1];
+        assert_eq!(pooled.levels.len(), 2);
+        assert_eq!(pooled.guarantee, OversubLevel::of(2));
+        assert!(pooled.is_valid());
+    }
+
+    #[test]
+    fn pooled_span_absorbs_free_cores() {
+        let mut m = machine();
+        m.deploy(VmId(0), spec(6, 6, 3)).unwrap(); // 2 cores
+        let spans = execution_spans(&m, true);
+        assert_eq!(spans.len(), 1);
+        // All 32 cores: 2 assigned + 30 free.
+        assert_eq!(spans[0].cores.len(), 32);
+        assert!(spans[0].pressure() < 1.0);
+    }
+
+    #[test]
+    fn pooling_disabled_keeps_vnodes_separate() {
+        let mut m = machine();
+        m.deploy(VmId(0), spec(4, 4, 2)).unwrap();
+        m.deploy(VmId(1), spec(3, 3, 3)).unwrap();
+        let spans = execution_spans(&m, false);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.levels.len() == 1));
+        // Each span is exactly its vNode.
+        assert_eq!(spans[0].cores.len(), 2); // 4 vCPUs @ 2:1
+        assert_eq!(spans[1].cores.len(), 1); // 3 vCPUs @ 3:1
+    }
+
+    #[test]
+    fn infeasible_pool_falls_back() {
+        // Fill the machine completely: premium 26 cores, 2:1 with 8
+        // vCPUs (4 cores), 3:1 with 6 vCPUs (2 cores). No free cores.
+        // Pooled union: 14 vCPUs on 6 cores = 2.33 > 2 -> infeasible.
+        let mut m = machine();
+        m.deploy(VmId(0), spec(26, 26, 1)).unwrap();
+        m.deploy(VmId(1), spec(8, 8, 2)).unwrap();
+        m.deploy(VmId(2), spec(6, 6, 3)).unwrap();
+        assert_eq!(m.free_core_count(), 0);
+        let spans = execution_spans(&m, true);
+        // Fallback: three single-level spans.
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.is_valid()));
+    }
+
+    #[test]
+    fn span_pressure_and_validity() {
+        let span = ExecutionSpan {
+            levels: vec![OversubLevel::of(2)],
+            cores: (0..4).map(CoreId).collect(),
+            vm_ids: vec![],
+            total_vcpus: 8,
+            guarantee: OversubLevel::of(2),
+        };
+        assert!((span.pressure() - 2.0).abs() < 1e-12);
+        assert!(span.is_valid());
+        let over = ExecutionSpan { total_vcpus: 9, ..span };
+        assert!(!over.is_valid());
+    }
+
+    #[test]
+    fn empty_machine_has_no_spans() {
+        let m = machine();
+        assert!(execution_spans(&m, true).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Pinning-churn statistics.
+//!
+//! Paper §V-A notes that re-pinning only happens on VM deployment or
+//! destruction, so its frequency is negligible at CPU time scales — but
+//! the *amount* of churn still differentiates selection policies, so the
+//! machine records it for the ablation benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of pinning-set changes on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PinChurn {
+    /// vNode span growths (each extends the pin mask of every VM in the
+    /// vNode to the new range).
+    pub expansions: u64,
+    /// vNode span shrinks after departures.
+    pub shrinks: u64,
+    /// Individual cores added across all expansions.
+    pub cores_added: u64,
+    /// Individual cores released across all shrinks.
+    pub cores_released: u64,
+    /// VM pin-mask rewrites implied by expansions and shrinks (one per
+    /// hosted VM per span change).
+    pub vm_repins: u64,
+    /// vNodes created.
+    pub vnodes_created: u64,
+    /// vNodes dissolved (last VM departed).
+    pub vnodes_dissolved: u64,
+}
+
+impl PinChurn {
+    /// Records a span growth touching `cores` cores while `vms` VMs were
+    /// pinned to the vNode.
+    pub fn record_expansion(&mut self, cores: u32, vms: usize) {
+        self.expansions += 1;
+        self.cores_added += cores as u64;
+        self.vm_repins += vms as u64;
+    }
+
+    /// Records a span shrink releasing `cores` cores while `vms` VMs
+    /// remain pinned.
+    pub fn record_shrink(&mut self, cores: u32, vms: usize) {
+        self.shrinks += 1;
+        self.cores_released += cores as u64;
+        self.vm_repins += vms as u64;
+    }
+
+    /// Merges another machine's counters (for cluster-wide reports).
+    pub fn merge(&mut self, other: &PinChurn) {
+        self.expansions += other.expansions;
+        self.shrinks += other.shrinks;
+        self.cores_added += other.cores_added;
+        self.cores_released += other.cores_released;
+        self.vm_repins += other.vm_repins;
+        self.vnodes_created += other.vnodes_created;
+        self.vnodes_dissolved += other.vnodes_dissolved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates() {
+        let mut c = PinChurn::default();
+        c.record_expansion(2, 3);
+        c.record_expansion(1, 4);
+        c.record_shrink(1, 2);
+        assert_eq!(c.expansions, 2);
+        assert_eq!(c.shrinks, 1);
+        assert_eq!(c.cores_added, 3);
+        assert_eq!(c.cores_released, 1);
+        assert_eq!(c.vm_repins, 9);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = PinChurn {
+            expansions: 1,
+            shrinks: 2,
+            cores_added: 3,
+            cores_released: 4,
+            vm_repins: 5,
+            vnodes_created: 6,
+            vnodes_dissolved: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.expansions, 2);
+        assert_eq!(a.vnodes_dissolved, 14);
+    }
+}

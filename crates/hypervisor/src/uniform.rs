@@ -1,0 +1,270 @@
+//! The dedicated-cluster baseline worker.
+
+use std::collections::BTreeMap;
+
+use slackvm_model::{AllocView, Millicores, OversubLevel, PmConfig, PmId, VmId, VmSpec};
+
+use crate::error::HypervisorError;
+use crate::host::Host;
+
+/// A single-level worker: the whole machine adheres to one
+/// oversubscription ratio, as in conventional clusters ("each PM adhering
+/// to at most a single oversubscription ratio", paper §I).
+///
+/// Capacity is a pair of counters — up to `n × cores` vCPUs and the
+/// machine's DRAM — with no partitioning or pinning. Its [`Host::alloc`]
+/// reports *physical* consumption (`Σ vCPUs / n`, rounded up per VM) so
+/// baseline and SlackVM clusters expose comparable allocation views.
+#[derive(Debug, Clone)]
+pub struct UniformMachine {
+    id: PmId,
+    config: PmConfig,
+    level: OversubLevel,
+    vcpus_used: u32,
+    mem_used_mib: u64,
+    vms: BTreeMap<VmId, VmSpec>,
+}
+
+impl UniformMachine {
+    /// Creates a worker dedicated to `level`.
+    pub fn new(id: PmId, config: PmConfig, level: OversubLevel) -> Self {
+        UniformMachine {
+            id,
+            config,
+            level,
+            vcpus_used: 0,
+            mem_used_mib: 0,
+            vms: BTreeMap::new(),
+        }
+    }
+
+    /// The level this worker is dedicated to.
+    pub fn level(&self) -> OversubLevel {
+        self.level
+    }
+
+    /// Exposed vCPU capacity (`n × cores`).
+    pub fn vcpu_capacity(&self) -> u32 {
+        self.level.vcpu_capacity(self.config.cores)
+    }
+
+    /// vCPUs currently sold.
+    pub fn vcpus_used(&self) -> u32 {
+        self.vcpus_used
+    }
+
+    /// Free memory in MiB.
+    pub fn free_mem_mib(&self) -> u64 {
+        self.config.mem_mib - self.mem_used_mib
+    }
+
+    /// Vertically resizes a hosted VM (same level). Atomic: feasibility
+    /// is checked before any counter moves. Zero dimensions clamp to 1.
+    pub fn resize_vm(
+        &mut self,
+        id: VmId,
+        new_vcpus: u32,
+        new_mem_mib: u64,
+    ) -> Result<(), HypervisorError> {
+        let old = *self.vms.get(&id).ok_or(HypervisorError::UnknownVm(id))?;
+        let new_spec = VmSpec::of(new_vcpus.max(1), new_mem_mib.max(1), self.level);
+        let post_vcpus = self.vcpus_used - old.vcpus() + new_spec.vcpus();
+        if post_vcpus > self.vcpu_capacity() {
+            return Err(HypervisorError::InsufficientCpu {
+                level: self.level,
+                needed: self
+                    .level
+                    .cores_needed(post_vcpus)
+                    .saturating_sub(self.config.cores),
+                free: 0,
+            });
+        }
+        let post_mem = self.mem_used_mib - old.mem_mib() + new_spec.mem_mib();
+        if post_mem > self.config.mem_mib {
+            return Err(HypervisorError::InsufficientMemory {
+                requested_mib: new_spec.mem_mib() - old.mem_mib(),
+                free_mib: self.free_mem_mib(),
+            });
+        }
+        self.vcpus_used = post_vcpus;
+        self.mem_used_mib = post_mem;
+        self.vms.insert(id, new_spec);
+        Ok(())
+    }
+}
+
+impl Host for UniformMachine {
+    fn id(&self) -> PmId {
+        self.id
+    }
+
+    fn config(&self) -> PmConfig {
+        self.config
+    }
+
+    fn alloc(&self) -> AllocView {
+        // Physical view: total vCPUs collapsed by the machine's ratio.
+        AllocView::new(
+            Millicores::for_vcpus_at_level(self.vcpus_used, self.level.ratio()),
+            self.mem_used_mib,
+        )
+    }
+
+    fn can_host(&self, spec: &VmSpec) -> bool {
+        spec.level == self.level
+            && self.vcpus_used + spec.vcpus() <= self.vcpu_capacity()
+            && spec.mem_mib() <= self.free_mem_mib()
+    }
+
+    fn deploy(&mut self, id: VmId, spec: VmSpec) -> Result<(), HypervisorError> {
+        if self.vms.contains_key(&id) {
+            return Err(HypervisorError::DuplicateVm(id));
+        }
+        if spec.level != self.level {
+            return Err(HypervisorError::LevelMismatch {
+                host_level: self.level,
+                vm_level: spec.level,
+            });
+        }
+        if self.vcpus_used + spec.vcpus() > self.vcpu_capacity() {
+            let needed = self
+                .level
+                .cores_needed(self.vcpus_used + spec.vcpus())
+                .saturating_sub(self.config.cores);
+            return Err(HypervisorError::InsufficientCpu {
+                level: self.level,
+                needed,
+                free: 0,
+            });
+        }
+        if spec.mem_mib() > self.free_mem_mib() {
+            return Err(HypervisorError::InsufficientMemory {
+                requested_mib: spec.mem_mib(),
+                free_mib: self.free_mem_mib(),
+            });
+        }
+        self.vcpus_used += spec.vcpus();
+        self.mem_used_mib += spec.mem_mib();
+        self.vms.insert(id, spec);
+        Ok(())
+    }
+
+    fn remove(&mut self, id: VmId) -> Result<VmSpec, HypervisorError> {
+        let spec = self.vms.remove(&id).ok_or(HypervisorError::UnknownVm(id))?;
+        self.vcpus_used -= spec.vcpus();
+        self.mem_used_mib -= spec.mem_mib();
+        Ok(spec)
+    }
+
+    fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::gib;
+
+    fn host(level: u32) -> UniformMachine {
+        UniformMachine::new(PmId(0), PmConfig::simulation_host(), OversubLevel::of(level))
+    }
+
+    fn spec(vcpus: u32, mem_gib: u64, level: u32) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level))
+    }
+
+    #[test]
+    fn capacity_scales_with_level() {
+        assert_eq!(host(1).vcpu_capacity(), 32);
+        assert_eq!(host(2).vcpu_capacity(), 64);
+        assert_eq!(host(3).vcpu_capacity(), 96);
+    }
+
+    #[test]
+    fn rejects_foreign_levels() {
+        let mut h = host(2);
+        assert!(!h.can_host(&spec(1, 1, 1)));
+        assert!(matches!(
+            h.deploy(VmId(0), spec(1, 1, 3)).unwrap_err(),
+            HypervisorError::LevelMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn fills_to_vcpu_capacity() {
+        let mut h = host(3);
+        for i in 0..24 {
+            h.deploy(VmId(i), spec(4, 1, 3)).unwrap(); // 96 vCPUs total
+        }
+        assert_eq!(h.vcpus_used(), 96);
+        assert!(!h.can_host(&spec(1, 1, 3)));
+        assert!(matches!(
+            h.deploy(VmId(99), spec(1, 1, 3)).unwrap_err(),
+            HypervisorError::InsufficientCpu { .. }
+        ));
+    }
+
+    #[test]
+    fn memory_bounds_oversubscribed_hosts_first_when_ratio_is_high() {
+        // At 3:1 with 8 GiB VMs of 2 vCPUs (M/C 12 per core): memory is
+        // the binding constraint on a 4 GiB/core machine.
+        let mut h = host(3);
+        let mut deployed = 0;
+        for i in 0..1000 {
+            if h.deploy(VmId(i), spec(2, 8, 3)).is_err() {
+                break;
+            }
+            deployed += 1;
+        }
+        assert_eq!(deployed, 16, "128 GiB / 8 GiB = 16 VMs, not vCPU-bound");
+        let alloc = h.alloc();
+        assert!(alloc.unallocated_cpu_share(&h.config()) > 0.5);
+        assert_eq!(alloc.unallocated_mem_share(&h.config()), 0.0);
+    }
+
+    #[test]
+    fn alloc_reports_physical_cpu() {
+        let mut h = host(2);
+        h.deploy(VmId(0), spec(4, 4, 2)).unwrap();
+        assert_eq!(h.alloc().cpu, Millicores::from_cores(2));
+        h.remove(VmId(0)).unwrap();
+        assert_eq!(h.alloc(), AllocView::EMPTY);
+        assert!(h.is_idle());
+    }
+
+    #[test]
+    fn resize_adjusts_counters_atomically() {
+        let mut h = host(2); // 64 vCPU capacity
+        h.deploy(VmId(0), spec(4, 8, 2)).unwrap();
+        h.resize_vm(VmId(0), 8, gib(16)).unwrap();
+        assert_eq!(h.vcpus_used(), 8);
+        assert_eq!(h.free_mem_mib(), gib(112));
+        // Infeasible resize leaves state untouched.
+        assert!(h.resize_vm(VmId(0), 100, gib(1)).is_err());
+        assert!(h.resize_vm(VmId(0), 1, gib(200)).is_err());
+        assert_eq!(h.vcpus_used(), 8);
+        assert!(matches!(
+            h.resize_vm(VmId(5), 1, 1).unwrap_err(),
+            HypervisorError::UnknownVm(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_errors() {
+        let mut h = host(1);
+        h.deploy(VmId(0), spec(1, 1, 1)).unwrap();
+        assert!(matches!(
+            h.deploy(VmId(0), spec(1, 1, 1)).unwrap_err(),
+            HypervisorError::DuplicateVm(_)
+        ));
+        assert!(matches!(
+            h.remove(VmId(5)).unwrap_err(),
+            HypervisorError::UnknownVm(_)
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Virtual-topology exposure (paper §V-A: "SlackVM allocates vNodes to
+//! report on a configuration that resembles a CPU model with fewer
+//! cores").
+//!
+//! A vNode's guest-visible topology summarizes how its span maps onto
+//! the hardware: how many sockets and L3 complexes it touches, how many
+//! full SMT pairs it owns. The hypervisor would expose this to guests
+//! (and to ITMT-style asymmetric schedulers); here it also feeds the
+//! isolation diagnostics.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_topology::{CoreId, CpuTopology};
+
+/// The shape a vNode's span presents to its guests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualTopology {
+    /// Schedulable CPUs in the span.
+    pub threads: u32,
+    /// Distinct physical cores beneath them.
+    pub physical_cores: u32,
+    /// Physical cores with both SMT siblings in the span (guest sees a
+    /// "real" SMT pair).
+    pub smt_pairs: u32,
+    /// Distinct sockets the span touches.
+    pub sockets: u32,
+    /// Distinct last-level-cache complexes the span touches.
+    pub l3_complexes: u32,
+    /// Distinct NUMA nodes the span touches.
+    pub numa_nodes: u32,
+}
+
+impl VirtualTopology {
+    /// Derives the virtual topology of a CPU set on a machine topology.
+    pub fn of(topology: &CpuTopology, cores: &[CoreId]) -> Self {
+        let set: BTreeSet<CoreId> = cores.iter().copied().collect();
+        let mut sockets = BTreeSet::new();
+        let mut numa = BTreeSet::new();
+        let mut l3 = BTreeSet::new();
+        let mut pairs = 0u32;
+        let mut counted = BTreeSet::new();
+        for &c in &set {
+            let core = topology.core(c);
+            sockets.insert(core.socket);
+            numa.insert(core.numa);
+            if let Some(zone) = core.cache_at(topology.height().saturating_sub(1)) {
+                l3.insert(zone);
+            }
+            let siblings = topology.smt_siblings(c);
+            if siblings.len() > 1
+                && siblings.iter().all(|s| set.contains(s))
+                && counted.insert(siblings.iter().copied().min().expect("non-empty"))
+            {
+                pairs += 1;
+            }
+        }
+        VirtualTopology {
+            threads: set.len() as u32,
+            physical_cores: topology.physical_core_count(set.iter()),
+            smt_pairs: pairs,
+            sockets: sockets.len() as u32,
+            numa_nodes: numa.len() as u32,
+            l3_complexes: l3.len() as u32,
+        }
+    }
+
+    /// Fraction of the span's threads that come in complete SMT pairs —
+    /// 1.0 for a perfectly sibling-dense span, 0.0 for a fully
+    /// fragmented one. Higher means the span behaves more like a small
+    /// standalone CPU (the §V-A design goal).
+    pub fn sibling_density(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            (2 * self.smt_pairs) as f64 / self.threads as f64
+        }
+    }
+
+    /// True when the span fits entirely inside one socket (best
+    /// isolation tier).
+    pub fn single_socket(&self) -> bool {
+        self.sockets <= 1
+    }
+}
+
+impl std::fmt::Display for VirtualTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} threads on {} cores ({} SMT pairs), {} socket(s), {} L3 complex(es)",
+            self.threads, self.physical_cores, self.smt_pairs, self.sockets, self.l3_complexes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_topology::builders;
+
+    #[test]
+    fn whole_epyc_machine() {
+        let topo = builders::dual_epyc_7662();
+        let all: Vec<CoreId> = topo.core_ids().collect();
+        let vt = VirtualTopology::of(&topo, &all);
+        assert_eq!(vt.threads, 256);
+        assert_eq!(vt.physical_cores, 128);
+        assert_eq!(vt.smt_pairs, 128);
+        assert_eq!(vt.sockets, 2);
+        assert_eq!(vt.numa_nodes, 2);
+        assert_eq!(vt.l3_complexes, 32); // 16 CCX per socket
+        assert_eq!(vt.sibling_density(), 1.0);
+        assert!(!vt.single_socket());
+    }
+
+    #[test]
+    fn sibling_dense_vs_fragmented_span() {
+        let topo = builders::dual_epyc_7662();
+        // Two complete pairs: density 1.
+        let dense = VirtualTopology::of(
+            &topo,
+            &[CoreId(0), CoreId(1), CoreId(2), CoreId(3)],
+        );
+        assert_eq!(dense.smt_pairs, 2);
+        assert_eq!(dense.sibling_density(), 1.0);
+        assert!(dense.single_socket());
+        // Four lone threads from distinct cores: density 0.
+        let frag = VirtualTopology::of(
+            &topo,
+            &[CoreId(0), CoreId(2), CoreId(4), CoreId(6)],
+        );
+        assert_eq!(frag.smt_pairs, 0);
+        assert_eq!(frag.sibling_density(), 0.0);
+        assert_eq!(frag.physical_cores, 4);
+    }
+
+    #[test]
+    fn non_smt_topology_has_no_pairs() {
+        let topo = builders::flat(8);
+        let vt = VirtualTopology::of(&topo, &[CoreId(0), CoreId(1)]);
+        assert_eq!(vt.smt_pairs, 0);
+        assert_eq!(vt.physical_cores, 2);
+        assert_eq!(vt.l3_complexes, 1);
+    }
+
+    #[test]
+    fn empty_span() {
+        let topo = builders::flat(4);
+        let vt = VirtualTopology::of(&topo, &[]);
+        assert_eq!(vt.threads, 0);
+        assert_eq!(vt.sibling_density(), 0.0);
+        assert!(vt.single_socket());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let topo = builders::dual_epyc_7662();
+        let vt = VirtualTopology::of(&topo, &[CoreId(0), CoreId(1)]);
+        assert_eq!(
+            vt.to_string(),
+            "2 threads on 1 cores (1 SMT pairs), 1 socket(s), 1 L3 complex(es)"
+        );
+    }
+}

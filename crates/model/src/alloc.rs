@@ -1,0 +1,189 @@
+//! Allocation snapshots — the `allocPM` input of paper Algorithm 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::pm::PmConfig;
+use crate::ratio::MemPerCore;
+use crate::resources::Millicores;
+use crate::vm::VmSpec;
+
+/// A point-in-time view of a PM's *physical* allocation.
+///
+/// Oversubscribed vNodes are accounted through the PM's physical
+/// resources (a 3:1 vNode hosting 6 vCPUs contributes 2 cores), exactly as
+/// the paper prescribes ("Allocations considered in this algorithm are
+/// based on PM resource usages", §VI) — this is what lets Algorithm 2
+/// accommodate every oversubscription level with one formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AllocView {
+    /// Physical CPU currently allocated.
+    pub cpu: Millicores,
+    /// Memory currently allocated, in MiB.
+    pub mem_mib: u64,
+}
+
+impl AllocView {
+    /// The empty allocation.
+    pub const EMPTY: AllocView = AllocView {
+        cpu: Millicores::ZERO,
+        mem_mib: 0,
+    };
+
+    /// Constructs a view from raw parts.
+    #[inline]
+    pub const fn new(cpu: Millicores, mem_mib: u64) -> Self {
+        AllocView { cpu, mem_mib }
+    }
+
+    /// True when nothing is allocated.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.cpu.is_zero() && self.mem_mib == 0
+    }
+
+    /// The view after adding a VM's physical consumption.
+    #[inline]
+    pub fn with_vm(self, vm: &VmSpec) -> AllocView {
+        AllocView {
+            cpu: self.cpu + vm.physical_cpu(),
+            mem_mib: self.mem_mib + vm.mem_mib(),
+        }
+    }
+
+    /// The view after removing a VM's physical consumption.
+    pub fn without_vm(self, vm: &VmSpec) -> Result<AllocView, ModelError> {
+        let cpu = self.cpu.checked_sub(vm.physical_cpu())?;
+        let mem_mib = self
+            .mem_mib
+            .checked_sub(vm.mem_mib())
+            .ok_or(ModelError::Underflow {
+                what: "MiB",
+                requested: vm.mem_mib(),
+                available: self.mem_mib,
+            })?;
+        Ok(AllocView { cpu, mem_mib })
+    }
+
+    /// The allocated-workload M/C ratio (`currentRatio` of Algorithm 2).
+    /// Infinite when no CPU is allocated; callers guard on [`Self::is_empty`].
+    pub fn mc_ratio(&self) -> MemPerCore {
+        MemPerCore::from_mib_per_core(self.mem_mib, self.cpu.as_cores_f64())
+    }
+
+    /// Remaining capacity against a configuration, clamped at zero.
+    pub fn headroom(&self, config: &PmConfig) -> AllocView {
+        AllocView {
+            cpu: Millicores(config.cpu_capacity().0.saturating_sub(self.cpu.0)),
+            mem_mib: config.mem_mib.saturating_sub(self.mem_mib),
+        }
+    }
+
+    /// Fraction of the configuration's CPU left unallocated, in `[0, 1]`.
+    pub fn unallocated_cpu_share(&self, config: &PmConfig) -> f64 {
+        let cap = config.cpu_capacity().0 as f64;
+        (cap - self.cpu.0 as f64).max(0.0) / cap
+    }
+
+    /// Fraction of the configuration's memory left unallocated, in `[0, 1]`.
+    pub fn unallocated_mem_share(&self, config: &PmConfig) -> f64 {
+        let cap = config.mem_mib as f64;
+        (cap - self.mem_mib as f64).max(0.0) / cap
+    }
+
+    /// CPU load fraction `allocPM(cpu) / configPM(cpu)` — the multiplier
+    /// base of Algorithm 2 lines 12–15.
+    pub fn cpu_load_fraction(&self, config: &PmConfig) -> f64 {
+        self.cpu.0 as f64 / config.cpu_capacity().0 as f64
+    }
+}
+
+impl std::fmt::Display for AllocView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cpu / {:.1} GiB",
+            self.cpu,
+            crate::units::mib_to_gib_f64(self.mem_mib)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oversub::OversubLevel;
+    use crate::units::gib;
+    use proptest::prelude::*;
+
+    fn vm(vcpus: u32, mem_gib: u64, level: u32) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level))
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let v = vm(2, 4, 2);
+        let a = AllocView::EMPTY.with_vm(&v);
+        assert_eq!(a.cpu, Millicores::from_cores(1));
+        assert_eq!(a.mem_mib, gib(4));
+        assert_eq!(a.without_vm(&v).unwrap(), AllocView::EMPTY);
+    }
+
+    #[test]
+    fn without_vm_underflows_cleanly() {
+        let v = vm(2, 4, 1);
+        assert!(AllocView::EMPTY.without_vm(&v).is_err());
+    }
+
+    #[test]
+    fn mc_ratio_of_allocation() {
+        let a = AllocView::EMPTY.with_vm(&vm(2, 8, 1)); // 2 cores, 8 GiB
+        assert!((a.mc_ratio().gib_per_core() - 4.0).abs() < 1e-12);
+        assert!(AllocView::EMPTY.mc_ratio().gib_per_core().is_infinite());
+    }
+
+    #[test]
+    fn unallocated_shares_against_sim_host() {
+        let cfg = PmConfig::simulation_host(); // 32c / 128 GiB
+        let a = AllocView::new(Millicores::from_cores(8), gib(32));
+        assert!((a.unallocated_cpu_share(&cfg) - 0.75).abs() < 1e-12);
+        assert!((a.unallocated_mem_share(&cfg) - 0.75).abs() < 1e-12);
+        assert!((a.cpu_load_fraction(&cfg) - 0.25).abs() < 1e-12);
+        let h = a.headroom(&cfg);
+        assert_eq!(h.cpu, Millicores::from_cores(24));
+        assert_eq!(h.mem_mib, gib(96));
+    }
+
+    #[test]
+    fn headroom_clamps_at_zero() {
+        let cfg = PmConfig::of(1, 1024);
+        let over = AllocView::new(Millicores::from_cores(2), 2048);
+        let h = over.headroom(&cfg);
+        assert_eq!(h, AllocView::EMPTY);
+        assert_eq!(over.unallocated_cpu_share(&cfg), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_remove_is_identity(
+            vcpus in 1u32..32, mem in 1u64..65_536, level in 1u32..=4,
+            base_cpu in 0u64..100_000, base_mem in 0u64..1_000_000,
+        ) {
+            let v = VmSpec::of(vcpus, mem, OversubLevel::of(level));
+            let base = AllocView::new(Millicores(base_cpu), base_mem);
+            prop_assert_eq!(base.with_vm(&v).without_vm(&v).unwrap(), base);
+        }
+
+        #[test]
+        fn shares_stay_in_unit_interval(
+            cpu in 0u64..200_000, mem in 0u64..10_000_000,
+        ) {
+            let cfg = PmConfig::simulation_host();
+            let a = AllocView::new(Millicores(cpu), mem);
+            let c = a.unallocated_cpu_share(&cfg);
+            let m = a.unallocated_mem_share(&cfg);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared across the model layer.
+
+use thiserror::Error;
+
+/// Errors produced when constructing or combining model-layer values.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum ModelError {
+    /// An oversubscription level outside the supported `1..=64` range.
+    #[error("oversubscription level {0} is outside the supported range 1..=64")]
+    InvalidOversubLevel(u32),
+
+    /// A VM specification with zero vCPUs or zero memory.
+    #[error("VM specification must have at least 1 vCPU and 1 MiB of memory (got {vcpus} vCPU, {mem_mib} MiB)")]
+    EmptyVmSpec {
+        /// Requested vCPU count.
+        vcpus: u32,
+        /// Requested memory in MiB.
+        mem_mib: u64,
+    },
+
+    /// A PM configuration with zero cores or zero memory.
+    #[error("PM configuration must have at least 1 core and 1 MiB of memory (got {cores} cores, {mem_mib} MiB)")]
+    EmptyPmConfig {
+        /// Configured core count.
+        cores: u32,
+        /// Configured memory in MiB.
+        mem_mib: u64,
+    },
+
+    /// Resource arithmetic underflowed (e.g. releasing more than allocated).
+    #[error("resource accounting underflow: tried to release {requested} {what} but only {available} allocated")]
+    Underflow {
+        /// Which dimension underflowed ("millicores" or "MiB").
+        what: &'static str,
+        /// Amount requested to release.
+        requested: u64,
+        /// Amount actually allocated.
+        available: u64,
+    },
+
+    /// A memory oversubscription ratio that is not at least 1.0.
+    #[error("memory oversubscription ratio must be >= 1.0 (got {0})")]
+    InvalidMemRatio(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::InvalidOversubLevel(0);
+        assert!(e.to_string().contains("oversubscription level 0"));
+
+        let e = ModelError::EmptyVmSpec { vcpus: 0, mem_mib: 4 };
+        assert!(e.to_string().contains("0 vCPU"));
+
+        let e = ModelError::Underflow {
+            what: "millicores",
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("release 10 millicores"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # slackvm-model
+//!
+//! Shared domain types for the SlackVM reproduction.
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! speaks: resource vectors ([`Resources`]), oversubscription levels
+//! ([`OversubLevel`]) and policies ([`OversubPolicy`]), virtual-machine
+//! specifications ([`VmSpec`]) and identifiers ([`VmId`]), physical-machine
+//! configurations ([`PmConfig`]), allocation snapshots ([`AllocView`]) and
+//! the *Memory-per-Core* ratio arithmetic ([`MemPerCore`]) at the heart of
+//! the paper's global-scheduler metric (Algorithm 2).
+//!
+//! Everything here is plain data: no I/O, no randomness, no scheduling
+//! policy. CPU quantities that may be fractional (a 1-vCPU VM at 3:1
+//! oversubscription consumes a third of a physical core) are carried in
+//! integer *millicores* to keep accounting exact and hashable.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod error;
+pub mod oversub;
+pub mod parse;
+pub mod pm;
+pub mod ratio;
+pub mod resources;
+pub mod units;
+pub mod vm;
+
+pub use alloc::AllocView;
+pub use error::ModelError;
+pub use oversub::{OversubLevel, OversubPolicy};
+pub use parse::ParseSpecError;
+pub use pm::{PmConfig, PmId};
+pub use ratio::MemPerCore;
+pub use resources::{Millicores, Resources};
+pub use units::{gib, mib, MIB_PER_GIB};
+pub use vm::{VmId, VmSpec};

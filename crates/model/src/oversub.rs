@@ -1,0 +1,227 @@
+//! Oversubscription levels and policies.
+//!
+//! An *oversubscription level* `n:1` means the provider may expose up to
+//! `n` vCPUs per physical core. The paper's experiments use levels 1:1,
+//! 2:1 and 3:1, but the local scheduler supports any level (§VII-A: "Our
+//! local scheduler does not impose a limit on the considered
+//! oversubscription levels").
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::resources::Millicores;
+
+/// A CPU oversubscription level, expressed as the `n` of an `n:1` ratio.
+///
+/// `OversubLevel(1)` is the premium, non-oversubscribed tier. Ordering
+/// follows `n`: a *lower* level is *stricter* (fewer vCPUs may contend for
+/// a core), which drives the vNode pooling rule of paper §V-B.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct OversubLevel(u32);
+
+impl OversubLevel {
+    /// The premium 1:1 level (dedicated resources).
+    pub const PREMIUM: OversubLevel = OversubLevel(1);
+
+    /// Constructs a level, validating the supported range `1..=64`.
+    pub fn new(n: u32) -> Result<Self, ModelError> {
+        if (1..=64).contains(&n) {
+            Ok(OversubLevel(n))
+        } else {
+            Err(ModelError::InvalidOversubLevel(n))
+        }
+    }
+
+    /// Constructs a level, panicking outside `1..=64`. Convenient for
+    /// constants in tests and experiment definitions.
+    pub fn of(n: u32) -> Self {
+        Self::new(n).expect("oversubscription level in 1..=64")
+    }
+
+    /// The `n` of the `n:1` ratio.
+    #[inline]
+    pub const fn ratio(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the non-oversubscribed premium tier.
+    #[inline]
+    pub const fn is_premium(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Whether hosting VMs of level `other` inside a resource pool sized
+    /// for `self` keeps every guarantee intact.
+    ///
+    /// Paper §V-B: a 2:1 VM may coexist with 3:1 VMs *iff* the shared pool
+    /// still complies with the 2:1 ratio — the stricter (lower) level's
+    /// constraint subsumes the looser one.
+    #[inline]
+    pub const fn satisfies(self, other: OversubLevel) -> bool {
+        self.0 <= other.0
+    }
+
+    /// Physical-core consumption of `vcpus` virtual CPUs at this level.
+    #[inline]
+    pub const fn physical_cost(self, vcpus: u32) -> Millicores {
+        Millicores::for_vcpus_at_level(vcpus, self.0)
+    }
+
+    /// Maximum vCPUs a pool of `cores` whole physical cores may expose.
+    #[inline]
+    pub const fn vcpu_capacity(self, cores: u32) -> u32 {
+        self.0 * cores
+    }
+
+    /// Whole physical cores needed to host `vcpus` vCPUs at this level
+    /// (the size of a vNode pinned to whole cores).
+    #[inline]
+    pub const fn cores_needed(self, vcpus: u32) -> u32 {
+        (vcpus as u64).div_ceil(self.0 as u64) as u32
+    }
+}
+
+impl std::fmt::Display for OversubLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:1", self.0)
+    }
+}
+
+/// A cluster- or vNode-wide oversubscription policy.
+///
+/// The paper's core experiments oversubscribe only CPU; §VIII notes that
+/// memory could be oversubscribed to a limited extent (e.g. OpenStack
+/// defaults to 16:1 CPU and 1.5:1 memory). `mem_ratio` captures that
+/// optional knob; `1.0` (the default) disables memory oversubscription.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OversubPolicy {
+    /// CPU oversubscription level (`n:1`).
+    pub cpu: OversubLevel,
+    /// Memory oversubscription ratio (`>= 1.0`; `1.0` = none).
+    pub mem_ratio: f64,
+}
+
+impl OversubPolicy {
+    /// A CPU-only policy at level `n:1` with no memory oversubscription.
+    pub fn cpu_only(level: OversubLevel) -> Self {
+        OversubPolicy { cpu: level, mem_ratio: 1.0 }
+    }
+
+    /// A policy oversubscribing both CPU and memory.
+    pub fn new(level: OversubLevel, mem_ratio: f64) -> Result<Self, ModelError> {
+        if mem_ratio.is_finite() && mem_ratio >= 1.0 {
+            Ok(OversubPolicy { cpu: level, mem_ratio })
+        } else {
+            Err(ModelError::InvalidMemRatio(mem_ratio))
+        }
+    }
+
+    /// Effective memory capacity (MiB) exposed by `physical_mib` of DRAM.
+    pub fn effective_mem_mib(&self, physical_mib: u64) -> u64 {
+        (physical_mib as f64 * self.mem_ratio).floor() as u64
+    }
+}
+
+impl Default for OversubPolicy {
+    fn default() -> Self {
+        OversubPolicy::cpu_only(OversubLevel::PREMIUM)
+    }
+}
+
+impl std::fmt::Display for OversubPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if (self.mem_ratio - 1.0).abs() < f64::EPSILON {
+            write!(f, "cpu {}", self.cpu)
+        } else {
+            write!(f, "cpu {} / mem {:.2}:1", self.cpu, self.mem_ratio)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn level_range_is_enforced() {
+        assert!(OversubLevel::new(0).is_err());
+        assert!(OversubLevel::new(65).is_err());
+        assert_eq!(OversubLevel::new(1).unwrap(), OversubLevel::PREMIUM);
+        assert_eq!(OversubLevel::new(64).unwrap().ratio(), 64);
+    }
+
+    #[test]
+    fn premium_is_strictest() {
+        let one = OversubLevel::of(1);
+        let two = OversubLevel::of(2);
+        let three = OversubLevel::of(3);
+        assert!(one.satisfies(one));
+        assert!(one.satisfies(three));
+        assert!(two.satisfies(three));
+        assert!(!three.satisfies(two));
+        assert!(one.is_premium());
+        assert!(!two.is_premium());
+    }
+
+    #[test]
+    fn cores_needed_matches_paper_examples() {
+        // 74 VMs of ~2.25 vCPUs at 3:1 need about a third of the vCPUs in cores.
+        let l3 = OversubLevel::of(3);
+        assert_eq!(l3.cores_needed(0), 0);
+        assert_eq!(l3.cores_needed(1), 1);
+        assert_eq!(l3.cores_needed(3), 1);
+        assert_eq!(l3.cores_needed(4), 2);
+        assert_eq!(l3.vcpu_capacity(2), 6);
+    }
+
+    #[test]
+    fn mem_policy_validation() {
+        assert!(OversubPolicy::new(OversubLevel::of(2), 0.5).is_err());
+        assert!(OversubPolicy::new(OversubLevel::of(2), f64::NAN).is_err());
+        let p = OversubPolicy::new(OversubLevel::of(16), 1.5).unwrap();
+        assert_eq!(p.effective_mem_mib(1000), 1500);
+        assert_eq!(OversubPolicy::default().effective_mem_mib(1000), 1000);
+    }
+
+    #[test]
+    fn display_is_ratio_style() {
+        assert_eq!(OversubLevel::of(3).to_string(), "3:1");
+        assert_eq!(
+            OversubPolicy::cpu_only(OversubLevel::of(2)).to_string(),
+            "cpu 2:1"
+        );
+        assert_eq!(
+            OversubPolicy::new(OversubLevel::of(16), 1.5).unwrap().to_string(),
+            "cpu 16:1 / mem 1.50:1"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn satisfies_is_a_total_preorder(a in 1u32..=64, b in 1u32..=64, c in 1u32..=64) {
+            let (la, lb, lc) = (OversubLevel::of(a), OversubLevel::of(b), OversubLevel::of(c));
+            // reflexive
+            prop_assert!(la.satisfies(la));
+            // transitive
+            if la.satisfies(lb) && lb.satisfies(lc) {
+                prop_assert!(la.satisfies(lc));
+            }
+            // total
+            prop_assert!(la.satisfies(lb) || lb.satisfies(la));
+        }
+
+        #[test]
+        fn cores_needed_inverts_capacity(n in 1u32..=64, cores in 0u32..256) {
+            let level = OversubLevel::of(n);
+            let vcpus = level.vcpu_capacity(cores);
+            prop_assert_eq!(level.cores_needed(vcpus), cores);
+            if cores > 0 {
+                prop_assert_eq!(level.cores_needed(vcpus + 1), cores + 1);
+            }
+        }
+    }
+}

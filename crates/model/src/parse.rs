@@ -1,0 +1,149 @@
+//! Compact VM-spec strings: `"4c8g"`, `"2c512m@3"`, `"1c4g@2:1"`.
+//!
+//! The grammar providers and CLIs use to name a shape:
+//! `<vcpus>c<memory><unit>[@<level>[:1]]` with units `m` (MiB) and `g`
+//! (GiB); the level defaults to 1:1.
+
+use std::str::FromStr;
+
+use crate::error::ModelError;
+use crate::oversub::OversubLevel;
+use crate::vm::VmSpec;
+
+/// Errors raised while parsing a spec string.
+#[derive(Debug, thiserror::Error, Clone, PartialEq)]
+pub enum ParseSpecError {
+    /// The string does not match the grammar at all.
+    #[error("cannot parse {0:?} (expected e.g. \"4c8g\" or \"2c512m@3\")")]
+    Malformed(String),
+
+    /// A numeric component failed to parse.
+    #[error("invalid number {0:?} in VM spec")]
+    BadNumber(String),
+
+    /// An unknown memory unit.
+    #[error("unknown memory unit {0:?} (use m for MiB, g for GiB)")]
+    BadUnit(char),
+
+    /// The parsed components violate model constraints.
+    #[error(transparent)]
+    Model(#[from] ModelError),
+}
+
+/// ```
+/// use slackvm_model::{gib, OversubLevel, VmSpec};
+/// let spec: VmSpec = "2c4g@3".parse().unwrap();
+/// assert_eq!(spec, VmSpec::of(2, gib(4), OversubLevel::of(3)));
+/// ```
+impl FromStr for VmSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (shape, level) = match s.split_once('@') {
+            None => (s, OversubLevel::PREMIUM),
+            Some((shape, level_raw)) => {
+                let n_raw = level_raw.strip_suffix(":1").unwrap_or(level_raw);
+                let n: u32 = n_raw
+                    .parse()
+                    .map_err(|_| ParseSpecError::BadNumber(level_raw.to_string()))?;
+                (shape, OversubLevel::new(n)?)
+            }
+        };
+        let (vcpus_raw, mem_raw) = shape
+            .split_once(['c', 'C'])
+            .ok_or_else(|| ParseSpecError::Malformed(s.to_string()))?;
+        let vcpus: u32 = vcpus_raw
+            .trim()
+            .parse()
+            .map_err(|_| ParseSpecError::BadNumber(vcpus_raw.to_string()))?;
+        let mem_raw = mem_raw.trim();
+        if mem_raw.is_empty() {
+            return Err(ParseSpecError::Malformed(s.to_string()));
+        }
+        let unit = mem_raw
+            .chars()
+            .next_back()
+            .expect("non-empty checked above");
+        let amount_raw = &mem_raw[..mem_raw.len() - unit.len_utf8()];
+        let amount: u64 = amount_raw
+            .trim()
+            .parse()
+            .map_err(|_| ParseSpecError::BadNumber(amount_raw.to_string()))?;
+        let mem_mib = match unit.to_ascii_lowercase() {
+            'm' => amount,
+            'g' => amount * crate::units::MIB_PER_GIB,
+            other => return Err(ParseSpecError::BadUnit(other)),
+        };
+        Ok(VmSpec::new(vcpus, mem_mib, level)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    #[test]
+    fn canonical_forms_parse() {
+        let spec: VmSpec = "4c8g".parse().unwrap();
+        assert_eq!(spec, VmSpec::of(4, gib(8), OversubLevel::PREMIUM));
+        let spec: VmSpec = "2c512m@3".parse().unwrap();
+        assert_eq!(spec, VmSpec::of(2, 512, OversubLevel::of(3)));
+        let spec: VmSpec = "1c4g@2:1".parse().unwrap();
+        assert_eq!(spec, VmSpec::of(1, gib(4), OversubLevel::of(2)));
+    }
+
+    #[test]
+    fn whitespace_and_case_are_tolerated() {
+        let spec: VmSpec = " 8C16G ".parse().unwrap();
+        assert_eq!(spec, VmSpec::of(8, gib(16), OversubLevel::PREMIUM));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            "4x8g".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::Malformed(_)
+        ));
+        assert!(matches!(
+            "ac8g".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::BadNumber(_)
+        ));
+        assert!(matches!(
+            "4c8t".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::BadUnit('t')
+        ));
+        assert!(matches!(
+            "4c8g@99".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::Model(ModelError::InvalidOversubLevel(99))
+        ));
+        assert!(matches!(
+            "0c8g".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::Model(ModelError::EmptyVmSpec { .. })
+        ));
+        assert!(matches!(
+            "4c".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::Malformed(_)
+        ));
+        assert!(matches!(
+            "4cg".parse::<VmSpec>().unwrap_err(),
+            ParseSpecError::BadNumber(_)
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip_equivalence() {
+        // Display is "<v>vCPU/<g>GiB @ n:1"; parsing its own compact form
+        // back should produce the same spec.
+        let original = VmSpec::of(2, gib(4), OversubLevel::of(3));
+        let compact = format!(
+            "{}c{}g@{}",
+            original.vcpus(),
+            original.mem_mib() / 1024,
+            original.level.ratio()
+        );
+        let reparsed: VmSpec = compact.parse().unwrap();
+        assert_eq!(original, reparsed);
+    }
+}

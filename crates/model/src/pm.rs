@@ -1,0 +1,113 @@
+//! Physical-machine identifiers and hardware configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ratio::MemPerCore;
+use crate::resources::Millicores;
+
+/// Opaque, stable identifier of a physical machine within a cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PmId(pub u32);
+
+impl std::fmt::Display for PmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pm-{}", self.0)
+    }
+}
+
+/// The hardware configuration of a physical machine.
+///
+/// `cores` counts *schedulable CPUs* — on an SMT machine, hardware threads
+/// (the paper's testbed exposes 256 threads and computes its M/C ratio as
+/// 1000/256 ≈ 4 GB per thread). The topology crate models which of those
+/// CPUs are SMT siblings; at this layer they are interchangeable capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PmConfig {
+    /// Schedulable CPU count (hardware threads).
+    pub cores: u32,
+    /// DRAM capacity in MiB.
+    pub mem_mib: u64,
+}
+
+impl PmConfig {
+    /// Constructs a validated configuration.
+    pub fn new(cores: u32, mem_mib: u64) -> Result<Self, ModelError> {
+        if cores == 0 || mem_mib == 0 {
+            return Err(ModelError::EmptyPmConfig { cores, mem_mib });
+        }
+        Ok(PmConfig { cores, mem_mib })
+    }
+
+    /// Constructs a configuration, panicking on a zero dimension.
+    pub fn of(cores: u32, mem_mib: u64) -> Self {
+        Self::new(cores, mem_mib).expect("non-empty PM config")
+    }
+
+    /// The simulation-scale host of paper §VII-B: 32 cores, 128 GiB
+    /// (M/C ratio of 4 GiB per core).
+    pub fn simulation_host() -> Self {
+        PmConfig::of(32, crate::units::gib(128))
+    }
+
+    /// The physical testbed of paper Table III: 2×AMD EPYC 7662,
+    /// 256 hardware threads, 1 TiB of DRAM (M/C ratio 4).
+    pub fn epyc_7662_dual() -> Self {
+        PmConfig::of(256, crate::units::gib(1024))
+    }
+
+    /// Total CPU capacity in millicores.
+    #[inline]
+    pub const fn cpu_capacity(&self) -> Millicores {
+        Millicores::from_cores(self.cores)
+    }
+
+    /// The hardware's fixed *target* Memory-per-Core ratio (paper §III-B):
+    /// the M/C ratio hosted VMs should collectively approximate for the
+    /// machine's resources to deplete evenly.
+    pub fn target_ratio(&self) -> MemPerCore {
+        MemPerCore::from_mib_per_core(self.mem_mib, self.cores as f64)
+    }
+}
+
+impl std::fmt::Display for PmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}c/{:.0}GiB (M/C {:.1})",
+            self.cores,
+            crate::units::mib_to_gib_f64(self.mem_mib),
+            self.target_ratio().gib_per_core()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    #[test]
+    fn rejects_empty_dimensions() {
+        assert!(PmConfig::new(0, 1).is_err());
+        assert!(PmConfig::new(1, 0).is_err());
+        assert!(PmConfig::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn paper_hosts_have_target_ratio_four() {
+        assert_eq!(PmConfig::simulation_host().target_ratio().gib_per_core(), 4.0);
+        assert_eq!(PmConfig::epyc_7662_dual().target_ratio().gib_per_core(), 4.0);
+    }
+
+    #[test]
+    fn capacity_and_display() {
+        let pm = PmConfig::of(32, gib(128));
+        assert_eq!(pm.cpu_capacity(), Millicores::from_cores(32));
+        assert_eq!(pm.to_string(), "32c/128GiB (M/C 4.0)");
+        assert_eq!(PmId(3).to_string(), "pm-3");
+    }
+}

@@ -1,0 +1,168 @@
+//! Memory-per-Core ratio arithmetic.
+//!
+//! The paper's central observable (§III): comparing the M/C ratio of a
+//! PM's *hardware* with the M/C ratio of the VMs *allocated* on it tells
+//! which resource will strand. Workload ratio above hardware ratio ⇒
+//! memory saturates first, CPU strands; below ⇒ the converse.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::MIB_PER_GIB;
+
+/// A Memory-per-Core ratio in GiB per physical core.
+///
+/// Wrapped to keep GiB-per-core semantics explicit at API boundaries and
+/// to centralize the comparison logic used by the global scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MemPerCore(f64);
+
+impl MemPerCore {
+    /// Constructs a ratio from a GiB-per-core value.
+    #[inline]
+    pub fn from_gib_per_core(ratio: f64) -> Self {
+        MemPerCore(ratio)
+    }
+
+    /// Computes `mem_mib / cores`, expressed in GiB per core.
+    ///
+    /// `cores` is an `f64` so callers can pass fractional (millicore-derived)
+    /// core counts. Zero or negative `cores` yields an infinite ratio, which
+    /// correctly compares as "maximally memory-heavy".
+    pub fn from_mib_per_core(mem_mib: u64, cores: f64) -> Self {
+        if cores <= 0.0 {
+            MemPerCore(f64::INFINITY)
+        } else {
+            MemPerCore(mem_mib as f64 / MIB_PER_GIB as f64 / cores)
+        }
+    }
+
+    /// The ratio as GiB per core.
+    #[inline]
+    pub fn gib_per_core(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute distance to another ratio (the `Δ` of Algorithm 2).
+    #[inline]
+    pub fn distance(self, other: MemPerCore) -> f64 {
+        (self.0 - other.0).abs()
+    }
+
+    /// The bias of a workload ratio relative to a hardware target ratio
+    /// (paper §III-B's "identifying the limiting factor").
+    pub fn bias_against(self, target: MemPerCore) -> ResourceBias {
+        // Within 3% of the target we call it balanced, mirroring the
+        // paper's "2:1 is balanced (3.9 ≈ 4)" reading for OVHcloud.
+        let rel = (self.0 - target.0) / target.0;
+        if rel > 0.03 {
+            ResourceBias::MemoryBound
+        } else if rel < -0.03 {
+            ResourceBias::CpuBound
+        } else {
+            ResourceBias::Balanced
+        }
+    }
+}
+
+impl std::fmt::Display for MemPerCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} GiB/core", self.0)
+    }
+}
+
+/// Which physical resource a workload saturates first on given hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceBias {
+    /// CPU saturates first; memory strands (workload M/C below hardware M/C).
+    CpuBound,
+    /// Resources deplete roughly together.
+    Balanced,
+    /// Memory saturates first; CPU strands (workload M/C above hardware M/C).
+    MemoryBound,
+}
+
+impl std::fmt::Display for ResourceBias {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResourceBias::CpuBound => "CPU-bound",
+            ResourceBias::Balanced => "balanced",
+            ResourceBias::MemoryBound => "memory-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_mib_per_core_basic() {
+        let r = MemPerCore::from_mib_per_core(gib(128), 32.0);
+        assert_eq!(r.gib_per_core(), 4.0);
+        assert!(MemPerCore::from_mib_per_core(gib(1), 0.0)
+            .gib_per_core()
+            .is_infinite());
+    }
+
+    #[test]
+    fn paper_section3_biases_reproduce() {
+        // Paper §III-B, PM target ratio 4 GiB/core, Azure dataset:
+        // 1:1 at 2.1 -> highly CPU-bound; 2:1 at 3.0 -> CPU-bound;
+        // 3:1 at 4.5 -> memory-bound. OVH 2:1 at 3.9 -> balanced.
+        let target = MemPerCore::from_gib_per_core(4.0);
+        let bias = |v: f64| MemPerCore::from_gib_per_core(v).bias_against(target);
+        assert_eq!(bias(2.1), ResourceBias::CpuBound);
+        assert_eq!(bias(3.0), ResourceBias::CpuBound);
+        assert_eq!(bias(4.5), ResourceBias::MemoryBound);
+        assert_eq!(bias(3.9), ResourceBias::Balanced);
+        assert_eq!(bias(5.8), ResourceBias::MemoryBound);
+        assert_eq!(bias(3.1), ResourceBias::CpuBound);
+    }
+
+    #[test]
+    fn distance_is_symmetric_zero_on_self() {
+        let a = MemPerCore::from_gib_per_core(2.5);
+        let b = MemPerCore::from_gib_per_core(4.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+        assert!((a.distance(b) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            MemPerCore::from_gib_per_core(3.875).to_string(),
+            "3.88 GiB/core"
+        );
+        assert_eq!(ResourceBias::CpuBound.to_string(), "CPU-bound");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_satisfies_triangle_inequality(
+            a in 0.0f64..100.0, b in 0.0f64..100.0, c in 0.0f64..100.0,
+        ) {
+            let (ra, rb, rc) = (
+                MemPerCore::from_gib_per_core(a),
+                MemPerCore::from_gib_per_core(b),
+                MemPerCore::from_gib_per_core(c),
+            );
+            prop_assert!(ra.distance(rc) <= ra.distance(rb) + rb.distance(rc) + 1e-9);
+        }
+
+        #[test]
+        fn bias_is_monotone(v in 0.01f64..100.0, t in 0.01f64..100.0) {
+            let target = MemPerCore::from_gib_per_core(t);
+            let bias = MemPerCore::from_gib_per_core(v).bias_against(target);
+            if v > t * 1.03 + 1e-12 {
+                prop_assert_eq!(bias, ResourceBias::MemoryBound);
+            } else if v < t * 0.97 - 1e-12 {
+                prop_assert_eq!(bias, ResourceBias::CpuBound);
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Resource vectors and exact fractional-core accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Number of millicores per physical core (fixed-point CPU unit).
+pub const MC_PER_CORE: u64 = 1000;
+
+/// An exact, integer-valued CPU quantity in thousandths of a physical core.
+///
+/// Oversubscription makes per-VM physical-CPU consumption fractional: a
+/// 1-vCPU VM on a 3:1 vNode consumes one third of a core. Carrying those
+/// quantities as `f64` would make allocation accounting drift; millicores
+/// keep it exact for every level in `1..=64` that divides 1000 — and for
+/// those that do not (e.g. 3), [`Millicores::for_vcpus_at_level`] rounds
+/// *up*, which errs on the safe (conservative) side of capacity checks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Millicores(pub u64);
+
+impl Millicores {
+    /// Zero millicores.
+    pub const ZERO: Millicores = Millicores(0);
+
+    /// Millicores corresponding to `cores` whole physical cores.
+    #[inline]
+    pub const fn from_cores(cores: u32) -> Self {
+        Millicores(cores as u64 * MC_PER_CORE)
+    }
+
+    /// Physical-core consumption of `vcpus` virtual CPUs at oversubscription
+    /// level `n:1`, rounded up to the nearest millicore.
+    ///
+    /// ```
+    /// use slackvm_model::resources::Millicores;
+    /// assert_eq!(Millicores::for_vcpus_at_level(2, 1).0, 2000);
+    /// assert_eq!(Millicores::for_vcpus_at_level(1, 3).0, 334); // ceil(1000/3)
+    /// assert_eq!(Millicores::for_vcpus_at_level(3, 3).0, 1000);
+    /// ```
+    #[inline]
+    pub const fn for_vcpus_at_level(vcpus: u32, level: u32) -> Self {
+        let raw = vcpus as u64 * MC_PER_CORE;
+        Millicores(raw.div_ceil(level as u64))
+    }
+
+    /// The quantity as a floating-point number of cores (for reporting).
+    #[inline]
+    pub fn as_cores_f64(self) -> f64 {
+        self.0 as f64 / MC_PER_CORE as f64
+    }
+
+    /// Whole cores needed to cover this quantity (rounded up).
+    #[inline]
+    pub const fn ceil_cores(self) -> u32 {
+        (self.0.div_ceil(MC_PER_CORE)) as u32
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, other: Millicores) -> Millicores {
+        Millicores(self.0.saturating_add(other.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, other: Millicores) -> Option<Millicores> {
+        self.0.checked_add(other.0).map(Millicores)
+    }
+
+    /// Checked subtraction, as a [`ModelError::Underflow`] on failure.
+    #[inline]
+    pub fn checked_sub(self, other: Millicores) -> Result<Millicores, ModelError> {
+        self.0
+            .checked_sub(other.0)
+            .map(Millicores)
+            .ok_or(ModelError::Underflow {
+                what: "millicores",
+                requested: other.0,
+                available: self.0,
+            })
+    }
+
+    /// True when the quantity is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for Millicores {
+    type Output = Millicores;
+    #[inline]
+    fn add(self, rhs: Millicores) -> Millicores {
+        Millicores(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Millicores {
+    #[inline]
+    fn add_assign(&mut self, rhs: Millicores) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Millicores {
+    type Output = Millicores;
+    #[inline]
+    fn sub(self, rhs: Millicores) -> Millicores {
+        Millicores(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::SubAssign for Millicores {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Millicores) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::iter::Sum for Millicores {
+    fn sum<I: Iterator<Item = Millicores>>(iter: I) -> Millicores {
+        iter.fold(Millicores::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Millicores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}c", self.as_cores_f64())
+    }
+}
+
+/// A two-dimensional resource request or capacity: virtual CPUs and memory.
+///
+/// This is the unit of *request* (what a tenant asks for); physical
+/// consumption after oversubscription is derived via
+/// [`Millicores::for_vcpus_at_level`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Resources {
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Memory in MiB.
+    pub mem_mib: u64,
+}
+
+impl Resources {
+    /// Zero resources.
+    pub const ZERO: Resources = Resources { vcpus: 0, mem_mib: 0 };
+
+    /// Constructs a resource vector.
+    #[inline]
+    pub const fn new(vcpus: u32, mem_mib: u64) -> Self {
+        Resources { vcpus, mem_mib }
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub const fn plus(self, other: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus + other.vcpus,
+            mem_mib: self.mem_mib + other.mem_mib,
+        }
+    }
+
+    /// Component-wise checked subtraction.
+    pub fn minus(self, other: Resources) -> Result<Resources, ModelError> {
+        let vcpus = self
+            .vcpus
+            .checked_sub(other.vcpus)
+            .ok_or(ModelError::Underflow {
+                what: "millicores",
+                requested: other.vcpus as u64,
+                available: self.vcpus as u64,
+            })?;
+        let mem_mib = self
+            .mem_mib
+            .checked_sub(other.mem_mib)
+            .ok_or(ModelError::Underflow {
+                what: "MiB",
+                requested: other.mem_mib,
+                available: self.mem_mib,
+            })?;
+        Ok(Resources { vcpus, mem_mib })
+    }
+
+    /// True when both dimensions fit inside `capacity`.
+    #[inline]
+    pub const fn fits_within(self, capacity: Resources) -> bool {
+        self.vcpus <= capacity.vcpus && self.mem_mib <= capacity.mem_mib
+    }
+
+    /// True when both dimensions are zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.vcpus == 0 && self.mem_mib == 0
+    }
+}
+
+impl std::ops::Add for Resources {
+    type Output = Resources;
+    #[inline]
+    fn add(self, rhs: Resources) -> Resources {
+        self.plus(rhs)
+    }
+}
+
+impl std::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Resources::plus)
+    }
+}
+
+impl std::fmt::Display for Resources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}vCPU/{:.1}GiB",
+            self.vcpus,
+            crate::units::mib_to_gib_f64(self.mem_mib)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn millicores_level_one_is_exact() {
+        for v in 0..32 {
+            assert_eq!(
+                Millicores::for_vcpus_at_level(v, 1),
+                Millicores::from_cores(v)
+            );
+        }
+    }
+
+    #[test]
+    fn millicores_rounds_up_for_level_three() {
+        assert_eq!(Millicores::for_vcpus_at_level(1, 3).0, 334);
+        assert_eq!(Millicores::for_vcpus_at_level(2, 3).0, 667);
+        assert_eq!(Millicores::for_vcpus_at_level(3, 3).0, 1000);
+        assert_eq!(Millicores::for_vcpus_at_level(4, 3).0, 1334);
+    }
+
+    #[test]
+    fn ceil_cores_rounds_up() {
+        assert_eq!(Millicores(0).ceil_cores(), 0);
+        assert_eq!(Millicores(1).ceil_cores(), 1);
+        assert_eq!(Millicores(1000).ceil_cores(), 1);
+        assert_eq!(Millicores(1001).ceil_cores(), 2);
+    }
+
+    #[test]
+    fn checked_sub_reports_underflow() {
+        let err = Millicores(5).checked_sub(Millicores(6)).unwrap_err();
+        assert!(matches!(err, ModelError::Underflow { .. }));
+        assert_eq!(
+            Millicores(6).checked_sub(Millicores(6)).unwrap(),
+            Millicores::ZERO
+        );
+    }
+
+    #[test]
+    fn resources_fits_within_is_componentwise() {
+        let cap = Resources::new(4, 8192);
+        assert!(Resources::new(4, 8192).fits_within(cap));
+        assert!(Resources::new(0, 0).fits_within(cap));
+        assert!(!Resources::new(5, 1).fits_within(cap));
+        assert!(!Resources::new(1, 8193).fits_within(cap));
+    }
+
+    #[test]
+    fn resources_minus_detects_both_underflows() {
+        let a = Resources::new(2, 100);
+        assert!(a.minus(Resources::new(3, 0)).is_err());
+        assert!(a.minus(Resources::new(0, 101)).is_err());
+        assert_eq!(a.minus(a).unwrap(), Resources::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Resources::new(2, 4096).to_string(), "2vCPU/4.0GiB");
+        assert_eq!(Millicores(1500).to_string(), "1.500c");
+    }
+
+    proptest! {
+        #[test]
+        fn vcpu_cost_never_exceeds_unoversubscribed(vcpus in 0u32..512, level in 1u32..=64) {
+            let at_level = Millicores::for_vcpus_at_level(vcpus, level);
+            let at_one = Millicores::for_vcpus_at_level(vcpus, 1);
+            prop_assert!(at_level <= at_one);
+        }
+
+        #[test]
+        fn vcpu_cost_is_monotone_in_vcpus(vcpus in 0u32..512, level in 1u32..=64) {
+            let lo = Millicores::for_vcpus_at_level(vcpus, level);
+            let hi = Millicores::for_vcpus_at_level(vcpus + 1, level);
+            prop_assert!(hi >= lo);
+        }
+
+        #[test]
+        fn vcpu_cost_is_antitone_in_level(vcpus in 0u32..512, level in 1u32..64) {
+            let coarse = Millicores::for_vcpus_at_level(vcpus, level);
+            let fine = Millicores::for_vcpus_at_level(vcpus, level + 1);
+            prop_assert!(fine <= coarse);
+        }
+
+        #[test]
+        fn full_level_packs_exactly(level in 1u32..=64, cores in 1u32..64) {
+            // n*cores vCPUs at n:1 fill exactly `cores` cores.
+            let mc = Millicores::for_vcpus_at_level(level * cores, level);
+            prop_assert_eq!(mc, Millicores::from_cores(cores));
+        }
+
+        #[test]
+        fn add_sub_roundtrip(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            let sum = Millicores(a) + Millicores(b);
+            prop_assert_eq!(sum.checked_sub(Millicores(b)).unwrap(), Millicores(a));
+        }
+    }
+}

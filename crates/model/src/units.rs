@@ -1,0 +1,60 @@
+//! Memory-unit helpers.
+//!
+//! All memory quantities in the workspace are carried as **MiB** in `u64`.
+//! The paper quotes capacities in GB; at the granularity the experiments
+//! care about (whole-GiB VM flavors, 128 GiB hosts) the GiB/GB distinction
+//! is immaterial, so we use binary units throughout and treat the paper's
+//! "GB" as GiB.
+
+/// Number of MiB in one GiB.
+pub const MIB_PER_GIB: u64 = 1024;
+
+/// Converts a GiB amount into MiB.
+///
+/// ```
+/// assert_eq!(slackvm_model::gib(4), 4096);
+/// ```
+#[inline]
+pub const fn gib(amount: u64) -> u64 {
+    amount * MIB_PER_GIB
+}
+
+/// Identity helper for MiB amounts, for call-site symmetry with [`gib`].
+///
+/// ```
+/// assert_eq!(slackvm_model::mib(512), 512);
+/// ```
+#[inline]
+pub const fn mib(amount: u64) -> u64 {
+    amount
+}
+
+/// Converts MiB to (possibly fractional) GiB for reporting.
+#[inline]
+pub fn mib_to_gib_f64(amount_mib: u64) -> f64 {
+    amount_mib as f64 / MIB_PER_GIB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gib_scales_by_1024() {
+        assert_eq!(gib(0), 0);
+        assert_eq!(gib(1), 1024);
+        assert_eq!(gib(128), 131_072);
+    }
+
+    #[test]
+    fn mib_is_identity() {
+        assert_eq!(mib(0), 0);
+        assert_eq!(mib(123), 123);
+    }
+
+    #[test]
+    fn mib_to_gib_roundtrips_whole_gib() {
+        assert_eq!(mib_to_gib_f64(gib(7)), 7.0);
+        assert_eq!(mib_to_gib_f64(512), 0.5);
+    }
+}

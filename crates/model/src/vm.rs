@@ -1,0 +1,140 @@
+//! Virtual-machine identifiers and specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::oversub::OversubLevel;
+use crate::resources::{Millicores, Resources};
+
+/// Opaque, stable identifier of a VM within a workload or cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VmId(pub u64);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// What a tenant requested: a resource vector plus the oversubscription
+/// tier the VM was purchased at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Requested virtual resources.
+    pub request: Resources,
+    /// Purchased oversubscription level.
+    pub level: OversubLevel,
+}
+
+impl VmSpec {
+    /// Constructs a validated specification.
+    pub fn new(vcpus: u32, mem_mib: u64, level: OversubLevel) -> Result<Self, ModelError> {
+        if vcpus == 0 || mem_mib == 0 {
+            return Err(ModelError::EmptyVmSpec { vcpus, mem_mib });
+        }
+        Ok(VmSpec {
+            request: Resources::new(vcpus, mem_mib),
+            level,
+        })
+    }
+
+    /// Constructs a specification, panicking on a zero dimension.
+    pub fn of(vcpus: u32, mem_mib: u64, level: OversubLevel) -> Self {
+        Self::new(vcpus, mem_mib, level).expect("non-empty VM spec")
+    }
+
+    /// Requested vCPU count.
+    #[inline]
+    pub const fn vcpus(&self) -> u32 {
+        self.request.vcpus
+    }
+
+    /// Requested memory in MiB.
+    #[inline]
+    pub const fn mem_mib(&self) -> u64 {
+        self.request.mem_mib
+    }
+
+    /// Physical-core consumption after oversubscription.
+    #[inline]
+    pub const fn physical_cpu(&self) -> Millicores {
+        self.level.physical_cost(self.request.vcpus)
+    }
+
+    /// Memory-per-core ratio of the *provisioned* (physical) resources, in
+    /// GiB per core — the per-VM contribution to the workload M/C ratio of
+    /// paper §III.
+    pub fn provisioned_mc_ratio(&self) -> f64 {
+        let cores = self.physical_cpu().as_cores_f64();
+        crate::units::mib_to_gib_f64(self.request.mem_mib) / cores
+    }
+}
+
+impl std::fmt::Display for VmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {}", self.request, self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_empty_dimensions() {
+        let l = OversubLevel::PREMIUM;
+        assert!(VmSpec::new(0, 1024, l).is_err());
+        assert!(VmSpec::new(1, 0, l).is_err());
+        assert!(VmSpec::new(1, 1, l).is_ok());
+    }
+
+    #[test]
+    fn physical_cpu_shrinks_with_level() {
+        let v1 = VmSpec::of(2, gib(4), OversubLevel::of(1));
+        let v2 = VmSpec::of(2, gib(4), OversubLevel::of(2));
+        assert_eq!(v1.physical_cpu(), Millicores::from_cores(2));
+        assert_eq!(v2.physical_cpu(), Millicores::from_cores(1));
+    }
+
+    #[test]
+    fn provisioned_mc_ratio_matches_paper_intuition() {
+        // A 2 vCPU / 4 GiB VM: M/C = 2.0 at 1:1, 4.0 at 2:1, ~6.0 at 3:1.
+        let mk = |n| VmSpec::of(2, gib(4), OversubLevel::of(n)).provisioned_mc_ratio();
+        assert!((mk(1) - 2.0).abs() < 1e-9);
+        assert!((mk(2) - 4.0).abs() < 1e-9);
+        assert!((mk(3) - 6.0).abs() < 0.02); // millicore ceil introduces <1% skew
+    }
+
+    #[test]
+    fn vmid_display() {
+        assert_eq!(VmId(42).to_string(), "vm-42");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = VmSpec::of(4, gib(8), OversubLevel::of(3));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: VmSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    proptest! {
+        #[test]
+        fn mc_ratio_scales_linearly_with_level(
+            vcpus in 1u32..64,
+            mem in 1u64..1_048_576,
+            n in 1u32..=8,
+        ) {
+            // Only exact when level divides vcpus*1000; use n dividing 1000.
+            prop_assume!(1000 % n == 0);
+            let base = VmSpec::of(vcpus, mem, OversubLevel::of(1)).provisioned_mc_ratio();
+            let lev = VmSpec::of(vcpus, mem, OversubLevel::of(n)).provisioned_mc_ratio();
+            prop_assert!((lev - base * n as f64).abs() < 1e-6 * base.max(1.0) * n as f64);
+        }
+    }
+}

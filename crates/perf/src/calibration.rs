@@ -1,0 +1,164 @@
+//! Calibration of the contention model against published latencies.
+//!
+//! The reproduction deliberately avoids curve-fitting its *headline*
+//! claims — the Fig. 2 shape is mechanism-driven. But when a user wants
+//! the absolute numbers to track a testbed (the paper's, or their own),
+//! this module fits the two free constants — the base latency and the
+//! convex-pressure coefficient — to a set of target medians by grid
+//! search over the deterministic scenario replay.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ContentionModel;
+use crate::scenario::Fig2Scenario;
+
+/// Targets to calibrate against: per-level `(baseline_ms, slackvm_ms)`
+/// medians, ordered by level ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationTargets {
+    /// `(baseline_ms, slackvm_ms)` per level, ascending.
+    pub medians: Vec<(f64, f64)>,
+}
+
+impl CalibrationTargets {
+    /// The paper's Table IV.
+    pub fn paper_table4() -> Self {
+        CalibrationTargets {
+            medians: vec![(1.16, 1.27), (1.46, 1.65), (3.47, 7.67)],
+        }
+    }
+}
+
+/// The fitted parameters and their residual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationResult {
+    /// Fitted base (uncontended) latency, ms.
+    pub base_latency_ms: f64,
+    /// Fitted convex-pressure coefficient.
+    pub pressure_coeff: f64,
+    /// Sum of squared relative errors over all target cells.
+    pub residual: f64,
+    /// The scenario's medians under the fitted parameters.
+    pub fitted_medians: Vec<(f64, f64)>,
+}
+
+/// Relative sum-of-squares distance between a scenario outcome and the
+/// targets.
+fn residual_of(scenario: &Fig2Scenario, targets: &CalibrationTargets) -> (f64, Vec<(f64, f64)>) {
+    let outcome = scenario.run();
+    let mut residual = 0.0;
+    let mut fitted = Vec::new();
+    for (row, (tb, ts)) in outcome.levels.iter().zip(&targets.medians) {
+        let eb = (row.baseline_ms - tb) / tb;
+        let es = (row.slackvm_ms - ts) / ts;
+        residual += eb * eb + es * es;
+        fitted.push((row.baseline_ms, row.slackvm_ms));
+    }
+    (residual, fitted)
+}
+
+/// Grid-searches explicit candidate values for `base_latency_ms` and
+/// `pressure_coeff`, minimizing the relative error against `targets`.
+/// Panics on empty candidate lists.
+pub fn calibrate_grid(
+    targets: &CalibrationTargets,
+    step_secs: u64,
+    bases: &[f64],
+    coeffs: &[f64],
+) -> CalibrationResult {
+    assert!(
+        !bases.is_empty() && !coeffs.is_empty(),
+        "calibration grids must be non-empty"
+    );
+    let mut best: Option<CalibrationResult> = None;
+    for &base in bases {
+        for &coeff in coeffs {
+            let scenario = Fig2Scenario {
+                base_latency_ms: base,
+                step_secs,
+                model: ContentionModel {
+                    pressure_coeff: coeff,
+                    ..ContentionModel::default()
+                },
+                ..Fig2Scenario::default()
+            };
+            let (residual, fitted) = residual_of(&scenario, targets);
+            if best.as_ref().is_none_or(|b| residual < b.residual) {
+                best = Some(CalibrationResult {
+                    base_latency_ms: base,
+                    pressure_coeff: coeff,
+                    residual,
+                    fitted_medians: fitted,
+                });
+            }
+        }
+    }
+    best.expect("grid is non-empty")
+}
+
+/// Full-resolution search: base in `[0.5, 2.0] ms` (0.1 steps),
+/// coefficient in `[0.4, 3.2]` (0.2 steps). The replay is deterministic,
+/// so the coarse grid is stable; `step_secs` trades fidelity for speed.
+pub fn calibrate(targets: &CalibrationTargets, step_secs: u64) -> CalibrationResult {
+    let bases: Vec<f64> = (0..=15).map(|i| 0.5 + 0.1 * i as f64).collect();
+    let coeffs: Vec<f64> = (0..=14).map(|i| 0.4 + 0.2 * i as f64).collect();
+    calibrate_grid(targets, step_secs, &bases, &coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_against_the_paper_beats_the_default() {
+        let targets = CalibrationTargets::paper_table4();
+        // Residual of the shipped defaults.
+        let (default_residual, _) = residual_of(
+            &Fig2Scenario {
+                step_secs: 2400,
+                ..Fig2Scenario::default()
+            },
+            &targets,
+        );
+        // A small grid around the defaults keeps the test fast; the full
+        // grid (`calibrate`) is exercised by the bench harness.
+        let fit = calibrate_grid(
+            &targets,
+            2400,
+            &[1.0, 1.16, 1.4],
+            &[0.8, 1.2, 2.0],
+        );
+        assert!(
+            fit.residual <= default_residual + 1e-9,
+            "fit {:.4} vs default {:.4}",
+            fit.residual,
+            default_residual
+        );
+        // The fitted base stays in a physically sensible band around the
+        // paper's uncontended 1.16 ms.
+        assert!(
+            (0.5..=2.0).contains(&fit.base_latency_ms),
+            "base {}",
+            fit.base_latency_ms
+        );
+        // And the fitted medians keep the qualitative shape.
+        assert!(fit.fitted_medians[0].0 <= fit.fitted_medians[2].0);
+        assert!(fit.fitted_medians[2].1 > fit.fitted_medians[2].0);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let targets = CalibrationTargets::paper_table4();
+        let grid_b = [1.0, 1.2];
+        let grid_c = [1.2, 2.0];
+        let a = calibrate_grid(&targets, 4800, &grid_b, &grid_c);
+        let b = calibrate_grid(&targets, 4800, &grid_b, &grid_c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grids_are_rejected() {
+        calibrate_grid(&CalibrationTargets::paper_table4(), 4800, &[], &[1.0]);
+    }
+}

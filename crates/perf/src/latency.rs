@@ -1,0 +1,119 @@
+//! Response-time sampling for interactive VMs.
+
+use slackvm_model::VmId;
+
+use crate::percentile::Percentiles;
+
+/// Collects per-VM latency samples and summarizes them.
+#[derive(Debug, Default)]
+pub struct LatencyCollector {
+    samples: std::collections::BTreeMap<VmId, Vec<f64>>,
+}
+
+impl LatencyCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response-time sample for a VM.
+    pub fn record(&mut self, vm: VmId, latency_ms: f64) {
+        self.samples.entry(vm).or_default().push(latency_ms);
+    }
+
+    /// Number of VMs with at least one sample.
+    pub fn num_vms(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Per-VM p90s, in VM-id order.
+    pub fn per_vm_p90(&self) -> Vec<(VmId, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|(id, s)| Percentiles::of(s).map(|p| (*id, p.p90)))
+            .collect()
+    }
+
+    /// The paper's headline statistic: the *median across VMs of each
+    /// VM's p90 response time* (Table IV).
+    pub fn median_of_p90s(&self) -> Option<f64> {
+        let mut p90s: Vec<f64> = self.per_vm_p90().into_iter().map(|(_, p)| p).collect();
+        if p90s.is_empty() {
+            return None;
+        }
+        p90s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(p90s[(p90s.len() - 1) / 2])
+    }
+
+    /// Distribution of per-VM p90s (Figure 2's box-plot input).
+    pub fn p90_distribution(&self) -> Option<Percentiles> {
+        let p90s: Vec<f64> = self.per_vm_p90().into_iter().map(|(_, p)| p).collect();
+        Percentiles::of(&p90s)
+    }
+}
+
+/// A deterministic jitter in `[-1, 1]` for latency sampling, decorrelated
+/// from the demand jitter by a different mixing constant.
+pub fn latency_jitter(seed: u64, t_secs: u64) -> f64 {
+    let mut z = seed ^ t_secs.wrapping_mul(0xA24B_AED4_963E_E407);
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^= z >> 33;
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_p90s_is_the_middle_vm() {
+        let mut c = LatencyCollector::new();
+        // VM 0: constant 1ms; VM 1: constant 2ms; VM 2: constant 3ms.
+        for (id, l) in [(0u64, 1.0), (1, 2.0), (2, 3.0)] {
+            for _ in 0..100 {
+                c.record(VmId(id), l);
+            }
+        }
+        assert_eq!(c.num_vms(), 3);
+        assert_eq!(c.median_of_p90s(), Some(2.0));
+        let dist = c.p90_distribution().unwrap();
+        assert_eq!(dist.count, 3);
+        assert_eq!(dist.max, 3.0);
+    }
+
+    #[test]
+    fn p90_catches_the_tail() {
+        let mut c = LatencyCollector::new();
+        // 95 fast samples, 5 slow: p90 sits in the fast bulk; p99 the tail.
+        for i in 0..100 {
+            c.record(VmId(0), if i < 95 { 1.0 } else { 10.0 });
+        }
+        let (_, p90) = c.per_vm_p90()[0];
+        assert_eq!(p90, 1.0);
+        // 85 fast, 15 slow: p90 lands in the tail.
+        let mut c2 = LatencyCollector::new();
+        for i in 0..100 {
+            c2.record(VmId(0), if i < 85 { 1.0 } else { 10.0 });
+        }
+        assert_eq!(c2.per_vm_p90()[0].1, 10.0);
+    }
+
+    #[test]
+    fn empty_collector_yields_none() {
+        let c = LatencyCollector::new();
+        assert_eq!(c.median_of_p90s(), None);
+        assert!(c.p90_distribution().is_none());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let a = latency_jitter(42, 100);
+        assert_eq!(a, latency_jitter(42, 100));
+        assert_ne!(a, latency_jitter(42, 101));
+        for t in 0..1000 {
+            let j = latency_jitter(7, t);
+            assert!((-1.0..=1.0).contains(&j));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # slackvm-perf
+//!
+//! The contention and response-time model behind the paper's physical
+//! experiment (§VII-A, Table IV and Figure 2).
+//!
+//! The paper measures DeathStarBench p90 response times on a dual-EPYC
+//! host under three deployments of VMs at 1:1, 2:1 and 3:1
+//! oversubscription, either on dedicated machines (baseline) or co-hosted
+//! in SlackVM vNodes. We replace the testbed with a mechanism-faithful
+//! simulation:
+//!
+//! - every VM carries a stochastic CPU-demand process (idle / bursty
+//!   benchmark / correlated-diurnal interactive, the paper's 10/60/30
+//!   mix);
+//! - a *span* (whole machine for the baseline, vNode execution span for
+//!   SlackVM) supplies capacity `P × (1 + smt_eff)` where `P` is the
+//!   span's distinct **physical** core count and `smt_eff` the marginal
+//!   throughput of a second sibling thread;
+//! - instantaneous load `ρ = demand / capacity` maps to a smooth convex
+//!   slowdown curve ([`model::slowdown`]); interactive VMs sample
+//!   response times `base × slowdown` and report p90s.
+//!
+//! The mechanism that differentiates the two scenarios is **statistical
+//! multiplexing**: a vNode hosts ~5× fewer VMs than a whole dedicated
+//! machine at the same mean load, so its demand tail is relatively
+//! heavier and its p90 lands deeper into the convex region — hitting the
+//! most oversubscribed tier hardest, exactly the paper's observation
+//! (premium VMs preserved within ~10%, 3:1 VMs degraded the most).
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod latency;
+pub mod model;
+pub mod percentile;
+pub mod pooling_study;
+pub mod queueing;
+pub mod scenario;
+pub mod slo;
+pub mod span;
+
+pub use calibration::{calibrate, calibrate_grid, CalibrationResult, CalibrationTargets};
+pub use latency::LatencyCollector;
+pub use model::{slowdown, ContentionModel};
+pub use percentile::{percentile, Percentiles};
+pub use pooling_study::{pooling_benefit, PoolingOutcome};
+pub use queueing::{erlang_c, MmcModel};
+pub use scenario::{Fig2Outcome, Fig2Scenario, LevelLatency, SlowdownCurve};
+pub use slo::{Slo, SloPolicy, SloReport, SloRow};
+pub use span::ComputeSpan;

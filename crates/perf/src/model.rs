@@ -1,0 +1,178 @@
+//! The contention model: load → slowdown.
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::SpanShape;
+
+/// Parameters of the contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Marginal throughput of a second SMT sibling thread relative to a
+    /// full core (literature puts Zen 2 around 0.2–0.3).
+    pub smt_eff: f64,
+    /// Capacity of a thread whose SMT sibling is busy in *another*
+    /// span, in core-units: a fair split of the core's `1 + smt_eff`
+    /// throughput minus cross-span cache interference.
+    pub shared_core_share: f64,
+    /// Coefficient of the convex slowdown term.
+    pub pressure_coeff: f64,
+    /// Exponent of the convex slowdown term: higher = sharper knee near
+    /// saturation.
+    pub pressure_exp: f64,
+    /// Slowdown ceiling (a real system sheds or times out beyond this).
+    pub max_slowdown: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel {
+            smt_eff: 0.25,
+            shared_core_share: 0.5,
+            pressure_coeff: 1.2,
+            pressure_exp: 8.0,
+            max_slowdown: 40.0,
+        }
+    }
+}
+
+impl ContentionModel {
+    /// Compute capacity of a span that *fully owns* its physical cores:
+    /// the first thread of each core contributes 1.0, each extra
+    /// sibling `smt_eff`.
+    pub fn span_capacity(&self, physical_cores: u32, threads: u32) -> f64 {
+        let extra = threads.saturating_sub(physical_cores) as f64;
+        physical_cores as f64 + extra * self.smt_eff
+    }
+
+    /// Compute capacity of a span from its sibling-sharing shape:
+    /// fully-paired cores deliver `1 + smt_eff`, solo threads a full
+    /// core, and threads sharing their core with a foreign span only
+    /// `shared_core_share`.
+    pub fn capacity_of(&self, shape: &SpanShape) -> f64 {
+        shape.paired_cores as f64 * (1.0 + self.smt_eff)
+            + shape.solo_threads as f64
+            + shape.shared_threads as f64 * self.shared_core_share
+    }
+
+    /// Normalized load of a span: `demand / capacity_of(shape)`.
+    pub fn load_on(&self, demand_cores: f64, shape: &SpanShape) -> f64 {
+        let cap = self.capacity_of(shape);
+        if cap <= 0.0 {
+            return f64::INFINITY;
+        }
+        demand_cores / cap
+    }
+
+    /// Normalized load of a fully-owned span: `demand / capacity`.
+    pub fn load(&self, demand_cores: f64, physical_cores: u32, threads: u32) -> f64 {
+        let cap = self.span_capacity(physical_cores, threads);
+        if cap <= 0.0 {
+            return f64::INFINITY;
+        }
+        demand_cores / cap
+    }
+
+    /// The slowdown a task on the span experiences at load `rho`.
+    pub fn slowdown(&self, rho: f64) -> f64 {
+        slowdown_with(rho, self.pressure_coeff, self.pressure_exp, self.max_slowdown)
+    }
+}
+
+/// The default model's slowdown curve.
+///
+/// ```
+/// use slackvm_perf::slowdown;
+/// assert!(slowdown(0.3) < 1.01);            // uncontended
+/// assert!((1.3..1.8).contains(&slowdown(0.95))); // near the knee
+/// assert!(slowdown(1.2) > 4.0);             // saturated
+/// ```
+pub fn slowdown(rho: f64) -> f64 {
+    ContentionModel::default().slowdown(rho)
+}
+
+/// `1 + c·ρ^k`, clamped to `[1, max]`.
+///
+/// A smooth, convex stand-in for the queueing knee: negligible below
+/// ρ≈0.7, noticeable around ρ≈0.9, and exploding past saturation — the
+/// shape that makes demand-tail differences between large and small
+/// pools visible at the 90th percentile.
+fn slowdown_with(rho: f64, coeff: f64, exp: f64, max: f64) -> f64 {
+    if !rho.is_finite() {
+        return max;
+    }
+    let rho = rho.max(0.0);
+    (1.0 + coeff * rho.powf(exp)).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn capacity_counts_smt_marginally() {
+        let m = ContentionModel::default();
+        assert_eq!(m.span_capacity(128, 256), 160.0); // the EPYC testbed
+        assert_eq!(m.span_capacity(32, 32), 32.0); // no SMT
+        assert_eq!(m.span_capacity(28, 56), 35.0); // a 3:1 vNode span
+        // Degenerate: more cores than threads behaves as thread count
+        // equal to cores (extra = 0).
+        assert_eq!(m.span_capacity(4, 2), 4.0);
+    }
+
+    #[test]
+    fn slowdown_anchors() {
+        // Negligible at low load, mild near 0.9, multiples past 1.
+        assert!((slowdown(0.0) - 1.0).abs() < 1e-12);
+        assert!(slowdown(0.3) < 1.01);
+        assert!(slowdown(0.7) < 1.08);
+        assert!((1.3..1.8).contains(&slowdown(0.95)));
+        assert!((2.0..2.5).contains(&slowdown(1.0)));
+        assert!(slowdown(1.2) > 4.0);
+        assert_eq!(slowdown(100.0), 40.0); // clamped
+        assert_eq!(slowdown(f64::INFINITY), 40.0);
+    }
+
+    #[test]
+    fn load_handles_zero_capacity() {
+        let m = ContentionModel::default();
+        assert!(m.load(1.0, 0, 0).is_infinite());
+        assert!((m.load(80.0, 128, 256) - 0.5).abs() < 1e-12);
+        assert!(m.load_on(1.0, &SpanShape::default()).is_infinite());
+    }
+
+    #[test]
+    fn shape_capacity_penalizes_foreign_siblings() {
+        let m = ContentionModel::default();
+        // A whole-machine shape: 128 paired cores -> 160.
+        let whole = SpanShape { paired_cores: 128, solo_threads: 0, shared_threads: 0 };
+        assert_eq!(m.capacity_of(&whole), 160.0);
+        assert_eq!(whole.threads(), 256);
+        // A fragmented vNode: 3 paired cores, 35 threads whose siblings
+        // belong to other vNodes.
+        let frag = SpanShape { paired_cores: 3, solo_threads: 0, shared_threads: 35 };
+        assert_eq!(m.capacity_of(&frag), 3.0 * 1.25 + 35.0 * 0.5);
+        assert_eq!(frag.threads(), 41);
+        // The same 41 threads fully owned would deliver far more.
+        let owned = SpanShape { paired_cores: 3, solo_threads: 35, shared_threads: 0 };
+        assert!(m.capacity_of(&owned) > m.capacity_of(&frag) * 1.8);
+    }
+
+    proptest! {
+        #[test]
+        fn slowdown_is_monotone_and_bounded(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(slowdown(lo) <= slowdown(hi) + 1e-12);
+            prop_assert!(slowdown(hi) >= 1.0);
+            prop_assert!(slowdown(hi) <= 40.0);
+        }
+
+        #[test]
+        fn capacity_increases_with_threads(p in 1u32..256, extra in 0u32..256) {
+            let m = ContentionModel::default();
+            prop_assert!(m.span_capacity(p, p + extra) >= m.span_capacity(p, p));
+            // ... but each sibling is worth less than a core.
+            prop_assert!(m.span_capacity(p, 2 * p) <= 2.0 * p as f64);
+        }
+    }
+}

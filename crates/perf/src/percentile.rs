@@ -1,0 +1,114 @@
+//! Percentile estimation over bounded sample sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `q`-quantile (`0.0..=1.0`) of `samples` by the
+/// nearest-rank method on a sorted copy. Returns `None` on an empty set.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// A standard summary of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile — the paper's headline quantity.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Percentiles {
+    /// Summarizes a sample set. Returns `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Percentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        Some(Percentiles {
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: *sorted.last().expect("non-empty"),
+            count: sorted.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nearest_rank_on_small_sets() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&s, 0.5), Some(5.0));
+        assert_eq!(percentile(&s, 0.9), Some(9.0));
+        assert_eq!(percentile(&s, 1.0), Some(10.0));
+        assert_eq!(percentile(&s, 0.0), Some(1.0)); // rank clamps to 1
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[1.0], 1.5), None);
+        assert_eq!(percentile(&[1.0], -0.1), None);
+        assert!(Percentiles::of(&[]).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&s, 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn summary_fields_are_ordered() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::of(&s).unwrap();
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        assert_eq!(p.count, 100);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone_in_q(
+            samples in prop::collection::vec(0.0f64..1e6, 1..200),
+            qa in 0.0f64..=1.0, qb in 0.0f64..=1.0,
+        ) {
+            let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+            let a = percentile(&samples, lo).unwrap();
+            let b = percentile(&samples, hi).unwrap();
+            prop_assert!(a <= b);
+        }
+
+        #[test]
+        fn percentile_is_an_observed_sample(
+            samples in prop::collection::vec(-1e3f64..1e3, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let v = percentile(&samples, q).unwrap();
+            prop_assert!(samples.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The §V-B pooling study: what vNode pooling buys on a *partially
+//! loaded* machine.
+//!
+//! On a saturated machine the pooled union of oversubscribed vNodes
+//! usually cannot honour the strictest level's guarantee, so the
+//! conservative fallback keeps vNodes separate (see
+//! `slackvm_hypervisor::pooling`). But the common case is a machine with
+//! unallocated cores — and there, pooling lets oversubscribed VMs
+//! schedule over the oversubscribed vNodes' union *plus the free cores*,
+//! increasing statistical multiplexing exactly as the paper argues
+//! ("effectively leveraging all resources that remain unallocated by the
+//! non-oversubscribed vNode").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use slackvm_hypervisor::pooling::execution_spans;
+use slackvm_hypervisor::{Host, PhysicalMachine};
+use slackvm_model::{gib, Millicores, OversubLevel, PmId, VmId};
+use slackvm_topology::builders;
+use slackvm_workload::catalog::azure;
+use slackvm_workload::usage::DAY_SECS;
+use slackvm_workload::VmInstance;
+
+use crate::latency::{latency_jitter, LatencyCollector};
+use crate::model::ContentionModel;
+use crate::scenario::sample_vm;
+use crate::span::ComputeSpan;
+
+/// Result of one pooling-on/off comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolingOutcome {
+    /// Fraction of the machine's cores assigned to vNodes.
+    pub fill_fraction: f64,
+    /// Median per-VM p90 latency of 3:1 VMs with pooling enabled (ms).
+    pub pooled_ms: f64,
+    /// Median per-VM p90 latency of 3:1 VMs without pooling (ms).
+    pub unpooled_ms: f64,
+    /// Threads of the pooled span covering the 3:1 VMs.
+    pub pooled_span_threads: u32,
+    /// Threads of the 3:1 vNode alone.
+    pub vnode_threads: u32,
+}
+
+impl PoolingOutcome {
+    /// Latency ratio `unpooled / pooled` — above 1 means pooling helped.
+    pub fn benefit(&self) -> f64 {
+        self.unpooled_ms / self.pooled_ms
+    }
+}
+
+/// Runs the study: fill the Table III machine to roughly
+/// `target_fill` of its cores (three levels round-robin), then replay a
+/// day of demand over the execution spans with pooling on and off.
+pub fn pooling_benefit(seed: u64, target_fill: f64, base_latency_ms: f64) -> PoolingOutcome {
+    let topology = Arc::new(builders::dual_epyc_7662());
+    let catalog = azure();
+    let levels = [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)];
+    let mut machine =
+        PhysicalMachine::with_topology_policy(PmId(0), Arc::clone(&topology), gib(1024));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut by_id: BTreeMap<VmId, VmInstance> = BTreeMap::new();
+    let mut next = 0u64;
+    let capacity = Millicores::from_cores(topology.num_cores());
+    'fill: loop {
+        for &level in &levels {
+            if machine.alloc().cpu.0 as f64 >= target_fill * capacity.0 as f64 {
+                break 'fill;
+            }
+            let vm = sample_vm(&mut rng, &catalog, level, next);
+            next += 1;
+            if machine.can_host(&vm.spec) {
+                machine.deploy(vm.id, vm.spec).expect("can_host checked");
+                by_id.insert(vm.id, vm);
+            } else {
+                break 'fill;
+            }
+        }
+    }
+    let fill_fraction = machine.alloc().cpu.0 as f64 / capacity.0 as f64;
+
+    let model = ContentionModel::default();
+    let run = |pooling: bool| -> (f64, u32) {
+        let exec = execution_spans(&machine, pooling);
+        let mut collector = LatencyCollector::new();
+        let mut span_threads = 0u32;
+        let spans: Vec<ComputeSpan> = exec
+            .iter()
+            .enumerate()
+            .map(|(i, span)| {
+                if span.levels.contains(&OversubLevel::of(3)) {
+                    span_threads = span.cores.len() as u32;
+                }
+                let foreign: Vec<_> = exec
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, s)| s.cores.iter().copied())
+                    .collect();
+                let vms: Vec<VmInstance> =
+                    span.vm_ids.iter().map(|id| by_id[id].clone()).collect();
+                ComputeSpan::from_cores(
+                    "span",
+                    span.levels.clone(),
+                    &topology,
+                    &span.cores,
+                    &foreign,
+                    vms,
+                )
+            })
+            .collect();
+        let mut t = 0u64;
+        while t < DAY_SECS {
+            for span in &spans {
+                if !span.levels.contains(&OversubLevel::of(3)) {
+                    continue;
+                }
+                let rho = model.load_on(span.demand_at(t), &span.shape);
+                let s = model.slowdown(rho);
+                for vm in span.interactive_vms() {
+                    if vm.spec.level == OversubLevel::of(3) {
+                        let jitter = 1.0 + 0.03 * latency_jitter(vm.seed, t);
+                        collector.record(vm.id, base_latency_ms * s * jitter);
+                    }
+                }
+            }
+            t += 600;
+        }
+        (
+            collector.median_of_p90s().unwrap_or(base_latency_ms),
+            span_threads,
+        )
+    };
+
+    let (pooled_ms, pooled_span_threads) = run(true);
+    let (unpooled_ms, vnode_threads) = run(false);
+    PoolingOutcome {
+        fill_fraction,
+        pooled_ms,
+        unpooled_ms,
+        pooled_span_threads,
+        vnode_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_helps_on_a_half_loaded_machine() {
+        let out = pooling_benefit(0xB00, 0.55, 1.16);
+        assert!(
+            out.fill_fraction > 0.4 && out.fill_fraction < 0.75,
+            "fill {}",
+            out.fill_fraction
+        );
+        // The pooled span absorbs the free cores: strictly wider.
+        assert!(
+            out.pooled_span_threads > out.vnode_threads,
+            "pooled {} vs vnode {}",
+            out.pooled_span_threads,
+            out.vnode_threads
+        );
+        // And 3:1 latency improves (or at worst matches).
+        assert!(
+            out.benefit() >= 1.0,
+            "pooling should not hurt: pooled {:.2} unpooled {:.2}",
+            out.pooled_ms,
+            out.unpooled_ms
+        );
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = pooling_benefit(7, 0.5, 1.16);
+        let b = pooling_benefit(7, 0.5, 1.16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+//! An M/M/c queueing alternative to the convex slowdown curve.
+//!
+//! The default contention model uses a phenomenological `1 + c·ρ^k`
+//! curve. This module provides the classical grounding: an M/M/c queue
+//! with `c` servers (the span's capacity in core-units) where the mean
+//! response-time factor is `1 + C(c, ρ)/(c·(1−ρ))` (Erlang-C waiting
+//! probability over the residual capacity), switched to a fluid-overload
+//! regime beyond saturation. Comparing the two curves (see the tests and
+//! the ablation bench) shows the convex default is a close, cheaper
+//! stand-in in the region the experiments exercise.
+
+use serde::{Deserialize, Serialize};
+
+/// The M/M/c response-time factor model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmcModel {
+    /// Slowdown ceiling, matching [`crate::ContentionModel::max_slowdown`].
+    pub max_slowdown: f64,
+}
+
+impl Default for MmcModel {
+    fn default() -> Self {
+        MmcModel { max_slowdown: 40.0 }
+    }
+}
+
+/// Erlang-C: probability an arrival waits in an M/M/c queue at
+/// utilization `rho` (per-server), computed with the numerically stable
+/// iterative form of the Erlang-B recursion.
+pub fn erlang_c(servers: u32, rho: f64) -> f64 {
+    if servers == 0 || rho >= 1.0 {
+        return 1.0;
+    }
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let a = rho * servers as f64; // offered load in Erlangs
+    // Erlang-B by recursion: B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1)).
+    let mut b = 1.0f64;
+    for k in 1..=servers {
+        b = a * b / (k as f64 + a * b);
+    }
+    // Erlang-C from Erlang-B.
+    b / (1.0 - rho * (1.0 - b))
+}
+
+impl MmcModel {
+    /// Mean response-time factor (sojourn time / service time) of an
+    /// M/M/c queue with `servers` servers at per-server utilization
+    /// `rho`; beyond saturation the fluid backlog factor `rho` scaled
+    /// into the ceiling takes over.
+    pub fn slowdown(&self, servers: u32, rho: f64) -> f64 {
+        if !rho.is_finite() {
+            return self.max_slowdown;
+        }
+        if servers == 0 {
+            return self.max_slowdown;
+        }
+        if rho < 1.0 {
+            let wait = erlang_c(servers, rho) / (servers as f64 * (1.0 - rho));
+            (1.0 + wait).min(self.max_slowdown)
+        } else {
+            // An M/M/c queue is unstable at rho >= 1: backlog (and thus
+            // sojourn time) grows without bound, so sustained overload
+            // saturates at the ceiling — which also keeps the curve
+            // monotone across the stability boundary.
+            self.max_slowdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ContentionModel;
+    use proptest::prelude::*;
+
+    #[test]
+    fn erlang_c_textbook_anchors() {
+        // M/M/1: C = rho.
+        assert!((erlang_c(1, 0.5) - 0.5).abs() < 1e-9);
+        // M/M/2 at rho 0.5 (a = 1 Erlang): C = 1/3.
+        assert!((erlang_c(2, 0.5) - 1.0 / 3.0).abs() < 1e-9);
+        // Bounds.
+        assert_eq!(erlang_c(4, 0.0), 0.0);
+        assert_eq!(erlang_c(4, 1.0), 1.0);
+    }
+
+    #[test]
+    fn pooling_economies_of_scale() {
+        // At equal per-server utilization, more servers wait less — the
+        // queueing-theory ground truth behind §V-B's pooling benefit.
+        let m = MmcModel::default();
+        let small = m.slowdown(4, 0.85);
+        let large = m.slowdown(64, 0.85);
+        assert!(
+            large < small,
+            "64 servers {large} should beat 4 servers {small}"
+        );
+        assert!(large < 1.05, "a large pool at 0.85 barely queues");
+    }
+
+    #[test]
+    fn mmc_and_convex_default_agree_on_the_shape() {
+        // Both models: ~1 below rho 0.6, knee near 0.9, multiple past 1.
+        let mmc = MmcModel::default();
+        let convex = ContentionModel::default();
+        for servers in [16u32, 32] {
+            assert!((mmc.slowdown(servers, 0.3) - 1.0).abs() < 0.02);
+            assert!((convex.slowdown(0.3) - 1.0).abs() < 0.02);
+            assert!(mmc.slowdown(servers, 1.3) > 2.0);
+            assert!(convex.slowdown(1.3) > 2.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_hit_the_ceiling() {
+        let m = MmcModel::default();
+        assert_eq!(m.slowdown(0, 0.5), 40.0);
+        assert_eq!(m.slowdown(8, f64::INFINITY), 40.0);
+        assert_eq!(m.slowdown(8, 10.0), 40.0);
+    }
+
+    proptest! {
+        #[test]
+        fn erlang_c_is_a_probability(servers in 1u32..256, rho in 0.0f64..0.999) {
+            let c = erlang_c(servers, rho);
+            prop_assert!((0.0..=1.0).contains(&c), "C = {c}");
+        }
+
+        #[test]
+        fn slowdown_is_monotone_in_rho(servers in 1u32..128, a in 0.0f64..2.0, b in 0.0f64..2.0) {
+            let m = MmcModel::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.slowdown(servers, lo) <= m.slowdown(servers, hi) + 1e-9);
+        }
+
+        #[test]
+        fn more_servers_never_hurt(servers in 1u32..127, rho in 0.0f64..0.99) {
+            let m = MmcModel::default();
+            prop_assert!(
+                m.slowdown(servers + 1, rho) <= m.slowdown(servers, rho) + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Service-Level-Objective accounting.
+//!
+//! The paper frames oversubscribed tiers as "less prone to enforcing
+//! performance guarantees with strict SLOs" (§VII-A) and suggests the
+//! dynamic-level knob could "tune the performances of hosted services
+//! according to agreed SLA" (§VIII). This module gives those statements
+//! a measurable form: per-tier latency objectives, violation rates, and
+//! an attainment report over a replay.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::OversubLevel;
+
+/// A latency objective for one tier: at least `target_quantile` of a
+/// VM's samples must be at or below `threshold_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Latency threshold in milliseconds.
+    pub threshold_ms: f64,
+    /// Required attainment quantile, e.g. 0.9 for "p90 under threshold".
+    pub target_quantile: f64,
+}
+
+impl Slo {
+    /// Constructs an SLO.
+    pub fn new(threshold_ms: f64, target_quantile: f64) -> Self {
+        Slo {
+            threshold_ms,
+            target_quantile: target_quantile.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether a sample series meets the objective.
+    pub fn met_by(&self, samples: &[f64]) -> bool {
+        if samples.is_empty() {
+            return true;
+        }
+        let within = samples.iter().filter(|&&s| s <= self.threshold_ms).count();
+        within as f64 / samples.len() as f64 >= self.target_quantile
+    }
+
+    /// Fraction of samples over the threshold (the violation rate).
+    pub fn violation_rate(&self, samples: &[f64]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().filter(|&&s| s > self.threshold_ms).count() as f64
+            / samples.len() as f64
+    }
+}
+
+/// Tiered SLOs: stricter (lower) thresholds for less oversubscribed
+/// tiers, as a provider's catalog would advertise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloPolicy {
+    objectives: BTreeMap<OversubLevel, Slo>,
+}
+
+impl SloPolicy {
+    /// A policy scaled from a premium baseline: level `n` gets
+    /// `base_ms × n × slack` as its threshold — looser guarantees for
+    /// cheaper tiers.
+    pub fn scaled(base_ms: f64, slack: f64, levels: impl IntoIterator<Item = OversubLevel>) -> Self {
+        let objectives = levels
+            .into_iter()
+            .map(|level| {
+                (
+                    level,
+                    Slo::new(base_ms * level.ratio() as f64 * slack, 0.9),
+                )
+            })
+            .collect();
+        SloPolicy { objectives }
+    }
+
+    /// Registers or replaces one tier's objective.
+    pub fn set(&mut self, level: OversubLevel, slo: Slo) -> &mut Self {
+        self.objectives.insert(level, slo);
+        self
+    }
+
+    /// The objective for a tier, if declared.
+    pub fn get(&self, level: OversubLevel) -> Option<Slo> {
+        self.objectives.get(&level).copied()
+    }
+
+    /// Evaluates per-VM sample series against the tier objectives.
+    /// `samples` maps each VM to `(level, its latency samples)`.
+    pub fn attainment(
+        &self,
+        samples: &BTreeMap<slackvm_model::VmId, (OversubLevel, Vec<f64>)>,
+    ) -> SloReport {
+        let mut per_level: BTreeMap<OversubLevel, (usize, usize)> = BTreeMap::new();
+        for (level, series) in samples.values() {
+            let Some(slo) = self.get(*level) else {
+                continue;
+            };
+            let entry = per_level.entry(*level).or_default();
+            entry.0 += 1;
+            if slo.met_by(series) {
+                entry.1 += 1;
+            }
+        }
+        SloReport {
+            rows: per_level
+                .into_iter()
+                .map(|(level, (vms, met))| SloRow {
+                    level,
+                    slo: self.get(level).expect("only declared levels counted"),
+                    vms,
+                    met,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Attainment of one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloRow {
+    /// The tier.
+    pub level: OversubLevel,
+    /// Its objective.
+    pub slo: Slo,
+    /// VMs evaluated.
+    pub vms: usize,
+    /// VMs meeting the objective.
+    pub met: usize,
+}
+
+impl SloRow {
+    /// Attainment fraction in `[0, 1]`.
+    pub fn attainment(&self) -> f64 {
+        if self.vms == 0 {
+            1.0
+        } else {
+            self.met as f64 / self.vms as f64
+        }
+    }
+}
+
+/// A full attainment report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloReport {
+    /// One row per declared tier with evaluated VMs, ascending by level.
+    pub rows: Vec<SloRow>,
+}
+
+impl SloReport {
+    /// Whether every tier attains its objective for every VM.
+    pub fn all_met(&self) -> bool {
+        self.rows.iter().all(|r| r.met == r.vms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::VmId;
+
+    #[test]
+    fn slo_threshold_and_quantile() {
+        let slo = Slo::new(2.0, 0.9);
+        // 9 of 10 under threshold: met exactly.
+        let mut samples = vec![1.0; 9];
+        samples.push(5.0);
+        assert!(slo.met_by(&samples));
+        assert!((slo.violation_rate(&samples) - 0.1).abs() < 1e-12);
+        // 8 of 10: violated.
+        samples.push(5.0);
+        assert!(!slo.met_by(&samples));
+        assert!(slo.met_by(&[]));
+    }
+
+    #[test]
+    fn scaled_policy_loosens_with_level() {
+        let levels = [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)];
+        let policy = SloPolicy::scaled(1.5, 2.0, levels);
+        let t = |n: u32| policy.get(OversubLevel::of(n)).unwrap().threshold_ms;
+        assert_eq!(t(1), 3.0);
+        assert_eq!(t(2), 6.0);
+        assert_eq!(t(3), 9.0);
+        assert!(policy.get(OversubLevel::of(4)).is_none());
+    }
+
+    #[test]
+    fn attainment_report_counts_per_tier() {
+        let levels = [OversubLevel::of(1), OversubLevel::of(3)];
+        let policy = SloPolicy::scaled(1.0, 1.0, levels);
+        let mut samples = BTreeMap::new();
+        samples.insert(VmId(0), (OversubLevel::of(1), vec![0.5, 0.8])); // met (thr 1.0)
+        samples.insert(VmId(1), (OversubLevel::of(1), vec![2.0, 2.0])); // violated
+        samples.insert(VmId(2), (OversubLevel::of(3), vec![2.5])); // met (thr 3.0)
+        samples.insert(VmId(3), (OversubLevel::of(2), vec![9.9])); // undeclared tier
+        let report = policy.attainment(&samples);
+        assert_eq!(report.rows.len(), 2);
+        let premium = &report.rows[0];
+        assert_eq!((premium.vms, premium.met), (2, 1));
+        assert!((premium.attainment() - 0.5).abs() < 1e-12);
+        let burst = &report.rows[1];
+        assert_eq!((burst.vms, burst.met), (1, 1));
+        assert!(!report.all_met());
+    }
+
+    #[test]
+    fn fig2_run_respects_a_realistic_tiered_slo() {
+        // End-to-end: the default scenario's SlackVM latencies meet a
+        // policy whose thresholds scale with the level (premium tight,
+        // 3:1 loose) — the paper's "premium offers keep their relevance".
+        let out = crate::Fig2Scenario {
+            step_secs: 1200,
+            ..crate::Fig2Scenario::default()
+        }
+        .run();
+        for row in &out.levels {
+            let slo_ms = 1.16 * row.level.ratio() as f64 * 6.0;
+            assert!(
+                row.slackvm_ms <= slo_ms,
+                "{}: {} ms exceeds scaled SLO {} ms",
+                row.level,
+                row.slackvm_ms,
+                slo_ms
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Compute spans: the sets of CPUs a group of VMs actually runs on.
+
+use slackvm_model::OversubLevel;
+use slackvm_topology::{CoreId, CpuTopology};
+use slackvm_workload::VmInstance;
+
+/// How a span's threads relate to the physical cores beneath them —
+/// the input of the capacity model.
+///
+/// A thread whose SMT sibling is pinned to *another* span does not own
+/// its physical core: at busy moments the sibling competes for the
+/// core's execution resources. This is the paper's "heterogeneity
+/// between cores" overhead — interleaved vNode growth splits sibling
+/// pairs across vNodes, and constrained spans trigger SMT sharing long
+/// before a whole, unpinned machine would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanShape {
+    /// Physical cores with **both** siblings inside the span.
+    pub paired_cores: u32,
+    /// Span threads whose sibling is free (or absent): they own a full
+    /// core.
+    pub solo_threads: u32,
+    /// Span threads whose sibling belongs to another span: they share
+    /// their core with foreign work.
+    pub shared_threads: u32,
+}
+
+impl SpanShape {
+    /// Total threads described by the shape.
+    pub fn threads(&self) -> u32 {
+        2 * self.paired_cores + self.solo_threads + self.shared_threads
+    }
+}
+
+/// A group of VMs bound to a set of CPUs, ready for demand evaluation.
+#[derive(Debug, Clone)]
+pub struct ComputeSpan {
+    /// Label for reports (e.g. "baseline 3:1" or "vNode 2:1").
+    pub label: String,
+    /// Oversubscription level(s) running on the span (reporting only).
+    pub levels: Vec<OversubLevel>,
+    /// Hardware threads of the span.
+    pub threads: u32,
+    /// Distinct physical cores backing those threads.
+    pub physical_cores: u32,
+    /// Sibling-sharing structure of the span.
+    pub shape: SpanShape,
+    /// The VMs scheduled on the span.
+    pub vms: Vec<VmInstance>,
+}
+
+impl ComputeSpan {
+    /// Builds a span over explicit CPUs of a topology.
+    ///
+    /// `foreign` lists CPUs pinned to *other* spans on the same machine;
+    /// span threads whose SMT sibling appears there are classified as
+    /// [`SpanShape::shared_threads`].
+    pub fn from_cores(
+        label: impl Into<String>,
+        levels: Vec<OversubLevel>,
+        topology: &CpuTopology,
+        cores: &[CoreId],
+        foreign: &[CoreId],
+        vms: Vec<VmInstance>,
+    ) -> Self {
+        let in_span = |c: CoreId| cores.contains(&c);
+        let in_foreign = |c: CoreId| foreign.contains(&c);
+        let mut shape = SpanShape::default();
+        let mut counted_pairs: Vec<CoreId> = Vec::new();
+        for &c in cores {
+            let siblings = topology.smt_siblings(c);
+            let pair_in_span = siblings.iter().any(|&s| s != c && in_span(s));
+            if pair_in_span {
+                // Count each fully-owned core once (via its lowest id).
+                let lowest = siblings
+                    .iter()
+                    .copied()
+                    .filter(|&s| in_span(s))
+                    .min()
+                    .expect("span contains c");
+                if lowest == c && !counted_pairs.contains(&lowest) {
+                    counted_pairs.push(lowest);
+                    shape.paired_cores += 1;
+                }
+            } else if siblings.iter().any(|&s| s != c && in_foreign(s)) {
+                shape.shared_threads += 1;
+            } else {
+                shape.solo_threads += 1;
+            }
+        }
+        ComputeSpan {
+            label: label.into(),
+            levels,
+            threads: cores.len() as u32,
+            physical_cores: topology.physical_core_count(cores.iter()),
+            shape,
+            vms,
+        }
+    }
+
+    /// Builds a span covering a whole machine (the baseline's unpinned
+    /// deployment): every core is fully owned.
+    pub fn whole_machine(
+        label: impl Into<String>,
+        level: OversubLevel,
+        topology: &CpuTopology,
+        vms: Vec<VmInstance>,
+    ) -> Self {
+        let all: Vec<CoreId> = topology.core_ids().collect();
+        Self::from_cores(label, vec![level], topology, &all, &[], vms)
+    }
+
+    /// Aggregate CPU demand (in core-units) of the span's VMs at `t`.
+    pub fn demand_at(&self, t_secs: u64) -> f64 {
+        self.vms.iter().map(|vm| vm.cpu_demand_vcpus(t_secs)).sum()
+    }
+
+    /// Total vCPUs exposed on the span.
+    pub fn total_vcpus(&self) -> u32 {
+        self.vms.iter().map(|vm| vm.spec.vcpus()).sum()
+    }
+
+    /// The interactive VMs (the latency probes).
+    pub fn interactive_vms(&self) -> impl Iterator<Item = &VmInstance> {
+        self.vms
+            .iter()
+            .filter(|vm| vm.class == slackvm_workload::UsageClass::Interactive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, VmId, VmSpec};
+    use slackvm_topology::builders;
+    use slackvm_workload::{CpuUsageModel, UsageClass};
+
+    fn vm(id: u64, vcpus: u32, class: UsageClass, usage: CpuUsageModel) -> VmInstance {
+        VmInstance {
+            id: VmId(id),
+            spec: VmSpec::of(vcpus, gib(1), OversubLevel::of(1)),
+            class,
+            usage,
+            seed: id,
+            arrival_secs: 0,
+            departure_secs: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn physical_core_counting_on_epyc() {
+        let topo = builders::dual_epyc_7662();
+        // Four threads = two sibling pairs = two physical cores.
+        let cores = vec![CoreId(0), CoreId(1), CoreId(2), CoreId(3)];
+        let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vec![]);
+        assert_eq!(span.threads, 4);
+        assert_eq!(span.physical_cores, 2);
+        assert_eq!(span.shape, SpanShape { paired_cores: 2, solo_threads: 0, shared_threads: 0 });
+        let whole = ComputeSpan::whole_machine("m", OversubLevel::of(1), &topo, vec![]);
+        assert_eq!(whole.threads, 256);
+        assert_eq!(whole.physical_cores, 128);
+        assert_eq!(whole.shape.paired_cores, 128);
+    }
+
+    #[test]
+    fn shape_classifies_solo_and_shared_threads() {
+        let topo = builders::dual_epyc_7662();
+        // Thread 0 alone, sibling 1 free: solo. Thread 2 alone, sibling
+        // 3 pinned to a foreign span: shared.
+        let span = ComputeSpan::from_cores(
+            "x",
+            vec![],
+            &topo,
+            &[CoreId(0), CoreId(2)],
+            &[CoreId(3)],
+            vec![],
+        );
+        assert_eq!(
+            span.shape,
+            SpanShape { paired_cores: 0, solo_threads: 1, shared_threads: 1 }
+        );
+        assert_eq!(span.shape.threads(), 2);
+    }
+
+    #[test]
+    fn non_smt_topology_is_all_solo() {
+        let topo = builders::flat(8);
+        let cores: Vec<CoreId> = topo.core_ids().collect();
+        let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vec![]);
+        assert_eq!(
+            span.shape,
+            SpanShape { paired_cores: 0, solo_threads: 8, shared_threads: 0 }
+        );
+    }
+
+    #[test]
+    fn demand_sums_over_vms() {
+        let topo = builders::flat(8);
+        let vms = vec![
+            vm(0, 2, UsageClass::Stress, CpuUsageModel::Constant { base: 0.5 }),
+            vm(1, 4, UsageClass::Idle, CpuUsageModel::Constant { base: 0.25 }),
+        ];
+        let cores: Vec<CoreId> = topo.core_ids().collect();
+        let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vms);
+        let d = span.demand_at(1000);
+        // 0.5*2 + 0.25*4 = 2.0, modulo the tiny deterministic jitter.
+        assert!((d - 2.0).abs() < 0.25, "demand {d}");
+        assert_eq!(span.total_vcpus(), 6);
+    }
+
+    #[test]
+    fn interactive_filter() {
+        let topo = builders::flat(4);
+        let vms = vec![
+            vm(0, 1, UsageClass::Interactive, CpuUsageModel::Idle { base: 0.1 }),
+            vm(1, 1, UsageClass::Stress, CpuUsageModel::Idle { base: 0.1 }),
+            vm(2, 1, UsageClass::Interactive, CpuUsageModel::Idle { base: 0.1 }),
+        ];
+        let cores: Vec<CoreId> = topo.core_ids().collect();
+        let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vms);
+        assert_eq!(span.interactive_vms().count(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hard-constraint filters — the first stage of the control-plane
+//! pipeline ("filtering candidates from the cluster based on hard
+//! constraints", paper §II-B).
+
+use std::collections::BTreeSet;
+
+use slackvm_model::{PmId, VmSpec};
+
+use crate::pipeline::Candidate;
+
+/// A hard constraint: a candidate failing any filter is not scored.
+pub trait Filter: Send + Sync {
+    /// Whether `candidate` may host `vm` at all.
+    fn accepts(&self, candidate: &Candidate, vm: &VmSpec) -> bool;
+
+    /// Filter name, for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Capacity filter over the control-plane's allocation view: the VM's
+/// physical consumption must fit the candidate's headroom.
+///
+/// The host's own `can_host` remains the authoritative check (it also
+/// knows about whole-core vNode growth); this filter reproduces the
+/// *control-plane-side* pre-filter that avoids querying unfit hosts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceFilter;
+
+impl Filter for ResourceFilter {
+    fn accepts(&self, candidate: &Candidate, vm: &VmSpec) -> bool {
+        let next = candidate.alloc.with_vm(vm);
+        next.cpu <= candidate.config.cpu_capacity() && next.mem_mib <= candidate.config.mem_mib
+    }
+
+    fn name(&self) -> &'static str {
+        "resource"
+    }
+}
+
+/// Density cap: at most `max_vms` VMs per host (a common operational
+/// blast-radius limit).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxVmsFilter {
+    /// Maximum VMs a host may carry.
+    pub max_vms: usize,
+}
+
+impl Filter for MaxVmsFilter {
+    fn accepts(&self, candidate: &Candidate, _vm: &VmSpec) -> bool {
+        candidate.vms < self.max_vms
+    }
+
+    fn name(&self) -> &'static str {
+        "max-vms"
+    }
+}
+
+/// Anti-affinity: never place on the listed hosts (e.g. the hosts already
+/// carrying the tenant's replicas).
+#[derive(Debug, Clone, Default)]
+pub struct AntiAffinityFilter {
+    /// Excluded hosts.
+    pub excluded: BTreeSet<PmId>,
+}
+
+impl AntiAffinityFilter {
+    /// Builds the filter from any id collection.
+    pub fn excluding(ids: impl IntoIterator<Item = PmId>) -> Self {
+        AntiAffinityFilter {
+            excluded: ids.into_iter().collect(),
+        }
+    }
+}
+
+impl Filter for AntiAffinityFilter {
+    fn accepts(&self, candidate: &Candidate, _vm: &VmSpec) -> bool {
+        !self.excluded.contains(&candidate.id)
+    }
+
+    fn name(&self) -> &'static str {
+        "anti-affinity"
+    }
+}
+
+/// Load ceiling: refuse hosts whose CPU allocation already exceeds a
+/// fraction of capacity (keeps headroom for bursts on premium pools).
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCeilingFilter {
+    /// Maximum allocated CPU fraction in `[0, 1]`.
+    pub ceiling: f64,
+}
+
+impl Filter for CpuCeilingFilter {
+    fn accepts(&self, candidate: &Candidate, _vm: &VmSpec) -> bool {
+        candidate.alloc.cpu_load_fraction(&candidate.config) <= self.ceiling
+    }
+
+    fn name(&self) -> &'static str {
+        "cpu-ceiling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, AllocView, Millicores, OversubLevel, PmConfig};
+
+    fn cand(id: u32, cores: u32, mem_gib: u64, vms: usize) -> Candidate {
+        Candidate {
+            id: PmId(id),
+            config: PmConfig::simulation_host(),
+            alloc: AllocView::new(Millicores::from_cores(cores), gib(mem_gib)),
+            vms,
+        }
+    }
+
+    fn vm(vcpus: u32, mem_gib: u64) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::PREMIUM)
+    }
+
+    #[test]
+    fn resource_filter_checks_both_dimensions() {
+        let f = ResourceFilter;
+        assert!(f.accepts(&cand(0, 30, 120, 1), &vm(2, 8)));
+        assert!(!f.accepts(&cand(0, 31, 1, 1), &vm(2, 1))); // CPU short
+        assert!(!f.accepts(&cand(0, 1, 127, 1), &vm(1, 2))); // mem short
+    }
+
+    #[test]
+    fn max_vms_filter() {
+        let f = MaxVmsFilter { max_vms: 3 };
+        assert!(f.accepts(&cand(0, 0, 0, 2), &vm(1, 1)));
+        assert!(!f.accepts(&cand(0, 0, 0, 3), &vm(1, 1)));
+    }
+
+    #[test]
+    fn anti_affinity_filter() {
+        let f = AntiAffinityFilter::excluding([PmId(1), PmId(3)]);
+        assert!(f.accepts(&cand(0, 0, 0, 0), &vm(1, 1)));
+        assert!(!f.accepts(&cand(1, 0, 0, 0), &vm(1, 1)));
+        assert!(!f.accepts(&cand(3, 0, 0, 0), &vm(1, 1)));
+    }
+
+    #[test]
+    fn cpu_ceiling_filter() {
+        let f = CpuCeilingFilter { ceiling: 0.5 };
+        assert!(f.accepts(&cand(0, 16, 0, 0), &vm(1, 1))); // exactly 50%
+        assert!(!f.accepts(&cand(0, 17, 0, 0), &vm(1, 1)));
+    }
+}

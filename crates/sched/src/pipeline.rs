@@ -1,0 +1,285 @@
+//! The filter-then-score placement pipeline.
+
+use slackvm_model::{AllocView, PmConfig, PmId, VmSpec};
+
+use crate::scorers::Scorer;
+
+/// A PM presented to the filter/score pipeline: the information a cloud
+/// control plane gathers from each local scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The PM's id.
+    pub id: PmId,
+    /// Its hardware configuration.
+    pub config: PmConfig,
+    /// Its current allocation.
+    pub alloc: AllocView,
+    /// Number of VMs it currently hosts.
+    pub vms: usize,
+}
+
+/// How to pick one PM among filtered candidates.
+pub enum PlacementPolicy {
+    /// Lowest PM id that fits — the packing-efficiency baseline the paper
+    /// evaluates against ("fills existing servers before considering new
+    /// ones", §VII-B).
+    FirstFit,
+    /// Highest score wins; ties go to the lowest PM id, which preserves
+    /// First-Fit's consolidation bias among equals.
+    Scored(Box<dyn Scorer>),
+    /// OpenStack-weigher-style selection: each scorer's outputs are
+    /// min–max normalized to `[0, 1]` *across the candidate set* before
+    /// the weighted sum — so weights express relative importance
+    /// independently of each scorer's natural scale (the way Nova
+    /// combines its weighers, paper ref. [41]).
+    WeightedNormalized(Vec<(f64, Box<dyn Scorer>)>),
+}
+
+impl PlacementPolicy {
+    /// A score-based policy from any scorer.
+    pub fn scored(scorer: impl Scorer + 'static) -> Self {
+        PlacementPolicy::Scored(Box::new(scorer))
+    }
+
+    /// A normalized multi-weigher policy.
+    pub fn weighted(parts: Vec<(f64, Box<dyn Scorer>)>) -> Self {
+        PlacementPolicy::WeightedNormalized(parts)
+    }
+
+    /// Policy label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFit => "first-fit",
+            PlacementPolicy::Scored(s) => s.name(),
+            PlacementPolicy::WeightedNormalized(_) => "weighted-normalized",
+        }
+    }
+
+    /// Picks the target PM for `vm` among `candidates` (all of which
+    /// satisfy the hard constraints). Returns `None` when the slice is
+    /// empty.
+    pub fn select(&self, candidates: &[Candidate], vm: &VmSpec) -> Option<PmId> {
+        match self {
+            PlacementPolicy::FirstFit => candidates.iter().map(|c| c.id).min(),
+            PlacementPolicy::Scored(scorer) => candidates
+                .iter()
+                .map(|c| (c.id, scorer.score(&c.config, &c.alloc, vm)))
+                // max_by on (score, Reverse(id)): highest score, lowest id.
+                .max_by(|(ida, sa), (idb, sb)| {
+                    sa.partial_cmp(sb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(idb.cmp(ida))
+                })
+                .map(|(id, _)| id),
+            PlacementPolicy::WeightedNormalized(parts) => {
+                if candidates.is_empty() {
+                    return None;
+                }
+                let mut totals = vec![0.0f64; candidates.len()];
+                for (weight, scorer) in parts {
+                    let raw: Vec<f64> = candidates
+                        .iter()
+                        .map(|c| scorer.score(&c.config, &c.alloc, vm))
+                        .collect();
+                    let lo = raw.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let span = hi - lo;
+                    for (total, value) in totals.iter_mut().zip(&raw) {
+                        // A constant scorer contributes nothing (every
+                        // candidate would normalize identically anyway).
+                        if span > f64::EPSILON {
+                            *total += weight * (value - lo) / span;
+                        }
+                    }
+                }
+                candidates
+                    .iter()
+                    .zip(&totals)
+                    .max_by(|(ca, sa), (cb, sb)| {
+                        sa.partial_cmp(sb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(cb.id.cmp(&ca.id))
+                    })
+                    .map(|(c, _)| c.id)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlacementPolicy::{}", self.name())
+    }
+}
+
+/// The full control-plane pipeline: hard-constraint filters followed by
+/// the placement policy (paper §II-B's two-stage selection).
+pub struct Scheduler {
+    filters: Vec<Box<dyn crate::filters::Filter>>,
+    policy: PlacementPolicy,
+}
+
+impl Scheduler {
+    /// Builds a pipeline from a policy, with no extra filters.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        Scheduler {
+            filters: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Appends a hard-constraint filter.
+    pub fn with_filter(mut self, filter: impl crate::filters::Filter + 'static) -> Self {
+        self.filters.push(Box::new(filter));
+        self
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &PlacementPolicy {
+        &self.policy
+    }
+
+    /// Filter names, in evaluation order.
+    pub fn filter_names(&self) -> Vec<&'static str> {
+        self.filters.iter().map(|f| f.name()).collect()
+    }
+
+    /// Runs the pipeline: drops candidates failing any filter, then
+    /// delegates to the policy.
+    pub fn place(&self, candidates: &[Candidate], vm: &VmSpec) -> Option<PmId> {
+        let surviving: Vec<Candidate> = candidates
+            .iter()
+            .filter(|c| self.filters.iter().all(|f| f.accepts(c, vm)))
+            .copied()
+            .collect();
+        self.policy.select(&surviving, vm)
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("filters", &self.filter_names())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorers::{BestFitScorer, ProgressScorer};
+    use slackvm_model::{gib, Millicores, OversubLevel};
+
+    fn cand(id: u32, cores: u32, mem_gib: u64) -> Candidate {
+        Candidate {
+            id: PmId(id),
+            config: PmConfig::simulation_host(),
+            alloc: AllocView::new(Millicores::from_cores(cores), gib(mem_gib)),
+            vms: 1,
+        }
+    }
+
+    fn vm(vcpus: u32, mem_gib: u64) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::PREMIUM)
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_id() {
+        let policy = PlacementPolicy::FirstFit;
+        let cands = vec![cand(7, 0, 0), cand(2, 30, 120), cand(5, 1, 1)];
+        assert_eq!(policy.select(&cands, &vm(1, 1)), Some(PmId(2)));
+        assert_eq!(policy.select(&[], &vm(1, 1)), None);
+    }
+
+    #[test]
+    fn scored_takes_highest_score() {
+        let policy = PlacementPolicy::scored(BestFitScorer);
+        // Best-fit: the fuller PM (id 9) wins over the emptier (id 1).
+        let cands = vec![cand(1, 2, 8), cand(9, 28, 112)];
+        assert_eq!(policy.select(&cands, &vm(1, 4)), Some(PmId(9)));
+    }
+
+    #[test]
+    fn score_ties_break_to_lowest_id() {
+        let policy = PlacementPolicy::scored(BestFitScorer);
+        let cands = vec![cand(4, 8, 32), cand(3, 8, 32), cand(6, 8, 32)];
+        assert_eq!(policy.select(&cands, &vm(1, 4)), Some(PmId(3)));
+    }
+
+    #[test]
+    fn progress_policy_prefers_complementary_pm() {
+        let policy = PlacementPolicy::scored(ProgressScorer::paper());
+        // PM 0: CPU-heavy (ratio 1); PM 1: memory-heavy (ratio 8). A
+        // memory-heavy VM (ratio 8) should land on the CPU-heavy PM 0.
+        let cands = vec![cand(0, 8, 8), cand(1, 4, 32)];
+        assert_eq!(policy.select(&cands, &vm(1, 8)), Some(PmId(0)));
+        // ... and a CPU-heavy VM (ratio 1) on the memory-heavy PM 1.
+        assert_eq!(policy.select(&cands, &vm(4, 4)), Some(PmId(1)));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PlacementPolicy::FirstFit.name(), "first-fit");
+        assert_eq!(
+            PlacementPolicy::scored(ProgressScorer::paper()).name(),
+            "progress"
+        );
+    }
+
+    #[test]
+    fn weighted_normalized_balances_scales() {
+        use crate::scorers::{BestFitScorer, ProgressScorer};
+        // Progress scores live in GiB/core units (can be ±4); best-fit
+        // scores in [-2, 0]. Normalization makes a 1:1 weighting
+        // meaningful.
+        let policy = PlacementPolicy::weighted(vec![
+            (1.0, Box::new(ProgressScorer::paper())),
+            (1.0, Box::new(BestFitScorer)),
+        ]);
+        assert_eq!(policy.name(), "weighted-normalized");
+        // PM 5: CPU-heavy and nearly empty; PM 6: balanced and fuller.
+        // Progress prefers 5 for a memory-heavy VM, best-fit prefers 6;
+        // the tie of normalized winners (1.0 + 0.0 vs 0.0 + 1.0) breaks
+        // to the lowest id.
+        let cands = vec![cand(5, 4, 4), cand(6, 16, 64)];
+        let vm_mem = VmSpec::of(1, gib(8), OversubLevel::PREMIUM);
+        assert_eq!(policy.select(&cands, &vm_mem), Some(PmId(5)));
+        // Doubling the consolidation weight flips the decision.
+        let policy = PlacementPolicy::weighted(vec![
+            (1.0, Box::new(ProgressScorer::paper())),
+            (3.0, Box::new(BestFitScorer)),
+        ]);
+        assert_eq!(policy.select(&cands, &vm_mem), Some(PmId(6)));
+    }
+
+    #[test]
+    fn weighted_normalized_edge_cases() {
+        use crate::scorers::BestFitScorer;
+        let policy = PlacementPolicy::weighted(vec![(1.0, Box::new(BestFitScorer))]);
+        assert_eq!(policy.select(&[], &vm(1, 1)), None);
+        // Single candidate: picked regardless of score.
+        let one = vec![cand(9, 0, 0)];
+        assert_eq!(policy.select(&one, &vm(1, 1)), Some(PmId(9)));
+        // Identical candidates (constant scores): lowest id wins.
+        let same = vec![cand(4, 8, 32), cand(2, 8, 32), cand(7, 8, 32)];
+        assert_eq!(policy.select(&same, &vm(1, 1)), Some(PmId(2)));
+    }
+
+    #[test]
+    fn scheduler_pipeline_filters_then_scores() {
+        use crate::filters::{AntiAffinityFilter, MaxVmsFilter};
+        let sched = Scheduler::new(PlacementPolicy::FirstFit)
+            .with_filter(AntiAffinityFilter::excluding([PmId(1)]))
+            .with_filter(MaxVmsFilter { max_vms: 5 });
+        assert_eq!(sched.filter_names(), vec!["anti-affinity", "max-vms"]);
+        let mut crowded = cand(0, 4, 4);
+        crowded.vms = 9;
+        let cands = vec![crowded, cand(1, 0, 0), cand(2, 0, 0)];
+        // PM 0 is over the density cap, PM 1 is anti-affine: PM 2 wins.
+        assert_eq!(sched.place(&cands, &vm(1, 1)), Some(PmId(2)));
+        // All filtered out -> None.
+        let cands = vec![crowded, cand(1, 0, 0)];
+        assert_eq!(sched.place(&cands, &vm(1, 1)), None);
+    }
+}

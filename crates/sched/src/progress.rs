@@ -1,0 +1,220 @@
+//! Paper Algorithm 2: progress towards the target M/C ratio.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{AllocView, PmConfig, VmSpec};
+
+/// Ablation knobs for [`progress_score`]. Defaults reproduce the paper's
+/// algorithm exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressConfig {
+    /// Lines 12–15: amplify negative progress by `1 + load` so heavily
+    /// loaded PMs are avoided for unbalancing deployments (keeping light
+    /// PMs available to counterbalance later).
+    pub negative_load_factor: bool,
+    /// Line 6: treat an idle PM as sitting exactly on its target ratio,
+    /// which penalizes it by the VM's own imbalance and thereby prefers
+    /// consolidating onto already-running PMs. When disabled, idle PMs
+    /// score a neutral 0.
+    pub empty_pm_is_ideal: bool,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig {
+            negative_load_factor: true,
+            empty_pm_is_ideal: true,
+        }
+    }
+}
+
+/// Computes Algorithm 2: how much closer (positive) or farther
+/// (negative) the PM's allocated M/C ratio moves to its hardware target
+/// ratio if `vm` is deployed on it.
+///
+/// CPU quantities are *physical*: the VM contributes
+/// `vcpus / oversubscription-level` cores, so one formula accommodates
+/// every level (paper §VI). Ratios are in GiB per core.
+///
+/// ```
+/// use slackvm_model::{gib, AllocView, Millicores, OversubLevel, PmConfig, VmSpec};
+/// use slackvm_sched::{progress_score, ProgressConfig};
+///
+/// let pm = PmConfig::simulation_host(); // 32 cores / 128 GiB, target 4.0
+/// let alloc = AllocView::new(Millicores::from_cores(8), gib(16)); // ratio 2: CPU-heavy
+/// // A memory-heavy VM moves the PM towards its target: positive progress.
+/// let vm = VmSpec::of(1, gib(8), OversubLevel::PREMIUM);
+/// assert!(progress_score(&pm, &alloc, &vm, ProgressConfig::default()) > 0.0);
+/// ```
+pub fn progress_score(
+    config: &PmConfig,
+    alloc: &AllocView,
+    vm: &VmSpec,
+    knobs: ProgressConfig,
+) -> f64 {
+    let target = config.target_ratio().gib_per_core();
+    let vm_cpu = vm.physical_cpu().as_cores_f64();
+    let vm_mem = vm.mem_mib() as f64 / 1024.0;
+    let alloc_cpu = alloc.cpu.as_cores_f64();
+    let alloc_mem = alloc.mem_mib as f64 / 1024.0;
+
+    let (current_ratio, next_ratio) = if alloc_cpu > 0.0 {
+        (
+            alloc_mem / alloc_cpu,
+            (alloc_mem + vm_mem) / (alloc_cpu + vm_cpu),
+        )
+    } else {
+        if !knobs.empty_pm_is_ideal {
+            return 0.0;
+        }
+        (target, vm_mem / vm_cpu)
+    };
+
+    let current_delta = (current_ratio - target).abs();
+    let next_delta = (next_ratio - target).abs();
+    let mut progress = current_delta - next_delta;
+    if progress < 0.0 && knobs.negative_load_factor {
+        let factor = 1.0 + alloc_cpu / config.cores as f64;
+        progress *= factor;
+    }
+    progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use slackvm_model::{gib, Millicores, OversubLevel};
+
+    fn cfg() -> PmConfig {
+        PmConfig::simulation_host() // 32 cores / 128 GiB, target 4.0
+    }
+
+    fn vm(vcpus: u32, mem_gib: u64, level: u32) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level))
+    }
+
+    fn alloc(cores: u32, mem_gib: u64) -> AllocView {
+        AllocView::new(Millicores::from_cores(cores), gib(mem_gib))
+    }
+
+    #[test]
+    fn complementary_vm_scores_positive() {
+        // PM at ratio 2 (CPU-heavy); a memory-heavy VM (1 core, 8 GiB ->
+        // ratio 8) pulls it towards 4.
+        let a = alloc(8, 16);
+        let v = vm(1, 8, 1);
+        let s = progress_score(&cfg(), &a, &v, ProgressConfig::default());
+        assert!(s > 0.0, "score {s}");
+    }
+
+    #[test]
+    fn aggravating_vm_scores_negative() {
+        // PM at ratio 2 (CPU-heavy); a CPU-heavy VM (4 cores, 4 GiB ->
+        // ratio 1) pushes it farther from 4.
+        let a = alloc(8, 16);
+        let v = vm(4, 4, 1);
+        let s = progress_score(&cfg(), &a, &v, ProgressConfig::default());
+        assert!(s < 0.0, "score {s}");
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // alloc = 10 cores / 20 GiB (ratio 2); vm = 2 cores / 12 GiB.
+        // next = 32/12 ≈ 2.667. currentΔ = 2, nextΔ ≈ 1.333,
+        // progress ≈ 0.667.
+        let a = alloc(10, 20);
+        let v = vm(2, 12, 1);
+        let s = progress_score(&cfg(), &a, &v, ProgressConfig::default());
+        assert!((s - (2.0 - (4.0 - 32.0 / 12.0))).abs() < 1e-9, "score {s}");
+    }
+
+    #[test]
+    fn negative_factor_amplifies_on_loaded_pm() {
+        let v = vm(4, 4, 1); // aggravating on a CPU-heavy PM
+        let light = alloc(4, 8); // ratio 2, load 4/32
+        let heavy = alloc(16, 32); // ratio 2, load 16/32
+        let knobs = ProgressConfig::default();
+        let s_light = progress_score(&cfg(), &light, &v, knobs);
+        let s_heavy = progress_score(&cfg(), &heavy, &v, knobs);
+        assert!(s_light < 0.0 && s_heavy < 0.0);
+        // raw deltas: light |2->?|: next=(8+4)/(4+4)=1.5, Δ goes 2->2.5,
+        // raw -0.5 ×(1+0.125)= -0.5625. heavy: next=(32+4)/(16+4)=1.8,
+        // Δ 2->2.2, raw -0.2 ×1.5 = -0.3. The *factor* amplified both;
+        // verify the factor itself by comparing with knobs off.
+        let off = ProgressConfig { negative_load_factor: false, ..knobs };
+        assert!(progress_score(&cfg(), &light, &v, off) > s_light);
+        assert!(progress_score(&cfg(), &heavy, &v, off) > s_heavy);
+    }
+
+    #[test]
+    fn empty_pm_is_penalized_by_vm_imbalance() {
+        let knobs = ProgressConfig::default();
+        let empty = AllocView::EMPTY;
+        // A perfectly balanced VM (ratio 4) on an empty PM: progress 0.
+        let balanced = vm(1, 4, 1);
+        assert_eq!(progress_score(&cfg(), &empty, &balanced, knobs), 0.0);
+        // An unbalanced VM: negative (prefers going to a loaded PM that
+        // it would rebalance).
+        let skewed = vm(4, 4, 1);
+        assert!(progress_score(&cfg(), &empty, &skewed, knobs) < 0.0);
+        // Ablation: neutral zero when the rule is off.
+        let off = ProgressConfig { empty_pm_is_ideal: false, ..knobs };
+        assert_eq!(progress_score(&cfg(), &empty, &skewed, off), 0.0);
+    }
+
+    #[test]
+    fn oversubscription_changes_the_vms_physical_ratio() {
+        // The same 2 vCPU / 8 GiB VM: at 1:1 it is memory-heavy (ratio
+        // 4 = target, progress towards target on a CPU-heavy PM);
+        // at 3:1 it is extremely memory-heavy (ratio ~12).
+        let a = alloc(8, 16); // ratio 2
+        let knobs = ProgressConfig::default();
+        let s1 = progress_score(&cfg(), &a, &vm(2, 8, 1), knobs);
+        let s3 = progress_score(&cfg(), &a, &vm(2, 8, 3), knobs);
+        assert!(s1 > 0.0 && s3 > 0.0);
+        // The 3:1 variant adds almost no CPU, so it moves the ratio more
+        // per core but less in absolute mem; just check both help and
+        // that they differ.
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn perfectly_balanced_pm_cannot_improve() {
+        let a = alloc(16, 64); // exactly ratio 4
+        let knobs = ProgressConfig::default();
+        for v in [vm(1, 1, 1), vm(1, 8, 1), vm(2, 8, 2)] {
+            let s = progress_score(&cfg(), &a, &v, knobs);
+            assert!(s <= 1e-12, "balanced PM produced positive progress {s}");
+        }
+        // A balanced VM keeps it balanced: progress exactly 0.
+        assert!(progress_score(&cfg(), &a, &vm(1, 4, 1), knobs).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn progress_is_bounded_by_current_delta(
+            acores in 1u32..32, amem in 1u64..128,
+            vcpus in 1u32..8, vmem in 1u64..32, level in 1u32..=3,
+        ) {
+            // progress = currentΔ - nextΔ <= currentΔ (nextΔ >= 0), and the
+            // negative branch only multiplies by a factor in [1, 2].
+            let a = alloc(acores, amem);
+            let v = vm(vcpus, vmem, level);
+            let s = progress_score(&cfg(), &a, &v, ProgressConfig::default());
+            let current_delta = (a.mc_ratio().gib_per_core() - 4.0).abs();
+            prop_assert!(s <= current_delta + 1e-9);
+        }
+
+        #[test]
+        fn score_is_finite_for_all_inputs(
+            acores in 0u32..32, amem in 0u64..128,
+            vcpus in 1u32..16, vmem in 1u64..64, level in 1u32..=4,
+        ) {
+            let a = alloc(acores, amem);
+            let v = vm(vcpus, vmem, level);
+            let s = progress_score(&cfg(), &a, &v, ProgressConfig::default());
+            prop_assert!(s.is_finite());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Soft-constraint scorers.
+
+use slackvm_model::{AllocView, PmConfig, VmSpec};
+
+use crate::progress::{progress_score, ProgressConfig};
+
+/// A soft-constraint scoring rule: higher is better. Scorers only see the
+/// pure `(config, alloc, vm)` triple — exactly the information a cloud
+/// control plane gathers from local schedulers.
+pub trait Scorer: Send + Sync {
+    /// Scores deploying `vm` on a PM with the given config and current
+    /// allocation. All candidates passed to a scorer already satisfy the
+    /// hard constraints.
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64;
+
+    /// Scorer name, for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's Algorithm 2 scorer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProgressScorer {
+    /// Ablation knobs (defaults reproduce the paper).
+    pub knobs: ProgressConfig,
+}
+
+impl ProgressScorer {
+    /// The paper-exact scorer.
+    pub fn paper() -> Self {
+        ProgressScorer { knobs: ProgressConfig::default() }
+    }
+}
+
+impl Scorer for ProgressScorer {
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64 {
+        progress_score(config, alloc, vm, self.knobs)
+    }
+
+    fn name(&self) -> &'static str {
+        "progress"
+    }
+}
+
+/// Classic Best-Fit: prefer the PM that would be left with the *least*
+/// normalized headroom — consolidates aggressively on the fullest
+/// fitting PM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitScorer;
+
+impl Scorer for BestFitScorer {
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64 {
+        let next = alloc.with_vm(vm);
+        let cpu_left = next.unallocated_cpu_share(config);
+        let mem_left = next.unallocated_mem_share(config);
+        -(cpu_left + mem_left)
+    }
+
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+}
+
+/// Classic Worst-Fit: prefer the *emptiest* PM — spreads load, trading
+/// packing density for headroom.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstFitScorer;
+
+impl Scorer for WorstFitScorer {
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64 {
+        let next = alloc.with_vm(vm);
+        let cpu_left = next.unallocated_cpu_share(config);
+        let mem_left = next.unallocated_mem_share(config);
+        cpu_left + mem_left
+    }
+
+    fn name(&self) -> &'static str {
+        "worst-fit"
+    }
+}
+
+/// Dot-product heuristic for vector bin packing (Panigrahy et al.,
+/// "Heuristics for Vector Bin Packing" — the paper's reference \[25\]):
+/// prefer the host whose *remaining-capacity vector* aligns best with
+/// the VM's demand vector, both normalized per dimension.
+///
+/// Like the progress scorer, it exploits complementarity — a CPU-heavy
+/// host headroom attracts CPU-light VMs — but through alignment rather
+/// than ratio distance, making it a natural literature baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DotProductScorer;
+
+impl Scorer for DotProductScorer {
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64 {
+        let head = alloc.headroom(config);
+        let hc = head.cpu.0 as f64 / config.cpu_capacity().0 as f64;
+        let hm = head.mem_mib as f64 / config.mem_mib as f64;
+        let dc = vm.physical_cpu().0 as f64 / config.cpu_capacity().0 as f64;
+        let dm = vm.mem_mib() as f64 / config.mem_mib as f64;
+        hc * dc + hm * dm
+    }
+
+    fn name(&self) -> &'static str {
+        "dot-product"
+    }
+}
+
+/// L2 norm-based greedy for vector bin packing (also from reference
+/// \[25\]): prefer the host minimizing the squared norm of the residual
+/// capacity after placement — it drives individual dimensions to zero
+/// together.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormBasedGreedyScorer;
+
+impl Scorer for NormBasedGreedyScorer {
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64 {
+        let next = alloc.with_vm(vm);
+        let rc = next.unallocated_cpu_share(config);
+        let rm = next.unallocated_mem_share(config);
+        -(rc * rc + rm * rm)
+    }
+
+    fn name(&self) -> &'static str {
+        "norm-greedy"
+    }
+}
+
+/// A weighted sum of scorers — how production control planes combine
+/// the SlackVM metric with their existing rules (paper §VII-B: "Cloud
+/// providers may guide workload packing by adjusting the weight of our
+/// metric in their scoring mechanism, alongside their others criteria").
+pub struct CompositeScorer {
+    parts: Vec<(f64, Box<dyn Scorer>)>,
+    name: &'static str,
+}
+
+impl CompositeScorer {
+    /// Builds a composite from `(weight, scorer)` parts.
+    pub fn new(name: &'static str, parts: Vec<(f64, Box<dyn Scorer>)>) -> Self {
+        CompositeScorer { parts, name }
+    }
+
+    /// The paper's progress metric combined with a light consolidation
+    /// bias: the progress score decides, and Best-Fit breaks its many
+    /// exact ties (e.g. single-level workloads where every candidate
+    /// scores 0) towards the fullest machine instead of spreading.
+    pub fn progress_with_consolidation(consolidation_weight: f64) -> Self {
+        CompositeScorer::new(
+            "progress+bestfit",
+            vec![
+                (1.0, Box::new(ProgressScorer::paper())),
+                (consolidation_weight, Box::new(BestFitScorer)),
+            ],
+        )
+    }
+}
+
+impl Scorer for CompositeScorer {
+    fn score(&self, config: &PmConfig, alloc: &AllocView, vm: &VmSpec) -> f64 {
+        self.parts
+            .iter()
+            .map(|(w, s)| w * s.score(config, alloc, vm))
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, Millicores, OversubLevel};
+
+    fn cfg() -> PmConfig {
+        PmConfig::simulation_host()
+    }
+
+    fn vm(vcpus: u32, mem_gib: u64) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::PREMIUM)
+    }
+
+    fn alloc(cores: u32, mem_gib: u64) -> AllocView {
+        AllocView::new(Millicores::from_cores(cores), gib(mem_gib))
+    }
+
+    #[test]
+    fn best_fit_prefers_fuller_pm() {
+        let s = BestFitScorer;
+        let v = vm(2, 8);
+        let full = s.score(&cfg(), &alloc(24, 96), &v);
+        let empty = s.score(&cfg(), &alloc(2, 8), &v);
+        assert!(full > empty);
+    }
+
+    #[test]
+    fn worst_fit_prefers_emptier_pm() {
+        let s = WorstFitScorer;
+        let v = vm(2, 8);
+        let full = s.score(&cfg(), &alloc(24, 96), &v);
+        let empty = s.score(&cfg(), &alloc(2, 8), &v);
+        assert!(empty > full);
+    }
+
+    #[test]
+    fn best_and_worst_fit_are_opposites() {
+        let v = vm(4, 4);
+        let a = alloc(10, 40);
+        assert_eq!(
+            BestFitScorer.score(&cfg(), &a, &v),
+            -WorstFitScorer.score(&cfg(), &a, &v)
+        );
+    }
+
+    #[test]
+    fn dot_product_prefers_complementary_headroom() {
+        let s = DotProductScorer;
+        // Host A: plenty of CPU headroom, little memory; host B the
+        // converse. A CPU-heavy VM aligns with A.
+        let a = alloc(4, 112); // headroom 28 cores / 16 GiB
+        let b = alloc(28, 16); // headroom 4 cores / 112 GiB
+        let cpu_vm = vm(8, 2);
+        let mem_vm = vm(1, 32);
+        assert!(s.score(&cfg(), &a, &cpu_vm) > s.score(&cfg(), &b, &cpu_vm));
+        assert!(s.score(&cfg(), &b, &mem_vm) > s.score(&cfg(), &a, &mem_vm));
+        assert_eq!(s.name(), "dot-product");
+    }
+
+    #[test]
+    fn norm_greedy_drives_residuals_to_zero() {
+        let s = NormBasedGreedyScorer;
+        let v = vm(2, 8);
+        // Fuller host leaves a smaller residual norm: preferred.
+        assert!(s.score(&cfg(), &alloc(28, 112), &v) > s.score(&cfg(), &alloc(2, 8), &v));
+        // A perfectly-emptied host scores the maximum (0).
+        let full_fit = alloc(30, 120);
+        assert!((s.score(&cfg(), &full_fit, &v) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_weights_sum() {
+        let c = CompositeScorer::new(
+            "both",
+            vec![(1.0, Box::new(BestFitScorer)), (1.0, Box::new(WorstFitScorer))],
+        );
+        // Equal opposite weights cancel exactly.
+        let v = vm(2, 4);
+        let a = alloc(8, 16);
+        assert_eq!(c.score(&cfg(), &a, &v), 0.0);
+        assert_eq!(c.name(), "both");
+    }
+
+    #[test]
+    fn consolidation_composite_breaks_progress_ties_towards_full_pm() {
+        let c = CompositeScorer::progress_with_consolidation(0.05);
+        let v = vm(2, 8); // ratio 4 = target: progress 0 on balanced PMs
+        let fuller = alloc(16, 64);
+        let emptier = alloc(4, 16);
+        assert!(c.score(&cfg(), &fuller, &v) > c.score(&cfg(), &emptier, &v));
+        // The progress term still dominates a real complementarity gap.
+        let cpu_heavy_pm = alloc(16, 16); // ratio 1
+        let mem_vm = vm(1, 12);
+        assert!(c.score(&cfg(), &cpu_heavy_pm, &mem_vm) > c.score(&cfg(), &fuller, &mem_vm));
+    }
+
+    #[test]
+    fn progress_scorer_delegates_to_algorithm2() {
+        let s = ProgressScorer::paper();
+        let a = alloc(8, 16); // CPU-heavy (ratio 2)
+        let complementary = vm(1, 8);
+        assert!(s.score(&cfg(), &a, &complementary) > 0.0);
+        assert_eq!(s.name(), "progress");
+    }
+}

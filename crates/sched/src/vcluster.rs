@@ -1,0 +1,162 @@
+//! The vCluster abstraction (paper §VI).
+//!
+//! A *vCluster* groups all vNodes of one oversubscription level across a
+//! shared pool of PMs: it is what the control plane addresses when a VM
+//! of that tier arrives, playing the role a dedicated physical cluster
+//! plays in conventional deployments. Unlike a physical cluster, its
+//! hosts — the vNodes — resize dynamically.
+//!
+//! The simulator updates each vCluster after every deploy/remove; this
+//! type is the bookkeeping and the reporting surface (per-tier cores,
+//! vCPUs, memory, effective oversubscription pressure).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{OversubLevel, PmId};
+
+/// A per-PM summary of one level's vNode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VClusterMember {
+    /// Cores in the vNode's span.
+    pub cores: u32,
+    /// vCPUs exposed by the vNode.
+    pub vcpus: u32,
+    /// Memory allocated by the vNode's VMs (MiB).
+    pub mem_mib: u64,
+    /// VM count.
+    pub vms: usize,
+}
+
+/// All vNodes of one oversubscription level across a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VCluster {
+    level: OversubLevel,
+    members: BTreeMap<PmId, VClusterMember>,
+}
+
+impl VCluster {
+    /// An empty vCluster for `level`.
+    pub fn new(level: OversubLevel) -> Self {
+        VCluster {
+            level,
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// The level this vCluster aggregates.
+    pub fn level(&self) -> OversubLevel {
+        self.level
+    }
+
+    /// Records (or refreshes) a PM's vNode summary. A summary with zero
+    /// VMs removes the member — the vNode dissolved.
+    pub fn update(&mut self, pm: PmId, member: VClusterMember) {
+        if member.vms == 0 {
+            self.members.remove(&pm);
+        } else {
+            self.members.insert(pm, member);
+        }
+    }
+
+    /// Drops a PM from the vCluster (e.g. the machine left the pool).
+    pub fn forget(&mut self, pm: PmId) {
+        self.members.remove(&pm);
+    }
+
+    /// PMs currently contributing a vNode, ascending.
+    pub fn member_ids(&self) -> impl Iterator<Item = PmId> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// A PM's summary, if it contributes a vNode.
+    pub fn member(&self, pm: PmId) -> Option<&VClusterMember> {
+        self.members.get(&pm)
+    }
+
+    /// Number of contributing PMs.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total VMs in the tier.
+    pub fn total_vms(&self) -> usize {
+        self.members.values().map(|m| m.vms).sum()
+    }
+
+    /// Total vCPUs exposed by the tier.
+    pub fn total_vcpus(&self) -> u32 {
+        self.members.values().map(|m| m.vcpus).sum()
+    }
+
+    /// Total cores pinned by the tier.
+    pub fn total_cores(&self) -> u32 {
+        self.members.values().map(|m| m.cores).sum()
+    }
+
+    /// Total memory allocated by the tier (MiB).
+    pub fn total_mem_mib(&self) -> u64 {
+        self.members.values().map(|m| m.mem_mib).sum()
+    }
+
+    /// Effective tier-wide vCPUs-per-core pressure; at most
+    /// `level.ratio()` by the vNode invariant.
+    pub fn effective_pressure(&self) -> f64 {
+        let cores = self.total_cores();
+        if cores == 0 {
+            0.0
+        } else {
+            self.total_vcpus() as f64 / cores as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(cores: u32, vcpus: u32, mem_mib: u64, vms: usize) -> VClusterMember {
+        VClusterMember { cores, vcpus, mem_mib, vms }
+    }
+
+    #[test]
+    fn update_and_totals() {
+        let mut vc = VCluster::new(OversubLevel::of(3));
+        vc.update(PmId(0), member(2, 6, 4096, 3));
+        vc.update(PmId(1), member(1, 2, 1024, 1));
+        assert_eq!(vc.num_members(), 2);
+        assert_eq!(vc.total_vms(), 4);
+        assert_eq!(vc.total_vcpus(), 8);
+        assert_eq!(vc.total_cores(), 3);
+        assert_eq!(vc.total_mem_mib(), 5120);
+        assert!((vc.effective_pressure() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_replaces_not_accumulates() {
+        let mut vc = VCluster::new(OversubLevel::of(2));
+        vc.update(PmId(0), member(2, 4, 2048, 2));
+        vc.update(PmId(0), member(3, 5, 3072, 3));
+        assert_eq!(vc.num_members(), 1);
+        assert_eq!(vc.total_vcpus(), 5);
+    }
+
+    #[test]
+    fn zero_vm_summary_removes_member() {
+        let mut vc = VCluster::new(OversubLevel::of(2));
+        vc.update(PmId(0), member(2, 4, 2048, 2));
+        vc.update(PmId(0), member(0, 0, 0, 0));
+        assert_eq!(vc.num_members(), 0);
+        assert_eq!(vc.effective_pressure(), 0.0);
+    }
+
+    #[test]
+    fn forget_drops_member() {
+        let mut vc = VCluster::new(OversubLevel::of(1));
+        vc.update(PmId(3), member(4, 4, 4096, 2));
+        vc.forget(PmId(3));
+        assert!(vc.member(PmId(3)).is_none());
+        assert_eq!(vc.member_ids().count(), 0);
+    }
+}

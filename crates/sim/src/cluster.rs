@@ -1,0 +1,404 @@
+//! An open-on-demand cluster, generic over the host implementation.
+
+use std::collections::BTreeMap;
+
+use slackvm_hypervisor::Host;
+use slackvm_model::{AllocView, Millicores, PmId, VmId, VmSpec};
+use slackvm_sched::{Candidate, PlacementPolicy};
+
+use crate::error::SimError;
+
+/// A growable pool of hosts of one concrete type.
+///
+/// Mirrors the paper's protocol: "starting from an empty cluster and
+/// progressively increased until the minimal number of PMs was
+/// determined" — a new host opens only when no existing host passes the
+/// hard-constraint filter, so the number of opened hosts *is* the
+/// minimal cluster size for the replayed sequence under the policy.
+pub struct Cluster<H: Host> {
+    hosts: Vec<H>,
+    factory: Box<dyn Fn(PmId) -> H + Send>,
+    placements: BTreeMap<VmId, PmId>,
+    max_hosts: Option<u32>,
+    failed: std::collections::BTreeSet<PmId>,
+}
+
+impl<H: Host> Cluster<H> {
+    /// Creates an unbounded cluster with a host factory.
+    pub fn new(factory: impl Fn(PmId) -> H + Send + 'static) -> Self {
+        Cluster {
+            hosts: Vec::new(),
+            factory: Box::new(factory),
+            placements: BTreeMap::new(),
+            max_hosts: None,
+            failed: Default::default(),
+        }
+    }
+
+    /// Caps the number of hosts that may be opened.
+    pub fn with_max_hosts(mut self, max: u32) -> Self {
+        self.max_hosts = Some(max);
+        self
+    }
+
+    /// Hosts opened so far.
+    pub fn hosts(&self) -> &[H] {
+        &self.hosts
+    }
+
+    /// Mutable access to hosts (used by deployment models to refresh
+    /// vCluster summaries).
+    pub fn hosts_mut(&mut self) -> &mut [H] {
+        &mut self.hosts
+    }
+
+    /// Number of opened hosts — the provisioned cluster size.
+    pub fn opened(&self) -> u32 {
+        self.hosts.len() as u32
+    }
+
+    /// Number of hosts currently hosting at least one VM.
+    pub fn active(&self) -> u32 {
+        self.hosts.iter().filter(|h| !h.is_idle()).count() as u32
+    }
+
+    /// Where a VM is placed.
+    pub fn location_of(&self, id: VmId) -> Option<PmId> {
+        self.placements.get(&id).copied()
+    }
+
+    /// Currently placed VM count.
+    pub fn num_vms(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Sum of host allocations.
+    pub fn total_alloc(&self) -> AllocView {
+        self.hosts.iter().fold(AllocView::EMPTY, |acc, h| {
+            let a = h.alloc();
+            AllocView::new(acc.cpu + a.cpu, acc.mem_mib + a.mem_mib)
+        })
+    }
+
+    /// Sum of host capacities over the *opened* cluster.
+    pub fn total_capacity(&self) -> AllocView {
+        self.hosts.iter().fold(AllocView::EMPTY, |acc, h| {
+            let c = h.config();
+            AllocView::new(
+                acc.cpu + Millicores::from_cores(c.cores),
+                acc.mem_mib + c.mem_mib,
+            )
+        })
+    }
+
+    /// Places a VM: filters hosts on the hard constraints, delegates the
+    /// choice to `policy`, and opens a new host when nothing fits.
+    pub fn deploy(
+        &mut self,
+        id: VmId,
+        spec: VmSpec,
+        policy: &PlacementPolicy,
+    ) -> Result<PmId, SimError> {
+        let candidates: Vec<Candidate> = self
+            .hosts
+            .iter()
+            .filter(|h| !self.failed.contains(&h.id()) && h.can_host(&spec))
+            .map(|h| Candidate {
+                id: h.id(),
+                config: h.config(),
+                alloc: h.alloc(),
+                vms: h.num_vms(),
+            })
+            .collect();
+
+        if let Some(pm) = policy.select(&candidates, &spec) {
+            let host = self
+                .hosts
+                .iter_mut()
+                .find(|h| h.id() == pm)
+                .expect("candidate came from this cluster");
+            host.deploy(id, spec)
+                .expect("can_host was checked during filtering");
+            self.placements.insert(id, pm);
+            return Ok(pm);
+        }
+
+        // Nothing fits: open a new host.
+        if let Some(max) = self.max_hosts {
+            if self.opened() >= max {
+                return Err(SimError::DeploymentFailed(id));
+            }
+        }
+        let pm = PmId(self.hosts.len() as u32);
+        let mut host = (self.factory)(pm);
+        host.deploy(id, spec)
+            .map_err(|_| SimError::Unsatisfiable(id))?;
+        self.hosts.push(host);
+        self.placements.insert(id, pm);
+        Ok(pm)
+    }
+
+    /// Places a VM through a full [`slackvm_sched::Scheduler`] pipeline (hard-constraint
+    /// filters + policy) instead of a bare policy. Filters apply to
+    /// *existing* hosts only; when every host is filtered out a new one
+    /// opens, exactly as with [`Cluster::deploy`].
+    pub fn deploy_scheduled(
+        &mut self,
+        id: VmId,
+        spec: VmSpec,
+        scheduler: &slackvm_sched::Scheduler,
+    ) -> Result<PmId, SimError> {
+        let candidates: Vec<Candidate> = self
+            .hosts
+            .iter()
+            .filter(|h| !self.failed.contains(&h.id()) && h.can_host(&spec))
+            .map(|h| Candidate {
+                id: h.id(),
+                config: h.config(),
+                alloc: h.alloc(),
+                vms: h.num_vms(),
+            })
+            .collect();
+        if let Some(pm) = scheduler.place(&candidates, &spec) {
+            let host = self
+                .hosts
+                .iter_mut()
+                .find(|h| h.id() == pm)
+                .expect("candidate came from this cluster");
+            host.deploy(id, spec)
+                .expect("can_host was checked during filtering");
+            self.placements.insert(id, pm);
+            return Ok(pm);
+        }
+        if let Some(max) = self.max_hosts {
+            if self.opened() >= max {
+                return Err(SimError::DeploymentFailed(id));
+            }
+        }
+        let pm = PmId(self.hosts.len() as u32);
+        let mut host = (self.factory)(pm);
+        host.deploy(id, spec)
+            .map_err(|_| SimError::Unsatisfiable(id))?;
+        self.hosts.push(host);
+        self.placements.insert(id, pm);
+        Ok(pm)
+    }
+
+    /// Moves a VM to a specific host — the migration primitive. The
+    /// destination must fit the VM; on failure the VM stays where it
+    /// was (the check happens before the removal).
+    pub fn migrate(&mut self, id: VmId, to: PmId) -> Result<(), SimError> {
+        let from = self
+            .placements
+            .get(&id)
+            .copied()
+            .ok_or(SimError::UnknownVm(id))?;
+        if from == to {
+            return Ok(());
+        }
+        if self.failed.contains(&to) {
+            return Err(SimError::DeploymentFailed(id));
+        }
+        // The host trait has no spec lookup, so lift the VM off its
+        // source and roll back if the destination refuses it.
+        let spec = self
+            .hosts
+            .iter_mut()
+            .find(|h| h.id() == from)
+            .expect("placement map is consistent")
+            .remove(id)
+            .expect("placement map is consistent");
+        let dest = self
+            .hosts
+            .iter_mut()
+            .find(|h| h.id() == to)
+            .ok_or(SimError::DeploymentFailed(id))?;
+        if dest.can_host(&spec) {
+            dest.deploy(id, spec).expect("can_host checked");
+            self.placements.insert(id, to);
+            Ok(())
+        } else {
+            // Roll back onto the source.
+            let src = self
+                .hosts
+                .iter_mut()
+                .find(|h| h.id() == from)
+                .expect("source still exists");
+            src.deploy(id, spec)
+                .expect("the VM just vacated this capacity");
+            Err(SimError::DeploymentFailed(id))
+        }
+    }
+
+    /// Fails a host: it stops accepting deployments and every hosted VM
+    /// is evicted and returned (for the caller to re-place or declare
+    /// lost). Idempotent: failing a failed or unknown host evicts
+    /// nothing.
+    pub fn fail_host(&mut self, pm: PmId) -> Vec<(VmId, VmSpec)> {
+        if !self.failed.insert(pm) {
+            return Vec::new();
+        }
+        let Some(host) = self.hosts.iter_mut().find(|h| h.id() == pm) else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        for id in host.vm_ids() {
+            let spec = host.remove(id).expect("vm_ids() lists hosted VMs");
+            self.placements.remove(&id);
+            evicted.push((id, spec));
+        }
+        evicted
+    }
+
+    /// Returns a failed host to service (e.g. after repair).
+    pub fn repair_host(&mut self, pm: PmId) {
+        self.failed.remove(&pm);
+    }
+
+    /// Whether a host is currently failed.
+    pub fn is_failed(&self, pm: PmId) -> bool {
+        self.failed.contains(&pm)
+    }
+
+    /// Number of hosts currently failed.
+    pub fn failed_count(&self) -> u32 {
+        self.failed.len() as u32
+    }
+
+    /// Removes a VM, returning the PM that hosted it.
+    pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
+        let pm = self
+            .placements
+            .remove(&id)
+            .ok_or(SimError::UnknownVm(id))?;
+        let host = self
+            .hosts
+            .iter_mut()
+            .find(|h| h.id() == pm)
+            .expect("placement map points at an opened host");
+        host.remove(id).expect("placement map is consistent");
+        Ok(pm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_hypervisor::UniformMachine;
+    use slackvm_model::{gib, OversubLevel, PmConfig};
+
+    fn premium_cluster() -> Cluster<UniformMachine> {
+        Cluster::new(|id| {
+            UniformMachine::new(id, PmConfig::simulation_host(), OversubLevel::PREMIUM)
+        })
+    }
+
+    fn spec(vcpus: u32, mem_gib: u64) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::PREMIUM)
+    }
+
+    #[test]
+    fn opens_hosts_on_demand_first_fit() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        // Each VM takes 20 cores of the 32: two per host never fit.
+        for i in 0..4 {
+            c.deploy(VmId(i), spec(20, 20), &policy).unwrap();
+        }
+        assert_eq!(c.opened(), 4);
+        // Small VMs backfill host 0 first.
+        let pm = c.deploy(VmId(10), spec(4, 4), &policy).unwrap();
+        assert_eq!(pm, PmId(0));
+        assert_eq!(c.opened(), 4);
+    }
+
+    #[test]
+    fn removal_frees_capacity_for_reuse() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        c.deploy(VmId(0), spec(30, 30), &policy).unwrap();
+        c.deploy(VmId(1), spec(30, 30), &policy).unwrap();
+        assert_eq!(c.opened(), 2);
+        assert_eq!(c.active(), 2);
+        c.remove(VmId(0)).unwrap();
+        assert_eq!(c.active(), 1);
+        // The freed host 0 is reused instead of opening a third.
+        let pm = c.deploy(VmId(2), spec(30, 30), &policy).unwrap();
+        assert_eq!(pm, PmId(0));
+        assert_eq!(c.opened(), 2);
+    }
+
+    #[test]
+    fn cap_rejects_when_full() {
+        let mut c = premium_cluster().with_max_hosts(1);
+        let policy = PlacementPolicy::FirstFit;
+        c.deploy(VmId(0), spec(30, 30), &policy).unwrap();
+        let err = c.deploy(VmId(1), spec(30, 30), &policy).unwrap_err();
+        assert_eq!(err, SimError::DeploymentFailed(VmId(1)));
+    }
+
+    #[test]
+    fn unsatisfiable_request_is_flagged() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        let err = c.deploy(VmId(0), spec(64, 1), &policy).unwrap_err();
+        assert_eq!(err, SimError::Unsatisfiable(VmId(0)));
+        // The tentative host is discarded: nothing opened, nothing placed.
+        assert_eq!(c.opened(), 0);
+        assert_eq!(c.location_of(VmId(0)), None);
+    }
+
+    #[test]
+    fn totals_track_allocations() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        c.deploy(VmId(0), spec(8, 16), &policy).unwrap();
+        c.deploy(VmId(1), spec(8, 16), &policy).unwrap();
+        let alloc = c.total_alloc();
+        assert_eq!(alloc.cpu, Millicores::from_cores(16));
+        assert_eq!(alloc.mem_mib, gib(32));
+        let cap = c.total_capacity();
+        assert_eq!(cap.cpu, Millicores::from_cores(32));
+        assert_eq!(cap.mem_mib, gib(128));
+        assert_eq!(c.num_vms(), 2);
+    }
+
+    #[test]
+    fn unknown_vm_removal_errors() {
+        let mut c = premium_cluster();
+        assert_eq!(c.remove(VmId(9)).unwrap_err(), SimError::UnknownVm(VmId(9)));
+    }
+
+    #[test]
+    fn scheduled_deploys_respect_filters() {
+        use slackvm_sched::{MaxVmsFilter, Scheduler};
+        let mut c = premium_cluster();
+        let scheduler =
+            Scheduler::new(PlacementPolicy::FirstFit).with_filter(MaxVmsFilter { max_vms: 2 });
+        // Two VMs land on host 0; the density cap pushes the third to a
+        // fresh host even though host 0 has room.
+        for i in 0..3 {
+            c.deploy_scheduled(VmId(i), spec(1, 1), &scheduler).unwrap();
+        }
+        assert_eq!(c.opened(), 2);
+        assert_eq!(c.location_of(VmId(2)), Some(PmId(1)));
+        // Without the filter the same sequence stays on one host.
+        let mut c2 = premium_cluster();
+        let plain = Scheduler::new(PlacementPolicy::FirstFit);
+        for i in 0..3 {
+            c2.deploy_scheduled(VmId(i), spec(1, 1), &plain).unwrap();
+        }
+        assert_eq!(c2.opened(), 1);
+    }
+
+    #[test]
+    fn scheduled_deploys_hit_the_cap() {
+        use slackvm_sched::{MaxVmsFilter, Scheduler};
+        let mut c = premium_cluster().with_max_hosts(1);
+        let scheduler =
+            Scheduler::new(PlacementPolicy::FirstFit).with_filter(MaxVmsFilter { max_vms: 1 });
+        c.deploy_scheduled(VmId(0), spec(1, 1), &scheduler).unwrap();
+        let err = c.deploy_scheduled(VmId(1), spec(1, 1), &scheduler).unwrap_err();
+        assert_eq!(err, SimError::DeploymentFailed(VmId(1)));
+    }
+}

@@ -1,0 +1,534 @@
+//! The two deployment models under comparison.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use slackvm_hypervisor::{Host, PhysicalMachine, PinChurn, UniformMachine};
+use slackvm_model::{AllocView, OversubLevel, PmConfig, PmId, VmId, VmSpec};
+use slackvm_sched::vcluster::VClusterMember;
+use slackvm_sched::{CompositeScorer, PlacementPolicy, ProgressScorer, VCluster};
+use slackvm_topology::{CpuTopology, DistanceMatrix, SelectionPolicy, TopologySelection};
+
+use crate::cluster::Cluster;
+use crate::error::SimError;
+
+/// A deployment model: where VMs of each level may land and how targets
+/// are chosen.
+pub enum DeploymentModel {
+    /// One isolated, single-level cluster per oversubscription tier —
+    /// the conventional architecture the paper baselines against.
+    Dedicated(DedicatedDeployment),
+    /// One shared pool of partitioned SlackVM workers.
+    Shared(SharedDeployment),
+}
+
+impl DeploymentModel {
+    /// Places a VM.
+    pub fn deploy(&mut self, id: VmId, spec: VmSpec) -> Result<PmId, SimError> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.deploy(id, spec),
+            DeploymentModel::Shared(s) => s.deploy(id, spec),
+        }
+    }
+
+    /// Removes a VM.
+    pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.remove(id),
+            DeploymentModel::Shared(s) => s.remove(id),
+        }
+    }
+
+    /// Vertically resizes a hosted VM in place. Fails (without side
+    /// effects) when the hosting machine cannot absorb the new size —
+    /// control planes surface that as a rejected resize request.
+    pub fn resize(&mut self, id: VmId, vcpus: u32, mem_mib: u64) -> Result<(), SimError> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.resize(id, vcpus, mem_mib),
+            DeploymentModel::Shared(s) => s.resize(id, vcpus, mem_mib),
+        }
+    }
+
+    /// Total PMs opened across all (sub)clusters.
+    pub fn opened_pms(&self) -> u32 {
+        match self {
+            DeploymentModel::Dedicated(d) => d.opened_pms(),
+            DeploymentModel::Shared(s) => s.cluster.opened(),
+        }
+    }
+
+    /// Cluster-wide allocation and capacity over opened PMs.
+    pub fn totals(&self) -> (AllocView, AllocView) {
+        match self {
+            DeploymentModel::Dedicated(d) => d.totals(),
+            DeploymentModel::Shared(s) => (s.cluster.total_alloc(), s.cluster.total_capacity()),
+        }
+    }
+
+    /// Model label for reports.
+    pub fn name(&self) -> String {
+        match self {
+            DeploymentModel::Dedicated(_) => "dedicated/first-fit".to_string(),
+            DeploymentModel::Shared(s) => format!("slackvm/{}", s.policy.name()),
+        }
+    }
+}
+
+/// The baseline: per-level clusters of [`UniformMachine`]s, each placed
+/// by First-Fit.
+pub struct DedicatedDeployment {
+    clusters: BTreeMap<OversubLevel, Cluster<UniformMachine>>,
+    config: PmConfig,
+    policy: PlacementPolicy,
+}
+
+impl DedicatedDeployment {
+    /// Builds the baseline for a set of levels with identical hardware.
+    pub fn new(config: PmConfig, levels: impl IntoIterator<Item = OversubLevel>) -> Self {
+        let mut clusters = BTreeMap::new();
+        for level in levels {
+            clusters.insert(
+                level,
+                Cluster::new(move |id| UniformMachine::new(id, config, level)),
+            );
+        }
+        DedicatedDeployment {
+            clusters,
+            config,
+            policy: PlacementPolicy::FirstFit,
+        }
+    }
+
+    /// The per-level cluster, if that level was configured.
+    pub fn cluster(&self, level: OversubLevel) -> Option<&Cluster<UniformMachine>> {
+        self.clusters.get(&level)
+    }
+
+    /// PMs opened per level, for the paper's per-cluster breakdowns
+    /// ("83 PMs: 55 for the 1:1 cluster and 28 for the 3:1 cluster").
+    pub fn opened_per_level(&self) -> BTreeMap<OversubLevel, u32> {
+        self.clusters
+            .iter()
+            .map(|(level, c)| (*level, c.opened()))
+            .collect()
+    }
+
+    fn opened_pms(&self) -> u32 {
+        self.clusters.values().map(|c| c.opened()).sum()
+    }
+
+    fn totals(&self) -> (AllocView, AllocView) {
+        let mut alloc = AllocView::EMPTY;
+        let mut cap = AllocView::EMPTY;
+        for c in self.clusters.values() {
+            let a = c.total_alloc();
+            let k = c.total_capacity();
+            alloc = AllocView::new(alloc.cpu + a.cpu, alloc.mem_mib + a.mem_mib);
+            cap = AllocView::new(cap.cpu + k.cpu, cap.mem_mib + k.mem_mib);
+        }
+        (alloc, cap)
+    }
+
+    fn deploy(&mut self, id: VmId, spec: VmSpec) -> Result<PmId, SimError> {
+        let cluster = self.clusters.entry(spec.level).or_insert_with(|| {
+            let config = self.config;
+            let level = spec.level;
+            Cluster::new(move |id| UniformMachine::new(id, config, level))
+        });
+        cluster.deploy(id, spec, &self.policy)
+    }
+
+    fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
+        for cluster in self.clusters.values_mut() {
+            if cluster.location_of(id).is_some() {
+                return cluster.remove(id);
+            }
+        }
+        Err(SimError::UnknownVm(id))
+    }
+
+    /// Vertically resizes a hosted VM on whatever machine hosts it.
+    pub fn resize(&mut self, id: VmId, vcpus: u32, mem_mib: u64) -> Result<(), SimError> {
+        for cluster in self.clusters.values_mut() {
+            if let Some(pm) = cluster.location_of(id) {
+                let host = cluster
+                    .hosts_mut()
+                    .iter_mut()
+                    .find(|h| h.id() == pm)
+                    .expect("placement is consistent");
+                return host
+                    .resize_vm(id, vcpus, mem_mib)
+                    .map_err(|_| SimError::DeploymentFailed(id));
+            }
+        }
+        Err(SimError::UnknownVm(id))
+    }
+}
+
+/// The SlackVM architecture: one shared pool of partitioned workers; all
+/// levels coexist; targets picked by a configurable policy (the paper's
+/// progress scorer by default); vClusters kept as per-level views.
+pub struct SharedDeployment {
+    /// The shared pool.
+    pub cluster: Cluster<PhysicalMachine>,
+    /// Placement policy (progress scorer unless overridden).
+    pub policy: PlacementPolicy,
+    vclusters: BTreeMap<OversubLevel, VCluster>,
+}
+
+/// Default weight of the Best-Fit consolidation term combined with the
+/// progress scorer (see [`CompositeScorer::progress_with_consolidation`]).
+///
+/// The progress score produces many exact ties (every balanced machine
+/// scores 0 for a balanced VM); a light consolidation bias resolves them
+/// towards the fullest machine, which is what production scoring stacks
+/// do ("alongside their others criteria", paper §VII-B). 0.15 reproduces
+/// the paper's headline savings most closely.
+pub const DEFAULT_CONSOLIDATION_WEIGHT: f64 = 0.15;
+
+impl SharedDeployment {
+    /// Builds a shared pool whose workers expose `topology` and
+    /// `mem_mib`, scored by the paper's progress metric with the default
+    /// consolidation tiebreak, and topology-driven core selection.
+    pub fn new(topology: Arc<CpuTopology>, mem_mib: u64) -> Self {
+        Self::with_policy(
+            topology,
+            mem_mib,
+            PlacementPolicy::scored(CompositeScorer::progress_with_consolidation(
+                DEFAULT_CONSOLIDATION_WEIGHT,
+            )),
+        )
+    }
+
+    /// Builds a shared pool scored by the *pure* Algorithm 2 progress
+    /// metric (no consolidation term) — the paper-exact scorer, kept for
+    /// the ablation studies.
+    pub fn paper_pure(topology: Arc<CpuTopology>, mem_mib: u64) -> Self {
+        Self::with_policy(
+            topology,
+            mem_mib,
+            PlacementPolicy::scored(ProgressScorer::paper()),
+        )
+    }
+
+    /// Builds a *heterogeneous* shared pool: newly-opened workers cycle
+    /// through `shapes` (`(topology, mem_mib)` pairs). Algorithm 2
+    /// computes each machine's target ratio individually, so mixed
+    /// hardware generations share one pool — the paper's "heterogeneous
+    /// hardware" consideration (§VI) as a first-class deployment.
+    pub fn heterogeneous(
+        shapes: Vec<(Arc<CpuTopology>, u64)>,
+        policy: PlacementPolicy,
+    ) -> Self {
+        assert!(!shapes.is_empty(), "at least one worker shape required");
+        let selections: Vec<Arc<dyn SelectionPolicy + Send + Sync>> = shapes
+            .iter()
+            .map(|(topology, _)| {
+                Arc::new(TopologySelection::new(DistanceMatrix::build(topology)))
+                    as Arc<dyn SelectionPolicy + Send + Sync>
+            })
+            .collect();
+        let factory = move |id: PmId| {
+            let i = id.0 as usize % shapes.len();
+            let (topology, mem_mib) = &shapes[i];
+            PhysicalMachine::new(
+                id,
+                Arc::clone(topology),
+                *mem_mib,
+                Arc::clone(&selections[i]),
+            )
+        };
+        SharedDeployment {
+            cluster: Cluster::new(factory),
+            policy,
+            vclusters: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a shared pool capped at `max_hosts` workers, for
+    /// rejection-path testing and capacity-planning what-ifs.
+    pub fn with_capped_cluster(
+        topology: Arc<CpuTopology>,
+        mem_mib: u64,
+        max_hosts: u32,
+    ) -> Self {
+        let mut pool = Self::new(topology, mem_mib);
+        pool.cluster = std::mem::replace(
+            &mut pool.cluster,
+            Cluster::new(|_| unreachable!("replaced immediately")),
+        )
+        .with_max_hosts(max_hosts);
+        pool
+    }
+
+    /// Builds a shared pool with an explicit placement policy.
+    pub fn with_policy(
+        topology: Arc<CpuTopology>,
+        mem_mib: u64,
+        policy: PlacementPolicy,
+    ) -> Self {
+        // One distance matrix + selection policy shared by every worker.
+        let selection: Arc<dyn SelectionPolicy + Send + Sync> =
+            Arc::new(TopologySelection::new(DistanceMatrix::build(&topology)));
+        let factory = move |id: PmId| {
+            PhysicalMachine::new(id, Arc::clone(&topology), mem_mib, Arc::clone(&selection))
+        };
+        SharedDeployment {
+            cluster: Cluster::new(factory),
+            policy,
+            vclusters: BTreeMap::new(),
+        }
+    }
+
+    /// The vCluster view for a level, if any VM of that level is (or
+    /// was) hosted.
+    pub fn vcluster(&self, level: OversubLevel) -> Option<&VCluster> {
+        self.vclusters.get(&level)
+    }
+
+    /// Fails a worker: evicts and returns its VMs, refreshing the
+    /// vCluster views. The worker stays opened but out of service.
+    pub fn fail_host(&mut self, pm: PmId) -> Vec<(VmId, VmSpec)> {
+        let evicted = self.cluster.fail_host(pm);
+        let levels: std::collections::BTreeSet<OversubLevel> =
+            evicted.iter().map(|(_, spec)| spec.level).collect();
+        for level in levels {
+            self.refresh_vcluster(pm, level);
+        }
+        evicted
+    }
+
+    /// Aggregated pin churn across all workers.
+    pub fn total_churn(&self) -> PinChurn {
+        let mut total = PinChurn::default();
+        for host in self.cluster.hosts() {
+            total.merge(host.churn());
+        }
+        total
+    }
+
+    /// Vertically resizes a hosted VM in place, refreshing the vCluster
+    /// view. Fails without side effects when the hosting worker cannot
+    /// absorb the new size.
+    pub fn resize(&mut self, id: VmId, vcpus: u32, mem_mib: u64) -> Result<(), SimError> {
+        let pm = self
+            .cluster
+            .location_of(id)
+            .ok_or(SimError::UnknownVm(id))?;
+        let level = self
+            .cluster
+            .hosts()
+            .iter()
+            .find(|h| h.id() == pm)
+            .and_then(|h| h.level_of(id))
+            .expect("placement is consistent");
+        let host = self
+            .cluster
+            .hosts_mut()
+            .iter_mut()
+            .find(|h| h.id() == pm)
+            .expect("placement is consistent");
+        host.resize_vm(id, vcpus, mem_mib)
+            .map_err(|_| SimError::DeploymentFailed(id))?;
+        self.refresh_vcluster(pm, level);
+        Ok(())
+    }
+
+    /// Executes one compaction round (the paper's future-work live
+    /// migration, made concrete): plans over current snapshots, applies
+    /// every move, and returns `(migrations, drained PMs)`. Moves whose
+    /// destination meanwhile cannot take the VM are skipped — the plan
+    /// is advisory, the cluster state is authoritative.
+    pub fn compact_now(&mut self) -> (u32, u32) {
+        let snapshots: Vec<slackvm_hypervisor::MachineSnapshot> =
+            self.cluster.hosts().iter().map(|h| h.snapshot()).collect();
+        let plan = slackvm_hypervisor::plan_compaction(&snapshots);
+        let mut migrations = 0u32;
+        for mv in &plan.moves {
+            // The planner may chain a VM through several hops; apply a
+            // move only when the VM is still where the plan expects it.
+            if self.cluster.location_of(mv.vm) != Some(mv.from) {
+                continue;
+            }
+            let level = self
+                .cluster
+                .hosts()
+                .iter()
+                .find(|h| h.id() == mv.from)
+                .and_then(|h| h.level_of(mv.vm));
+            if self.cluster.migrate(mv.vm, mv.to).is_ok() {
+                migrations += 1;
+                if let Some(level) = level {
+                    self.refresh_vcluster(mv.from, level);
+                    self.refresh_vcluster(mv.to, level);
+                }
+            }
+        }
+        let drained = self
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| plan.releasable.contains(&h.id()) && h.is_idle())
+            .count() as u32;
+        (migrations, drained)
+    }
+
+    fn refresh_vcluster(&mut self, pm: PmId, level: OversubLevel) {
+        let member = self
+            .cluster
+            .hosts()
+            .iter()
+            .find(|h| h.id() == pm)
+            .and_then(|h| h.vnode(level))
+            .map(|v| VClusterMember {
+                cores: v.num_cores(),
+                vcpus: v.total_vcpus(),
+                mem_mib: v.total_mem_mib(),
+                vms: v.num_vms(),
+            })
+            .unwrap_or_default();
+        self.vclusters
+            .entry(level)
+            .or_insert_with(|| VCluster::new(level))
+            .update(pm, member);
+    }
+
+    /// Places a VM on the shared pool (public for direct driving in
+    /// tests and tools; the engine goes through [`DeploymentModel`]).
+    pub fn deploy(&mut self, id: VmId, spec: VmSpec) -> Result<PmId, SimError> {
+        let pm = self.cluster.deploy(id, spec, &self.policy)?;
+        self.refresh_vcluster(pm, spec.level);
+        Ok(pm)
+    }
+
+    /// Removes a VM from the shared pool.
+    pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
+        let level = self
+            .cluster
+            .location_of(id)
+            .and_then(|pm| {
+                self.cluster
+                    .hosts()
+                    .iter()
+                    .find(|h| h.id() == pm)
+                    .and_then(|h| h.level_of(id))
+            })
+            .ok_or(SimError::UnknownVm(id))?;
+        let pm = self.cluster.remove(id)?;
+        self.refresh_vcluster(pm, level);
+        Ok(pm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::gib;
+    use slackvm_topology::builders;
+
+    fn spec(vcpus: u32, mem_gib: u64, level: u32) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level))
+    }
+
+    fn levels() -> Vec<OversubLevel> {
+        vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)]
+    }
+
+    #[test]
+    fn dedicated_routes_by_level() {
+        let mut d = DedicatedDeployment::new(PmConfig::simulation_host(), levels());
+        d.deploy(VmId(0), spec(2, 4, 1)).unwrap();
+        d.deploy(VmId(1), spec(2, 4, 3)).unwrap();
+        assert_eq!(d.opened_pms(), 2);
+        let per = d.opened_per_level();
+        assert_eq!(per[&OversubLevel::of(1)], 1);
+        assert_eq!(per[&OversubLevel::of(2)], 0);
+        assert_eq!(per[&OversubLevel::of(3)], 1);
+        d.remove(VmId(0)).unwrap();
+        assert!(matches!(d.remove(VmId(0)), Err(SimError::UnknownVm(_))));
+    }
+
+    #[test]
+    fn dedicated_opens_cluster_for_unconfigured_level() {
+        let mut d = DedicatedDeployment::new(PmConfig::simulation_host(), vec![]);
+        d.deploy(VmId(0), spec(2, 4, 2)).unwrap();
+        assert_eq!(d.opened_pms(), 1);
+    }
+
+    #[test]
+    fn shared_cohosts_levels_on_one_pm() {
+        let mut s = SharedDeployment::new(Arc::new(builders::flat(32)), gib(128));
+        let model_pm0 = s.deploy(VmId(0), spec(2, 4, 1)).unwrap();
+        let pm1 = s.deploy(VmId(1), spec(2, 4, 3)).unwrap();
+        assert_eq!(model_pm0, pm1, "both levels fit on the first worker");
+        assert_eq!(s.cluster.opened(), 1);
+        let vc3 = s.vcluster(OversubLevel::of(3)).unwrap();
+        assert_eq!(vc3.total_vms(), 1);
+        assert_eq!(vc3.total_cores(), 1);
+    }
+
+    #[test]
+    fn shared_vcluster_tracks_departures() {
+        let mut s = SharedDeployment::new(Arc::new(builders::flat(32)), gib(128));
+        s.deploy(VmId(0), spec(3, 3, 3)).unwrap();
+        s.deploy(VmId(1), spec(3, 3, 3)).unwrap();
+        assert_eq!(s.vcluster(OversubLevel::of(3)).unwrap().total_vcpus(), 6);
+        s.remove(VmId(0)).unwrap();
+        assert_eq!(s.vcluster(OversubLevel::of(3)).unwrap().total_vcpus(), 3);
+        s.remove(VmId(1)).unwrap();
+        assert_eq!(s.vcluster(OversubLevel::of(3)).unwrap().num_members(), 0);
+    }
+
+    #[test]
+    fn model_names() {
+        let d = DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            levels(),
+        ));
+        assert_eq!(d.name(), "dedicated/first-fit");
+        let s = DeploymentModel::Shared(SharedDeployment::new(
+            Arc::new(builders::flat(32)),
+            gib(128),
+        ));
+        assert_eq!(s.name(), "slackvm/progress+bestfit");
+    }
+
+    #[test]
+    fn heterogeneous_pool_cycles_shapes_and_targets() {
+        use slackvm_sched::ProgressScorer;
+        let shapes = vec![
+            (Arc::new(builders::flat(48)), gib(96)),  // M/C 2
+            (Arc::new(builders::flat(16)), gib(128)), // M/C 8
+        ];
+        let mut s = SharedDeployment::heterogeneous(
+            shapes,
+            PlacementPolicy::scored(ProgressScorer::paper()),
+        );
+        // Force two workers open with big premium VMs.
+        s.deploy(VmId(0), spec(40, 40, 1)).unwrap();
+        s.deploy(VmId(1), spec(12, 90, 1)).unwrap();
+        let hosts = s.cluster.hosts();
+        assert_eq!(hosts[0].config().cores, 48);
+        assert_eq!(hosts[0].config().target_ratio().gib_per_core(), 2.0);
+        assert_eq!(hosts[1].config().cores, 16);
+        assert_eq!(hosts[1].config().target_ratio().gib_per_core(), 8.0);
+        // The scorer routes a memory-heavy VM to the CPU-rich worker
+        // only if it rebalances; here worker 0 hosts a CPU-heavy load
+        // (ratio 1), so a memory-heavy VM improves it.
+        let pm = s.deploy(VmId(2), spec(1, 16, 1)).unwrap();
+        assert_eq!(pm, PmId(0));
+        for host in s.cluster.hosts() {
+            host.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_churn_aggregates() {
+        let mut s = SharedDeployment::new(Arc::new(builders::flat(32)), gib(128));
+        s.deploy(VmId(0), spec(2, 4, 1)).unwrap();
+        s.deploy(VmId(1), spec(2, 4, 2)).unwrap();
+        let churn = s.total_churn();
+        assert_eq!(churn.vnodes_created, 2);
+        assert!(churn.cores_added >= 3);
+    }
+}

@@ -1,0 +1,474 @@
+//! The replay engine: workload trace → packing outcome.
+
+use slackvm_workload::{Workload, WorkloadEvent};
+
+use crate::deployment::DeploymentModel;
+use crate::error::SimError;
+use crate::events::{EventQueue, SimEvent};
+use crate::metrics::{OccupancySample, OccupancyTracker, PackingOutcome};
+
+/// Replays `workload` against `deployment` and reports the packing
+/// outcome.
+///
+/// Arrivals are fed through the event queue; each successful placement
+/// schedules the VM's departure. The run never aborts on a deployment
+/// failure (possible only on capped clusters) — failures are counted as
+/// rejections, matching how a control plane degrades.
+///
+/// ```
+/// use slackvm_sim::{run_packing, DeploymentModel, SharedDeployment};
+/// use slackvm_model::gib;
+/// use slackvm_topology::builders::flat;
+/// use slackvm_workload::scenarios;
+/// use std::sync::Arc;
+///
+/// let workload = scenarios::paper_week_f(60).generate(42);
+/// let mut pool = DeploymentModel::Shared(
+///     SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+/// let outcome = run_packing(&workload, &mut pool);
+/// assert_eq!(outcome.rejections, 0);
+/// assert!(outcome.opened_pms > 0);
+/// ```
+pub fn run_packing(workload: &Workload, deployment: &mut DeploymentModel) -> PackingOutcome {
+    run_packing_with_samples(workload, deployment, None)
+}
+
+/// Like [`run_packing`], additionally appending every occupancy sample
+/// to `samples` (one per processed event) — the time series behind
+/// utilization plots and steady-state analyses.
+pub fn run_packing_with_samples(
+    workload: &Workload,
+    deployment: &mut DeploymentModel,
+    mut samples: Option<&mut Vec<OccupancySample>>,
+) -> PackingOutcome {
+    let mut queue = EventQueue::new();
+    for (t, event) in &workload.events {
+        match event {
+            WorkloadEvent::Arrival(vm) => queue.push(*t, SimEvent::Arrival(vm.clone())),
+            WorkloadEvent::Resize { id, vcpus, mem_mib } => queue.push(
+                *t,
+                SimEvent::Resize { id: *id, vcpus: *vcpus, mem_mib: *mem_mib },
+            ),
+            WorkloadEvent::Departure { .. } => {}
+        }
+    }
+
+    let mut tracker = OccupancyTracker::new();
+    let mut alive: u32 = 0;
+    let mut rejections = 0u32;
+    let mut deployments = 0u32;
+
+    while let Some((t, event)) = queue.pop() {
+        match event {
+            SimEvent::Arrival(vm) => {
+                deployments += 1;
+                match deployment.deploy(vm.id, vm.spec) {
+                    Ok(_) => {
+                        alive += 1;
+                        queue.push(vm.departure_secs.max(t + 1), SimEvent::Departure(vm.id));
+                    }
+                    Err(SimError::DeploymentFailed(_)) | Err(SimError::Unsatisfiable(_)) => {
+                        rejections += 1;
+                    }
+                    Err(SimError::UnknownVm(_)) => unreachable!("deploy never reports UnknownVm"),
+                }
+            }
+            SimEvent::Departure(id) => {
+                deployment
+                    .remove(id)
+                    .expect("departures are only scheduled for placed VMs");
+                alive -= 1;
+            }
+            SimEvent::Resize { id, vcpus, mem_mib } => {
+                // A rejected resize (or one targeting a VM that was
+                // never placed) leaves the old size in force.
+                let _ = deployment.resize(id, vcpus, mem_mib);
+            }
+        }
+        let (alloc, capacity) = deployment.totals();
+        let sample = OccupancySample::from_totals(
+            t,
+            alive,
+            deployment.opened_pms(),
+            alloc,
+            capacity,
+        );
+        tracker.observe(sample);
+        if let Some(log) = samples.as_deref_mut() {
+            log.push(sample);
+        }
+    }
+
+    let (mean_cpu, mean_mem) = tracker.means();
+    PackingOutcome {
+        model: deployment.name(),
+        opened_pms: deployment.opened_pms(),
+        peak_alive_vms: tracker.peak_alive(),
+        at_peak: tracker.peak().unwrap_or(OccupancySample {
+            time_secs: 0,
+            alive_vms: 0,
+            opened_pms: 0,
+            unallocated_cpu: 0.0,
+            unallocated_mem: 0.0,
+        }),
+        mean_unallocated_cpu: mean_cpu,
+        mean_unallocated_mem: mean_mem,
+        rejections,
+        deployments,
+    }
+}
+
+/// Statistics of a compacting replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Compaction rounds executed.
+    pub rounds: u32,
+    /// Successful migrations across all rounds.
+    pub migrations: u32,
+    /// PMs drained (cumulative, per round).
+    pub drained: u32,
+}
+
+/// Replays `workload` against a shared SlackVM pool, running a
+/// compaction round every `every_secs` of simulated time — the paper's
+/// future-work live migration as an operating mode. Returns the packing
+/// outcome plus migration statistics.
+pub fn run_packing_compacting(
+    workload: &Workload,
+    deployment: &mut crate::deployment::SharedDeployment,
+    every_secs: u64,
+) -> (PackingOutcome, CompactionStats) {
+    let every = every_secs.max(1);
+    let mut queue = EventQueue::new();
+    for (t, event) in &workload.events {
+        if let WorkloadEvent::Arrival(vm) = event {
+            queue.push(*t, SimEvent::Arrival(vm.clone()));
+        }
+    }
+    let mut tracker = OccupancyTracker::new();
+    let mut alive: u32 = 0;
+    let mut rejections = 0u32;
+    let mut deployments = 0u32;
+    let mut stats = CompactionStats::default();
+    let mut next_compaction = every;
+
+    while let Some((t, event)) = queue.pop() {
+        while t >= next_compaction {
+            let (migrations, drained) = deployment.compact_now();
+            stats.rounds += 1;
+            stats.migrations += migrations;
+            stats.drained += drained;
+            next_compaction += every;
+        }
+        match event {
+            SimEvent::Arrival(vm) => {
+                deployments += 1;
+                match deployment.deploy(vm.id, vm.spec) {
+                    Ok(_) => {
+                        alive += 1;
+                        queue.push(vm.departure_secs.max(t + 1), SimEvent::Departure(vm.id));
+                    }
+                    Err(_) => rejections += 1,
+                }
+            }
+            SimEvent::Departure(id) => {
+                deployment
+                    .remove(id)
+                    .expect("departures are only scheduled for placed VMs");
+                alive -= 1;
+            }
+            SimEvent::Resize { id, vcpus, mem_mib } => {
+                let _ = deployment.resize(id, vcpus, mem_mib);
+            }
+        }
+        tracker.observe(OccupancySample::from_totals(
+            t,
+            alive,
+            deployment.cluster.opened(),
+            deployment.cluster.total_alloc(),
+            deployment.cluster.total_capacity(),
+        ));
+    }
+
+    let (mean_cpu, mean_mem) = tracker.means();
+    let outcome = PackingOutcome {
+        model: format!("slackvm/{}+compaction", deployment.policy.name()),
+        opened_pms: deployment.cluster.opened(),
+        peak_alive_vms: tracker.peak_alive(),
+        at_peak: tracker.peak().unwrap_or(OccupancySample {
+            time_secs: 0,
+            alive_vms: 0,
+            opened_pms: 0,
+            unallocated_cpu: 0.0,
+            unallocated_mem: 0.0,
+        }),
+        mean_unallocated_cpu: mean_cpu,
+        mean_unallocated_mem: mean_mem,
+        rejections,
+        deployments,
+    };
+    (outcome, stats)
+}
+
+/// Statistics of a failure-injected replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureStats {
+    /// Hosts failed.
+    pub hosts_failed: u32,
+    /// VMs evicted by failures.
+    pub vms_evicted: u32,
+    /// Evicted VMs successfully re-placed.
+    pub vms_replaced: u32,
+    /// Evicted VMs the cluster could not re-place (lost).
+    pub vms_lost: u32,
+}
+
+/// Replays `workload` against a shared pool while injecting host
+/// failures at the given `(time_secs, pm)` points. Evicted VMs are
+/// immediately re-placed on surviving hosts (opening new ones if
+/// allowed); VMs that cannot be re-placed are lost and their departures
+/// cancelled.
+pub fn run_packing_with_failures(
+    workload: &Workload,
+    deployment: &mut crate::deployment::SharedDeployment,
+    failures: &[(u64, slackvm_model::PmId)],
+) -> (PackingOutcome, FailureStats) {
+    let mut queue = EventQueue::new();
+    for (t, event) in &workload.events {
+        if let WorkloadEvent::Arrival(vm) = event {
+            queue.push(*t, SimEvent::Arrival(vm.clone()));
+        }
+    }
+    let mut failure_queue: Vec<(u64, slackvm_model::PmId)> = failures.to_vec();
+    failure_queue.sort_by_key(|(t, pm)| (*t, *pm));
+    let mut failure_idx = 0usize;
+
+    let mut tracker = OccupancyTracker::new();
+    let mut alive: u32 = 0;
+    let mut rejections = 0u32;
+    let mut deployments = 0u32;
+    let mut stats = FailureStats::default();
+    let mut lost: std::collections::BTreeSet<slackvm_model::VmId> = Default::default();
+
+    while let Some((t, event)) = queue.pop() {
+        while failure_idx < failure_queue.len() && failure_queue[failure_idx].0 <= t {
+            let (_, pm) = failure_queue[failure_idx];
+            failure_idx += 1;
+            let evicted = deployment.fail_host(pm);
+            stats.hosts_failed += 1;
+            for (id, spec) in evicted {
+                stats.vms_evicted += 1;
+                match deployment.deploy(id, spec) {
+                    Ok(_) => stats.vms_replaced += 1,
+                    Err(_) => {
+                        stats.vms_lost += 1;
+                        lost.insert(id);
+                        alive -= 1;
+                    }
+                }
+            }
+        }
+        match event {
+            SimEvent::Arrival(vm) => {
+                deployments += 1;
+                match deployment.deploy(vm.id, vm.spec) {
+                    Ok(_) => {
+                        alive += 1;
+                        queue.push(vm.departure_secs.max(t + 1), SimEvent::Departure(vm.id));
+                    }
+                    Err(_) => rejections += 1,
+                }
+            }
+            SimEvent::Departure(id) => {
+                if !lost.remove(&id) {
+                    deployment
+                        .remove(id)
+                        .expect("departures target placed, non-lost VMs");
+                    alive -= 1;
+                }
+            }
+            SimEvent::Resize { id, vcpus, mem_mib } => {
+                if !lost.contains(&id) {
+                    let _ = deployment.resize(id, vcpus, mem_mib);
+                }
+            }
+        }
+        tracker.observe(OccupancySample::from_totals(
+            t,
+            alive,
+            deployment.cluster.opened(),
+            deployment.cluster.total_alloc(),
+            deployment.cluster.total_capacity(),
+        ));
+    }
+
+    let (mean_cpu, mean_mem) = tracker.means();
+    let outcome = PackingOutcome {
+        model: format!("slackvm/{}+failures", deployment.policy.name()),
+        opened_pms: deployment.cluster.opened(),
+        peak_alive_vms: tracker.peak_alive(),
+        at_peak: tracker.peak().unwrap_or(OccupancySample {
+            time_secs: 0,
+            alive_vms: 0,
+            opened_pms: 0,
+            unallocated_cpu: 0.0,
+            unallocated_mem: 0.0,
+        }),
+        mean_unallocated_cpu: mean_cpu,
+        mean_unallocated_mem: mean_mem,
+        rejections,
+        deployments,
+    };
+    (outcome, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{DedicatedDeployment, SharedDeployment};
+    use slackvm_model::{OversubLevel, PmConfig};
+    use slackvm_workload::{
+        catalog, ArrivalModel, DistributionPoint, WorkloadGenerator, WorkloadSpec,
+    };
+    use slackvm_topology::builders;
+    use std::sync::Arc;
+
+    fn small_workload(letter: char, seed: u64) -> Workload {
+        WorkloadGenerator::new(WorkloadSpec {
+            catalog: catalog::azure(),
+            mix: DistributionPoint::by_letter(letter).unwrap().mix(),
+            arrivals: ArrivalModel::constant(60, 86_400, 3 * 86_400),
+            seed,
+        })
+        .generate()
+    }
+
+    fn dedicated() -> DeploymentModel {
+        DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)],
+        ))
+    }
+
+    fn shared() -> DeploymentModel {
+        DeploymentModel::Shared(SharedDeployment::new(
+            Arc::new(builders::flat(32)),
+            slackvm_model::gib(128),
+        ))
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let w = small_workload('F', 1);
+        let a = run_packing(&w, &mut dedicated());
+        let b = run_packing(&w, &mut dedicated());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_rejections_on_unbounded_clusters() {
+        let w = small_workload('E', 2);
+        let out = run_packing(&w, &mut dedicated());
+        assert_eq!(out.rejections, 0);
+        assert_eq!(out.deployments as usize, w.num_arrivals());
+        assert!(out.opened_pms > 0);
+        let out = run_packing(&w, &mut shared());
+        assert_eq!(out.rejections, 0);
+    }
+
+    #[test]
+    fn all_vms_depart_by_end() {
+        let w = small_workload('F', 3);
+        let mut model = shared();
+        let out = run_packing(&w, &mut model);
+        // After the full replay every VM departed: nothing allocated.
+        let (alloc, _) = model.totals();
+        assert!(alloc.is_empty(), "leftover allocation {alloc:?}");
+        assert!(out.peak_alive_vms > 0);
+    }
+
+    #[test]
+    fn shared_needs_no_more_pms_than_dedicated_on_mix_f() {
+        // The headline direction of the paper: on a complementary mix
+        // the shared pool packs at least as well as dedicated clusters.
+        let w = small_workload('F', 4);
+        let base = run_packing(&w, &mut dedicated());
+        let slack = run_packing(&w, &mut shared());
+        assert!(
+            slack.opened_pms <= base.opened_pms,
+            "slackvm {} vs baseline {}",
+            slack.opened_pms,
+            base.opened_pms
+        );
+    }
+
+    #[test]
+    fn compacting_replay_matches_or_beats_plain_shared() {
+        let w = small_workload('F', 7);
+        let mut plain = shared();
+        let plain_out = run_packing(&w, &mut plain);
+        let mut pool = SharedDeployment::new(
+            Arc::new(builders::flat(32)),
+            slackvm_model::gib(128),
+        );
+        let (compacted_out, stats) = run_packing_compacting(&w, &mut pool, 6 * 3600);
+        assert_eq!(compacted_out.rejections, 0);
+        assert!(
+            compacted_out.opened_pms <= plain_out.opened_pms,
+            "compaction opened {} vs plain {}",
+            compacted_out.opened_pms,
+            plain_out.opened_pms
+        );
+        assert!(stats.rounds > 0);
+        assert!(compacted_out.model.contains("compaction"));
+        // Post-replay: fully drained, invariants hold on every worker.
+        use slackvm_hypervisor::Host as _;
+        for host in pool.cluster.hosts() {
+            host.check_invariants().unwrap();
+            assert!(host.is_idle());
+        }
+    }
+
+    #[test]
+    fn compaction_rounds_fire_on_schedule() {
+        let w = small_workload('E', 8);
+        let horizon = w.events.last().map(|(t, _)| *t).unwrap_or(0);
+        let mut pool = SharedDeployment::new(
+            Arc::new(builders::flat(32)),
+            slackvm_model::gib(128),
+        );
+        let (_, stats) = run_packing_compacting(&w, &mut pool, 86_400);
+        // One round per simulated day that has a subsequent event.
+        assert!(stats.rounds >= (horizon / 86_400).saturating_sub(1) as u32);
+    }
+
+    #[test]
+    fn sample_log_covers_every_event() {
+        let w = small_workload('E', 6);
+        let mut samples = Vec::new();
+        let out = run_packing_with_samples(&w, &mut dedicated(), Some(&mut samples));
+        // One sample per processed event: every arrival (incl. rejected)
+        // plus every departure of a placed VM.
+        assert_eq!(
+            samples.len() as u32,
+            out.deployments + (out.deployments - out.rejections)
+        );
+        // Times are non-decreasing and the peak sample appears in the log.
+        assert!(samples.windows(2).all(|p| p[0].time_secs <= p[1].time_secs));
+        assert!(samples.contains(&out.at_peak));
+        // The log ends fully drained.
+        assert_eq!(samples.last().unwrap().alive_vms, 0);
+    }
+
+    #[test]
+    fn peak_sample_is_meaningful() {
+        let w = small_workload('A', 5);
+        let out = run_packing(&w, &mut dedicated());
+        assert!(out.at_peak.alive_vms == out.peak_alive_vms);
+        assert!(out.at_peak.opened_pms <= out.opened_pms);
+        assert!((0.0..=1.0).contains(&out.at_peak.unallocated_cpu));
+        assert!((0.0..=1.0).contains(&out.at_peak.unallocated_mem));
+        // Azure 1:1 is CPU-bound: memory strands more than CPU.
+        assert!(out.at_peak.unallocated_mem > out.at_peak.unallocated_cpu);
+    }
+}

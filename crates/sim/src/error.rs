@@ -1,0 +1,33 @@
+//! Simulator errors.
+
+use slackvm_model::VmId;
+use thiserror::Error;
+
+/// Errors raised by cluster and engine operations.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No host fit the VM and the cluster may not open another.
+    #[error("deployment of {0} failed: no host fits and the cluster is capped")]
+    DeploymentFailed(VmId),
+
+    /// A freshly opened host rejected the VM — the request exceeds a
+    /// single machine's capacity and can never be placed.
+    #[error("{0} exceeds the capacity of an empty host; request is unsatisfiable")]
+    Unsatisfiable(VmId),
+
+    /// Departure for a VM the cluster does not host.
+    #[error("{0} is not placed anywhere in the cluster")]
+    UnknownVm(VmId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SimError::DeploymentFailed(VmId(1)).to_string().contains("vm-1"));
+        assert!(SimError::Unsatisfiable(VmId(2)).to_string().contains("capacity"));
+        assert!(SimError::UnknownVm(VmId(3)).to_string().contains("not placed"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # slackvm-sim
+//!
+//! A discrete-event cloud simulator — the workspace's substitute for
+//! CloudSimPlus (paper §VII-B).
+//!
+//! The paper uses CloudSimPlus for allocation bookkeeping: replaying a
+//! week of VM arrivals/departures against a cluster that grows from
+//! empty, with a pluggable host-selection policy, and reporting how many
+//! PMs the workload required and how much CPU/memory sat unallocated.
+//! This crate reproduces that machinery:
+//!
+//! - [`events`]: a deterministic event queue (time, then FIFO);
+//! - [`cluster`]: an open-on-demand cluster generic over the host type;
+//! - [`deployment`]: the two deployment models under comparison —
+//!   [`deployment::DedicatedDeployment`] (one single-level cluster per
+//!   oversubscription tier, the baseline) and
+//!   [`deployment::SharedDeployment`] (one pool of partitioned SlackVM
+//!   workers plus vClusters);
+//! - [`engine`]: the replay loop turning a workload trace into a
+//!   [`metrics::PackingOutcome`];
+//! - [`metrics`]: occupancy tracking and the unallocated-resource
+//!   accounting behind the paper's Figures 3 and 4.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod deployment;
+pub mod engine;
+pub mod error;
+pub mod events;
+pub mod metrics;
+pub mod steady;
+
+pub use cluster::Cluster;
+pub use deployment::{DedicatedDeployment, DeploymentModel, SharedDeployment};
+pub use engine::{
+    run_packing, run_packing_compacting, run_packing_with_failures, run_packing_with_samples,
+    CompactionStats, FailureStats,
+};
+pub use error::SimError;
+pub use events::{EventQueue, SimEvent};
+pub use metrics::{OccupancySample, PackingOutcome};
+pub use steady::{analyze_steady_state, SteadyStateSummary};

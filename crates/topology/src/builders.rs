@@ -1,0 +1,300 @@
+//! Ready-made and custom topology constructions.
+
+use crate::topo::{CacheId, Core, CoreId, CpuTopology, TopologyError, MAX_CACHE_LEVELS};
+
+/// Linux's conventional local NUMA distance.
+pub const NUMA_LOCAL: u32 = 10;
+
+/// A fluent builder for synthetic (but structurally faithful) topologies.
+///
+/// The generated layout places SMT sibling threads at *adjacent ids* —
+/// cpu 0 and cpu 1 are the two threads of physical core 0 — which is one
+/// of the enumeration orders real firmware uses and the one that makes
+/// "closest first" growth naturally consume sibling pairs.
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    sockets: u32,
+    physical_cores_per_socket: u32,
+    threads_per_core: u32,
+    /// Physical cores per shared-L3 complex; `None` = one L3 per socket.
+    ccx_size: Option<u32>,
+    remote_numa_distance: u32,
+    /// NUMA nodes exposed per socket (EPYC NPS1/NPS2/NPS4 modes).
+    numa_per_socket: u32,
+    /// Distance between sibling NUMA nodes of the same socket.
+    intra_socket_numa_distance: u32,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder {
+            sockets: 1,
+            physical_cores_per_socket: 8,
+            threads_per_core: 1,
+            ccx_size: None,
+            remote_numa_distance: 21,
+            numa_per_socket: 1,
+            intra_socket_numa_distance: 12,
+        }
+    }
+}
+
+impl TopologyBuilder {
+    /// Starts from the default single-socket, 8-core, non-SMT layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the socket count (each socket is one NUMA node).
+    pub fn sockets(mut self, n: u32) -> Self {
+        self.sockets = n.max(1);
+        self
+    }
+
+    /// Sets physical cores per socket.
+    pub fn physical_cores_per_socket(mut self, n: u32) -> Self {
+        self.physical_cores_per_socket = n.max(1);
+        self
+    }
+
+    /// Sets SMT threads per physical core (1 = no SMT).
+    pub fn threads_per_core(mut self, n: u32) -> Self {
+        self.threads_per_core = n.max(1);
+        self
+    }
+
+    /// Segments the last-level cache into complexes of `n` physical cores
+    /// (EPYC-style CCX). `None` restores a monolithic per-socket LLC.
+    pub fn ccx_size(mut self, n: Option<u32>) -> Self {
+        self.ccx_size = n.filter(|&v| v > 0);
+        self
+    }
+
+    /// Sets the inter-socket NUMA distance (local is always 10).
+    pub fn remote_numa_distance(mut self, d: u32) -> Self {
+        self.remote_numa_distance = d.max(NUMA_LOCAL);
+        self
+    }
+
+    /// Exposes `n` NUMA nodes per socket (EPYC NPS modes: 1, 2 or 4).
+    /// Cores split contiguously; sibling nodes of a socket sit at the
+    /// intra-socket distance (default 12), remote sockets at the remote
+    /// distance.
+    pub fn numa_per_socket(mut self, n: u32) -> Self {
+        self.numa_per_socket = n.max(1);
+        self
+    }
+
+    /// Sets the distance between NUMA nodes of the same socket.
+    pub fn intra_socket_numa_distance(mut self, d: u32) -> Self {
+        self.intra_socket_numa_distance = d.max(NUMA_LOCAL);
+        self
+    }
+
+    /// Materializes the topology.
+    ///
+    /// Levels: 0 = L1 (per physical core, shared by SMT siblings),
+    /// 1 = L2 (same sharing as L1 on the modeled parts), 2 = L3 (per CCX
+    /// or per socket). Height is 3.
+    pub fn build(self) -> Result<CpuTopology, TopologyError> {
+        let nps = self.numa_per_socket;
+        let cores_per_node = self.physical_cores_per_socket.div_ceil(nps);
+        let mut cores = Vec::new();
+        let mut id = 0u32;
+        for socket in 0..self.sockets {
+            for pcore in 0..self.physical_cores_per_socket {
+                let global_pcore = socket * self.physical_cores_per_socket + pcore;
+                let l3_zone = match self.ccx_size {
+                    Some(ccx) => {
+                        let ccx_per_socket = self.physical_cores_per_socket.div_ceil(ccx);
+                        socket * ccx_per_socket + pcore / ccx
+                    }
+                    None => socket,
+                };
+                let numa = socket * nps + (pcore / cores_per_node).min(nps - 1);
+                for _thread in 0..self.threads_per_core {
+                    let mut caches = [None; MAX_CACHE_LEVELS];
+                    caches[0] = Some(CacheId(global_pcore));
+                    caches[1] = Some(CacheId(global_pcore));
+                    caches[2] = Some(CacheId(l3_zone));
+                    cores.push(Core {
+                        id: CoreId(id),
+                        socket,
+                        numa,
+                        caches,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        let nodes = (self.sockets * nps) as usize;
+        let numa_distances = (0..nodes)
+            .map(|a| {
+                (0..nodes)
+                    .map(|b| {
+                        if a == b {
+                            NUMA_LOCAL
+                        } else if a as u32 / nps == b as u32 / nps {
+                            self.intra_socket_numa_distance
+                        } else {
+                            self.remote_numa_distance
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CpuTopology::new(cores, 3, numa_distances)
+    }
+}
+
+/// The paper's Table III testbed: 2× AMD EPYC 7662 (64 physical cores,
+/// SMT-2, Zen 2 CCXs of 4 cores sharing an L3 slice), 256 schedulable
+/// CPUs, one NUMA node per socket.
+pub fn dual_epyc_7662() -> CpuTopology {
+    TopologyBuilder::new()
+        .sockets(2)
+        .physical_cores_per_socket(64)
+        .threads_per_core(2)
+        .ccx_size(Some(4))
+        .remote_numa_distance(32)
+        .build()
+        .expect("static EPYC layout is valid")
+}
+
+/// A generic dual-capable Xeon-like host: monolithic L3 per socket.
+pub fn xeon(sockets: u32, physical_cores_per_socket: u32, threads_per_core: u32) -> CpuTopology {
+    TopologyBuilder::new()
+        .sockets(sockets)
+        .physical_cores_per_socket(physical_cores_per_socket)
+        .threads_per_core(threads_per_core)
+        .build()
+        .expect("static xeon layout is valid")
+}
+
+/// A flat single-socket host without SMT — the shape of the paper's
+/// simulation-scale workers (32 schedulable cores).
+pub fn flat(cores: u32) -> CpuTopology {
+    TopologyBuilder::new()
+        .sockets(1)
+        .physical_cores_per_socket(cores)
+        .threads_per_core(1)
+        .build()
+        .expect("static flat layout is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epyc_shape() {
+        let t = dual_epyc_7662();
+        assert_eq!(t.num_cores(), 256);
+        assert_eq!(t.num_sockets(), 2);
+        assert_eq!(t.num_numa_nodes(), 2);
+        // 8 threads (4 physical cores) per CCX share an L3 zone.
+        let l3 = |i: u32| t.core(CoreId(i)).cache_at(2).unwrap();
+        assert_eq!(l3(0), l3(7));
+        assert_ne!(l3(0), l3(8));
+        // Socket boundary at cpu 128.
+        assert_eq!(t.core(CoreId(127)).socket, 0);
+        assert_eq!(t.core(CoreId(128)).socket, 1);
+    }
+
+    #[test]
+    fn ccx_zones_are_globally_unique() {
+        let t = dual_epyc_7662();
+        let l3_of = |i: u32| t.core(CoreId(i)).cache_at(2).unwrap();
+        // Last CCX of socket 0 vs first CCX of socket 1.
+        assert_ne!(l3_of(127), l3_of(128));
+    }
+
+    #[test]
+    fn flat_has_single_shared_llc() {
+        let t = flat(32);
+        assert_eq!(t.num_cores(), 32);
+        let l3 = |i: u32| t.core(CoreId(i)).cache_at(2).unwrap();
+        assert_eq!(l3(0), l3(31));
+        // And distinct L1s (no SMT).
+        assert_eq!(t.smt_siblings(CoreId(0)), vec![CoreId(0)]);
+    }
+
+    #[test]
+    fn xeon_smt_pairs_are_adjacent() {
+        let t = xeon(2, 16, 2);
+        assert_eq!(t.num_cores(), 64);
+        let sib = t.smt_siblings(CoreId(10));
+        assert_eq!(sib.len(), 2);
+        assert!(sib.contains(&CoreId(10)) && sib.contains(&CoreId(11)));
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_inputs() {
+        let t = TopologyBuilder::new()
+            .sockets(0)
+            .physical_cores_per_socket(0)
+            .threads_per_core(0)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_cores(), 1);
+    }
+
+    #[test]
+    fn nps2_splits_sockets_into_two_nodes() {
+        let t = TopologyBuilder::new()
+            .sockets(2)
+            .physical_cores_per_socket(8)
+            .numa_per_socket(2)
+            .remote_numa_distance(32)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_numa_nodes(), 4);
+        // First half of socket 0 on node 0, second half on node 1.
+        assert_eq!(t.core(CoreId(0)).numa, 0);
+        assert_eq!(t.core(CoreId(4)).numa, 1);
+        assert_eq!(t.core(CoreId(8)).numa, 2); // socket 1 starts
+        // Distances: local 10, intra-socket 12, remote 32.
+        assert_eq!(t.numa_distance(0, 0), 10);
+        assert_eq!(t.numa_distance(0, 1), 12);
+        assert_eq!(t.numa_distance(0, 2), 32);
+        assert_eq!(t.numa_distance(1, 3), 32);
+    }
+
+    #[test]
+    fn nps_mode_feeds_algorithm1_distances() {
+        use crate::distance::core_distance;
+        let t = TopologyBuilder::new()
+            .physical_cores_per_socket(8)
+            .ccx_size(Some(2))
+            .numa_per_socket(2)
+            .build()
+            .unwrap();
+        // Cores 0 and 7: no shared cache (different CCX), different
+        // intra-socket nodes -> 30 + 12.
+        assert_eq!(core_distance(&t, CoreId(0), CoreId(7)), 42);
+        // Cores 0 and 3: no shared cache, same node -> 30 + 10.
+        assert_eq!(core_distance(&t, CoreId(0), CoreId(3)), 40);
+    }
+
+    #[test]
+    fn topology_serde_roundtrip() {
+        let t = dual_epyc_7662();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: crate::topo::CpuTopology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn ccx_not_dividing_socket_still_builds() {
+        // 10 cores with CCX of 4 -> complexes of 4, 4, 2.
+        let t = TopologyBuilder::new()
+            .physical_cores_per_socket(10)
+            .ccx_size(Some(4))
+            .build()
+            .unwrap();
+        let l3 = |i: u32| t.core(CoreId(i)).cache_at(2).unwrap();
+        assert_eq!(l3(0), l3(3));
+        assert_ne!(l3(3), l3(4));
+        assert_eq!(l3(8), l3(9));
+    }
+}

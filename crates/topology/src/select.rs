@@ -1,0 +1,244 @@
+//! Core-selection policies for vNode resizing (paper §V-A).
+//!
+//! Two operations matter:
+//! - **growing** an existing vNode: pick the free CPU *closest* (in
+//!   Algorithm 1 distance) to the vNode's current cores, so sibling cores
+//!   integrate gradually and the vNode keeps resembling a smaller CPU;
+//! - **seeding** a new vNode: pick the free CPU *farthest* from every
+//!   already-placed vNode, maximizing isolation (ideally a different
+//!   socket).
+//!
+//! Ties are broken by lowest CPU id, which keeps the policies fully
+//! deterministic — a requirement for reproducible simulation runs.
+
+use crate::distance::DistanceMatrix;
+use crate::topo::CoreId;
+
+/// A deterministic core-selection strategy.
+pub trait SelectionPolicy {
+    /// Chooses which free CPU to add to a vNode currently holding
+    /// `members`. `free` must be non-empty; `members` may be empty (a
+    /// brand-new vNode growing its first core after seeding).
+    fn pick_expansion(&self, members: &[CoreId], free: &[CoreId]) -> Option<CoreId>;
+
+    /// Chooses the first CPU of a new vNode, given the CPUs already
+    /// `occupied` by other vNodes.
+    fn pick_seed(&self, occupied: &[CoreId], free: &[CoreId]) -> Option<CoreId>;
+
+    /// Chooses which member CPU to release when a vNode shrinks. The
+    /// default drops the highest id; topology-aware policies drop the
+    /// member farthest from the rest of the span, keeping it compact.
+    fn pick_release(&self, members: &[CoreId]) -> Option<CoreId> {
+        members.iter().copied().max()
+    }
+
+    /// Policy name, for reports and ablation labels.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's topology-driven policy backed by a precomputed distance
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct TopologySelection {
+    matrix: DistanceMatrix,
+}
+
+impl TopologySelection {
+    /// Wraps a distance matrix for the machine's topology.
+    pub fn new(matrix: DistanceMatrix) -> Self {
+        TopologySelection { matrix }
+    }
+
+    /// Access to the underlying matrix (used by isolation diagnostics).
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+}
+
+impl SelectionPolicy for TopologySelection {
+    fn pick_expansion(&self, members: &[CoreId], free: &[CoreId]) -> Option<CoreId> {
+        if members.is_empty() {
+            // Nothing to be close to: lowest id keeps determinism.
+            return free.iter().copied().min();
+        }
+        free.iter()
+            .copied()
+            .min_by_key(|&c| {
+                let d = self
+                    .matrix
+                    .min_distance_to_set(c, members)
+                    .expect("members is non-empty");
+                (d, c)
+            })
+    }
+
+    fn pick_seed(&self, occupied: &[CoreId], free: &[CoreId]) -> Option<CoreId> {
+        if occupied.is_empty() {
+            return free.iter().copied().min();
+        }
+        free.iter().copied().max_by_key(|&c| {
+            let d = self
+                .matrix
+                .min_distance_to_set(c, occupied)
+                .expect("occupied is non-empty");
+            // Farthest first; on equal distance prefer the LOWEST id, so
+            // invert the id in the key.
+            (d, u32::MAX - c.0)
+        })
+    }
+
+    fn pick_release(&self, members: &[CoreId]) -> Option<CoreId> {
+        if members.len() <= 1 {
+            return members.first().copied();
+        }
+        members.iter().copied().max_by_key(|&c| {
+            let rest_min = members
+                .iter()
+                .filter(|&&m| m != c)
+                .map(|&m| self.matrix.get(c, m))
+                .min()
+                .unwrap_or(0);
+            // Farthest from the rest first; on ties, the highest id.
+            (rest_min, c)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "topology"
+    }
+}
+
+/// A deliberately topology-blind policy — always the lowest-indexed free
+/// CPU — used as the ablation baseline ("no pinning considerations").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveSelection;
+
+impl SelectionPolicy for NaiveSelection {
+    fn pick_expansion(&self, _members: &[CoreId], free: &[CoreId]) -> Option<CoreId> {
+        free.iter().copied().min()
+    }
+
+    fn pick_seed(&self, _occupied: &[CoreId], free: &[CoreId]) -> Option<CoreId> {
+        free.iter().copied().min()
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+/// Mean Algorithm 1 distance between two CPU sets — the isolation metric
+/// reported by the ablation benchmarks (higher across vNodes = better
+/// isolation; lower within a vNode = better locality).
+pub fn mean_cross_distance(matrix: &DistanceMatrix, a: &[CoreId], b: &[CoreId]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    for &x in a {
+        for &y in b {
+            total += matrix.get(x, y) as u64;
+        }
+    }
+    total as f64 / (a.len() * b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn epyc_selection() -> TopologySelection {
+        TopologySelection::new(DistanceMatrix::build(&builders::dual_epyc_7662()))
+    }
+
+    #[test]
+    fn expansion_prefers_smt_sibling_then_ccx() {
+        let sel = epyc_selection();
+        let members = vec![CoreId(0)];
+        // Sibling thread 1 is at distance 0: always first choice.
+        let free: Vec<CoreId> = (1..256).map(CoreId).collect();
+        assert_eq!(sel.pick_expansion(&members, &free), Some(CoreId(1)));
+        // Without the sibling, the CCX mate (distance 20) wins over
+        // another CCX (40) or the other socket (62).
+        let free = vec![CoreId(130), CoreId(9), CoreId(2)];
+        assert_eq!(sel.pick_expansion(&members, &free), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn expansion_tie_breaks_on_lowest_id() {
+        let sel = epyc_selection();
+        let members = vec![CoreId(0)];
+        // CPUs 2..8 are all CCX mates at distance 20.
+        let free = vec![CoreId(6), CoreId(3), CoreId(5)];
+        assert_eq!(sel.pick_expansion(&members, &free), Some(CoreId(3)));
+    }
+
+    #[test]
+    fn seed_flees_to_other_socket() {
+        let sel = epyc_selection();
+        let occupied: Vec<CoreId> = (0..8).map(CoreId).collect();
+        let free: Vec<CoreId> = (8..256).map(CoreId).collect();
+        let seed = sel.pick_seed(&occupied, &free).unwrap();
+        // Farthest tier is the other socket (distance 62); lowest id there is 128.
+        assert_eq!(seed, CoreId(128));
+    }
+
+    #[test]
+    fn seed_on_empty_machine_is_lowest_id() {
+        let sel = epyc_selection();
+        let free: Vec<CoreId> = (0..256).map(CoreId).collect();
+        assert_eq!(sel.pick_seed(&[], &free), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn empty_free_list_returns_none() {
+        let sel = epyc_selection();
+        assert_eq!(sel.pick_expansion(&[CoreId(0)], &[]), None);
+        assert_eq!(sel.pick_seed(&[CoreId(0)], &[]), None);
+    }
+
+    #[test]
+    fn release_drops_the_outlier() {
+        let sel = epyc_selection();
+        // A compact CCX pair plus one far-socket straggler: the straggler
+        // goes first.
+        let members = vec![CoreId(0), CoreId(1), CoreId(200)];
+        assert_eq!(sel.pick_release(&members), Some(CoreId(200)));
+        // Singleton and empty cases.
+        assert_eq!(sel.pick_release(&[CoreId(3)]), Some(CoreId(3)));
+        assert_eq!(sel.pick_release(&[]), None);
+        // Naive default: highest id.
+        assert_eq!(NaiveSelection.pick_release(&members), Some(CoreId(200)));
+    }
+
+    #[test]
+    fn release_ties_break_on_highest_id() {
+        let sel = epyc_selection();
+        // Three CCX mates, all pairwise distance 20: release the highest.
+        let members = vec![CoreId(2), CoreId(4), CoreId(6)];
+        assert_eq!(sel.pick_release(&members), Some(CoreId(6)));
+    }
+
+    #[test]
+    fn naive_ignores_topology() {
+        let sel = NaiveSelection;
+        let free = vec![CoreId(130), CoreId(9), CoreId(2)];
+        assert_eq!(sel.pick_expansion(&[CoreId(0)], &free), Some(CoreId(2)));
+        assert_eq!(sel.pick_seed(&[CoreId(0)], &free), Some(CoreId(2)));
+        assert_eq!(sel.name(), "naive");
+    }
+
+    #[test]
+    fn mean_cross_distance_reflects_isolation() {
+        let sel = epyc_selection();
+        let m = sel.matrix();
+        let ccx0: Vec<CoreId> = (0..8).map(CoreId).collect();
+        let ccx1: Vec<CoreId> = (8..16).map(CoreId).collect();
+        let far: Vec<CoreId> = (128..136).map(CoreId).collect();
+        let near = mean_cross_distance(m, &ccx0, &ccx1);
+        let cross = mean_cross_distance(m, &ccx0, &far);
+        assert!(cross > near, "{cross} should exceed {near}");
+        assert_eq!(mean_cross_distance(m, &ccx0, &[]), 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Figure renderers: experiment outputs → standalone SVG strings.
+
+use slackvm::experiments::{Fig3Row, Fig4Grid};
+use slackvm_perf::Fig2Outcome;
+use slackvm_sim::OccupancySample;
+
+use crate::scale::{diverging_color, LinearScale};
+use crate::svg::{palette, SvgDoc};
+
+const W: f64 = 760.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 60.0;
+
+fn plot_area() -> (f64, f64, f64, f64) {
+    (MARGIN_L, MARGIN_T, W - MARGIN_R, H - MARGIN_B)
+}
+
+fn y_axis(doc: &mut SvgDoc, scale: &LinearScale, unit: &str) {
+    let (x0, _, x1, _) = plot_area();
+    for tick in scale.ticks() {
+        let y = scale.map(tick);
+        doc.line(x0, y, x1, y, palette::GRID, 0.5);
+        doc.text(x0 - 6.0, y + 3.0, 10.0, "end", &format!("{tick:.1}{unit}"));
+    }
+}
+
+/// Renders the paper's Figure 2: per-level p90 response times, baseline
+/// vs SlackVM, log-free dot-and-range plot over the per-VM p90
+/// distributions.
+pub fn fig2_svg(outcome: &Fig2Outcome) -> String {
+    let (x0, y0, x1, y1) = plot_area();
+    let mut doc = SvgDoc::new(W, H);
+    doc.text(
+        W / 2.0,
+        20.0,
+        13.0,
+        "middle",
+        "Fig. 2 — per-VM p90 response times (ms): baseline vs SlackVM",
+    );
+    let max_ms = outcome
+        .levels
+        .iter()
+        .map(|l| l.baseline_dist.max.max(l.slackvm_dist.max))
+        .fold(1.0f64, f64::max);
+    let y = LinearScale::new((0.0, max_ms * 1.1), (y1, y0));
+    y_axis(&mut doc, &y, "");
+
+    let groups = outcome.levels.len() as f64;
+    let group_w = (x1 - x0) / groups;
+    for (i, row) in outcome.levels.iter().enumerate() {
+        let cx = x0 + group_w * (i as f64 + 0.5);
+        for (offset, dist, color, label) in [
+            (-group_w * 0.15, &row.baseline_dist, palette::BASELINE, "base"),
+            (group_w * 0.15, &row.slackvm_dist, palette::SLACKVM, "slack"),
+        ] {
+            let x = cx + offset;
+            // Range bar p50..max of the per-VM p90s, median dot.
+            doc.line(x, y.map(dist.p50), x, y.map(dist.max), color, 2.0);
+            doc.circle(x, y.map(dist.p50), 4.0, color);
+            doc.text(
+                x,
+                y.map(dist.max) - 6.0,
+                9.0,
+                "middle",
+                &format!("{label} {:.2}", dist.p50),
+            );
+        }
+        doc.text(cx, y1 + 18.0, 11.0, "middle", &row.level.to_string());
+    }
+    doc.line(x0, y1, x1, y1, palette::AXIS, 1.0);
+    doc.finish()
+}
+
+/// Renders the paper's Figure 3: unallocated CPU and memory shares per
+/// distribution, baseline vs SlackVM (four bars per letter).
+pub fn fig3_svg(rows: &[Fig3Row], provider: &str) -> String {
+    let (x0, y0, x1, y1) = plot_area();
+    let mut doc = SvgDoc::new(W, H);
+    doc.text(
+        W / 2.0,
+        20.0,
+        13.0,
+        "middle",
+        &format!("Fig. 3 — unallocated resources at peak ({provider})"),
+    );
+    let max_share = rows
+        .iter()
+        .flat_map(|r| [r.baseline_cpu, r.baseline_mem, r.slackvm_cpu, r.slackvm_mem])
+        .fold(0.05f64, f64::max);
+    let y = LinearScale::new((0.0, (max_share * 100.0) * 1.15), (y1, y0));
+    y_axis(&mut doc, &y, "%");
+
+    let groups = rows.len() as f64;
+    let group_w = (x1 - x0) / groups;
+    let bar_w = group_w / 5.5;
+    for (i, row) in rows.iter().enumerate() {
+        let gx = x0 + group_w * i as f64 + group_w * 0.1;
+        let bars = [
+            (row.baseline_cpu, palette::CPU, 1.0),
+            (row.baseline_mem, palette::MEM, 1.0),
+            (row.slackvm_cpu, palette::CPU, 0.55),
+            (row.slackvm_mem, palette::MEM, 0.55),
+        ];
+        for (j, (share, color, opacity)) in bars.iter().enumerate() {
+            let x = gx + bar_w * j as f64;
+            let top = y.map(share * 100.0);
+            // Encode opacity by blending towards white in the fill
+            // (SVG opacity attribute would need another builder method).
+            let fill = if *opacity < 1.0 {
+                // SlackVM bars: outlined look via a lighter tone.
+                match *color {
+                    palette::CPU => "#88cc99",
+                    _ => "#e4dba1",
+                }
+            } else {
+                color
+            };
+            doc.rect(x, top, bar_w * 0.9, y1 - top, fill);
+        }
+        doc.text(
+            gx + group_w * 0.4,
+            y1 + 16.0,
+            10.0,
+            "middle",
+            &row.letter.to_string(),
+        );
+    }
+    doc.line(x0, y1, x1, y1, palette::AXIS, 1.0);
+    // Legend.
+    let legend = [
+        ("baseline CPU", palette::CPU),
+        ("baseline mem", palette::MEM),
+        ("slackvm CPU", "#88cc99"),
+        ("slackvm mem", "#e4dba1"),
+    ];
+    for (i, (label, color)) in legend.iter().enumerate() {
+        let lx = x0 + 150.0 * i as f64;
+        doc.rect(lx, y1 + 30.0, 10.0, 10.0, color);
+        doc.text(lx + 14.0, y1 + 39.0, 10.0, "start", label);
+    }
+    doc.finish()
+}
+
+/// Renders the paper's Figure 4: the savings heatmap over the share
+/// simplex (x: 1:1 share, y: 2:1 share).
+pub fn fig4_svg(grid: &Fig4Grid) -> String {
+    let (x0, y0, x1, y1) = plot_area();
+    let mut doc = SvgDoc::new(W, H);
+    doc.text(
+        W / 2.0,
+        20.0,
+        13.0,
+        "middle",
+        &format!("Fig. 4 — % PMs saved ({}, step {})", grid.provider, grid.step),
+    );
+    let max_abs = grid
+        .cells
+        .iter()
+        .map(|c| c.savings_pct.abs())
+        .fold(1.0f64, f64::max);
+    let steps = 100 / grid.step + 1;
+    let cell_w = (x1 - x0) / steps as f64;
+    let cell_h = (y1 - y0) / steps as f64;
+    for cell in &grid.cells {
+        let col = cell.p1 / grid.step;
+        let row = cell.p2 / grid.step;
+        let x = x0 + col as f64 * cell_w;
+        // Higher 2:1 share towards the top.
+        let y = y1 - (row + 1) as f64 * cell_h;
+        doc.rect(
+            x,
+            y,
+            cell_w * 0.95,
+            cell_h * 0.92,
+            &diverging_color(cell.savings_pct / max_abs),
+        );
+        doc.text(
+            x + cell_w * 0.45,
+            y + cell_h * 0.55,
+            10.0,
+            "middle",
+            &format!("{:+.1}", cell.savings_pct),
+        );
+    }
+    for i in 0..steps {
+        let share = i * grid.step;
+        doc.text(
+            x0 + (i as f64 + 0.45) * cell_w,
+            y1 + 16.0,
+            10.0,
+            "middle",
+            &share.to_string(),
+        );
+        doc.text(
+            x0 - 8.0,
+            y1 - (i as f64 + 0.45) * cell_h,
+            10.0,
+            "end",
+            &share.to_string(),
+        );
+    }
+    doc.text(W / 2.0, H - 14.0, 11.0, "middle", "share of 1:1 VMs (%)");
+    doc.text(16.0, y0 - 10.0, 11.0, "start", "share of 2:1 VMs (%)");
+    doc.finish()
+}
+
+/// Renders an occupancy time series (alive VMs + unallocated shares) —
+/// the view behind the steady-state analysis.
+pub fn occupancy_svg(samples: &[OccupancySample], title: &str) -> String {
+    let (x0, y0, x1, y1) = plot_area();
+    let mut doc = SvgDoc::new(W, H);
+    doc.text(W / 2.0, 20.0, 13.0, "middle", title);
+    if samples.is_empty() {
+        doc.text(W / 2.0, H / 2.0, 12.0, "middle", "(no samples)");
+        return doc.finish();
+    }
+    let t_max = samples.last().map_or(1, |s| s.time_secs).max(1);
+    let pop_max = samples.iter().map(|s| s.alive_vms).max().unwrap_or(1).max(1);
+    let x = LinearScale::new((0.0, t_max as f64 / 86_400.0), (x0, x1));
+    let y_pop = LinearScale::new((0.0, pop_max as f64 * 1.1), (y1, y0));
+    let y_share = LinearScale::new((0.0, 1.0), (y1, y0));
+
+    let pop_points: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|s| (x.map(s.time_secs as f64 / 86_400.0), y_pop.map(s.alive_vms as f64)))
+        .collect();
+    let cpu_points: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|s| (x.map(s.time_secs as f64 / 86_400.0), y_share.map(s.unallocated_cpu)))
+        .collect();
+    let mem_points: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|s| (x.map(s.time_secs as f64 / 86_400.0), y_share.map(s.unallocated_mem)))
+        .collect();
+    doc.polyline(&pop_points, palette::BASELINE, 1.5);
+    doc.polyline(&cpu_points, palette::CPU, 1.0);
+    doc.polyline(&mem_points, palette::MEM, 1.0);
+    y_axis(&mut doc, &y_pop, "");
+    for day in 0..=(t_max / 86_400) {
+        let px = x.map(day as f64);
+        doc.text(px, y1 + 16.0, 10.0, "middle", &format!("d{day}"));
+    }
+    doc.line(x0, y1, x1, y1, palette::AXIS, 1.0);
+    let legend = [
+        ("alive VMs", palette::BASELINE),
+        ("unallocated CPU (0-1)", palette::CPU),
+        ("unallocated mem (0-1)", palette::MEM),
+    ];
+    for (i, (label, color)) in legend.iter().enumerate() {
+        let lx = x0 + 180.0 * i as f64;
+        doc.rect(lx, y1 + 30.0, 10.0, 10.0, color);
+        doc.text(lx + 14.0, y1 + 39.0, 10.0, "start", label);
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm::experiments::{Fig4Cell, PackingConfig};
+    use slackvm::perf::Fig2Scenario;
+
+    #[test]
+    fn fig2_svg_contains_all_levels() {
+        let outcome = Fig2Scenario {
+            step_secs: 2400,
+            ..Fig2Scenario::default()
+        }
+        .run();
+        let svg = fig2_svg(&outcome);
+        assert!(svg.starts_with("<svg"));
+        for level in ["1:1", "2:1", "3:1"] {
+            assert!(svg.contains(level), "missing {level}");
+        }
+        assert_eq!(svg, fig2_svg(&outcome), "deterministic");
+    }
+
+    #[test]
+    fn fig3_svg_renders_a_bar_per_series() {
+        let rows = vec![Fig3Row {
+            letter: 'F',
+            shares: (50, 0, 50),
+            baseline_cpu: 0.15,
+            baseline_mem: 0.26,
+            slackvm_cpu: 0.07,
+            slackvm_mem: 0.20,
+            baseline_pms: 41,
+            slackvm_pms: 37,
+        }];
+        let svg = fig3_svg(&rows, "ovhcloud");
+        assert!(svg.contains("ovhcloud"));
+        // Four bars + legend swatches = at least 8 rects (plus canvas).
+        assert!(svg.matches("<rect").count() >= 9);
+        assert!(svg.contains(">F</text>"));
+    }
+
+    #[test]
+    fn fig4_svg_renders_every_cell() {
+        let grid = Fig4Grid {
+            provider: "azure".into(),
+            step: 50,
+            cells: vec![
+                Fig4Cell { p1: 0, p2: 0, p3: 100, baseline_pms: 10, slackvm_pms: 10, savings_pct: 0.0 },
+                Fig4Cell { p1: 50, p2: 0, p3: 50, baseline_pms: 10, slackvm_pms: 9, savings_pct: 10.0 },
+                Fig4Cell { p1: 0, p2: 50, p3: 50, baseline_pms: 10, slackvm_pms: 11, savings_pct: -10.0 },
+            ],
+        };
+        let svg = fig4_svg(&grid);
+        assert!(svg.contains("+10.0"));
+        assert!(svg.contains("-10.0"));
+        assert!(svg.contains("share of 1:1 VMs"));
+        // Positive cells green-ish, negative blue-ish.
+        assert!(svg.contains("#117733") || svg.contains("#118033") || svg.contains("#11"));
+    }
+
+    #[test]
+    fn occupancy_svg_handles_empty_and_real_logs() {
+        assert!(occupancy_svg(&[], "empty").contains("(no samples)"));
+        let samples: Vec<OccupancySample> = (0..200u64)
+            .map(|i| OccupancySample {
+                time_secs: i * 3600,
+                alive_vms: (i / 2) as u32,
+                opened_pms: 5,
+                unallocated_cpu: 0.3,
+                unallocated_mem: 0.5,
+            })
+            .collect();
+        let svg = occupancy_svg(&samples, "occupancy");
+        assert!(svg.contains("occupancy"));
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains("d0") && svg.contains("d8"));
+    }
+
+    #[test]
+    fn full_fig3_pipeline_to_svg() {
+        let rows = slackvm::experiments::run_fig3(
+            &slackvm::workload::catalog::azure(),
+            &PackingConfig {
+                target_population: 60,
+                ..PackingConfig::default()
+            },
+        );
+        let svg = fig3_svg(&rows, "azure");
+        for letter in 'A'..='O' {
+            assert!(svg.contains(&format!(">{letter}</text>")));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # slackvm-viz
+//!
+//! Dependency-free SVG renderers for the experiment outputs, so the
+//! paper's *figures* are regenerated as actual figures:
+//!
+//! - [`figures::fig2_svg`] — per-level response times, baseline vs
+//!   SlackVM (the paper's Figure 2);
+//! - [`figures::fig3_svg`] — unallocated CPU/memory shares across the
+//!   distributions A..O (Figure 3);
+//! - [`figures::fig4_svg`] — the PM-savings heatmap over the share
+//!   simplex (Figure 4);
+//! - [`figures::occupancy_svg`] — alive-population and stranding time
+//!   series from a sample log (the steady-state view).
+//!
+//! The [`svg`] module is a minimal, allocation-friendly SVG document
+//! builder; [`scale`] maps data ranges onto pixel ranges. Rendering is
+//! deterministic: the same input produces byte-identical SVG.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+pub mod svg;
+
+pub use figures::{fig2_svg, fig3_svg, fig4_svg, occupancy_svg};

@@ -1,0 +1,153 @@
+//! Linear data→pixel scales and tick generation.
+
+/// A linear mapping from a data domain onto a pixel range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    domain: (f64, f64),
+    range: (f64, f64),
+}
+
+impl LinearScale {
+    /// Builds a scale. A degenerate domain (min == max) is widened by
+    /// one unit so mapping stays finite.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        let domain = if (domain.1 - domain.0).abs() < f64::EPSILON {
+            (domain.0, domain.0 + 1.0)
+        } else {
+            domain
+        };
+        LinearScale { domain, range }
+    }
+
+    /// Maps a data value to pixels (extrapolates outside the domain).
+    pub fn map(&self, value: f64) -> f64 {
+        let t = (value - self.domain.0) / (self.domain.1 - self.domain.0);
+        self.range.0 + t * (self.range.1 - self.range.0)
+    }
+
+    /// The data domain.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// "Nice" tick positions covering the domain: 4–8 ticks at a
+    /// 1/2/5×10^k step.
+    pub fn ticks(&self) -> Vec<f64> {
+        let (lo, hi) = self.domain;
+        let span = hi - lo;
+        let raw_step = span / 5.0;
+        let mag = 10f64.powf(raw_step.abs().log10().floor());
+        let norm = raw_step / mag;
+        let step = if norm < 1.5 {
+            mag
+        } else if norm < 3.5 {
+            2.0 * mag
+        } else if norm < 7.5 {
+            5.0 * mag
+        } else {
+            10.0 * mag
+        };
+        let first = (lo / step).ceil() * step;
+        let mut ticks = Vec::new();
+        let mut t = first;
+        while t <= hi + step * 1e-9 {
+            // Snap tiny float drift to zero.
+            ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+            t += step;
+        }
+        ticks
+    }
+}
+
+/// A sequential color map from white to a saturated hue, for heatmaps.
+/// `t` in `[0, 1]`.
+pub fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // White (255,255,255) -> deep green (17,119,51).
+    let r = (255.0 + (17.0 - 255.0) * t) as u8;
+    let g = (255.0 + (119.0 - 255.0) * t) as u8;
+    let b = (255.0 + (51.0 - 255.0) * t) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// A diverging color map for signed values: blue (negative) through
+/// white to green (positive). `t` in `[-1, 1]`.
+pub fn diverging_color(t: f64) -> String {
+    let t = t.clamp(-1.0, 1.0);
+    if t >= 0.0 {
+        heat_color(t)
+    } else {
+        let t = -t;
+        let r = (255.0 + (68.0 - 255.0) * t) as u8;
+        let g = (255.0 + (119.0 - 255.0) * t) as u8;
+        let b = (255.0 + (170.0 - 255.0) * t) as u8;
+        format!("#{r:02x}{g:02x}{b:02x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn maps_endpoints_and_midpoint() {
+        let s = LinearScale::new((0.0, 10.0), (100.0, 300.0));
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 300.0);
+        assert_eq!(s.map(5.0), 200.0);
+        // Inverted pixel ranges (SVG y axes) work too.
+        let y = LinearScale::new((0.0, 1.0), (300.0, 50.0));
+        assert_eq!(y.map(1.0), 50.0);
+    }
+
+    #[test]
+    fn degenerate_domain_stays_finite() {
+        let s = LinearScale::new((4.0, 4.0), (0.0, 100.0));
+        assert!(s.map(4.0).is_finite());
+    }
+
+    #[test]
+    fn ticks_are_nice() {
+        let s = LinearScale::new((0.0, 100.0), (0.0, 1.0));
+        assert_eq!(s.ticks(), vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let s = LinearScale::new((0.0, 7.0), (0.0, 1.0));
+        let ticks = s.ticks();
+        assert_eq!(ticks.first(), Some(&0.0));
+        assert!(ticks.len() >= 4 && ticks.len() <= 9, "{ticks:?}");
+    }
+
+    #[test]
+    fn colors_are_hex() {
+        assert_eq!(heat_color(0.0), "#ffffff");
+        assert_eq!(heat_color(1.0), "#117733");
+        assert_eq!(diverging_color(-1.0), "#4477aa");
+        assert!(heat_color(0.5).starts_with('#'));
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_is_monotone(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+            prop_assume!((b - a).abs() > 1e-6);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let s = LinearScale::new((lo, hi), (0.0, 500.0));
+            prop_assert!(s.map(lo) <= s.map((lo + hi) / 2.0));
+            prop_assert!(s.map((lo + hi) / 2.0) <= s.map(hi));
+        }
+
+        #[test]
+        fn ticks_lie_inside_the_domain(lo in -1e3f64..1e3, span in 0.1f64..1e3) {
+            let s = LinearScale::new((lo, lo + span), (0.0, 1.0));
+            for t in s.ticks() {
+                prop_assert!(t >= lo - span * 1e-6 && t <= lo + span * (1.0 + 1e-6));
+            }
+        }
+
+        #[test]
+        fn heat_color_is_valid_for_all_t(t in -2.0f64..2.0) {
+            let c = heat_color(t);
+            prop_assert_eq!(c.len(), 7);
+            prop_assert!(c.starts_with('#'));
+        }
+    }
+}

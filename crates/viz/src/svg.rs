@@ -1,0 +1,186 @@
+//! A minimal SVG document builder.
+//!
+//! Covers exactly the vocabulary the figure renderers need: rectangles,
+//! lines, polylines, circles and text, with a fixed viewBox. Numeric
+//! attributes are written with three decimals so output is compact and
+//! deterministic.
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content for XML.
+pub fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn num(value: f64) -> String {
+    let rounded = (value * 1000.0).round() / 1000.0;
+    if rounded == rounded.trunc() {
+        format!("{}", rounded as i64)
+    } else {
+        format!("{rounded}")
+    }
+}
+
+impl SvgDoc {
+    /// Starts a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\"/>\n",
+            num(x),
+            num(y),
+            num(w.max(0.0)),
+            num(h.max(0.0)),
+        ));
+        self
+    }
+
+    /// A stroked line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+        self.body.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{stroke}\" stroke-width=\"{}\"/>\n",
+            num(x1), num(y1), num(x2), num(y2), num(width),
+        ));
+        self
+    }
+
+    /// A polyline through data points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) -> &mut Self {
+        if points.is_empty() {
+            return self;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", num(*x), num(*y)))
+            .collect();
+        self.body.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{}\"/>\n",
+            pts.join(" "),
+            num(width),
+        ));
+        self
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{fill}\"/>\n",
+            num(cx),
+            num(cy),
+            num(r),
+        ));
+        self
+    }
+
+    /// Text anchored per `anchor` ("start", "middle", "end").
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" font-size=\"{}\" font-family=\"sans-serif\" \
+             text-anchor=\"{anchor}\" fill=\"#222\">{}</text>\n",
+            num(x),
+            num(y),
+            num(size),
+            escape(content),
+        ));
+        self
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" \
+             width=\"{}\" height=\"{}\">\n<rect width=\"{}\" height=\"{}\" fill=\"white\"/>\n{}</svg>\n",
+            num(self.width),
+            num(self.height),
+            num(self.width),
+            num(self.height),
+            num(self.width),
+            num(self.height),
+            self.body,
+        )
+    }
+}
+
+/// The categorical palette used across the figures (color-blind safe).
+pub mod palette {
+    /// Baseline / first series.
+    pub const BASELINE: &str = "#4477aa";
+    /// SlackVM / second series.
+    pub const SLACKVM: &str = "#ee6677";
+    /// CPU series.
+    pub const CPU: &str = "#228833";
+    /// Memory series.
+    pub const MEM: &str = "#ccbb44";
+    /// Neutral grid lines.
+    pub const GRID: &str = "#dddddd";
+    /// Axis strokes.
+    pub const AXIS: &str = "#444444";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(200.0, 100.0);
+        doc.rect(10.0, 10.0, 30.0, 20.0, "#ff0000")
+            .line(0.0, 0.0, 200.0, 100.0, "#000", 1.0)
+            .circle(50.0, 50.0, 4.0, "#00ff00")
+            .text(100.0, 95.0, 10.0, "middle", "hello & <world>");
+        let out = doc.finish();
+        assert!(out.starts_with("<svg "));
+        assert!(out.ends_with("</svg>\n"));
+        assert!(out.contains("viewBox=\"0 0 200 100\""));
+        assert!(out.contains("<rect x=\"10\""));
+        assert!(out.contains("hello &amp; &lt;world&gt;"));
+    }
+
+    #[test]
+    fn numbers_are_compact_and_rounded() {
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(3.14159), "3.142");
+        assert_eq!(num(-0.5), "-0.5");
+    }
+
+    #[test]
+    fn negative_sizes_are_clamped() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.rect(0.0, 0.0, -5.0, 3.0, "#000");
+        assert!(doc.clone().finish().contains("width=\"0\""));
+    }
+
+    #[test]
+    fn empty_polyline_renders_nothing() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.polyline(&[], "#000", 1.0);
+        assert!(!doc.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut doc = SvgDoc::new(50.0, 50.0);
+            doc.polyline(&[(0.0, 0.0), (25.5, 12.345), (50.0, 50.0)], "#123456", 1.5);
+            doc.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

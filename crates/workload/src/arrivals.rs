@@ -1,0 +1,281 @@
+//! Arrival/departure processes.
+//!
+//! The scale experiments (§VII-B) replay "DC workloads over the course of
+//! a week, adhering to arrival and departure rates of VMs" towards a
+//! target population. We model a classic M/G/∞-style process: Poisson
+//! arrivals with exponential lifetimes whose mean is chosen so the
+//! steady-state population (`λ · E[lifetime]`) equals the target.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per simulated week.
+pub const WEEK_SECS: u64 = 7 * 86_400;
+
+/// The shape of the VM-lifetime distribution (mean is always
+/// [`ArrivalModel::mean_lifetime_secs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LifetimeModel {
+    /// Memoryless lifetimes (the classic M/G/∞ baseline).
+    #[default]
+    Exponential,
+    /// Heavy-tailed lifetimes: most VMs short-lived, a few very long —
+    /// the shape cloud traces actually exhibit. `sigma` is the
+    /// log-space standard deviation (≈1.0–1.5 is realistic).
+    LogNormal {
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+}
+
+/// A diurnal modulation of the arrival rate: human-driven deployments
+/// peak in the day and ebb at night.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum RateShape {
+    /// Constant Poisson rate.
+    #[default]
+    Constant,
+    /// Sinusoidal rate: `λ(t) = λ·(1 + amplitude·sin(2πt/day))`,
+    /// amplitude in `[0, 1)`.
+    Diurnal {
+        /// Relative swing of the rate.
+        amplitude: f64,
+    },
+}
+
+/// How VMs arrive and how long they stay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    /// Target steady-state VM population.
+    pub target_population: u32,
+    /// Mean VM lifetime in seconds.
+    pub mean_lifetime_secs: u64,
+    /// Workload horizon in seconds (events beyond it are not generated).
+    pub horizon_secs: u64,
+    /// Lifetime distribution shape.
+    pub lifetime: LifetimeModel,
+    /// Arrival-rate modulation.
+    pub rate_shape: RateShape,
+}
+
+impl ArrivalModel {
+    /// A constant-rate, exponential-lifetime model — the protocol the
+    /// paper's experiments replay.
+    pub fn constant(target_population: u32, mean_lifetime_secs: u64, horizon_secs: u64) -> Self {
+        ArrivalModel {
+            target_population,
+            mean_lifetime_secs,
+            horizon_secs,
+            lifetime: LifetimeModel::Exponential,
+            rate_shape: RateShape::Constant,
+        }
+    }
+
+    /// The paper's protocol: a 500-VM target over one week. Lifetimes
+    /// average two days, so the population reaches (and holds) its
+    /// steady state well within the week.
+    pub fn paper_week(target_population: u32) -> Self {
+        Self::constant(target_population, 2 * 86_400, WEEK_SECS)
+    }
+
+    /// Switches to heavy-tailed (log-normal) lifetimes.
+    pub fn with_lognormal_lifetimes(mut self, sigma: f64) -> Self {
+        self.lifetime = LifetimeModel::LogNormal { sigma: sigma.max(0.0) };
+        self
+    }
+
+    /// Switches to a diurnal arrival rate.
+    pub fn with_diurnal_rate(mut self, amplitude: f64) -> Self {
+        self.rate_shape = RateShape::Diurnal {
+            amplitude: amplitude.clamp(0.0, 0.99),
+        };
+        self
+    }
+
+    /// Mean arrival rate (VMs per second) that sustains the target
+    /// population.
+    pub fn arrival_rate(&self) -> f64 {
+        self.target_population as f64 / self.mean_lifetime_secs as f64
+    }
+
+    /// Instantaneous arrival rate at `t`.
+    pub fn rate_at(&self, t_secs: u64) -> f64 {
+        let base = self.arrival_rate();
+        match self.rate_shape {
+            RateShape::Constant => base,
+            RateShape::Diurnal { amplitude } => {
+                let phase = (t_secs % 86_400) as f64 / 86_400.0;
+                base * (1.0 + amplitude * (phase * std::f64::consts::TAU).sin())
+            }
+        }
+    }
+
+    /// Draws the next inter-arrival gap starting at `now`, in seconds
+    /// (≥ 1). Diurnal rates use exponential thinning against the peak
+    /// rate, which is exact for inhomogeneous Poisson processes.
+    pub fn sample_interarrival_at<R: Rng + ?Sized>(&self, rng: &mut R, now: u64) -> u64 {
+        match self.rate_shape {
+            RateShape::Constant => {
+                sample_exponential(rng, 1.0 / self.arrival_rate()).max(1.0) as u64
+            }
+            RateShape::Diurnal { amplitude } => {
+                let peak = self.arrival_rate() * (1.0 + amplitude);
+                let mut t = now;
+                loop {
+                    let gap = sample_exponential(rng, 1.0 / peak).max(1.0) as u64;
+                    t += gap;
+                    let accept: f64 = rng.gen();
+                    if accept * peak <= self.rate_at(t) {
+                        return t - now;
+                    }
+                    // Rejected candidate: continue thinning from t.
+                }
+            }
+        }
+    }
+
+    /// Draws the next inter-arrival gap at an arbitrary (constant-rate)
+    /// point; kept for callers that don't track wall time.
+    pub fn sample_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample_interarrival_at(rng, 0)
+    }
+
+    /// Draws one lifetime, in seconds (≥ 60: sub-minute VMs are noise
+    /// for week-scale packing).
+    pub fn sample_lifetime<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mean = self.mean_lifetime_secs as f64;
+        let sample = match self.lifetime {
+            LifetimeModel::Exponential => sample_exponential(rng, mean),
+            LifetimeModel::LogNormal { sigma } => {
+                // mu chosen so the distribution's mean is `mean`.
+                let mu = mean.ln() - sigma * sigma / 2.0;
+                (mu + sigma * sample_standard_normal(rng)).exp()
+            }
+        };
+        sample.max(60.0) as u64
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (u2 * std::f64::consts::TAU).cos()
+}
+
+/// Inverse-CDF exponential sampling with the given mean.
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    // Map the open interval (0,1); guard against ln(0).
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_week_shape() {
+        let m = ArrivalModel::paper_week(500);
+        assert_eq!(m.horizon_secs, WEEK_SECS);
+        // λ = N / E[L] = 500 / 172800 ≈ 2.9 mVM/s.
+        assert!((m.arrival_rate() - 500.0 / 172_800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_mean_converges() {
+        let m = ArrivalModel::paper_week(500);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample_lifetime(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = m.mean_lifetime_secs as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn interarrival_mean_converges() {
+        let m = ArrivalModel::paper_week(500);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample_interarrival(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = 1.0 / m.arrival_rate();
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn samples_respect_floors() {
+        let m = ArrivalModel::constant(1_000_000, 1, 100); // absurd rate
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(m.sample_interarrival(&mut rng) >= 1);
+            assert!(m.sample_lifetime(&mut rng) >= 60);
+        }
+    }
+
+    #[test]
+    fn lognormal_lifetimes_keep_the_mean_but_fatten_the_tail() {
+        let exp = ArrivalModel::paper_week(500);
+        let log = exp.with_lognormal_lifetimes(1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 40_000;
+        let mut exp_samples: Vec<u64> = (0..n).map(|_| exp.sample_lifetime(&mut rng)).collect();
+        let mut log_samples: Vec<u64> = (0..n).map(|_| log.sample_lifetime(&mut rng)).collect();
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        let target = exp.mean_lifetime_secs as f64;
+        assert!((mean(&exp_samples) - target).abs() / target < 0.05);
+        assert!((mean(&log_samples) - target).abs() / target < 0.08);
+        // Same mean, heavier tail: the log-normal p99 dominates.
+        exp_samples.sort_unstable();
+        log_samples.sort_unstable();
+        let p99 = |v: &[u64]| v[(v.len() as f64 * 0.99) as usize];
+        assert!(p99(&log_samples) > p99(&exp_samples));
+        // ... and the median is *smaller* (mass shifted to short VMs).
+        assert!(log_samples[n / 2] < exp_samples[n / 2]);
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_a_quarter_day_in() {
+        let m = ArrivalModel::paper_week(500).with_diurnal_rate(0.5);
+        let base = m.arrival_rate();
+        assert!((m.rate_at(0) - base).abs() < 1e-12);
+        assert!((m.rate_at(21_600) - base * 1.5).abs() < 1e-9); // 6 h: sin peak
+        assert!((m.rate_at(64_800) - base * 0.5).abs() < 1e-9); // 18 h: trough
+    }
+
+    #[test]
+    fn diurnal_thinning_preserves_the_mean_rate() {
+        let m = ArrivalModel::paper_week(2000).with_diurnal_rate(0.8);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Count arrivals over three simulated days.
+        let horizon = 3 * 86_400u64;
+        let mut t = 0u64;
+        let mut count = 0u64;
+        while t < horizon {
+            t += m.sample_interarrival_at(&mut rng, t);
+            count += 1;
+        }
+        let expected = m.arrival_rate() * horizon as f64;
+        let got = count as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn constant_builder_matches_paper_week() {
+        let a = ArrivalModel::paper_week(500);
+        let b = ArrivalModel::constant(500, 2 * 86_400, WEEK_SECS);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,392 @@
+//! Provider VM-size catalogs and their statistics.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::units::mib_to_gib_f64;
+use slackvm_model::{gib, OversubLevel, Resources};
+
+/// A rentable VM size with its popularity weight in the provider's fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flavor {
+    /// Human-readable flavor name (e.g. `a2_4`).
+    pub name: String,
+    /// Virtual resource request.
+    pub request: Resources,
+    /// Relative popularity weight (need not sum to 1 across a catalog).
+    pub weight: f64,
+}
+
+impl Flavor {
+    /// Constructs a flavor.
+    pub fn new(name: impl Into<String>, vcpus: u32, mem_mib: u64, weight: f64) -> Self {
+        Flavor {
+            name: name.into(),
+            request: Resources::new(vcpus, mem_mib),
+            weight,
+        }
+    }
+}
+
+/// Validation errors of user-supplied catalogs.
+#[derive(Debug, thiserror::Error, Clone, PartialEq)]
+pub enum CatalogError {
+    /// No (positively-weighted) flavor at all.
+    #[error("catalog {0:?} has no usable flavor")]
+    Empty(String),
+
+    /// A flavor with a zero dimension.
+    #[error("flavor {0:?} has zero vCPUs or memory")]
+    EmptyFlavor(String),
+
+    /// A flavor with a non-finite or negative weight.
+    #[error("flavor {0:?} has an invalid weight {1}")]
+    BadWeight(String, f64),
+
+    /// Two flavors with the same name.
+    #[error("duplicate flavor name {0:?}")]
+    DuplicateName(String),
+
+    /// Malformed JSON.
+    #[error("catalog JSON: {0}")]
+    Json(String),
+}
+
+/// A weighted set of VM flavors — one provider's public catalog together
+/// with how often each size is actually deployed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Provider label used in reports ("azure", "ovhcloud", ...).
+    pub provider: String,
+    flavors: Vec<Flavor>,
+}
+
+impl Catalog {
+    /// Builds a catalog from a flavor list. Flavors with non-positive
+    /// weight are dropped.
+    pub fn new(provider: impl Into<String>, flavors: Vec<Flavor>) -> Self {
+        let flavors = flavors
+            .into_iter()
+            .filter(|f| f.weight > 0.0 && f.weight.is_finite())
+            .collect();
+        Catalog {
+            provider: provider.into(),
+            flavors,
+        }
+    }
+
+    /// The flavor list.
+    pub fn flavors(&self) -> &[Flavor] {
+        &self.flavors
+    }
+
+    /// Weighted mean vCPU count per VM (Table I's first column).
+    pub fn mean_vcpus(&self) -> f64 {
+        let (num, den) = self.flavors.iter().fold((0.0, 0.0), |(n, d), f| {
+            (n + f.weight * f.request.vcpus as f64, d + f.weight)
+        });
+        num / den
+    }
+
+    /// Weighted mean memory per VM in GiB (Table I's second column).
+    pub fn mean_mem_gib(&self) -> f64 {
+        let (num, den) = self.flavors.iter().fold((0.0, 0.0), |(n, d), f| {
+            (n + f.weight * mib_to_gib_f64(f.request.mem_mib), d + f.weight)
+        });
+        num / den
+    }
+
+    /// The catalog restricted to flavors of at most `max_mem_mib` — the
+    /// paper's model of a *smaller oversubscribed catalog* ("VM having
+    /// more than 8 GB were excluded", §III-A).
+    pub fn restricted(&self, max_mem_mib: u64) -> Catalog {
+        Catalog {
+            provider: self.provider.clone(),
+            flavors: self
+                .flavors
+                .iter()
+                .filter(|f| f.request.mem_mib <= max_mem_mib)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The catalog an oversubscription tier actually sells from: the full
+    /// catalog at 1:1, the ≤8 GiB restriction otherwise.
+    pub fn for_level(&self, level: OversubLevel) -> Catalog {
+        if level.is_premium() {
+            self.clone()
+        } else {
+            self.restricted(gib(8))
+        }
+    }
+
+    /// The provisioned Memory-per-physical-Core ratio of VMs sold at
+    /// `level`, in GiB per core — the paper's Table II quantity:
+    /// `n · E[vRAM] / E[vCPU]` over the tier's catalog.
+    pub fn mc_ratio_at(&self, level: OversubLevel) -> f64 {
+        let tier = self.for_level(level);
+        level.ratio() as f64 * tier.mean_mem_gib() / tier.mean_vcpus()
+    }
+
+    /// Draws one flavor according to the popularity weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &Flavor {
+        let dist = WeightedIndex::new(self.flavors.iter().map(|f| f.weight))
+            .expect("catalog has positive-weight flavors");
+        &self.flavors[dist.sample(rng)]
+    }
+
+    /// Draws one flavor from the catalog of `level` (restricted when
+    /// oversubscribed).
+    pub fn sample_for_level<R: Rng + ?Sized>(&self, rng: &mut R, level: OversubLevel) -> Flavor {
+        self.for_level(level).sample(rng).clone()
+    }
+
+    /// Strict validation for user-supplied catalogs. The [`Catalog::new`]
+    /// constructor silently drops zero-weight flavors; this instead
+    /// rejects anything suspicious — the right behaviour at a config
+    /// boundary.
+    pub fn validate(&self) -> Result<(), CatalogError> {
+        if self.flavors.is_empty() {
+            return Err(CatalogError::Empty(self.provider.clone()));
+        }
+        let mut names: Vec<&str> = Vec::with_capacity(self.flavors.len());
+        for f in &self.flavors {
+            if f.request.vcpus == 0 || f.request.mem_mib == 0 {
+                return Err(CatalogError::EmptyFlavor(f.name.clone()));
+            }
+            if !f.weight.is_finite() || f.weight <= 0.0 {
+                return Err(CatalogError::BadWeight(f.name.clone(), f.weight));
+            }
+            if names.contains(&f.name.as_str()) {
+                return Err(CatalogError::DuplicateName(f.name.clone()));
+            }
+            names.push(&f.name);
+        }
+        Ok(())
+    }
+
+    /// Loads and validates a catalog from its JSON representation
+    /// (the format produced by serializing a [`Catalog`]).
+    pub fn from_json(json: &str) -> Result<Catalog, CatalogError> {
+        let catalog: Catalog =
+            serde_json::from_str(json).map_err(|e| CatalogError::Json(e.to_string()))?;
+        catalog.validate()?;
+        Ok(catalog)
+    }
+}
+
+/// The Azure-calibrated catalog (see crate docs for the calibration
+/// targets). Weights and sizes are synthetic; means match paper Table I
+/// and tier M/C ratios match Table II within a few percent.
+///
+/// ```
+/// use slackvm_workload::catalog::azure;
+/// use slackvm_model::OversubLevel;
+/// let cat = azure();
+/// assert!((cat.mean_vcpus() - 2.25).abs() < 0.15);               // Table I
+/// assert!((cat.mc_ratio_at(OversubLevel::of(3)) - 4.5).abs() < 0.2); // Table II
+/// ```
+pub fn azure() -> Catalog {
+    Catalog::new(
+        "azure",
+        vec![
+            Flavor::new("a1_1", 1, gib(1), 0.3580),
+            Flavor::new("a2_2", 2, gib(2), 0.1320),
+            Flavor::new("a4_4", 4, gib(4), 0.0440),
+            Flavor::new("a1_2", 1, gib(2), 0.1056),
+            Flavor::new("a2_4", 2, gib(4), 0.1584),
+            Flavor::new("a4_8", 4, gib(8), 0.0880),
+            Flavor::new("a4_16", 4, gib(16), 0.0840),
+            Flavor::new("a8_32", 8, gib(32), 0.0300),
+        ],
+    )
+}
+
+/// The OVHcloud-calibrated catalog: larger deployments, memory-heavier
+/// ratio (paper Table I: 3.24 vCPU / 10.05 GB per VM).
+pub fn ovhcloud() -> Catalog {
+    Catalog::new(
+        "ovhcloud",
+        vec![
+            Flavor::new("o1_4", 1, gib(4), 0.0415),
+            Flavor::new("o1_2", 1, gib(2), 0.1826),
+            Flavor::new("o2_4", 2, gib(4), 0.2739),
+            Flavor::new("o4_8", 4, gib(8), 0.2656),
+            Flavor::new("o2_2", 2, gib(2), 0.0332),
+            Flavor::new("o4_4", 4, gib(4), 0.0332),
+            Flavor::new("o8_32", 8, gib(32), 0.1190),
+            Flavor::new("o4_32", 4, gib(32), 0.0255),
+            Flavor::new("o8_64", 8, gib(64), 0.0255),
+        ],
+    )
+}
+
+/// A synthetic provider whose every flavor sits exactly on a 4 GiB/core
+/// ratio — useful as a sensitivity baseline (no packing gain should be
+/// available from ratio complementarity).
+pub fn balanced() -> Catalog {
+    Catalog::new(
+        "balanced",
+        vec![
+            Flavor::new("b1_4", 1, gib(4), 0.4),
+            Flavor::new("b2_8", 2, gib(8), 0.4),
+            Flavor::new("b4_16", 4, gib(16), 0.2),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_azure_averages_within_tolerance() {
+        let c = azure();
+        assert!((c.mean_vcpus() - 2.25).abs() < 0.15, "got {}", c.mean_vcpus());
+        assert!((c.mean_mem_gib() - 4.8).abs() < 0.25, "got {}", c.mean_mem_gib());
+    }
+
+    #[test]
+    fn table1_ovh_averages_within_tolerance() {
+        let c = ovhcloud();
+        assert!((c.mean_vcpus() - 3.24).abs() < 0.15, "got {}", c.mean_vcpus());
+        assert!((c.mean_mem_gib() - 10.05).abs() < 0.35, "got {}", c.mean_mem_gib());
+    }
+
+    #[test]
+    fn table2_azure_mc_ratios_within_tolerance() {
+        let c = azure();
+        let r = |n| c.mc_ratio_at(OversubLevel::of(n));
+        assert!((r(1) - 2.1).abs() < 0.2, "1:1 got {}", r(1));
+        assert!((r(2) - 3.0).abs() < 0.2, "2:1 got {}", r(2));
+        assert!((r(3) - 4.5).abs() < 0.2, "3:1 got {}", r(3));
+    }
+
+    #[test]
+    fn table2_ovh_mc_ratios_within_tolerance() {
+        let c = ovhcloud();
+        let r = |n| c.mc_ratio_at(OversubLevel::of(n));
+        assert!((r(1) - 3.1).abs() < 0.2, "1:1 got {}", r(1));
+        assert!((r(2) - 3.9).abs() < 0.2, "2:1 got {}", r(2));
+        assert!((r(3) - 5.8).abs() < 0.2, "3:1 got {}", r(3));
+    }
+
+    #[test]
+    fn restriction_removes_large_flavors() {
+        let c = ovhcloud();
+        let r = c.restricted(gib(8));
+        assert!(r.flavors().iter().all(|f| f.request.mem_mib <= gib(8)));
+        assert!(r.flavors().len() < c.flavors().len());
+        // Premium tier keeps the full catalog.
+        assert_eq!(
+            c.for_level(OversubLevel::PREMIUM).flavors().len(),
+            c.flavors().len()
+        );
+    }
+
+    #[test]
+    fn balanced_catalog_sits_on_target_ratio() {
+        let c = balanced();
+        assert!((c.mc_ratio_at(OversubLevel::PREMIUM) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_weights_roughly() {
+        let c = azure();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mut small = 0;
+        for _ in 0..n {
+            if c.sample(&mut rng).name == "a1_1" {
+                small += 1;
+            }
+        }
+        let share = small as f64 / n as f64;
+        assert!((share - 0.352).abs() < 0.02, "observed share {share}");
+    }
+
+    #[test]
+    fn sample_for_level_never_returns_excluded_flavor() {
+        let c = azure();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let f = c.sample_for_level(&mut rng, OversubLevel::of(3));
+            assert!(f.request.mem_mib <= gib(8), "sampled {}", f.name);
+        }
+    }
+
+    #[test]
+    fn builtin_catalogs_validate() {
+        for c in [azure(), ovhcloud(), balanced()] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_and_validation() {
+        let json = serde_json::to_string(&azure()).unwrap();
+        let back = Catalog::from_json(&json).unwrap();
+        assert_eq!(back, azure());
+        assert!(matches!(
+            Catalog::from_json("{not json"),
+            Err(CatalogError::Json(_))
+        ));
+        // A catalog with a zero-vcpu flavor fails validation even though
+        // the JSON is well-formed.
+        let bad = r#"{"provider":"x","flavors":[{"name":"z","request":{"vcpus":0,"mem_mib":1024},"weight":1.0}]}"#;
+        assert!(matches!(
+            Catalog::from_json(bad),
+            Err(CatalogError::EmptyFlavor(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_duplicates_and_bad_weights() {
+        let dup = Catalog {
+            provider: "x".into(),
+            flavors: vec![
+                Flavor::new("a", 1, gib(1), 1.0),
+                Flavor::new("a", 2, gib(2), 1.0),
+            ],
+        };
+        assert!(matches!(dup.validate(), Err(CatalogError::DuplicateName(_))));
+        let nan = Catalog {
+            provider: "x".into(),
+            flavors: vec![Flavor::new("a", 1, gib(1), f64::NAN)],
+        };
+        assert!(matches!(nan.validate(), Err(CatalogError::BadWeight(..))));
+        let empty = Catalog { provider: "x".into(), flavors: vec![] };
+        assert!(matches!(empty.validate(), Err(CatalogError::Empty(_))));
+    }
+
+    #[test]
+    fn zero_weight_flavors_are_dropped() {
+        let c = Catalog::new(
+            "x",
+            vec![
+                Flavor::new("keep", 1, gib(1), 1.0),
+                Flavor::new("drop", 1, gib(1), 0.0),
+                Flavor::new("nan", 1, gib(1), f64::NAN),
+            ],
+        );
+        assert_eq!(c.flavors().len(), 1);
+    }
+
+    #[test]
+    fn empirical_sample_means_converge_to_catalog_means() {
+        let c = ovhcloud();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let n = 50_000;
+        let (mut vc, mut mem) = (0.0, 0.0);
+        for _ in 0..n {
+            let f = c.sample(&mut rng);
+            vc += f.request.vcpus as f64;
+            mem += mib_to_gib_f64(f.request.mem_mib);
+        }
+        assert!((vc / n as f64 - c.mean_vcpus()).abs() < 0.05);
+        assert!((mem / n as f64 - c.mean_mem_gib()).abs() < 0.15);
+    }
+}

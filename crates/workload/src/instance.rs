@@ -1,0 +1,95 @@
+//! A concrete VM in a workload: spec + behaviour + lifetime.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{VmId, VmSpec};
+
+use crate::usage::{CpuUsageModel, UsageClass};
+
+/// One generated VM: what was purchased, how it behaves, and when it
+/// arrives and departs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmInstance {
+    /// Workload-unique identifier.
+    pub id: VmId,
+    /// The purchased size and oversubscription tier.
+    pub spec: VmSpec,
+    /// Behavioural class (idle / stress / interactive).
+    pub class: UsageClass,
+    /// The CPU-demand model.
+    pub usage: CpuUsageModel,
+    /// Per-VM seed for deterministic demand sampling.
+    pub seed: u64,
+    /// Arrival time (seconds since workload start).
+    pub arrival_secs: u64,
+    /// Departure time (seconds since workload start), strictly after
+    /// arrival.
+    pub departure_secs: u64,
+}
+
+impl VmInstance {
+    /// Lifetime in seconds.
+    pub fn lifetime_secs(&self) -> u64 {
+        self.departure_secs - self.arrival_secs
+    }
+
+    /// Whether the VM is alive at `t` (arrival inclusive, departure
+    /// exclusive).
+    pub fn alive_at(&self, t_secs: u64) -> bool {
+        (self.arrival_secs..self.departure_secs).contains(&t_secs)
+    }
+
+    /// CPU demand at `t`, in fractional vCPUs (`utilization × vcpus`).
+    /// Zero when the VM is not alive.
+    pub fn cpu_demand_vcpus(&self, t_secs: u64) -> f64 {
+        if !self.alive_at(t_secs) {
+            return 0.0;
+        }
+        self.usage.utilization(self.seed, t_secs) * self.spec.vcpus() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel};
+
+    fn demo() -> VmInstance {
+        VmInstance {
+            id: VmId(7),
+            spec: VmSpec::of(2, gib(4), OversubLevel::of(2)),
+            class: UsageClass::Stress,
+            usage: CpuUsageModel::for_class(UsageClass::Stress, 7),
+            seed: 7,
+            arrival_secs: 100,
+            departure_secs: 500,
+        }
+    }
+
+    #[test]
+    fn lifetime_and_liveness() {
+        let vm = demo();
+        assert_eq!(vm.lifetime_secs(), 400);
+        assert!(!vm.alive_at(99));
+        assert!(vm.alive_at(100));
+        assert!(vm.alive_at(499));
+        assert!(!vm.alive_at(500));
+    }
+
+    #[test]
+    fn demand_is_zero_outside_lifetime_scaled_inside() {
+        let vm = demo();
+        assert_eq!(vm.cpu_demand_vcpus(0), 0.0);
+        let d = vm.cpu_demand_vcpus(200);
+        // Stress model: ~0.9 utilization on 2 vCPUs.
+        assert!(d > 1.6 && d <= 2.0, "demand {d}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let vm = demo();
+        let json = serde_json::to_string(&vm).unwrap();
+        let back: VmInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(vm, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! # slackvm-workload
+//!
+//! A CloudFactory-like workload generator for the SlackVM experiments.
+//!
+//! The paper generates "a dynamic set of VMs that align with a Cloud
+//! provider context" (§VII): VM sizes drawn from provider-calibrated
+//! distributions, CPU-usage behaviours per VM, Poisson arrival/departure
+//! processes over a simulated week, and — the SlackVM extension — a share
+//! of each VM assigned to an oversubscription level.
+//!
+//! The VM-size catalogs ([`catalog::azure`], [`catalog::ovhcloud`]) are
+//! synthetic power-of-2 flavor sets *calibrated to reproduce the published
+//! statistics* the downstream experiments actually consume:
+//!
+//! | statistic | paper | this crate |
+//! |---|---|---|
+//! | Azure mean vCPU / vRAM (Table I)   | 2.25 / 4.8 GB  | ≈2.19 / 4.84 |
+//! | OVH mean vCPU / vRAM (Table I)     | 3.24 / 10.05 GB| ≈3.29 / 10.21 |
+//! | Azure M/C at 1:1, 2:1, 3:1 (Table II) | 2.1 / 3.0 / 4.5 | ≈2.21 / 2.99 / 4.48 |
+//! | OVH M/C at 1:1, 2:1, 3:1 (Table II)   | 3.1 / 3.9 / 5.8 | ≈3.10 / 3.89 / 5.83 |
+//!
+//! Oversubscribed tiers draw from the catalog restricted to flavors of at
+//! most 8 GiB, reproducing the paper's "OVHcloud does not offer
+//! oversubscribed VMs with a capacity exceeding 8 GB" hypothesis.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod catalog;
+pub mod instance;
+pub mod mix;
+pub mod resize;
+pub mod scenarios;
+pub mod stats;
+pub mod trace;
+pub mod usage;
+
+pub use arrivals::{ArrivalModel, LifetimeModel, RateShape};
+pub use catalog::{Catalog, CatalogError, Flavor};
+pub use instance::VmInstance;
+pub use mix::{DistributionPoint, LevelMix};
+pub use resize::inject_resizes;
+pub use scenarios::Scenario;
+pub use stats::TraceStats;
+pub use trace::{Workload, WorkloadEvent, WorkloadGenerator, WorkloadSpec};
+pub use usage::{CpuUsageModel, UsageClass};

@@ -1,0 +1,249 @@
+//! Oversubscription-level mixes and the paper's distribution grid A..O.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::OversubLevel;
+
+/// A probability mix over oversubscription levels: the share of incoming
+/// VMs purchased at each tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelMix {
+    shares: Vec<(OversubLevel, f64)>,
+}
+
+impl LevelMix {
+    /// Builds a mix, dropping non-positive shares and normalizing the rest
+    /// to sum to 1. Returns `None` when nothing positive remains.
+    pub fn new(shares: Vec<(OversubLevel, f64)>) -> Option<Self> {
+        let mut shares: Vec<(OversubLevel, f64)> = shares
+            .into_iter()
+            .filter(|(_, s)| *s > 0.0 && s.is_finite())
+            .collect();
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        for (_, s) in &mut shares {
+            *s /= total;
+        }
+        shares.sort_by_key(|(l, _)| *l);
+        Some(LevelMix { shares })
+    }
+
+    /// The paper's three-level mix from percentage points
+    /// `(share of 1:1, share of 2:1, share of 3:1)`.
+    pub fn three_level(p1: f64, p2: f64, p3: f64) -> Option<Self> {
+        LevelMix::new(vec![
+            (OversubLevel::of(1), p1),
+            (OversubLevel::of(2), p2),
+            (OversubLevel::of(3), p3),
+        ])
+    }
+
+    /// Normalized `(level, share)` pairs, ascending by level.
+    pub fn shares(&self) -> &[(OversubLevel, f64)] {
+        &self.shares
+    }
+
+    /// The share of a given level (0 when absent).
+    pub fn share_of(&self, level: OversubLevel) -> f64 {
+        self.shares
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// The levels present (positive share), ascending.
+    pub fn levels(&self) -> Vec<OversubLevel> {
+        self.shares.iter().map(|(l, _)| *l).collect()
+    }
+
+    /// Draws a level according to the shares.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> OversubLevel {
+        let dist = WeightedIndex::new(self.shares.iter().map(|(_, s)| *s))
+            .expect("mix has positive shares");
+        self.shares[dist.sample(rng)].0
+    }
+}
+
+impl std::fmt::Display for LevelMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .shares
+            .iter()
+            .map(|(l, s)| format!("{}={:.0}%", l, s * 100.0))
+            .collect();
+        f.write_str(&parts.join(" "))
+    }
+}
+
+/// One cell of the paper's Fig. 3/4 sweep: a named mix of the three
+/// levels in 25-point steps.
+///
+/// The letters enumerate the share simplex row by row by descending 1:1
+/// share, matching the paper's references: {A, B, D, G, K} contain no 3:1
+/// VMs; F is the 50% 1:1 + 50% 3:1 mix that yields the headline 9.6%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DistributionPoint {
+    /// Letter `A`..`O`.
+    pub letter: char,
+    /// Percentage of 1:1 VMs (0, 25, 50, 75 or 100).
+    pub p1: u32,
+    /// Percentage of 2:1 VMs.
+    pub p2: u32,
+    /// Percentage of 3:1 VMs (the complement).
+    pub p3: u32,
+}
+
+impl DistributionPoint {
+    /// All fifteen paper distributions A..O, in paper order (least to most
+    /// oversubscribed).
+    pub fn all() -> Vec<DistributionPoint> {
+        let mut points = Vec::with_capacity(15);
+        let mut letter = b'A';
+        // Rows by descending 1:1 share; within a row, descending 2:1 share.
+        for p1 in [100u32, 75, 50, 25, 0] {
+            let rest = 100 - p1;
+            let mut p2 = rest;
+            loop {
+                points.push(DistributionPoint {
+                    letter: letter as char,
+                    p1,
+                    p2,
+                    p3: rest - p2,
+                });
+                letter += 1;
+                if p2 == 0 {
+                    break;
+                }
+                p2 -= 25;
+            }
+        }
+        points
+    }
+
+    /// Looks a distribution up by letter.
+    pub fn by_letter(letter: char) -> Option<DistributionPoint> {
+        Self::all().into_iter().find(|p| p.letter == letter)
+    }
+
+    /// The mix this point denotes.
+    pub fn mix(&self) -> LevelMix {
+        LevelMix::three_level(self.p1 as f64, self.p2 as f64, self.p3 as f64)
+            .expect("distribution points always have a positive share")
+    }
+
+    /// True when the point contains no 3:1 VMs (the paper's "no
+    /// memory-biased level to pool against" cases).
+    pub fn has_no_level3(&self) -> bool {
+        self.p3 == 0
+    }
+}
+
+impl std::fmt::Display for DistributionPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (1:1={}%, 2:1={}%, 3:1={}%)",
+            self.letter, self.p1, self.p2, self.p3
+        )
+    }
+}
+
+/// The general simplex grid over three levels with a percentage `step`
+/// that divides 100 — Fig. 4's axes at arbitrary resolution.
+pub fn simplex_grid(step: u32) -> Vec<(u32, u32, u32)> {
+    assert!(step > 0 && 100 % step == 0, "step must divide 100");
+    let mut cells = Vec::new();
+    let mut p1 = 0;
+    while p1 <= 100 {
+        let mut p2 = 0;
+        while p1 + p2 <= 100 {
+            cells.push((p1, p2, 100 - p1 - p2));
+            p2 += step;
+        }
+        p1 += step;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fifteen_points_a_through_o() {
+        let all = DistributionPoint::all();
+        assert_eq!(all.len(), 15);
+        assert_eq!(all[0].letter, 'A');
+        assert_eq!(all[14].letter, 'O');
+        // Every cell sums to 100.
+        assert!(all.iter().all(|p| p.p1 + p.p2 + p.p3 == 100));
+    }
+
+    #[test]
+    fn paper_anchor_points_hold() {
+        // A = pure premium; O = pure 3:1; F = 50/0/50 (the 9.6% case);
+        // K = pure 2:1. {A,B,D,G,K} have no 3:1 VMs.
+        let p = |c| DistributionPoint::by_letter(c).unwrap();
+        assert_eq!((p('A').p1, p('A').p2, p('A').p3), (100, 0, 0));
+        assert_eq!((p('O').p1, p('O').p2, p('O').p3), (0, 0, 100));
+        assert_eq!((p('F').p1, p('F').p2, p('F').p3), (50, 0, 50));
+        assert_eq!((p('K').p1, p('K').p2, p('K').p3), (0, 100, 0));
+        let no3: Vec<char> = DistributionPoint::all()
+            .into_iter()
+            .filter(|p| p.has_no_level3())
+            .map(|p| p.letter)
+            .collect();
+        assert_eq!(no3, vec!['A', 'B', 'D', 'G', 'K']);
+    }
+
+    #[test]
+    fn mix_normalizes_and_drops_zero_shares() {
+        let m = LevelMix::three_level(50.0, 0.0, 50.0).unwrap();
+        assert_eq!(m.levels(), vec![OversubLevel::of(1), OversubLevel::of(3)]);
+        assert!((m.share_of(OversubLevel::of(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.share_of(OversubLevel::of(2)), 0.0);
+        assert!(LevelMix::three_level(0.0, 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn mix_sampling_matches_shares() {
+        let m = LevelMix::three_level(25.0, 50.0, 25.0).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = 40_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(m.sample(&mut rng).ratio()).or_insert(0usize) += 1;
+        }
+        let share = |r: u32| counts[&r] as f64 / n as f64;
+        assert!((share(1) - 0.25).abs() < 0.02);
+        assert!((share(2) - 0.50).abs() < 0.02);
+        assert!((share(3) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn grid_with_step_25_matches_paper_cells() {
+        let grid = simplex_grid(25);
+        assert_eq!(grid.len(), 15);
+        assert!(grid.contains(&(50, 0, 50)));
+        let fine = simplex_grid(10);
+        assert_eq!(fine.len(), 66); // C(12, 2)
+    }
+
+    #[test]
+    #[should_panic(expected = "step must divide 100")]
+    fn grid_rejects_bad_step() {
+        simplex_grid(30);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = DistributionPoint::by_letter('F').unwrap();
+        assert_eq!(p.to_string(), "F (1:1=50%, 2:1=0%, 3:1=50%)");
+        assert_eq!(p.mix().to_string(), "1:1=50% 3:1=50%");
+    }
+}

@@ -1,0 +1,147 @@
+//! Resize-event injection: vertical-scaling churn on top of a trace.
+//!
+//! The paper's protocol only creates and destroys VMs; real fleets also
+//! *resize* them. This transform decorates an existing trace with resize
+//! events — each selected VM changes size once, midway through its
+//! lifetime — keeping the trace valid and deterministic.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::catalog::Catalog;
+use crate::trace::{Workload, WorkloadEvent};
+
+/// Returns a copy of `workload` where roughly `fraction` of the VMs
+/// resize once, at the midpoint of their lifetime, to another flavor of
+/// their tier's catalog.
+///
+/// Deterministic in `(workload, catalog, fraction, seed)`. The result
+/// still passes [`Workload::validate`].
+pub fn inject_resizes(
+    workload: &Workload,
+    catalog: &Catalog,
+    fraction: f64,
+    seed: u64,
+) -> Workload {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut events = workload.events.clone();
+    for vm in workload.instances() {
+        if rng.gen::<f64>() >= fraction {
+            continue;
+        }
+        let lifetime = vm.lifetime_secs();
+        if lifetime < 120 {
+            continue; // too short to bother resizing
+        }
+        let at = vm.arrival_secs + lifetime / 2;
+        let flavor = catalog.sample_for_level(&mut rng, vm.spec.level);
+        events.push((
+            at,
+            WorkloadEvent::Resize {
+                id: vm.id,
+                vcpus: flavor.request.vcpus,
+                mem_mib: flavor.request.mem_mib,
+            },
+        ));
+    }
+    // Keep the departure-before-arrival ordering at equal instants;
+    // resizes sort between them (enum order: Departure first via the
+    // explicit key below).
+    events.sort_by_key(|(t, e)| {
+        let class = match e {
+            WorkloadEvent::Departure { .. } => 0u8,
+            WorkloadEvent::Resize { .. } => 1,
+            WorkloadEvent::Arrival(_) => 2,
+        };
+        (*t, class)
+    });
+    Workload { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalModel;
+    use crate::catalog;
+    use crate::mix::LevelMix;
+    use crate::trace::{WorkloadGenerator, WorkloadSpec};
+    use slackvm_model::gib;
+
+    fn base_trace(seed: u64) -> Workload {
+        WorkloadGenerator::new(WorkloadSpec {
+            catalog: catalog::azure(),
+            mix: LevelMix::three_level(1.0, 1.0, 1.0).unwrap(),
+            arrivals: ArrivalModel::constant(80, 86_400, 3 * 86_400),
+            seed,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn injected_traces_stay_valid() {
+        let base = base_trace(1);
+        let resized = inject_resizes(&base, &catalog::azure(), 0.4, 7);
+        resized.validate().expect("resized trace is valid");
+        let resizes = resized
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Resize { .. }))
+            .count();
+        let arrivals = base.num_arrivals();
+        // ~40% of VMs resize (binomial noise allowed).
+        assert!(
+            (resizes as f64) > arrivals as f64 * 0.25
+                && (resizes as f64) < arrivals as f64 * 0.55,
+            "{resizes} resizes over {arrivals} arrivals"
+        );
+        // Arrival/departure structure untouched.
+        assert_eq!(resized.num_arrivals(), arrivals);
+        assert_eq!(resized.peak_population(), base.peak_population());
+    }
+
+    #[test]
+    fn fraction_zero_is_identity_and_one_is_everyone() {
+        let base = base_trace(2);
+        assert_eq!(inject_resizes(&base, &catalog::azure(), 0.0, 1), base);
+        let all = inject_resizes(&base, &catalog::azure(), 1.0, 1);
+        let resizes = all
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Resize { .. }))
+            .count();
+        // Every VM with a non-trivial lifetime resizes exactly once.
+        let eligible = base
+            .instances()
+            .filter(|vm| vm.lifetime_secs() >= 120)
+            .count();
+        assert_eq!(resizes, eligible);
+    }
+
+    #[test]
+    fn resizes_respect_the_tier_catalog() {
+        let base = base_trace(3);
+        let resized = inject_resizes(&base, &catalog::azure(), 1.0, 2);
+        let level_of: std::collections::BTreeMap<_, _> = base
+            .instances()
+            .map(|vm| (vm.id, vm.spec.level))
+            .collect();
+        for (_, event) in &resized.events {
+            if let WorkloadEvent::Resize { id, mem_mib, .. } = event {
+                if !level_of[id].is_premium() {
+                    assert!(*mem_mib <= gib(8), "oversubscribed resize too large");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let base = base_trace(4);
+        let a = inject_resizes(&base, &catalog::azure(), 0.3, 9);
+        let b = inject_resizes(&base, &catalog::azure(), 0.3, 9);
+        assert_eq!(a, b);
+        let c = inject_resizes(&base, &catalog::azure(), 0.3, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,162 @@
+//! Canned workload scenarios.
+//!
+//! Reusable, named configurations for examples, benches and downstream
+//! users: the paper's exact protocol plus common what-if shapes
+//! (burst days, dev/test churn, steady enterprise load).
+
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::{ArrivalModel, WEEK_SECS};
+use crate::catalog::{self, Catalog};
+use crate::mix::{DistributionPoint, LevelMix};
+use crate::trace::{Workload, WorkloadGenerator, WorkloadSpec};
+
+/// A named scenario: everything but the seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (stable identifier).
+    pub name: String,
+    /// One-line description for reports.
+    pub description: String,
+    /// Provider catalog.
+    pub catalog: Catalog,
+    /// Level mix.
+    pub mix: LevelMix,
+    /// Arrival/departure model.
+    pub arrivals: ArrivalModel,
+}
+
+impl Scenario {
+    /// Generates the scenario's trace for a seed.
+    pub fn generate(&self, seed: u64) -> Workload {
+        WorkloadGenerator::new(WorkloadSpec {
+            catalog: self.catalog.clone(),
+            mix: self.mix.clone(),
+            arrivals: self.arrivals,
+            seed,
+        })
+        .generate()
+    }
+}
+
+/// The paper's §VII-B protocol on distribution F — the headline setup.
+pub fn paper_week_f(population: u32) -> Scenario {
+    Scenario {
+        name: "paper-week-f".into(),
+        description: "one week, OVHcloud sizes, 50% premium + 50% 3:1 (paper dist F)".into(),
+        catalog: catalog::ovhcloud(),
+        mix: DistributionPoint::by_letter('F')
+            .expect("F exists")
+            .mix(),
+        arrivals: ArrivalModel::paper_week(population),
+    }
+}
+
+/// A human-driven burst day: diurnal arrivals with a strong swing,
+/// short-lived VMs — the shape of interactive dev workloads.
+pub fn burst_day(population: u32) -> Scenario {
+    Scenario {
+        name: "burst-day".into(),
+        description: "diurnal arrivals (amplitude 0.8), 6 h mean lifetimes, Azure sizes".into(),
+        catalog: catalog::azure(),
+        mix: LevelMix::three_level(20.0, 30.0, 50.0).expect("positive shares"),
+        arrivals: ArrivalModel::constant(population, 6 * 3600, 3 * 86_400)
+            .with_diurnal_rate(0.8),
+    }
+}
+
+/// Dev/test churn: heavy-tailed lifetimes (most VMs die young, a few
+/// live for the whole horizon), mostly oversubscribed tiers.
+pub fn devtest_churn(population: u32) -> Scenario {
+    Scenario {
+        name: "devtest-churn".into(),
+        description: "log-normal lifetimes (σ=1.4), 10% premium, Azure sizes".into(),
+        catalog: catalog::azure(),
+        mix: LevelMix::three_level(10.0, 40.0, 50.0).expect("positive shares"),
+        arrivals: ArrivalModel::constant(population, 86_400, WEEK_SECS)
+            .with_lognormal_lifetimes(1.4),
+    }
+}
+
+/// Steady enterprise load: long-lived, premium-heavy, memory-rich
+/// (OVHcloud sizes) — the anti-SlackVM case with little to pool.
+pub fn enterprise_steady(population: u32) -> Scenario {
+    Scenario {
+        name: "enterprise-steady".into(),
+        description: "4-day mean lifetimes, 70% premium, OVHcloud sizes".into(),
+        catalog: catalog::ovhcloud(),
+        mix: LevelMix::three_level(70.0, 20.0, 10.0).expect("positive shares"),
+        arrivals: ArrivalModel::constant(population, 4 * 86_400, WEEK_SECS),
+    }
+}
+
+/// All canned scenarios at a common population.
+pub fn all(population: u32) -> Vec<Scenario> {
+    vec![
+        paper_week_f(population),
+        burst_day(population),
+        devtest_churn(population),
+        enterprise_steady(population),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn every_scenario_generates_a_valid_trace() {
+        for scenario in all(80) {
+            let w = scenario.generate(9);
+            w.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert!(w.num_arrivals() > 0, "{} is empty", scenario.name);
+        }
+    }
+
+    #[test]
+    fn scenarios_have_distinct_shapes() {
+        let churn = devtest_churn(100).generate(1);
+        let steady = enterprise_steady(100).generate(1);
+        let churn_stats = TraceStats::of(&churn).unwrap();
+        let steady_stats = TraceStats::of(&steady).unwrap();
+        // Heavy-tail churn: median lifetime far below the steady one.
+        assert!(
+            churn_stats.lifetime_percentiles.0 < steady_stats.lifetime_percentiles.0 / 3,
+            "churn p50 {} vs steady p50 {}",
+            churn_stats.lifetime_percentiles.0,
+            steady_stats.lifetime_percentiles.0
+        );
+        // Premium share differs as configured.
+        assert!(churn_stats.level_shares[&1] < 0.2);
+        assert!(steady_stats.level_shares[&1] > 0.6);
+    }
+
+    #[test]
+    fn burst_day_concentrates_arrivals_in_daytime() {
+        let w = burst_day(300).generate(2);
+        let mut day = 0usize;
+        let mut night = 0usize;
+        for vm in w.instances() {
+            let hour = (vm.arrival_secs % 86_400) / 3600;
+            // Diurnal sine peaks at hour 6, troughs at hour 18.
+            if (0..12).contains(&hour) {
+                day += 1;
+            } else {
+                night += 1;
+            }
+        }
+        assert!(
+            day as f64 > night as f64 * 1.5,
+            "day {day} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = paper_week_f(60).generate(5);
+        let b = paper_week_f(60).generate(5);
+        assert_eq!(a, b);
+    }
+}

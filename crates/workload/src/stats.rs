@@ -1,0 +1,160 @@
+//! Trace statistics: fidelity checks of generated workloads.
+//!
+//! CloudFactory ships similar summaries; the experiments use them to
+//! verify a trace matches its spec (catalog means, level shares, class
+//! mix, lifetime distribution) before trusting downstream results.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::units::mib_to_gib_f64;
+use slackvm_model::OversubLevel;
+
+use crate::trace::Workload;
+use crate::usage::UsageClass;
+
+/// Aggregate statistics of one workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of arrivals.
+    pub arrivals: usize,
+    /// Peak simultaneously-alive population.
+    pub peak_population: u32,
+    /// Mean vCPUs per VM.
+    pub mean_vcpus: f64,
+    /// Mean memory per VM (GiB).
+    pub mean_mem_gib: f64,
+    /// Share of VMs per oversubscription level.
+    pub level_shares: BTreeMap<u32, f64>,
+    /// Share of VMs per behaviour class.
+    pub class_shares: BTreeMap<String, f64>,
+    /// Lifetime percentiles in seconds: (p50, p90, p99).
+    pub lifetime_percentiles: (u64, u64, u64),
+    /// Mean lifetime in seconds.
+    pub mean_lifetime_secs: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace. Returns `None` on an empty
+    /// trace.
+    pub fn of(workload: &Workload) -> Option<TraceStats> {
+        let n = workload.num_arrivals();
+        if n == 0 {
+            return None;
+        }
+        let mut vcpus = 0f64;
+        let mut mem = 0f64;
+        let mut levels: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut classes: BTreeMap<String, usize> = BTreeMap::new();
+        let mut lifetimes: Vec<u64> = Vec::with_capacity(n);
+        for vm in workload.instances() {
+            vcpus += vm.spec.vcpus() as f64;
+            mem += mib_to_gib_f64(vm.spec.mem_mib());
+            *levels.entry(vm.spec.level.ratio()).or_default() += 1;
+            let class = match vm.class {
+                UsageClass::Idle => "idle",
+                UsageClass::Stress => "stress",
+                UsageClass::Interactive => "interactive",
+            };
+            *classes.entry(class.to_string()).or_default() += 1;
+            lifetimes.push(vm.lifetime_secs());
+        }
+        lifetimes.sort_unstable();
+        let pick = |q: f64| lifetimes[((q * n as f64) as usize).min(n - 1)];
+        Some(TraceStats {
+            arrivals: n,
+            peak_population: workload.peak_population(),
+            mean_vcpus: vcpus / n as f64,
+            mean_mem_gib: mem / n as f64,
+            level_shares: levels
+                .into_iter()
+                .map(|(l, c)| (l, c as f64 / n as f64))
+                .collect(),
+            class_shares: classes
+                .into_iter()
+                .map(|(l, c)| (l, c as f64 / n as f64))
+                .collect(),
+            lifetime_percentiles: (pick(0.50), pick(0.90), pick(0.99)),
+            mean_lifetime_secs: lifetimes.iter().sum::<u64>() as f64 / n as f64,
+        })
+    }
+
+    /// The trace's provisioned M/C ratio at a level (GiB per physical
+    /// core over that level's VMs) — the empirical counterpart of
+    /// [`crate::Catalog::mc_ratio_at`].
+    pub fn empirical_mc_ratio(workload: &Workload, level: OversubLevel) -> Option<f64> {
+        let mut vcpus = 0u64;
+        let mut mem = 0f64;
+        for vm in workload.instances().filter(|vm| vm.spec.level == level) {
+            vcpus += vm.spec.vcpus() as u64;
+            mem += mib_to_gib_f64(vm.spec.mem_mib());
+        }
+        if vcpus == 0 {
+            None
+        } else {
+            Some(level.ratio() as f64 * mem / vcpus as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalModel;
+    use crate::catalog;
+    use crate::mix::DistributionPoint;
+    use crate::trace::{WorkloadGenerator, WorkloadSpec};
+
+    fn trace(seed: u64) -> Workload {
+        WorkloadGenerator::new(WorkloadSpec {
+            catalog: catalog::azure(),
+            mix: DistributionPoint::by_letter('E').unwrap().mix(), // 50/25/25
+            arrivals: ArrivalModel::paper_week(300),
+            seed,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn stats_match_the_generating_spec() {
+        let w = trace(1);
+        let s = TraceStats::of(&w).unwrap();
+        assert_eq!(s.arrivals, w.num_arrivals());
+        assert!((s.level_shares[&1] - 0.50).abs() < 0.06);
+        assert!((s.level_shares[&2] - 0.25).abs() < 0.06);
+        assert!((s.level_shares[&3] - 0.25).abs() < 0.06);
+        assert!((s.class_shares["stress"] - 0.60).abs() < 0.06);
+        // Exponential lifetimes: p50 ≈ ln2 · mean, mean ≈ 2 days.
+        let mean = s.mean_lifetime_secs;
+        assert!((mean - 172_800.0).abs() / 172_800.0 < 0.1, "mean {mean}");
+        let (p50, p90, p99) = s.lifetime_percentiles;
+        assert!(p50 < p90 && p90 < p99);
+        assert!((p50 as f64 - 0.693 * mean).abs() / mean < 0.15);
+    }
+
+    #[test]
+    fn empirical_mc_ratio_tracks_catalog_prediction() {
+        let w = trace(2);
+        let cat = catalog::azure();
+        for n in [1u32, 2, 3] {
+            let level = OversubLevel::of(n);
+            let empirical = TraceStats::empirical_mc_ratio(&w, level).unwrap();
+            let predicted = cat.mc_ratio_at(level);
+            assert!(
+                (empirical - predicted).abs() / predicted < 0.15,
+                "{level}: empirical {empirical:.2} vs predicted {predicted:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        assert!(TraceStats::of(&Workload::default()).is_none());
+        assert!(TraceStats::empirical_mc_ratio(
+            &Workload::default(),
+            OversubLevel::of(1)
+        )
+        .is_none());
+    }
+}

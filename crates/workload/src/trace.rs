@@ -1,0 +1,332 @@
+//! Workload traces: event streams a simulator can replay.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{VmId, VmSpec};
+
+use crate::arrivals::ArrivalModel;
+use crate::catalog::Catalog;
+use crate::instance::VmInstance;
+use crate::mix::LevelMix;
+use crate::usage::{paper_class_mix, CpuUsageModel};
+
+/// One event in a workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// A VM asks to be deployed.
+    Arrival(Box<VmInstance>),
+    /// A previously-arrived VM terminates.
+    Departure {
+        /// Which VM departs.
+        id: VmId,
+    },
+    /// A live VM asks to change its size (vertical scaling). The level
+    /// is fixed at purchase; only the dimensions move.
+    Resize {
+        /// Which VM resizes.
+        id: VmId,
+        /// New vCPU count.
+        vcpus: u32,
+        /// New memory in MiB.
+        mem_mib: u64,
+    },
+}
+
+impl WorkloadEvent {
+    /// The VM this event concerns.
+    pub fn vm_id(&self) -> VmId {
+        match self {
+            WorkloadEvent::Arrival(vm) => vm.id,
+            WorkloadEvent::Departure { id } => *id,
+            WorkloadEvent::Resize { id, .. } => *id,
+        }
+    }
+}
+
+/// A replayable, time-ordered workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Workload {
+    /// `(time_secs, event)` pairs, non-decreasing in time. Departures at
+    /// the same instant as arrivals sort first, freeing capacity before
+    /// new placements.
+    pub events: Vec<(u64, WorkloadEvent)>,
+}
+
+impl Workload {
+    /// Number of arrivals in the trace.
+    pub fn num_arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Arrival(_)))
+            .count()
+    }
+
+    /// All arriving VM instances, in arrival order.
+    pub fn instances(&self) -> impl Iterator<Item = &VmInstance> {
+        self.events.iter().filter_map(|(_, e)| match e {
+            WorkloadEvent::Arrival(vm) => Some(vm.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// The maximum number of simultaneously-alive VMs across the trace.
+    pub fn peak_population(&self) -> u32 {
+        let mut alive = 0i64;
+        let mut peak = 0i64;
+        for (_, event) in &self.events {
+            match event {
+                WorkloadEvent::Arrival(_) => {
+                    alive += 1;
+                    peak = peak.max(alive);
+                }
+                WorkloadEvent::Departure { .. } => alive -= 1,
+                WorkloadEvent::Resize { .. } => {}
+            }
+        }
+        peak.max(0) as u32
+    }
+
+    /// Checks the trace's structural invariants: time-sorted, every
+    /// departure matches a prior arrival, no double departures.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut alive = std::collections::HashSet::new();
+        let mut last_t = 0u64;
+        for (t, event) in &self.events {
+            if *t < last_t {
+                return Err(format!("event at {t} after event at {last_t}"));
+            }
+            last_t = *t;
+            match event {
+                WorkloadEvent::Arrival(vm) => {
+                    if !alive.insert(vm.id) {
+                        return Err(format!("{} arrived twice", vm.id));
+                    }
+                    if vm.departure_secs <= vm.arrival_secs {
+                        return Err(format!("{} has non-positive lifetime", vm.id));
+                    }
+                }
+                WorkloadEvent::Departure { id } => {
+                    if !alive.remove(id) {
+                        return Err(format!("{id} departed without arriving"));
+                    }
+                }
+                WorkloadEvent::Resize { id, vcpus, mem_mib } => {
+                    if !alive.contains(id) {
+                        return Err(format!("{id} resized while not alive"));
+                    }
+                    if *vcpus == 0 || *mem_mib == 0 {
+                        return Err(format!("{id} resized to a zero dimension"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a generation run needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Provider catalog to draw sizes from.
+    pub catalog: Catalog,
+    /// Oversubscription-level mix.
+    pub mix: LevelMix,
+    /// Arrival/departure model.
+    pub arrivals: ArrivalModel,
+    /// RNG seed — equal specs with equal seeds generate identical traces.
+    pub seed: u64,
+}
+
+/// The CloudFactory-like generator, extended with oversubscription
+/// proportions (the paper's modification, §VII).
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    spec: WorkloadSpec,
+}
+
+impl WorkloadGenerator {
+    /// Wraps a spec.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        WorkloadGenerator { spec }
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Generates the full trace: Poisson arrivals over the horizon, each
+    /// VM assigned a level from the mix, a size from that level's
+    /// (possibly restricted) catalog, a behaviour class from the paper's
+    /// 10/60/30 mix, and an exponential lifetime.
+    pub fn generate(&self) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.spec.seed);
+        let class_mix = paper_class_mix();
+        let class_dist = WeightedIndex::new(class_mix.iter().map(|(_, w)| *w))
+            .expect("class mix is positive");
+
+        let mut events: Vec<(u64, WorkloadEvent)> = Vec::new();
+        let mut t = 0u64;
+        let mut next_id = 0u64;
+        loop {
+            t += self.spec.arrivals.sample_interarrival_at(&mut rng, t);
+            if t >= self.spec.arrivals.horizon_secs {
+                break;
+            }
+            let level = self.spec.mix.sample(&mut rng);
+            let flavor = self.spec.catalog.sample_for_level(&mut rng, level);
+            let spec = VmSpec::of(flavor.request.vcpus, flavor.request.mem_mib, level);
+            let class = class_mix[class_dist.sample(&mut rng)].0;
+            let seed = rng.gen::<u64>();
+            let lifetime = self.spec.arrivals.sample_lifetime(&mut rng);
+            let vm = VmInstance {
+                id: VmId(next_id),
+                spec,
+                class,
+                usage: CpuUsageModel::for_class(class, seed),
+                seed,
+                arrival_secs: t,
+                departure_secs: t + lifetime,
+            };
+            next_id += 1;
+            let departure = (vm.departure_secs, WorkloadEvent::Departure { id: vm.id });
+            events.push((t, WorkloadEvent::Arrival(Box::new(vm))));
+            events.push(departure);
+        }
+        // Stable sort by time with departures before arrivals at equal
+        // times (frees capacity first). Stability preserves arrival order.
+        events.sort_by_key(|(t, e)| (*t, matches!(e, WorkloadEvent::Arrival(_)) as u8));
+        Workload { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::WEEK_SECS;
+    use crate::catalog;
+    use crate::mix::DistributionPoint;
+    use slackvm_model::{gib, OversubLevel};
+
+    fn paper_spec(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            catalog: catalog::azure(),
+            mix: DistributionPoint::by_letter('F').unwrap().mix(),
+            arrivals: ArrivalModel::paper_week(500),
+            seed,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorkloadGenerator::new(paper_spec(9)).generate();
+        let b = WorkloadGenerator::new(paper_spec(9)).generate();
+        assert_eq!(a, b);
+        let c = WorkloadGenerator::new(paper_spec(10)).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_is_structurally_valid() {
+        let w = WorkloadGenerator::new(paper_spec(1)).generate();
+        w.validate().expect("trace invariants");
+        assert!(w.num_arrivals() > 1000, "a week at λ≈2.9e-3 yields ~1750");
+    }
+
+    #[test]
+    fn population_approaches_target() {
+        let w = WorkloadGenerator::new(paper_spec(2)).generate();
+        let peak = w.peak_population();
+        // Steady state is 500; Poisson noise and the ramp keep the peak
+        // in a generous band around it.
+        assert!((350..=700).contains(&peak), "peak population {peak}");
+    }
+
+    #[test]
+    fn mix_f_contains_only_levels_one_and_three() {
+        let w = WorkloadGenerator::new(paper_spec(3)).generate();
+        for vm in w.instances() {
+            let r = vm.spec.level.ratio();
+            assert!(r == 1 || r == 3, "unexpected level {r}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_vms_respect_catalog_restriction() {
+        let w = WorkloadGenerator::new(paper_spec(4)).generate();
+        for vm in w.instances() {
+            if !vm.spec.level.is_premium() {
+                assert!(vm.spec.mem_mib() <= gib(8));
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_bounds_arrivals() {
+        let w = WorkloadGenerator::new(paper_spec(5)).generate();
+        for vm in w.instances() {
+            assert!(vm.arrival_secs < WEEK_SECS);
+        }
+    }
+
+    #[test]
+    fn class_mix_proportions_hold() {
+        let w = WorkloadGenerator::new(paper_spec(6)).generate();
+        let n = w.num_arrivals() as f64;
+        let count = |class| {
+            w.instances().filter(|vm| vm.class == class).count() as f64 / n
+        };
+        use crate::usage::UsageClass::*;
+        assert!((count(Idle) - 0.10).abs() < 0.05);
+        assert!((count(Stress) - 0.60).abs() < 0.05);
+        assert!((count(Interactive) - 0.30).abs() < 0.05);
+    }
+
+    #[test]
+    fn level_shares_hold_for_mixed_point() {
+        let spec = WorkloadSpec {
+            mix: DistributionPoint::by_letter('E').unwrap().mix(), // 50/25/25
+            ..paper_spec(7)
+        };
+        let w = WorkloadGenerator::new(spec).generate();
+        let n = w.num_arrivals() as f64;
+        let share = |r: u32| {
+            w.instances()
+                .filter(|vm| vm.spec.level == OversubLevel::of(r))
+                .count() as f64
+                / n
+        };
+        assert!((share(1) - 0.50).abs() < 0.06);
+        assert!((share(2) - 0.25).abs() < 0.06);
+        assert!((share(3) - 0.25).abs() < 0.06);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_trace() {
+        let spec = WorkloadSpec {
+            arrivals: ArrivalModel::constant(20, 3600, 86_400),
+            ..paper_spec(8)
+        };
+        let w = WorkloadGenerator::new(spec).generate();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn departures_precede_arrivals_at_equal_times() {
+        let w = WorkloadGenerator::new(paper_spec(11)).generate();
+        for pair in w.events.windows(2) {
+            let (t0, e0) = &pair[0];
+            let (t1, e1) = &pair[1];
+            if t0 == t1 {
+                let dep_then_arr = matches!(e0, WorkloadEvent::Departure { .. })
+                    || matches!(e1, WorkloadEvent::Arrival(_));
+                assert!(dep_then_arr, "arrival sorted before departure at t={t0}");
+            }
+        }
+    }
+}

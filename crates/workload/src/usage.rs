@@ -1,0 +1,209 @@
+//! Per-VM CPU usage behaviour.
+//!
+//! The paper's physical experiment (§VII-A) drives VMs with three
+//! behaviours: 10% idle, 60% running a CPU benchmark (stress-ng), and the
+//! rest interactive micro-service applications whose response times are
+//! the measured quantity. This module models those behaviours as
+//! deterministic functions of *(VM seed, time)* so a workload replay is
+//! exactly reproducible without storing traces.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per simulated day.
+pub const DAY_SECS: u64 = 86_400;
+
+/// The behavioural class a VM belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UsageClass {
+    /// Near-zero background activity.
+    Idle,
+    /// Sustained CPU benchmark (stress-ng-like).
+    Stress,
+    /// Interactive service with a diurnal request pattern; these VMs are
+    /// the latency probes of the physical experiment.
+    Interactive,
+}
+
+/// The paper's §VII-A mix: 10% idle, 60% stress, 30% interactive.
+pub fn paper_class_mix() -> [(UsageClass, f64); 3] {
+    [
+        (UsageClass::Idle, 0.10),
+        (UsageClass::Stress, 0.60),
+        (UsageClass::Interactive, 0.30),
+    ]
+}
+
+/// A deterministic CPU-utilization model.
+///
+/// `utilization(seed, t)` returns the fraction of the VM's *vCPU
+/// allocation* demanded at time `t`, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CpuUsageModel {
+    /// Flat low utilization with jitter.
+    Idle {
+        /// Mean utilization (e.g. 0.02).
+        base: f64,
+    },
+    /// Flat high utilization with jitter (CPU benchmark).
+    Constant {
+        /// Mean utilization (e.g. 0.9).
+        base: f64,
+    },
+    /// Diurnal sinusoid between `low` and `high` with per-VM phase.
+    Diurnal {
+        /// Trough utilization.
+        low: f64,
+        /// Peak utilization.
+        high: f64,
+        /// Phase offset in seconds within the day.
+        phase_secs: u64,
+    },
+    /// Two-state burst pattern: `high` for `duty` of every `period_secs`,
+    /// `low` otherwise.
+    Bursty {
+        /// Utilization inside a burst.
+        high: f64,
+        /// Utilization between bursts.
+        low: f64,
+        /// Burst cycle length in seconds.
+        period_secs: u64,
+        /// Fraction of the period spent bursting, in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl CpuUsageModel {
+    /// Builds the canonical model for a usage class, randomizing phases
+    /// from the VM seed.
+    pub fn for_class(class: UsageClass, seed: u64) -> CpuUsageModel {
+        match class {
+            UsageClass::Idle => CpuUsageModel::Idle { base: 0.02 },
+            UsageClass::Stress => CpuUsageModel::Constant { base: 0.90 },
+            UsageClass::Interactive => CpuUsageModel::Diurnal {
+                low: 0.10,
+                high: 0.60,
+                phase_secs: splitmix(seed) % DAY_SECS,
+            },
+        }
+    }
+
+    /// Demanded fraction of the vCPU allocation at time `t`, in `[0, 1]`.
+    ///
+    /// Deterministic in `(seed, t)`: the same VM replayed at the same
+    /// instant always demands the same CPU.
+    pub fn utilization(&self, seed: u64, t_secs: u64) -> f64 {
+        let u = match *self {
+            CpuUsageModel::Idle { base } => base + jitter(seed, t_secs) * base,
+            CpuUsageModel::Constant { base } => base + jitter(seed, t_secs) * 0.05,
+            CpuUsageModel::Diurnal { low, high, phase_secs } => {
+                let day_pos =
+                    ((t_secs + phase_secs) % DAY_SECS) as f64 / DAY_SECS as f64;
+                let wave = 0.5 - 0.5 * (day_pos * std::f64::consts::TAU).cos();
+                low + (high - low) * wave + jitter(seed, t_secs) * 0.05
+            }
+            CpuUsageModel::Bursty { high, low, period_secs, duty } => {
+                let period = period_secs.max(1);
+                let pos = ((t_secs + splitmix(seed) % period) % period) as f64
+                    / period as f64;
+                if pos < duty.clamp(0.0, 1.0) {
+                    high + jitter(seed, t_secs) * 0.05
+                } else {
+                    low + jitter(seed, t_secs) * 0.02
+                }
+            }
+        };
+        u.clamp(0.0, 1.0)
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, high-quality 64-bit mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic noise in `[-1, 1]` from (seed, time).
+fn jitter(seed: u64, t_secs: u64) -> f64 {
+    let h = splitmix(seed ^ splitmix(t_secs));
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn class_mix_sums_to_one() {
+        let total: f64 = paper_class_mix().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_stays_low_stress_stays_high() {
+        let idle = CpuUsageModel::for_class(UsageClass::Idle, 1);
+        let stress = CpuUsageModel::for_class(UsageClass::Stress, 2);
+        for t in (0..DAY_SECS).step_by(600) {
+            assert!(idle.utilization(1, t) < 0.1);
+            assert!(stress.utilization(2, t) > 0.8);
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_exist() {
+        let m = CpuUsageModel::Diurnal { low: 0.1, high: 0.6, phase_secs: 0 };
+        // Trough at t=0 (cos peak), peak at half-day.
+        assert!(m.utilization(0, 0) < 0.25);
+        assert!(m.utilization(0, DAY_SECS / 2) > 0.45);
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let m = CpuUsageModel::Bursty { high: 0.9, low: 0.05, period_secs: 100, duty: 0.5 };
+        let samples: Vec<f64> = (0..200).map(|t| m.utilization(0, t)).collect();
+        let highs = samples.iter().filter(|&&u| u > 0.5).count();
+        let lows = samples.iter().filter(|&&u| u < 0.2).count();
+        assert!(highs > 50 && lows > 50, "highs={highs} lows={lows}");
+    }
+
+    #[test]
+    fn utilization_is_deterministic() {
+        let m = CpuUsageModel::for_class(UsageClass::Interactive, 42);
+        assert_eq!(m.utilization(42, 1234), m.utilization(42, 1234));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_phases() {
+        let a = CpuUsageModel::for_class(UsageClass::Interactive, 1);
+        let b = CpuUsageModel::for_class(UsageClass::Interactive, 2);
+        assert_ne!(a, b, "phases should differ across seeds");
+    }
+
+    proptest! {
+        #[test]
+        fn utilization_is_always_in_unit_interval(
+            seed in any::<u64>(), t in 0u64..10 * DAY_SECS,
+            class in prop_oneof![
+                Just(UsageClass::Idle),
+                Just(UsageClass::Stress),
+                Just(UsageClass::Interactive),
+            ],
+        ) {
+            let m = CpuUsageModel::for_class(class, seed);
+            let u = m.utilization(seed, t);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+
+        #[test]
+        fn bursty_is_in_unit_interval(
+            seed in any::<u64>(), t in 0u64..1_000_000,
+            period in 1u64..10_000, duty in 0.0f64..1.0,
+        ) {
+            let m = CpuUsageModel::Bursty { high: 0.95, low: 0.02, period_secs: period, duty };
+            let u = m.utilization(seed, t);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

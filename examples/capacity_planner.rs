@@ -1,0 +1,135 @@
+//! Capacity planning with the SlackVM stack: how many VMs fits a fixed
+//! fleet, and what could migration reclaim afterwards?
+//!
+//! Three questions an operator asks, answered with the public API:
+//! 1. *sizing*: smallest SlackVM fleet absorbing a target workload
+//!    (binary search over capped clusters);
+//! 2. *admission*: behaviour at the capacity wall (rejection counts);
+//! 3. *compaction*: after a week of churn, how many machines could live
+//!    migration drain (the paper's future-work knob, quantified).
+//!
+//! Run with: `cargo run --release --example capacity_planner`
+
+use std::sync::Arc;
+
+use slackvm::prelude::*;
+use slackvm::report::TextTable;
+
+fn workload(population: u32) -> Workload {
+    WorkloadGenerator::new(WorkloadSpec {
+        catalog: catalog::ovhcloud(),
+        mix: DistributionPoint::by_letter('F').unwrap().mix(),
+        arrivals: ArrivalModel::paper_week(population).with_lognormal_lifetimes(1.0),
+        seed: 0xCAFE,
+    })
+    .generate()
+}
+
+fn run_with_fleet(w: &Workload, fleet: u32) -> PackingOutcome {
+    let shared =
+        SharedDeployment::with_capped_cluster(Arc::new(flat(32)), gib(128), fleet);
+    let mut model = DeploymentModel::Shared(shared);
+    run_packing(w, &mut model)
+}
+
+fn main() {
+    let population = 400;
+    let w = workload(population);
+    println!(
+        "workload: {} arrivals over one week (peak population {}), OVHcloud mix F,\n\
+         log-normal lifetimes (heavy tail)\n",
+        w.num_arrivals(),
+        w.peak_population()
+    );
+
+    // 1. Sizing: smallest fleet with zero rejections.
+    let unbounded = {
+        let mut model =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+        run_packing(&w, &mut model)
+    };
+    let (mut lo, mut hi) = (1u32, unbounded.opened_pms);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if run_with_fleet(&w, mid).rejections == 0 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    println!(
+        "sizing: {} workers absorb the workload with zero rejections\n\
+         (open-on-demand run used {})\n",
+        lo, unbounded.opened_pms
+    );
+
+    // 2. Admission at the wall: shrink the fleet and watch rejections.
+    let mut t = TextTable::new(["fleet size", "rejections", "rejection rate"]);
+    for fleet in [lo, lo * 9 / 10, lo * 3 / 4, lo / 2] {
+        let out = run_with_fleet(&w, fleet.max(1));
+        t.row([
+            fleet.to_string(),
+            out.rejections.to_string(),
+            format!("{:.1}%", out.rejections as f64 / out.deployments as f64 * 100.0),
+        ]);
+    }
+    println!("admission behaviour under shrinking fleets:\n{}", t.render());
+
+    // 3. Compaction: stop the replay at mid-week and analyze.
+    let shared = SharedDeployment::new(Arc::new(flat(32)), gib(128));
+    let mut model = DeploymentModel::Shared(shared);
+    let mut alive = 0u32;
+    for (time, event) in &w.events {
+        if *time > 4 * 86_400 {
+            break;
+        }
+        match event {
+            slackvm::workload::WorkloadEvent::Arrival(vm) => {
+                if let DeploymentModel::Shared(s) = &mut model {
+                    s.deploy(vm.id, vm.spec).unwrap();
+                    alive += 1;
+                }
+            }
+            slackvm::workload::WorkloadEvent::Departure { id } => {
+                if let DeploymentModel::Shared(s) = &mut model {
+                    if s.cluster.location_of(*id).is_some() {
+                        s.remove(*id).unwrap();
+                        alive -= 1;
+                    }
+                }
+            }
+            slackvm::workload::WorkloadEvent::Resize { id, vcpus, mem_mib } => {
+                if let DeploymentModel::Shared(s) = &mut model {
+                    let _ = s.resize(*id, *vcpus, *mem_mib);
+                }
+            }
+        }
+    }
+    if let DeploymentModel::Shared(s) = &model {
+        let snapshots: Vec<MachineSnapshot> =
+            s.cluster.hosts().iter().map(|h| h.snapshot()).collect();
+        let plan = plan_compaction(&snapshots);
+        println!(
+            "mid-week state: {} VMs on {} opened workers ({} active)",
+            alive,
+            s.cluster.opened(),
+            s.cluster.active()
+        );
+        println!(
+            "compaction analysis: {} migrations would drain {} worker(s) \
+             ({:.1}% of the fleet) — the headroom live migration (paper \
+             future work) could reclaim",
+            plan.moves.len(),
+            plan.reclaimed_pms(),
+            plan.reclaimed_pms() as f64 / s.cluster.opened().max(1) as f64 * 100.0
+        );
+        // Show the guest-visible topology of one worker's vNodes.
+        if let Some(host) = s.cluster.hosts().iter().find(|h| !h.is_idle()) {
+            println!("\nvirtual topologies on {}:", host.id());
+            for vnode in host.vnodes() {
+                let vt = host.virtual_topology(vnode.level()).unwrap();
+                println!("  {}: {}", vnode.level(), vt);
+            }
+        }
+    }
+}

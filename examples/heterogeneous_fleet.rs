@@ -1,0 +1,92 @@
+//! Beyond the paper's homogeneous protocol: a *heterogeneous* fleet.
+//!
+//! Algorithm 2 computes each PM's target ratio individually, so a
+//! cluster can mix memory-rich and CPU-rich hardware. This example
+//! builds such a fleet by alternating two worker shapes and shows the
+//! progress scorer steering memory-heavy VMs towards the CPU-rich
+//! (low-M/C) workers and vice versa.
+//!
+//! Run with: `cargo run --release --example heterogeneous_fleet`
+
+use std::sync::Arc;
+
+use slackvm::prelude::*;
+use slackvm::report::TextTable;
+
+fn main() {
+    // Two hardware generations: a CPU-rich worker (2 GiB/core) and a
+    // memory-rich one (8 GiB/core).
+    let cpu_rich = PmConfig::of(48, gib(96)); // M/C 2
+    let mem_rich = PmConfig::of(16, gib(128)); // M/C 8
+    println!("fleet shapes: {cpu_rich} and {mem_rich}\n");
+
+    // Build a shared pool whose factory alternates the two shapes.
+    // (SharedDeployment assumes homogeneous workers, so for this demo we
+    // drive the Cluster directly with the progress policy.)
+    let topo_cpu = Arc::new(flat(48));
+    let topo_mem = Arc::new(flat(16));
+    let mut cluster: Cluster<PhysicalMachine> = Cluster::new(move |id: PmId| {
+        if id.0.is_multiple_of(2) {
+            PhysicalMachine::with_topology_policy(id, Arc::clone(&topo_cpu), gib(96))
+        } else {
+            PhysicalMachine::with_topology_policy(id, Arc::clone(&topo_mem), gib(128))
+        }
+    });
+    let policy = PlacementPolicy::scored(ProgressScorer::paper());
+
+    // Open one worker of each shape with a seed VM so the scorer has
+    // real candidates to compare.
+    cluster
+        .deploy(VmId(1000), VmSpec::of(2, gib(4), OversubLevel::of(1)), &policy)
+        .unwrap();
+    cluster
+        .deploy(VmId(1001), VmSpec::of(14, gib(14), OversubLevel::of(1)), &policy)
+        .unwrap();
+
+    // Now deploy a stream of strongly-typed VMs and record where they go.
+    let mut t = TextTable::new(["VM", "shape", "chosen worker", "worker M/C"]);
+    let mut cpu_heavy_on_mem_rich = 0;
+    let mut mem_heavy_on_cpu_rich = 0;
+    for i in 0..24u64 {
+        let (label, spec) = if i % 2 == 0 {
+            ("cpu-heavy", VmSpec::of(4, gib(4), OversubLevel::of(1))) // ratio 1
+        } else {
+            ("mem-heavy", VmSpec::of(1, gib(12), OversubLevel::of(1))) // ratio 12
+        };
+        let pm = cluster.deploy(VmId(i), spec, &policy).unwrap();
+        let host = cluster.hosts().iter().find(|h| h.id() == pm).unwrap();
+        let target = host.config().target_ratio().gib_per_core();
+        if label == "cpu-heavy" && target > 4.0 {
+            cpu_heavy_on_mem_rich += 1;
+        }
+        if label == "mem-heavy" && target < 4.0 {
+            mem_heavy_on_cpu_rich += 1;
+        }
+        t.row([
+            format!("{spec}"),
+            label.to_string(),
+            format!("{pm}"),
+            format!("{target:.0} GiB/core"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "steering: {cpu_heavy_on_mem_rich}/12 cpu-heavy VMs went to memory-rich workers, \
+         {mem_heavy_on_cpu_rich}/12 mem-heavy VMs to cpu-rich workers"
+    );
+    println!(
+        "\nworkers opened: {} (the scorer fills complementary slots before \
+         opening new hardware)",
+        cluster.opened()
+    );
+    for host in cluster.hosts() {
+        let a = host.alloc();
+        println!(
+            "  {}: {} vms, M/C {:.1} vs target {:.1}",
+            host.id(),
+            host.num_vms(),
+            a.mc_ratio().gib_per_core(),
+            host.config().target_ratio().gib_per_core()
+        );
+    }
+}

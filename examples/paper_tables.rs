@@ -1,0 +1,48 @@
+//! Regenerates the paper's Tables I and II (catalog statistics) and
+//! prints them next to the published values.
+//!
+//! Run with: `cargo run --example paper_tables`
+
+use slackvm::experiments::{table1, table2, table3};
+use slackvm::report::TextTable;
+
+fn main() {
+    println!("Table I — average vCPU & vRAM requests per VM\n");
+    let mut t1 = TextTable::new([
+        "Dataset",
+        "mean vCPU (ours)",
+        "mean vCPU (paper)",
+        "mean vRAM GiB (ours)",
+        "mean vRAM GB (paper)",
+    ]);
+    for row in table1() {
+        t1.row([
+            row.provider.clone(),
+            format!("{:.2}", row.mean_vcpus),
+            format!("{:.2}", row.paper_vcpus),
+            format!("{:.2}", row.mean_mem_gib),
+            format!("{:.2}", row.paper_mem_gb),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    println!("Table II — M/C ratio of oversubscribed VMs (GiB per physical core)\n");
+    let mut t2 = TextTable::new([
+        "Dataset",
+        "1:1 (ours/paper)",
+        "2:1 (ours/paper)",
+        "3:1 (ours/paper)",
+    ]);
+    for row in table2() {
+        t2.row([
+            row.provider.clone(),
+            format!("{:.1} / {:.1}", row.ratios[0], row.paper[0]),
+            format!("{:.1} / {:.1}", row.ratios[1], row.paper[1]),
+            format!("{:.1} / {:.1}", row.ratios[2], row.paper[2]),
+        ]);
+    }
+    println!("{}", t2.render());
+
+    println!("Table III — modeled IaaS worker (the paper's testbed)\n");
+    println!("{}", table3());
+}

@@ -1,0 +1,71 @@
+//! Quickstart: co-host VMs of three oversubscription levels on one
+//! SlackVM worker and watch the vNodes resize.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use slackvm::prelude::*;
+
+fn main() {
+    // A worker with the paper's simulation-scale hardware: 32 cores,
+    // 128 GiB, hence a target Memory-per-Core ratio of 4 GiB/core.
+    let topology = Arc::new(flat(32));
+    let mut machine = PhysicalMachine::with_topology_policy(PmId(0), topology, gib(128));
+    println!("worker: {}", machine.config());
+
+    // Deploy three VMs at three different oversubscription levels.
+    let deployments = [
+        (VmId(0), VmSpec::of(4, gib(8), OversubLevel::of(1))), // premium
+        (VmId(1), VmSpec::of(4, gib(8), OversubLevel::of(2))),
+        (VmId(2), VmSpec::of(6, gib(8), OversubLevel::of(3))),
+    ];
+    for (id, spec) in deployments {
+        machine.deploy(id, spec).expect("the empty worker fits all three");
+        println!("deployed {id}: {spec}");
+    }
+
+    println!("\nvNodes after deployment:");
+    for vnode in machine.vnodes() {
+        println!(
+            "  {} -> {} core(s) {:?}, {} vCPUs exposed, {:.1} GiB",
+            vnode.level(),
+            vnode.num_cores(),
+            vnode.core_vec(),
+            vnode.total_vcpus(),
+            vnode.total_mem_mib() as f64 / 1024.0,
+        );
+    }
+    let alloc = machine.alloc();
+    println!(
+        "\nallocation: {} / {} cores, {:.0} / 128 GiB, workload M/C {:.2} (target {:.2})",
+        alloc.cpu.ceil_cores(),
+        machine.config().cores,
+        alloc.mem_mib as f64 / 1024.0,
+        alloc.mc_ratio().gib_per_core(),
+        machine.config().target_ratio().gib_per_core(),
+    );
+
+    // Score a candidate VM with the paper's Algorithm 2: a memory-heavy
+    // VM gets a positive progress score on this CPU-heavy machine.
+    let memory_heavy = VmSpec::of(1, gib(16), OversubLevel::of(1));
+    let cpu_heavy = VmSpec::of(8, gib(4), OversubLevel::of(1));
+    let knobs = ProgressConfig::default();
+    println!(
+        "\nAlgorithm 2 progress scores on this worker:\n  {} -> {:+.3}\n  {} -> {:+.3}",
+        memory_heavy,
+        progress_score(&machine.config(), &alloc, &memory_heavy, knobs),
+        cpu_heavy,
+        progress_score(&machine.config(), &alloc, &cpu_heavy, knobs),
+    );
+
+    // Departures shrink the vNodes back.
+    machine.remove(VmId(2)).unwrap();
+    machine.remove(VmId(1)).unwrap();
+    println!(
+        "\nafter two departures: {} vNode(s), {} free core(s), churn {:?}",
+        machine.vnodes().count(),
+        machine.free_core_count(),
+        machine.churn(),
+    );
+}

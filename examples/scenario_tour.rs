@@ -1,0 +1,56 @@
+//! Tours the canned workload scenarios through both deployment models —
+//! a quick feel for where SlackVM pays and where it is neutral.
+//!
+//! Run with: `cargo run --release --example scenario_tour`
+
+use std::sync::Arc;
+
+use slackvm::prelude::*;
+use slackvm::report::TextTable;
+use slackvm::workload::scenarios;
+use slackvm::workload::TraceStats;
+
+fn main() {
+    let population = 300;
+    let seed = 0x70_u64;
+    let mut table = TextTable::new([
+        "scenario",
+        "arrivals",
+        "peak pop",
+        "p50 lifetime",
+        "baseline PMs",
+        "slackvm PMs",
+        "savings",
+    ]);
+    for scenario in scenarios::all(population) {
+        let workload = scenario.generate(seed);
+        let stats = TraceStats::of(&workload).expect("non-empty trace");
+
+        let mut baseline = DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            scenario.mix.levels(),
+        ));
+        let base = run_packing(&workload, &mut baseline);
+        let mut shared =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+        let slack = run_packing(&workload, &mut shared);
+
+        table.row([
+            scenario.name.clone(),
+            stats.arrivals.to_string(),
+            stats.peak_population.to_string(),
+            format!("{:.1} h", stats.lifetime_percentiles.0 as f64 / 3600.0),
+            base.opened_pms.to_string(),
+            slack.opened_pms.to_string(),
+            format!("{:+.1}%", slack.savings_vs(&base)),
+        ]);
+        println!("{}: {}", scenario.name, scenario.description);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Reading: complementary mixes (paper-week-f, devtest-churn) save PMs;\n\
+         premium-heavy steady load (enterprise-steady) is near-neutral — the\n\
+         gain comes from pooling CPU-bound and memory-bound tiers, not from\n\
+         sharing alone."
+    );
+}

@@ -1,0 +1,46 @@
+//! Helper utilities shared by the workspace examples and integration
+//! tests.
+
+use slackvm::prelude::*;
+
+/// Builds a small, fast workload for integration tests: `population`
+/// VMs steady-state over `days` days.
+pub fn test_workload(
+    catalog: Catalog,
+    mix: LevelMix,
+    population: u32,
+    days: u64,
+    seed: u64,
+) -> Workload {
+    WorkloadGenerator::new(WorkloadSpec {
+        catalog,
+        mix,
+        arrivals: ArrivalModel::constant(population, 86_400, days * 86_400),
+        seed,
+    })
+    .generate()
+}
+
+/// The three paper levels.
+pub fn paper_levels() -> Vec<OversubLevel> {
+    vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm::workload::catalog;
+
+    #[test]
+    fn test_workload_is_small_and_valid() {
+        let w = test_workload(
+            catalog::azure(),
+            LevelMix::three_level(1.0, 1.0, 1.0).unwrap(),
+            50,
+            2,
+            7,
+        );
+        w.validate().unwrap();
+        assert!(w.num_arrivals() > 20);
+    }
+}

@@ -1,0 +1,141 @@
+//! Compaction plans must be *executable*: applying every planned move
+//! against real partitioned machines (in order) must succeed and leave
+//! the drained machines empty.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use slackvm::prelude::*;
+use slackvm_suite::test_workload;
+
+/// Builds a shared pool from the first half of a workload, returning the
+/// live machines.
+fn half_loaded_pool(seed: u64) -> SharedDeployment {
+    let w = test_workload(
+        catalog::ovhcloud(),
+        LevelMix::three_level(50.0, 0.0, 50.0).unwrap(),
+        60,
+        3,
+        seed,
+    );
+    let mut pool = SharedDeployment::new(Arc::new(flat(32)), gib(128));
+    for (time, event) in &w.events {
+        if *time > 2 * 86_400 {
+            break;
+        }
+        match event {
+            slackvm::workload::WorkloadEvent::Arrival(vm) => {
+                pool.deploy(vm.id, vm.spec).unwrap();
+            }
+            slackvm::workload::WorkloadEvent::Departure { id } => {
+                if pool.cluster.location_of(*id).is_some() {
+                    pool.remove(*id).unwrap();
+                }
+            }
+            slackvm::workload::WorkloadEvent::Resize { id, vcpus, mem_mib } => {
+                let _ = pool.resize(*id, *vcpus, *mem_mib);
+            }
+        }
+    }
+    pool
+}
+
+/// Applies a compaction plan against fresh machines rebuilt from the
+/// snapshots, asserting every move succeeds.
+fn apply_plan(
+    snapshots: &[MachineSnapshot],
+    plan: &CompactionPlan,
+) -> BTreeMap<PmId, PhysicalMachine> {
+    let mut machines: BTreeMap<PmId, PhysicalMachine> = snapshots
+        .iter()
+        .map(|s| {
+            let mut m = PhysicalMachine::with_topology_policy(
+                s.pm,
+                Arc::new(flat(s.config.cores)),
+                s.config.mem_mib,
+            );
+            for (id, spec) in &s.vms {
+                m.deploy(*id, *spec).expect("snapshot state is feasible");
+            }
+            (s.pm, m)
+        })
+        .collect();
+    for mv in &plan.moves {
+        let spec = machines
+            .get_mut(&mv.from)
+            .expect("source exists")
+            .remove(mv.vm)
+            .expect("planned VM lives on its source");
+        machines
+            .get_mut(&mv.to)
+            .expect("destination exists")
+            .deploy(mv.vm, spec)
+            .unwrap_or_else(|e| panic!("move of {} to {} failed: {e}", mv.vm, mv.to));
+    }
+    machines
+}
+
+#[test]
+fn plans_from_live_pools_are_executable() {
+    for seed in [1u64, 2, 3] {
+        let pool = half_loaded_pool(seed);
+        let snapshots: Vec<MachineSnapshot> =
+            pool.cluster.hosts().iter().map(|h| h.snapshot()).collect();
+        let plan = plan_compaction(&snapshots);
+        let machines = apply_plan(&snapshots, &plan);
+        // Drained machines are empty; everything else stays consistent.
+        for pm in &plan.releasable {
+            assert!(machines[pm].is_idle(), "{pm} not empty after plan");
+        }
+        for m in machines.values() {
+            m.check_invariants().unwrap();
+        }
+        // VM count conserved.
+        let before: usize = snapshots.iter().map(|s| s.vms.len()).sum();
+        let after: usize = machines.values().map(|m| m.num_vms()).sum();
+        assert_eq!(before, after);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_snapshots_produce_executable_plans(
+        loads in prop::collection::vec(
+            prop::collection::vec((1u32..6, 1u64..16, 1u32..=3), 0..8),
+            2..6,
+        ),
+    ) {
+        let mut next_id = 0u64;
+        let snapshots: Vec<MachineSnapshot> = loads
+            .iter()
+            .enumerate()
+            .map(|(pm, vms)| {
+                let mut machine = PhysicalMachine::with_topology_policy(
+                    PmId(pm as u32),
+                    Arc::new(flat(32)),
+                    gib(128),
+                );
+                for (vcpus, mem, level) in vms {
+                    let spec = VmSpec::of(*vcpus, gib(*mem), OversubLevel::of(*level));
+                    if machine.can_host(&spec) {
+                        machine.deploy(VmId(next_id), spec).unwrap();
+                        next_id += 1;
+                    }
+                }
+                machine.snapshot()
+            })
+            .collect();
+        let plan = plan_compaction(&snapshots);
+        let machines = apply_plan(&snapshots, &plan);
+        for pm in &plan.releasable {
+            prop_assert!(machines[pm].is_idle());
+        }
+        for m in machines.values() {
+            prop_assert!(m.check_invariants().is_ok());
+        }
+    }
+}

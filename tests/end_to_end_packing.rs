@@ -1,0 +1,117 @@
+//! Cross-crate integration: full workload replays through both
+//! deployment models with invariant auditing.
+
+use std::sync::Arc;
+
+use slackvm::prelude::*;
+use slackvm_suite::{paper_levels, test_workload};
+
+fn mixed_workload(seed: u64) -> Workload {
+    test_workload(
+        catalog::azure(),
+        LevelMix::three_level(40.0, 30.0, 30.0).unwrap(),
+        80,
+        3,
+        seed,
+    )
+}
+
+#[test]
+fn dedicated_replay_conserves_everything() {
+    let w = mixed_workload(1);
+    let mut model = DeploymentModel::Dedicated(DedicatedDeployment::new(
+        PmConfig::simulation_host(),
+        paper_levels(),
+    ));
+    let out = run_packing(&w, &mut model);
+    assert_eq!(out.rejections, 0);
+    assert_eq!(out.deployments as usize, w.num_arrivals());
+    let (alloc, cap) = model.totals();
+    assert!(alloc.is_empty(), "all VMs departed, alloc {alloc}");
+    assert!(cap.cpu.0 > 0, "capacity remains provisioned");
+}
+
+#[test]
+fn shared_replay_keeps_machine_invariants() {
+    let w = mixed_workload(2);
+    let shared = SharedDeployment::new(Arc::new(flat(32)), gib(128));
+    let mut model = DeploymentModel::Shared(shared);
+    let out = run_packing(&w, &mut model);
+    assert_eq!(out.rejections, 0);
+    // Audit every opened worker's internal invariants post-replay.
+    if let DeploymentModel::Shared(s) = &model {
+        for host in s.cluster.hosts() {
+            host.check_invariants()
+                .unwrap_or_else(|e| panic!("{}: {e}", host.id()));
+            assert!(host.is_idle(), "{} still hosts VMs", host.id());
+            assert_eq!(host.free_core_count(), 32);
+        }
+        // Churn bookkeeping balances on a fully-drained cluster.
+        let churn = s.total_churn();
+        assert_eq!(churn.cores_added, churn.cores_released);
+        assert_eq!(churn.vnodes_created, churn.vnodes_dissolved);
+    } else {
+        unreachable!();
+    }
+}
+
+#[test]
+fn mid_replay_interruption_leaves_consistent_state() {
+    // Replay only the arrivals (no departures) by deploying directly;
+    // the cluster must stay consistent at an arbitrary cut point.
+    let w = mixed_workload(3);
+    let mut shared = SharedDeployment::new(Arc::new(flat(32)), gib(128));
+    let mut deployed = Vec::new();
+    for vm in w.instances().take(60) {
+        shared.deploy(vm.id, vm.spec).unwrap();
+        deployed.push(vm.id);
+    }
+    for host in shared.cluster.hosts() {
+        host.check_invariants().unwrap();
+    }
+    // The vClusters agree with the machines.
+    for level in paper_levels() {
+        let from_hosts: u32 = shared
+            .cluster
+            .hosts()
+            .iter()
+            .filter_map(|h| h.vnode(level))
+            .map(|v| v.total_vcpus())
+            .sum();
+        let from_vcluster = shared.vcluster(level).map_or(0, |vc| vc.total_vcpus());
+        assert_eq!(from_hosts, from_vcluster, "vCluster drift at {level}");
+    }
+}
+
+#[test]
+fn capped_cluster_reports_rejections_but_survives() {
+    let w = mixed_workload(4);
+    let shared = SharedDeployment::with_capped_cluster(
+        Arc::new(flat(32)),
+        gib(128),
+        3, // far too small for the workload
+    );
+    let mut model = DeploymentModel::Shared(shared);
+    let out = run_packing(&w, &mut model);
+    assert!(out.rejections > 0, "a 3-host cap must reject part of the load");
+    assert_eq!(out.opened_pms, 3);
+    assert_eq!(
+        out.deployments,
+        w.num_arrivals() as u32,
+        "every arrival was at least attempted"
+    );
+}
+
+#[test]
+fn baseline_and_shared_agree_on_peak_population() {
+    let w = mixed_workload(5);
+    let mut a = DeploymentModel::Dedicated(DedicatedDeployment::new(
+        PmConfig::simulation_host(),
+        paper_levels(),
+    ));
+    let mut b = DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+    let out_a = run_packing(&w, &mut a);
+    let out_b = run_packing(&w, &mut b);
+    assert_eq!(out_a.peak_alive_vms, out_b.peak_alive_vms);
+    assert_eq!(out_a.deployments, out_b.deployments);
+}

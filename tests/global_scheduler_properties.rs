@@ -1,0 +1,172 @@
+//! Property-based tests of the global scheduler: placement policies,
+//! scorers and the filter pipeline.
+
+use proptest::prelude::*;
+
+use slackvm::prelude::*;
+
+fn candidate_strategy() -> impl Strategy<Value = Candidate> {
+    (0u32..64, 0u32..=32, 0u64..=128, 0usize..40).prop_map(|(id, cores, mem, vms)| Candidate {
+        id: PmId(id),
+        config: PmConfig::simulation_host(),
+        alloc: AllocView::new(Millicores::from_cores(cores), gib(mem)),
+        vms,
+    })
+}
+
+fn vm_strategy() -> impl Strategy<Value = VmSpec> {
+    (1u32..16, 1u64..64, 1u32..=3)
+        .prop_map(|(vcpus, mem, level)| VmSpec::of(vcpus, gib(mem), OversubLevel::of(level)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn selected_pm_is_always_a_candidate(
+        cands in prop::collection::vec(candidate_strategy(), 0..20),
+        vm in vm_strategy(),
+    ) {
+        for policy in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::scored(ProgressScorer::paper()),
+            PlacementPolicy::scored(BestFitScorer),
+            PlacementPolicy::scored(WorstFitScorer),
+            PlacementPolicy::scored(DotProductScorer),
+            PlacementPolicy::scored(NormBasedGreedyScorer),
+            PlacementPolicy::scored(CompositeScorer::progress_with_consolidation(0.15)),
+            PlacementPolicy::weighted(vec![
+                (1.0, Box::new(ProgressScorer::paper())),
+                (0.5, Box::new(BestFitScorer)),
+            ]),
+        ] {
+            match policy.select(&cands, &vm) {
+                Some(pm) => prop_assert!(cands.iter().any(|c| c.id == pm)),
+                None => prop_assert!(cands.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_is_minimum_id(
+        cands in prop::collection::vec(candidate_strategy(), 1..20),
+        vm in vm_strategy(),
+    ) {
+        let expected = cands.iter().map(|c| c.id).min();
+        prop_assert_eq!(PlacementPolicy::FirstFit.select(&cands, &vm), expected);
+    }
+
+    #[test]
+    fn every_scorer_is_finite(
+        cand in candidate_strategy(),
+        vm in vm_strategy(),
+    ) {
+        let scorers: Vec<Box<dyn Scorer>> = vec![
+            Box::new(ProgressScorer::paper()),
+            Box::new(BestFitScorer),
+            Box::new(WorstFitScorer),
+            Box::new(DotProductScorer),
+            Box::new(NormBasedGreedyScorer),
+            Box::new(CompositeScorer::progress_with_consolidation(0.15)),
+        ];
+        for s in scorers {
+            let score = s.score(&cand.config, &cand.alloc, &vm);
+            prop_assert!(score.is_finite(), "{} produced {score}", s.name());
+        }
+    }
+
+    #[test]
+    fn scored_selection_is_permutation_invariant(
+        mut cands in prop::collection::vec(candidate_strategy(), 1..12),
+        vm in vm_strategy(),
+    ) {
+        // Distinct ids required for a well-defined winner.
+        cands.sort_by_key(|c| c.id);
+        cands.dedup_by_key(|c| c.id);
+        let policy = PlacementPolicy::scored(ProgressScorer::paper());
+        let sorted = policy.select(&cands, &vm);
+        cands.reverse();
+        let reversed = policy.select(&cands, &vm);
+        prop_assert_eq!(sorted, reversed);
+    }
+
+    #[test]
+    fn filters_only_shrink_the_choice(
+        cands in prop::collection::vec(candidate_strategy(), 0..20),
+        vm in vm_strategy(),
+        ceiling in 0.0f64..=1.0,
+    ) {
+        let plain = Scheduler::new(PlacementPolicy::FirstFit);
+        let filtered = Scheduler::new(PlacementPolicy::FirstFit)
+            .with_filter(CpuCeilingFilter { ceiling });
+        let all = plain.place(&cands, &vm);
+        let some = filtered.place(&cands, &vm);
+        // A filtered winner must also be eligible without filters...
+        if let Some(pm) = some {
+            prop_assert!(cands.iter().any(|c| c.id == pm));
+            prop_assert!(all.is_some());
+        }
+        // ...and filtering never invents candidates.
+        if all.is_none() {
+            prop_assert!(some.is_none());
+        }
+    }
+
+    #[test]
+    fn composite_score_is_linear_in_weights(
+        cand in candidate_strategy(),
+        vm in vm_strategy(),
+        w in 0.0f64..10.0,
+    ) {
+        let single = BestFitScorer.score(&cand.config, &cand.alloc, &vm);
+        let composite = CompositeScorer::new(
+            "w-bestfit",
+            vec![(w, Box::new(BestFitScorer))],
+        );
+        let got = composite.score(&cand.config, &cand.alloc, &vm);
+        prop_assert!((got - w * single).abs() < 1e-9 * (1.0 + got.abs()));
+    }
+}
+
+#[test]
+fn progress_scorer_beats_first_fit_on_a_constructed_complementarity_case() {
+    // PM 0 is memory-saturated but CPU-rich (hosting 3:1 VMs); PM 1 is
+    // fresh. First-Fit sends a CPU-heavy premium VM to PM 0 (it fits),
+    // wasting the fresh PM's balance; the progress scorer sends it to
+    // PM 0 as well *only if* that improves the ratio — here it does
+    // (PM 0 ratio 6 > target 4, a CPU-heavy VM pulls it down).
+    let cands = vec![
+        Candidate {
+            id: PmId(0),
+            config: PmConfig::simulation_host(),
+            alloc: AllocView::new(Millicores::from_cores(16), gib(96)), // ratio 6
+            vms: 10,
+        },
+        Candidate {
+            id: PmId(1),
+            config: PmConfig::simulation_host(),
+            alloc: AllocView::new(Millicores::from_cores(8), gib(32)), // ratio 4
+            vms: 4,
+        },
+    ];
+    let cpu_heavy = VmSpec::of(8, gib(8), OversubLevel::PREMIUM); // ratio 1
+    let progress = PlacementPolicy::scored(ProgressScorer::paper());
+    assert_eq!(progress.select(&cands, &cpu_heavy), Some(PmId(0)));
+    // A strongly memory-heavy VM also lands on PM 0 — counterintuitive
+    // but exactly Algorithm 2: PM 0 is already far from its target, so
+    // the *marginal* degradation (|6.59−4| − |6−4| ≈ 0.59, load-scaled)
+    // is smaller than knocking the balanced PM 1 off its target
+    // (|5.33−4| ≈ 1.33). The algorithm concentrates unavoidable
+    // imbalance where imbalance already lives.
+    let mem_heavy = VmSpec::of(1, gib(16), OversubLevel::PREMIUM); // ratio 16
+    assert_eq!(progress.select(&cands, &mem_heavy), Some(PmId(0)));
+    // A *moderately* memory-heavy VM (ratio 6 < PM 0's ratio... equal,
+    // keeps PM 0 at 6) scores 0 there but negative on PM 1: PM 0 again.
+    // The preference flips only when the VM would rebalance PM 1 —
+    // i.e. a VM slightly CPU-side of PM 1's ratio with PM 0 saturated
+    // in CPU terms is steered by the load factor:
+    let slightly_cpu = VmSpec::of(4, gib(12), OversubLevel::PREMIUM); // ratio 3
+    // PM 0: next (96+12)/20 = 5.4, Δ 2->1.4: +0.6. PM 1: next 44/12 ≈
+    // 3.67, Δ 0->0.33: −0.33·factor. PM 0 wins on genuine progress.
+    assert_eq!(progress.select(&cands, &slightly_cpu), Some(PmId(0)));
+}

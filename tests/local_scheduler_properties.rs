@@ -1,0 +1,192 @@
+//! Property-based tests of the local scheduler: arbitrary deploy/remove
+//! interleavings must preserve every vNode invariant.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use slackvm::prelude::*;
+
+/// A random operation against one machine.
+#[derive(Debug, Clone)]
+enum Op {
+    Deploy { vcpus: u32, mem_gib: u64, level: u32 },
+    RemoveOldest,
+    RemoveNewest,
+    ResizeOldest { vcpus: u32, mem_gib: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u32..8, 1u64..16, 1u32..=3).prop_map(|(vcpus, mem_gib, level)| Op::Deploy {
+            vcpus,
+            mem_gib,
+            level
+        }),
+        1 => Just(Op::RemoveOldest),
+        1 => Just(Op::RemoveNewest),
+        1 => (1u32..8, 1u64..16).prop_map(|(vcpus, mem_gib)| Op::ResizeOldest {
+            vcpus,
+            mem_gib
+        }),
+    ]
+}
+
+fn run_ops(machine: &mut PhysicalMachine, ops: &[Op]) {
+    let mut alive: Vec<VmId> = Vec::new();
+    let mut next = 0u64;
+    for op in ops {
+        match op {
+            Op::Deploy { vcpus, mem_gib, level } => {
+                let spec = VmSpec::of(*vcpus, gib(*mem_gib), OversubLevel::of(*level));
+                let id = VmId(next);
+                next += 1;
+                let could = machine.can_host(&spec);
+                match machine.deploy(id, spec) {
+                    Ok(()) => {
+                        assert!(could, "deploy succeeded though can_host said no");
+                        alive.push(id);
+                    }
+                    Err(_) => assert!(!could, "can_host said yes but deploy failed"),
+                }
+            }
+            Op::RemoveOldest => {
+                if !alive.is_empty() {
+                    let id = alive.remove(0);
+                    machine.remove(id).expect("alive VM removes cleanly");
+                }
+            }
+            Op::RemoveNewest => {
+                if let Some(id) = alive.pop() {
+                    machine.remove(id).expect("alive VM removes cleanly");
+                }
+            }
+            Op::ResizeOldest { vcpus, mem_gib } => {
+                if let Some(&id) = alive.first() {
+                    // Resize may legitimately fail on a full machine;
+                    // either way the invariants must hold afterwards.
+                    let _ = machine.resize_vm(id, *vcpus, gib(*mem_gib));
+                }
+            }
+        }
+        machine.check_invariants().expect("invariants after every op");
+    }
+    // Drain and re-check.
+    for id in alive {
+        machine.remove(id).unwrap();
+    }
+    machine.check_invariants().unwrap();
+    assert!(machine.is_idle());
+    assert_eq!(machine.alloc(), AllocView::EMPTY);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sim_host_survives_arbitrary_interleavings(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut machine =
+            PhysicalMachine::with_topology_policy(PmId(0), Arc::new(flat(32)), gib(128));
+        run_ops(&mut machine, &ops);
+    }
+
+    #[test]
+    fn execution_spans_always_honour_their_guarantees(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        pooling in proptest::bool::ANY,
+    ) {
+        use slackvm::hypervisor::pooling::execution_spans;
+        let mut machine = PhysicalMachine::with_topology_policy(
+            PmId(0),
+            Arc::new(dual_epyc_7662()),
+            gib(1024),
+        );
+        // Deploy-only run (ignore removals) to reach a random state.
+        let mut next = 0u64;
+        for op in &ops {
+            if let Op::Deploy { vcpus, mem_gib, level } = op {
+                let spec = VmSpec::of(*vcpus, gib(*mem_gib), OversubLevel::of(*level));
+                if machine.can_host(&spec) {
+                    machine.deploy(VmId(next), spec).unwrap();
+                    next += 1;
+                }
+            }
+        }
+        let spans = execution_spans(&machine, pooling);
+        let mut seen_vms = std::collections::BTreeSet::new();
+        for span in &spans {
+            prop_assert!(span.is_valid(), "span violates {}", span.guarantee);
+            // Spans never share a VM.
+            for id in &span.vm_ids {
+                prop_assert!(seen_vms.insert(*id), "VM {id} in two spans");
+            }
+            // The guarantee is the strictest pooled level.
+            for level in &span.levels {
+                prop_assert!(span.guarantee.satisfies(*level));
+            }
+        }
+        // Every hosted VM appears in exactly one span.
+        prop_assert_eq!(seen_vms.len(), machine.num_vms());
+    }
+
+    #[test]
+    fn epyc_host_survives_arbitrary_interleavings(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut machine = PhysicalMachine::with_topology_policy(
+            PmId(0),
+            Arc::new(dual_epyc_7662()),
+            gib(1024),
+        );
+        run_ops(&mut machine, &ops);
+    }
+
+    #[test]
+    fn uniform_host_capacity_is_exact(
+        vcpus in prop::collection::vec(1u32..8, 1..200),
+        level in 1u32..=3,
+    ) {
+        let level = OversubLevel::of(level);
+        let mut host = UniformMachine::new(PmId(0), PmConfig::simulation_host(), level);
+        let mut total = 0u32;
+        for (i, v) in vcpus.iter().enumerate() {
+            let spec = VmSpec::of(*v, 1, level); // 1 MiB: memory never binds
+            match host.deploy(VmId(i as u64), spec) {
+                Ok(()) => total += v,
+                Err(_) => {
+                    // Exactly the vCPU capacity wall.
+                    prop_assert!(total + v > level.vcpu_capacity(32));
+                }
+            }
+        }
+        prop_assert!(total <= level.vcpu_capacity(32));
+    }
+
+    #[test]
+    fn progress_score_never_rewards_moving_away(
+        acores in 0u32..=32, amem in 0u64..=128,
+        vcpus in 1u32..8, vmem in 1u64..32, level in 1u32..=3,
+    ) {
+        // If the post-deployment ratio is farther from the target than
+        // the pre-deployment ratio, the score must not be positive.
+        let cfg = PmConfig::simulation_host();
+        let alloc = AllocView::new(Millicores::from_cores(acores), gib(amem));
+        let vm = VmSpec::of(vcpus, gib(vmem), OversubLevel::of(level));
+        let score = progress_score(&cfg, &alloc, &vm, ProgressConfig::default());
+        let target = cfg.target_ratio().gib_per_core();
+        let before = if alloc.cpu.is_zero() {
+            target
+        } else {
+            alloc.mc_ratio().gib_per_core()
+        };
+        let after = alloc.with_vm(&vm).mc_ratio().gib_per_core();
+        let moved_away = (after - target).abs() > (before - target).abs() + 1e-12;
+        if moved_away {
+            prop_assert!(score <= 1e-12, "score {score} rewards moving away");
+        } else {
+            prop_assert!(score >= -1e-12, "score {score} punishes an improvement");
+        }
+    }
+}

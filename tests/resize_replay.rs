@@ -1,0 +1,103 @@
+//! Vertical-scaling replays: traces with resize churn through both
+//! deployment models.
+
+use std::sync::Arc;
+
+use slackvm::prelude::*;
+use slackvm::workload::inject_resizes;
+use slackvm_suite::{paper_levels, test_workload};
+
+fn resized_workload(seed: u64, fraction: f64) -> Workload {
+    let base = test_workload(
+        catalog::azure(),
+        LevelMix::three_level(40.0, 30.0, 30.0).unwrap(),
+        80,
+        3,
+        seed,
+    );
+    inject_resizes(&base, &catalog::azure(), fraction, seed ^ 0xFEED)
+}
+
+#[test]
+fn both_models_absorb_resize_churn_and_drain_clean() {
+    let w = resized_workload(1, 0.5);
+    w.validate().unwrap();
+    let mut dedicated = DeploymentModel::Dedicated(DedicatedDeployment::new(
+        PmConfig::simulation_host(),
+        paper_levels(),
+    ));
+    let base = run_packing(&w, &mut dedicated);
+    assert_eq!(base.rejections, 0);
+
+    let mut shared =
+        DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+    let slack = run_packing(&w, &mut shared);
+    assert_eq!(slack.rejections, 0);
+    if let DeploymentModel::Shared(s) = &shared {
+        for host in s.cluster.hosts() {
+            host.check_invariants().unwrap();
+            assert!(host.is_idle(), "fully drained after the replay");
+        }
+    }
+    // Both models end fully drained.
+    let (alloc, _) = dedicated.totals();
+    assert!(alloc.is_empty());
+}
+
+#[test]
+fn resize_churn_changes_the_packing() {
+    // Same arrivals; with resizes, occupancy evolves differently, so
+    // the outcome differs from the resize-free replay somewhere.
+    let base = test_workload(
+        catalog::ovhcloud(),
+        LevelMix::three_level(50.0, 0.0, 50.0).unwrap(),
+        100,
+        4,
+        2,
+    );
+    let resized = inject_resizes(&base, &catalog::ovhcloud(), 0.8, 3);
+    let run = |w: &Workload| {
+        let mut model =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+        run_packing(w, &mut model)
+    };
+    let plain = run(&base);
+    let churned = run(&resized);
+    assert_eq!(plain.deployments, churned.deployments, "same arrivals");
+    assert_ne!(
+        (plain.at_peak.unallocated_cpu, plain.at_peak.unallocated_mem),
+        (
+            churned.at_peak.unallocated_cpu,
+            churned.at_peak.unallocated_mem
+        ),
+        "resize churn should move the occupancy profile"
+    );
+}
+
+#[test]
+fn direct_resize_api_round_trips_on_both_models() {
+    let spec = VmSpec::of(2, gib(4), OversubLevel::of(2));
+    // Shared.
+    let mut shared =
+        DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+    shared.deploy(VmId(0), spec).unwrap();
+    shared.resize(VmId(0), 6, gib(12)).unwrap();
+    let (alloc, _) = shared.totals();
+    assert_eq!(alloc.cpu, Millicores::from_cores(3)); // 6 vCPUs @ 2:1
+    assert_eq!(alloc.mem_mib, gib(12));
+    assert!(shared.resize(VmId(9), 1, gib(1)).is_err());
+    // Dedicated.
+    let mut dedicated = DeploymentModel::Dedicated(DedicatedDeployment::new(
+        PmConfig::simulation_host(),
+        paper_levels(),
+    ));
+    dedicated.deploy(VmId(0), spec).unwrap();
+    dedicated.resize(VmId(0), 6, gib(12)).unwrap();
+    let (alloc, _) = dedicated.totals();
+    assert_eq!(alloc.cpu, Millicores::from_cores(3));
+    assert_eq!(alloc.mem_mib, gib(12));
+    // Oversized resize rejected, state preserved.
+    assert!(dedicated.resize(VmId(0), 100, gib(4)).is_err());
+    let (after, _) = dedicated.totals();
+    assert_eq!(after, alloc);
+}
