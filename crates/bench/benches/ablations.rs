@@ -14,13 +14,16 @@ use slackvm::hypervisor::{Host, PhysicalMachine};
 use slackvm::model::{gib, OversubLevel, PmId, VmId, VmSpec};
 use slackvm::perf::Fig2Scenario;
 use slackvm::sched::{
-    BestFitScorer, CompositeScorer, PlacementPolicy, ProgressConfig, ProgressScorer,
-    WorstFitScorer,
+    BestFitScorer, CompositeScorer, PlacementPolicy, ProgressConfig, ProgressScorer, WorstFitScorer,
 };
 use slackvm::sim::{run_packing, DedicatedDeployment, DeploymentModel, SharedDeployment};
 use slackvm::topology::select::mean_cross_distance;
-use slackvm::topology::{builders, DistanceMatrix, NaiveSelection, SelectionPolicy, TopologySelection};
-use slackvm::workload::{catalog, ArrivalModel, DistributionPoint, WorkloadGenerator, WorkloadSpec};
+use slackvm::topology::{
+    builders, DistanceMatrix, NaiveSelection, SelectionPolicy, TopologySelection,
+};
+use slackvm::workload::{
+    catalog, ArrivalModel, DistributionPoint, WorkloadGenerator, WorkloadSpec,
+};
 use slackvm_bench::{banner, bench_packing_config};
 
 fn workload(letter: char) -> slackvm::workload::Workload {
@@ -53,7 +56,10 @@ fn ablation_scorers() {
     println!("dedicated first-fit baseline: {} PMs", base.opened_pms);
     let policies: Vec<(&str, PlacementPolicy)> = vec![
         ("first-fit", PlacementPolicy::FirstFit),
-        ("pure progress (paper Alg. 2)", PlacementPolicy::scored(ProgressScorer::paper())),
+        (
+            "pure progress (paper Alg. 2)",
+            PlacementPolicy::scored(ProgressScorer::paper()),
+        ),
         (
             "progress + 0.15 best-fit (default)",
             PlacementPolicy::scored(CompositeScorer::progress_with_consolidation(0.15)),
@@ -75,10 +81,34 @@ fn ablation_knobs() {
     banner("Ablation 2 — Algorithm 2 knobs (OVHcloud, dist E)");
     let w = workload('E');
     let variants = [
-        ("paper (both on)", ProgressConfig { negative_load_factor: true, empty_pm_is_ideal: true }),
-        ("no negative load factor", ProgressConfig { negative_load_factor: false, empty_pm_is_ideal: true }),
-        ("no empty-PM-is-ideal", ProgressConfig { negative_load_factor: true, empty_pm_is_ideal: false }),
-        ("both off", ProgressConfig { negative_load_factor: false, empty_pm_is_ideal: false }),
+        (
+            "paper (both on)",
+            ProgressConfig {
+                negative_load_factor: true,
+                empty_pm_is_ideal: true,
+            },
+        ),
+        (
+            "no negative load factor",
+            ProgressConfig {
+                negative_load_factor: false,
+                empty_pm_is_ideal: true,
+            },
+        ),
+        (
+            "no empty-PM-is-ideal",
+            ProgressConfig {
+                negative_load_factor: true,
+                empty_pm_is_ideal: false,
+            },
+        ),
+        (
+            "both off",
+            ProgressConfig {
+                negative_load_factor: false,
+                empty_pm_is_ideal: false,
+            },
+        ),
     ];
     for (name, knobs) in variants {
         let policy = PlacementPolicy::scored(ProgressScorer { knobs });
@@ -97,7 +127,10 @@ fn ablation_topology() {
             Arc::new(TopologySelection::new(DistanceMatrix::build(&topo)))
                 as Arc<dyn SelectionPolicy + Send + Sync>,
         ),
-        ("naive", Arc::new(NaiveSelection) as Arc<dyn SelectionPolicy + Send + Sync>),
+        (
+            "naive",
+            Arc::new(NaiveSelection) as Arc<dyn SelectionPolicy + Send + Sync>,
+        ),
     ] {
         let mut m = PhysicalMachine::new(PmId(0), Arc::clone(&topo), gib(1024), policy);
         for i in 0..60u64 {
@@ -207,8 +240,12 @@ fn ablation_compaction() {
             }
         }
     }
-    let snapshots: Vec<slackvm::hypervisor::MachineSnapshot> =
-        shared.cluster.hosts().iter().map(|h| h.snapshot()).collect();
+    let snapshots: Vec<slackvm::hypervisor::MachineSnapshot> = shared
+        .cluster
+        .hosts()
+        .iter()
+        .map(|h| h.snapshot())
+        .collect();
     let plan = slackvm::hypervisor::plan_compaction(&snapshots);
     println!(
         "mid-week: {} workers opened, {} active; compaction would drain {} \
@@ -249,12 +286,8 @@ fn ablation_migration_cadence() {
         plain.savings_pct()
     );
     for hours in [6u64, 12, 24, 48] {
-        let (cmp, stats) = slackvm::experiments::compare_packing_with_compaction(
-            &cat,
-            &mix,
-            &cfg,
-            hours * 3600,
-        );
+        let (cmp, stats) =
+            slackvm::experiments::compare_packing_with_compaction(&cat, &mix, &cfg, hours * 3600);
         println!(
             "every {hours:>2} h: slackvm {} PMs ({:+.1}%), {} migrations in {} rounds",
             cmp.slackvm.opened_pms,
@@ -270,12 +303,19 @@ fn ablation_scorer_families() {
     let w = workload('I');
     let mut baseline = DeploymentModel::Dedicated(DedicatedDeployment::new(
         bench_packing_config().host,
-        [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)],
+        [
+            OversubLevel::of(1),
+            OversubLevel::of(2),
+            OversubLevel::of(3),
+        ],
     ));
     let base = run_packing(&w, &mut baseline);
     println!("dedicated first-fit baseline: {} PMs", base.opened_pms);
     let policies: Vec<(&str, PlacementPolicy)> = vec![
-        ("progress (Alg. 2)", PlacementPolicy::scored(ProgressScorer::paper())),
+        (
+            "progress (Alg. 2)",
+            PlacementPolicy::scored(ProgressScorer::paper()),
+        ),
         (
             "progress + consolidation",
             PlacementPolicy::scored(CompositeScorer::progress_with_consolidation(0.15)),
@@ -305,8 +345,7 @@ fn ablation_sensitivity() {
     let mix = DistributionPoint::by_letter('F').unwrap().mix();
     let cat = catalog::ovhcloud();
     println!("hardware M/C sweep (32 cores, varying DRAM):");
-    for row in slackvm::experiments::hardware_mc_sweep(&cat, &mix, &cfg, &[64, 96, 128, 192, 256])
-    {
+    for row in slackvm::experiments::hardware_mc_sweep(&cat, &mix, &cfg, &[64, 96, 128, 192, 256]) {
         println!(
             "  {:>3} GiB (M/C {:>3.0}) -> baseline {:>3}, slackvm {:>3} ({:+.1}%)",
             row.mem_gib, row.target_ratio, row.baseline_pms, row.slackvm_pms, row.savings_pct

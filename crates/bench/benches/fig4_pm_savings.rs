@@ -39,7 +39,11 @@ fn print_fig4() {
                 best.savings_pct,
                 best.baseline_pms,
                 best.slackvm_pms,
-                if cat.provider == "ovhcloud" { "9.6% (distribution F)" } else { "8.8%" },
+                if cat.provider == "ovhcloud" {
+                    "9.6% (distribution F)"
+                } else {
+                    "8.8%"
+                },
             );
         }
     }

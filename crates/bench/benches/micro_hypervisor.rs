@@ -85,11 +85,7 @@ fn bench_extra(c: &mut Criterion) {
 
     // Workload generation at the paper's protocol scale.
     c.bench_function("workload/generate_paper_week_500", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                slackvm::workload::scenarios::paper_week_f(500).generate(1),
-            )
-        })
+        b.iter(|| std::hint::black_box(slackvm::workload::scenarios::paper_week_f(500).generate(1)))
     });
 
     // Erlang-C at control-plane fan-out sizes.

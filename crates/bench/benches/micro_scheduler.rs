@@ -10,10 +10,7 @@ fn candidates(n: u32) -> Vec<Candidate> {
         .map(|i| Candidate {
             id: PmId(i),
             config: PmConfig::simulation_host(),
-            alloc: AllocView::new(
-                Millicores::from_cores(i % 32),
-                gib(((i * 7) % 128) as u64),
-            ),
+            alloc: AllocView::new(Millicores::from_cores(i % 32), gib(((i * 7) % 128) as u64)),
             vms: (i % 9) as usize,
         })
         .collect()

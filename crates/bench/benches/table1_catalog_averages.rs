@@ -8,7 +8,10 @@ use slackvm_bench::banner;
 
 fn print_table1() {
     banner("Table I — average vCPU & vRAM requests per VM");
-    println!("{:<10} {:>12} {:>12} | paper: vCPU / vRAM", "dataset", "mean vCPU", "mean vRAM");
+    println!(
+        "{:<10} {:>12} {:>12} | paper: vCPU / vRAM",
+        "dataset", "mean vCPU", "mean vRAM"
+    );
     for (cat, pv, pm) in [
         (catalog::azure(), 2.25, 4.8),
         (catalog::ovhcloud(), 3.24, 10.05),

@@ -8,7 +8,10 @@ use slackvm_bench::banner;
 
 fn print_table2() {
     banner("Table II — M/C ratio of oversubscribed VMs (GiB per physical core)");
-    println!("{:<10} {:>8} {:>8} {:>8} | paper", "dataset", "1:1", "2:1", "3:1");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} | paper",
+        "dataset", "1:1", "2:1", "3:1"
+    );
     for (cat, paper) in [
         (catalog::azure(), [2.1, 3.0, 4.5]),
         (catalog::ovhcloud(), [3.1, 3.9, 5.8]),

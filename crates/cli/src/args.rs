@@ -64,13 +64,10 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
         match self.get(key) {
             None => Ok(None),
-            Some(raw) => raw
-                .parse()
-                .map(Some)
-                .map_err(|_| CliError::BadValue {
-                    key: key.to_string(),
-                    value: raw.to_string(),
-                }),
+            Some(raw) => raw.parse().map(Some).map_err(|_| CliError::BadValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+            }),
         }
     }
 
@@ -110,8 +107,8 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let args = Args::parse(["fig3", "--provider", "azure", "--population=300", "--json"])
-            .unwrap();
+        let args =
+            Args::parse(["fig3", "--provider", "azure", "--population=300", "--json"]).unwrap();
         assert_eq!(args.command, "fig3");
         assert_eq!(args.get("provider"), Some("azure"));
         assert_eq!(args.get_parsed_or::<u32>("population", 500).unwrap(), 300);

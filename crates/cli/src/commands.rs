@@ -4,8 +4,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use slackvm::experiments::{
-    self, hardware_mc_sweep, population_sweep, replicated_savings,
-    PackingConfig,
+    self, hardware_mc_sweep, population_sweep, replicated_savings, PackingConfig,
 };
 use slackvm::perf::Fig2Scenario;
 use slackvm::prelude::*;
@@ -35,7 +34,11 @@ commands:
                                  write a workload trace as JSON
                                  (M: a letter A..O or 'p1,p2,p3' shares)
   replay    --trace FILE --model dedicated|shared [--fleet N]
-                                 replay a JSON trace
+            [--events-out FILE] [--trace-out FILE] [--metrics-out FILE]
+                                 replay a JSON trace; optionally record a
+                                 JSONL event journal, a Chrome trace
+                                 (Perfetto-loadable), and a metrics
+                                 summary (.json for JSON, else text)
   compact   --trace FILE [--at-day D]
                                  compaction analysis of the day-D state
   sweep     mc|population|seeds --provider P [--mix M] [--population N]
@@ -126,7 +129,11 @@ fn packing_config(args: &Args) -> Result<PackingConfig, CliError> {
 pub fn tables(args: &Args) -> Result<String, CliError> {
     args.expect_keys(&[])?;
     let mut out = String::new();
-    let mut t1 = TextTable::new(["dataset", "mean vCPU (ours/paper)", "mean vRAM GiB (ours/paper)"]);
+    let mut t1 = TextTable::new([
+        "dataset",
+        "mean vCPU (ours/paper)",
+        "mean vRAM GiB (ours/paper)",
+    ]);
     for row in experiments::table1() {
         t1.row([
             row.provider.clone(),
@@ -164,11 +171,7 @@ pub fn fig2(args: &Args) -> Result<String, CliError> {
         "co-hosted {} VMs; spans {:?}\n",
         outcome.slackvm_total_vms, outcome.slackvm_span_threads
     );
-    let _ = writeln!(
-        out,
-        "{}",
-        experiments::physical::render_table4(&outcome)
-    );
+    let _ = writeln!(out, "{}", experiments::physical::render_table4(&outcome));
     let _ = writeln!(out, "{}", experiments::physical::render_fig2(&outcome));
     if let Some(note) = write_svg(args, slackvm_viz::fig2_svg(&outcome))? {
         let _ = writeln!(out, "{note}");
@@ -183,7 +186,13 @@ pub fn fig3(args: &Args) -> Result<String, CliError> {
     let config = packing_config(args)?;
     let rows = experiments::run_fig3(&cat, &config);
     let mut t = TextTable::new([
-        "dist", "mix", "base cpu", "base mem", "slack cpu", "slack mem", "PMs",
+        "dist",
+        "mix",
+        "base cpu",
+        "base mem",
+        "slack cpu",
+        "slack mem",
+        "PMs",
     ]);
     for r in &rows {
         t.row([
@@ -198,7 +207,9 @@ pub fn fig3(args: &Args) -> Result<String, CliError> {
     }
     let mut out = format!(
         "Fig. 3 — {} ({} VMs, seed {:#x})\n{}",
-        cat.provider, config.target_population, config.seed,
+        cat.provider,
+        config.target_population,
+        config.seed,
         t.render()
     );
     if let Some(note) = write_svg(args, slackvm_viz::fig3_svg(&rows, &cat.provider))? {
@@ -257,7 +268,14 @@ pub fn fig4(args: &Args) -> Result<String, CliError> {
 /// `slackvm generate`
 pub fn generate(args: &Args) -> Result<String, CliError> {
     args.expect_keys(&[
-        "provider", "mix", "population", "seed", "out", "days", "lognormal", "resizes",
+        "provider",
+        "mix",
+        "population",
+        "seed",
+        "out",
+        "days",
+        "lognormal",
+        "resizes",
     ])?;
     let cat = provider(args)?;
     let mix = mix(args, "F")?;
@@ -277,7 +295,8 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
     .generate();
     let resize_fraction: f64 = args.get_parsed_or("resizes", 0.0)?;
     if resize_fraction > 0.0 {
-        workload = slackvm::workload::inject_resizes(&workload, &cat, resize_fraction, seed ^ 0x5E51_2E);
+        workload =
+            slackvm::workload::inject_resizes(&workload, &cat, resize_fraction, seed ^ 0x5E51_2E);
     }
     workload
         .validate()
@@ -316,7 +335,16 @@ fn load_trace(args: &Args) -> Result<Workload, CliError> {
 
 /// `slackvm replay`
 pub fn replay(args: &Args) -> Result<String, CliError> {
-    args.expect_keys(&["trace", "model", "fleet", "topology", "mem"])?;
+    args.expect_keys(&[
+        "trace",
+        "model",
+        "fleet",
+        "topology",
+        "mem",
+        "events-out",
+        "trace-out",
+        "metrics-out",
+    ])?;
     let workload = load_trace(args)?;
     let fleet: Option<u32> = args.get_parsed("fleet")?;
     let topo = slackvm::topology::topology_from_spec(args.get_or("topology", "cores=32"))
@@ -325,7 +353,11 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
     let mut model = match args.get_or("model", "shared") {
         "dedicated" => DeploymentModel::Dedicated(DedicatedDeployment::new(
             PmConfig::of(topo.num_cores(), mem),
-            [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)],
+            [
+                OversubLevel::of(1),
+                OversubLevel::of(2),
+                OversubLevel::of(3),
+            ],
         )),
         "shared" => {
             let topo = Arc::new(topo.clone());
@@ -340,11 +372,44 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
-    let out = run_packing(&workload, &mut model);
+    let recording = ["events-out", "trace-out", "metrics-out"]
+        .iter()
+        .any(|key| args.get(key).is_some());
+    let mut notes = String::new();
+    let out = if recording {
+        let mut telemetry = Telemetry::new();
+        let out = run_packing_recorded(&workload, &mut model, &mut telemetry);
+        let write = |path: &str, content: &str| -> Result<(), CliError> {
+            std::fs::write(path, content).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })
+        };
+        if let Some(path) = args.get("events-out") {
+            write(path, &telemetry.journal.to_jsonl())?;
+            let _ = write!(notes, "\nwrote {path} ({} events)", telemetry.journal.len());
+        }
+        if let Some(path) = args.get("trace-out") {
+            write(path, &telemetry.trace.to_chrome_json())?;
+            let _ = write!(notes, "\nwrote {path} ({} spans)", telemetry.trace.len());
+        }
+        if let Some(path) = args.get("metrics-out") {
+            let rendered = if path.ends_with(".json") {
+                telemetry.metrics.to_json()
+            } else {
+                telemetry.metrics.render_text()
+            };
+            write(path, &rendered)?;
+            let _ = write!(notes, "\nwrote {path} ({} bytes)", rendered.len());
+        }
+        out
+    } else {
+        run_packing(&workload, &mut model)
+    };
     Ok(format!(
         "model: {}\nPMs opened: {}\npeak alive VMs: {}\nrejections: {}/{}\n\
          unallocated at peak: cpu {:.1}%, mem {:.1}%\n\
-         time-weighted unallocated: cpu {:.1}%, mem {:.1}%",
+         time-weighted unallocated: cpu {:.1}%, mem {:.1}%{notes}",
         out.model,
         out.opened_pms,
         out.peak_alive_vms,
@@ -401,11 +466,7 @@ pub fn compact(args: &Args) -> Result<String, CliError> {
 /// `slackvm sweep`
 pub fn sweep(args: &Args) -> Result<String, CliError> {
     args.expect_keys(&["provider", "mix", "population", "seed"])?;
-    let what = args
-        .positionals
-        .first()
-        .map(String::as_str)
-        .unwrap_or("mc");
+    let what = args.positionals.first().map(String::as_str).unwrap_or("mc");
     let cat = provider(args)?;
     let mix = mix(args, "F")?;
     let config = packing_config(args)?;
@@ -462,13 +523,13 @@ pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
             let medians: Result<Vec<(f64, f64)>, CliError> = raw
                 .split(';')
                 .map(|pair| {
-                    let (b, s) = pair.split_once(',').ok_or_else(|| {
-                        CliError::Invalid(format!("bad target pair {pair:?}"))
-                    })?;
+                    let (b, s) = pair
+                        .split_once(',')
+                        .ok_or_else(|| CliError::Invalid(format!("bad target pair {pair:?}")))?;
                     let parse = |v: &str| {
-                        v.trim().parse::<f64>().map_err(|_| {
-                            CliError::Invalid(format!("bad target number {v:?}"))
-                        })
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|_| CliError::Invalid(format!("bad target number {v:?}")))
                     };
                     Ok((parse(b)?, parse(s)?))
                 })
@@ -482,12 +543,7 @@ pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
         "fitted: base latency {:.2} ms, pressure coeff {:.1} (residual {:.4})\n",
         fit.base_latency_ms, fit.pressure_coeff, fit.residual
     );
-    for (i, ((fb, fs), (tb, ts))) in fit
-        .fitted_medians
-        .iter()
-        .zip(&targets.medians)
-        .enumerate()
-    {
+    for (i, ((fb, fs), (tb, ts))) in fit.fitted_medians.iter().zip(&targets.medians).enumerate() {
         let _ = writeln!(
             out,
             "level {}: fitted {fb:.2} -> {fs:.2} ms (target {tb:.2} -> {ts:.2})",
@@ -589,11 +645,13 @@ pub fn steady(args: &Args) -> Result<String, CliError> {
     let mut model = match args.get_or("model", "shared") {
         "dedicated" => DeploymentModel::Dedicated(DedicatedDeployment::new(
             PmConfig::simulation_host(),
-            [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)],
+            [
+                OversubLevel::of(1),
+                OversubLevel::of(2),
+                OversubLevel::of(3),
+            ],
         )),
-        "shared" => {
-            DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)))
-        }
+        "shared" => DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128))),
         other => {
             return Err(CliError::Invalid(format!(
                 "unknown model {other:?} (dedicated, shared)"
@@ -628,14 +686,22 @@ pub fn steady(args: &Args) -> Result<String, CliError> {
 
 /// `slackvm recommend`
 pub fn recommend(args: &Args) -> Result<String, CliError> {
-    args.expect_keys(&["vcpus", "level", "demand", "quantile", "margin", "max-level"])?;
+    args.expect_keys(&[
+        "vcpus",
+        "level",
+        "demand",
+        "quantile",
+        "margin",
+        "max-level",
+    ])?;
     let vcpus: u32 = args
         .get_parsed("vcpus")?
         .ok_or(CliError::MissingOption("vcpus"))?;
     let level: u32 = args.get_parsed_or("level", 1)?;
-    let level = OversubLevel::new(level)
-        .map_err(|e| CliError::Invalid(e.to_string()))?;
-    let demand_raw = args.get("demand").ok_or(CliError::MissingOption("demand"))?;
+    let level = OversubLevel::new(level).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let demand_raw = args
+        .get("demand")
+        .ok_or(CliError::MissingOption("demand"))?;
     let demand: Vec<f64> = demand_raw
         .split(',')
         .map(|d| d.trim().parse::<f64>())
@@ -709,8 +775,17 @@ mod tests {
         let path = dir.join("trace.json");
         let path_str = path.to_str().unwrap();
         let out = run(&[
-            "generate", "--provider", "ovhcloud", "--mix", "F", "--population", "40",
-            "--days", "2", "--out", path_str,
+            "generate",
+            "--provider",
+            "ovhcloud",
+            "--mix",
+            "F",
+            "--population",
+            "40",
+            "--days",
+            "2",
+            "--out",
+            path_str,
         ])
         .unwrap();
         assert!(out.contains("wrote"));
@@ -727,13 +802,99 @@ mod tests {
     #[test]
     fn generate_accepts_numeric_mixes() {
         let out = run(&[
-            "generate", "--provider", "azure", "--mix", "50,25,25", "--population", "20",
-            "--days", "1",
+            "generate",
+            "--provider",
+            "azure",
+            "--mix",
+            "50,25,25",
+            "--population",
+            "20",
+            "--days",
+            "1",
         ])
         .unwrap();
         assert!(out.contains("generated"));
         let err = run(&["generate", "--provider", "azure", "--mix", "50,50"]).unwrap_err();
         assert!(err.to_string().contains("three shares"));
+    }
+
+    #[test]
+    fn replay_with_telemetry_flags_writes_all_three_artifacts() {
+        let dir = std::env::temp_dir().join("slackvm-cli-telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        run(&[
+            "generate",
+            "--provider",
+            "azure",
+            "--mix",
+            "F",
+            "--population",
+            "50",
+            "--days",
+            "2",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let events = dir.join("events.jsonl");
+        let chrome = dir.join("trace-events.json");
+        let metrics = dir.join("metrics.json");
+        let out = run(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+            "--trace-out",
+            chrome.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("events)"), "no journal note:\n{out}");
+        assert!(out.contains("spans)"), "no trace note:\n{out}");
+
+        // The journal is non-empty JSONL that parses back to typed records.
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        let journal = slackvm::telemetry::Journal::from_jsonl(&jsonl).unwrap();
+        assert!(!journal.is_empty());
+
+        // The Chrome trace is valid JSON with a traceEvents array.
+        let chrome_raw = std::fs::read_to_string(&chrome).unwrap();
+        let chrome_json: serde_json::Value = serde_json::from_str(&chrome_raw).unwrap();
+        assert!(!chrome_json["traceEvents"].as_array().unwrap().is_empty());
+
+        // Metrics counters agree with both the journal and the printed
+        // outcome (a zero-rejection replay of a validated trace).
+        let summary: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let deployments = summary["counters"]["sim.deployments"].as_u64().unwrap();
+        assert_eq!(journal.count_kind("vm_arrival") as u64, deployments);
+        assert_eq!(
+            summary["counters"]["sim.rejections"].as_u64().unwrap_or(0),
+            0
+        );
+        assert!(out.contains(&format!("rejections: 0/{deployments}")));
+        assert_eq!(
+            journal.count_kind("vm_placed") as u64,
+            summary["counters"]["events.vm_placed"].as_u64().unwrap()
+        );
+
+        // A text metrics summary is written when the path is not .json.
+        let metrics_txt = dir.join("metrics.txt");
+        run(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_txt.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics_txt).unwrap();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("sim.deployments"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -747,7 +908,14 @@ mod tests {
     #[test]
     fn sweep_variants() {
         let out = run(&[
-            "sweep", "seeds", "--provider", "ovhcloud", "--mix", "F", "--population", "60",
+            "sweep",
+            "seeds",
+            "--provider",
+            "ovhcloud",
+            "--mix",
+            "F",
+            "--population",
+            "60",
         ])
         .unwrap();
         assert!(out.contains("seed replication"));
@@ -758,7 +926,13 @@ mod tests {
     #[test]
     fn recommend_computes_a_retune() {
         let out = run(&[
-            "recommend", "--vcpus", "48", "--level", "3", "--demand", "2,3,4,3.5,2.5",
+            "recommend",
+            "--vcpus",
+            "48",
+            "--level",
+            "3",
+            "--demand",
+            "2,3,4,3.5,2.5",
         ])
         .unwrap();
         assert!(out.contains("recommendation: 8:1"));
@@ -770,7 +944,12 @@ mod tests {
     #[test]
     fn scenarios_command_lists_and_filters() {
         let out = run(&["scenarios", "--population", "60"]).unwrap();
-        for name in ["paper-week-f", "burst-day", "devtest-churn", "enterprise-steady"] {
+        for name in [
+            "paper-week-f",
+            "burst-day",
+            "devtest-churn",
+            "enterprise-steady",
+        ] {
             assert!(out.contains(name), "missing {name}");
         }
         let one = run(&["scenarios", "--population", "60", "--run", "burst-day"]).unwrap();
@@ -786,8 +965,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
         run(&[
-            "generate", "--provider", "azure", "--mix", "E", "--population", "60",
-            "--days", "4", "--out", path.to_str().unwrap(),
+            "generate",
+            "--provider",
+            "azure",
+            "--mix",
+            "E",
+            "--population",
+            "60",
+            "--days",
+            "4",
+            "--out",
+            path.to_str().unwrap(),
         ])
         .unwrap();
         let out = run(&["steady", "--trace", path.to_str().unwrap()]).unwrap();
@@ -825,14 +1013,28 @@ mod tests {
         let provider_arg = format!("file:{}", cat_path.to_str().unwrap());
         let trace_path = dir.join("trace.json");
         run(&[
-            "generate", "--provider", &provider_arg, "--mix", "A", "--population", "20",
-            "--days", "1", "--out", trace_path.to_str().unwrap(),
+            "generate",
+            "--provider",
+            &provider_arg,
+            "--mix",
+            "A",
+            "--population",
+            "20",
+            "--days",
+            "1",
+            "--out",
+            trace_path.to_str().unwrap(),
         ])
         .unwrap();
         // Replay on a custom 16-core / 64 GiB worker shape.
         let out = run(&[
-            "replay", "--trace", trace_path.to_str().unwrap(), "--topology", "cores=16",
-            "--mem", "64",
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--topology",
+            "cores=16",
+            "--mem",
+            "64",
         ])
         .unwrap();
         assert!(out.contains("PMs opened"));
@@ -840,7 +1042,9 @@ mod tests {
         let bad_path = dir.join("bad.json");
         std::fs::write(&bad_path, "{").unwrap();
         let err = run(&[
-            "generate", "--provider", &format!("file:{}", bad_path.to_str().unwrap()),
+            "generate",
+            "--provider",
+            &format!("file:{}", bad_path.to_str().unwrap()),
         ])
         .unwrap_err();
         assert!(err.to_string().contains("JSON"));

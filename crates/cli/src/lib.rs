@@ -60,8 +60,20 @@ mod tests {
     fn help_lists_every_command() {
         let help = run(&Args::parse(["help"]).unwrap()).unwrap();
         for cmd in [
-            "tables", "fig2", "fig3", "fig4", "generate", "replay", "compact", "sweep",
-            "recommend", "scenarios", "steady", "layout", "report", "calibrate",
+            "tables",
+            "fig2",
+            "fig3",
+            "fig4",
+            "generate",
+            "replay",
+            "compact",
+            "sweep",
+            "recommend",
+            "scenarios",
+            "steady",
+            "layout",
+            "report",
+            "calibrate",
         ] {
             assert!(help.contains(cmd), "help misses {cmd}");
         }

@@ -65,15 +65,12 @@ pub fn compare_packing(
     })
     .generate();
 
-    let mut baseline = DeploymentModel::Dedicated(DedicatedDeployment::new(
-        config.host,
-        mix.levels(),
-    ));
+    let mut baseline =
+        DeploymentModel::Dedicated(DedicatedDeployment::new(config.host, mix.levels()));
     let baseline_out = run_packing(&workload, &mut baseline);
 
     let topology = Arc::new(builders::flat(config.host.cores));
-    let mut shared =
-        DeploymentModel::Shared(SharedDeployment::new(topology, config.host.mem_mib));
+    let mut shared = DeploymentModel::Shared(SharedDeployment::new(topology, config.host.mem_mib));
     let slackvm_out = run_packing(&workload, &mut shared);
 
     PackingComparison {
@@ -100,10 +97,8 @@ pub fn compare_packing_with_compaction(
     })
     .generate();
 
-    let mut baseline = DeploymentModel::Dedicated(DedicatedDeployment::new(
-        config.host,
-        mix.levels(),
-    ));
+    let mut baseline =
+        DeploymentModel::Dedicated(DedicatedDeployment::new(config.host, mix.levels()));
     let baseline_out = run_packing(&workload, &mut baseline);
 
     let topology = Arc::new(builders::flat(config.host.cores));
@@ -244,12 +239,8 @@ mod tests {
         let point = DistributionPoint::by_letter('F').unwrap();
         let cfg = quick_config();
         let plain = compare_packing(&catalog::ovhcloud(), &point.mix(), &cfg);
-        let (compacting, stats) = compare_packing_with_compaction(
-            &catalog::ovhcloud(),
-            &point.mix(),
-            &cfg,
-            12 * 3600,
-        );
+        let (compacting, stats) =
+            compare_packing_with_compaction(&catalog::ovhcloud(), &point.mix(), &cfg, 12 * 3600);
         assert_eq!(compacting.baseline, plain.baseline, "same baseline trace");
         assert!(
             compacting.slackvm.opened_pms <= plain.slackvm.opened_pms,

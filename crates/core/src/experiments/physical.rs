@@ -52,8 +52,10 @@ pub fn render_fig2(outcome: &Fig2Outcome) -> String {
         "VMs",
     ]);
     for row in &outcome.levels {
-        for (scenario, dist) in [("baseline", &row.baseline_dist), ("slackvm", &row.slackvm_dist)]
-        {
+        for (scenario, dist) in [
+            ("baseline", &row.baseline_dist),
+            ("slackvm", &row.slackvm_dist),
+        ] {
             t.row([
                 row.level.to_string(),
                 scenario.to_string(),

@@ -41,7 +41,10 @@ pub fn hardware_mc_sweep(
         .par_iter()
         .map(|&mem_gib| {
             let host = PmConfig::of(32, gib(mem_gib));
-            let cfg = PackingConfig { host, ..config.clone() };
+            let cfg = PackingConfig {
+                host,
+                ..config.clone()
+            };
             let cmp = compare_packing(catalog, mix, &cfg);
             McSweepRow {
                 mem_gib,
@@ -122,7 +125,10 @@ pub fn replicated_savings(
     let comparisons: Vec<PackingComparison> = seeds
         .par_iter()
         .map(|&seed| {
-            let cfg = PackingConfig { seed, ..config.clone() };
+            let cfg = PackingConfig {
+                seed,
+                ..config.clone()
+            };
             compare_packing(catalog, mix, &cfg)
         })
         .collect();
@@ -162,12 +168,7 @@ mod tests {
 
     #[test]
     fn mc_sweep_changes_the_gain_structure() {
-        let rows = hardware_mc_sweep(
-            &catalog::ovhcloud(),
-            &mix_f(),
-            &cfg(),
-            &[64, 128, 256],
-        );
+        let rows = hardware_mc_sweep(&catalog::ovhcloud(), &mix_f(), &cfg(), &[64, 128, 256]);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].target_ratio, 2.0);
         assert_eq!(rows[1].target_ratio, 4.0);
@@ -187,12 +188,7 @@ mod tests {
 
     #[test]
     fn population_sweep_is_monotone_in_cluster_size() {
-        let rows = population_sweep(
-            &catalog::ovhcloud(),
-            &mix_f(),
-            &cfg(),
-            &[100, 300, 600],
-        );
+        let rows = population_sweep(&catalog::ovhcloud(), &mix_f(), &cfg(), &[100, 300, 600]);
         assert_eq!(rows.len(), 3);
         for pair in rows.windows(2) {
             assert!(pair[1].baseline_pms >= pair[0].baseline_pms);
@@ -204,12 +200,7 @@ mod tests {
 
     #[test]
     fn replication_quantifies_seed_noise() {
-        let stats = replicated_savings(
-            &catalog::ovhcloud(),
-            &mix_f(),
-            &cfg(),
-            &[1, 2, 3, 4, 5],
-        );
+        let stats = replicated_savings(&catalog::ovhcloud(), &mix_f(), &cfg(), &[1, 2, 3, 4, 5]);
         assert_eq!(stats.runs, 5);
         assert!(stats.min <= stats.mean && stats.mean <= stats.max);
         assert!(stats.std_dev >= 0.0);

@@ -57,7 +57,12 @@ pub fn trace_report(workload: &Workload, host: PmConfig) -> String {
 
     // --- Replays. ---
     let levels: Vec<OversubLevel> = TraceStats::of(workload)
-        .map(|s| s.level_shares.keys().map(|&n| OversubLevel::of(n)).collect())
+        .map(|s| {
+            s.level_shares
+                .keys()
+                .map(|&n| OversubLevel::of(n))
+                .collect()
+        })
         .unwrap_or_default();
     let mut dedicated = DeploymentModel::Dedicated(DedicatedDeployment::new(host, levels));
     let base = slackvm_sim::run_packing(workload, &mut dedicated);

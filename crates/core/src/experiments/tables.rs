@@ -53,9 +53,7 @@ pub struct Table2Row {
 /// Computes Table II from the calibrated catalogs (oversubscribed tiers
 /// restricted to ≤ 8 GiB flavors, as in the paper).
 pub fn table2() -> Vec<Table2Row> {
-    let ratios = |c: &Catalog| {
-        [1u32, 2, 3].map(|n| c.mc_ratio_at(OversubLevel::of(n)))
-    };
+    let ratios = |c: &Catalog| [1u32, 2, 3].map(|n| c.mc_ratio_at(OversubLevel::of(n)));
     vec![
         Table2Row {
             provider: "azure".into(),

@@ -49,5 +49,6 @@ pub use slackvm_model as model;
 pub use slackvm_perf as perf;
 pub use slackvm_sched as sched;
 pub use slackvm_sim as sim;
+pub use slackvm_telemetry as telemetry;
 pub use slackvm_topology as topology;
 pub use slackvm_workload as workload;

@@ -1,8 +1,32 @@
 //! One-stop imports for applications using the SlackVM stack.
 
+pub use slackvm_hypervisor::{
+    plan_compaction, plan_compaction_recorded, recommend_level, recommend_level_recorded,
+    render_layout, CompactionPlan, DynamicLevelConfig, Host, LevelRecommendation, MachineSnapshot,
+    PhysicalMachine, UniformMachine, VNode, VirtualTopology,
+};
 pub use slackvm_model::{
     gib, mib, AllocView, MemPerCore, Millicores, OversubLevel, OversubPolicy, PmConfig, PmId,
     Resources, VmId, VmSpec,
+};
+pub use slackvm_perf::{
+    calibrate, erlang_c, pooling_benefit, slowdown, CalibrationTargets, ContentionModel,
+    Fig2Outcome, Fig2Scenario, MmcModel, Percentiles, Slo, SloPolicy, SlowdownCurve,
+};
+pub use slackvm_sched::{
+    progress_score, AntiAffinityFilter, BestFitScorer, Candidate, CompositeScorer,
+    CpuCeilingFilter, DotProductScorer, Filter, MaxVmsFilter, NormBasedGreedyScorer,
+    PlacementPolicy, ProgressConfig, ProgressScorer, ResourceFilter, Scheduler, Scorer, VCluster,
+    WorstFitScorer,
+};
+pub use slackvm_sim::{
+    analyze_steady_state, run_packing, run_packing_compacting, run_packing_compacting_recorded,
+    run_packing_recorded, run_packing_with_failures, run_packing_with_failures_recorded,
+    run_packing_with_samples, Cluster, CompactionStats, DedicatedDeployment, DeploymentModel,
+    FailureStats, OccupancySample, PackingOutcome, SharedDeployment, SteadyStateSummary,
+};
+pub use slackvm_telemetry::{
+    Event, Journal, MetricsRegistry, NullRecorder, Recorder, Telemetry, TraceBuilder,
 };
 pub use slackvm_topology::builders::{dual_epyc_7662, flat, xeon, TopologyBuilder};
 pub use slackvm_topology::{
@@ -12,26 +36,6 @@ pub use slackvm_workload::{
     catalog, scenarios, ArrivalModel, Catalog, CatalogError, CpuUsageModel, DistributionPoint,
     Flavor, LevelMix, LifetimeModel, RateShape, Scenario, TraceStats, UsageClass, VmInstance,
     Workload, WorkloadGenerator, WorkloadSpec,
-};
-pub use slackvm_hypervisor::{
-    plan_compaction, recommend_level, render_layout, CompactionPlan, DynamicLevelConfig, Host,
-    LevelRecommendation, MachineSnapshot, PhysicalMachine, UniformMachine, VNode,
-    VirtualTopology,
-};
-pub use slackvm_sched::{
-    progress_score, AntiAffinityFilter, BestFitScorer, Candidate, CompositeScorer,
-    CpuCeilingFilter, DotProductScorer, Filter, MaxVmsFilter, NormBasedGreedyScorer,
-    PlacementPolicy, ProgressConfig, ProgressScorer, ResourceFilter, Scheduler, Scorer, VCluster,
-    WorstFitScorer,
-};
-pub use slackvm_sim::{
-    analyze_steady_state, run_packing, run_packing_compacting, run_packing_with_failures,
-    run_packing_with_samples, Cluster, CompactionStats, DedicatedDeployment, DeploymentModel,
-    FailureStats, OccupancySample, PackingOutcome, SharedDeployment, SteadyStateSummary,
-};
-pub use slackvm_perf::{
-    calibrate, erlang_c, pooling_benefit, slowdown, CalibrationTargets, ContentionModel,
-    Fig2Outcome, Fig2Scenario, MmcModel, Percentiles, Slo, SloPolicy, SlowdownCurve,
 };
 
 pub use crate::experiments;

@@ -93,7 +93,10 @@ pub fn plan_compaction(snapshots: &[MachineSnapshot]) -> CompactionPlan {
 
     let mut plan = CompactionPlan::default();
     for &candidate in &order {
-        let idx = pool.iter().position(|m| m.pm == candidate).expect("in pool");
+        let idx = pool
+            .iter()
+            .position(|m| m.pm == candidate)
+            .expect("in pool");
         if pool[idx].vms.is_empty() {
             plan.releasable.push(candidate);
             pool.remove(idx);
@@ -102,18 +105,18 @@ pub fn plan_compaction(snapshots: &[MachineSnapshot]) -> CompactionPlan {
         // Tentatively re-home every VM, largest physical footprint first.
         let mut to_move = pool[idx].vms.clone();
         to_move.sort_by_key(|(id, spec)| {
-            (std::cmp::Reverse(spec.physical_cpu()), std::cmp::Reverse(spec.mem_mib()), *id)
+            (
+                std::cmp::Reverse(spec.physical_cpu()),
+                std::cmp::Reverse(spec.mem_mib()),
+                *id,
+            )
         });
         let mut trial: Vec<MachineSnapshot> =
             pool.iter().filter(|m| m.pm != candidate).cloned().collect();
         // Fullest destinations first (First-Fit-Decreasing flavor).
         trial.sort_by_key(|m| {
             let a = m.alloc();
-            (
-                std::cmp::Reverse(a.cpu),
-                std::cmp::Reverse(a.mem_mib),
-                m.pm,
-            )
+            (std::cmp::Reverse(a.cpu), std::cmp::Reverse(a.mem_mib), m.pm)
         });
         let mut moves = Vec::new();
         let mut ok = true;
@@ -121,7 +124,11 @@ pub fn plan_compaction(snapshots: &[MachineSnapshot]) -> CompactionPlan {
             match trial.iter_mut().find(|m| m.fits(spec)) {
                 Some(dest) => {
                     dest.vms.push((*id, *spec));
-                    moves.push(Move { vm: *id, from: candidate, to: dest.pm });
+                    moves.push(Move {
+                        vm: *id,
+                        from: candidate,
+                        to: dest.pm,
+                    });
                 }
                 None => {
                     ok = false;
@@ -140,6 +147,40 @@ pub fn plan_compaction(snapshots: &[MachineSnapshot]) -> CompactionPlan {
     plan
 }
 
+/// [`plan_compaction`] with telemetry: a span over the planning pass
+/// plus a [`CompactionPlanned`](slackvm_telemetry::Event::CompactionPlanned)
+/// event and one `CompactionMove` event per planned migration, stamped
+/// with `time_secs` (the caller's simulation clock).
+pub fn plan_compaction_recorded<R: slackvm_telemetry::Recorder>(
+    snapshots: &[MachineSnapshot],
+    time_secs: u64,
+    recorder: &mut R,
+) -> CompactionPlan {
+    let span = recorder.begin("hypervisor.compaction.plan");
+    let plan = plan_compaction(snapshots);
+    recorder.end(span);
+    if recorder.enabled() {
+        recorder.record(
+            time_secs,
+            slackvm_telemetry::Event::CompactionPlanned {
+                moves: plan.moves.len() as u32,
+                releasable: plan.releasable.len() as u32,
+            },
+        );
+        for mv in &plan.moves {
+            recorder.record(
+                time_secs,
+                slackvm_telemetry::Event::CompactionMove {
+                    vm: mv.vm,
+                    from: mv.from,
+                    to: mv.to,
+                },
+            );
+        }
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +193,10 @@ mod tests {
             vms: vms
                 .into_iter()
                 .map(|(id, vcpus, mem_gib, level)| {
-                    (VmId(id), VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level)))
+                    (
+                        VmId(id),
+                        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(level)),
+                    )
                 })
                 .collect(),
         }
@@ -220,12 +264,34 @@ mod tests {
         assert!(plan.moves.len() >= 3);
         // Every move's destination is a surviving machine.
         for mv in &plan.moves {
-            assert!(!plan.releasable.contains(&mv.to) || {
-                // ... unless that destination was itself drained later;
-                // then a later move must carry the VM onwards.
-                plan.moves.iter().any(|m2| m2.vm == mv.vm && m2.from == mv.to)
-            });
+            assert!(
+                !plan.releasable.contains(&mv.to) || {
+                    // ... unless that destination was itself drained later;
+                    // then a later move must carry the VM onwards.
+                    plan.moves
+                        .iter()
+                        .any(|m2| m2.vm == mv.vm && m2.from == mv.to)
+                }
+            );
         }
+    }
+
+    #[test]
+    fn recorded_planning_journals_the_plan() {
+        use slackvm_telemetry::Telemetry;
+        let a = snap(0, vec![(1, 10, 40, 1)]);
+        let b = snap(1, vec![(2, 10, 40, 1)]);
+        let mut telemetry = Telemetry::new();
+        let plan = plan_compaction_recorded(&[a.clone(), b.clone()], 3600, &mut telemetry);
+        assert_eq!(plan, plan_compaction(&[a, b]));
+        assert_eq!(telemetry.journal.count_kind("compaction_planned"), 1);
+        assert_eq!(
+            telemetry.journal.count_kind("compaction_move"),
+            plan.moves.len()
+        );
+        assert_eq!(telemetry.journal.records()[0].time_secs, 3600);
+        let names: Vec<&str> = telemetry.trace.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["hypervisor.compaction.plan"]);
     }
 
     #[test]

@@ -100,9 +100,40 @@ fn peak_demand(history: &[f64], quantile: f64) -> f64 {
     }
     let mut sorted: Vec<f64> = history.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((quantile.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
-        .clamp(1, sorted.len());
+    let rank =
+        ((quantile.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// [`recommend_level`] with telemetry: journals a
+/// [`LevelRecommended`](slackvm_telemetry::Event::LevelRecommended)
+/// event at `time_secs` whenever the recommendation differs from the
+/// current level (no-op retunes are not journalled; the call is still
+/// counted under `hypervisor.level_checks`).
+pub fn recommend_level_recorded<R: slackvm_telemetry::Recorder>(
+    demand_history: &[f64],
+    total_vcpus: u32,
+    current: OversubLevel,
+    config: &DynamicLevelConfig,
+    time_secs: u64,
+    recorder: &mut R,
+) -> LevelRecommendation {
+    let rec = recommend_level(demand_history, total_vcpus, current, config);
+    if recorder.enabled() {
+        recorder.count("hypervisor.level_checks", 1);
+        if rec.recommended != rec.current {
+            recorder.record(
+                time_secs,
+                slackvm_telemetry::Event::LevelRecommended {
+                    vcpus: total_vcpus,
+                    current: rec.current.ratio(),
+                    recommended: rec.recommended.ratio(),
+                    cores_freed: rec.cores_freed(),
+                },
+            );
+        }
+    }
+    rec
 }
 
 #[cfg(test)]
@@ -152,9 +183,57 @@ mod tests {
         history.push(50.0);
         let rec = recommend_level(&history, 32, OversubLevel::of(2), &cfg());
         assert!((rec.peak_demand_cores - 1.0).abs() < 1e-12);
-        let strict = DynamicLevelConfig { peak_quantile: 1.0, ..cfg() };
+        let strict = DynamicLevelConfig {
+            peak_quantile: 1.0,
+            ..cfg()
+        };
         let rec = recommend_level(&history, 32, OversubLevel::of(2), &strict);
         assert!((rec.peak_demand_cores - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorded_recommendation_journals_only_retunes() {
+        use slackvm_telemetry::{Event, Telemetry};
+        let mut telemetry = Telemetry::new();
+        // A quiet vNode: retune recommended, so an event lands.
+        let history = vec![2.0, 3.0, 4.0, 3.5, 2.5];
+        let rec = recommend_level_recorded(
+            &history,
+            48,
+            OversubLevel::of(3),
+            &cfg(),
+            7200,
+            &mut telemetry,
+        );
+        assert_eq!(
+            rec,
+            recommend_level(&history, 48, OversubLevel::of(3), &cfg())
+        );
+        assert_eq!(telemetry.journal.count_kind("level_recommended"), 1);
+        match &telemetry.journal.records()[0].event {
+            Event::LevelRecommended {
+                current,
+                recommended,
+                cores_freed,
+                ..
+            } => {
+                assert_eq!(*current, 3);
+                assert_eq!(*recommended, 8);
+                assert_eq!(*cores_freed, 10);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Already at the recommended level: counted, not journalled.
+        recommend_level_recorded(
+            &history,
+            48,
+            OversubLevel::of(8),
+            &cfg(),
+            7200,
+            &mut telemetry,
+        );
+        assert_eq!(telemetry.journal.len(), 1);
+        assert_eq!(telemetry.metrics.counter("hypervisor.level_checks"), 2);
     }
 
     proptest! {

@@ -55,7 +55,9 @@ mod tests {
             needed: 2,
             free: 1,
         };
-        assert!(e.to_string().contains("vNode 3:1 needs 2 more core(s), 1 free"));
+        assert!(e
+            .to_string()
+            .contains("vNode 3:1 needs 2 more core(s), 1 free"));
         let e = HypervisorError::LevelMismatch {
             host_level: OversubLevel::of(1),
             vm_level: OversubLevel::of(2),

@@ -77,11 +77,8 @@ mod tests {
 
     #[test]
     fn layout_shows_spans_and_free_cores() {
-        let mut m = PhysicalMachine::with_topology_policy(
-            PmId(0),
-            Arc::new(builders::flat(8)),
-            gib(32),
-        );
+        let mut m =
+            PhysicalMachine::with_topology_policy(PmId(0), Arc::new(builders::flat(8)), gib(32));
         m.deploy(VmId(0), VmSpec::of(2, gib(2), OversubLevel::of(1)))
             .unwrap();
         m.deploy(VmId(1), VmSpec::of(3, gib(3), OversubLevel::of(3)))
@@ -109,11 +106,7 @@ mod tests {
 
     #[test]
     fn empty_machine_renders_all_free() {
-        let m = PhysicalMachine::with_topology_policy(
-            PmId(2),
-            Arc::new(builders::flat(4)),
-            gib(8),
-        );
+        let m = PhysicalMachine::with_topology_policy(PmId(2), Arc::new(builders::flat(4)), gib(8));
         let layout = render_layout(&m);
         assert!(layout.contains("[....]"));
         assert!(layout.contains("0 VM(s)"));

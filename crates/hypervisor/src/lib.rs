@@ -34,8 +34,10 @@ pub mod uniform;
 pub mod virtual_topology;
 pub mod vnode;
 
-pub use compaction::{plan_compaction, CompactionPlan, MachineSnapshot};
-pub use dynamic::{recommend_level, DynamicLevelConfig, LevelRecommendation};
+pub use compaction::{plan_compaction, plan_compaction_recorded, CompactionPlan, MachineSnapshot};
+pub use dynamic::{
+    recommend_level, recommend_level_recorded, DynamicLevelConfig, LevelRecommendation,
+};
 pub use error::HypervisorError;
 pub use host::Host;
 pub use layout::render_layout;

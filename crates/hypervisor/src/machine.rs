@@ -3,12 +3,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use slackvm_model::{
-    AllocView, Millicores, OversubLevel, PmConfig, PmId, VmId, VmSpec,
-};
-use slackvm_topology::{
-    CoreId, CpuTopology, DistanceMatrix, SelectionPolicy, TopologySelection,
-};
+use slackvm_model::{AllocView, Millicores, OversubLevel, PmConfig, PmId, VmId, VmSpec};
+use slackvm_topology::{CoreId, CpuTopology, DistanceMatrix, SelectionPolicy, TopologySelection};
 
 use crate::error::HypervisorError;
 use crate::host::Host;
@@ -200,7 +196,10 @@ impl PhysicalMachine {
         }
         let fresh = !self.vnodes.contains_key(&level);
         let occupied: Vec<CoreId> = self.assigned.iter().copied().collect();
-        let vnode = self.vnodes.entry(level).or_insert_with(|| VNode::new(level));
+        let vnode = self
+            .vnodes
+            .entry(level)
+            .or_insert_with(|| VNode::new(level));
         if fresh {
             self.churn.vnodes_created += 1;
         }
@@ -575,8 +574,7 @@ mod tests {
 
     #[test]
     fn mem_oversubscription_expands_effective_capacity() {
-        let policy =
-            slackvm_model::OversubPolicy::new(OversubLevel::of(1), 1.5).unwrap();
+        let policy = slackvm_model::OversubPolicy::new(OversubLevel::of(1), 1.5).unwrap();
         let m = PhysicalMachine::with_mem_oversub(
             PmId(7),
             Arc::new(builders::flat(32)),

@@ -116,6 +116,61 @@ pub fn execution_spans(machine: &PhysicalMachine, pooling: bool) -> Vec<Executio
     spans
 }
 
+/// [`execution_spans`] with telemetry.
+///
+/// When pooling is requested and the machine hosts oversubscribed
+/// vNodes, exactly one of two events is journalled at `time_secs`:
+/// [`VNodePooled`](slackvm_telemetry::Event::VNodePooled) describing the
+/// merged span, or
+/// [`VNodeUnpooled`](slackvm_telemetry::Event::VNodeUnpooled) when the
+/// union would violate the strictest guarantee and the vNodes kept their
+/// own spans.
+pub fn execution_spans_recorded<R: slackvm_telemetry::Recorder>(
+    machine: &PhysicalMachine,
+    pooling: bool,
+    time_secs: u64,
+    recorder: &mut R,
+) -> Vec<ExecutionSpan> {
+    let span = recorder.begin("hypervisor.pooling.spans");
+    let spans = execution_spans(machine, pooling);
+    recorder.end(span);
+    if recorder.enabled() && pooling {
+        use crate::host::Host;
+        let oversub: Vec<u32> = machine
+            .vnodes()
+            .filter(|v| !v.level().is_premium())
+            .map(|v| v.level().ratio())
+            .collect();
+        if !oversub.is_empty() {
+            // A successful merge leaves exactly one non-premium span;
+            // the conservative fallback leaves one per vNode.
+            let merged: Vec<&ExecutionSpan> =
+                spans.iter().filter(|s| !s.guarantee.is_premium()).collect();
+            if let [only] = merged.as_slice() {
+                recorder.record(
+                    time_secs,
+                    slackvm_telemetry::Event::VNodePooled {
+                        pm: machine.id(),
+                        levels: only.levels.iter().map(|l| l.ratio()).collect(),
+                        cores: only.cores.len() as u32,
+                        vcpus: only.total_vcpus,
+                        guarantee: only.guarantee.ratio(),
+                    },
+                );
+            } else {
+                recorder.record(
+                    time_secs,
+                    slackvm_telemetry::Event::VNodeUnpooled {
+                        pm: machine.id(),
+                        levels: oversub,
+                    },
+                );
+            }
+        }
+    }
+    spans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,7 +255,10 @@ mod tests {
         };
         assert!((span.pressure() - 2.0).abs() < 1e-12);
         assert!(span.is_valid());
-        let over = ExecutionSpan { total_vcpus: 9, ..span };
+        let over = ExecutionSpan {
+            total_vcpus: 9,
+            ..span
+        };
         assert!(!over.is_valid());
     }
 
@@ -208,5 +266,46 @@ mod tests {
     fn empty_machine_has_no_spans() {
         let m = machine();
         assert!(execution_spans(&m, true).is_empty());
+    }
+
+    #[test]
+    fn recorded_spans_journal_pooling_outcome() {
+        use slackvm_telemetry::{Event, Telemetry};
+        // Feasible pool: 2:1 and 3:1 merge.
+        let mut m = machine();
+        m.deploy(VmId(0), spec(4, 4, 2)).unwrap();
+        m.deploy(VmId(1), spec(3, 3, 3)).unwrap();
+        let mut telemetry = Telemetry::new();
+        let spans = execution_spans_recorded(&m, true, 60, &mut telemetry);
+        assert_eq!(spans, execution_spans(&m, true));
+        assert_eq!(telemetry.journal.count_kind("v_node_pooled"), 1);
+        match &telemetry.journal.records()[0].event {
+            Event::VNodePooled {
+                pm,
+                levels,
+                guarantee,
+                ..
+            } => {
+                assert_eq!(*pm, PmId(0));
+                assert_eq!(levels, &vec![2, 3]);
+                assert_eq!(*guarantee, 2);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+
+        // Infeasible pool: the fallback is journalled as unpooled.
+        let mut full = machine();
+        full.deploy(VmId(0), spec(26, 26, 1)).unwrap();
+        full.deploy(VmId(1), spec(8, 8, 2)).unwrap();
+        full.deploy(VmId(2), spec(6, 6, 3)).unwrap();
+        let mut telemetry = Telemetry::new();
+        execution_spans_recorded(&full, true, 60, &mut telemetry);
+        assert_eq!(telemetry.journal.count_kind("v_node_unpooled"), 1);
+
+        // Pooling off: spans are computed but nothing is journalled.
+        let mut telemetry = Telemetry::new();
+        execution_spans_recorded(&m, false, 60, &mut telemetry);
+        assert!(telemetry.journal.is_empty());
+        assert_eq!(telemetry.trace.spans()[0].name, "hypervisor.pooling.spans");
     }
 }

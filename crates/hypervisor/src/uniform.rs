@@ -171,7 +171,11 @@ mod tests {
     use slackvm_model::gib;
 
     fn host(level: u32) -> UniformMachine {
-        UniformMachine::new(PmId(0), PmConfig::simulation_host(), OversubLevel::of(level))
+        UniformMachine::new(
+            PmId(0),
+            PmConfig::simulation_host(),
+            OversubLevel::of(level),
+        )
     }
 
     fn spec(vcpus: u32, mem_gib: u64, level: u32) -> VmSpec {

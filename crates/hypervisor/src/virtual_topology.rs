@@ -119,18 +119,12 @@ mod tests {
     fn sibling_dense_vs_fragmented_span() {
         let topo = builders::dual_epyc_7662();
         // Two complete pairs: density 1.
-        let dense = VirtualTopology::of(
-            &topo,
-            &[CoreId(0), CoreId(1), CoreId(2), CoreId(3)],
-        );
+        let dense = VirtualTopology::of(&topo, &[CoreId(0), CoreId(1), CoreId(2), CoreId(3)]);
         assert_eq!(dense.smt_pairs, 2);
         assert_eq!(dense.sibling_density(), 1.0);
         assert!(dense.single_socket());
         // Four lone threads from distinct cores: density 0.
-        let frag = VirtualTopology::of(
-            &topo,
-            &[CoreId(0), CoreId(2), CoreId(4), CoreId(6)],
-        );
+        let frag = VirtualTopology::of(&topo, &[CoreId(0), CoreId(2), CoreId(4), CoreId(6)]);
         assert_eq!(frag.smt_pairs, 0);
         assert_eq!(frag.sibling_density(), 0.0);
         assert_eq!(frag.physical_cores, 4);

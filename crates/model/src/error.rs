@@ -52,7 +52,10 @@ mod tests {
         let e = ModelError::InvalidOversubLevel(0);
         assert!(e.to_string().contains("oversubscription level 0"));
 
-        let e = ModelError::EmptyVmSpec { vcpus: 0, mem_mib: 4 };
+        let e = ModelError::EmptyVmSpec {
+            vcpus: 0,
+            mem_mib: 4,
+        };
         assert!(e.to_string().contains("0 vCPU"));
 
         let e = ModelError::Underflow {

@@ -16,9 +16,7 @@ use crate::resources::Millicores;
 /// `OversubLevel(1)` is the premium, non-oversubscribed tier. Ordering
 /// follows `n`: a *lower* level is *stricter* (fewer vCPUs may contend for
 /// a core), which drives the vNode pooling rule of paper §V-B.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct OversubLevel(u32);
 
@@ -107,13 +105,19 @@ pub struct OversubPolicy {
 impl OversubPolicy {
     /// A CPU-only policy at level `n:1` with no memory oversubscription.
     pub fn cpu_only(level: OversubLevel) -> Self {
-        OversubPolicy { cpu: level, mem_ratio: 1.0 }
+        OversubPolicy {
+            cpu: level,
+            mem_ratio: 1.0,
+        }
     }
 
     /// A policy oversubscribing both CPU and memory.
     pub fn new(level: OversubLevel, mem_ratio: f64) -> Result<Self, ModelError> {
         if mem_ratio.is_finite() && mem_ratio >= 1.0 {
-            Ok(OversubPolicy { cpu: level, mem_ratio })
+            Ok(OversubPolicy {
+                cpu: level,
+                mem_ratio,
+            })
         } else {
             Err(ModelError::InvalidMemRatio(mem_ratio))
         }
@@ -195,7 +199,9 @@ mod tests {
             "cpu 2:1"
         );
         assert_eq!(
-            OversubPolicy::new(OversubLevel::of(16), 1.5).unwrap().to_string(),
+            OversubPolicy::new(OversubLevel::of(16), 1.5)
+                .unwrap()
+                .to_string(),
             "cpu 16:1 / mem 1.50:1"
         );
     }

@@ -7,9 +7,7 @@ use crate::ratio::MemPerCore;
 use crate::resources::Millicores;
 
 /// Opaque, stable identifier of a physical machine within a cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PmId(pub u32);
 
@@ -99,8 +97,14 @@ mod tests {
 
     #[test]
     fn paper_hosts_have_target_ratio_four() {
-        assert_eq!(PmConfig::simulation_host().target_ratio().gib_per_core(), 4.0);
-        assert_eq!(PmConfig::epyc_7662_dual().target_ratio().gib_per_core(), 4.0);
+        assert_eq!(
+            PmConfig::simulation_host().target_ratio().gib_per_core(),
+            4.0
+        );
+        assert_eq!(
+            PmConfig::epyc_7662_dual().target_ratio().gib_per_core(),
+            4.0
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ pub struct Resources {
 
 impl Resources {
     /// Zero resources.
-    pub const ZERO: Resources = Resources { vcpus: 0, mem_mib: 0 };
+    pub const ZERO: Resources = Resources {
+        vcpus: 0,
+        mem_mib: 0,
+    };
 
     /// Constructs a resource vector.
     #[inline]

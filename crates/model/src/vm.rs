@@ -7,9 +7,7 @@ use crate::oversub::OversubLevel;
 use crate::resources::{Millicores, Resources};
 
 /// Opaque, stable identifier of a VM within a workload or cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct VmId(pub u64);
 

@@ -122,12 +122,7 @@ mod tests {
         );
         // A small grid around the defaults keeps the test fast; the full
         // grid (`calibrate`) is exercised by the bench harness.
-        let fit = calibrate_grid(
-            &targets,
-            2400,
-            &[1.0, 1.16, 1.4],
-            &[0.8, 1.2, 2.0],
-        );
+        let fit = calibrate_grid(&targets, 2400, &[1.0, 1.16, 1.4], &[0.8, 1.2, 2.0]);
         assert!(
             fit.residual <= default_residual + 1e-9,
             "fit {:.4} vs default {:.4}",

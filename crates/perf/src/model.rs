@@ -74,7 +74,12 @@ impl ContentionModel {
 
     /// The slowdown a task on the span experiences at load `rho`.
     pub fn slowdown(&self, rho: f64) -> f64 {
-        slowdown_with(rho, self.pressure_coeff, self.pressure_exp, self.max_slowdown)
+        slowdown_with(
+            rho,
+            self.pressure_coeff,
+            self.pressure_exp,
+            self.max_slowdown,
+        )
     }
 }
 
@@ -115,8 +120,8 @@ mod tests {
         assert_eq!(m.span_capacity(128, 256), 160.0); // the EPYC testbed
         assert_eq!(m.span_capacity(32, 32), 32.0); // no SMT
         assert_eq!(m.span_capacity(28, 56), 35.0); // a 3:1 vNode span
-        // Degenerate: more cores than threads behaves as thread count
-        // equal to cores (extra = 0).
+                                                   // Degenerate: more cores than threads behaves as thread count
+                                                   // equal to cores (extra = 0).
         assert_eq!(m.span_capacity(4, 2), 4.0);
     }
 
@@ -145,16 +150,28 @@ mod tests {
     fn shape_capacity_penalizes_foreign_siblings() {
         let m = ContentionModel::default();
         // A whole-machine shape: 128 paired cores -> 160.
-        let whole = SpanShape { paired_cores: 128, solo_threads: 0, shared_threads: 0 };
+        let whole = SpanShape {
+            paired_cores: 128,
+            solo_threads: 0,
+            shared_threads: 0,
+        };
         assert_eq!(m.capacity_of(&whole), 160.0);
         assert_eq!(whole.threads(), 256);
         // A fragmented vNode: 3 paired cores, 35 threads whose siblings
         // belong to other vNodes.
-        let frag = SpanShape { paired_cores: 3, solo_threads: 0, shared_threads: 35 };
+        let frag = SpanShape {
+            paired_cores: 3,
+            solo_threads: 0,
+            shared_threads: 35,
+        };
         assert_eq!(m.capacity_of(&frag), 3.0 * 1.25 + 35.0 * 0.5);
         assert_eq!(frag.threads(), 41);
         // The same 41 threads fully owned would deliver far more.
-        let owned = SpanShape { paired_cores: 3, solo_threads: 35, shared_threads: 0 };
+        let owned = SpanShape {
+            paired_cores: 3,
+            solo_threads: 35,
+            shared_threads: 0,
+        };
         assert!(m.capacity_of(&owned) > m.capacity_of(&frag) * 1.8);
     }
 

@@ -74,6 +74,18 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_percentile() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], q), Some(42.0));
+        }
+        let p = Percentiles::of(&[42.0]).unwrap();
+        assert_eq!(
+            (p.p50, p.p90, p.p99, p.max, p.count),
+            (42.0, 42.0, 42.0, 42.0, 1)
+        );
+    }
+
+    #[test]
     fn unsorted_input_is_handled() {
         let s = vec![5.0, 1.0, 4.0, 2.0, 3.0];
         assert_eq!(percentile(&s, 0.5), Some(3.0));
@@ -109,6 +121,30 @@ mod tests {
         ) {
             let v = percentile(&samples, q).unwrap();
             prop_assert!(samples.contains(&v));
+        }
+
+        #[test]
+        fn summary_matches_exact_sorted_quantile_oracle(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..300),
+        ) {
+            // The oracle: an independent nearest-rank computation on an
+            // explicitly sorted copy.
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            let oracle = |q: f64| {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            };
+            let p = Percentiles::of(&samples).unwrap();
+            prop_assert_eq!(p.p50, oracle(0.50));
+            prop_assert_eq!(p.p90, oracle(0.90));
+            prop_assert_eq!(p.p99, oracle(0.99));
+            prop_assert_eq!(p.max, *sorted.last().unwrap());
+            prop_assert_eq!(p.count, samples.len());
+            // And the standalone function agrees with the summary.
+            prop_assert_eq!(percentile(&samples, 0.9), Some(p.p90));
+            // Ordering invariant of the summary itself.
+            prop_assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
         }
     }
 }

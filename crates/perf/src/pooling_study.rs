@@ -59,7 +59,11 @@ impl PoolingOutcome {
 pub fn pooling_benefit(seed: u64, target_fill: f64, base_latency_ms: f64) -> PoolingOutcome {
     let topology = Arc::new(builders::dual_epyc_7662());
     let catalog = azure();
-    let levels = [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)];
+    let levels = [
+        OversubLevel::of(1),
+        OversubLevel::of(2),
+        OversubLevel::of(3),
+    ];
     let mut machine =
         PhysicalMachine::with_topology_policy(PmId(0), Arc::clone(&topology), gib(1024));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -101,8 +105,7 @@ pub fn pooling_benefit(seed: u64, target_fill: f64, base_latency_ms: f64) -> Poo
                     .filter(|(j, _)| *j != i)
                     .flat_map(|(_, s)| s.cores.iter().copied())
                     .collect();
-                let vms: Vec<VmInstance> =
-                    span.vm_ids.iter().map(|id| by_id[id].clone()).collect();
+                let vms: Vec<VmInstance> = span.vm_ids.iter().map(|id| by_id[id].clone()).collect();
                 ComputeSpan::from_cores(
                     "span",
                     span.levels.clone(),

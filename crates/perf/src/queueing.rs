@@ -35,7 +35,7 @@ pub fn erlang_c(servers: u32, rho: f64) -> f64 {
         return 0.0;
     }
     let a = rho * servers as f64; // offered load in Erlangs
-    // Erlang-B by recursion: B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1)).
+                                  // Erlang-B by recursion: B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1)).
     let mut b = 1.0f64;
     for k in 1..=servers {
         b = a * b / (k as f64 + a * b);

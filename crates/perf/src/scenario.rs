@@ -17,8 +17,8 @@ use slackvm_workload::{CpuUsageModel, UsageClass, VmInstance};
 
 use crate::latency::{latency_jitter, LatencyCollector};
 use crate::model::ContentionModel;
-use crate::queueing::MmcModel;
 use crate::percentile::Percentiles;
+use crate::queueing::MmcModel;
 use crate::span::ComputeSpan;
 
 /// Configuration of the physical-experiment reproduction.
@@ -104,7 +104,11 @@ impl Fig2Scenario {
     /// Runs the experiment with the paper's levels (1:1, 2:1, 3:1) and
     /// the Azure size distribution on the Table III testbed.
     pub fn run(&self) -> Fig2Outcome {
-        let levels = [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)];
+        let levels = [
+            OversubLevel::of(1),
+            OversubLevel::of(2),
+            OversubLevel::of(3),
+        ];
         let catalog = azure();
         let topology = Arc::new(builders::dual_epyc_7662());
         let mem = gib(1024);
@@ -168,11 +172,7 @@ impl Fig2Scenario {
                     .join("+")
             );
             span_threads.push((label.clone(), span.cores.len() as u32));
-            let vms: Vec<VmInstance> = span
-                .vm_ids
-                .iter()
-                .map(|id| by_id[id].clone())
-                .collect();
+            let vms: Vec<VmInstance> = span.vm_ids.iter().map(|id| by_id[id].clone()).collect();
             // CPUs pinned to the *other* execution spans: their busy
             // siblings halve this span's fragmented cores.
             let foreign: Vec<_> = exec
@@ -241,10 +241,11 @@ impl Fig2Scenario {
                 let s = match self.curve {
                     SlowdownCurve::Convex => self.model.slowdown(rho),
                     SlowdownCurve::Mmc => {
-                        let servers =
-                            self.model.capacity_of(&span.shape).round().max(1.0) as u32;
-                        MmcModel { max_slowdown: self.model.max_slowdown }
-                            .slowdown(servers, rho)
+                        let servers = self.model.capacity_of(&span.shape).round().max(1.0) as u32;
+                        MmcModel {
+                            max_slowdown: self.model.max_slowdown,
+                        }
+                        .slowdown(servers, rho)
                     }
                 };
                 for vm in span.interactive_vms() {
@@ -265,7 +266,12 @@ impl Fig2Scenario {
 /// from the paper's 10/60/30 class mix with CloudFactory-like utilization
 /// levels (most VMs run well below their allocation; the benchmark class
 /// bursts; interactive load follows a shared diurnal wave).
-pub(crate) fn sample_vm<R: Rng>(rng: &mut R, catalog: &Catalog, level: OversubLevel, id: u64) -> VmInstance {
+pub(crate) fn sample_vm<R: Rng>(
+    rng: &mut R,
+    catalog: &Catalog,
+    level: OversubLevel,
+    id: u64,
+) -> VmInstance {
     let flavor = catalog.sample_for_level(rng, level);
     let spec = VmSpec::of(flavor.request.vcpus, flavor.request.mem_mib, level);
     let seed: u64 = rng.gen();
@@ -366,7 +372,12 @@ mod tests {
         assert!(out.levels[2].baseline_vms > out.levels[0].baseline_vms);
         assert!(out.slackvm_total_vms > 100);
         for row in &out.levels {
-            assert!(row.slackvm_vms > 20, "{} hosts {}", row.level, row.slackvm_vms);
+            assert!(
+                row.slackvm_vms > 20,
+                "{} hosts {}",
+                row.level,
+                row.slackvm_vms
+            );
         }
     }
 
@@ -383,7 +394,11 @@ mod tests {
         // uncontended (economies of scale), so allow jitter-level ties.
         assert!(rows[0].baseline_ms <= rows[1].baseline_ms * 1.02);
         assert!(rows[1].baseline_ms <= rows[2].baseline_ms * 1.02);
-        assert!(rows[0].overhead < 1.15, "premium overhead {}", rows[0].overhead);
+        assert!(
+            rows[0].overhead < 1.15,
+            "premium overhead {}",
+            rows[0].overhead
+        );
         assert!(
             rows[2].overhead > rows[0].overhead,
             "3:1 should pay the most under M/M/c too"

@@ -46,8 +46,7 @@ impl Slo {
         if samples.is_empty() {
             return 0.0;
         }
-        samples.iter().filter(|&&s| s > self.threshold_ms).count() as f64
-            / samples.len() as f64
+        samples.iter().filter(|&&s| s > self.threshold_ms).count() as f64 / samples.len() as f64
     }
 }
 
@@ -62,15 +61,14 @@ impl SloPolicy {
     /// A policy scaled from a premium baseline: level `n` gets
     /// `base_ms × n × slack` as its threshold — looser guarantees for
     /// cheaper tiers.
-    pub fn scaled(base_ms: f64, slack: f64, levels: impl IntoIterator<Item = OversubLevel>) -> Self {
+    pub fn scaled(
+        base_ms: f64,
+        slack: f64,
+        levels: impl IntoIterator<Item = OversubLevel>,
+    ) -> Self {
         let objectives = levels
             .into_iter()
-            .map(|level| {
-                (
-                    level,
-                    Slo::new(base_ms * level.ratio() as f64 * slack, 0.9),
-                )
-            })
+            .map(|level| (level, Slo::new(base_ms * level.ratio() as f64 * slack, 0.9)))
             .collect();
         SloPolicy { objectives }
     }
@@ -176,7 +174,11 @@ mod tests {
 
     #[test]
     fn scaled_policy_loosens_with_level() {
-        let levels = [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)];
+        let levels = [
+            OversubLevel::of(1),
+            OversubLevel::of(2),
+            OversubLevel::of(3),
+        ];
         let policy = SloPolicy::scaled(1.5, 2.0, levels);
         let t = |n: u32| policy.get(OversubLevel::of(n)).unwrap().threshold_ms;
         assert_eq!(t(1), 3.0);

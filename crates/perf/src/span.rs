@@ -155,7 +155,14 @@ mod tests {
         let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vec![]);
         assert_eq!(span.threads, 4);
         assert_eq!(span.physical_cores, 2);
-        assert_eq!(span.shape, SpanShape { paired_cores: 2, solo_threads: 0, shared_threads: 0 });
+        assert_eq!(
+            span.shape,
+            SpanShape {
+                paired_cores: 2,
+                solo_threads: 0,
+                shared_threads: 0
+            }
+        );
         let whole = ComputeSpan::whole_machine("m", OversubLevel::of(1), &topo, vec![]);
         assert_eq!(whole.threads, 256);
         assert_eq!(whole.physical_cores, 128);
@@ -177,7 +184,11 @@ mod tests {
         );
         assert_eq!(
             span.shape,
-            SpanShape { paired_cores: 0, solo_threads: 1, shared_threads: 1 }
+            SpanShape {
+                paired_cores: 0,
+                solo_threads: 1,
+                shared_threads: 1
+            }
         );
         assert_eq!(span.shape.threads(), 2);
     }
@@ -189,7 +200,11 @@ mod tests {
         let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vec![]);
         assert_eq!(
             span.shape,
-            SpanShape { paired_cores: 0, solo_threads: 8, shared_threads: 0 }
+            SpanShape {
+                paired_cores: 0,
+                solo_threads: 8,
+                shared_threads: 0
+            }
         );
     }
 
@@ -197,8 +212,18 @@ mod tests {
     fn demand_sums_over_vms() {
         let topo = builders::flat(8);
         let vms = vec![
-            vm(0, 2, UsageClass::Stress, CpuUsageModel::Constant { base: 0.5 }),
-            vm(1, 4, UsageClass::Idle, CpuUsageModel::Constant { base: 0.25 }),
+            vm(
+                0,
+                2,
+                UsageClass::Stress,
+                CpuUsageModel::Constant { base: 0.5 },
+            ),
+            vm(
+                1,
+                4,
+                UsageClass::Idle,
+                CpuUsageModel::Constant { base: 0.25 },
+            ),
         ];
         let cores: Vec<CoreId> = topo.core_ids().collect();
         let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vms);
@@ -212,9 +237,19 @@ mod tests {
     fn interactive_filter() {
         let topo = builders::flat(4);
         let vms = vec![
-            vm(0, 1, UsageClass::Interactive, CpuUsageModel::Idle { base: 0.1 }),
+            vm(
+                0,
+                1,
+                UsageClass::Interactive,
+                CpuUsageModel::Idle { base: 0.1 },
+            ),
             vm(1, 1, UsageClass::Stress, CpuUsageModel::Idle { base: 0.1 }),
-            vm(2, 1, UsageClass::Interactive, CpuUsageModel::Idle { base: 0.1 }),
+            vm(
+                2,
+                1,
+                UsageClass::Interactive,
+                CpuUsageModel::Idle { base: 0.1 },
+            ),
         ];
         let cores: Vec<CoreId> = topo.core_ids().collect();
         let span = ComputeSpan::from_cores("x", vec![], &topo, &cores, &[], vms);

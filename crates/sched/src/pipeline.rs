@@ -1,6 +1,7 @@
 //! The filter-then-score placement pipeline.
 
 use slackvm_model::{AllocView, PmConfig, PmId, VmSpec};
+use slackvm_telemetry::Recorder;
 
 use crate::scorers::Scorer;
 
@@ -104,6 +105,31 @@ impl PlacementPolicy {
             }
         }
     }
+
+    /// [`PlacementPolicy::select`] with span timing and candidate
+    /// accounting around the scoring loop.
+    ///
+    /// With a disabled recorder (e.g. `NullRecorder`) this is exactly
+    /// `select`: `begin` returns `None` without reading the clock, the
+    /// `enabled()` guard skips the counters, and nothing allocates.
+    pub fn select_recorded<R: Recorder>(
+        &self,
+        candidates: &[Candidate],
+        vm: &VmSpec,
+        recorder: &mut R,
+    ) -> Option<PmId> {
+        let span = recorder.begin("sched.select");
+        let picked = self.select(candidates, vm);
+        recorder.end(span);
+        if recorder.enabled() {
+            recorder.count("sched.selections", 1);
+            recorder.count("sched.candidates_scored", candidates.len() as u64);
+            if picked.is_none() {
+                recorder.count("sched.no_candidate", 1);
+            }
+        }
+        picked
+    }
 }
 
 impl std::fmt::Debug for PlacementPolicy {
@@ -147,12 +173,33 @@ impl Scheduler {
     /// Runs the pipeline: drops candidates failing any filter, then
     /// delegates to the policy.
     pub fn place(&self, candidates: &[Candidate], vm: &VmSpec) -> Option<PmId> {
+        self.place_recorded(candidates, vm, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`Scheduler::place`] with per-stage telemetry: a span over the
+    /// whole pipeline, a count of filtered-out candidates, and the
+    /// scoring-loop span from [`PlacementPolicy::select_recorded`].
+    pub fn place_recorded<R: Recorder>(
+        &self,
+        candidates: &[Candidate],
+        vm: &VmSpec,
+        recorder: &mut R,
+    ) -> Option<PmId> {
+        let span = recorder.begin("sched.place");
         let surviving: Vec<Candidate> = candidates
             .iter()
             .filter(|c| self.filters.iter().all(|f| f.accepts(c, vm)))
             .copied()
             .collect();
-        self.policy.select(&surviving, vm)
+        if recorder.enabled() {
+            recorder.count(
+                "sched.filtered_out",
+                (candidates.len() - surviving.len()) as u64,
+            );
+        }
+        let picked = self.policy.select_recorded(&surviving, vm, recorder);
+        recorder.end(span);
+        picked
     }
 }
 
@@ -264,6 +311,50 @@ mod tests {
         // Identical candidates (constant scores): lowest id wins.
         let same = vec![cand(4, 8, 32), cand(2, 8, 32), cand(7, 8, 32)];
         assert_eq!(policy.select(&same, &vm(1, 1)), Some(PmId(2)));
+    }
+
+    #[test]
+    fn recorded_select_matches_plain_and_counts() {
+        use slackvm_telemetry::{NullRecorder, Recorder as _, Telemetry};
+        let policy = PlacementPolicy::scored(BestFitScorer);
+        let cands = vec![cand(1, 2, 8), cand(9, 28, 112)];
+        let spec = vm(1, 4);
+        let mut telemetry = Telemetry::new();
+        let recorded = policy.select_recorded(&cands, &spec, &mut telemetry);
+        assert_eq!(recorded, policy.select(&cands, &spec));
+        assert_eq!(telemetry.metrics.counter("sched.selections"), 1);
+        assert_eq!(telemetry.metrics.counter("sched.candidates_scored"), 2);
+        assert_eq!(telemetry.metrics.counter("sched.no_candidate"), 0);
+        assert_eq!(telemetry.trace.len(), 1);
+        assert_eq!(telemetry.trace.spans()[0].name, "sched.select");
+        // Empty candidate set: the miss is counted.
+        policy.select_recorded(&[], &spec, &mut telemetry);
+        assert_eq!(telemetry.metrics.counter("sched.no_candidate"), 1);
+        // The null recorder changes nothing about the decision.
+        let mut null = NullRecorder;
+        assert!(!null.enabled());
+        assert_eq!(policy.select_recorded(&cands, &spec, &mut null), recorded);
+    }
+
+    #[test]
+    fn recorded_pipeline_counts_filter_drops() {
+        use crate::filters::MaxVmsFilter;
+        use slackvm_telemetry::Telemetry;
+        let sched =
+            Scheduler::new(PlacementPolicy::FirstFit).with_filter(MaxVmsFilter { max_vms: 5 });
+        let mut crowded = cand(0, 4, 4);
+        crowded.vms = 9;
+        let cands = vec![crowded, cand(2, 0, 0)];
+        let mut telemetry = Telemetry::new();
+        let picked = sched.place_recorded(&cands, &vm(1, 1), &mut telemetry);
+        assert_eq!(picked, Some(PmId(2)));
+        assert_eq!(telemetry.metrics.counter("sched.filtered_out"), 1);
+        assert_eq!(telemetry.metrics.counter("sched.candidates_scored"), 1);
+        // Both the pipeline span and the scoring span were timed.
+        let names: Vec<&str> = telemetry.trace.spans().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"sched.place"));
+        assert!(names.contains(&"sched.select"));
+        assert!(telemetry.metrics.histogram("sched.select").is_some());
     }
 
     #[test]

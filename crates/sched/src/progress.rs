@@ -142,7 +142,10 @@ mod tests {
         // raw -0.5 ×(1+0.125)= -0.5625. heavy: next=(32+4)/(16+4)=1.8,
         // Δ 2->2.2, raw -0.2 ×1.5 = -0.3. The *factor* amplified both;
         // verify the factor itself by comparing with knobs off.
-        let off = ProgressConfig { negative_load_factor: false, ..knobs };
+        let off = ProgressConfig {
+            negative_load_factor: false,
+            ..knobs
+        };
         assert!(progress_score(&cfg(), &light, &v, off) > s_light);
         assert!(progress_score(&cfg(), &heavy, &v, off) > s_heavy);
     }
@@ -159,7 +162,10 @@ mod tests {
         let skewed = vm(4, 4, 1);
         assert!(progress_score(&cfg(), &empty, &skewed, knobs) < 0.0);
         // Ablation: neutral zero when the rule is off.
-        let off = ProgressConfig { empty_pm_is_ideal: false, ..knobs };
+        let off = ProgressConfig {
+            empty_pm_is_ideal: false,
+            ..knobs
+        };
         assert_eq!(progress_score(&cfg(), &empty, &skewed, off), 0.0);
     }
 

@@ -27,7 +27,9 @@ pub struct ProgressScorer {
 impl ProgressScorer {
     /// The paper-exact scorer.
     pub fn paper() -> Self {
-        ProgressScorer { knobs: ProgressConfig::default() }
+        ProgressScorer {
+            knobs: ProgressConfig::default(),
+        }
     }
 }
 
@@ -241,7 +243,10 @@ mod tests {
     fn composite_weights_sum() {
         let c = CompositeScorer::new(
             "both",
-            vec![(1.0, Box::new(BestFitScorer)), (1.0, Box::new(WorstFitScorer))],
+            vec![
+                (1.0, Box::new(BestFitScorer)),
+                (1.0, Box::new(WorstFitScorer)),
+            ],
         );
         // Equal opposite weights cancel exactly.
         let v = vm(2, 4);

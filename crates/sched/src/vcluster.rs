@@ -117,7 +117,12 @@ mod tests {
     use super::*;
 
     fn member(cores: u32, vcpus: u32, mem_mib: u64, vms: usize) -> VClusterMember {
-        VClusterMember { cores, vcpus, mem_mib, vms }
+        VClusterMember {
+            cores,
+            vcpus,
+            mem_mib,
+            vms,
+        }
     }
 
     #[test]

@@ -99,6 +99,20 @@ impl<H: Host> Cluster<H> {
         spec: VmSpec,
         policy: &PlacementPolicy,
     ) -> Result<PmId, SimError> {
+        self.deploy_recorded(id, spec, policy, 0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`Cluster::deploy`] with telemetry: the policy's scoring loop is
+    /// timed (via [`PlacementPolicy::select_recorded`]) and opening a new
+    /// host journals a `PmOpened` event at `time_secs`.
+    pub fn deploy_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        spec: VmSpec,
+        policy: &PlacementPolicy,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<PmId, SimError> {
         let candidates: Vec<Candidate> = self
             .hosts
             .iter()
@@ -111,7 +125,7 @@ impl<H: Host> Cluster<H> {
             })
             .collect();
 
-        if let Some(pm) = policy.select(&candidates, &spec) {
+        if let Some(pm) = policy.select_recorded(&candidates, &spec, recorder) {
             let host = self
                 .hosts
                 .iter_mut()
@@ -135,6 +149,9 @@ impl<H: Host> Cluster<H> {
             .map_err(|_| SimError::Unsatisfiable(id))?;
         self.hosts.push(host);
         self.placements.insert(id, pm);
+        if recorder.enabled() {
+            recorder.record(time_secs, slackvm_telemetry::Event::PmOpened { pm });
+        }
         Ok(pm)
     }
 
@@ -267,10 +284,7 @@ impl<H: Host> Cluster<H> {
 
     /// Removes a VM, returning the PM that hosted it.
     pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
-        let pm = self
-            .placements
-            .remove(&id)
-            .ok_or(SimError::UnknownVm(id))?;
+        let pm = self.placements.remove(&id).ok_or(SimError::UnknownVm(id))?;
         let host = self
             .hosts
             .iter_mut()
@@ -398,7 +412,9 @@ mod tests {
         let scheduler =
             Scheduler::new(PlacementPolicy::FirstFit).with_filter(MaxVmsFilter { max_vms: 1 });
         c.deploy_scheduled(VmId(0), spec(1, 1), &scheduler).unwrap();
-        let err = c.deploy_scheduled(VmId(1), spec(1, 1), &scheduler).unwrap_err();
+        let err = c
+            .deploy_scheduled(VmId(1), spec(1, 1), &scheduler)
+            .unwrap_err();
         assert_eq!(err, SimError::DeploymentFailed(VmId(1)));
     }
 }

@@ -31,11 +31,41 @@ impl DeploymentModel {
         }
     }
 
+    /// [`DeploymentModel::deploy`] with telemetry: scoring-loop spans,
+    /// `PmOpened`, and (on the shared pool) vNode lifecycle events, all
+    /// stamped with `time_secs`.
+    pub fn deploy_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        spec: VmSpec,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<PmId, SimError> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.deploy_recorded(id, spec, time_secs, recorder),
+            DeploymentModel::Shared(s) => s.deploy_recorded(id, spec, time_secs, recorder),
+        }
+    }
+
     /// Removes a VM.
     pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
         match self {
             DeploymentModel::Dedicated(d) => d.remove(id),
             DeploymentModel::Shared(s) => s.remove(id),
+        }
+    }
+
+    /// [`DeploymentModel::remove`] with telemetry (vNode shrink /
+    /// dissolution on the shared pool).
+    pub fn remove_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<PmId, SimError> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.remove(id),
+            DeploymentModel::Shared(s) => s.remove_recorded(id, time_secs, recorder),
         }
     }
 
@@ -46,6 +76,24 @@ impl DeploymentModel {
         match self {
             DeploymentModel::Dedicated(d) => d.resize(id, vcpus, mem_mib),
             DeploymentModel::Shared(s) => s.resize(id, vcpus, mem_mib),
+        }
+    }
+
+    /// [`DeploymentModel::resize`] with telemetry (vNode grow / shrink
+    /// on the shared pool).
+    pub fn resize_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        vcpus: u32,
+        mem_mib: u64,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<(), SimError> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.resize(id, vcpus, mem_mib),
+            DeploymentModel::Shared(s) => {
+                s.resize_recorded(id, vcpus, mem_mib, time_secs, recorder)
+            }
         }
     }
 
@@ -138,6 +186,21 @@ impl DedicatedDeployment {
         cluster.deploy(id, spec, &self.policy)
     }
 
+    fn deploy_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        spec: VmSpec,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<PmId, SimError> {
+        let cluster = self.clusters.entry(spec.level).or_insert_with(|| {
+            let config = self.config;
+            let level = spec.level;
+            Cluster::new(move |id| UniformMachine::new(id, config, level))
+        });
+        cluster.deploy_recorded(id, spec, &self.policy, time_secs, recorder)
+    }
+
     fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
         for cluster in self.clusters.values_mut() {
             if cluster.location_of(id).is_some() {
@@ -216,10 +279,7 @@ impl SharedDeployment {
     /// computes each machine's target ratio individually, so mixed
     /// hardware generations share one pool — the paper's "heterogeneous
     /// hardware" consideration (§VI) as a first-class deployment.
-    pub fn heterogeneous(
-        shapes: Vec<(Arc<CpuTopology>, u64)>,
-        policy: PlacementPolicy,
-    ) -> Self {
+    pub fn heterogeneous(shapes: Vec<(Arc<CpuTopology>, u64)>, policy: PlacementPolicy) -> Self {
         assert!(!shapes.is_empty(), "at least one worker shape required");
         let selections: Vec<Arc<dyn SelectionPolicy + Send + Sync>> = shapes
             .iter()
@@ -247,11 +307,7 @@ impl SharedDeployment {
 
     /// Builds a shared pool capped at `max_hosts` workers, for
     /// rejection-path testing and capacity-planning what-ifs.
-    pub fn with_capped_cluster(
-        topology: Arc<CpuTopology>,
-        mem_mib: u64,
-        max_hosts: u32,
-    ) -> Self {
+    pub fn with_capped_cluster(topology: Arc<CpuTopology>, mem_mib: u64, max_hosts: u32) -> Self {
         let mut pool = Self::new(topology, mem_mib);
         pool.cluster = std::mem::replace(
             &mut pool.cluster,
@@ -262,11 +318,7 @@ impl SharedDeployment {
     }
 
     /// Builds a shared pool with an explicit placement policy.
-    pub fn with_policy(
-        topology: Arc<CpuTopology>,
-        mem_mib: u64,
-        policy: PlacementPolicy,
-    ) -> Self {
+    pub fn with_policy(topology: Arc<CpuTopology>, mem_mib: u64, policy: PlacementPolicy) -> Self {
         // One distance matrix + selection policy shared by every worker.
         let selection: Arc<dyn SelectionPolicy + Send + Sync> =
             Arc::new(TopologySelection::new(DistanceMatrix::build(&topology)));
@@ -289,11 +341,37 @@ impl SharedDeployment {
     /// Fails a worker: evicts and returns its VMs, refreshing the
     /// vCluster views. The worker stays opened but out of service.
     pub fn fail_host(&mut self, pm: PmId) -> Vec<(VmId, VmSpec)> {
+        self.fail_host_recorded(pm, 0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`SharedDeployment::fail_host`] with telemetry: journals a
+    /// `HostFailed` event (with the eviction count) plus one `VmEvicted`
+    /// per displaced VM at `time_secs`. Re-placement outcomes belong to
+    /// the caller, which journals `VmReplaced` / `VmLost`.
+    pub fn fail_host_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        pm: PmId,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Vec<(VmId, VmSpec)> {
         let evicted = self.cluster.fail_host(pm);
+        if recorder.enabled() {
+            use slackvm_telemetry::Event;
+            recorder.record(
+                time_secs,
+                Event::HostFailed {
+                    pm,
+                    evicted: evicted.len() as u32,
+                },
+            );
+            for (id, _) in &evicted {
+                recorder.record(time_secs, Event::VmEvicted { vm: *id, pm });
+            }
+        }
         let levels: std::collections::BTreeSet<OversubLevel> =
             evicted.iter().map(|(_, spec)| spec.level).collect();
         for level in levels {
-            self.refresh_vcluster(pm, level);
+            self.refresh_vcluster_recorded(pm, level, time_secs, recorder);
         }
         evicted
     }
@@ -311,6 +389,21 @@ impl SharedDeployment {
     /// view. Fails without side effects when the hosting worker cannot
     /// absorb the new size.
     pub fn resize(&mut self, id: VmId, vcpus: u32, mem_mib: u64) -> Result<(), SimError> {
+        self.resize_recorded(id, vcpus, mem_mib, 0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`SharedDeployment::resize`] with telemetry: the vNode grow or
+    /// shrink an accepted resize triggers is journalled at `time_secs`
+    /// (the `VmResized` outcome event belongs to the engine, which also
+    /// sees rejected resizes).
+    pub fn resize_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        vcpus: u32,
+        mem_mib: u64,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<(), SimError> {
         let pm = self
             .cluster
             .location_of(id)
@@ -330,7 +423,7 @@ impl SharedDeployment {
             .expect("placement is consistent");
         host.resize_vm(id, vcpus, mem_mib)
             .map_err(|_| SimError::DeploymentFailed(id))?;
-        self.refresh_vcluster(pm, level);
+        self.refresh_vcluster_recorded(pm, level, time_secs, recorder);
         Ok(())
     }
 
@@ -340,9 +433,21 @@ impl SharedDeployment {
     /// destination meanwhile cannot take the VM are skipped — the plan
     /// is advisory, the cluster state is authoritative.
     pub fn compact_now(&mut self) -> (u32, u32) {
+        self.compact_now_recorded(0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`SharedDeployment::compact_now`] with telemetry: the planning
+    /// pass is timed and journalled (one `CompactionPlanned` plus a
+    /// `CompactionMove` per planned migration) at `time_secs`, and the
+    /// vNode resizes of applied moves are journalled as they land.
+    pub fn compact_now_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> (u32, u32) {
         let snapshots: Vec<slackvm_hypervisor::MachineSnapshot> =
             self.cluster.hosts().iter().map(|h| h.snapshot()).collect();
-        let plan = slackvm_hypervisor::plan_compaction(&snapshots);
+        let plan = slackvm_hypervisor::plan_compaction_recorded(&snapshots, time_secs, recorder);
         let mut migrations = 0u32;
         for mv in &plan.moves {
             // The planner may chain a VM through several hops; apply a
@@ -359,8 +464,8 @@ impl SharedDeployment {
             if self.cluster.migrate(mv.vm, mv.to).is_ok() {
                 migrations += 1;
                 if let Some(level) = level {
-                    self.refresh_vcluster(mv.from, level);
-                    self.refresh_vcluster(mv.to, level);
+                    self.refresh_vcluster_recorded(mv.from, level, time_secs, recorder);
+                    self.refresh_vcluster_recorded(mv.to, level, time_secs, recorder);
                 }
             }
         }
@@ -374,6 +479,20 @@ impl SharedDeployment {
     }
 
     fn refresh_vcluster(&mut self, pm: PmId, level: OversubLevel) {
+        self.refresh_vcluster_recorded(pm, level, 0, &mut slackvm_telemetry::NullRecorder);
+    }
+
+    /// Refreshes one vCluster membership, journalling the vNode
+    /// lifecycle transition the refresh reveals: created, grew, shrunk,
+    /// or dissolved (the local scheduler resizes spans on every arrival
+    /// and departure, paper §V).
+    fn refresh_vcluster_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        pm: PmId,
+        level: OversubLevel,
+        time_secs: u64,
+        recorder: &mut R,
+    ) {
         let member = self
             .cluster
             .hosts()
@@ -387,6 +506,48 @@ impl SharedDeployment {
                 vms: v.num_vms(),
             })
             .unwrap_or_default();
+        if recorder.enabled() {
+            use slackvm_telemetry::Event;
+            let old = self
+                .vclusters
+                .get(&level)
+                .and_then(|vc| vc.member(pm))
+                .copied()
+                .unwrap_or_default();
+            let n = level.ratio();
+            if old.vms == 0 && member.vms > 0 {
+                recorder.record(
+                    time_secs,
+                    Event::VNodeCreated {
+                        pm,
+                        level: n,
+                        cores: member.cores,
+                    },
+                );
+            } else if old.vms > 0 && member.vms == 0 {
+                recorder.record(time_secs, Event::VNodeDissolved { pm, level: n });
+            } else if member.cores > old.cores {
+                recorder.record(
+                    time_secs,
+                    Event::VNodeGrew {
+                        pm,
+                        level: n,
+                        cores_before: old.cores,
+                        cores_after: member.cores,
+                    },
+                );
+            } else if member.cores < old.cores {
+                recorder.record(
+                    time_secs,
+                    Event::VNodeShrunk {
+                        pm,
+                        level: n,
+                        cores_before: old.cores,
+                        cores_after: member.cores,
+                    },
+                );
+            }
+        }
         self.vclusters
             .entry(level)
             .or_insert_with(|| VCluster::new(level))
@@ -396,13 +557,39 @@ impl SharedDeployment {
     /// Places a VM on the shared pool (public for direct driving in
     /// tests and tools; the engine goes through [`DeploymentModel`]).
     pub fn deploy(&mut self, id: VmId, spec: VmSpec) -> Result<PmId, SimError> {
-        let pm = self.cluster.deploy(id, spec, &self.policy)?;
-        self.refresh_vcluster(pm, spec.level);
+        self.deploy_recorded(id, spec, 0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`SharedDeployment::deploy`] with telemetry: the scheduler's
+    /// scoring loop is timed, and PM-open plus vNode lifecycle events
+    /// are journalled at `time_secs`.
+    pub fn deploy_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        spec: VmSpec,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<PmId, SimError> {
+        let pm = self
+            .cluster
+            .deploy_recorded(id, spec, &self.policy, time_secs, recorder)?;
+        self.refresh_vcluster_recorded(pm, spec.level, time_secs, recorder);
         Ok(pm)
     }
 
     /// Removes a VM from the shared pool.
     pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
+        self.remove_recorded(id, 0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// [`SharedDeployment::remove`] with telemetry: the vNode shrink or
+    /// dissolution the departure triggers is journalled at `time_secs`.
+    pub fn remove_recorded<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        id: VmId,
+        time_secs: u64,
+        recorder: &mut R,
+    ) -> Result<PmId, SimError> {
         let level = self
             .cluster
             .location_of(id)
@@ -415,7 +602,7 @@ impl SharedDeployment {
             })
             .ok_or(SimError::UnknownVm(id))?;
         let pm = self.cluster.remove(id)?;
-        self.refresh_vcluster(pm, level);
+        self.refresh_vcluster_recorded(pm, level, time_secs, recorder);
         Ok(pm)
     }
 }
@@ -431,7 +618,11 @@ mod tests {
     }
 
     fn levels() -> Vec<OversubLevel> {
-        vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)]
+        vec![
+            OversubLevel::of(1),
+            OversubLevel::of(2),
+            OversubLevel::of(3),
+        ]
     }
 
     #[test]

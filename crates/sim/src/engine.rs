@@ -39,15 +39,54 @@ pub fn run_packing(workload: &Workload, deployment: &mut DeploymentModel) -> Pac
 pub fn run_packing_with_samples(
     workload: &Workload,
     deployment: &mut DeploymentModel,
-    mut samples: Option<&mut Vec<OccupancySample>>,
+    samples: Option<&mut Vec<OccupancySample>>,
 ) -> PackingOutcome {
+    run_packing_instrumented(
+        workload,
+        deployment,
+        samples,
+        &mut slackvm_telemetry::NullRecorder,
+    )
+}
+
+/// [`run_packing`] with full telemetry: the recorder journals every
+/// arrival / placement / rejection / departure / resize (plus the
+/// PM-open and vNode lifecycle events the deployment emits), times each
+/// event dispatch under the `sim.dispatch` span, and accumulates the
+/// run-level counters `sim.deployments` / `sim.rejections`.
+///
+/// With a disabled recorder (the default
+/// [`NullRecorder`](slackvm_telemetry::NullRecorder)) this is exactly
+/// [`run_packing_with_samples`]: no clock reads, no allocations, no
+/// journal.
+pub fn run_packing_recorded<R: slackvm_telemetry::Recorder>(
+    workload: &Workload,
+    deployment: &mut DeploymentModel,
+    recorder: &mut R,
+) -> PackingOutcome {
+    run_packing_instrumented(workload, deployment, None, recorder)
+}
+
+/// The fully-general replay: optional sample log plus a recorder.
+pub fn run_packing_instrumented<R: slackvm_telemetry::Recorder>(
+    workload: &Workload,
+    deployment: &mut DeploymentModel,
+    mut samples: Option<&mut Vec<OccupancySample>>,
+    recorder: &mut R,
+) -> PackingOutcome {
+    use slackvm_telemetry::Event;
+
     let mut queue = EventQueue::new();
     for (t, event) in &workload.events {
         match event {
             WorkloadEvent::Arrival(vm) => queue.push(*t, SimEvent::Arrival(vm.clone())),
             WorkloadEvent::Resize { id, vcpus, mem_mib } => queue.push(
                 *t,
-                SimEvent::Resize { id: *id, vcpus: *vcpus, mem_mib: *mem_mib },
+                SimEvent::Resize {
+                    id: *id,
+                    vcpus: *vcpus,
+                    mem_mib: *mem_mib,
+                },
             ),
             WorkloadEvent::Departure { .. } => {}
         }
@@ -59,44 +98,96 @@ pub fn run_packing_with_samples(
     let mut deployments = 0u32;
 
     while let Some((t, event)) = queue.pop() {
+        let span = recorder.begin("sim.dispatch");
         match event {
             SimEvent::Arrival(vm) => {
                 deployments += 1;
-                match deployment.deploy(vm.id, vm.spec) {
-                    Ok(_) => {
+                if recorder.enabled() {
+                    recorder.record(
+                        t,
+                        Event::VmArrival {
+                            vm: vm.id,
+                            vcpus: vm.spec.vcpus(),
+                            mem_mib: vm.spec.mem_mib(),
+                            level: vm.spec.level.ratio(),
+                        },
+                    );
+                }
+                match deployment.deploy_recorded(vm.id, vm.spec, t, recorder) {
+                    Ok(pm) => {
                         alive += 1;
                         queue.push(vm.departure_secs.max(t + 1), SimEvent::Departure(vm.id));
+                        if recorder.enabled() {
+                            recorder.record(
+                                t,
+                                Event::VmPlaced {
+                                    vm: vm.id,
+                                    pm,
+                                    level: vm.spec.level.ratio(),
+                                },
+                            );
+                        }
                     }
                     Err(SimError::DeploymentFailed(_)) | Err(SimError::Unsatisfiable(_)) => {
                         rejections += 1;
+                        if recorder.enabled() {
+                            recorder.record(
+                                t,
+                                Event::VmRejected {
+                                    vm: vm.id,
+                                    vcpus: vm.spec.vcpus(),
+                                    mem_mib: vm.spec.mem_mib(),
+                                    level: vm.spec.level.ratio(),
+                                },
+                            );
+                        }
                     }
                     Err(SimError::UnknownVm(_)) => unreachable!("deploy never reports UnknownVm"),
                 }
             }
             SimEvent::Departure(id) => {
-                deployment
-                    .remove(id)
+                let pm = deployment
+                    .remove_recorded(id, t, recorder)
                     .expect("departures are only scheduled for placed VMs");
                 alive -= 1;
+                if recorder.enabled() {
+                    recorder.record(t, Event::VmDeparted { vm: id, pm });
+                }
             }
             SimEvent::Resize { id, vcpus, mem_mib } => {
                 // A rejected resize (or one targeting a VM that was
                 // never placed) leaves the old size in force.
-                let _ = deployment.resize(id, vcpus, mem_mib);
+                let accepted = deployment
+                    .resize_recorded(id, vcpus, mem_mib, t, recorder)
+                    .is_ok();
+                if recorder.enabled() {
+                    recorder.record(
+                        t,
+                        Event::VmResized {
+                            vm: id,
+                            vcpus,
+                            mem_mib,
+                            accepted,
+                        },
+                    );
+                }
             }
         }
+        recorder.end(span);
         let (alloc, capacity) = deployment.totals();
-        let sample = OccupancySample::from_totals(
-            t,
-            alive,
-            deployment.opened_pms(),
-            alloc,
-            capacity,
-        );
+        let sample =
+            OccupancySample::from_totals(t, alive, deployment.opened_pms(), alloc, capacity);
         tracker.observe(sample);
         if let Some(log) = samples.as_deref_mut() {
             log.push(sample);
         }
+    }
+
+    if recorder.enabled() {
+        recorder.count("sim.deployments", deployments as u64);
+        recorder.count("sim.rejections", rejections as u64);
+        recorder.gauge("sim.opened_pms", deployment.opened_pms() as f64);
+        recorder.gauge("sim.peak_alive_vms", tracker.peak_alive() as f64);
     }
 
     let (mean_cpu, mean_mem) = tracker.means();
@@ -138,6 +229,28 @@ pub fn run_packing_compacting(
     deployment: &mut crate::deployment::SharedDeployment,
     every_secs: u64,
 ) -> (PackingOutcome, CompactionStats) {
+    run_packing_compacting_recorded(
+        workload,
+        deployment,
+        every_secs,
+        &mut slackvm_telemetry::NullRecorder,
+    )
+}
+
+/// [`run_packing_compacting`] with telemetry: each round's plan and
+/// applied moves are journalled (see
+/// [`SharedDeployment::compact_now_recorded`](crate::deployment::SharedDeployment::compact_now_recorded)),
+/// a `CompactionRound` event closes every round, and the
+/// [`CompactionStats`] fields are mirrored into the metrics registry as
+/// `sim.compaction.rounds` / `.migrations` / `.drained`.
+pub fn run_packing_compacting_recorded<R: slackvm_telemetry::Recorder>(
+    workload: &Workload,
+    deployment: &mut crate::deployment::SharedDeployment,
+    every_secs: u64,
+    recorder: &mut R,
+) -> (PackingOutcome, CompactionStats) {
+    use slackvm_telemetry::Event;
+
     let every = every_secs.max(1);
     let mut queue = EventQueue::new();
     for (t, event) in &workload.events {
@@ -154,33 +267,85 @@ pub fn run_packing_compacting(
 
     while let Some((t, event)) = queue.pop() {
         while t >= next_compaction {
-            let (migrations, drained) = deployment.compact_now();
+            let (migrations, drained) = deployment.compact_now_recorded(next_compaction, recorder);
             stats.rounds += 1;
             stats.migrations += migrations;
             stats.drained += drained;
+            if recorder.enabled() {
+                recorder.record(
+                    next_compaction,
+                    Event::CompactionRound {
+                        round: stats.rounds,
+                        migrations,
+                        drained,
+                    },
+                );
+                recorder.count("sim.compaction.rounds", 1);
+                recorder.count("sim.compaction.migrations", migrations as u64);
+                recorder.count("sim.compaction.drained", drained as u64);
+            }
             next_compaction += every;
         }
+        let span = recorder.begin("sim.dispatch");
         match event {
             SimEvent::Arrival(vm) => {
                 deployments += 1;
-                match deployment.deploy(vm.id, vm.spec) {
-                    Ok(_) => {
+                if recorder.enabled() {
+                    recorder.record(
+                        t,
+                        Event::VmArrival {
+                            vm: vm.id,
+                            vcpus: vm.spec.vcpus(),
+                            mem_mib: vm.spec.mem_mib(),
+                            level: vm.spec.level.ratio(),
+                        },
+                    );
+                }
+                match deployment.deploy_recorded(vm.id, vm.spec, t, recorder) {
+                    Ok(pm) => {
                         alive += 1;
                         queue.push(vm.departure_secs.max(t + 1), SimEvent::Departure(vm.id));
+                        if recorder.enabled() {
+                            recorder.record(
+                                t,
+                                Event::VmPlaced {
+                                    vm: vm.id,
+                                    pm,
+                                    level: vm.spec.level.ratio(),
+                                },
+                            );
+                        }
                     }
-                    Err(_) => rejections += 1,
+                    Err(_) => {
+                        rejections += 1;
+                        if recorder.enabled() {
+                            recorder.record(
+                                t,
+                                Event::VmRejected {
+                                    vm: vm.id,
+                                    vcpus: vm.spec.vcpus(),
+                                    mem_mib: vm.spec.mem_mib(),
+                                    level: vm.spec.level.ratio(),
+                                },
+                            );
+                        }
+                    }
                 }
             }
             SimEvent::Departure(id) => {
-                deployment
-                    .remove(id)
+                let pm = deployment
+                    .remove_recorded(id, t, recorder)
                     .expect("departures are only scheduled for placed VMs");
                 alive -= 1;
+                if recorder.enabled() {
+                    recorder.record(t, Event::VmDeparted { vm: id, pm });
+                }
             }
             SimEvent::Resize { id, vcpus, mem_mib } => {
-                let _ = deployment.resize(id, vcpus, mem_mib);
+                let _ = deployment.resize_recorded(id, vcpus, mem_mib, t, recorder);
             }
         }
+        recorder.end(span);
         tracker.observe(OccupancySample::from_totals(
             t,
             alive,
@@ -188,6 +353,12 @@ pub fn run_packing_compacting(
             deployment.cluster.total_alloc(),
             deployment.cluster.total_capacity(),
         ));
+    }
+
+    if recorder.enabled() {
+        recorder.count("sim.deployments", deployments as u64);
+        recorder.count("sim.rejections", rejections as u64);
+        recorder.gauge("sim.opened_pms", deployment.cluster.opened() as f64);
     }
 
     let (mean_cpu, mean_mem) = tracker.means();
@@ -233,6 +404,29 @@ pub fn run_packing_with_failures(
     deployment: &mut crate::deployment::SharedDeployment,
     failures: &[(u64, slackvm_model::PmId)],
 ) -> (PackingOutcome, FailureStats) {
+    run_packing_with_failures_recorded(
+        workload,
+        deployment,
+        failures,
+        &mut slackvm_telemetry::NullRecorder,
+    )
+}
+
+/// [`run_packing_with_failures`] with telemetry: every injected failure
+/// journals `HostFailed` + per-VM `VmEvicted` (see
+/// [`SharedDeployment::fail_host_recorded`](crate::deployment::SharedDeployment::fail_host_recorded)),
+/// each re-placement outcome journals `VmReplaced` or `VmLost`, and the
+/// [`FailureStats`] fields are mirrored into the metrics registry as
+/// `sim.failures.hosts_failed` / `.vms_evicted` / `.vms_replaced` /
+/// `.vms_lost`.
+pub fn run_packing_with_failures_recorded<R: slackvm_telemetry::Recorder>(
+    workload: &Workload,
+    deployment: &mut crate::deployment::SharedDeployment,
+    failures: &[(u64, slackvm_model::PmId)],
+    recorder: &mut R,
+) -> (PackingOutcome, FailureStats) {
+    use slackvm_telemetry::Event;
+
     let mut queue = EventQueue::new();
     for (t, event) in &workload.events {
         if let WorkloadEvent::Arrival(vm) = event {
@@ -252,47 +446,94 @@ pub fn run_packing_with_failures(
 
     while let Some((t, event)) = queue.pop() {
         while failure_idx < failure_queue.len() && failure_queue[failure_idx].0 <= t {
-            let (_, pm) = failure_queue[failure_idx];
+            let (t_fail, pm) = failure_queue[failure_idx];
             failure_idx += 1;
-            let evicted = deployment.fail_host(pm);
+            let evicted = deployment.fail_host_recorded(pm, t_fail, recorder);
             stats.hosts_failed += 1;
             for (id, spec) in evicted {
                 stats.vms_evicted += 1;
-                match deployment.deploy(id, spec) {
-                    Ok(_) => stats.vms_replaced += 1,
+                match deployment.deploy_recorded(id, spec, t_fail, recorder) {
+                    Ok(new_pm) => {
+                        stats.vms_replaced += 1;
+                        if recorder.enabled() {
+                            recorder.record(t_fail, Event::VmReplaced { vm: id, pm: new_pm });
+                        }
+                    }
                     Err(_) => {
                         stats.vms_lost += 1;
                         lost.insert(id);
                         alive -= 1;
+                        if recorder.enabled() {
+                            recorder.record(t_fail, Event::VmLost { vm: id });
+                        }
                     }
                 }
             }
         }
+        let span = recorder.begin("sim.dispatch");
         match event {
             SimEvent::Arrival(vm) => {
                 deployments += 1;
-                match deployment.deploy(vm.id, vm.spec) {
-                    Ok(_) => {
+                if recorder.enabled() {
+                    recorder.record(
+                        t,
+                        Event::VmArrival {
+                            vm: vm.id,
+                            vcpus: vm.spec.vcpus(),
+                            mem_mib: vm.spec.mem_mib(),
+                            level: vm.spec.level.ratio(),
+                        },
+                    );
+                }
+                match deployment.deploy_recorded(vm.id, vm.spec, t, recorder) {
+                    Ok(pm) => {
                         alive += 1;
                         queue.push(vm.departure_secs.max(t + 1), SimEvent::Departure(vm.id));
+                        if recorder.enabled() {
+                            recorder.record(
+                                t,
+                                Event::VmPlaced {
+                                    vm: vm.id,
+                                    pm,
+                                    level: vm.spec.level.ratio(),
+                                },
+                            );
+                        }
                     }
-                    Err(_) => rejections += 1,
+                    Err(_) => {
+                        rejections += 1;
+                        if recorder.enabled() {
+                            recorder.record(
+                                t,
+                                Event::VmRejected {
+                                    vm: vm.id,
+                                    vcpus: vm.spec.vcpus(),
+                                    mem_mib: vm.spec.mem_mib(),
+                                    level: vm.spec.level.ratio(),
+                                },
+                            );
+                        }
+                    }
                 }
             }
             SimEvent::Departure(id) => {
                 if !lost.remove(&id) {
-                    deployment
-                        .remove(id)
+                    let pm = deployment
+                        .remove_recorded(id, t, recorder)
                         .expect("departures target placed, non-lost VMs");
                     alive -= 1;
+                    if recorder.enabled() {
+                        recorder.record(t, Event::VmDeparted { vm: id, pm });
+                    }
                 }
             }
             SimEvent::Resize { id, vcpus, mem_mib } => {
                 if !lost.contains(&id) {
-                    let _ = deployment.resize(id, vcpus, mem_mib);
+                    let _ = deployment.resize_recorded(id, vcpus, mem_mib, t, recorder);
                 }
             }
         }
+        recorder.end(span);
         tracker.observe(OccupancySample::from_totals(
             t,
             alive,
@@ -300,6 +541,19 @@ pub fn run_packing_with_failures(
             deployment.cluster.total_alloc(),
             deployment.cluster.total_capacity(),
         ));
+    }
+
+    if recorder.enabled() {
+        recorder.count("sim.failures.hosts_failed", stats.hosts_failed as u64);
+        recorder.count("sim.failures.vms_evicted", stats.vms_evicted as u64);
+        recorder.count("sim.failures.vms_replaced", stats.vms_replaced as u64);
+        recorder.count("sim.failures.vms_lost", stats.vms_lost as u64);
+    }
+
+    if recorder.enabled() {
+        recorder.count("sim.deployments", deployments as u64);
+        recorder.count("sim.rejections", rejections as u64);
+        recorder.gauge("sim.opened_pms", deployment.cluster.opened() as f64);
     }
 
     let (mean_cpu, mean_mem) = tracker.means();
@@ -327,10 +581,10 @@ mod tests {
     use super::*;
     use crate::deployment::{DedicatedDeployment, SharedDeployment};
     use slackvm_model::{OversubLevel, PmConfig};
+    use slackvm_topology::builders;
     use slackvm_workload::{
         catalog, ArrivalModel, DistributionPoint, WorkloadGenerator, WorkloadSpec,
     };
-    use slackvm_topology::builders;
     use std::sync::Arc;
 
     fn small_workload(letter: char, seed: u64) -> Workload {
@@ -346,7 +600,11 @@ mod tests {
     fn dedicated() -> DeploymentModel {
         DeploymentModel::Dedicated(DedicatedDeployment::new(
             PmConfig::simulation_host(),
-            vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)],
+            vec![
+                OversubLevel::of(1),
+                OversubLevel::of(2),
+                OversubLevel::of(3),
+            ],
         ))
     }
 
@@ -407,10 +665,7 @@ mod tests {
         let w = small_workload('F', 7);
         let mut plain = shared();
         let plain_out = run_packing(&w, &mut plain);
-        let mut pool = SharedDeployment::new(
-            Arc::new(builders::flat(32)),
-            slackvm_model::gib(128),
-        );
+        let mut pool = SharedDeployment::new(Arc::new(builders::flat(32)), slackvm_model::gib(128));
         let (compacted_out, stats) = run_packing_compacting(&w, &mut pool, 6 * 3600);
         assert_eq!(compacted_out.rejections, 0);
         assert!(
@@ -433,10 +688,7 @@ mod tests {
     fn compaction_rounds_fire_on_schedule() {
         let w = small_workload('E', 8);
         let horizon = w.events.last().map(|(t, _)| *t).unwrap_or(0);
-        let mut pool = SharedDeployment::new(
-            Arc::new(builders::flat(32)),
-            slackvm_model::gib(128),
-        );
+        let mut pool = SharedDeployment::new(Arc::new(builders::flat(32)), slackvm_model::gib(128));
         let (_, stats) = run_packing_compacting(&w, &mut pool, 86_400);
         // One round per simulated day that has a subsequent event.
         assert!(stats.rounds >= (horizon / 86_400).saturating_sub(1) as u32);
@@ -458,6 +710,160 @@ mod tests {
         assert!(samples.contains(&out.at_peak));
         // The log ends fully drained.
         assert_eq!(samples.last().unwrap().alive_vms, 0);
+    }
+
+    #[test]
+    fn recorded_replay_matches_plain_and_mirrors_outcome() {
+        use slackvm_telemetry::Telemetry;
+        let w = small_workload('F', 11);
+        let plain = run_packing(&w, &mut shared());
+        let mut telemetry = Telemetry::new();
+        let recorded = run_packing_recorded(&w, &mut shared(), &mut telemetry);
+        // Recording must not perturb the simulation.
+        assert_eq!(recorded, plain);
+        // The journal and the counters agree with the outcome.
+        let placements = recorded.deployments - recorded.rejections;
+        assert_eq!(
+            telemetry.journal.count_kind("vm_arrival") as u32,
+            recorded.deployments
+        );
+        assert_eq!(telemetry.journal.count_kind("vm_placed") as u32, placements);
+        assert_eq!(
+            telemetry.journal.count_kind("vm_rejected") as u32,
+            recorded.rejections
+        );
+        assert_eq!(
+            telemetry.journal.count_kind("vm_departed") as u32,
+            placements
+        );
+        assert_eq!(
+            telemetry.journal.count_kind("pm_opened") as u32,
+            recorded.opened_pms
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.deployments") as u32,
+            recorded.deployments
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.rejections") as u32,
+            recorded.rejections
+        );
+        assert_eq!(
+            telemetry.metrics.gauge("sim.opened_pms"),
+            Some(recorded.opened_pms as f64)
+        );
+        // vNode lifecycle closes: every created vNode eventually
+        // dissolves (the replay drains fully).
+        assert_eq!(
+            telemetry.journal.count_kind("v_node_created"),
+            telemetry.journal.count_kind("v_node_dissolved")
+        );
+        assert!(telemetry.journal.count_kind("v_node_created") > 0);
+        // Dispatch spans were timed and feed a duration histogram.
+        assert!(telemetry.metrics.histogram("sim.dispatch").is_some());
+        assert!(telemetry.trace.len() > 0);
+        // Journal timestamps are non-decreasing.
+        let times: Vec<u64> = telemetry.journal.iter().map(|r| r.time_secs).collect();
+        assert!(times.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn recorded_compaction_journal_matches_stats() {
+        use slackvm_telemetry::Telemetry;
+        let w = small_workload('F', 7);
+        let mut plain_pool =
+            SharedDeployment::new(Arc::new(builders::flat(32)), slackvm_model::gib(128));
+        let (plain_out, plain_stats) = run_packing_compacting(&w, &mut plain_pool, 6 * 3600);
+        let mut pool = SharedDeployment::new(Arc::new(builders::flat(32)), slackvm_model::gib(128));
+        let mut telemetry = Telemetry::new();
+        let (out, stats) = run_packing_compacting_recorded(&w, &mut pool, 6 * 3600, &mut telemetry);
+        assert_eq!(out, plain_out);
+        assert_eq!(stats, plain_stats);
+        // The folded counters equal the legacy stats struct, field by
+        // field — the struct's public API is unchanged, the registry is
+        // a faithful mirror.
+        assert_eq!(
+            telemetry.metrics.counter("sim.compaction.rounds") as u32,
+            stats.rounds
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.compaction.migrations") as u32,
+            stats.migrations
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.compaction.drained") as u32,
+            stats.drained
+        );
+        // ... and so do the journalled round events.
+        assert_eq!(
+            telemetry.journal.count_kind("compaction_round") as u32,
+            stats.rounds
+        );
+        let migrations_journalled: u32 = telemetry
+            .journal
+            .iter()
+            .filter_map(|r| match r.event {
+                slackvm_telemetry::Event::CompactionRound { migrations, .. } => Some(migrations),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(migrations_journalled, stats.migrations);
+        assert_eq!(
+            telemetry.journal.count_kind("compaction_planned") as u32,
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn recorded_failures_journal_matches_stats() {
+        use slackvm_model::PmId;
+        use slackvm_telemetry::Telemetry;
+        let w = small_workload('F', 9);
+        let failures = vec![(86_400, PmId(0)), (2 * 86_400, PmId(1))];
+        let mut plain_pool =
+            SharedDeployment::new(Arc::new(builders::flat(32)), slackvm_model::gib(128));
+        let (plain_out, plain_stats) = run_packing_with_failures(&w, &mut plain_pool, &failures);
+        let mut pool = SharedDeployment::new(Arc::new(builders::flat(32)), slackvm_model::gib(128));
+        let mut telemetry = Telemetry::new();
+        let (out, stats) =
+            run_packing_with_failures_recorded(&w, &mut pool, &failures, &mut telemetry);
+        assert_eq!(out, plain_out);
+        assert_eq!(stats, plain_stats);
+        assert!(stats.hosts_failed > 0 && stats.vms_evicted > 0);
+        // Journal event counts equal the stats counters.
+        assert_eq!(
+            telemetry.journal.count_kind("host_failed") as u32,
+            stats.hosts_failed
+        );
+        assert_eq!(
+            telemetry.journal.count_kind("vm_evicted") as u32,
+            stats.vms_evicted
+        );
+        assert_eq!(
+            telemetry.journal.count_kind("vm_replaced") as u32,
+            stats.vms_replaced
+        );
+        assert_eq!(
+            telemetry.journal.count_kind("vm_lost") as u32,
+            stats.vms_lost
+        );
+        // ... and the folded registry counters do too.
+        assert_eq!(
+            telemetry.metrics.counter("sim.failures.hosts_failed") as u32,
+            stats.hosts_failed
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.failures.vms_evicted") as u32,
+            stats.vms_evicted
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.failures.vms_replaced") as u32,
+            stats.vms_replaced
+        );
+        assert_eq!(
+            telemetry.metrics.counter("sim.failures.vms_lost") as u32,
+            stats.vms_lost
+        );
     }
 
     #[test]

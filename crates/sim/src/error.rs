@@ -26,8 +26,14 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(SimError::DeploymentFailed(VmId(1)).to_string().contains("vm-1"));
-        assert!(SimError::Unsatisfiable(VmId(2)).to_string().contains("capacity"));
-        assert!(SimError::UnknownVm(VmId(3)).to_string().contains("not placed"));
+        assert!(SimError::DeploymentFailed(VmId(1))
+            .to_string()
+            .contains("vm-1"));
+        assert!(SimError::Unsatisfiable(VmId(2))
+            .to_string()
+            .contains("capacity"));
+        assert!(SimError::UnknownVm(VmId(3))
+            .to_string()
+            .contains("not placed"));
     }
 }

@@ -72,7 +72,8 @@ impl EventQueue {
     pub fn push(&mut self, time_secs: u64, event: SimEvent) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(((time_secs, seq), EventSlot(event))));
+        self.heap
+            .push(Reverse(((time_secs, seq), EventSlot(event))));
     }
 
     /// Pops the earliest event, with its time.

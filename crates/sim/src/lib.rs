@@ -34,8 +34,9 @@ pub mod steady;
 pub use cluster::Cluster;
 pub use deployment::{DedicatedDeployment, DeploymentModel, SharedDeployment};
 pub use engine::{
-    run_packing, run_packing_compacting, run_packing_with_failures, run_packing_with_samples,
-    CompactionStats, FailureStats,
+    run_packing, run_packing_compacting, run_packing_compacting_recorded, run_packing_instrumented,
+    run_packing_recorded, run_packing_with_failures, run_packing_with_failures_recorded,
+    run_packing_with_samples, CompactionStats, FailureStats,
 };
 pub use error::SimError;
 pub use events::{EventQueue, SimEvent};

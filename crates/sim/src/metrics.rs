@@ -79,8 +79,7 @@ impl PackingOutcome {
         if baseline.opened_pms == 0 {
             return 0.0;
         }
-        (baseline.opened_pms as f64 - self.opened_pms as f64) / baseline.opened_pms as f64
-            * 100.0
+        (baseline.opened_pms as f64 - self.opened_pms as f64) / baseline.opened_pms as f64 * 100.0
     }
 }
 

@@ -143,7 +143,11 @@ mod tests {
         .generate();
         let mut model = DeploymentModel::Dedicated(DedicatedDeployment::new(
             PmConfig::simulation_host(),
-            vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)],
+            vec![
+                OversubLevel::of(1),
+                OversubLevel::of(2),
+                OversubLevel::of(3),
+            ],
         ));
         let mut samples = Vec::new();
         run_packing_with_samples(&w, &mut model, Some(&mut samples));

@@ -1,0 +1,371 @@
+//! The typed event vocabulary of the journal.
+//!
+//! Every decision the stack takes during a replay — placements,
+//! rejections, vNode resizes, pooling, compaction moves, failure
+//! injections — is expressible as one [`Event`]. The enum is the schema:
+//! it serializes with a `kind` tag so a JSONL journal is both grep-able
+//! and loadable back into typed records.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{PmId, VmId};
+
+/// One observable fact about a run.
+///
+/// Oversubscription levels appear as their raw `n` (of the `n:1` ratio)
+/// to keep the on-disk schema independent of model-crate invariants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Event {
+    /// A VM arrived and a deployment was attempted.
+    VmArrival {
+        /// The arriving VM.
+        vm: VmId,
+        /// Requested vCPUs.
+        vcpus: u32,
+        /// Requested memory (MiB).
+        mem_mib: u64,
+        /// Purchased oversubscription level (`n` of `n:1`).
+        level: u32,
+    },
+    /// A deployment succeeded.
+    VmPlaced {
+        /// The placed VM.
+        vm: VmId,
+        /// The chosen machine.
+        pm: PmId,
+        /// The VM's oversubscription level.
+        level: u32,
+    },
+    /// A deployment failed (capped cluster, nothing fits).
+    VmRejected {
+        /// The rejected VM.
+        vm: VmId,
+        /// Requested vCPUs.
+        vcpus: u32,
+        /// Requested memory (MiB).
+        mem_mib: u64,
+        /// The VM's oversubscription level.
+        level: u32,
+    },
+    /// A placed VM departed.
+    VmDeparted {
+        /// The departing VM.
+        vm: VmId,
+        /// The machine it left.
+        pm: PmId,
+    },
+    /// A vertical resize was requested.
+    VmResized {
+        /// The resized VM.
+        vm: VmId,
+        /// New vCPU count.
+        vcpus: u32,
+        /// New memory (MiB).
+        mem_mib: u64,
+        /// Whether the hosting machine absorbed the new size.
+        accepted: bool,
+    },
+    /// A machine was opened (provisioned into the cluster).
+    PmOpened {
+        /// The new machine.
+        pm: PmId,
+    },
+    /// A machine became idle after a drain (advisory close).
+    PmClosed {
+        /// The drained machine.
+        pm: PmId,
+    },
+    /// A vNode came into existence on a machine.
+    VNodeCreated {
+        /// Hosting machine.
+        pm: PmId,
+        /// The vNode's oversubscription level.
+        level: u32,
+        /// Span size in cores.
+        cores: u32,
+    },
+    /// A vNode's span grew.
+    VNodeGrew {
+        /// Hosting machine.
+        pm: PmId,
+        /// The vNode's oversubscription level.
+        level: u32,
+        /// Span size before the growth.
+        cores_before: u32,
+        /// Span size after the growth.
+        cores_after: u32,
+    },
+    /// A vNode's span shrank after departures.
+    VNodeShrunk {
+        /// Hosting machine.
+        pm: PmId,
+        /// The vNode's oversubscription level.
+        level: u32,
+        /// Span size before the shrink.
+        cores_before: u32,
+        /// Span size after the shrink.
+        cores_after: u32,
+    },
+    /// A vNode dissolved (its last VM departed).
+    VNodeDissolved {
+        /// Hosting machine.
+        pm: PmId,
+        /// The dissolved vNode's level.
+        level: u32,
+    },
+    /// Oversubscribed vNodes pooled into one execution span (§V-B).
+    VNodePooled {
+        /// Hosting machine.
+        pm: PmId,
+        /// Levels merged into the span.
+        levels: Vec<u32>,
+        /// Cores of the merged span (incl. absorbed free cores).
+        cores: u32,
+        /// vCPUs exposed on the span.
+        vcpus: u32,
+        /// The strictest pooled guarantee (`n` of `n:1`).
+        guarantee: u32,
+    },
+    /// Pooling was infeasible; vNodes kept their own spans.
+    VNodeUnpooled {
+        /// Hosting machine.
+        pm: PmId,
+        /// Levels that stayed separate.
+        levels: Vec<u32>,
+    },
+    /// A compaction plan was computed over cluster snapshots.
+    CompactionPlanned {
+        /// Planned migrations.
+        moves: u32,
+        /// Machines the plan would drain.
+        releasable: u32,
+    },
+    /// One migration of a compaction round was applied.
+    CompactionMove {
+        /// The migrated VM.
+        vm: VmId,
+        /// Source machine.
+        from: PmId,
+        /// Destination machine.
+        to: PmId,
+    },
+    /// A periodic compaction round completed.
+    CompactionRound {
+        /// 1-based round index.
+        round: u32,
+        /// Migrations applied this round.
+        migrations: u32,
+        /// Machines drained this round.
+        drained: u32,
+    },
+    /// A host failure was injected.
+    HostFailed {
+        /// The failed machine.
+        pm: PmId,
+        /// VMs evicted by the failure.
+        evicted: u32,
+    },
+    /// A VM was evicted by a host failure.
+    VmEvicted {
+        /// The evicted VM.
+        vm: VmId,
+        /// The failed machine it was on.
+        pm: PmId,
+    },
+    /// An evicted VM was re-placed on a surviving host.
+    VmReplaced {
+        /// The re-placed VM.
+        vm: VmId,
+        /// Its new machine.
+        pm: PmId,
+    },
+    /// An evicted VM could not be re-placed and was lost.
+    VmLost {
+        /// The lost VM.
+        vm: VmId,
+    },
+    /// The dynamic-level recommender produced a retune suggestion.
+    LevelRecommended {
+        /// vCPUs exposed by the examined vNode.
+        vcpus: u32,
+        /// Current level (`n` of `n:1`).
+        current: u32,
+        /// Recommended level.
+        recommended: u32,
+        /// Cores a retune would free (negative: the span must grow).
+        cores_freed: i64,
+    },
+}
+
+impl Event {
+    /// The event's `kind` tag, matching the serialized form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::VmArrival { .. } => "vm_arrival",
+            Event::VmPlaced { .. } => "vm_placed",
+            Event::VmRejected { .. } => "vm_rejected",
+            Event::VmDeparted { .. } => "vm_departed",
+            Event::VmResized { .. } => "vm_resized",
+            Event::PmOpened { .. } => "pm_opened",
+            Event::PmClosed { .. } => "pm_closed",
+            Event::VNodeCreated { .. } => "v_node_created",
+            Event::VNodeGrew { .. } => "v_node_grew",
+            Event::VNodeShrunk { .. } => "v_node_shrunk",
+            Event::VNodeDissolved { .. } => "v_node_dissolved",
+            Event::VNodePooled { .. } => "v_node_pooled",
+            Event::VNodeUnpooled { .. } => "v_node_unpooled",
+            Event::CompactionPlanned { .. } => "compaction_planned",
+            Event::CompactionMove { .. } => "compaction_move",
+            Event::CompactionRound { .. } => "compaction_round",
+            Event::HostFailed { .. } => "host_failed",
+            Event::VmEvicted { .. } => "vm_evicted",
+            Event::VmReplaced { .. } => "vm_replaced",
+            Event::VmLost { .. } => "vm_lost",
+            Event::LevelRecommended { .. } => "level_recommended",
+        }
+    }
+
+    /// The metrics-registry counter bumped once per recorded event.
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            Event::VmArrival { .. } => "events.vm_arrival",
+            Event::VmPlaced { .. } => "events.vm_placed",
+            Event::VmRejected { .. } => "events.vm_rejected",
+            Event::VmDeparted { .. } => "events.vm_departed",
+            Event::VmResized { .. } => "events.vm_resized",
+            Event::PmOpened { .. } => "events.pm_opened",
+            Event::PmClosed { .. } => "events.pm_closed",
+            Event::VNodeCreated { .. } => "events.v_node_created",
+            Event::VNodeGrew { .. } => "events.v_node_grew",
+            Event::VNodeShrunk { .. } => "events.v_node_shrunk",
+            Event::VNodeDissolved { .. } => "events.v_node_dissolved",
+            Event::VNodePooled { .. } => "events.v_node_pooled",
+            Event::VNodeUnpooled { .. } => "events.v_node_unpooled",
+            Event::CompactionPlanned { .. } => "events.compaction_planned",
+            Event::CompactionMove { .. } => "events.compaction_move",
+            Event::CompactionRound { .. } => "events.compaction_round",
+            Event::HostFailed { .. } => "events.host_failed",
+            Event::VmEvicted { .. } => "events.vm_evicted",
+            Event::VmReplaced { .. } => "events.vm_replaced",
+            Event::VmLost { .. } => "events.vm_lost",
+            Event::LevelRecommended { .. } => "events.level_recommended",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_serde_tag() {
+        let samples = vec![
+            Event::VmArrival {
+                vm: VmId(1),
+                vcpus: 2,
+                mem_mib: 4096,
+                level: 3,
+            },
+            Event::VmPlaced {
+                vm: VmId(1),
+                pm: PmId(0),
+                level: 3,
+            },
+            Event::VmRejected {
+                vm: VmId(2),
+                vcpus: 1,
+                mem_mib: 1024,
+                level: 1,
+            },
+            Event::VmDeparted {
+                vm: VmId(1),
+                pm: PmId(0),
+            },
+            Event::VmResized {
+                vm: VmId(1),
+                vcpus: 4,
+                mem_mib: 8192,
+                accepted: true,
+            },
+            Event::PmOpened { pm: PmId(0) },
+            Event::PmClosed { pm: PmId(0) },
+            Event::VNodeCreated {
+                pm: PmId(0),
+                level: 3,
+                cores: 1,
+            },
+            Event::VNodeGrew {
+                pm: PmId(0),
+                level: 3,
+                cores_before: 1,
+                cores_after: 2,
+            },
+            Event::VNodeShrunk {
+                pm: PmId(0),
+                level: 3,
+                cores_before: 2,
+                cores_after: 1,
+            },
+            Event::VNodeDissolved {
+                pm: PmId(0),
+                level: 3,
+            },
+            Event::VNodePooled {
+                pm: PmId(0),
+                levels: vec![2, 3],
+                cores: 8,
+                vcpus: 12,
+                guarantee: 2,
+            },
+            Event::VNodeUnpooled {
+                pm: PmId(0),
+                levels: vec![2, 3],
+            },
+            Event::CompactionPlanned {
+                moves: 3,
+                releasable: 1,
+            },
+            Event::CompactionMove {
+                vm: VmId(1),
+                from: PmId(0),
+                to: PmId(1),
+            },
+            Event::CompactionRound {
+                round: 1,
+                migrations: 3,
+                drained: 1,
+            },
+            Event::HostFailed {
+                pm: PmId(0),
+                evicted: 2,
+            },
+            Event::VmEvicted {
+                vm: VmId(1),
+                pm: PmId(0),
+            },
+            Event::VmReplaced {
+                vm: VmId(1),
+                pm: PmId(1),
+            },
+            Event::VmLost { vm: VmId(1) },
+            Event::LevelRecommended {
+                vcpus: 48,
+                current: 3,
+                recommended: 8,
+                cores_freed: 10,
+            },
+        ];
+        for event in samples {
+            let json = serde_json::to_string(&event).unwrap();
+            let tag = format!("\"kind\":\"{}\"", event.kind());
+            assert!(json.contains(&tag), "{json} misses {tag}");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+            assert_eq!(
+                event.counter_name().strip_prefix("events.").unwrap(),
+                event.kind()
+            );
+        }
+    }
+}

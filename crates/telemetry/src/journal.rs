@@ -1,0 +1,172 @@
+//! The event journal and its JSONL exporter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+
+/// One journal line: a simulation timestamp plus the event.
+///
+/// Serializes flat — `{"t": 86400, "kind": "vm_placed", ...}` — so a
+/// JSONL journal greps cleanly by `kind`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Simulation time in seconds.
+    #[serde(rename = "t")]
+    pub time_secs: u64,
+    /// The recorded event.
+    #[serde(flatten)]
+    pub event: Event,
+}
+
+/// An append-only, time-ordered log of [`EventRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    records: Vec<EventRecord>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at `time_secs`.
+    pub fn push(&mut self, time_secs: u64, event: Event) {
+        self.records.push(EventRecord { time_secs, event });
+    }
+
+    /// All records, in recording order.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates `(time, event)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> {
+        self.records.iter()
+    }
+
+    /// Counts records whose event satisfies `predicate`.
+    pub fn count_where(&self, predicate: impl Fn(&Event) -> bool) -> usize {
+        self.records.iter().filter(|r| predicate(&r.event)).count()
+    }
+
+    /// Counts records of one `kind` tag (e.g. `"vm_placed"`).
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.count_where(|e| e.kind() == kind)
+    }
+
+    /// Serializes the journal as JSON Lines: one record per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&serde_json::to_string(record).expect("events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL journal back into typed records. Blank lines are
+    /// skipped.
+    pub fn from_jsonl(raw: &str) -> Result<Journal, serde_json::Error> {
+        let mut journal = Journal::new();
+        for line in raw.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            journal.records.push(serde_json::from_str(line)?);
+        }
+        Ok(journal)
+    }
+
+    /// Writes the JSONL journal to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{PmId, VmId};
+
+    fn sample_journal() -> Journal {
+        let mut j = Journal::new();
+        j.push(0, Event::PmOpened { pm: PmId(0) });
+        j.push(
+            0,
+            Event::VmPlaced {
+                vm: VmId(1),
+                pm: PmId(0),
+                level: 3,
+            },
+        );
+        j.push(
+            3600,
+            Event::VNodeGrew {
+                pm: PmId(0),
+                level: 3,
+                cores_before: 1,
+                cores_after: 2,
+            },
+        );
+        j.push(
+            7200,
+            Event::VmDeparted {
+                vm: VmId(1),
+                pm: PmId(0),
+            },
+        );
+        j
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let journal = sample_journal();
+        let jsonl = journal.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"t\":")));
+        let back = Journal::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, journal);
+        // Blank lines are tolerated.
+        let padded = format!("\n{jsonl}\n\n");
+        assert_eq!(Journal::from_jsonl(&padded).unwrap(), journal);
+    }
+
+    #[test]
+    fn flat_schema_is_grepable() {
+        let jsonl = sample_journal().to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"vm_placed\""));
+        assert!(jsonl.contains("\"kind\":\"v_node_grew\""));
+        // No nested "event" object: the record is flat.
+        assert!(!jsonl.contains("\"event\""));
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let journal = sample_journal();
+        assert_eq!(journal.len(), 4);
+        assert!(!journal.is_empty());
+        assert_eq!(journal.count_kind("vm_placed"), 1);
+        assert_eq!(journal.count_kind("nope"), 0);
+        assert_eq!(
+            journal.count_where(|e| matches!(e, Event::VNodeGrew { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Journal::from_jsonl("{\"t\":1}").is_err());
+        assert!(Journal::from_jsonl("not json").is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! # slackvm-telemetry
+//!
+//! The observability substrate of the SlackVM reproduction: a typed
+//! **event journal**, a **metrics registry** (counters, gauges,
+//! nearest-rank histograms), **span timing** for hot paths, and three
+//! exporters — JSONL journal, Chrome trace-event JSON (loadable in
+//! Perfetto), and a plain-text / JSON metrics summary.
+//!
+//! The paper's claims are time-series claims; end-of-run aggregates
+//! can't explain *why* a run packed the way it did. This crate records
+//! the decisions themselves — placements, rejections, vNode resizes,
+//! pooling, compaction moves, failure injections — behind a cheap
+//! [`Recorder`] trait whose no-op default ([`NullRecorder`]) makes the
+//! instrumented hot paths free when recording is off.
+//!
+//! ## Recording a run
+//!
+//! ```
+//! use slackvm_telemetry::{Event, Recorder, Telemetry};
+//! use slackvm_model::{PmId, VmId};
+//!
+//! let mut telemetry = Telemetry::new();
+//! // Instrumented code records through the trait:
+//! if telemetry.enabled() {
+//!     telemetry.record(0, Event::PmOpened { pm: PmId(0) });
+//!     telemetry.record(0, Event::VmPlaced { vm: VmId(1), pm: PmId(0), level: 3 });
+//!     telemetry.count("sim.placements", 1);
+//! }
+//! let span = telemetry.begin("sched.select");
+//! // ... hot work ...
+//! telemetry.end(span);
+//!
+//! assert_eq!(telemetry.journal.len(), 2);
+//! assert_eq!(telemetry.metrics.counter("sim.placements"), 1);
+//! assert_eq!(telemetry.trace.len(), 1);
+//! let jsonl = telemetry.journal.to_jsonl();
+//! assert!(jsonl.contains("\"kind\":\"vm_placed\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod journal;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use event::Event;
+pub use journal::{EventRecord, Journal};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSummary};
+pub use recorder::{NullRecorder, Recorder, SpanTimer};
+pub use trace::{TraceBuilder, TraceSpan};
+
+use std::time::Instant;
+
+/// The full-capture recorder: journal + metrics + trace in one bundle.
+///
+/// Every recorded event lands in the [`Journal`] and bumps its
+/// per-kind counter; every closed span lands in the [`TraceBuilder`]
+/// and feeds a duration histogram under the span's name.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// The typed event journal.
+    pub journal: Journal,
+    /// Counters, gauges, histograms.
+    pub metrics: MetricsRegistry,
+    /// Wall-clock spans for the Chrome trace.
+    pub trace: TraceBuilder,
+    epoch: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh recorder; the trace epoch is *now*.
+    pub fn new() -> Self {
+        Telemetry {
+            journal: Journal::new(),
+            metrics: MetricsRegistry::new(),
+            trace: TraceBuilder::new(),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Recorder for Telemetry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, time_secs: u64, event: Event) {
+        self.metrics.inc(event.counter_name(), 1);
+        self.journal.push(time_secs, event);
+    }
+
+    fn count(&mut self, name: &'static str, delta: u64) {
+        self.metrics.inc(name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.metrics.set_gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn begin(&mut self, name: &'static str) -> Option<SpanTimer> {
+        Some(SpanTimer::start(name))
+    }
+
+    fn end(&mut self, timer: Option<SpanTimer>) {
+        let Some(timer) = timer else { return };
+        let dur_us = timer.start.elapsed().as_micros() as u64;
+        let start_us = timer
+            .start
+            .saturating_duration_since(self.epoch)
+            .as_micros() as u64;
+        self.trace.push(TraceSpan {
+            name: timer.name,
+            start_us,
+            dur_us,
+        });
+        self.metrics.observe(timer.name, dur_us as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{PmId, VmId};
+
+    #[test]
+    fn telemetry_captures_all_three_streams() {
+        let mut t = Telemetry::new();
+        assert!(t.enabled());
+        t.record(10, Event::PmOpened { pm: PmId(0) });
+        t.record(
+            10,
+            Event::VmPlaced {
+                vm: VmId(7),
+                pm: PmId(0),
+                level: 2,
+            },
+        );
+        t.count("sim.placements", 1);
+        t.gauge("sim.opened_pms", 1.0);
+        let span = t.begin("sched.select");
+        assert!(span.is_some());
+        t.end(span);
+
+        assert_eq!(t.journal.len(), 2);
+        assert_eq!(t.metrics.counter("events.pm_opened"), 1);
+        assert_eq!(t.metrics.counter("events.vm_placed"), 1);
+        assert_eq!(t.metrics.counter("sim.placements"), 1);
+        assert_eq!(t.metrics.gauge("sim.opened_pms"), Some(1.0));
+        assert_eq!(t.trace.len(), 1);
+        assert_eq!(t.trace.spans()[0].name, "sched.select");
+        // The span also fed its duration histogram.
+        assert_eq!(t.metrics.histogram("sched.select").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn ending_a_none_span_is_a_noop() {
+        let mut t = Telemetry::new();
+        t.end(None);
+        assert!(t.trace.is_empty());
+    }
+
+    #[test]
+    fn exporters_agree_on_event_counts() {
+        let mut t = Telemetry::new();
+        for i in 0..5 {
+            t.record(i, Event::VmLost { vm: VmId(i) });
+        }
+        assert_eq!(t.journal.to_jsonl().lines().count(), 5);
+        assert_eq!(t.metrics.counter("events.vm_lost"), 5);
+        assert_eq!(
+            t.journal.count_kind("vm_lost") as u64,
+            t.metrics.counter("events.vm_lost")
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Histogram percentile summaries follow the **nearest-rank** rule used
+//! across the workspace (`slackvm-perf`'s `percentile`): the `q`-quantile
+//! of `n` samples is the value at sorted rank `ceil(q·n)`, clamped to
+//! `1..=n`. A fixed-bucket histogram resolves that rank to the upper
+//! bound of the bucket holding it (the exact maximum for the overflow
+//! bucket), so summaries agree with the exact method up to bucket width
+//! — and exactly, when samples sit on bucket bounds.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram with nearest-rank percentile summaries.
+///
+/// `bounds` are ascending *inclusive upper* edges; one implicit overflow
+/// bucket catches everything above the last bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over explicit ascending upper bounds.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Exponential bounds `start, start·factor, …` (`n` buckets plus the
+    /// overflow). The default span-duration layout is
+    /// `exponential(1.0, 2.0, 24)`: 1 µs up to ~8.4 s.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n > 0, "degenerate layout");
+        let mut bounds = Vec::with_capacity(n);
+        let mut edge = start;
+        for _ in 0..n {
+            bounds.push(edge);
+            edge *= factor;
+        }
+        Self::with_bounds(bounds)
+    }
+
+    /// The default layout for span durations in microseconds.
+    pub fn duration_us() -> Self {
+        Self::exponential(1.0, 2.0, 24)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Minimum observed value, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Maximum observed value, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The nearest-rank `q`-quantile resolved to a bucket upper bound.
+    ///
+    /// `None` on an empty histogram or `q` outside `0.0..=1.0` — the
+    /// same contract as `slackvm-perf`'s exact `percentile`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for (idx, count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(if idx < self.bounds.len() {
+                    // Report at most the observed maximum: a bucket's
+                    // upper edge can exceed every sample in it.
+                    self.bounds[idx].min(self.max)
+                } else {
+                    self.max
+                });
+            }
+        }
+        unreachable!("cumulative bucket counts reach total")
+    }
+
+    /// A percentile summary mirroring `slackvm-perf::Percentiles`.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            p50: self.percentile(0.50).expect("non-empty"),
+            p90: self.percentile(0.90).expect("non-empty"),
+            p99: self.percentile(0.99).expect("non-empty"),
+            max: self.max,
+            mean: self.mean(),
+            count: self.total,
+        })
+    }
+}
+
+/// A rendered percentile summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Median (nearest-rank, bucket-resolved).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Exact maximum observed.
+    pub max: f64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Observation count.
+    pub count: u64,
+}
+
+/// A snapshot of the whole registry, ready to serialize.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// All counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Percentile summaries of all non-empty histograms, by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Counters, gauges, and histograms under `&'static str` names — cheap
+/// enough for per-event updates (a `BTreeMap` probe on a short key).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero.
+    pub fn inc(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Feeds an observation into a histogram, creating it with the
+    /// duration layout ([`Histogram::duration_us`]) when absent.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::duration_us)
+            .record(value);
+    }
+
+    /// Pre-registers a histogram with custom bounds (no-op if present).
+    pub fn register_histogram(&mut self, name: &'static str, bounds: Vec<f64>) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::with_bounds(bounds));
+    }
+
+    /// A counter's value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if any observation was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Snapshots every metric into a serializable summary.
+    pub fn snapshot(&self) -> MetricsSummary {
+        MetricsSummary {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|(k, h)| h.summary().map(|s| (k.to_string(), s)))
+                .collect(),
+        }
+    }
+
+    /// The snapshot as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("summary serializes")
+    }
+
+    /// The snapshot as an aligned plain-text report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {value:.3}");
+            }
+        }
+        let summaries: Vec<(&str, HistogramSummary)> = self
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| h.summary().map(|s| (*k, s)))
+            .collect();
+        if !summaries.is_empty() {
+            let _ = writeln!(out, "histograms (p50 / p90 / p99 / max, n):");
+            for (name, s) in summaries {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:.1} / {:.1} / {:.1} / {:.1}  (n={})",
+                    s.p50, s.p90, s.p99, s.max, s.count
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The exact nearest-rank quantile `slackvm-perf` implements,
+    /// inlined here as the oracle.
+    fn exact_percentile(samples: &[f64], q: f64) -> Option<f64> {
+        if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    #[test]
+    fn unit_buckets_match_exact_nearest_rank() {
+        // Integer samples on integer bucket edges: the histogram answer
+        // is exactly the nearest-rank answer.
+        let mut h = Histogram::with_bounds((1..=100).map(f64::from).collect());
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        for s in &samples {
+            h.record(*s);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), exact_percentile(&samples, q), "q={q}");
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn empty_and_invalid_quantiles() {
+        let h = Histogram::duration_us();
+        assert_eq!(h.percentile(0.5), None);
+        assert!(h.summary().is_none());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        let mut h = Histogram::with_bounds(vec![1.0]);
+        h.record(0.5);
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.5), None);
+    }
+
+    #[test]
+    fn single_sample_and_overflow_bucket() {
+        let mut h = Histogram::with_bounds(vec![10.0, 20.0]);
+        h.record(5.0);
+        // One sample: every quantile is that sample's bucket, capped at
+        // the observed max.
+        assert_eq!(h.percentile(0.0), Some(5.0));
+        assert_eq!(h.percentile(1.0), Some(5.0));
+        // Overflow: beyond the last bound, the exact max is reported.
+        h.record(999.0);
+        assert_eq!(h.percentile(1.0), Some(999.0));
+        assert_eq!(h.max(), Some(999.0));
+        assert_eq!(h.min(), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_caps_at_observed_max() {
+        let mut h = Histogram::with_bounds(vec![100.0]);
+        h.record(3.0);
+        h.record(4.0);
+        // Bucket edge is 100 but nothing above 4 was seen.
+        assert_eq!(h.percentile(0.5), Some(4.0));
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.inc("sim.placements", 2);
+        m.inc("sim.placements", 3);
+        m.set_gauge("sim.opened_pms", 7.0);
+        m.observe("sched.select", 10.0);
+        m.observe("sched.select", 20.0);
+        assert_eq!(m.counter("sim.placements"), 5);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("sim.opened_pms"), Some(7.0));
+        assert_eq!(m.histogram("sched.select").unwrap().count(), 2);
+
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["sim.placements"], 5);
+        assert_eq!(snap.gauges["sim.opened_pms"], 7.0);
+        assert_eq!(snap.histograms["sched.select"].count, 2);
+        // The summary round-trips through JSON.
+        let json = m.to_json();
+        let back: MetricsSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let text = m.render_text();
+        assert!(text.contains("sim.placements"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("histograms"));
+    }
+
+    #[test]
+    fn custom_registration_wins_over_default_layout() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("x", vec![1.0, 2.0]);
+        m.observe("x", 1.5);
+        assert_eq!(m.histogram("x").unwrap().percentile(1.0), Some(1.5));
+    }
+
+    proptest! {
+        /// On arbitrary samples the bucket answer brackets the exact
+        /// nearest-rank answer: it is >= the exact value and <= the
+        /// exact value's bucket upper edge.
+        #[test]
+        fn bucketed_percentile_brackets_exact(
+            samples in prop::collection::vec(0.0f64..1000.0, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut h = Histogram::with_bounds((0..=100).map(|i| i as f64 * 10.0).collect());
+            for s in &samples {
+                h.record(*s);
+            }
+            let exact = exact_percentile(&samples, q).unwrap();
+            let bucketed = h.percentile(q).unwrap();
+            prop_assert!(bucketed >= exact - 1e-9, "bucketed {bucketed} < exact {exact}");
+            // The exact value's bucket edge: ceil to the next multiple of 10.
+            let edge = (exact / 10.0).ceil() * 10.0;
+            prop_assert!(bucketed <= edge + 1e-9, "bucketed {bucketed} > edge {edge}");
+        }
+
+        #[test]
+        fn bucketed_percentile_is_monotone_in_q(
+            samples in prop::collection::vec(0.0f64..100.0, 1..100),
+            qa in 0.0f64..=1.0,
+            qb in 0.0f64..=1.0,
+        ) {
+            let mut h = Histogram::duration_us();
+            for s in &samples {
+                h.record(*s);
+            }
+            let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+            prop_assert!(h.percentile(lo).unwrap() <= h.percentile(hi).unwrap());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The recording interface instrumented code talks to.
+//!
+//! Hot paths are generic over [`Recorder`] and guard every emission with
+//! [`Recorder::enabled`]; with the default [`NullRecorder`] the guard is
+//! a constant `false` the optimizer folds away, so instrumentation costs
+//! nothing when disabled — no clock reads, no allocation, no event
+//! construction.
+
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// A running span measurement handed back by [`Recorder::begin`].
+///
+/// Only a real recorder ever constructs one; the no-op path returns
+/// `None` and never touches the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    pub(crate) name: &'static str,
+    pub(crate) start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts a measurement now.
+    pub fn start(name: &'static str) -> Self {
+        SpanTimer {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The sink instrumented code records into.
+///
+/// Every method has a no-op default, so implementations opt into the
+/// signals they care about. Call sites on hot paths should wrap event
+/// construction in `if recorder.enabled() { ... }` so the disabled path
+/// does no work at all.
+pub trait Recorder {
+    /// Whether this recorder captures anything. Hot paths use this to
+    /// skip event construction entirely.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a journal event at simulation time `time_secs`.
+    #[inline]
+    fn record(&mut self, time_secs: u64, event: Event) {
+        let _ = (time_secs, event);
+    }
+
+    /// Increments a named counter.
+    #[inline]
+    fn count(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets a named gauge.
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Feeds one observation into a named histogram.
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Opens a timing span. The no-op default returns `None` without
+    /// reading the clock.
+    #[inline]
+    fn begin(&mut self, name: &'static str) -> Option<SpanTimer> {
+        let _ = name;
+        None
+    }
+
+    /// Closes a span opened by [`Recorder::begin`].
+    #[inline]
+    fn end(&mut self, timer: Option<SpanTimer>) {
+        let _ = timer;
+    }
+}
+
+/// The do-nothing recorder: all trait defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Forwarding impl so a `&mut R` can itself be passed where a recorder
+/// is expected (convenient when threading one recorder through several
+/// layers).
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn record(&mut self, time_secs: u64, event: Event) {
+        (**self).record(time_secs, event)
+    }
+    #[inline]
+    fn count(&mut self, name: &'static str, delta: u64) {
+        (**self).count(name, delta)
+    }
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        (**self).gauge(name, value)
+    }
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: f64) {
+        (**self).observe(name, value)
+    }
+    #[inline]
+    fn begin(&mut self, name: &'static str) -> Option<SpanTimer> {
+        (**self).begin(name)
+    }
+    #[inline]
+    fn end(&mut self, timer: Option<SpanTimer>) {
+        (**self).end(timer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{PmId, VmId};
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let mut null = NullRecorder;
+        assert!(!null.enabled());
+        null.record(0, Event::PmOpened { pm: PmId(0) });
+        null.count("x", 1);
+        null.gauge("y", 1.0);
+        null.observe("z", 1.0);
+        let span = null.begin("w");
+        assert!(span.is_none());
+        null.end(span);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut null = NullRecorder;
+        let mut via_ref: &mut NullRecorder = &mut null;
+        assert!(!via_ref.enabled());
+        via_ref.record(1, Event::VmLost { vm: VmId(1) });
+        assert!(via_ref.begin("s").is_none());
+    }
+}

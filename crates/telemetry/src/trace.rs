@@ -1,0 +1,125 @@
+//! Span collection and the Chrome trace-event exporter.
+//!
+//! The output follows the Trace Event Format's "complete event"
+//! (`"ph": "X"`) JSON flavour, which `chrome://tracing` and Perfetto
+//! load directly: an object with a `traceEvents` array whose entries
+//! carry microsecond `ts`/`dur` fields.
+
+use serde::Serialize;
+
+/// One closed span: a named duration on the wall-clock timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceSpan {
+    /// Span label (e.g. `"sched.select"`).
+    pub name: &'static str,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// Collects spans and renders the Chrome trace JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuilder {
+    spans: Vec<TraceSpan>,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a closed span.
+    pub fn push(&mut self, span: TraceSpan) {
+        self.spans.push(span);
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Renders the Chrome trace-event JSON (open in Perfetto via
+    /// <https://ui.perfetto.dev> or `chrome://tracing`).
+    pub fn to_chrome_json(&self) -> String {
+        let events: Vec<serde_json::Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "name": s.name,
+                    "cat": "slackvm",
+                    "ph": "X",
+                    "ts": s.start_us,
+                    "dur": s.dur_us,
+                    "pid": 1,
+                    "tid": 1,
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        });
+        serde_json::to_string(&doc).expect("trace serializes")
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    pub fn write_chrome(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut t = TraceBuilder::new();
+        assert!(t.is_empty());
+        t.push(TraceSpan {
+            name: "sim.dispatch",
+            start_us: 0,
+            dur_us: 12,
+        });
+        t.push(TraceSpan {
+            name: "sched.select",
+            start_us: 3,
+            dur_us: 5,
+        });
+        assert_eq!(t.len(), 2);
+
+        let json = t.to_chrome_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["name"], "sim.dispatch");
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[1]["ts"], 3);
+        assert_eq!(events[1]["dur"], 5);
+        for e in events {
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+                assert!(!e[key].is_null(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_still_parses() {
+        let json = TraceBuilder::new().to_chrome_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

@@ -253,7 +253,7 @@ mod tests {
         assert_eq!(t.core(CoreId(0)).numa, 0);
         assert_eq!(t.core(CoreId(4)).numa, 1);
         assert_eq!(t.core(CoreId(8)).numa, 2); // socket 1 starts
-        // Distances: local 10, intra-socket 12, remote 32.
+                                               // Distances: local 10, intra-socket 12, remote 32.
         assert_eq!(t.numa_distance(0, 0), 10);
         assert_eq!(t.numa_distance(0, 1), 12);
         assert_eq!(t.numa_distance(0, 2), 32);

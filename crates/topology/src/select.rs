@@ -61,15 +61,13 @@ impl SelectionPolicy for TopologySelection {
             // Nothing to be close to: lowest id keeps determinism.
             return free.iter().copied().min();
         }
-        free.iter()
-            .copied()
-            .min_by_key(|&c| {
-                let d = self
-                    .matrix
-                    .min_distance_to_set(c, members)
-                    .expect("members is non-empty");
-                (d, c)
-            })
+        free.iter().copied().min_by_key(|&c| {
+            let d = self
+                .matrix
+                .min_distance_to_set(c, members)
+                .expect("members is non-empty");
+            (d, c)
+        })
     }
 
     fn pick_seed(&self, occupied: &[CoreId], free: &[CoreId]) -> Option<CoreId> {

@@ -7,9 +7,7 @@ use thiserror::Error;
 pub const MAX_CACHE_LEVELS: usize = 4;
 
 /// Index of a schedulable CPU (a hardware thread on SMT machines).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CoreId(pub u32);
 
@@ -30,9 +28,7 @@ impl std::fmt::Display for CoreId {
 /// Identifier of a cache *zone* at some level: cores reporting the same
 /// `CacheId` at level `l` share that cache. Mirrors the per-level IDs Linux
 /// exposes under `/sys/devices/system/cpu/cpu*/cache/index*/id`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CacheId(pub u32);
 
@@ -76,7 +72,9 @@ pub enum TopologyError {
     },
 
     /// A NUMA node index outside the distance table.
-    #[error("core {core} references NUMA node {numa}, but the distance table covers {nodes} nodes")]
+    #[error(
+        "core {core} references NUMA node {numa}, but the distance table covers {nodes} nodes"
+    )]
     NumaOutOfRange {
         /// Offending core id.
         core: u32,
@@ -195,7 +193,11 @@ impl CpuTopology {
 
     /// Number of distinct sockets.
     pub fn num_sockets(&self) -> u32 {
-        self.cores.iter().map(|c| c.socket).max().map_or(0, |m| m + 1)
+        self.cores
+            .iter()
+            .map(|c| c.socket)
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// Number of NUMA nodes in the distance table.

@@ -53,7 +53,12 @@ pub fn fig2_svg(outcome: &Fig2Outcome) -> String {
     for (i, row) in outcome.levels.iter().enumerate() {
         let cx = x0 + group_w * (i as f64 + 0.5);
         for (offset, dist, color, label) in [
-            (-group_w * 0.15, &row.baseline_dist, palette::BASELINE, "base"),
+            (
+                -group_w * 0.15,
+                &row.baseline_dist,
+                palette::BASELINE,
+                "base",
+            ),
             (group_w * 0.15, &row.slackvm_dist, palette::SLACKVM, "slack"),
         ] {
             let x = cx + offset;
@@ -154,7 +159,10 @@ pub fn fig4_svg(grid: &Fig4Grid) -> String {
         20.0,
         13.0,
         "middle",
-        &format!("Fig. 4 — % PMs saved ({}, step {})", grid.provider, grid.step),
+        &format!(
+            "Fig. 4 — % PMs saved ({}, step {})",
+            grid.provider, grid.step
+        ),
     );
     let max_abs = grid
         .cells
@@ -218,22 +226,42 @@ pub fn occupancy_svg(samples: &[OccupancySample], title: &str) -> String {
         return doc.finish();
     }
     let t_max = samples.last().map_or(1, |s| s.time_secs).max(1);
-    let pop_max = samples.iter().map(|s| s.alive_vms).max().unwrap_or(1).max(1);
+    let pop_max = samples
+        .iter()
+        .map(|s| s.alive_vms)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let x = LinearScale::new((0.0, t_max as f64 / 86_400.0), (x0, x1));
     let y_pop = LinearScale::new((0.0, pop_max as f64 * 1.1), (y1, y0));
     let y_share = LinearScale::new((0.0, 1.0), (y1, y0));
 
     let pop_points: Vec<(f64, f64)> = samples
         .iter()
-        .map(|s| (x.map(s.time_secs as f64 / 86_400.0), y_pop.map(s.alive_vms as f64)))
+        .map(|s| {
+            (
+                x.map(s.time_secs as f64 / 86_400.0),
+                y_pop.map(s.alive_vms as f64),
+            )
+        })
         .collect();
     let cpu_points: Vec<(f64, f64)> = samples
         .iter()
-        .map(|s| (x.map(s.time_secs as f64 / 86_400.0), y_share.map(s.unallocated_cpu)))
+        .map(|s| {
+            (
+                x.map(s.time_secs as f64 / 86_400.0),
+                y_share.map(s.unallocated_cpu),
+            )
+        })
         .collect();
     let mem_points: Vec<(f64, f64)> = samples
         .iter()
-        .map(|s| (x.map(s.time_secs as f64 / 86_400.0), y_share.map(s.unallocated_mem)))
+        .map(|s| {
+            (
+                x.map(s.time_secs as f64 / 86_400.0),
+                y_share.map(s.unallocated_mem),
+            )
+        })
         .collect();
     doc.polyline(&pop_points, palette::BASELINE, 1.5);
     doc.polyline(&cpu_points, palette::CPU, 1.0);
@@ -303,9 +331,30 @@ mod tests {
             provider: "azure".into(),
             step: 50,
             cells: vec![
-                Fig4Cell { p1: 0, p2: 0, p3: 100, baseline_pms: 10, slackvm_pms: 10, savings_pct: 0.0 },
-                Fig4Cell { p1: 50, p2: 0, p3: 50, baseline_pms: 10, slackvm_pms: 9, savings_pct: 10.0 },
-                Fig4Cell { p1: 0, p2: 50, p3: 50, baseline_pms: 10, slackvm_pms: 11, savings_pct: -10.0 },
+                Fig4Cell {
+                    p1: 0,
+                    p2: 0,
+                    p3: 100,
+                    baseline_pms: 10,
+                    slackvm_pms: 10,
+                    savings_pct: 0.0,
+                },
+                Fig4Cell {
+                    p1: 50,
+                    p2: 0,
+                    p3: 50,
+                    baseline_pms: 10,
+                    slackvm_pms: 9,
+                    savings_pct: 10.0,
+                },
+                Fig4Cell {
+                    p1: 0,
+                    p2: 50,
+                    p3: 50,
+                    baseline_pms: 10,
+                    slackvm_pms: 11,
+                    savings_pct: -10.0,
+                },
             ],
         };
         let svg = fig4_svg(&grid);

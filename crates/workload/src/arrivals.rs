@@ -80,7 +80,9 @@ impl ArrivalModel {
 
     /// Switches to heavy-tailed (log-normal) lifetimes.
     pub fn with_lognormal_lifetimes(mut self, sigma: f64) -> Self {
-        self.lifetime = LifetimeModel::LogNormal { sigma: sigma.max(0.0) };
+        self.lifetime = LifetimeModel::LogNormal {
+            sigma: sigma.max(0.0),
+        };
         self
     }
 

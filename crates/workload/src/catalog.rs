@@ -92,7 +92,10 @@ impl Catalog {
     /// Weighted mean memory per VM in GiB (Table I's second column).
     pub fn mean_mem_gib(&self) -> f64 {
         let (num, den) = self.flavors.iter().fold((0.0, 0.0), |(n, d), f| {
-            (n + f.weight * mib_to_gib_f64(f.request.mem_mib), d + f.weight)
+            (
+                n + f.weight * mib_to_gib_f64(f.request.mem_mib),
+                d + f.weight,
+            )
         });
         num / den
     }
@@ -245,15 +248,31 @@ mod tests {
     #[test]
     fn table1_azure_averages_within_tolerance() {
         let c = azure();
-        assert!((c.mean_vcpus() - 2.25).abs() < 0.15, "got {}", c.mean_vcpus());
-        assert!((c.mean_mem_gib() - 4.8).abs() < 0.25, "got {}", c.mean_mem_gib());
+        assert!(
+            (c.mean_vcpus() - 2.25).abs() < 0.15,
+            "got {}",
+            c.mean_vcpus()
+        );
+        assert!(
+            (c.mean_mem_gib() - 4.8).abs() < 0.25,
+            "got {}",
+            c.mean_mem_gib()
+        );
     }
 
     #[test]
     fn table1_ovh_averages_within_tolerance() {
         let c = ovhcloud();
-        assert!((c.mean_vcpus() - 3.24).abs() < 0.15, "got {}", c.mean_vcpus());
-        assert!((c.mean_mem_gib() - 10.05).abs() < 0.35, "got {}", c.mean_mem_gib());
+        assert!(
+            (c.mean_vcpus() - 3.24).abs() < 0.15,
+            "got {}",
+            c.mean_vcpus()
+        );
+        assert!(
+            (c.mean_mem_gib() - 10.05).abs() < 0.35,
+            "got {}",
+            c.mean_mem_gib()
+        );
     }
 
     #[test]
@@ -352,13 +371,19 @@ mod tests {
                 Flavor::new("a", 2, gib(2), 1.0),
             ],
         };
-        assert!(matches!(dup.validate(), Err(CatalogError::DuplicateName(_))));
+        assert!(matches!(
+            dup.validate(),
+            Err(CatalogError::DuplicateName(_))
+        ));
         let nan = Catalog {
             provider: "x".into(),
             flavors: vec![Flavor::new("a", 1, gib(1), f64::NAN)],
         };
         assert!(matches!(nan.validate(), Err(CatalogError::BadWeight(..))));
-        let empty = Catalog { provider: "x".into(), flavors: vec![] };
+        let empty = Catalog {
+            provider: "x".into(),
+            flavors: vec![],
+        };
         assert!(matches!(empty.validate(), Err(CatalogError::Empty(_))));
     }
 

@@ -91,8 +91,7 @@ mod tests {
         let arrivals = base.num_arrivals();
         // ~40% of VMs resize (binomial noise allowed).
         assert!(
-            (resizes as f64) > arrivals as f64 * 0.25
-                && (resizes as f64) < arrivals as f64 * 0.55,
+            (resizes as f64) > arrivals as f64 * 0.25 && (resizes as f64) < arrivals as f64 * 0.55,
             "{resizes} resizes over {arrivals} arrivals"
         );
         // Arrival/departure structure untouched.
@@ -122,10 +121,8 @@ mod tests {
     fn resizes_respect_the_tier_catalog() {
         let base = base_trace(3);
         let resized = inject_resizes(&base, &catalog::azure(), 1.0, 2);
-        let level_of: std::collections::BTreeMap<_, _> = base
-            .instances()
-            .map(|vm| (vm.id, vm.spec.level))
-            .collect();
+        let level_of: std::collections::BTreeMap<_, _> =
+            base.instances().map(|vm| (vm.id, vm.spec.level)).collect();
         for (_, event) in &resized.events {
             if let WorkloadEvent::Resize { id, mem_mib, .. } = event {
                 if !level_of[id].is_premium() {

@@ -45,9 +45,7 @@ pub fn paper_week_f(population: u32) -> Scenario {
         name: "paper-week-f".into(),
         description: "one week, OVHcloud sizes, 50% premium + 50% 3:1 (paper dist F)".into(),
         catalog: catalog::ovhcloud(),
-        mix: DistributionPoint::by_letter('F')
-            .expect("F exists")
-            .mix(),
+        mix: DistributionPoint::by_letter('F').expect("F exists").mix(),
         arrivals: ArrivalModel::paper_week(population),
     }
 }
@@ -60,8 +58,7 @@ pub fn burst_day(population: u32) -> Scenario {
         description: "diurnal arrivals (amplitude 0.8), 6 h mean lifetimes, Azure sizes".into(),
         catalog: catalog::azure(),
         mix: LevelMix::three_level(20.0, 30.0, 50.0).expect("positive shares"),
-        arrivals: ArrivalModel::constant(population, 6 * 3600, 3 * 86_400)
-            .with_diurnal_rate(0.8),
+        arrivals: ArrivalModel::constant(population, 6 * 3600, 3 * 86_400).with_diurnal_rate(0.8),
     }
 }
 

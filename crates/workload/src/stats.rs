@@ -151,10 +151,8 @@ mod tests {
     #[test]
     fn empty_trace_yields_none() {
         assert!(TraceStats::of(&Workload::default()).is_none());
-        assert!(TraceStats::empirical_mc_ratio(
-            &Workload::default(),
-            OversubLevel::of(1)
-        )
-        .is_none());
+        assert!(
+            TraceStats::empirical_mc_ratio(&Workload::default(), OversubLevel::of(1)).is_none()
+        );
     }
 }

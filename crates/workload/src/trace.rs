@@ -165,8 +165,8 @@ impl WorkloadGenerator {
     pub fn generate(&self) -> Workload {
         let mut rng = ChaCha8Rng::seed_from_u64(self.spec.seed);
         let class_mix = paper_class_mix();
-        let class_dist = WeightedIndex::new(class_mix.iter().map(|(_, w)| *w))
-            .expect("class mix is positive");
+        let class_dist =
+            WeightedIndex::new(class_mix.iter().map(|(_, w)| *w)).expect("class mix is positive");
 
         let mut events: Vec<(u64, WorkloadEvent)> = Vec::new();
         let mut t = 0u64;
@@ -276,9 +276,7 @@ mod tests {
     fn class_mix_proportions_hold() {
         let w = WorkloadGenerator::new(paper_spec(6)).generate();
         let n = w.num_arrivals() as f64;
-        let count = |class| {
-            w.instances().filter(|vm| vm.class == class).count() as f64 / n
-        };
+        let count = |class| w.instances().filter(|vm| vm.class == class).count() as f64 / n;
         use crate::usage::UsageClass::*;
         assert!((count(Idle) - 0.10).abs() < 0.05);
         assert!((count(Stress) - 0.60).abs() < 0.05);

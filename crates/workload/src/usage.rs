@@ -95,16 +95,23 @@ impl CpuUsageModel {
         let u = match *self {
             CpuUsageModel::Idle { base } => base + jitter(seed, t_secs) * base,
             CpuUsageModel::Constant { base } => base + jitter(seed, t_secs) * 0.05,
-            CpuUsageModel::Diurnal { low, high, phase_secs } => {
-                let day_pos =
-                    ((t_secs + phase_secs) % DAY_SECS) as f64 / DAY_SECS as f64;
+            CpuUsageModel::Diurnal {
+                low,
+                high,
+                phase_secs,
+            } => {
+                let day_pos = ((t_secs + phase_secs) % DAY_SECS) as f64 / DAY_SECS as f64;
                 let wave = 0.5 - 0.5 * (day_pos * std::f64::consts::TAU).cos();
                 low + (high - low) * wave + jitter(seed, t_secs) * 0.05
             }
-            CpuUsageModel::Bursty { high, low, period_secs, duty } => {
+            CpuUsageModel::Bursty {
+                high,
+                low,
+                period_secs,
+                duty,
+            } => {
                 let period = period_secs.max(1);
-                let pos = ((t_secs + splitmix(seed) % period) % period) as f64
-                    / period as f64;
+                let pos = ((t_secs + splitmix(seed) % period) % period) as f64 / period as f64;
                 if pos < duty.clamp(0.0, 1.0) {
                     high + jitter(seed, t_secs) * 0.05
                 } else {
@@ -153,7 +160,11 @@ mod tests {
 
     #[test]
     fn diurnal_peaks_and_troughs_exist() {
-        let m = CpuUsageModel::Diurnal { low: 0.1, high: 0.6, phase_secs: 0 };
+        let m = CpuUsageModel::Diurnal {
+            low: 0.1,
+            high: 0.6,
+            phase_secs: 0,
+        };
         // Trough at t=0 (cos peak), peak at half-day.
         assert!(m.utilization(0, 0) < 0.25);
         assert!(m.utilization(0, DAY_SECS / 2) > 0.45);
@@ -161,7 +172,12 @@ mod tests {
 
     #[test]
     fn bursty_alternates() {
-        let m = CpuUsageModel::Bursty { high: 0.9, low: 0.05, period_secs: 100, duty: 0.5 };
+        let m = CpuUsageModel::Bursty {
+            high: 0.9,
+            low: 0.05,
+            period_secs: 100,
+            duty: 0.5,
+        };
         let samples: Vec<f64> = (0..200).map(|t| m.utilization(0, t)).collect();
         let highs = samples.iter().filter(|&&u| u > 0.5).count();
         let lows = samples.iter().filter(|&&u| u < 0.2).count();

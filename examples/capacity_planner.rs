@@ -26,8 +26,7 @@ fn workload(population: u32) -> Workload {
 }
 
 fn run_with_fleet(w: &Workload, fleet: u32) -> PackingOutcome {
-    let shared =
-        SharedDeployment::with_capped_cluster(Arc::new(flat(32)), gib(128), fleet);
+    let shared = SharedDeployment::with_capped_cluster(Arc::new(flat(32)), gib(128), fleet);
     let mut model = DeploymentModel::Shared(shared);
     run_packing(w, &mut model)
 }
@@ -70,10 +69,16 @@ fn main() {
         t.row([
             fleet.to_string(),
             out.rejections.to_string(),
-            format!("{:.1}%", out.rejections as f64 / out.deployments as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                out.rejections as f64 / out.deployments as f64 * 100.0
+            ),
         ]);
     }
-    println!("admission behaviour under shrinking fleets:\n{}", t.render());
+    println!(
+        "admission behaviour under shrinking fleets:\n{}",
+        t.render()
+    );
 
     // 3. Compaction: stop the replay at mid-week and analyze.
     let shared = SharedDeployment::new(Arc::new(flat(32)), gib(128));

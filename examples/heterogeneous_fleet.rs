@@ -37,10 +37,18 @@ fn main() {
     // Open one worker of each shape with a seed VM so the scorer has
     // real candidates to compare.
     cluster
-        .deploy(VmId(1000), VmSpec::of(2, gib(4), OversubLevel::of(1)), &policy)
+        .deploy(
+            VmId(1000),
+            VmSpec::of(2, gib(4), OversubLevel::of(1)),
+            &policy,
+        )
         .unwrap();
     cluster
-        .deploy(VmId(1001), VmSpec::of(14, gib(14), OversubLevel::of(1)), &policy)
+        .deploy(
+            VmId(1001),
+            VmSpec::of(14, gib(14), OversubLevel::of(1)),
+            &policy,
+        )
         .unwrap();
 
     // Now deploy a stream of strongly-typed VMs and record where they go.

@@ -18,13 +18,14 @@ fn main() {
     };
     println!(
         "Protocol: {} VMs steady-state over one week, workers {}, seed {:#x}\n",
-        config.target_population,
-        config.host,
-        config.seed
+        config.target_population, config.host, config.seed
     );
 
     for provider in [catalog::azure(), catalog::ovhcloud()] {
-        println!("=== Fig. 3 — unallocated resources at peak ({}) ===\n", provider.provider);
+        println!(
+            "=== Fig. 3 — unallocated resources at peak ({}) ===\n",
+            provider.provider
+        );
         let rows = run_fig3(&provider, &config);
         let mut t = TextTable::new([
             "Distribution",

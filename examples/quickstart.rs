@@ -21,7 +21,9 @@ fn main() {
         (VmId(2), VmSpec::of(6, gib(8), OversubLevel::of(3))),
     ];
     for (id, spec) in deployments {
-        machine.deploy(id, spec).expect("the empty worker fits all three");
+        machine
+            .deploy(id, spec)
+            .expect("the empty worker fits all three");
         println!("deployed {id}: {spec}");
     }
 

@@ -45,7 +45,10 @@ fn main() -> std::io::Result<()> {
     slackvm::sim::run_packing_with_samples(&workload, &mut model, Some(&mut samples));
     std::fs::write(
         out_dir.join("occupancy_paper_week_f.svg"),
-        occupancy_svg(&samples, "SlackVM pool occupancy — paper week, distribution F"),
+        occupancy_svg(
+            &samples,
+            "SlackVM pool occupancy — paper week, distribution F",
+        ),
     )?;
     if let Some(steady) = slackvm::sim::analyze_steady_state(&samples) {
         println!(
@@ -59,7 +62,11 @@ fn main() -> std::io::Result<()> {
 
     for entry in std::fs::read_dir(out_dir)? {
         let entry = entry?;
-        println!("wrote {} ({} bytes)", entry.path().display(), entry.metadata()?.len());
+        println!(
+            "wrote {} ({} bytes)",
+            entry.path().display(),
+            entry.metadata()?.len()
+        );
     }
     Ok(())
 }

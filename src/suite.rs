@@ -23,7 +23,11 @@ pub fn test_workload(
 
 /// The three paper levels.
 pub fn paper_levels() -> Vec<OversubLevel> {
-    vec![OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)]
+    vec![
+        OversubLevel::of(1),
+        OversubLevel::of(2),
+        OversubLevel::of(3),
+    ]
 }
 
 #[cfg(test)]

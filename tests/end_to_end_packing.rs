@@ -93,7 +93,10 @@ fn capped_cluster_reports_rejections_but_survives() {
     );
     let mut model = DeploymentModel::Shared(shared);
     let out = run_packing(&w, &mut model);
-    assert!(out.rejections > 0, "a 3-host cap must reject part of the load");
+    assert!(
+        out.rejections > 0,
+        "a 3-host cap must reject part of the load"
+    );
     assert_eq!(out.opened_pms, 3);
     assert_eq!(
         out.deployments,

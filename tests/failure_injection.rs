@@ -57,8 +57,7 @@ fn capped_pool_loses_vms_when_capacity_vanishes() {
         &mut DeploymentModel::Shared(std::mem::replace(&mut probe, pool())),
     );
     let cap = baseline.opened_pms;
-    let mut deployment =
-        SharedDeployment::with_capped_cluster(Arc::new(flat(32)), gib(128), cap);
+    let mut deployment = SharedDeployment::with_capped_cluster(Arc::new(flat(32)), gib(128), cap);
     // Fail a host mid-week at peak-ish occupancy.
     let failures = vec![(4 * 86_400u64, PmId(0))];
     let (_, stats) = run_packing_with_failures(&w, &mut deployment, &failures);

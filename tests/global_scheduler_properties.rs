@@ -166,7 +166,7 @@ fn progress_scorer_beats_first_fit_on_a_constructed_complementarity_case() {
     // i.e. a VM slightly CPU-side of PM 1's ratio with PM 0 saturated
     // in CPU terms is steered by the load factor:
     let slightly_cpu = VmSpec::of(4, gib(12), OversubLevel::PREMIUM); // ratio 3
-    // PM 0: next (96+12)/20 = 5.4, Δ 2->1.4: +0.6. PM 1: next 44/12 ≈
-    // 3.67, Δ 0->0.33: −0.33·factor. PM 0 wins on genuine progress.
+                                                                      // PM 0: next (96+12)/20 = 5.4, Δ 2->1.4: +0.6. PM 1: next 44/12 ≈
+                                                                      // 3.67, Δ 0->0.33: −0.33·factor. PM 0 wins on genuine progress.
     assert_eq!(progress.select(&cands, &slightly_cpu), Some(PmId(0)));
 }

@@ -10,10 +10,17 @@ use slackvm::prelude::*;
 /// A random operation against one machine.
 #[derive(Debug, Clone)]
 enum Op {
-    Deploy { vcpus: u32, mem_gib: u64, level: u32 },
+    Deploy {
+        vcpus: u32,
+        mem_gib: u64,
+        level: u32,
+    },
     RemoveOldest,
     RemoveNewest,
-    ResizeOldest { vcpus: u32, mem_gib: u64 },
+    ResizeOldest {
+        vcpus: u32,
+        mem_gib: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -37,7 +44,11 @@ fn run_ops(machine: &mut PhysicalMachine, ops: &[Op]) {
     let mut next = 0u64;
     for op in ops {
         match op {
-            Op::Deploy { vcpus, mem_gib, level } => {
+            Op::Deploy {
+                vcpus,
+                mem_gib,
+                level,
+            } => {
                 let spec = VmSpec::of(*vcpus, gib(*mem_gib), OversubLevel::of(*level));
                 let id = VmId(next);
                 next += 1;
@@ -69,7 +80,9 @@ fn run_ops(machine: &mut PhysicalMachine, ops: &[Op]) {
                 }
             }
         }
-        machine.check_invariants().expect("invariants after every op");
+        machine
+            .check_invariants()
+            .expect("invariants after every op");
     }
     // Drain and re-check.
     for id in alive {

@@ -108,7 +108,11 @@ fn fig2_shape_premium_preserved_and_3to1_degraded() {
     assert!(rows[1].slackvm_ms <= rows[2].slackvm_ms);
     // Premium preserved (paper: <10% at p90), 3:1 pays the bill
     // (paper: x2.21).
-    assert!(rows[0].overhead < 1.15, "premium overhead {}", rows[0].overhead);
+    assert!(
+        rows[0].overhead < 1.15,
+        "premium overhead {}",
+        rows[0].overhead
+    );
     assert!(rows[2].overhead > 1.3, "3:1 overhead {}", rows[2].overhead);
     assert!(rows[2].overhead > rows[0].overhead);
 }

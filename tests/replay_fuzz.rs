@@ -30,14 +30,16 @@ fn fuzz_vm() -> impl Strategy<Value = FuzzVm> {
         1u32..=3,
         prop::option::of((1u32..8, 1u64..16)),
     )
-        .prop_map(|(arrival, lifetime, vcpus, mem_gib, level, resize)| FuzzVm {
-            arrival,
-            lifetime,
-            vcpus,
-            mem_gib,
-            level,
-            resize,
-        })
+        .prop_map(
+            |(arrival, lifetime, vcpus, mem_gib, level, resize)| FuzzVm {
+                arrival,
+                lifetime,
+                vcpus,
+                mem_gib,
+                level,
+                resize,
+            },
+        )
 }
 
 fn build_trace(vms: &[FuzzVm]) -> Workload {
@@ -55,10 +57,7 @@ fn build_trace(vms: &[FuzzVm]) -> Workload {
             departure_secs: vm.arrival + vm.lifetime,
         };
         events.push((vm.arrival, WorkloadEvent::Arrival(Box::new(instance))));
-        events.push((
-            vm.arrival + vm.lifetime,
-            WorkloadEvent::Departure { id },
-        ));
+        events.push((vm.arrival + vm.lifetime, WorkloadEvent::Departure { id }));
         if let Some((vcpus, mem_gib)) = vm.resize {
             events.push((
                 vm.arrival + vm.lifetime / 2,

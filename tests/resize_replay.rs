@@ -29,8 +29,7 @@ fn both_models_absorb_resize_churn_and_drain_clean() {
     let base = run_packing(&w, &mut dedicated);
     assert_eq!(base.rejections, 0);
 
-    let mut shared =
-        DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+    let mut shared = DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
     let slack = run_packing(&w, &mut shared);
     assert_eq!(slack.rejections, 0);
     if let DeploymentModel::Shared(s) = &shared {
@@ -78,8 +77,7 @@ fn resize_churn_changes_the_packing() {
 fn direct_resize_api_round_trips_on_both_models() {
     let spec = VmSpec::of(2, gib(4), OversubLevel::of(2));
     // Shared.
-    let mut shared =
-        DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
+    let mut shared = DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)));
     shared.deploy(VmId(0), spec).unwrap();
     shared.resize(VmId(0), 6, gib(12)).unwrap();
     let (alloc, _) = shared.totals();

@@ -18,7 +18,11 @@ fn tiered_slo_policy_judges_the_fig2_run() {
     .run();
     // A tiered policy scaled off the premium baseline with generous
     // slack: every tier's SlackVM median p90 passes.
-    let levels = [OversubLevel::of(1), OversubLevel::of(2), OversubLevel::of(3)];
+    let levels = [
+        OversubLevel::of(1),
+        OversubLevel::of(2),
+        OversubLevel::of(3),
+    ];
     let policy = SloPolicy::scaled(out.levels[0].baseline_ms, 6.0, levels);
     for row in &out.levels {
         let slo = policy.get(row.level).expect("declared tier");
@@ -50,11 +54,7 @@ fn slo_attainment_report_over_synthetic_series() {
     let mut bad = vec![3.0; 30];
     bad.extend(vec![50.0; 20]);
     samples.insert(VmId(3), (OversubLevel::of(3), bad));
-    let policy = SloPolicy::scaled(
-        1.5,
-        1.0,
-        [OversubLevel::of(1), OversubLevel::of(3)],
-    );
+    let policy = SloPolicy::scaled(1.5, 1.0, [OversubLevel::of(1), OversubLevel::of(3)]);
     let report = policy.attainment(&samples);
     assert_eq!(report.rows.len(), 2);
     assert_eq!(report.rows[0].met, 2);
@@ -97,9 +97,8 @@ fn steady_state_of_a_real_replay_is_sane_for_both_models() {
     // The shared pool strands less in steady state on this
     // complementary mix.
     let (dedicated, shared) = (&results[0], &results[1]);
-    let total = |s: &slackvm::sim::SteadyStateSummary| {
-        s.mean_unallocated_cpu + s.mean_unallocated_mem
-    };
+    let total =
+        |s: &slackvm::sim::SteadyStateSummary| s.mean_unallocated_cpu + s.mean_unallocated_mem;
     assert!(
         total(shared) < total(dedicated) + 1e-9,
         "shared {:.3} vs dedicated {:.3}",
