@@ -35,10 +35,20 @@ commands:
                                  (M: a letter A..O or 'p1,p2,p3' shares)
   replay    --trace FILE --model dedicated|shared [--fleet N]
             [--events-out FILE] [--trace-out FILE] [--metrics-out FILE]
+            [--series-out FILE] [--prom-out FILE]
+            [--sample-interval SECS] [--sample-per-pm]
                                  replay a JSON trace; optionally record a
                                  JSONL event journal, a Chrome trace
-                                 (Perfetto-loadable), and a metrics
-                                 summary (.json for JSON, else text)
+                                 (Perfetto-loadable), a metrics summary
+                                 (.json for JSON, else text), a sampled
+                                 time-series CSV, and a Prometheus
+                                 text exposition
+  obs       --series FILE [--prom FILE] [--gnuplot-out FILE]
+            [--png-out FILE]     dashboard for a sampled run: summary
+                                 table with sparklines from a
+                                 --series-out CSV; optionally validate a
+                                 Prometheus file and emit a gnuplot
+                                 script
   compact   --trace FILE [--at-day D]
                                  compaction analysis of the day-D state
   sweep     mc|population|seeds --provider P [--mix M] [--population N]
@@ -50,7 +60,8 @@ commands:
                                  worker and print the core map
   scenarios [--population N] [--run NAME]
                                  tour the canned workload scenarios
-  steady    --trace FILE [--model M] [--svg FILE]
+  steady    --trace FILE [--model M] [--svg FILE] [--series-out FILE]
+            [--sample-interval SECS]
                                  steady-state analysis of a replay
   report    --trace FILE [--out FILE]
                                  full markdown report for a trace
@@ -344,6 +355,10 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         "events-out",
         "trace-out",
         "metrics-out",
+        "series-out",
+        "prom-out",
+        "sample-interval",
+        "sample-per-pm",
     ])?;
     let workload = load_trace(args)?;
     let fleet: Option<u32> = args.get_parsed("fleet")?;
@@ -372,13 +387,33 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
-    let recording = ["events-out", "trace-out", "metrics-out"]
+    let sampling = ["series-out", "prom-out", "sample-interval"]
         .iter()
-        .any(|key| args.get(key).is_some());
+        .any(|key| args.get(key).is_some())
+        || args.has_flag("sample-per-pm");
+    let recording = sampling
+        || ["events-out", "trace-out", "metrics-out"]
+            .iter()
+            .any(|key| args.get(key).is_some());
+    let sample_interval: u64 = args.get_parsed_or("sample-interval", 3600)?;
     let mut notes = String::new();
     let out = if recording {
         let mut telemetry = Telemetry::new();
-        let out = run_packing_recorded(&workload, &mut model, &mut telemetry);
+        let mut sampler = sampling.then(|| {
+            let sampler = ClusterSampler::new(sample_interval);
+            if args.has_flag("sample-per-pm") {
+                sampler.with_per_pm()
+            } else {
+                sampler
+            }
+        });
+        let out = run_packing_observed(
+            &workload,
+            &mut model,
+            None,
+            sampler.as_mut(),
+            &mut telemetry,
+        );
         let write = |path: &str, content: &str| -> Result<(), CliError> {
             std::fs::write(path, content).map_err(|source| CliError::Io {
                 path: path.to_string(),
@@ -397,10 +432,28 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
             let rendered = if path.ends_with(".json") {
                 telemetry.metrics.to_json()
             } else {
-                telemetry.metrics.render_text()
+                telemetry.render_summary()
             };
             write(path, &rendered)?;
             let _ = write!(notes, "\nwrote {path} ({} bytes)", rendered.len());
+        }
+        if let Some(path) = args.get("series-out") {
+            let store = sampler.as_ref().expect("sampling enabled").store();
+            write(path, &store.to_csv())?;
+            let _ = write!(
+                notes,
+                "\nwrote {path} ({} series, {} points)",
+                store.len(),
+                store.total_points()
+            );
+        }
+        if let Some(path) = args.get("prom-out") {
+            let exposition = slackvm::telemetry::prometheus::render(
+                &telemetry.metrics,
+                sampler.as_ref().map(|s| s.store()),
+            );
+            write(path, &exposition)?;
+            let _ = write!(notes, "\nwrote {path} ({} bytes)", exposition.len());
         }
         out
     } else {
@@ -420,6 +473,53 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         out.mean_unallocated_cpu * 100.0,
         out.mean_unallocated_mem * 100.0,
     ))
+}
+
+/// `slackvm obs`
+pub fn obs(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&["series", "prom", "gnuplot-out", "png-out"])?;
+    let path = args
+        .get("series")
+        .ok_or(CliError::MissingOption("series"))?;
+    let raw = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    let store =
+        TimeSeriesStore::from_csv(&raw).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let mut out = format!(
+        "observatory — {path}: {} series, {} points\n\n{}",
+        store.len(),
+        store.total_points(),
+        store.render_table()
+    );
+    if let Some(prom_path) = args.get("prom") {
+        let exposition = std::fs::read_to_string(prom_path).map_err(|source| CliError::Io {
+            path: prom_path.to_string(),
+            source,
+        })?;
+        slackvm::telemetry::prometheus::validate(&exposition)
+            .map_err(|e| CliError::Invalid(format!("{prom_path}: {e}")))?;
+        let _ = write!(
+            out,
+            "\n{prom_path}: valid Prometheus exposition ({} lines)",
+            exposition.lines().count()
+        );
+    }
+    if let Some(script_path) = args.get("gnuplot-out") {
+        let png = args.get_or("png-out", "observatory.png");
+        let script = slackvm_viz::gnuplot_script(&store, path, png);
+        std::fs::write(script_path, &script).map_err(|source| CliError::Io {
+            path: script_path.to_string(),
+            source,
+        })?;
+        let _ = write!(
+            out,
+            "\nwrote {script_path} ({} bytes; renders {png})",
+            script.len()
+        );
+    }
+    Ok(out)
 }
 
 /// `slackvm compact`
@@ -640,7 +740,7 @@ pub fn scenarios(args: &Args) -> Result<String, CliError> {
 
 /// `slackvm steady`
 pub fn steady(args: &Args) -> Result<String, CliError> {
-    args.expect_keys(&["trace", "model", "svg"])?;
+    args.expect_keys(&["trace", "model", "svg", "series-out", "sample-interval"])?;
     let workload = load_trace(args)?;
     let mut model = match args.get_or("model", "shared") {
         "dedicated" => DeploymentModel::Dedicated(DedicatedDeployment::new(
@@ -680,6 +780,20 @@ pub fn steady(args: &Args) -> Result<String, CliError> {
         slackvm_viz::occupancy_svg(&samples, "occupancy time series"),
     )? {
         let _ = writeln!(out, "\n{note}");
+    }
+    if let Some(path) = args.get("series-out") {
+        let interval: u64 = args.get_parsed_or("sample-interval", 3600)?;
+        let store = store_from_samples(&samples, interval);
+        std::fs::write(path, store.to_csv()).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
+        let _ = write!(
+            out,
+            "\nwrote {path} ({} series, {} points)",
+            store.len(),
+            store.total_points()
+        );
     }
     Ok(out)
 }
@@ -894,6 +1008,136 @@ mod tests {
         let text = std::fs::read_to_string(&metrics_txt).unwrap();
         assert!(text.contains("counters:"));
         assert!(text.contains("sim.deployments"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampling_replay_feeds_the_obs_dashboard() {
+        let dir = std::env::temp_dir().join("slackvm-cli-obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let trace_str = trace.to_str().unwrap();
+        run(&[
+            "generate",
+            "--provider",
+            "azure",
+            "--mix",
+            "F",
+            "--population",
+            "50",
+            "--days",
+            "2",
+            "--out",
+            trace_str,
+        ])
+        .unwrap();
+        let series = dir.join("series.csv");
+        let prom = dir.join("metrics.prom");
+        let out = run(&[
+            "replay",
+            "--trace",
+            trace_str,
+            "--sample-interval",
+            "7200",
+            "--series-out",
+            series.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("series,"), "no series note:\n{out}");
+
+        // The CSV holds a real multi-series trajectory.
+        let csv = std::fs::read_to_string(&series).unwrap();
+        let store = TimeSeriesStore::from_csv(&csv).unwrap();
+        assert!(store.len() >= 5, "only {} series", store.len());
+        for name in [
+            "cluster.cpu_utilization",
+            "cluster.fragmentation",
+            "cluster.active_pms",
+            "cluster.alive_vms",
+        ] {
+            assert!(store.series(name).is_some(), "missing {name}");
+        }
+
+        // The exposition passes our own strict validator and carries
+        // the scheduler pipeline histograms with non-zero counts.
+        let exposition = std::fs::read_to_string(&prom).unwrap();
+        slackvm::telemetry::prometheus::validate(&exposition).unwrap();
+        assert!(exposition.contains("# TYPE slackvm_sched_select histogram"));
+        assert!(exposition.contains("slackvm_timeseries"));
+
+        // Same seed, same interval: byte-identical CSV.
+        let series2 = dir.join("series2.csv");
+        run(&[
+            "replay",
+            "--trace",
+            trace_str,
+            "--sample-interval",
+            "7200",
+            "--series-out",
+            series2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(csv, std::fs::read_to_string(&series2).unwrap());
+
+        // The dashboard renders a summary row per series, validates the
+        // exposition, and writes a runnable gnuplot script.
+        let script = dir.join("obs.gp");
+        let dash = run(&[
+            "obs",
+            "--series",
+            series.to_str().unwrap(),
+            "--prom",
+            prom.to_str().unwrap(),
+            "--gnuplot-out",
+            script.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(dash.contains("cluster.alive_vms"));
+        assert!(dash.contains("p99"));
+        assert!(dash.contains("valid Prometheus exposition"));
+        let gp = std::fs::read_to_string(&script).unwrap();
+        assert!(gp.contains("set multiplot"));
+        assert!(gp.contains("cluster.cpu_utilization"));
+
+        let err = run(&["obs"]).unwrap_err();
+        assert!(matches!(err, CliError::MissingOption("series")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn steady_series_out_downsamples_the_run() {
+        let dir = std::env::temp_dir().join("slackvm-cli-steady-series");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        run(&[
+            "generate",
+            "--provider",
+            "azure",
+            "--mix",
+            "E",
+            "--population",
+            "60",
+            "--days",
+            "4",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let series = dir.join("steady.csv");
+        let out = run(&[
+            "steady",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--series-out",
+            series.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "no series note:\n{out}");
+        let store = TimeSeriesStore::from_csv(&std::fs::read_to_string(&series).unwrap()).unwrap();
+        assert!(store.series("cluster.alive_vms").is_some());
+        assert!(store.series("cluster.cpu_utilization").is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,6 +14,7 @@
 //! | `fig4` | PM-savings grid |
 //! | `generate` | write a workload trace as JSON |
 //! | `replay` | replay a JSON trace against a deployment model |
+//! | `obs` | dashboard for a sampled run (series CSV, Prometheus) |
 //! | `compact` | compaction analysis of a mid-replay cluster state |
 //! | `sweep` | sensitivity sweeps (`mc`, `population`, `seeds`) |
 //! | `recommend` | dynamic oversubscription-level recommendation |
@@ -40,6 +41,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "fig4" => commands::fig4(args),
         "generate" => commands::generate(args),
         "replay" => commands::replay(args),
+        "obs" => commands::obs(args),
         "compact" => commands::compact(args),
         "sweep" => commands::sweep(args),
         "layout" => commands::layout(args),
@@ -66,6 +68,7 @@ mod tests {
             "fig4",
             "generate",
             "replay",
+            "obs",
             "compact",
             "sweep",
             "recommend",

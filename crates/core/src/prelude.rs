@@ -21,12 +21,14 @@ pub use slackvm_sched::{
 };
 pub use slackvm_sim::{
     analyze_steady_state, run_packing, run_packing_compacting, run_packing_compacting_recorded,
-    run_packing_recorded, run_packing_with_failures, run_packing_with_failures_recorded,
-    run_packing_with_samples, Cluster, CompactionStats, DedicatedDeployment, DeploymentModel,
+    run_packing_observed, run_packing_recorded, run_packing_with_failures,
+    run_packing_with_failures_recorded, run_packing_with_samples, store_from_samples, Cluster,
+    ClusterObservables, ClusterSampler, CompactionStats, DedicatedDeployment, DeploymentModel,
     FailureStats, OccupancySample, PackingOutcome, SharedDeployment, SteadyStateSummary,
 };
 pub use slackvm_telemetry::{
-    Event, Journal, MetricsRegistry, NullRecorder, Recorder, Telemetry, TraceBuilder,
+    Event, Journal, MetricsRegistry, NullRecorder, Recorder, Sampler, Telemetry, TimeSeriesStore,
+    TraceBuilder,
 };
 pub use slackvm_topology::builders::{dual_epyc_7662, flat, xeon, TopologyBuilder};
 pub use slackvm_topology::{

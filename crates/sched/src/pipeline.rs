@@ -186,11 +186,13 @@ impl Scheduler {
         recorder: &mut R,
     ) -> Option<PmId> {
         let span = recorder.begin("sched.place");
+        let filter_span = recorder.begin("sched.filter");
         let surviving: Vec<Candidate> = candidates
             .iter()
             .filter(|c| self.filters.iter().all(|f| f.accepts(c, vm)))
             .copied()
             .collect();
+        recorder.end(filter_span);
         if recorder.enabled() {
             recorder.count(
                 "sched.filtered_out",
@@ -350,11 +352,13 @@ mod tests {
         assert_eq!(picked, Some(PmId(2)));
         assert_eq!(telemetry.metrics.counter("sched.filtered_out"), 1);
         assert_eq!(telemetry.metrics.counter("sched.candidates_scored"), 1);
-        // Both the pipeline span and the scoring span were timed.
+        // The pipeline, filter, and scoring spans were all timed.
         let names: Vec<&str> = telemetry.trace.spans().iter().map(|s| s.name).collect();
         assert!(names.contains(&"sched.place"));
+        assert!(names.contains(&"sched.filter"));
         assert!(names.contains(&"sched.select"));
         assert!(telemetry.metrics.histogram("sched.select").is_some());
+        assert!(telemetry.metrics.histogram("sched.filter").is_some());
     }
 
     #[test]

@@ -120,6 +120,15 @@ impl DeploymentModel {
             DeploymentModel::Shared(s) => format!("slackvm/{}", s.policy.name()),
         }
     }
+
+    /// A point-in-time snapshot of the cluster observables (utilization,
+    /// fragmentation, per-level width, Algorithm-2 M/C deviation).
+    pub fn observables(&self) -> crate::observe::ClusterObservables {
+        match self {
+            DeploymentModel::Dedicated(d) => d.observables(),
+            DeploymentModel::Shared(s) => s.observables(),
+        }
+    }
 }
 
 /// The baseline: per-level clusters of [`UniformMachine`]s, each placed
@@ -163,6 +172,20 @@ impl DedicatedDeployment {
 
     fn opened_pms(&self) -> u32 {
         self.clusters.values().map(|c| c.opened()).sum()
+    }
+
+    /// Cluster observables; the per-level "width" of the baseline is the
+    /// physical cores allocated inside each dedicated sub-cluster (the
+    /// quantity a shared pool carves into vNodes instead).
+    pub fn observables(&self) -> crate::observe::ClusterObservables {
+        let alive: u64 = self.clusters.values().map(|c| c.num_vms() as u64).sum();
+        let mut obs =
+            crate::observe::observe_hosts(self.clusters.values().flat_map(|c| c.hosts()), alive);
+        for (level, cluster) in &self.clusters {
+            obs.level_width_cores
+                .insert(level.ratio(), cluster.total_alloc().cpu.as_cores_f64());
+        }
+        obs
     }
 
     fn totals(&self) -> (AllocView, AllocView) {
@@ -374,6 +397,25 @@ impl SharedDeployment {
             self.refresh_vcluster_recorded(pm, level, time_secs, recorder);
         }
         evicted
+    }
+
+    /// Cluster observables; the per-level width is the total vNode cores
+    /// currently dedicated to each oversubscription level across the pool.
+    pub fn observables(&self) -> crate::observe::ClusterObservables {
+        let mut obs = crate::observe::observe_hosts(
+            self.cluster.hosts().iter(),
+            self.cluster.num_vms() as u64,
+        );
+        let mut widths: BTreeMap<u32, f64> = BTreeMap::new();
+        for host in self.cluster.hosts() {
+            for vnode in host.vnodes() {
+                if vnode.num_vms() > 0 {
+                    *widths.entry(vnode.level().ratio()).or_insert(0.0) += vnode.num_cores() as f64;
+                }
+            }
+        }
+        obs.level_width_cores = widths;
+        obs
     }
 
     /// Aggregated pin churn across all workers.

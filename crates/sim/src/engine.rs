@@ -67,11 +67,30 @@ pub fn run_packing_recorded<R: slackvm_telemetry::Recorder>(
     run_packing_instrumented(workload, deployment, None, recorder)
 }
 
-/// The fully-general replay: optional sample log plus a recorder.
+/// [`run_packing_instrumented`] without time-series sampling.
 pub fn run_packing_instrumented<R: slackvm_telemetry::Recorder>(
     workload: &Workload,
     deployment: &mut DeploymentModel,
+    samples: Option<&mut Vec<OccupancySample>>,
+    recorder: &mut R,
+) -> PackingOutcome {
+    run_packing_observed(workload, deployment, samples, None, recorder)
+}
+
+/// The fully-general replay: optional per-event sample log, optional
+/// interval-driven [`ClusterSampler`](crate::observe::ClusterSampler)
+/// (snapshotting utilization, fragmentation, per-level vNode width, and
+/// Algorithm-2 M/C deviation as time series), plus a recorder.
+///
+/// The sampler observes the cluster *after* each processed event, on its
+/// own simulated-time grid: its first due tick is taken immediately, so
+/// an interval longer than the replay horizon still yields exactly one
+/// snapshot.
+pub fn run_packing_observed<R: slackvm_telemetry::Recorder>(
+    workload: &Workload,
+    deployment: &mut DeploymentModel,
     mut samples: Option<&mut Vec<OccupancySample>>,
+    mut sampler: Option<&mut crate::observe::ClusterSampler>,
     recorder: &mut R,
 ) -> PackingOutcome {
     use slackvm_telemetry::Event;
@@ -180,6 +199,9 @@ pub fn run_packing_instrumented<R: slackvm_telemetry::Recorder>(
         tracker.observe(sample);
         if let Some(log) = samples.as_deref_mut() {
             log.push(sample);
+        }
+        if let Some(s) = sampler.as_deref_mut() {
+            s.sample_if_due(t, deployment);
         }
     }
 
@@ -864,6 +886,59 @@ mod tests {
             telemetry.metrics.counter("sim.failures.vms_lost") as u32,
             stats.vms_lost
         );
+    }
+
+    #[test]
+    fn observed_replay_samples_deterministically() {
+        use slackvm_telemetry::TimeSeriesStore;
+        let w = small_workload('F', 12);
+        let run = || {
+            let mut sampler = crate::observe::ClusterSampler::new(6 * 3600);
+            let out = run_packing_observed(
+                &w,
+                &mut shared(),
+                None,
+                Some(&mut sampler),
+                &mut slackvm_telemetry::NullRecorder,
+            );
+            (out, sampler.into_store().to_csv())
+        };
+        let (a_out, a_csv) = run();
+        let (b_out, b_csv) = run();
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_csv, b_csv, "same workload + interval ⇒ identical CSV");
+        // The CSV parses back into at least the five headline series.
+        let store = TimeSeriesStore::from_csv(&a_csv).unwrap();
+        assert!(store.len() >= 5, "only {} series", store.len());
+        for name in [
+            "cluster.cpu_utilization",
+            "cluster.fragmentation",
+            "cluster.active_pms",
+            "cluster.mc_deviation_mean",
+        ] {
+            assert!(store.series(name).is_some(), "missing {name}");
+        }
+        assert!(
+            store.iter().any(|s| s.name().starts_with("vnode.width.l")),
+            "no per-level width series"
+        );
+        // Sampling must not perturb the simulation.
+        assert_eq!(a_out, run_packing(&w, &mut shared()));
+    }
+
+    #[test]
+    fn interval_beyond_horizon_yields_one_sample() {
+        let w = small_workload('E', 13);
+        let mut sampler = crate::observe::ClusterSampler::new(u64::MAX / 4);
+        run_packing_observed(
+            &w,
+            &mut shared(),
+            None,
+            Some(&mut sampler),
+            &mut slackvm_telemetry::NullRecorder,
+        );
+        assert_eq!(sampler.samples_taken(), 1, "exactly one initial sample");
+        assert!(sampler.store().len() >= 5);
     }
 
     #[test]

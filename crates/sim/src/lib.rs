@@ -29,16 +29,18 @@ pub mod engine;
 pub mod error;
 pub mod events;
 pub mod metrics;
+pub mod observe;
 pub mod steady;
 
 pub use cluster::Cluster;
 pub use deployment::{DedicatedDeployment, DeploymentModel, SharedDeployment};
 pub use engine::{
     run_packing, run_packing_compacting, run_packing_compacting_recorded, run_packing_instrumented,
-    run_packing_recorded, run_packing_with_failures, run_packing_with_failures_recorded,
-    run_packing_with_samples, CompactionStats, FailureStats,
+    run_packing_observed, run_packing_recorded, run_packing_with_failures,
+    run_packing_with_failures_recorded, run_packing_with_samples, CompactionStats, FailureStats,
 };
 pub use error::SimError;
 pub use events::{EventQueue, SimEvent};
 pub use metrics::{OccupancySample, PackingOutcome};
+pub use observe::{store_from_samples, ClusterObservables, ClusterSampler, PmUtilization};
 pub use steady::{analyze_steady_state, SteadyStateSummary};

@@ -1,0 +1,354 @@
+//! Cluster observables and the simulated-time sampler.
+//!
+//! The paper's headline results are trajectories: utilization climbing as
+//! the pool packs, vNode widths breathing with arrivals, the M/C ratio of
+//! each PM converging on its hardware target under Algorithm 2. This
+//! module turns a [`DeploymentModel`](crate::DeploymentModel) into a set
+//! of point-in-time observables and drives a
+//! [`Sampler`](slackvm_telemetry::Sampler) at a configurable
+//! simulated-time interval, so a replay leaves behind time series instead
+//! of only end-of-run aggregates.
+
+use std::collections::BTreeMap;
+
+use slackvm_hypervisor::Host;
+use slackvm_model::PmId;
+use slackvm_telemetry::timeseries::{Sampler, TimeSeriesStore};
+
+use crate::deployment::DeploymentModel;
+use crate::metrics::OccupancySample;
+
+/// One PM's utilization snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmUtilization {
+    /// The machine.
+    pub pm: PmId,
+    /// Allocated CPU over capacity, in `[0, 1]`.
+    pub cpu: f64,
+    /// Allocated memory over capacity, in `[0, 1]`.
+    pub mem: f64,
+    /// Absolute distance of the allocated M/C ratio from the machine's
+    /// hardware target (GiB per core) — the quantity Algorithm 2 drives
+    /// towards zero. `None` on idle machines (no allocation, no ratio).
+    pub mc_deviation: Option<f64>,
+}
+
+/// A point-in-time view of the whole deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterObservables {
+    /// VMs currently placed.
+    pub alive_vms: u64,
+    /// PMs opened so far.
+    pub opened_pms: u32,
+    /// PMs hosting at least one VM.
+    pub active_pms: u32,
+    /// Cluster-wide allocated CPU over opened capacity, in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Cluster-wide allocated memory over opened capacity, in `[0, 1]`.
+    pub mem_utilization: f64,
+    /// Free-core fragmentation: `1 − max_free_on_one_pm / total_free`.
+    /// 0 when all free capacity sits on one machine (a big VM can land),
+    /// approaching 1 when it is shredded across many. 0 when nothing is
+    /// free.
+    pub fragmentation: f64,
+    /// Mean M/C deviation over active PMs (GiB per core).
+    pub mc_deviation_mean: f64,
+    /// Worst M/C deviation over active PMs (GiB per core).
+    pub mc_deviation_max: f64,
+    /// Occupied width per oversubscription level, in physical cores —
+    /// vNode cores on the shared pool, allocated cores per dedicated
+    /// sub-cluster on the baseline.
+    pub level_width_cores: BTreeMap<u32, f64>,
+    /// Per-machine utilizations, in PM-id order.
+    pub per_pm: Vec<PmUtilization>,
+}
+
+/// Computes the host-generic observables (everything except the
+/// per-level widths, which depend on the deployment model).
+pub(crate) fn observe_hosts<'a, H: Host + 'a>(
+    hosts: impl Iterator<Item = &'a H>,
+    alive_vms: u64,
+) -> ClusterObservables {
+    let mut alloc_cpu = 0u64; // millicores
+    let mut cap_cpu = 0u64;
+    let mut alloc_mem = 0u64;
+    let mut cap_mem = 0u64;
+    let mut total_free = 0u64;
+    let mut max_free = 0u64;
+    let mut active = 0u32;
+    let mut dev_sum = 0.0f64;
+    let mut dev_max = 0.0f64;
+    let mut dev_n = 0u32;
+    let mut per_pm = Vec::new();
+    for host in hosts {
+        let config = host.config();
+        let alloc = host.alloc();
+        let cpu_cap = config.cpu_capacity().0;
+        alloc_cpu += alloc.cpu.0;
+        cap_cpu += cpu_cap;
+        alloc_mem += alloc.mem_mib;
+        cap_mem += config.mem_mib;
+        let free = cpu_cap.saturating_sub(alloc.cpu.0);
+        total_free += free;
+        max_free = max_free.max(free);
+        let mc_deviation = if host.is_idle() || alloc.cpu.is_zero() {
+            None
+        } else {
+            active += 1;
+            let d = alloc.mc_ratio().distance(config.target_ratio());
+            dev_sum += d;
+            dev_max = dev_max.max(d);
+            dev_n += 1;
+            Some(d)
+        };
+        per_pm.push(PmUtilization {
+            pm: host.id(),
+            cpu: if cpu_cap == 0 {
+                0.0
+            } else {
+                alloc.cpu.0 as f64 / cpu_cap as f64
+            },
+            mem: if config.mem_mib == 0 {
+                0.0
+            } else {
+                alloc.mem_mib as f64 / config.mem_mib as f64
+            },
+            mc_deviation,
+        });
+    }
+    ClusterObservables {
+        alive_vms,
+        opened_pms: per_pm.len() as u32,
+        active_pms: active,
+        cpu_utilization: if cap_cpu == 0 {
+            0.0
+        } else {
+            alloc_cpu as f64 / cap_cpu as f64
+        },
+        mem_utilization: if cap_mem == 0 {
+            0.0
+        } else {
+            alloc_mem as f64 / cap_mem as f64
+        },
+        fragmentation: if total_free == 0 {
+            0.0
+        } else {
+            1.0 - max_free as f64 / total_free as f64
+        },
+        mc_deviation_mean: if dev_n == 0 {
+            0.0
+        } else {
+            dev_sum / dev_n as f64
+        },
+        mc_deviation_max: dev_max,
+        level_width_cores: BTreeMap::new(),
+        per_pm,
+    }
+}
+
+/// Drives a [`Sampler`] over a [`DeploymentModel`], recording the full
+/// observable set at every due simulated-time tick.
+///
+/// Cluster-wide series are always recorded; the per-PM utilization
+/// series (three per machine) are opt-in via [`Self::with_per_pm`] so a
+/// thousand-machine replay does not balloon its CSV by default.
+#[derive(Debug)]
+pub struct ClusterSampler {
+    sampler: Sampler,
+    per_pm: bool,
+    samples_taken: u64,
+}
+
+impl ClusterSampler {
+    /// A sampler ticking every `interval_secs` of simulated time
+    /// (clamped to ≥ 1). The first observation is always due.
+    pub fn new(interval_secs: u64) -> Self {
+        ClusterSampler {
+            sampler: Sampler::new(interval_secs),
+            per_pm: false,
+            samples_taken: 0,
+        }
+    }
+
+    /// Also record per-PM `pm.{id}.cpu_util` / `.mem_util` /
+    /// `.mc_deviation` series.
+    pub fn with_per_pm(mut self) -> Self {
+        self.per_pm = true;
+        self
+    }
+
+    /// The sampling interval, simulated seconds.
+    pub fn interval_secs(&self) -> u64 {
+        self.sampler.interval_secs()
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Samples `model` at simulated time `t` if the interval elapsed;
+    /// returns whether a snapshot was taken.
+    pub fn sample_if_due(&mut self, t: u64, model: &DeploymentModel) -> bool {
+        if !self.sampler.due(t) {
+            return false;
+        }
+        self.record_observables(t, &model.observables());
+        self.sampler.advance(t);
+        true
+    }
+
+    /// Unconditionally records one snapshot of precomputed observables.
+    pub fn record_observables(&mut self, t: u64, obs: &ClusterObservables) {
+        self.samples_taken += 1;
+        let s = &mut self.sampler;
+        s.record("cluster.alive_vms", t, obs.alive_vms as f64);
+        s.record("cluster.opened_pms", t, obs.opened_pms as f64);
+        s.record("cluster.active_pms", t, obs.active_pms as f64);
+        s.record("cluster.cpu_utilization", t, obs.cpu_utilization);
+        s.record("cluster.mem_utilization", t, obs.mem_utilization);
+        s.record("cluster.fragmentation", t, obs.fragmentation);
+        s.record("cluster.mc_deviation_mean", t, obs.mc_deviation_mean);
+        s.record("cluster.mc_deviation_max", t, obs.mc_deviation_max);
+        for (level, cores) in &obs.level_width_cores {
+            s.record(&format!("vnode.width.l{level}"), t, *cores);
+        }
+        if self.per_pm {
+            for pm in &obs.per_pm {
+                let id = pm.pm.0;
+                s.record(&format!("pm.{id}.cpu_util"), t, pm.cpu);
+                s.record(&format!("pm.{id}.mem_util"), t, pm.mem);
+                if let Some(d) = pm.mc_deviation {
+                    s.record(&format!("pm.{id}.mc_deviation"), t, d);
+                }
+            }
+        }
+    }
+
+    /// The accumulated series.
+    pub fn store(&self) -> &TimeSeriesStore {
+        self.sampler.store()
+    }
+
+    /// Consumes the sampler, yielding the series.
+    pub fn into_store(self) -> TimeSeriesStore {
+        self.sampler.into_store()
+    }
+}
+
+/// Downsamples an [`OccupancySample`] log onto an interval grid — the
+/// bridge from the steady-state pipeline (which keeps per-event samples)
+/// to the time-series exporters. The first sample is always kept; later
+/// samples land on the same grid a live [`Sampler`] would have used.
+pub fn store_from_samples(samples: &[OccupancySample], interval_secs: u64) -> TimeSeriesStore {
+    let mut sampler = Sampler::new(interval_secs);
+    for s in samples {
+        if !sampler.due(s.time_secs) {
+            continue;
+        }
+        let t = s.time_secs;
+        sampler.record("cluster.alive_vms", t, s.alive_vms as f64);
+        sampler.record("cluster.opened_pms", t, s.opened_pms as f64);
+        sampler.record("cluster.cpu_utilization", t, 1.0 - s.unallocated_cpu);
+        sampler.record("cluster.mem_utilization", t, 1.0 - s.unallocated_mem);
+        sampler.advance(t);
+    }
+    sampler.into_store()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::SharedDeployment;
+    use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
+    use slackvm_topology::builders;
+    use std::sync::Arc;
+
+    fn shared_model() -> DeploymentModel {
+        DeploymentModel::Shared(SharedDeployment::new(
+            Arc::new(builders::flat(32)),
+            gib(128),
+        ))
+    }
+
+    #[test]
+    fn observables_cover_shared_pool() {
+        let mut model = shared_model();
+        model
+            .deploy(VmId(0), VmSpec::of(4, gib(16), OversubLevel::of(1)))
+            .unwrap();
+        model
+            .deploy(VmId(1), VmSpec::of(6, gib(8), OversubLevel::of(3)))
+            .unwrap();
+        let obs = model.observables();
+        assert_eq!(obs.alive_vms, 2);
+        assert_eq!(obs.opened_pms, 1);
+        assert_eq!(obs.active_pms, 1);
+        assert!(obs.cpu_utilization > 0.0 && obs.cpu_utilization <= 1.0);
+        assert!(obs.mem_utilization > 0.0 && obs.mem_utilization <= 1.0);
+        // One machine holds all free cores: no fragmentation.
+        assert_eq!(obs.fragmentation, 0.0);
+        // Both levels occupy vNode width.
+        assert_eq!(obs.level_width_cores.get(&1), Some(&4.0));
+        assert_eq!(obs.level_width_cores.get(&3), Some(&2.0));
+        assert_eq!(obs.per_pm.len(), 1);
+        assert!(obs.per_pm[0].mc_deviation.is_some());
+        assert!(obs.mc_deviation_max >= obs.mc_deviation_mean);
+    }
+
+    #[test]
+    fn sampler_respects_interval_grid() {
+        let mut model = shared_model();
+        model
+            .deploy(VmId(0), VmSpec::of(2, gib(8), OversubLevel::of(1)))
+            .unwrap();
+        let mut sampler = ClusterSampler::new(100);
+        assert!(sampler.sample_if_due(0, &model), "first tick always due");
+        assert!(!sampler.sample_if_due(50, &model));
+        assert!(sampler.sample_if_due(100, &model));
+        assert!(!sampler.sample_if_due(199, &model));
+        assert!(sampler.sample_if_due(250, &model));
+        assert_eq!(sampler.samples_taken(), 3);
+        let store = sampler.into_store();
+        let alive = store.series("cluster.alive_vms").unwrap();
+        let times: Vec<u64> = alive.points().map(|p| p.time_secs).collect();
+        assert_eq!(times, vec![0, 100, 250]);
+        assert!(store.len() >= 5, "at least five distinct series");
+    }
+
+    #[test]
+    fn per_pm_series_are_opt_in() {
+        let mut model = shared_model();
+        model
+            .deploy(VmId(0), VmSpec::of(2, gib(8), OversubLevel::of(1)))
+            .unwrap();
+        let mut plain = ClusterSampler::new(60);
+        plain.sample_if_due(0, &model);
+        assert!(plain.store().series("pm.0.cpu_util").is_none());
+        let mut detailed = ClusterSampler::new(60).with_per_pm();
+        detailed.sample_if_due(0, &model);
+        assert!(detailed.store().series("pm.0.cpu_util").is_some());
+        assert!(detailed.store().series("pm.0.mc_deviation").is_some());
+    }
+
+    #[test]
+    fn downsampling_keeps_first_and_grid_samples() {
+        let samples: Vec<OccupancySample> = (0..10)
+            .map(|i| OccupancySample {
+                time_secs: i * 30,
+                alive_vms: i as u32,
+                opened_pms: 1,
+                unallocated_cpu: 0.5,
+                unallocated_mem: 0.25,
+            })
+            .collect();
+        let store = store_from_samples(&samples, 100);
+        let alive = store.series("cluster.alive_vms").unwrap();
+        let times: Vec<u64> = alive.points().map(|p| p.time_secs).collect();
+        // 0 is kept; next grid marks at 100, 200 are first crossed by
+        // t=120 and t=210.
+        assert_eq!(times, vec![0, 120, 210]);
+        let util = store.series("cluster.cpu_utilization").unwrap();
+        assert!(util.points().all(|p| (p.value - 0.5).abs() < 1e-12));
+    }
+}

@@ -88,9 +88,69 @@ impl Journal {
         Ok(journal)
     }
 
-    /// Writes the JSONL journal to `path`.
+    /// Writes the JSONL journal to `path` through a buffered streaming
+    /// writer — one serialization per record, no whole-journal string.
     pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_jsonl())
+        let mut writer = JsonlWriter::create(path)?;
+        for record in &self.records {
+            writer.write_record(record)?;
+        }
+        writer.finish()
+    }
+}
+
+/// A buffered, streaming JSONL writer for [`EventRecord`]s.
+///
+/// Large replays emit hundreds of thousands of events; writing them one
+/// `fs::write` (or worse, one syscall) at a time is the difference
+/// between milliseconds and seconds. The writer wraps the file in a
+/// [`BufWriter`](std::io::BufWriter) and flushes on [`finish`] — or on
+/// drop, best-effort, so a forgotten `finish()` never loses a tail of
+/// the journal silently.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    inner: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlWriter {
+    /// Creates (truncating) `path` behind a buffer.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlWriter {
+            inner: Some(std::io::BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one record as a JSON line.
+    pub fn write_record(&mut self, record: &EventRecord) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let writer = self.inner.as_mut().expect("write_record after finish()");
+        serde_json::to_writer(&mut *writer, record)?;
+        writer.write_all(b"\n")
+    }
+
+    /// Convenience: appends a `(time, event)` pair.
+    pub fn write(&mut self, time_secs: u64, event: Event) -> std::io::Result<()> {
+        self.write_record(&EventRecord { time_secs, event })
+    }
+
+    /// Flushes the buffer and closes the file. Call this to surface
+    /// write errors; the drop path can only swallow them.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        match self.inner.take() {
+            Some(mut writer) => writer.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for JsonlWriter {
+    fn drop(&mut self) {
+        use std::io::Write as _;
+        if let Some(mut writer) = self.inner.take() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -162,6 +222,34 @@ mod tests {
             journal.count_where(|e| matches!(e, Event::VNodeGrew { .. })),
             1
         );
+    }
+
+    #[test]
+    fn buffered_writer_roundtrips_through_disk() {
+        let journal = sample_journal();
+        let path =
+            std::env::temp_dir().join(format!("slackvm-journal-test-{}.jsonl", std::process::id()));
+        // The streaming writer and the one-shot writer agree.
+        {
+            let mut writer = JsonlWriter::create(&path).unwrap();
+            for record in journal.iter() {
+                writer.write_record(record).unwrap();
+            }
+            writer.finish().unwrap();
+        }
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        journal.write_jsonl(&path).unwrap();
+        let oneshot = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, oneshot);
+        assert_eq!(Journal::from_jsonl(&streamed).unwrap(), journal);
+        // Dropping without finish() still flushes.
+        {
+            let mut writer = JsonlWriter::create(&path).unwrap();
+            writer.write(5, Event::PmOpened { pm: PmId(9) }).unwrap();
+        }
+        let dropped = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Journal::from_jsonl(&dropped).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

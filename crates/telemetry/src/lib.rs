@@ -42,14 +42,17 @@
 pub mod event;
 pub mod journal;
 pub mod metrics;
+pub mod prometheus;
 pub mod recorder;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::Event;
-pub use journal::{EventRecord, Journal};
+pub use journal::{EventRecord, Journal, JsonlWriter};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSummary};
 pub use recorder::{NullRecorder, Recorder, SpanTimer};
-pub use trace::{TraceBuilder, TraceSpan};
+pub use timeseries::{Sampler, Series, SeriesPoint, SeriesSummary, TimeSeriesStore};
+pub use trace::{SlowOpsDigest, TraceBuilder, TraceSpan};
 
 use std::time::Instant;
 
@@ -66,6 +69,8 @@ pub struct Telemetry {
     pub metrics: MetricsRegistry,
     /// Wall-clock spans for the Chrome trace.
     pub trace: TraceBuilder,
+    /// Top-K slowest operations across all closed spans.
+    pub slow_ops: SlowOpsDigest,
     epoch: Instant,
 }
 
@@ -82,8 +87,26 @@ impl Telemetry {
             journal: Journal::new(),
             metrics: MetricsRegistry::new(),
             trace: TraceBuilder::new(),
+            slow_ops: SlowOpsDigest::default(),
             epoch: Instant::now(),
         }
+    }
+
+    /// The full plain-text report: the metrics summary followed by the
+    /// top-K slowest-operations digest (when any span closed).
+    pub fn render_summary(&self) -> String {
+        let mut out = self.metrics.render_text();
+        let slow = self.slow_ops.render();
+        if !slow.is_empty() {
+            out.push('\n');
+            out.push_str(&slow);
+        }
+        out
+    }
+
+    /// The Prometheus text exposition of the metrics registry.
+    pub fn render_prometheus(&self) -> String {
+        prometheus::render_metrics(&self.metrics)
     }
 }
 
@@ -121,11 +144,13 @@ impl Recorder for Telemetry {
             .start
             .saturating_duration_since(self.epoch)
             .as_micros() as u64;
-        self.trace.push(TraceSpan {
+        let span = TraceSpan {
             name: timer.name,
             start_us,
             dur_us,
-        });
+        };
+        self.trace.push(span);
+        self.slow_ops.offer(span);
         self.metrics.observe(timer.name, dur_us as f64);
     }
 }
@@ -161,8 +186,17 @@ mod tests {
         assert_eq!(t.metrics.gauge("sim.opened_pms"), Some(1.0));
         assert_eq!(t.trace.len(), 1);
         assert_eq!(t.trace.spans()[0].name, "sched.select");
-        // The span also fed its duration histogram.
+        // The span also fed its duration histogram and the slow-ops digest.
         assert_eq!(t.metrics.histogram("sched.select").unwrap().count(), 1);
+        assert_eq!(t.slow_ops.len(), 1);
+        let summary = t.render_summary();
+        assert!(summary.contains("histograms"));
+        assert!(summary.contains("slowest operations"));
+        assert!(summary.contains("sched.select"));
+        // And the Prometheus view of the same registry validates.
+        let prom = t.render_prometheus();
+        assert!(prom.contains("# TYPE slackvm_sched_select histogram"));
+        prometheus::validate(&prom).unwrap();
     }
 
     #[test]

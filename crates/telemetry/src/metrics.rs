@@ -130,6 +130,23 @@ impl Histogram {
         unreachable!("cumulative bucket counts reach total")
     }
 
+    /// Ascending inclusive upper bucket edges (without the implicit
+    /// overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts: one per edge in [`Self::bounds`],
+    /// plus the trailing overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// A percentile summary mirroring `slackvm-perf::Percentiles`.
     pub fn summary(&self) -> Option<HistogramSummary> {
         if self.total == 0 {
@@ -233,6 +250,21 @@ impl MetricsRegistry {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (*k, h))
     }
 
     /// Snapshots every metric into a serializable summary.

@@ -1,0 +1,382 @@
+//! Prometheus text-exposition (format 0.0.4) rendering of the metrics
+//! registry and time-series store.
+//!
+//! Output is deterministic: families appear as counters, gauges,
+//! histograms, then time series, each alphabetically by name (the
+//! registry's `BTreeMap` ordering), so two identical seeded runs render
+//! byte-identical exposition. Metric names are sanitized to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar and label values escaped per the
+//! exposition rules (`\\`, `\"`, `\n`).
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::timeseries::TimeSeriesStore;
+
+/// Prefix stamped on every exported family.
+pub const METRIC_PREFIX: &str = "slackvm_";
+
+/// Maps an internal metric name (dotted, dashed) onto the Prometheus
+/// name grammar: invalid characters become `_` and a leading digit gets
+/// a `_` prefix. An empty name renders as a single `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double-quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Shortest decimal rendering of a sample value (integral values print
+/// without a fraction; Prometheus accepts both).
+fn number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&escape_help(help));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, name: &str, source: &str, h: &Histogram) {
+    family(
+        out,
+        name,
+        &format!("SlackVM latency histogram {source} (recorded units, typically microseconds)."),
+        "histogram",
+    );
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+        cumulative += count;
+        out.push_str(name);
+        out.push_str("_bucket{le=\"");
+        out.push_str(&number(*bound));
+        out.push_str("\"} ");
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_bucket{le=\"+Inf\"} ");
+    out.push_str(&h.count().to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum ");
+    out.push_str(&number(h.sum()));
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count ");
+    out.push_str(&h.count().to_string());
+    out.push('\n');
+}
+
+/// Renders the registry alone (no time series).
+pub fn render_metrics(metrics: &MetricsRegistry) -> String {
+    render(metrics, None)
+}
+
+/// Renders the full exposition: counters, gauges, histograms, and (when
+/// given) the latest value of every sampled series as a labelled gauge
+/// family `slackvm_timeseries{series="..."}`.
+pub fn render(metrics: &MetricsRegistry, series: Option<&TimeSeriesStore>) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let prom = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        family(
+            &mut out,
+            &prom,
+            &format!("SlackVM counter {name}."),
+            "counter",
+        );
+        out.push_str(&prom);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, value) in metrics.gauges() {
+        let prom = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        family(&mut out, &prom, &format!("SlackVM gauge {name}."), "gauge");
+        out.push_str(&prom);
+        out.push(' ');
+        out.push_str(&number(value));
+        out.push('\n');
+    }
+    for (name, histogram) in metrics.histograms() {
+        let prom = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        render_histogram(&mut out, &prom, name, histogram);
+    }
+    if let Some(store) = series {
+        if !store.is_empty() {
+            let prom = format!("{METRIC_PREFIX}timeseries");
+            family(
+                &mut out,
+                &prom,
+                "Latest sampled value per SlackVM time series.",
+                "gauge",
+            );
+            for s in store.iter() {
+                let Some(summary) = s.summary() else { continue };
+                out.push_str(&prom);
+                out.push_str("{series=\"");
+                out.push_str(&escape_label_value(s.name()));
+                out.push_str("\"} ");
+                out.push_str(&number(summary.last));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// A strict line-level validator of the exposition grammar this module
+/// emits — the "golden parser" CI smoke runs against real output.
+///
+/// Checks: `# HELP` precedes `# TYPE` per family, every sample belongs
+/// to the most recently declared family (allowing `_bucket`/`_sum`/
+/// `_count` suffixes for histograms), metric names match the grammar,
+/// label blocks are well-formed, and values parse as numbers.
+pub fn validate(text: &str) -> Result<(), String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+
+    let mut declared: Option<(String, String)> = None; // (family, kind)
+    let mut pending_help: Option<String> = None;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: bad HELP name {name:?}"));
+            }
+            pending_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: bad TYPE name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown type {kind:?}"));
+            }
+            if pending_help.as_deref() != Some(name) {
+                return Err(format!("line {lineno}: TYPE {name} without preceding HELP"));
+            }
+            declared = Some((name.to_string(), kind.to_string()));
+            pending_help = None;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // A sample line: name[{labels}] value
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value on sample line"))?;
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            return Err(format!("line {lineno}: bad sample value {value:?}"));
+        }
+        let name = match name_and_labels.split_once('{') {
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label block"))?;
+                // Each label is key="value" with escaped quotes inside.
+                let mut rest = labels;
+                while !rest.is_empty() {
+                    let (key, after_eq) = rest
+                        .split_once("=\"")
+                        .ok_or_else(|| format!("line {lineno}: malformed label in {labels:?}"))?;
+                    if !valid_name(key) {
+                        return Err(format!("line {lineno}: bad label name {key:?}"));
+                    }
+                    // Scan to the closing unescaped quote.
+                    let mut close = None;
+                    let mut escaped = false;
+                    for (j, c) in after_eq.char_indices() {
+                        if escaped {
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '"' {
+                            close = Some(j);
+                            break;
+                        }
+                    }
+                    let close =
+                        close.ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+                    rest = after_eq[close + 1..].trim_start_matches(',');
+                }
+                name
+            }
+            None => name_and_labels,
+        };
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let Some((family, kind)) = &declared else {
+            return Err(format!("line {lineno}: sample before any TYPE declaration"));
+        };
+        let belongs = if kind == "histogram" {
+            name == family
+                || name == format!("{family}_bucket")
+                || name == format!("{family}_sum")
+                || name == format!("{family}_count")
+        } else {
+            name == family
+        };
+        if !belongs {
+            return Err(format!(
+                "line {lineno}: sample {name} outside declared family {family}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitization_maps_dots_and_digits() {
+        assert_eq!(sanitize_metric_name("sim.dispatch"), "sim_dispatch");
+        assert_eq!(sanitize_metric_name("vnode-width/l2"), "vnode_width_l2");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn label_escaping_covers_the_spec() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(escape_help("back\\slash\nnl"), "back\\\\slash\\nnl");
+    }
+
+    #[test]
+    fn golden_exposition_for_a_small_registry() {
+        let mut m = MetricsRegistry::new();
+        m.inc("sim.deployments", 42);
+        m.set_gauge("sim.opened_pms", 7.0);
+        m.register_histogram("sched.select", vec![1.0, 10.0]);
+        m.observe("sched.select", 0.5);
+        m.observe("sched.select", 5.0);
+        m.observe("sched.select", 99.0);
+        let text = render_metrics(&m);
+        let expected = "\
+# HELP slackvm_sim_deployments SlackVM counter sim.deployments.
+# TYPE slackvm_sim_deployments counter
+slackvm_sim_deployments 42
+# HELP slackvm_sim_opened_pms SlackVM gauge sim.opened_pms.
+# TYPE slackvm_sim_opened_pms gauge
+slackvm_sim_opened_pms 7
+# HELP slackvm_sched_select SlackVM latency histogram sched.select (recorded units, typically microseconds).
+# TYPE slackvm_sched_select histogram
+slackvm_sched_select_bucket{le=\"1\"} 1
+slackvm_sched_select_bucket{le=\"10\"} 2
+slackvm_sched_select_bucket{le=\"+Inf\"} 3
+slackvm_sched_select_sum 104.5
+slackvm_sched_select_count 3
+";
+        assert_eq!(text, expected);
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn series_export_escapes_labels() {
+        use crate::timeseries::TimeSeriesStore;
+        let m = MetricsRegistry::new();
+        let mut store = TimeSeriesStore::new();
+        store.record("weird\"name\\with\nstuff", 0, 1.0);
+        store.record("cluster.active_pms", 0, 3.0);
+        store.record("cluster.active_pms", 60, 4.0);
+        let text = render(&m, Some(&store));
+        assert!(text.contains("slackvm_timeseries{series=\"cluster.active_pms\"} 4"));
+        assert!(text.contains("series=\"weird\\\"name\\\\with\\nstuff\""));
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        assert!(validate("bad name 1\n").is_err());
+        assert!(
+            validate("# TYPE x counter\nx 1\n").is_err(),
+            "TYPE w/o HELP"
+        );
+        assert!(validate("# HELP x h\n# TYPE x counter\ny 1\n").is_err());
+        assert!(validate("# HELP x h\n# TYPE x nonsense\n").is_err());
+        assert!(validate("# HELP x h\n# TYPE x counter\nx{l=\"v} 1\n").is_err());
+        assert!(validate("# HELP x h\n# TYPE x counter\nx notanumber\n").is_err());
+        validate("# HELP x h\n# TYPE x counter\nx 1\n").unwrap();
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let text = render_metrics(&MetricsRegistry::new());
+        assert!(text.is_empty());
+        validate(&text).unwrap();
+    }
+}

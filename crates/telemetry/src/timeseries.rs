@@ -1,0 +1,495 @@
+//! Time-series sampling: fixed-capacity ring-buffer series, a
+//! simulated-time [`Sampler`], and CSV import/export.
+//!
+//! The journal records *decisions*; this module records *trajectories* —
+//! utilization, fragmentation, vNode widths, M/C drift — sampled on a
+//! fixed simulated-time grid so week-long replays produce bounded,
+//! plottable series instead of one point per event. Every series is a
+//! ring buffer: when `capacity` points are held the oldest is dropped
+//! (and counted), so memory stays constant no matter how long the run.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// One sampled point: simulated time plus a value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Simulation time in seconds.
+    pub time_secs: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Summary statistics of one series (over the retained window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Points currently retained.
+    pub count: usize,
+    /// Points dropped by the ring buffer.
+    pub dropped: u64,
+    /// Minimum retained value.
+    pub min: f64,
+    /// Nearest-rank median.
+    pub p50: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Maximum retained value.
+    pub max: f64,
+    /// Mean of retained values.
+    pub mean: f64,
+    /// Most recent value.
+    pub last: f64,
+}
+
+/// A named, fixed-capacity ring buffer of [`SeriesPoint`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    capacity: usize,
+    points: VecDeque<SeriesPoint>,
+    dropped: u64,
+}
+
+impl Series {
+    /// An empty series holding at most `capacity` points.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "a series needs room for at least one point");
+        Series {
+            name: name.into(),
+            capacity,
+            points: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point, evicting the oldest when full.
+    pub fn push(&mut self, time_secs: u64, value: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped += 1;
+        }
+        self.points.push_back(SeriesPoint { time_secs, value });
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &SeriesPoint> {
+        self.points.iter()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact nearest-rank `q`-quantile over retained values. `None` on
+    /// an empty series or `q` outside `0.0..=1.0`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.points.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.points.iter().map(|p| p.value).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Summary statistics, `None` when empty.
+    pub fn summary(&self) -> Option<SeriesSummary> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let values: Vec<f64> = self.points.iter().map(|p| p.value).collect();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(SeriesSummary {
+            count: values.len(),
+            dropped: self.dropped,
+            min,
+            p50: self.percentile(0.50).expect("non-empty"),
+            p99: self.percentile(0.99).expect("non-empty"),
+            max,
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            last: values.last().copied().expect("non-empty"),
+        })
+    }
+
+    /// An eight-level unicode sparkline of the series, downsampled to at
+    /// most `width` cells (bucket means). Empty string for an empty
+    /// series; a flat series renders mid-level blocks.
+    pub fn sparkline(&self, width: usize) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.points.is_empty() || width == 0 {
+            return String::new();
+        }
+        let n = self.points.len();
+        let cells = width.min(n);
+        let mut means = Vec::with_capacity(cells);
+        for c in 0..cells {
+            let lo = c * n / cells;
+            let hi = ((c + 1) * n / cells).max(lo + 1);
+            let slice: Vec<f64> = self.points.range(lo..hi).map(|p| p.value).collect();
+            means.push(slice.iter().sum::<f64>() / slice.len() as f64);
+        }
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        means
+            .iter()
+            .map(|m| {
+                if span <= f64::EPSILON {
+                    LEVELS[3]
+                } else {
+                    let idx = (((m - min) / span) * 7.0).round() as usize;
+                    LEVELS[idx.min(7)]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Default per-series ring-buffer capacity.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// A collection of named series with a shared capacity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    series: BTreeMap<String, Series>,
+}
+
+impl TimeSeriesStore {
+    /// An empty store with the default per-series capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// An empty store with an explicit per-series capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeSeriesStore {
+            capacity: capacity.max(1),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Appends a point to `name`, creating the series on first use.
+    pub fn record(&mut self, name: &str, time_secs: u64, value: f64) {
+        match self.series.get_mut(name) {
+            Some(series) => series.push(time_secs, value),
+            None => {
+                let mut series = Series::new(name, self.capacity);
+                series.push(time_secs, value);
+                self.series.insert(name.to_string(), series);
+            }
+        }
+    }
+
+    /// A series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// All series, ordered by name.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.values()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Total retained points across all series.
+    pub fn total_points(&self) -> usize {
+        self.series.values().map(|s| s.len()).sum()
+    }
+
+    /// Serializes every series in long CSV form —
+    /// `series,t_secs,value` — ordered by series name then time, so two
+    /// identical runs produce byte-identical files.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,t_secs,value\n");
+        for series in self.series.values() {
+            for p in series.points() {
+                out.push_str(series.name());
+                out.push(',');
+                out.push_str(&p.time_secs.to_string());
+                out.push(',');
+                out.push_str(&format_value(p.value));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses a CSV produced by [`TimeSeriesStore::to_csv`]. The header
+    /// line is required; blank lines are skipped.
+    pub fn from_csv(raw: &str) -> Result<TimeSeriesStore, String> {
+        let mut lines = raw.lines();
+        match lines.next() {
+            Some(header) if header.trim() == "series,t_secs,value" => {}
+            other => return Err(format!("bad CSV header {other:?}")),
+        }
+        let mut store = TimeSeriesStore::new();
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.rsplitn(3, ',');
+            let value = parts.next().ok_or_else(|| bad_line(i, line))?;
+            let t = parts.next().ok_or_else(|| bad_line(i, line))?;
+            let name = parts.next().ok_or_else(|| bad_line(i, line))?;
+            let t: u64 = t.trim().parse().map_err(|_| bad_line(i, line))?;
+            let value: f64 = value.trim().parse().map_err(|_| bad_line(i, line))?;
+            store.record(name, t, value);
+        }
+        Ok(store)
+    }
+
+    /// Renders an aligned per-series summary table (count, min, p50,
+    /// p99, max, sparkline) — the `slackvm obs` dashboard body.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        if self.series.is_empty() {
+            return "(no series sampled)\n".to_string();
+        }
+        let name_w = self
+            .series
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>6} {:>10} {:>10} {:>10} {:>10}  trend",
+            "series", "n", "min", "p50", "p99", "max"
+        );
+        for series in self.series.values() {
+            let Some(s) = series.summary() else { continue };
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>6} {:>10} {:>10} {:>10} {:>10}  {}",
+                series.name(),
+                s.count,
+                compact(s.min),
+                compact(s.p50),
+                compact(s.p99),
+                compact(s.max),
+                series.sparkline(24),
+            );
+        }
+        out
+    }
+}
+
+fn bad_line(index: usize, line: &str) -> String {
+    format!("bad CSV line {}: {line:?}", index + 2)
+}
+
+/// Formats a value for CSV: integral values print without a fraction,
+/// everything else uses the shortest round-trip representation.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Compact numeric rendering for the dashboard table.
+fn compact(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A fixed-interval simulated-time sampling schedule plus its store.
+///
+/// The first [`Sampler::due`] query is always true (every run gets an
+/// initial sample, even when the interval exceeds the horizon); after a
+/// sample is taken the schedule advances to the next multiple of the
+/// interval strictly beyond the sampled instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sampler {
+    interval_secs: u64,
+    next_due: Option<u64>,
+    store: TimeSeriesStore,
+}
+
+impl Sampler {
+    /// A sampler firing every `interval_secs` of simulated time
+    /// (clamped to at least 1 second).
+    pub fn new(interval_secs: u64) -> Self {
+        Sampler {
+            interval_secs: interval_secs.max(1),
+            next_due: None,
+            store: TimeSeriesStore::new(),
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval_secs(&self) -> u64 {
+        self.interval_secs
+    }
+
+    /// Whether a sample is due at simulated time `t`.
+    pub fn due(&self, t: u64) -> bool {
+        self.next_due.map_or(true, |next| t >= next)
+    }
+
+    /// Marks a sample as taken at `t` and advances the schedule.
+    pub fn advance(&mut self, t: u64) {
+        self.next_due = Some((t / self.interval_secs + 1) * self.interval_secs);
+    }
+
+    /// Records one point (sampling code calls this while `due`).
+    pub fn record(&mut self, name: &str, time_secs: u64, value: f64) {
+        self.store.record(name, time_secs, value);
+    }
+
+    /// The accumulated series.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// Consumes the sampler, yielding its store.
+    pub fn into_store(self) -> TimeSeriesStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut s = Series::new("x", 3);
+        for i in 0..5u64 {
+            s.push(i, i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let times: Vec<u64> = s.points().map(|p| p.time_secs).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut s = Series::new("x", 100);
+        for i in 1..=100u64 {
+            s.push(i, i as f64);
+        }
+        assert_eq!(s.percentile(0.5), Some(50.0));
+        assert_eq!(s.percentile(0.99), Some(99.0));
+        assert_eq!(s.percentile(1.0), Some(100.0));
+        assert_eq!(s.percentile(1.5), None);
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 100.0);
+        assert_eq!(sum.last, 100.0);
+        assert!((sum.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let mut rising = Series::new("up", 64);
+        for i in 0..8u64 {
+            rising.push(i, i as f64);
+        }
+        let spark = rising.sparkline(8);
+        assert_eq!(spark.chars().count(), 8);
+        assert!(spark.starts_with('▁'));
+        assert!(spark.ends_with('█'));
+        let mut flat = Series::new("flat", 8);
+        for i in 0..4u64 {
+            flat.push(i, 7.0);
+        }
+        assert!(flat.sparkline(8).chars().all(|c| c == '▄'));
+        assert_eq!(Series::new("e", 1).sparkline(8), "");
+    }
+
+    #[test]
+    fn store_csv_roundtrips_and_is_ordered() {
+        let mut store = TimeSeriesStore::new();
+        store.record("b.series", 0, 1.5);
+        store.record("a.series", 0, 2.0);
+        store.record("b.series", 60, 2.5);
+        let csv = store.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,t_secs,value");
+        assert_eq!(lines[1], "a.series,0,2");
+        assert_eq!(lines[2], "b.series,0,1.5");
+        assert_eq!(lines[3], "b.series,60,2.5");
+        let back = TimeSeriesStore::from_csv(&csv).unwrap();
+        assert_eq!(back.to_csv(), csv);
+        assert!(TimeSeriesStore::from_csv("nope\n").is_err());
+        assert!(TimeSeriesStore::from_csv("series,t_secs,value\nx,1\n").is_err());
+    }
+
+    #[test]
+    fn csv_tolerates_commas_in_series_names() {
+        let mut store = TimeSeriesStore::new();
+        store.record("weird,name", 5, 1.0);
+        let back = TimeSeriesStore::from_csv(&store.to_csv()).unwrap();
+        assert!(back.series("weird,name").is_some());
+    }
+
+    #[test]
+    fn sampler_schedule() {
+        let mut sampler = Sampler::new(3600);
+        // First query is always due, whatever the time.
+        assert!(sampler.due(0));
+        assert!(sampler.due(10));
+        sampler.advance(10);
+        assert!(!sampler.due(3599));
+        assert!(sampler.due(3600));
+        sampler.advance(3600);
+        // Advancing from an exact grid point moves to the next slot.
+        assert!(!sampler.due(7199));
+        assert!(sampler.due(7200));
+        // Zero interval clamps instead of dividing by zero.
+        assert_eq!(Sampler::new(0).interval_secs(), 1);
+    }
+
+    #[test]
+    fn render_table_lists_each_series_once() {
+        let mut store = TimeSeriesStore::new();
+        for t in 0..10u64 {
+            store.record("cluster.alive_vms", t * 60, t as f64);
+            store.record("cluster.opened_pms", t * 60, 2.0);
+        }
+        let table = store.render_table();
+        assert_eq!(table.matches("cluster.alive_vms").count(), 1);
+        assert!(table.contains("p99"));
+        assert_eq!(
+            TimeSeriesStore::new().render_table(),
+            "(no series sampled)\n"
+        );
+    }
+}

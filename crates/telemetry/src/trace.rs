@@ -81,9 +81,117 @@ impl TraceBuilder {
     }
 }
 
+/// Default number of operations the slow-ops digest retains.
+pub const DEFAULT_SLOW_OPS_K: usize = 10;
+
+/// A bounded top-K digest of the slowest closed spans.
+///
+/// Keeps only the `k` longest operations seen so far (ties broken by
+/// earlier start, then name, for deterministic rendering), so a
+/// million-span replay still yields an O(k) "what was slow" answer
+/// without retaining the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOpsDigest {
+    capacity: usize,
+    ops: Vec<TraceSpan>,
+}
+
+impl Default for SlowOpsDigest {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOW_OPS_K)
+    }
+}
+
+impl SlowOpsDigest {
+    /// A digest keeping the `capacity` slowest spans (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SlowOpsDigest {
+            capacity,
+            ops: Vec::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Offers one closed span; it is kept only if it ranks in the top K.
+    pub fn offer(&mut self, span: TraceSpan) {
+        if self.ops.len() == self.capacity && span.dur_us <= self.ops.last().map_or(0, |s| s.dur_us)
+        {
+            return;
+        }
+        let rank = |s: &TraceSpan| (std::cmp::Reverse(s.dur_us), s.start_us, s.name);
+        let at = self.ops.partition_point(|s| rank(s) <= rank(&span));
+        self.ops.insert(at, span);
+        self.ops.truncate(self.capacity);
+    }
+
+    /// The retained spans, slowest first.
+    pub fn ops(&self) -> &[TraceSpan] {
+        &self.ops
+    }
+
+    /// How many spans are retained (≤ K).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no span was offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// An aligned text table of the slowest operations.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.ops.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "slowest operations (top {}, wall-clock):",
+            self.capacity
+        );
+        for (i, s) in self.ops.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>2}. {:<40} {:>10} us  (at +{} us)",
+                i + 1,
+                s.name,
+                s.dur_us,
+                s.start_us
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slow_ops_digest_keeps_top_k_sorted() {
+        let mut d = SlowOpsDigest::new(3);
+        assert!(d.is_empty());
+        for (start, dur) in [(0, 5), (1, 50), (2, 1), (3, 20), (4, 50), (5, 2)] {
+            d.offer(TraceSpan {
+                name: "op",
+                start_us: start,
+                dur_us: dur,
+            });
+        }
+        assert_eq!(d.len(), 3);
+        let durs: Vec<u64> = d.ops().iter().map(|s| s.dur_us).collect();
+        assert_eq!(durs, vec![50, 50, 20]);
+        // Ties order by earlier start.
+        assert_eq!(d.ops()[0].start_us, 1);
+        assert_eq!(d.ops()[1].start_us, 4);
+        let text = d.render();
+        assert!(text.contains("slowest operations"));
+        assert!(text.contains("50 us"));
+        assert!(SlowOpsDigest::default().render().is_empty());
+    }
 
     #[test]
     fn chrome_json_shape() {

@@ -21,5 +21,7 @@
 pub mod figures;
 pub mod scale;
 pub mod svg;
+pub mod timeseries;
 
 pub use figures::{fig2_svg, fig3_svg, fig4_svg, occupancy_svg};
+pub use timeseries::gnuplot_script;
