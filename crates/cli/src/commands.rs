@@ -34,6 +34,7 @@ commands:
                                  write a workload trace as JSON
                                  (M: a letter A..O or 'p1,p2,p3' shares)
   replay    --trace FILE --model dedicated|shared [--fleet N]
+            [--index naive|incremental]
             [--events-out FILE] [--trace-out FILE] [--metrics-out FILE]
             [--series-out FILE] [--prom-out FILE]
             [--sample-interval SECS] [--sample-per-pm]
@@ -42,7 +43,10 @@ commands:
                                  (Perfetto-loadable), a metrics summary
                                  (.json for JSON, else text), a sampled
                                  time-series CSV, and a Prometheus
-                                 text exposition
+                                 text exposition; --index selects the
+                                 placement-index mode (incremental by
+                                 default; naive rescans the fleet per
+                                 event — same decisions, for A/B timing)
   obs       --series FILE [--prom FILE] [--gnuplot-out FILE]
             [--png-out FILE]     dashboard for a sampled run: summary
                                  table with sparklines from a
@@ -352,6 +356,7 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         "fleet",
         "topology",
         "mem",
+        "index",
         "events-out",
         "trace-out",
         "metrics-out",
@@ -387,6 +392,13 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
+    let index_raw = args.get_or("index", "incremental");
+    let index_mode = IndexMode::parse(index_raw).ok_or_else(|| {
+        CliError::Invalid(format!(
+            "unknown index mode {index_raw:?} (naive, incremental)"
+        ))
+    })?;
+    model.set_index_mode(index_mode);
     let sampling = ["series-out", "prom-out", "sample-interval"]
         .iter()
         .any(|key| args.get(key).is_some())
@@ -460,10 +472,11 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         run_packing(&workload, &mut model)
     };
     Ok(format!(
-        "model: {}\nPMs opened: {}\npeak alive VMs: {}\nrejections: {}/{}\n\
+        "model: {}\ncandidate index: {}\nPMs opened: {}\npeak alive VMs: {}\nrejections: {}/{}\n\
          unallocated at peak: cpu {:.1}%, mem {:.1}%\n\
          time-weighted unallocated: cpu {:.1}%, mem {:.1}%{notes}",
         out.model,
+        index_mode.name(),
         out.opened_pms,
         out.peak_alive_vms,
         out.rejections,
@@ -910,6 +923,54 @@ mod tests {
         assert!(dedicated.contains("dedicated/first-fit"));
         let compacted = run(&["compact", "--trace", path_str, "--at-day", "1"]).unwrap();
         assert!(compacted.contains("compaction:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_index_modes_agree_and_are_validated() {
+        let dir = std::env::temp_dir().join("slackvm-cli-index");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().unwrap();
+        run(&[
+            "generate",
+            "--provider",
+            "azure",
+            "--mix",
+            "F",
+            "--population",
+            "40",
+            "--days",
+            "2",
+            "--out",
+            path_str,
+        ])
+        .unwrap();
+        for model in ["shared", "dedicated"] {
+            let incr = run(&[
+                "replay", "--trace", path_str, "--model", model, "--index", "incremental",
+            ])
+            .unwrap();
+            let naive = run(&[
+                "replay", "--trace", path_str, "--model", model, "--index", "naive",
+            ])
+            .unwrap();
+            assert!(incr.contains("candidate index: incremental"));
+            assert!(naive.contains("candidate index: naive"));
+            // Identical packing outcome — only the index label differs.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("candidate index:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&incr), strip(&naive));
+        }
+        let err = run(&[
+            "replay", "--trace", path_str, "--model", "shared", "--index", "hashed",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown index mode"));
         std::fs::remove_file(&path).ok();
     }
 

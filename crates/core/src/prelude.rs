@@ -14,8 +14,8 @@ pub use slackvm_perf::{
     Fig2Outcome, Fig2Scenario, MmcModel, Percentiles, Slo, SloPolicy, SlowdownCurve,
 };
 pub use slackvm_sched::{
-    progress_score, AntiAffinityFilter, BestFitScorer, Candidate, CompositeScorer,
-    CpuCeilingFilter, DotProductScorer, Filter, MaxVmsFilter, NormBasedGreedyScorer,
+    progress_score, AntiAffinityFilter, BestFitScorer, Candidate, CandidateIndex, CompositeScorer,
+    CpuCeilingFilter, DotProductScorer, Filter, IndexMode, MaxVmsFilter, NormBasedGreedyScorer,
     PlacementPolicy, ProgressConfig, ProgressScorer, ResourceFilter, Scheduler, Scorer, VCluster,
     WorstFitScorer,
 };

@@ -39,7 +39,7 @@ pub use dynamic::{
     recommend_level, recommend_level_recorded, DynamicLevelConfig, LevelRecommendation,
 };
 pub use error::HypervisorError;
-pub use host::Host;
+pub use host::{AdmissionHeadroom, Host};
 pub use layout::render_layout;
 pub use machine::PhysicalMachine;
 pub use stats::PinChurn;

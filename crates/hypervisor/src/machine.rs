@@ -405,6 +405,15 @@ impl Host for PhysicalMachine {
         Ok(spec)
     }
 
+    fn resize_vm(
+        &mut self,
+        id: VmId,
+        new_vcpus: u32,
+        new_mem_mib: u64,
+    ) -> Result<(), HypervisorError> {
+        PhysicalMachine::resize_vm(self, id, new_vcpus, new_mem_mib)
+    }
+
     fn num_vms(&self) -> usize {
         self.vm_index.len()
     }
@@ -412,6 +421,11 @@ impl Host for PhysicalMachine {
     fn vm_ids(&self) -> Vec<VmId> {
         self.vm_index.keys().copied().collect()
     }
+
+    // `admission_headroom` uses the trait default: the memory bound is
+    // exact (config mem − allocated mem = free mem), and no cheap vCPU
+    // bound exists — existing vNode slack can make a VM's marginal core
+    // cost zero, so only `can_host` can rule on CPU.
 }
 
 #[cfg(test)]

@@ -58,38 +58,9 @@ impl UniformMachine {
         self.config.mem_mib - self.mem_used_mib
     }
 
-    /// Vertically resizes a hosted VM (same level). Atomic: feasibility
-    /// is checked before any counter moves. Zero dimensions clamp to 1.
-    pub fn resize_vm(
-        &mut self,
-        id: VmId,
-        new_vcpus: u32,
-        new_mem_mib: u64,
-    ) -> Result<(), HypervisorError> {
-        let old = *self.vms.get(&id).ok_or(HypervisorError::UnknownVm(id))?;
-        let new_spec = VmSpec::of(new_vcpus.max(1), new_mem_mib.max(1), self.level);
-        let post_vcpus = self.vcpus_used - old.vcpus() + new_spec.vcpus();
-        if post_vcpus > self.vcpu_capacity() {
-            return Err(HypervisorError::InsufficientCpu {
-                level: self.level,
-                needed: self
-                    .level
-                    .cores_needed(post_vcpus)
-                    .saturating_sub(self.config.cores),
-                free: 0,
-            });
-        }
-        let post_mem = self.mem_used_mib - old.mem_mib() + new_spec.mem_mib();
-        if post_mem > self.config.mem_mib {
-            return Err(HypervisorError::InsufficientMemory {
-                requested_mib: new_spec.mem_mib() - old.mem_mib(),
-                free_mib: self.free_mem_mib(),
-            });
-        }
-        self.vcpus_used = post_vcpus;
-        self.mem_used_mib = post_mem;
-        self.vms.insert(id, new_spec);
-        Ok(())
+    /// Free vCPU capacity at this worker's level.
+    pub fn free_vcpus(&self) -> u32 {
+        self.vcpu_capacity() - self.vcpus_used
     }
 }
 
@@ -156,12 +127,56 @@ impl Host for UniformMachine {
         Ok(spec)
     }
 
+    /// Vertically resizes a hosted VM (same level). Atomic: feasibility
+    /// is checked before any counter moves. Zero dimensions clamp to 1.
+    fn resize_vm(
+        &mut self,
+        id: VmId,
+        new_vcpus: u32,
+        new_mem_mib: u64,
+    ) -> Result<(), HypervisorError> {
+        let old = *self.vms.get(&id).ok_or(HypervisorError::UnknownVm(id))?;
+        let new_spec = VmSpec::of(new_vcpus.max(1), new_mem_mib.max(1), self.level);
+        let post_vcpus = self.vcpus_used - old.vcpus() + new_spec.vcpus();
+        if post_vcpus > self.vcpu_capacity() {
+            return Err(HypervisorError::InsufficientCpu {
+                level: self.level,
+                needed: self
+                    .level
+                    .cores_needed(post_vcpus)
+                    .saturating_sub(self.config.cores),
+                free: 0,
+            });
+        }
+        let post_mem = self.mem_used_mib - old.mem_mib() + new_spec.mem_mib();
+        if post_mem > self.config.mem_mib {
+            return Err(HypervisorError::InsufficientMemory {
+                requested_mib: new_spec.mem_mib() - old.mem_mib(),
+                free_mib: self.free_mem_mib(),
+            });
+        }
+        self.vcpus_used = post_vcpus;
+        self.mem_used_mib = post_mem;
+        self.vms.insert(id, new_spec);
+        Ok(())
+    }
+
     fn num_vms(&self) -> usize {
         self.vms.len()
     }
 
     fn vm_ids(&self) -> Vec<VmId> {
         self.vms.keys().copied().collect()
+    }
+
+    fn admission_headroom(&self) -> crate::host::AdmissionHeadroom {
+        // Both bounds are exact here: a single-level worker's only
+        // constraints are the vCPU counter and DRAM (a level mismatch is
+        // caught by the authoritative check on admitted candidates).
+        crate::host::AdmissionHeadroom {
+            free_mem_mib: self.free_mem_mib(),
+            free_vcpus: Some(self.free_vcpus()),
+        }
     }
 }
 

@@ -1,0 +1,401 @@
+//! The incremental placement index — per-PM candidate state kept alive
+//! across events so the replay hot path no longer rescales with fleet
+//! size on every deployment.
+//!
+//! The naive control-plane loop rebuilds a `Vec<Candidate>` over *all*
+//! PMs and re-queries each host's feasibility on every single deploy,
+//! which makes a week-long trace cost O(events × PMs) even though each
+//! event touches exactly one PM. The [`CandidateIndex`] inverts that:
+//! the cluster *upserts* the one PM an event touched (dirty-tracking)
+//! and deploy-time queries read everyone else's cached state.
+//!
+//! # Invariants
+//!
+//! - One slot per opened PM, dense by [`PmId`]; a slot is *live* unless
+//!   the PM was retired (host failure) — retired slots are invisible to
+//!   queries until re-upserted (host repair).
+//! - Every slot carries a **conservative admission headroom**: a free
+//!   memory bound (exact for both host kinds — memory is never
+//!   oversubscribed) and an optional free-vCPU bound (exact for
+//!   single-level uniform machines; `None` for partitioned hosts, whose
+//!   vNode slack can make the marginal CPU cost of a VM zero). The gate
+//!   may only *under*-approximate infeasibility: a PM skipped by the
+//!   gate must be provably unable to host the VM, so skipping it can
+//!   never change a placement decision.
+//! - Queries yield candidates in ascending [`PmId`] order, matching the
+//!   naive host-iteration order byte for byte.
+//!
+//! # Dirty-tracking rules
+//!
+//! The owner must upsert a PM's slot after **every** mutation of that
+//! host — deploy, remove, resize, both endpoints of a migration — and
+//! retire/re-upsert it on failure/repair. Bulk mutations done behind
+//! the index's back (e.g. through a raw `hosts_mut()` borrow) must
+//! invalidate the whole index instead; [`CandidateIndex::clear`] plus a
+//! full re-upsert pass restores consistency.
+
+use std::collections::BTreeSet;
+
+use slackvm_model::PmId;
+
+use crate::pipeline::Candidate;
+
+/// How a cluster assembles the candidate set for each deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Rebuild the candidate vector from every host on every deploy —
+    /// the reference path the incremental index is differentially
+    /// tested against.
+    Naive,
+    /// Maintain a [`CandidateIndex`] updated by dirty-tracking; only
+    /// the PM an event touches is refreshed.
+    #[default]
+    Incremental,
+}
+
+impl IndexMode {
+    /// Parses a CLI-style mode name.
+    pub fn parse(raw: &str) -> Option<IndexMode> {
+        match raw {
+            "naive" => Some(IndexMode::Naive),
+            "incremental" => Some(IndexMode::Incremental),
+            _ => None,
+        }
+    }
+
+    /// Mode label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexMode::Naive => "naive",
+            IndexMode::Incremental => "incremental",
+        }
+    }
+}
+
+/// Conservative per-PM admission headroom, maintained by dirty-tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionKey {
+    /// Free physical memory in MiB. Exact: a VM needing more memory than
+    /// this can never be hosted.
+    pub free_mem_mib: u64,
+    /// Free vCPU capacity at the host's level, when the host kind admits
+    /// a cheap exact bound; `None` disables the CPU gate.
+    pub free_vcpus: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    candidate: Candidate,
+    key: AdmissionKey,
+    live: bool,
+}
+
+/// Statistics of one [`CandidateIndex::gather_into`] query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatherStats {
+    /// Live PMs in the index when the query ran.
+    pub live: usize,
+    /// PMs that passed the cheap admission gate (the candidates handed
+    /// to the authoritative feasibility check).
+    pub admitted: usize,
+}
+
+impl GatherStats {
+    /// PMs the admission gate skipped as provably infeasible.
+    pub fn gate_skipped(&self) -> usize {
+        self.live - self.admitted
+    }
+}
+
+/// Per-PM [`Candidate`] state, bucketed by free-memory headroom.
+///
+/// See the [module docs](self) for the invariants and dirty-tracking
+/// rules.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    slots: Vec<Option<Slot>>,
+    /// Live PMs keyed by `(free_mem_mib, pm)` — the admission bucket
+    /// structure: a deploy for `m` MiB range-scans `(m, 0)..`, touching
+    /// only PMs with enough memory headroom.
+    by_free_mem: BTreeSet<(u64, u32)>,
+    /// Live-PM counts by bit-width of `free_mem_mib` — an O(1)
+    /// selectivity estimate for [`gather_into`](Self::gather_into)'s
+    /// choice between the dense slot scan and the bucket range scan.
+    width_counts: [usize; 65],
+    live: usize,
+}
+
+/// Bit-width bucket of a free-memory headroom value.
+fn width_of(free_mem_mib: u64) -> usize {
+    (u64::BITS - free_mem_mib.leading_zeros()) as usize
+}
+
+impl Default for CandidateIndex {
+    fn default() -> Self {
+        CandidateIndex {
+            slots: Vec::new(),
+            by_free_mem: BTreeSet::new(),
+            width_counts: [0; 65],
+            live: 0,
+        }
+    }
+}
+
+impl CandidateIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        CandidateIndex::default()
+    }
+
+    /// Drops every slot (full invalidation).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.by_free_mem.clear();
+        self.width_counts = [0; 65];
+        self.live = 0;
+    }
+
+    /// Number of live (non-retired) PMs.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// The cached candidate state of a live PM.
+    pub fn get(&self, pm: PmId) -> Option<&Candidate> {
+        self.slots
+            .get(pm.0 as usize)?
+            .as_ref()
+            .filter(|s| s.live)
+            .map(|s| &s.candidate)
+    }
+
+    /// Inserts or refreshes a PM's slot (the dirty-tracking entry
+    /// point). A previously retired PM comes back live.
+    pub fn upsert(&mut self, candidate: Candidate, key: AdmissionKey) {
+        let i = candidate.id.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        if let Some(old) = &self.slots[i] {
+            if old.live {
+                self.by_free_mem.remove(&(old.key.free_mem_mib, old.candidate.id.0));
+                self.width_counts[width_of(old.key.free_mem_mib)] -= 1;
+                self.live -= 1;
+            }
+        }
+        self.by_free_mem.insert((key.free_mem_mib, candidate.id.0));
+        self.width_counts[width_of(key.free_mem_mib)] += 1;
+        self.live += 1;
+        self.slots[i] = Some(Slot {
+            candidate,
+            key,
+            live: true,
+        });
+    }
+
+    /// Retires a PM (host failure): it stops appearing in queries until
+    /// re-upserted. Returns whether the PM was live.
+    pub fn retire(&mut self, pm: PmId) -> bool {
+        match self.slots.get_mut(pm.0 as usize).and_then(Option::as_mut) {
+            Some(slot) if slot.live => {
+                slot.live = false;
+                self.by_free_mem.remove(&(slot.key.free_mem_mib, pm.0));
+                self.width_counts[width_of(slot.key.free_mem_mib)] -= 1;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Gathers every live candidate passing the cheap admission gate
+    /// for a VM needing `need_mem_mib` MiB and `need_vcpus` vCPUs into
+    /// `buf` (cleared first), in ascending [`PmId`] order.
+    ///
+    /// The gate is conservative: a gathered candidate may still fail
+    /// the host's authoritative feasibility check, but a skipped PM can
+    /// never host the VM.
+    ///
+    /// Adaptive: when the width buckets say most of the fleet clears the
+    /// memory gate, the bucket range scan would visit nearly everyone in
+    /// free-memory order and then pay a sort back into id order — so the
+    /// dense regime takes a straight id-ordered slot scan instead. Both
+    /// paths apply the same gates and yield the same id-ordered set.
+    pub fn gather_into(
+        &self,
+        buf: &mut Vec<Candidate>,
+        need_mem_mib: u64,
+        need_vcpus: u32,
+    ) -> GatherStats {
+        buf.clear();
+        // Upper bound on gate-passers: every live PM whose headroom has
+        // at least `need`'s bit-width (wider is always enough; equal
+        // width may fall either side of `need`).
+        let upper: usize = self.width_counts[width_of(need_mem_mib)..].iter().sum();
+        if upper * 4 >= self.live {
+            for slot in self.slots.iter().flatten().filter(|s| s.live) {
+                if slot.key.free_mem_mib >= need_mem_mib
+                    && slot.key.free_vcpus.is_none_or(|free| free >= need_vcpus)
+                {
+                    buf.push(slot.candidate);
+                }
+            }
+        } else {
+            for &(_, pm) in self.by_free_mem.range((need_mem_mib, 0)..) {
+                let slot = self.slots[pm as usize]
+                    .as_ref()
+                    .expect("bucketed PMs have slots");
+                if slot.key.free_vcpus.is_none_or(|free| free >= need_vcpus) {
+                    buf.push(slot.candidate);
+                }
+            }
+            buf.sort_unstable_by_key(|c| c.id);
+        }
+        GatherStats {
+            live: self.live,
+            admitted: buf.len(),
+        }
+    }
+
+    /// The lowest-id live PM passing the admission gate for which
+    /// `feasible` holds — the First-Fit fast path, which skips scoring
+    /// entirely (First-Fit is the minimum feasible id by definition).
+    pub fn first_admitted(
+        &self,
+        need_mem_mib: u64,
+        need_vcpus: u32,
+        mut feasible: impl FnMut(&Candidate) -> bool,
+    ) -> Option<PmId> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| {
+                s.live
+                    && s.key.free_mem_mib >= need_mem_mib
+                    && s.key.free_vcpus.is_none_or(|free| free >= need_vcpus)
+            })
+            .find(|s| feasible(&s.candidate))
+            .map(|s| s.candidate.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, AllocView, Millicores, PmConfig};
+
+    fn cand(id: u32, free_mem_gib: u64, free_vcpus: Option<u32>) -> (Candidate, AdmissionKey) {
+        let config = PmConfig::simulation_host();
+        let used = config.mem_mib - gib(free_mem_gib);
+        (
+            Candidate {
+                id: PmId(id),
+                config,
+                alloc: AllocView::new(Millicores::from_cores(4), used),
+                vms: 1,
+            },
+            AdmissionKey {
+                free_mem_mib: gib(free_mem_gib),
+                free_vcpus,
+            },
+        )
+    }
+
+    fn index_of(entries: &[(Candidate, AdmissionKey)]) -> CandidateIndex {
+        let mut index = CandidateIndex::new();
+        for (c, k) in entries {
+            index.upsert(*c, *k);
+        }
+        index
+    }
+
+    #[test]
+    fn gather_orders_by_id_and_applies_both_gates() {
+        let index = index_of(&[
+            cand(3, 64, None),
+            cand(0, 1, None),         // too little memory
+            cand(2, 64, Some(2)),     // too few vCPUs
+            cand(1, 64, Some(8)),
+        ]);
+        let mut buf = Vec::new();
+        let stats = index.gather_into(&mut buf, gib(32), 4);
+        let ids: Vec<u32> = buf.iter().map(|c| c.id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(stats.live, 4);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.gate_skipped(), 2);
+    }
+
+    #[test]
+    fn upsert_refreshes_the_memory_bucket() {
+        let mut index = index_of(&[cand(0, 64, None)]);
+        let mut buf = Vec::new();
+        assert_eq!(index.gather_into(&mut buf, gib(32), 1).admitted, 1);
+        // The PM fills up: same slot, new key — the old bucket entry
+        // must disappear.
+        let (c, k) = cand(0, 2, None);
+        index.upsert(c, k);
+        assert_eq!(index.live_len(), 1);
+        assert_eq!(index.gather_into(&mut buf, gib(32), 1).admitted, 0);
+        assert_eq!(index.gather_into(&mut buf, gib(1), 1).admitted, 1);
+    }
+
+    #[test]
+    fn retire_and_reupsert_roundtrip() {
+        let mut index = index_of(&[cand(0, 64, None), cand(1, 64, None)]);
+        assert!(index.retire(PmId(0)));
+        assert!(!index.retire(PmId(0)), "retire is idempotent");
+        assert!(!index.retire(PmId(9)), "unknown PMs retire to nothing");
+        assert_eq!(index.live_len(), 1);
+        let mut buf = Vec::new();
+        let stats = index.gather_into(&mut buf, 0, 0);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(buf[0].id, PmId(1));
+        assert!(index.get(PmId(0)).is_none());
+        // Repair: the PM is upserted back and queries see it again.
+        let (c, k) = cand(0, 64, None);
+        index.upsert(c, k);
+        assert_eq!(index.gather_into(&mut buf, 0, 0).admitted, 2);
+    }
+
+    #[test]
+    fn first_admitted_takes_lowest_feasible_id() {
+        let index = index_of(&[cand(2, 64, None), cand(0, 1, None), cand(1, 64, None)]);
+        // PM 0 fails the gate; PM 1 is vetoed by the authoritative
+        // check; PM 2 wins.
+        let picked = index.first_admitted(gib(16), 1, |c| c.id != PmId(1));
+        assert_eq!(picked, Some(PmId(2)));
+        assert_eq!(index.first_admitted(gib(512), 1, |_| true), None);
+    }
+
+    #[test]
+    fn dense_and_selective_gathers_agree_with_the_reference_filter() {
+        // Headrooms spread over many width buckets so small needs take
+        // the dense scan and large needs the selective range scan.
+        let entries: Vec<_> = (0..64u32).map(|i| cand(i, 1u64 << (i % 8), None)).collect();
+        let mut index = index_of(&entries);
+        index.retire(PmId(7));
+        let mut buf = Vec::new();
+        for need_gib in [0u64, 1, 2, 5, 17, 33, 65, 129] {
+            let need = gib(need_gib);
+            let stats = index.gather_into(&mut buf, need, 0);
+            let expect: Vec<u32> = entries
+                .iter()
+                .filter(|(c, k)| c.id != PmId(7) && k.free_mem_mib >= need)
+                .map(|(c, _)| c.id.0)
+                .collect();
+            let got: Vec<u32> = buf.iter().map(|c| c.id.0).collect();
+            assert_eq!(got, expect, "need {need_gib} GiB");
+            assert_eq!(stats.admitted, expect.len());
+            assert_eq!(stats.live, 63);
+        }
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(IndexMode::parse("naive"), Some(IndexMode::Naive));
+        assert_eq!(IndexMode::parse("incremental"), Some(IndexMode::Incremental));
+        assert_eq!(IndexMode::parse("bogus"), None);
+        assert_eq!(IndexMode::default().name(), "incremental");
+    }
+}

@@ -19,18 +19,23 @@
 //!   baselines;
 //! - [`pipeline`]: candidate views and the placement policies
 //!   (First-Fit and score-based selection) used by the simulator;
+//! - [`index`]: the incremental placement index — dirty-tracked per-PM
+//!   candidate state with conservative admission buckets, so replay
+//!   deployments stop rescanning the whole fleet per event;
 //! - [`vcluster`]: the vCluster abstraction — a per-level view over a
 //!   shared pool of SlackVM workers.
 
 #![warn(missing_docs)]
 
 pub mod filters;
+pub mod index;
 pub mod pipeline;
 pub mod progress;
 pub mod scorers;
 pub mod vcluster;
 
 pub use filters::{AntiAffinityFilter, CpuCeilingFilter, Filter, MaxVmsFilter, ResourceFilter};
+pub use index::{AdmissionKey, CandidateIndex, GatherStats, IndexMode};
 pub use pipeline::{Candidate, PlacementPolicy, Scheduler};
 pub use progress::{progress_score, ProgressConfig};
 pub use scorers::{

@@ -19,6 +19,23 @@ pub struct Candidate {
     pub vms: usize,
 }
 
+/// Total order on scores with NaN ranking *lowest*: a scorer that
+/// emits NaN (e.g. a 0/0 in a ratio) can never win a placement, and —
+/// unlike `partial_cmp(..).unwrap_or(Equal)` — the comparison stays a
+/// real total order, so the winner is independent of candidate
+/// iteration order.
+///
+/// `f64::total_cmp` alone would rank positive NaN *above* +∞; this
+/// helper pins both NaN payloads below every real score instead.
+fn score_order(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
 /// How to pick one PM among filtered candidates.
 pub enum PlacementPolicy {
     /// Lowest PM id that fits — the packing-efficiency baseline the paper
@@ -26,7 +43,9 @@ pub enum PlacementPolicy {
     /// ones", §VII-B).
     FirstFit,
     /// Highest score wins; ties go to the lowest PM id, which preserves
-    /// First-Fit's consolidation bias among equals.
+    /// First-Fit's consolidation bias among equals. NaN scores rank
+    /// lowest, so a NaN-emitting scorer can never steer placement and
+    /// the winner never depends on candidate iteration order.
     Scored(Box<dyn Scorer>),
     /// OpenStack-weigher-style selection: each scorer's outputs are
     /// min–max normalized to `[0, 1]` *across the candidate set* before
@@ -65,12 +84,9 @@ impl PlacementPolicy {
             PlacementPolicy::Scored(scorer) => candidates
                 .iter()
                 .map(|c| (c.id, scorer.score(&c.config, &c.alloc, vm)))
-                // max_by on (score, Reverse(id)): highest score, lowest id.
-                .max_by(|(ida, sa), (idb, sb)| {
-                    sa.partial_cmp(sb)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(idb.cmp(ida))
-                })
+                // max_by on (score, Reverse(id)): highest score, lowest
+                // id; NaN scores rank lowest (see `score_order`).
+                .max_by(|(ida, sa), (idb, sb)| score_order(*sa, *sb).then(idb.cmp(ida)))
                 .map(|(id, _)| id),
             PlacementPolicy::WeightedNormalized(parts) => {
                 if candidates.is_empty() {
@@ -85,10 +101,17 @@ impl PlacementPolicy {
                     let lo = raw.iter().copied().fold(f64::INFINITY, f64::min);
                     let hi = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                     let span = hi - lo;
+                    // Relative tolerance: an absolute epsilon would
+                    // misread a constant large-magnitude scorer (ULP
+                    // jitter near 1e9 dwarfs f64::EPSILON) as varying,
+                    // and zero out legitimate tiny spans near 0.
+                    let negligible = span <= hi.abs().max(lo.abs()) * 1e-12;
                     for (total, value) in totals.iter_mut().zip(&raw) {
                         // A constant scorer contributes nothing (every
                         // candidate would normalize identically anyway).
-                        if span > f64::EPSILON {
+                        // NaN raw scores poison only their own
+                        // candidate's total, which then ranks lowest.
+                        if !negligible {
                             *total += weight * (value - lo) / span;
                         }
                     }
@@ -96,11 +119,7 @@ impl PlacementPolicy {
                 candidates
                     .iter()
                     .zip(&totals)
-                    .max_by(|(ca, sa), (cb, sb)| {
-                        sa.partial_cmp(sb)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(cb.id.cmp(&ca.id))
-                    })
+                    .max_by(|(ca, sa), (cb, sb)| score_order(**sa, **sb).then(cb.id.cmp(&ca.id)))
                     .map(|(c, _)| c.id)
             }
         }
@@ -313,6 +332,131 @@ mod tests {
         // Identical candidates (constant scores): lowest id wins.
         let same = vec![cand(4, 8, 32), cand(2, 8, 32), cand(7, 8, 32)];
         assert_eq!(policy.select(&same, &vm(1, 1)), Some(PmId(2)));
+    }
+
+    /// Every rotation of the candidate slice must yield the same winner.
+    fn assert_permutation_invariant(policy: &PlacementPolicy, cands: &[Candidate], spec: &VmSpec) {
+        let baseline = policy.select(cands, spec);
+        let mut rotated = cands.to_vec();
+        for _ in 0..cands.len() {
+            rotated.rotate_left(1);
+            assert_eq!(
+                policy.select(&rotated, spec),
+                baseline,
+                "selection changed under permutation"
+            );
+        }
+        let mut reversed = cands.to_vec();
+        reversed.reverse();
+        assert_eq!(policy.select(&reversed, spec), baseline);
+    }
+
+    #[test]
+    fn nan_scores_rank_lowest_under_any_order() {
+        // Poisoned PMs carry mem allocations in the poison list.
+        struct MemNan;
+        impl crate::scorers::Scorer for MemNan {
+            fn name(&self) -> &'static str {
+                "mem-nan"
+            }
+            fn score(&self, _c: &PmConfig, alloc: &AllocView, _v: &VmSpec) -> f64 {
+                if alloc.mem_mib == gib(13) {
+                    f64::NAN
+                } else {
+                    -(alloc.mem_mib as f64)
+                }
+            }
+        }
+        let policy = PlacementPolicy::scored(MemNan);
+        // PM 8 is poisoned (NaN); the best real score is PM 5 (least
+        // mem used). Under the old partial_cmp(..).unwrap_or(Equal)
+        // comparator the answer depended on which side of the NaN the
+        // max_by scan was on.
+        let cands = vec![cand(8, 4, 13), cand(2, 4, 40), cand(5, 4, 20)];
+        assert_eq!(policy.select(&cands, &vm(1, 1)), Some(PmId(5)));
+        assert_permutation_invariant(&policy, &cands, &vm(1, 1));
+        // All-NaN: still deterministic — lowest id wins the tie.
+        let all_nan = vec![cand(8, 4, 13), cand(3, 2, 13), cand(6, 1, 13)];
+        assert_eq!(policy.select(&all_nan, &vm(1, 1)), Some(PmId(3)));
+        assert_permutation_invariant(&policy, &all_nan, &vm(1, 1));
+        // Weighted-normalized with a NaN-poisoned component behaves the
+        // same way: the poisoned candidate's total is NaN, ranks lowest.
+        let weighted = PlacementPolicy::weighted(vec![
+            (1.0, Box::new(MemNan)),
+            (0.5, Box::new(BestFitScorer)),
+        ]);
+        assert_eq!(weighted.select(&cands, &vm(1, 1)), Some(PmId(5)));
+        assert_permutation_invariant(&weighted, &cands, &vm(1, 1));
+    }
+
+    #[test]
+    fn nan_never_beats_a_real_score_even_negative_infinity() {
+        struct Inf;
+        impl crate::scorers::Scorer for Inf {
+            fn name(&self) -> &'static str {
+                "inf"
+            }
+            fn score(&self, _c: &PmConfig, alloc: &AllocView, _v: &VmSpec) -> f64 {
+                if alloc.mem_mib == gib(13) {
+                    f64::NAN
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+        let policy = PlacementPolicy::scored(Inf);
+        let cands = vec![cand(1, 4, 13), cand(7, 4, 40)];
+        // -inf is a real score and must outrank NaN (total_cmp alone
+        // would let positive NaN beat it).
+        assert_eq!(policy.select(&cands, &vm(1, 1)), Some(PmId(7)));
+        assert_permutation_invariant(&policy, &cands, &vm(1, 1));
+    }
+
+    #[test]
+    fn weighted_constant_large_magnitude_scorer_contributes_nothing() {
+        struct Huge;
+        impl crate::scorers::Scorer for Huge {
+            fn name(&self) -> &'static str {
+                "huge"
+            }
+            fn score(&self, _c: &PmConfig, _a: &AllocView, _v: &VmSpec) -> f64 {
+                // Constant up to one ULP of jitter — far above
+                // f64::EPSILON in absolute terms.
+                1.0e9 + f64::EPSILON * 1.0e9
+            }
+        }
+        // Alone, the constant scorer must not differentiate: lowest id
+        // wins among distinct candidates.
+        let policy = PlacementPolicy::weighted(vec![(1.0, Box::new(Huge))]);
+        let cands = vec![cand(4, 8, 32), cand(2, 2, 8), cand(7, 28, 112)];
+        assert_eq!(policy.select(&cands, &vm(1, 1)), Some(PmId(2)));
+        // Paired with a real scorer, the constant must not drown it out.
+        let policy = PlacementPolicy::weighted(vec![
+            (10.0, Box::new(Huge)),
+            (1.0, Box::new(BestFitScorer)),
+        ]);
+        // Best-fit prefers the fullest PM that still fits: id 7.
+        assert_eq!(policy.select(&cands, &vm(1, 4)), Some(PmId(7)));
+    }
+
+    #[test]
+    fn weighted_tiny_span_still_differentiates() {
+        struct Tiny;
+        impl crate::scorers::Scorer for Tiny {
+            fn name(&self) -> &'static str {
+                "tiny"
+            }
+            fn score(&self, _c: &PmConfig, alloc: &AllocView, _v: &VmSpec) -> f64 {
+                // Legitimate spread of ~1e-16 around zero — below
+                // f64::EPSILON but meaningful relative to the scale.
+                alloc.mem_mib as f64 * 1.0e-21
+            }
+        }
+        let policy = PlacementPolicy::weighted(vec![(1.0, Box::new(Tiny))]);
+        let cands = vec![cand(1, 2, 8), cand(9, 28, 112)];
+        // Higher mem -> higher tiny score: PM 9 must win, which the old
+        // absolute-epsilon guard zeroed out (falling back to lowest id).
+        assert_eq!(policy.select(&cands, &vm(1, 1)), Some(PmId(9)));
     }
 
     #[test]

@@ -4,9 +4,28 @@ use std::collections::BTreeMap;
 
 use slackvm_hypervisor::Host;
 use slackvm_model::{AllocView, Millicores, PmId, VmId, VmSpec};
-use slackvm_sched::{Candidate, PlacementPolicy};
+use slackvm_sched::{AdmissionKey, Candidate, CandidateIndex, IndexMode, PlacementPolicy};
 
 use crate::error::SimError;
+
+/// The candidate view of a host, as the control plane gathers it.
+fn candidate_of<H: Host>(host: &H) -> Candidate {
+    Candidate {
+        id: host.id(),
+        config: host.config(),
+        alloc: host.alloc(),
+        vms: host.num_vms(),
+    }
+}
+
+/// The index key for a host: its conservative admission headroom.
+fn admission_key_of<H: Host>(host: &H) -> AdmissionKey {
+    let headroom = host.admission_headroom();
+    AdmissionKey {
+        free_mem_mib: headroom.free_mem_mib,
+        free_vcpus: headroom.free_vcpus,
+    }
+}
 
 /// A growable pool of hosts of one concrete type.
 ///
@@ -21,6 +40,15 @@ pub struct Cluster<H: Host> {
     placements: BTreeMap<VmId, PmId>,
     max_hosts: Option<u32>,
     failed: std::collections::BTreeSet<PmId>,
+    index_mode: IndexMode,
+    index: CandidateIndex,
+    /// Whether `index` reflects the current host states. Cleared by
+    /// [`Cluster::hosts_mut`] (hosts may be mutated behind the index's
+    /// back) and by mode switches; the next indexed deploy rebuilds.
+    index_synced: bool,
+    /// Reusable candidate buffer for indexed deployments, so the steady
+    /// state allocates nothing per event.
+    scratch: Vec<Candidate>,
 }
 
 impl<H: Host> Cluster<H> {
@@ -32,6 +60,10 @@ impl<H: Host> Cluster<H> {
             placements: BTreeMap::new(),
             max_hosts: None,
             failed: Default::default(),
+            index_mode: IndexMode::default(),
+            index: CandidateIndex::new(),
+            index_synced: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -41,15 +73,112 @@ impl<H: Host> Cluster<H> {
         self
     }
 
+    /// Selects how deploy-time candidate sets are assembled (builder
+    /// form of [`Cluster::set_index_mode`]).
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.set_index_mode(mode);
+        self
+    }
+
+    /// Selects how deploy-time candidate sets are assembled. Switching
+    /// modes mid-run is safe: the index rebuilds on the next deploy.
+    pub fn set_index_mode(&mut self, mode: IndexMode) {
+        self.index_mode = mode;
+        self.index_synced = false;
+    }
+
+    /// The candidate-assembly mode in use.
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
     /// Hosts opened so far.
     pub fn hosts(&self) -> &[H] {
         &self.hosts
     }
 
     /// Mutable access to hosts (used by deployment models to refresh
-    /// vCluster summaries).
+    /// vCluster summaries). Invalidates the placement index — mutations
+    /// through this borrow bypass dirty-tracking, so the next indexed
+    /// deploy rebuilds from scratch. Prefer the cluster's own mutators
+    /// (deploy/remove/[`Cluster::resize_vm`]/migrate) on hot paths.
     pub fn hosts_mut(&mut self) -> &mut [H] {
+        self.index_synced = false;
         &mut self.hosts
+    }
+
+    /// Rebuilds the index from every non-failed host if it went stale.
+    fn sync_index(&mut self) {
+        if self.index_synced {
+            return;
+        }
+        self.index.clear();
+        for host in &self.hosts {
+            if !self.failed.contains(&host.id()) {
+                self.index.upsert(candidate_of(host), admission_key_of(host));
+            }
+        }
+        self.index_synced = true;
+    }
+
+    /// Dirty-tracking hook: refreshes one PM's slot after a mutation of
+    /// that host (or retires it when the PM is failed). No-op in naive
+    /// mode or while the index is stale (a sync will rebuild anyway).
+    fn refresh_slot(&mut self, pm: PmId) {
+        if self.index_mode == IndexMode::Naive || !self.index_synced {
+            return;
+        }
+        if self.failed.contains(&pm) {
+            self.index.retire(pm);
+            return;
+        }
+        if let Some(host) = self.hosts.get(pm.0 as usize) {
+            debug_assert_eq!(host.id(), pm, "hosts are dense by PmId");
+            self.index.upsert(candidate_of(host), admission_key_of(host));
+        }
+    }
+
+    /// Assembles the feasible candidate set and runs the policy via the
+    /// incremental index: admission buckets skip provably-infeasible
+    /// PMs, the authoritative `can_host` check runs only on admitted
+    /// ones, and First-Fit short-circuits scoring entirely (the lowest
+    /// feasible id needs no scores).
+    fn select_indexed<R: slackvm_telemetry::Recorder>(
+        &mut self,
+        spec: &VmSpec,
+        policy: &PlacementPolicy,
+        recorder: &mut R,
+    ) -> Option<PmId> {
+        self.sync_index();
+        let need_mem = spec.mem_mib();
+        let need_vcpus = spec.vcpus();
+        let span = recorder.begin("sched.index.query");
+        if matches!(policy, PlacementPolicy::FirstFit) {
+            let hosts = &self.hosts;
+            let picked = self.index.first_admitted(need_mem, need_vcpus, |c| {
+                hosts[c.id.0 as usize].can_host(spec)
+            });
+            recorder.end(span);
+            if recorder.enabled() {
+                recorder.count("sched.selections", 1);
+                if picked.is_none() {
+                    recorder.count("sched.no_candidate", 1);
+                }
+            }
+            return picked;
+        }
+        let mut buf = std::mem::take(&mut self.scratch);
+        let stats = self.index.gather_into(&mut buf, need_mem, need_vcpus);
+        let admitted = buf.len();
+        buf.retain(|c| self.hosts[c.id.0 as usize].can_host(spec));
+        recorder.end(span);
+        if recorder.enabled() {
+            recorder.count("sched.index.gate_skipped", stats.gate_skipped() as u64);
+            recorder.count("sched.index.infeasible", (admitted - buf.len()) as u64);
+        }
+        let picked = policy.select_recorded(&buf, spec, recorder);
+        self.scratch = buf;
+        picked
     }
 
     /// Number of opened hosts — the provisioned cluster size.
@@ -113,19 +242,20 @@ impl<H: Host> Cluster<H> {
         time_secs: u64,
         recorder: &mut R,
     ) -> Result<PmId, SimError> {
-        let candidates: Vec<Candidate> = self
-            .hosts
-            .iter()
-            .filter(|h| !self.failed.contains(&h.id()) && h.can_host(&spec))
-            .map(|h| Candidate {
-                id: h.id(),
-                config: h.config(),
-                alloc: h.alloc(),
-                vms: h.num_vms(),
-            })
-            .collect();
+        let picked = match self.index_mode {
+            IndexMode::Naive => {
+                let candidates: Vec<Candidate> = self
+                    .hosts
+                    .iter()
+                    .filter(|h| !self.failed.contains(&h.id()) && h.can_host(&spec))
+                    .map(candidate_of)
+                    .collect();
+                policy.select_recorded(&candidates, &spec, recorder)
+            }
+            IndexMode::Incremental => self.select_indexed(&spec, policy, recorder),
+        };
 
-        if let Some(pm) = policy.select_recorded(&candidates, &spec, recorder) {
+        if let Some(pm) = picked {
             let host = self
                 .hosts
                 .iter_mut()
@@ -134,6 +264,7 @@ impl<H: Host> Cluster<H> {
             host.deploy(id, spec)
                 .expect("can_host was checked during filtering");
             self.placements.insert(id, pm);
+            self.refresh_slot(pm);
             return Ok(pm);
         }
 
@@ -149,6 +280,7 @@ impl<H: Host> Cluster<H> {
             .map_err(|_| SimError::Unsatisfiable(id))?;
         self.hosts.push(host);
         self.placements.insert(id, pm);
+        self.refresh_slot(pm);
         if recorder.enabled() {
             recorder.record(time_secs, slackvm_telemetry::Event::PmOpened { pm });
         }
@@ -169,12 +301,7 @@ impl<H: Host> Cluster<H> {
             .hosts
             .iter()
             .filter(|h| !self.failed.contains(&h.id()) && h.can_host(&spec))
-            .map(|h| Candidate {
-                id: h.id(),
-                config: h.config(),
-                alloc: h.alloc(),
-                vms: h.num_vms(),
-            })
+            .map(candidate_of)
             .collect();
         if let Some(pm) = scheduler.place(&candidates, &spec) {
             let host = self
@@ -185,6 +312,7 @@ impl<H: Host> Cluster<H> {
             host.deploy(id, spec)
                 .expect("can_host was checked during filtering");
             self.placements.insert(id, pm);
+            self.refresh_slot(pm);
             return Ok(pm);
         }
         if let Some(max) = self.max_hosts {
@@ -198,6 +326,7 @@ impl<H: Host> Cluster<H> {
             .map_err(|_| SimError::Unsatisfiable(id))?;
         self.hosts.push(host);
         self.placements.insert(id, pm);
+        self.refresh_slot(pm);
         Ok(pm)
     }
 
@@ -233,6 +362,8 @@ impl<H: Host> Cluster<H> {
         if dest.can_host(&spec) {
             dest.deploy(id, spec).expect("can_host checked");
             self.placements.insert(id, to);
+            self.refresh_slot(from);
+            self.refresh_slot(to);
             Ok(())
         } else {
             // Roll back onto the source.
@@ -264,12 +395,15 @@ impl<H: Host> Cluster<H> {
             self.placements.remove(&id);
             evicted.push((id, spec));
         }
+        // `pm` is now in the failed set, so this retires its slot.
+        self.refresh_slot(pm);
         evicted
     }
 
     /// Returns a failed host to service (e.g. after repair).
     pub fn repair_host(&mut self, pm: PmId) {
         self.failed.remove(&pm);
+        self.refresh_slot(pm);
     }
 
     /// Whether a host is currently failed.
@@ -291,6 +425,28 @@ impl<H: Host> Cluster<H> {
             .find(|h| h.id() == pm)
             .expect("placement map points at an opened host");
         host.remove(id).expect("placement map is consistent");
+        self.refresh_slot(pm);
+        Ok(pm)
+    }
+
+    /// Vertically resizes a hosted VM in place, returning the hosting
+    /// PM. Fails without side effects (`DeploymentFailed`) when that
+    /// host cannot absorb the new size — control planes surface this as
+    /// a rejected resize request.
+    pub fn resize_vm(&mut self, id: VmId, vcpus: u32, mem_mib: u64) -> Result<PmId, SimError> {
+        let pm = self
+            .placements
+            .get(&id)
+            .copied()
+            .ok_or(SimError::UnknownVm(id))?;
+        let host = self
+            .hosts
+            .iter_mut()
+            .find(|h| h.id() == pm)
+            .expect("placement map points at an opened host");
+        host.resize_vm(id, vcpus, mem_mib)
+            .map_err(|_| SimError::DeploymentFailed(id))?;
+        self.refresh_slot(pm);
         Ok(pm)
     }
 }
@@ -403,6 +559,81 @@ mod tests {
             c2.deploy_scheduled(VmId(i), spec(1, 1), &plain).unwrap();
         }
         assert_eq!(c2.opened(), 1);
+    }
+
+    #[test]
+    fn cluster_resize_routes_through_the_host() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        c.deploy(VmId(0), spec(4, 8), &policy).unwrap();
+        assert_eq!(c.resize_vm(VmId(0), 8, gib(16)).unwrap(), PmId(0));
+        assert_eq!(c.total_alloc().mem_mib, gib(16));
+        // Infeasible resize: rejected, no side effects.
+        assert_eq!(
+            c.resize_vm(VmId(0), 64, gib(1)).unwrap_err(),
+            SimError::DeploymentFailed(VmId(0))
+        );
+        assert_eq!(c.total_alloc().mem_mib, gib(16));
+        assert_eq!(
+            c.resize_vm(VmId(7), 1, 1).unwrap_err(),
+            SimError::UnknownVm(VmId(7))
+        );
+    }
+
+    /// The incremental index and the naive rebuild must agree on every
+    /// placement across the full mutation surface: deploys (reuse and
+    /// open), removals, resizes, failure/repair, and external mutation
+    /// through `hosts_mut` (which forces a rebuild).
+    #[test]
+    fn incremental_index_matches_naive_across_mutations() {
+        let policy = PlacementPolicy::FirstFit;
+        let mut naive = premium_cluster().with_index_mode(IndexMode::Naive);
+        let mut incr = premium_cluster().with_index_mode(IndexMode::Incremental);
+        assert_eq!(incr.index_mode(), IndexMode::Incremental);
+        let drive = |c: &mut Cluster<UniformMachine>| -> Vec<PmId> {
+            let mut picks = Vec::new();
+            for i in 0..6 {
+                picks.push(c.deploy(VmId(i), spec(10, 30), &policy).unwrap());
+            }
+            c.remove(VmId(2)).unwrap();
+            picks.push(c.deploy(VmId(10), spec(10, 30), &policy).unwrap());
+            c.resize_vm(VmId(10), 2, gib(2)).unwrap();
+            picks.push(c.deploy(VmId(11), spec(10, 28), &policy).unwrap());
+            c.fail_host(PmId(0));
+            picks.push(c.deploy(VmId(12), spec(4, 4), &policy).unwrap());
+            c.repair_host(PmId(0));
+            picks.push(c.deploy(VmId(13), spec(4, 4), &policy).unwrap());
+            // Mutation behind the index's back: stale until next deploy.
+            c.hosts_mut()[1].resize_vm(VmId(3), 1, gib(1)).unwrap();
+            picks.push(c.deploy(VmId(14), spec(10, 29), &policy).unwrap());
+            picks
+        };
+        assert_eq!(drive(&mut naive), drive(&mut incr));
+        assert_eq!(naive.opened(), incr.opened());
+        assert_eq!(naive.active(), incr.active());
+    }
+
+    #[test]
+    fn incremental_index_matches_naive_under_scoring() {
+        use slackvm_sched::BestFitScorer;
+        let drive = |mode: IndexMode| {
+            let mut c = premium_cluster().with_index_mode(mode);
+            let policy = PlacementPolicy::scored(BestFitScorer);
+            let mut picks = Vec::new();
+            for i in 0..12 {
+                let vcpus = 3 + (i % 5) as u32 * 4;
+                let mem = 2 + (i % 7) * 9;
+                picks.push(c.deploy(VmId(i), spec(vcpus, mem), &policy).unwrap());
+            }
+            for i in [1, 4, 7] {
+                c.remove(VmId(i)).unwrap();
+            }
+            for i in 20..26 {
+                picks.push(c.deploy(VmId(i), spec(6, 12), &policy).unwrap());
+            }
+            picks
+        };
+        assert_eq!(drive(IndexMode::Naive), drive(IndexMode::Incremental));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use slackvm_hypervisor::{Host, PhysicalMachine, PinChurn, UniformMachine};
 use slackvm_model::{AllocView, OversubLevel, PmConfig, PmId, VmId, VmSpec};
 use slackvm_sched::vcluster::VClusterMember;
-use slackvm_sched::{CompositeScorer, PlacementPolicy, ProgressScorer, VCluster};
+use slackvm_sched::{CompositeScorer, IndexMode, PlacementPolicy, ProgressScorer, VCluster};
 use slackvm_topology::{CpuTopology, DistanceMatrix, SelectionPolicy, TopologySelection};
 
 use crate::cluster::Cluster;
@@ -129,6 +129,30 @@ impl DeploymentModel {
             DeploymentModel::Shared(s) => s.observables(),
         }
     }
+
+    /// Selects how deploy-time candidate sets are assembled on every
+    /// (sub)cluster: the naive full rebuild or the incremental placement
+    /// index (see [`slackvm_sched::index`]).
+    pub fn set_index_mode(&mut self, mode: IndexMode) {
+        match self {
+            DeploymentModel::Dedicated(d) => d.set_index_mode(mode),
+            DeploymentModel::Shared(s) => s.cluster.set_index_mode(mode),
+        }
+    }
+
+    /// Builder form of [`DeploymentModel::set_index_mode`].
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.set_index_mode(mode);
+        self
+    }
+
+    /// The candidate-assembly mode in use.
+    pub fn index_mode(&self) -> IndexMode {
+        match self {
+            DeploymentModel::Dedicated(d) => d.index_mode,
+            DeploymentModel::Shared(s) => s.cluster.index_mode(),
+        }
+    }
 }
 
 /// The baseline: per-level clusters of [`UniformMachine`]s, each placed
@@ -137,6 +161,7 @@ pub struct DedicatedDeployment {
     clusters: BTreeMap<OversubLevel, Cluster<UniformMachine>>,
     config: PmConfig,
     policy: PlacementPolicy,
+    index_mode: IndexMode,
 }
 
 impl DedicatedDeployment {
@@ -153,6 +178,16 @@ impl DedicatedDeployment {
             clusters,
             config,
             policy: PlacementPolicy::FirstFit,
+            index_mode: IndexMode::default(),
+        }
+    }
+
+    /// Selects the candidate-assembly mode on every per-level cluster,
+    /// including ones opened lazily later.
+    pub fn set_index_mode(&mut self, mode: IndexMode) {
+        self.index_mode = mode;
+        for cluster in self.clusters.values_mut() {
+            cluster.set_index_mode(mode);
         }
     }
 
@@ -205,6 +240,7 @@ impl DedicatedDeployment {
             let config = self.config;
             let level = spec.level;
             Cluster::new(move |id| UniformMachine::new(id, config, level))
+                .with_index_mode(self.index_mode)
         });
         cluster.deploy(id, spec, &self.policy)
     }
@@ -220,6 +256,7 @@ impl DedicatedDeployment {
             let config = self.config;
             let level = spec.level;
             Cluster::new(move |id| UniformMachine::new(id, config, level))
+                .with_index_mode(self.index_mode)
         });
         cluster.deploy_recorded(id, spec, &self.policy, time_secs, recorder)
     }
@@ -236,15 +273,10 @@ impl DedicatedDeployment {
     /// Vertically resizes a hosted VM on whatever machine hosts it.
     pub fn resize(&mut self, id: VmId, vcpus: u32, mem_mib: u64) -> Result<(), SimError> {
         for cluster in self.clusters.values_mut() {
-            if let Some(pm) = cluster.location_of(id) {
-                let host = cluster
-                    .hosts_mut()
-                    .iter_mut()
-                    .find(|h| h.id() == pm)
-                    .expect("placement is consistent");
-                return host
-                    .resize_vm(id, vcpus, mem_mib)
-                    .map_err(|_| SimError::DeploymentFailed(id));
+            if cluster.location_of(id).is_some() {
+                // Through the cluster, not hosts_mut(): keeps the
+                // placement index dirty-tracked instead of invalidated.
+                return cluster.resize_vm(id, vcpus, mem_mib).map(|_| ());
             }
         }
         Err(SimError::UnknownVm(id))
@@ -457,14 +489,9 @@ impl SharedDeployment {
             .find(|h| h.id() == pm)
             .and_then(|h| h.level_of(id))
             .expect("placement is consistent");
-        let host = self
-            .cluster
-            .hosts_mut()
-            .iter_mut()
-            .find(|h| h.id() == pm)
-            .expect("placement is consistent");
-        host.resize_vm(id, vcpus, mem_mib)
-            .map_err(|_| SimError::DeploymentFailed(id))?;
+        // Through the cluster, not hosts_mut(): keeps the placement
+        // index dirty-tracked instead of invalidated.
+        self.cluster.resize_vm(id, vcpus, mem_mib)?;
         self.refresh_vcluster_recorded(pm, level, time_secs, recorder);
         Ok(())
     }
@@ -518,10 +545,6 @@ impl SharedDeployment {
             .filter(|h| plan.releasable.contains(&h.id()) && h.is_idle())
             .count() as u32;
         (migrations, drained)
-    }
-
-    fn refresh_vcluster(&mut self, pm: PmId, level: OversubLevel) {
-        self.refresh_vcluster_recorded(pm, level, 0, &mut slackvm_telemetry::NullRecorder);
     }
 
     /// Refreshes one vCluster membership, journalling the vNode

@@ -15,6 +15,12 @@ use crate::metrics::{OccupancySample, OccupancyTracker, PackingOutcome};
 /// failure (possible only on capped clusters) — failures are counted as
 /// rejections, matching how a control plane degrades.
 ///
+/// Candidate assembly per event follows the deployment's configured
+/// [`IndexMode`](slackvm_sched::IndexMode) (the incremental placement
+/// index by default; `DeploymentModel::set_index_mode` selects the
+/// naive full rebuild for A/B comparison — both modes are
+/// decision-identical).
+///
 /// ```
 /// use slackvm_sim::{run_packing, DeploymentModel, SharedDeployment};
 /// use slackvm_model::gib;

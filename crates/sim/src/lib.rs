@@ -10,7 +10,9 @@
 //! This crate reproduces that machinery:
 //!
 //! - [`events`]: a deterministic event queue (time, then FIFO);
-//! - [`cluster`]: an open-on-demand cluster generic over the host type;
+//! - [`cluster`]: an open-on-demand cluster generic over the host type,
+//!   with an incremental placement index ([`slackvm_sched::index`]) so
+//!   replay deployments stop rescanning the whole fleet per event;
 //! - [`deployment`]: the two deployment models under comparison —
 //!   [`deployment::DedicatedDeployment`] (one single-level cluster per
 //!   oversubscription tier, the baseline) and

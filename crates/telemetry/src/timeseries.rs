@@ -69,13 +69,26 @@ impl Series {
         &self.name
     }
 
-    /// Appends a point, evicting the oldest when full.
+    /// Records a point, evicting the oldest when full.
+    ///
+    /// The series stays sorted by time: the common monotone case is an
+    /// O(1) append, while a point older than the newest retained one is
+    /// inserted at its timestamp's position (stable — it lands after any
+    /// existing points with the same timestamp). Bucketed means and
+    /// sparkline summaries assume monotone time, so silently appending a
+    /// regressed timestamp would corrupt them.
     pub fn push(&mut self, time_secs: u64, value: f64) {
         if self.points.len() == self.capacity {
             self.points.pop_front();
             self.dropped += 1;
         }
-        self.points.push_back(SeriesPoint { time_secs, value });
+        match self.points.back() {
+            Some(last) if last.time_secs > time_secs => {
+                let at = self.points.partition_point(|p| p.time_secs <= time_secs);
+                self.points.insert(at, SeriesPoint { time_secs, value });
+            }
+            _ => self.points.push_back(SeriesPoint { time_secs, value }),
+        }
     }
 
     /// Retained points, oldest first.
@@ -105,7 +118,10 @@ impl Series {
             return None;
         }
         let mut sorted: Vec<f64> = self.points.iter().map(|p| p.value).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN sample must not poison the sort order (with
+        // partial_cmp-or-Equal the sort is non-total and the selected
+        // rank becomes arbitrary); NaNs sort above every real value.
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }
@@ -414,6 +430,39 @@ mod tests {
         assert_eq!(sum.max, 100.0);
         assert_eq!(sum.last, 100.0);
         assert!((sum.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_pushes_keep_the_series_sorted() {
+        let mut s = Series::new("x", 16);
+        for (t, v) in [(0u64, 0.0), (120, 2.0), (60, 1.0), (180, 3.0), (60, 1.5)] {
+            s.push(t, v);
+        }
+        let times: Vec<u64> = s.points().map(|p| p.time_secs).collect();
+        assert_eq!(times, vec![0, 60, 60, 120, 180]);
+        // Equal timestamps preserve arrival order (stable insert).
+        let at_60: Vec<f64> = s
+            .points()
+            .filter(|p| p.time_secs == 60)
+            .map(|p| p.value)
+            .collect();
+        assert_eq!(at_60, vec![1.0, 1.5]);
+        // Bucketed summaries now see monotone time.
+        assert_eq!(s.summary().unwrap().last, 3.0);
+    }
+
+    #[test]
+    fn nan_samples_do_not_poison_percentiles() {
+        let mut s = Series::new("x", 16);
+        for i in 1..=9u64 {
+            s.push(i, i as f64);
+        }
+        s.push(10, f64::NAN);
+        // NaN sorts above every real value: real ranks stay exact
+        // regardless of where the NaN arrived in the buffer.
+        assert_eq!(s.percentile(0.5), Some(5.0));
+        assert_eq!(s.percentile(0.9), Some(9.0));
+        assert!(s.percentile(1.0).unwrap().is_nan());
     }
 
     #[test]

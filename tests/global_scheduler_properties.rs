@@ -91,6 +91,70 @@ proptest! {
     }
 
     #[test]
+    fn selection_is_permutation_invariant_even_with_nan_scores(
+        mut cands in prop::collection::vec(candidate_strategy(), 1..12),
+        vm in vm_strategy(),
+        nan_mask in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        // A scorer that emits NaN for a subset of candidates. Before
+        // selection ordering went total, one NaN poisoned `max_by`
+        // (`partial_cmp(..).unwrap_or(Equal)`) and the winner depended
+        // on iteration order; this property fails on that revert.
+        struct NanFor(std::collections::BTreeSet<u32>);
+        impl Scorer for NanFor {
+            fn score(&self, _: &PmConfig, alloc: &AllocView, _: &VmSpec) -> f64 {
+                let key = (alloc.mem_mib / gib(1)) as u32;
+                if self.0.contains(&key) {
+                    f64::NAN
+                } else {
+                    -(alloc.mem_mib as f64) // best-fit-ish real score
+                }
+            }
+            fn name(&self) -> &'static str {
+                "nan-for"
+            }
+        }
+        cands.sort_by_key(|c| c.id);
+        cands.dedup_by_key(|c| c.id);
+        let poisoned: std::collections::BTreeSet<u32> = cands
+            .iter()
+            .zip(&nan_mask)
+            .filter(|(_, &nan)| nan)
+            .map(|(c, _)| (c.alloc.mem_mib / gib(1)) as u32)
+            .collect();
+        for policy in [
+            PlacementPolicy::scored(NanFor(poisoned.clone())),
+            PlacementPolicy::weighted(vec![
+                (1.0, Box::new(NanFor(poisoned.clone()))),
+                (0.25, Box::new(BestFitScorer)),
+            ]),
+        ] {
+            let baseline = policy.select(&cands, &vm);
+            // Every rotation and the reversal must agree.
+            for rot in 0..cands.len() {
+                let mut perm = cands.clone();
+                perm.rotate_left(rot);
+                prop_assert_eq!(policy.select(&perm, &vm), baseline);
+            }
+            let mut rev = cands.clone();
+            rev.reverse();
+            prop_assert_eq!(policy.select(&rev, &vm), baseline);
+        }
+        // A NaN score never wins while any candidate scored a real
+        // number (NaN ranks lowest by contract). Checked on the plain
+        // scored policy only: the weighted policy may legitimately skip
+        // a negligible-span component, NaNs and all.
+        let scored = PlacementPolicy::scored(NanFor(poisoned.clone()));
+        if let Some(pm) = scored.select(&cands, &vm) {
+            let is_poisoned = |c: &Candidate| poisoned.contains(&((c.alloc.mem_mib / gib(1)) as u32));
+            let winner_nan = cands.iter().find(|c| c.id == pm).map(|c| is_poisoned(c)).unwrap_or(false);
+            if cands.iter().any(|c| !is_poisoned(c)) {
+                prop_assert!(!winner_nan, "NaN-scored {pm} beat a real score");
+            }
+        }
+    }
+
+    #[test]
     fn filters_only_shrink_the_choice(
         cands in prop::collection::vec(candidate_strategy(), 0..20),
         vm in vm_strategy(),
