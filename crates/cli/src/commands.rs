@@ -34,7 +34,7 @@ commands:
                                  write a workload trace as JSON
                                  (M: a letter A..O or 'p1,p2,p3' shares)
   replay    --trace FILE --model dedicated|shared [--fleet N]
-            [--index naive|incremental]
+            [--policy NAME] [--index naive|incremental]
             [--events-out FILE] [--trace-out FILE] [--metrics-out FILE]
             [--series-out FILE] [--prom-out FILE]
             [--sample-interval SECS] [--sample-per-pm]
@@ -71,6 +71,25 @@ commands:
                                  full markdown report for a trace
   calibrate [--targets b,s;b,s;b,s] [--step S]
                                  fit the contention model to latency targets
+  serve     [--addr HOST:PORT | --port P] [--shards N]
+            [--queue-depth N] [--batch N] [--deadline-ms MS]
+            [--model shared|dedicated] [--policy NAME] [--fleet N]
+            [--index naive|incremental] [--topology SPEC] [--mem GIB]
+            [--sample-interval-ms MS]
+                                 run the online placement service: line
+                                 JSON over TCP, HTTP GET /metrics for a
+                                 Prometheus snapshot; a client's
+                                 {\"op\":\"shutdown\"} stops it
+  bombard   [--addr HOST:PORT] [--scenario NAME] [--population N]
+            [--seed S] [--clients N] [--requests N] [--rate R]
+            [--shards N] [--policy NAME] [--fleet N] [--deadline-ms MS]
+            [--series-out FILE] [--prom-out FILE] [--shutdown]
+                                 drive scenario traffic at a placement
+                                 service — over TCP when --addr is
+                                 given, else against an in-process
+                                 service; --rate switches from closed
+                                 to open loop; --shutdown stops the
+                                 remote server afterwards
 
 providers: azure, ovhcloud, balanced
 "
@@ -348,6 +367,16 @@ fn load_trace(args: &Args) -> Result<Workload, CliError> {
     Ok(workload)
 }
 
+/// Resolves a placement-policy name with an actionable error.
+fn parse_policy(raw: &str) -> Result<slackvm::sched::PlacementPolicy, CliError> {
+    slackvm::sched::PlacementPolicy::by_name(raw).ok_or_else(|| {
+        CliError::Invalid(format!(
+            "unknown policy {raw:?} ({})",
+            slackvm::sched::POLICY_NAMES.join(", ")
+        ))
+    })
+}
+
 /// `slackvm replay`
 pub fn replay(args: &Args) -> Result<String, CliError> {
     args.expect_keys(&[
@@ -356,6 +385,7 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         "fleet",
         "topology",
         "mem",
+        "policy",
         "index",
         "events-out",
         "trace-out",
@@ -365,25 +395,39 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         "sample-interval",
         "sample-per-pm",
     ])?;
-    let workload = load_trace(args)?;
+    // Validate the model/policy/index flags before the (potentially
+    // large) trace read so a typo dies in microseconds.
     let fleet: Option<u32> = args.get_parsed("fleet")?;
     let topo = slackvm::topology::topology_from_spec(args.get_or("topology", "cores=32"))
         .map_err(|e| CliError::Invalid(e.to_string()))?;
     let mem = gib(args.get_parsed_or("mem", 128)?);
     let mut model = match args.get_or("model", "shared") {
-        "dedicated" => DeploymentModel::Dedicated(DedicatedDeployment::new(
-            PmConfig::of(topo.num_cores(), mem),
-            [
-                OversubLevel::of(1),
-                OversubLevel::of(2),
-                OversubLevel::of(3),
-            ],
-        )),
+        "dedicated" => {
+            if args.get("policy").is_some() {
+                return Err(CliError::Invalid(
+                    "--policy applies to the shared model only (dedicated packs first-fit per level)"
+                        .into(),
+                ));
+            }
+            DeploymentModel::Dedicated(DedicatedDeployment::new(
+                PmConfig::of(topo.num_cores(), mem),
+                [
+                    OversubLevel::of(1),
+                    OversubLevel::of(2),
+                    OversubLevel::of(3),
+                ],
+            ))
+        }
         "shared" => {
             let topo = Arc::new(topo.clone());
+            let policy = parse_policy(args.get_or("policy", "progress+bestfit"))?;
             DeploymentModel::Shared(match fleet {
-                Some(n) => SharedDeployment::with_capped_cluster(topo, mem, n),
-                None => SharedDeployment::new(topo, mem),
+                Some(n) => {
+                    let mut pool = SharedDeployment::with_capped_cluster(topo, mem, n);
+                    pool.policy = policy;
+                    pool
+                }
+                None => SharedDeployment::with_policy(topo, mem, policy),
             })
         }
         other => {
@@ -399,6 +443,7 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         ))
     })?;
     model.set_index_mode(index_mode);
+    let workload = load_trace(args)?;
     let sampling = ["series-out", "prom-out", "sample-interval"]
         .iter()
         .any(|key| args.get(key).is_some())
@@ -491,21 +536,27 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
 /// `slackvm obs`
 pub fn obs(args: &Args) -> Result<String, CliError> {
     args.expect_keys(&["series", "prom", "gnuplot-out", "png-out"])?;
-    let path = args
-        .get("series")
-        .ok_or(CliError::MissingOption("series"))?;
-    let raw = std::fs::read_to_string(path).map_err(|source| CliError::Io {
-        path: path.to_string(),
-        source,
-    })?;
-    let store =
-        TimeSeriesStore::from_csv(&raw).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
-    let mut out = format!(
-        "observatory — {path}: {} series, {} points\n\n{}",
-        store.len(),
-        store.total_points(),
-        store.render_table()
-    );
+    if args.get("series").is_none() && args.get("prom").is_none() {
+        return Err(CliError::MissingOption("series"));
+    }
+    let mut out = String::new();
+    let mut store = None;
+    if let Some(path) = args.get("series") {
+        let raw = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
+        let parsed = TimeSeriesStore::from_csv(&raw)
+            .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        let _ = write!(
+            out,
+            "observatory — {path}: {} series, {} points\n\n{}",
+            parsed.len(),
+            parsed.total_points(),
+            parsed.render_table()
+        );
+        store = Some((parsed, path));
+    }
     if let Some(prom_path) = args.get("prom") {
         let exposition = std::fs::read_to_string(prom_path).map_err(|source| CliError::Io {
             path: prom_path.to_string(),
@@ -513,15 +564,21 @@ pub fn obs(args: &Args) -> Result<String, CliError> {
         })?;
         slackvm::telemetry::prometheus::validate(&exposition)
             .map_err(|e| CliError::Invalid(format!("{prom_path}: {e}")))?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
         let _ = write!(
             out,
-            "\n{prom_path}: valid Prometheus exposition ({} lines)",
+            "{prom_path}: valid Prometheus exposition ({} lines)",
             exposition.lines().count()
         );
     }
     if let Some(script_path) = args.get("gnuplot-out") {
+        let (store, path) = store
+            .as_ref()
+            .ok_or_else(|| CliError::Invalid("--gnuplot-out needs --series".into()))?;
         let png = args.get_or("png-out", "observatory.png");
-        let script = slackvm_viz::gnuplot_script(&store, path, png);
+        let script = slackvm_viz::gnuplot_script(store, path, png);
         std::fs::write(script_path, &script).map_err(|source| CliError::Io {
             path: script_path.to_string(),
             source,
@@ -854,6 +911,248 @@ pub fn recommend(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// The serve/bombard options that shape the per-shard deployment model.
+fn serve_model_spec(args: &Args) -> Result<slackvm_serve::ModelSpec, CliError> {
+    let topology = args.get_or("topology", "cores=32").to_string();
+    let mem_mib = gib(args.get_parsed_or("mem", 128)?);
+    match args.get_or("model", "shared") {
+        "shared" => {
+            let policy = args.get_or("policy", "progress+bestfit");
+            parse_policy(policy)?;
+            Ok(slackvm_serve::ModelSpec::Shared {
+                topology,
+                mem_mib,
+                policy: policy.to_string(),
+                fleet_cap: args.get_parsed("fleet")?,
+            })
+        }
+        "dedicated" => {
+            if args.get("policy").is_some() {
+                return Err(CliError::Invalid(
+                    "--policy applies to the shared model only (dedicated packs first-fit per level)"
+                        .into(),
+                ));
+            }
+            Ok(slackvm_serve::ModelSpec::Dedicated { topology, mem_mib })
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown model {other:?} (dedicated, shared)"
+        ))),
+    }
+}
+
+/// The serve/bombard options that shape the service itself.
+fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
+    let index_raw = args.get_or("index", "incremental");
+    let index = IndexMode::parse(index_raw).ok_or_else(|| {
+        CliError::Invalid(format!(
+            "unknown index mode {index_raw:?} (naive, incremental)"
+        ))
+    })?;
+    Ok(slackvm_serve::ServeConfig {
+        shards: args.get_parsed_or("shards", 1)?,
+        queue_depth: args.get_parsed_or("queue-depth", 1024)?,
+        batch_max: args.get_parsed_or("batch", 64)?,
+        deadline: args
+            .get_parsed::<u64>("deadline-ms")?
+            .map(std::time::Duration::from_millis),
+        deterministic: false,
+        model: serve_model_spec(args)?,
+        index,
+        sample_interval_ms: args.get_parsed("sample-interval-ms")?,
+    })
+}
+
+/// `slackvm serve`
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&[
+        "addr",
+        "port",
+        "shards",
+        "queue-depth",
+        "batch",
+        "deadline-ms",
+        "model",
+        "policy",
+        "fleet",
+        "index",
+        "topology",
+        "mem",
+        "sample-interval-ms",
+    ])?;
+    let config = serve_config(args)?;
+    let addr = match args.get("addr") {
+        Some(addr) => addr.to_string(),
+        None => format!("127.0.0.1:{}", args.get_parsed_or::<u16>("port", 7070)?),
+    };
+    let service = slackvm_serve::PlacementService::start(config)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let server = slackvm_serve::TcpServer::bind(&addr, service)
+        .map_err(|e| CliError::Invalid(format!("cannot bind {addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    // Announce readiness before the blocking accept loop so scripts can
+    // start bombarding as soon as this line appears.
+    eprintln!("slackvm serve: listening on {local}");
+    let (stats, report) = server
+        .run()
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    report
+        .check_invariants()
+        .map_err(|e| CliError::Invalid(format!("post-shutdown invariant violation: {e}")))?;
+    Ok(format!(
+        "serve: shutdown after {} connections, {} requests ({} bad lines)\n\
+         admitted {}  rejected {}  shed {}  PMs opened {}",
+        stats.connections,
+        stats.requests,
+        stats.bad_lines,
+        report.admitted(),
+        report.rejected(),
+        report.shed(),
+        report.opened_pms(),
+    ))
+}
+
+/// One-shot HTTP GET against the serve frontend, returning the
+/// Prometheus exposition body.
+fn fetch_metrics(addr: &str) -> Result<String, CliError> {
+    use std::io::{Read as _, Write as _};
+    let io_err = |source: std::io::Error| CliError::Io {
+        path: addr.to_string(),
+        source,
+    };
+    let mut stream = std::net::TcpStream::connect(addr).map_err(io_err)?;
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").map_err(io_err)?;
+    stream.flush().map_err(io_err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(io_err)?;
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| CliError::Invalid(format!("malformed metrics response from {addr}")))
+}
+
+/// `slackvm bombard`
+pub fn bombard(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&[
+        "addr",
+        "scenario",
+        "population",
+        "seed",
+        "clients",
+        "requests",
+        "rate",
+        "shards",
+        "queue-depth",
+        "batch",
+        "deadline-ms",
+        "model",
+        "policy",
+        "fleet",
+        "index",
+        "topology",
+        "mem",
+        "series-out",
+        "prom-out",
+        "sample-interval-ms",
+        "shutdown",
+    ])?;
+    let config = slackvm_serve::BombardConfig {
+        scenario: args.get_or("scenario", "paper-week-f").to_string(),
+        population: args.get_parsed_or("population", 200)?,
+        seed: args.get_parsed_or("seed", 42)?,
+        clients: args.get_parsed_or("clients", 4)?,
+        requests: args.get_parsed_or("requests", 10_000)?,
+    };
+    let invalid = |e: slackvm_serve::ServeError| CliError::Invalid(e.to_string());
+    let write = |path: &str, content: &str| -> Result<(), CliError> {
+        std::fs::write(path, content).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })
+    };
+    let mut out = String::new();
+
+    if let Some(addr) = args.get("addr") {
+        // Remote mode: drive the TCP frontend of a running server.
+        if args.get("rate").is_some() || args.get("series-out").is_some() {
+            return Err(CliError::Invalid(
+                "--rate and --series-out apply to in-process bombard only (drop --addr)".into(),
+            ));
+        }
+        if config.requests > 0 {
+            let report = slackvm_serve::run_tcp(addr, &config).map_err(invalid)?;
+            out.push_str(&report.render());
+        } else {
+            out.push_str("bombard: no requests sent\n");
+        }
+        if let Some(path) = args.get("prom-out") {
+            let exposition = fetch_metrics(addr)?;
+            write(path, &exposition)?;
+            let _ = writeln!(out, "wrote {path} ({} bytes)", exposition.len());
+        }
+        if args.has_flag("shutdown") {
+            use std::io::{BufRead as _, BufReader, Write as _};
+            let io_err = |source: std::io::Error| CliError::Io {
+                path: addr.to_string(),
+                source,
+            };
+            let stream = std::net::TcpStream::connect(addr).map_err(io_err)?;
+            let mut writer = stream.try_clone().map_err(io_err)?;
+            writeln!(writer, "{{\"op\":\"shutdown\"}}").map_err(io_err)?;
+            writer.flush().map_err(io_err)?;
+            let mut ack = String::new();
+            BufReader::new(stream).read_line(&mut ack).map_err(io_err)?;
+            out.push_str("sent shutdown\n");
+        }
+        return Ok(out);
+    }
+
+    // In-process mode: start a service, bombard it, report, tear down.
+    if args.has_flag("shutdown") {
+        return Err(CliError::Invalid(
+            "--shutdown needs --addr (the in-process service always stops at the end)".into(),
+        ));
+    }
+    let mut service_config = serve_config(args)?;
+    if args.get("series-out").is_some() && service_config.sample_interval_ms.is_none() {
+        service_config.sample_interval_ms = Some(50);
+    }
+    let service = slackvm_serve::PlacementService::start(service_config).map_err(invalid)?;
+    let report = match args.get_parsed::<f64>("rate")? {
+        Some(rate) => slackvm_serve::run_open_loop(&service, &config, rate),
+        None => slackvm_serve::run_closed_loop(&service, &config),
+    }
+    .map_err(invalid)?;
+    out.push_str(&report.render());
+    if let Some(path) = args.get("prom-out") {
+        let exposition = service.metrics_exposition();
+        write(path, &exposition)?;
+        let _ = writeln!(out, "wrote {path} ({} bytes)", exposition.len());
+    }
+    if let Some(path) = args.get("series-out") {
+        let csv = service
+            .series_csv()
+            .ok_or_else(|| CliError::Invalid("sampler produced no series".into()))?;
+        write(path, &csv)?;
+        let _ = writeln!(out, "wrote {path} ({} bytes)", csv.len());
+    }
+    let final_report = service.stop();
+    final_report
+        .check_invariants()
+        .map_err(|e| CliError::Invalid(format!("post-run invariant violation: {e}")))?;
+    let _ = write!(
+        out,
+        "final: admitted {}  rejected {}  shed {}  PMs opened {}",
+        final_report.admitted(),
+        final_report.rejected(),
+        final_report.shed(),
+        final_report.opened_pms(),
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -971,6 +1270,13 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("unknown index mode"));
+
+        // A selectable policy shows up in the model label.
+        let out = run(&[
+            "replay", "--trace", path_str, "--model", "shared", "--policy", "best-fit",
+        ])
+        .unwrap();
+        assert!(out.contains("best-fit"), "policy not applied:\n{out}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -1305,6 +1611,159 @@ mod tests {
     fn typo_protection_fires() {
         let err = run(&["fig3", "--provder", "azure"]).unwrap_err();
         assert!(matches!(err, CliError::UnknownOption(_)));
+    }
+
+    #[test]
+    fn replay_flag_validation_fires_before_trace_io() {
+        // Flag typos must die before the trace is even opened, so a
+        // nonexistent path proves the ordering. Unknown policies get a
+        // one-line error naming the options.
+        let err = run(&[
+            "replay", "--trace", "/nonexistent/x.json", "--model", "shared", "--policy", "magic",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("magic"), "{err}");
+        assert!(err.contains("progress+bestfit"), "{err}");
+        assert!(!err.contains('\n'), "error must be one line: {err}");
+
+        // The dedicated baseline has no policy knob.
+        let err = run(&[
+            "replay",
+            "--trace",
+            "/nonexistent/x.json",
+            "--model",
+            "dedicated",
+            "--policy",
+            "best-fit",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("shared model only"), "{err}");
+
+        // Same treatment for the index mode.
+        let err = run(&[
+            "replay", "--trace", "/nonexistent/x.json", "--index", "hashed",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown index mode"), "{err}");
+        assert!(!err.contains('\n'), "error must be one line: {err}");
+    }
+
+    #[test]
+    fn serve_and_bombard_reject_bad_names_before_binding() {
+        let err = run(&["serve", "--policy", "magic"]).unwrap_err().to_string();
+        assert!(err.contains("magic") && err.contains("progress+bestfit"), "{err}");
+        assert!(!err.contains('\n'), "error must be one line: {err}");
+        let err = run(&["serve", "--index", "hashed"]).unwrap_err().to_string();
+        assert!(err.contains("unknown index mode") && err.contains("incremental"), "{err}");
+        let err = run(&["bombard", "--scenario", "rush-hour"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("rush-hour") && err.contains("paper-week-f"), "{err}");
+        let err = run(&["bombard", "--shutdown"]).unwrap_err().to_string();
+        assert!(err.contains("--addr"), "{err}");
+    }
+
+    #[test]
+    fn bombard_in_process_smoke_with_artifacts() {
+        let dir = std::env::temp_dir().join("slackvm-cli-bombard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("serve.prom");
+        let series = dir.join("serve.csv");
+        let out = run(&[
+            "bombard",
+            "--requests",
+            "200",
+            "--population",
+            "32",
+            "--clients",
+            "2",
+            "--shards",
+            "2",
+            "--prom-out",
+            prom.to_str().unwrap(),
+            "--series-out",
+            series.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("closed-loop"), "{out}");
+        assert!(out.contains("placed 200"), "{out}");
+        assert!(out.contains("shed 0"), "{out}");
+        assert!(out.contains("final: admitted 200"), "{out}");
+
+        // The exposition passes the strict validator and feeds `obs
+        // --prom` without a series file.
+        let exposition = std::fs::read_to_string(&prom).unwrap();
+        slackvm::telemetry::prometheus::validate(&exposition).unwrap();
+        assert!(exposition.contains("slackvm_serve_admitted"), "{exposition}");
+        assert!(exposition.contains("slackvm_build_info{"), "{exposition}");
+        let dash = run(&["obs", "--prom", prom.to_str().unwrap()]).unwrap();
+        assert!(dash.contains("valid Prometheus exposition"), "{dash}");
+
+        // The sampler wrote a readable CSV.
+        let store =
+            TimeSeriesStore::from_csv(&std::fs::read_to_string(&series).unwrap()).unwrap();
+        assert!(store.series("serve.inflight").is_some());
+
+        // Open loop at a modest rate also completes.
+        let out = run(&[
+            "bombard",
+            "--requests",
+            "50",
+            "--population",
+            "16",
+            "--rate",
+            "5000",
+        ])
+        .unwrap();
+        assert!(out.contains("open-loop"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bombard_drives_a_tcp_server_and_shuts_it_down() {
+        let dir = std::env::temp_dir().join("slackvm-cli-tcp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("scrape.prom");
+        let service = slackvm_serve::PlacementService::start(slackvm_serve::ServeConfig {
+            shards: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let server = slackvm_serve::TcpServer::bind("127.0.0.1:0", service).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let out = run(&[
+            "bombard",
+            "--addr",
+            &addr,
+            "--requests",
+            "80",
+            "--population",
+            "16",
+            "--clients",
+            "2",
+            "--prom-out",
+            prom.to_str().unwrap(),
+            "--shutdown",
+        ])
+        .unwrap();
+        assert!(out.contains("closed-loop/tcp"), "{out}");
+        assert!(out.contains("placed 80"), "{out}");
+        assert!(out.contains("sent shutdown"), "{out}");
+
+        let (stats, report) = handle.join().unwrap();
+        assert_eq!(report.admitted(), 80);
+        assert!(stats.requests >= 160, "{stats:?}");
+        report.check_invariants().unwrap();
+
+        let exposition = std::fs::read_to_string(&prom).unwrap();
+        slackvm::telemetry::prometheus::validate(&exposition).unwrap();
+        assert!(exposition.contains("slackvm_build_info{"), "{exposition}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

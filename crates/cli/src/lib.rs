@@ -18,6 +18,8 @@
 //! | `compact` | compaction analysis of a mid-replay cluster state |
 //! | `sweep` | sensitivity sweeps (`mc`, `population`, `seeds`) |
 //! | `recommend` | dynamic oversubscription-level recommendation |
+//! | `serve` | online placement service over TCP (line JSON) |
+//! | `bombard` | load generator for a placement service |
 //!
 //! Command implementations return their report as a `String`, keeping
 //! them unit-testable; `main` only prints.
@@ -50,6 +52,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "report" => commands::report(args),
         "calibrate" => commands::calibrate_cmd(args),
         "recommend" => commands::recommend(args),
+        "serve" => commands::serve(args),
+        "bombard" => commands::bombard(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -77,6 +81,8 @@ mod tests {
             "layout",
             "report",
             "calibrate",
+            "serve",
+            "bombard",
         ] {
             assert!(help.contains(cmd), "help misses {cmd}");
         }

@@ -42,7 +42,7 @@ pub mod span;
 pub use calibration::{calibrate, calibrate_grid, CalibrationResult, CalibrationTargets};
 pub use latency::LatencyCollector;
 pub use model::{slowdown, ContentionModel};
-pub use percentile::{percentile, Percentiles};
+pub use percentile::{percentile, Percentiles, TailPercentiles};
 pub use pooling_study::{pooling_benefit, PoolingOutcome};
 pub use queueing::{erlang_c, MmcModel};
 pub use scenario::{Fig2Outcome, Fig2Scenario, LevelLatency, SlowdownCurve};

@@ -51,6 +51,47 @@ impl Percentiles {
     }
 }
 
+/// A serving-oriented tail summary: the quantiles an online admission
+/// path is judged by (p50/p99/p99.9), alongside the observed extremes.
+/// [`Percentiles`] keeps the paper's offline p90-centric shape; this
+/// one exists for load generators and SLO reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailPercentiles {
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile — the serving-tail headline.
+    pub p999: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl TailPercentiles {
+    /// Summarizes a sample set by the same nearest-rank method as
+    /// [`percentile`]. Returns `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<TailPercentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        Some(TailPercentiles {
+            p50: pick(0.50),
+            p99: pick(0.99),
+            p999: pick(0.999),
+            max: *sorted.last().expect("non-empty"),
+            count: sorted.len(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,7 +143,33 @@ mod tests {
         assert_eq!(p.count, 100);
     }
 
+    #[test]
+    fn tail_summary_needs_a_thousand_samples_to_split_p999() {
+        // Below 1000 samples, nearest-rank p99.9 collapses onto max.
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let t = TailPercentiles::of(&s).unwrap();
+        assert_eq!((t.p50, t.p99, t.p999, t.max), (50.0, 99.0, 100.0, 100.0));
+        // At 10k samples the quantiles separate.
+        let s: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let t = TailPercentiles::of(&s).unwrap();
+        assert_eq!((t.p50, t.p99, t.p999), (5000.0, 9900.0, 9990.0));
+        assert_eq!(t.max, 10_000.0);
+        assert_eq!(t.count, 10_000);
+        assert!(TailPercentiles::of(&[]).is_none());
+    }
+
     proptest! {
+        #[test]
+        fn tail_summary_agrees_with_the_standalone_function(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..300),
+        ) {
+            let t = TailPercentiles::of(&samples).unwrap();
+            prop_assert_eq!(percentile(&samples, 0.50), Some(t.p50));
+            prop_assert_eq!(percentile(&samples, 0.99), Some(t.p99));
+            prop_assert_eq!(percentile(&samples, 0.999), Some(t.p999));
+            prop_assert!(t.p50 <= t.p99 && t.p99 <= t.p999 && t.p999 <= t.max);
+        }
+
         #[test]
         fn percentile_is_monotone_in_q(
             samples in prop::collection::vec(0.0f64..1e6, 1..200),

@@ -36,10 +36,10 @@ pub mod vcluster;
 
 pub use filters::{AntiAffinityFilter, CpuCeilingFilter, Filter, MaxVmsFilter, ResourceFilter};
 pub use index::{AdmissionKey, CandidateIndex, GatherStats, IndexMode};
-pub use pipeline::{Candidate, PlacementPolicy, Scheduler};
+pub use pipeline::{Candidate, PlacementPolicy, Scheduler, POLICY_NAMES};
 pub use progress::{progress_score, ProgressConfig};
 pub use scorers::{
     BestFitScorer, CompositeScorer, DotProductScorer, NormBasedGreedyScorer, ProgressScorer,
-    Scorer, WorstFitScorer,
+    Scorer, WorstFitScorer, DEFAULT_CONSOLIDATION_WEIGHT,
 };
 pub use vcluster::VCluster;

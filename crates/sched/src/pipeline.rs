@@ -55,10 +55,45 @@ pub enum PlacementPolicy {
     WeightedNormalized(Vec<(f64, Box<dyn Scorer>)>),
 }
 
+/// The policy names [`PlacementPolicy::by_name`] accepts, in the order
+/// they should be listed in error messages and `--help` text.
+pub const POLICY_NAMES: &[&str] = &[
+    "first-fit",
+    "progress",
+    "progress+bestfit",
+    "best-fit",
+    "worst-fit",
+    "dot-product",
+    "norm-greedy",
+];
+
 impl PlacementPolicy {
     /// A score-based policy from any scorer.
     pub fn scored(scorer: impl Scorer + 'static) -> Self {
         PlacementPolicy::Scored(Box::new(scorer))
+    }
+
+    /// Builds a policy from its report label — the single registry
+    /// behind every `--policy` flag (replay, serve, bombard), so the
+    /// accepted names and the labels printed in reports never drift
+    /// apart. Returns `None` for an unknown name; see [`POLICY_NAMES`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        use crate::scorers::{
+            BestFitScorer, CompositeScorer, DotProductScorer, NormBasedGreedyScorer,
+            ProgressScorer, WorstFitScorer, DEFAULT_CONSOLIDATION_WEIGHT,
+        };
+        match name {
+            "first-fit" => Some(PlacementPolicy::FirstFit),
+            "progress" => Some(PlacementPolicy::scored(ProgressScorer::paper())),
+            "progress+bestfit" => Some(PlacementPolicy::scored(
+                CompositeScorer::progress_with_consolidation(DEFAULT_CONSOLIDATION_WEIGHT),
+            )),
+            "best-fit" => Some(PlacementPolicy::scored(BestFitScorer)),
+            "worst-fit" => Some(PlacementPolicy::scored(WorstFitScorer)),
+            "dot-product" => Some(PlacementPolicy::scored(DotProductScorer)),
+            "norm-greedy" => Some(PlacementPolicy::scored(NormBasedGreedyScorer)),
+            _ => None,
+        }
     }
 
     /// A normalized multi-weigher policy.
@@ -292,6 +327,21 @@ mod tests {
         assert_eq!(
             PlacementPolicy::scored(ProgressScorer::paper()).name(),
             "progress"
+        );
+    }
+
+    #[test]
+    fn by_name_round_trips_every_registered_policy() {
+        for name in POLICY_NAMES {
+            let policy = PlacementPolicy::by_name(name)
+                .unwrap_or_else(|| panic!("{name} is registered but not constructible"));
+            assert_eq!(policy.name(), *name, "label drifted for {name}");
+        }
+        assert!(PlacementPolicy::by_name("round-robin").is_none());
+        assert!(PlacementPolicy::by_name("").is_none());
+        assert!(
+            PlacementPolicy::by_name("First-Fit").is_none(),
+            "names are case-sensitive identifiers"
         );
     }
 

@@ -126,6 +126,16 @@ impl Scorer for NormBasedGreedyScorer {
     }
 }
 
+/// Default weight of the Best-Fit consolidation term combined with the
+/// progress scorer (see [`CompositeScorer::progress_with_consolidation`]).
+///
+/// The progress score produces many exact ties (every balanced machine
+/// scores 0 for a balanced VM); a light consolidation bias resolves them
+/// towards the fullest machine, which is what production scoring stacks
+/// do ("alongside their others criteria", paper §VII-B). 0.15 reproduces
+/// the paper's headline savings most closely.
+pub const DEFAULT_CONSOLIDATION_WEIGHT: f64 = 0.15;
+
 /// A weighted sum of scorers — how production control planes combine
 /// the SlackVM metric with their existing rules (paper §VII-B: "Cloud
 /// providers may guide workload packing by adjusting the weight of our

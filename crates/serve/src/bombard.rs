@@ -1,0 +1,476 @@
+//! The bombard load generator: workload scenarios as live traffic.
+//!
+//! Replays the VM shapes of a canned workload scenario
+//! ([`slackvm_workload::scenarios`]) against a placement service as
+//! fast as the service allows (closed loop) or at a fixed request rate
+//! (open loop), in-process or over the TCP frontend, and reports
+//! throughput plus tail latency ([`slackvm_perf::TailPercentiles`]).
+//!
+//! Closed loop: `clients` threads each keep a sliding window of
+//! `population / clients` live VMs — every placement beyond the window
+//! first removes the oldest — so the service sees the scenario's
+//! steady-state occupancy, not unbounded growth. Latency is measured
+//! client-side around each synchronous call.
+//!
+//! Open loop: a single pacer submits placements at `rate` requests per
+//! second through the non-blocking path; a full queue counts as `busy`
+//! (shed at the door) instead of slowing the pacer — the textbook
+//! open-loop overload model.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use slackvm_model::{VmId, VmSpec};
+use slackvm_perf::TailPercentiles;
+use slackvm_workload::{scenarios, WorkloadEvent};
+
+use crate::error::ServeError;
+use crate::request::{Op, Outcome};
+use crate::service::PlacementService;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BombardConfig {
+    /// Canned scenario name (see [`scenarios::SCENARIO_NAMES`]).
+    pub scenario: String,
+    /// Scenario population — also the closed-loop live-VM window.
+    pub population: u32,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Concurrent closed-loop clients.
+    pub clients: u32,
+    /// Total placement requests across all clients.
+    pub requests: u64,
+}
+
+impl Default for BombardConfig {
+    fn default() -> Self {
+        BombardConfig {
+            scenario: "paper-week-f".into(),
+            population: 200,
+            seed: 42,
+            clients: 4,
+            requests: 10_000,
+        }
+    }
+}
+
+impl BombardConfig {
+    /// The VM shapes the generator cycles through: every arrival spec
+    /// of the scenario's workload, in trace order.
+    pub fn specs(&self) -> Result<Vec<VmSpec>, ServeError> {
+        let scenario = scenarios::by_name(&self.scenario, self.population).ok_or_else(|| {
+            ServeError::Config(format!(
+                "unknown scenario {:?} ({})",
+                self.scenario,
+                scenarios::SCENARIO_NAMES.join(", ")
+            ))
+        })?;
+        let workload = scenario.generate(self.seed);
+        let specs: Vec<VmSpec> = workload
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                WorkloadEvent::Arrival(vm) => Some(vm.spec),
+                _ => None,
+            })
+            .collect();
+        if specs.is_empty() {
+            return Err(ServeError::Config(format!(
+                "scenario {:?} generated no arrivals",
+                self.scenario
+            )));
+        }
+        Ok(specs)
+    }
+}
+
+/// What a bombard run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BombardReport {
+    /// `"closed-loop"`, `"open-loop"`, or `"closed-loop/tcp"`.
+    pub mode: String,
+    /// Operations executed (placements plus window removals).
+    pub ops: u64,
+    /// Wall-clock duration of the run.
+    pub wall_secs: f64,
+    /// `ops / wall_secs`.
+    pub throughput: f64,
+    /// Placements admitted.
+    pub placed: u64,
+    /// Placements rejected.
+    pub rejected: u64,
+    /// Requests shed past deadline.
+    pub shed: u64,
+    /// Open-loop submissions refused at the door (queue full).
+    pub busy: u64,
+    /// Unknown-VM answers.
+    pub unknown: u64,
+    /// Window removals executed.
+    pub removed: u64,
+    /// Placement latency distribution, microseconds (client-observed in
+    /// closed loop, worker-observed in open loop). `None` when nothing
+    /// completed.
+    pub latency: Option<TailPercentiles>,
+}
+
+impl BombardReport {
+    /// Renders the human-readable summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("bombard ({})\n", self.mode));
+        out.push_str(&format!(
+            "  ops        {} in {:.3} s  ({:.0} ops/s)\n",
+            self.ops, self.wall_secs, self.throughput
+        ));
+        out.push_str(&format!(
+            "  outcomes   placed {}  rejected {}  shed {}  busy {}  unknown {}  removed {}\n",
+            self.placed, self.rejected, self.shed, self.busy, self.unknown, self.removed
+        ));
+        match &self.latency {
+            Some(p) => out.push_str(&format!(
+                "  latency    p50 {:.0} us  p99 {:.0} us  p999 {:.0} us  max {:.0} us  (n={})\n",
+                p.p50, p.p99, p.p999, p.max, p.count
+            )),
+            None => out.push_str("  latency    (no completed placements)\n"),
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    placed: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    busy: AtomicU64,
+    unknown: AtomicU64,
+    removed: AtomicU64,
+}
+
+impl Tally {
+    fn note(&self, outcome: Outcome) {
+        match outcome {
+            Outcome::Placed(_) => self.placed.fetch_add(1, Ordering::Relaxed),
+            Outcome::Rejected => self.rejected.fetch_add(1, Ordering::Relaxed),
+            Outcome::Shed => self.shed.fetch_add(1, Ordering::Relaxed),
+            Outcome::UnknownVm => self.unknown.fetch_add(1, Ordering::Relaxed),
+            Outcome::Removed(_) => self.removed.fetch_add(1, Ordering::Relaxed),
+            Outcome::Resized { .. } => 0,
+        };
+    }
+}
+
+fn report(
+    mode: &str,
+    ops: u64,
+    wall: Duration,
+    tally: &Tally,
+    latencies: &[f64],
+) -> BombardReport {
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    BombardReport {
+        mode: mode.into(),
+        ops,
+        wall_secs,
+        throughput: ops as f64 / wall_secs,
+        placed: tally.placed.load(Ordering::Relaxed),
+        rejected: tally.rejected.load(Ordering::Relaxed),
+        shed: tally.shed.load(Ordering::Relaxed),
+        busy: tally.busy.load(Ordering::Relaxed),
+        unknown: tally.unknown.load(Ordering::Relaxed),
+        removed: tally.removed.load(Ordering::Relaxed),
+        latency: TailPercentiles::of(latencies),
+    }
+}
+
+/// Each client's VM ids live in a disjoint billion-wide band so clients
+/// can never collide.
+fn client_vm_id(client: u32, n: u64) -> VmId {
+    VmId(client as u64 * 1_000_000_000 + n)
+}
+
+/// Closed-loop, in-process: see the module docs.
+pub fn run_closed_loop(
+    service: &PlacementService,
+    config: &BombardConfig,
+) -> Result<BombardReport, ServeError> {
+    let specs = config.specs()?;
+    let clients = config.clients.max(1);
+    let window = (config.population / clients).max(1) as usize;
+    let per_client = config.requests / clients as u64;
+    let tally = Tally::default();
+    let ops = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let specs = &specs;
+            let tally = &tally;
+            let ops = &ops;
+            handles.push(scope.spawn(move || -> Result<Vec<f64>, ServeError> {
+                let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
+                let mut latencies = Vec::with_capacity(per_client as usize);
+                // Clients start at staggered offsets of the trace so the
+                // fleet sees the scenario's mix, not one slice of it.
+                let offset = (client as usize * specs.len()) / clients as usize;
+                for n in 0..per_client {
+                    let spec = specs[(offset + n as usize) % specs.len()];
+                    let id = client_vm_id(client, n);
+                    let t0 = Instant::now();
+                    let reply = service.call(Op::Place { id, spec })?;
+                    latencies.push(t0.elapsed().as_micros() as f64);
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    tally.note(reply.outcome);
+                    if matches!(reply.outcome, Outcome::Placed(_)) {
+                        alive.push_back(id);
+                    }
+                    if alive.len() > window {
+                        let oldest = alive.pop_front().expect("window > 0");
+                        let reply = service.call(Op::Remove { id: oldest })?;
+                        ops.fetch_add(1, Ordering::Relaxed);
+                        tally.note(reply.outcome);
+                    }
+                }
+                // Drain the window so the service ends empty.
+                for id in alive {
+                    let reply = service.call(Op::Remove { id })?;
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    tally.note(reply.outcome);
+                }
+                Ok(latencies)
+            }));
+        }
+        for handle in handles {
+            let latencies = handle.join().expect("bombard client panicked")?;
+            all_latencies.extend(latencies);
+        }
+        Ok(())
+    })?;
+
+    Ok(report(
+        "closed-loop",
+        ops.load(Ordering::Relaxed),
+        started.elapsed(),
+        &tally,
+        &all_latencies,
+    ))
+}
+
+/// Open-loop, in-process: paced submission at `rate` placements per
+/// second through [`PlacementService::try_submit_with`]; a full queue
+/// counts as `busy`. Latencies are the worker-observed queueing plus
+/// service times.
+pub fn run_open_loop(
+    service: &PlacementService,
+    config: &BombardConfig,
+    rate: f64,
+) -> Result<BombardReport, ServeError> {
+    if rate.is_nan() || rate <= 0.0 {
+        return Err(ServeError::Config("open-loop rate must be positive".into()));
+    }
+    let specs = config.specs()?;
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let tally = Tally::default();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let started = Instant::now();
+    let mut submitted = 0u64;
+    for n in 0..config.requests {
+        let due = started + interval.mul_f64(n as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let op = Op::Place {
+            id: client_vm_id(0, n),
+            spec: specs[n as usize % specs.len()],
+        };
+        match service.try_submit_with(op, reply_tx.clone()) {
+            Ok(_) => submitted += 1,
+            Err(ServeError::Busy) => {
+                tally.busy.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    drop(reply_tx);
+    let mut latencies = Vec::with_capacity(submitted as usize);
+    for _ in 0..submitted {
+        let reply = reply_rx.recv().map_err(|_| ServeError::Disconnected)?;
+        tally.note(reply.outcome);
+        latencies.push(reply.latency_us as f64);
+    }
+    Ok(report(
+        "open-loop",
+        submitted,
+        started.elapsed(),
+        &tally,
+        &latencies,
+    ))
+}
+
+/// Closed-loop over the TCP frontend: like [`run_closed_loop`], but
+/// each client drives its own connection with wire-protocol lines.
+pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, ServeError> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let specs = config.specs()?;
+    let clients = config.clients.max(1);
+    let window = (config.population / clients).max(1) as usize;
+    let per_client = config.requests / clients as u64;
+    let tally = Tally::default();
+    let ops = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let specs = &specs;
+            let tally = &tally;
+            let ops = &ops;
+            let addr = addr.to_string();
+            handles.push(scope.spawn(move || -> Result<Vec<f64>, ServeError> {
+                let stream = TcpStream::connect(&addr)?;
+                // One-line requests: never wait out Nagle + delayed ACK.
+                stream.set_nodelay(true)?;
+                let mut writer = stream.try_clone()?;
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                let ask = |writer: &mut TcpStream,
+                               reader: &mut BufReader<TcpStream>,
+                               line: &mut String,
+                               req: String|
+                 -> Result<crate::wire::WireReply, ServeError> {
+                    writeln!(writer, "{req}")?;
+                    writer.flush()?;
+                    line.clear();
+                    reader.read_line(line)?;
+                    crate::wire::parse_reply(line)
+                };
+                let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
+                let mut latencies = Vec::with_capacity(per_client as usize);
+                let offset = (client as usize * specs.len()) / clients as usize;
+                for n in 0..per_client {
+                    let spec = specs[(offset + n as usize) % specs.len()];
+                    let id = client_vm_id(client, n);
+                    let req = format!(
+                        "{{\"op\":\"place\",\"id\":{},\"vcpus\":{},\"mem_mib\":{},\"level\":{}}}",
+                        id.0,
+                        spec.vcpus(),
+                        spec.mem_mib(),
+                        spec.level.ratio()
+                    );
+                    let t0 = Instant::now();
+                    let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                    latencies.push(t0.elapsed().as_micros() as f64);
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    let outcome = crate::tcp::classify(&reply);
+                    tally.note(outcome);
+                    if matches!(outcome, Outcome::Placed(_)) {
+                        alive.push_back(id);
+                    }
+                    if alive.len() > window {
+                        let oldest = alive.pop_front().expect("window > 0");
+                        let req = format!("{{\"op\":\"remove\",\"id\":{}}}", oldest.0);
+                        let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                        ops.fetch_add(1, Ordering::Relaxed);
+                        tally.note(crate::tcp::classify(&reply));
+                    }
+                }
+                for id in alive {
+                    let req = format!("{{\"op\":\"remove\",\"id\":{}}}", id.0);
+                    let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    tally.note(crate::tcp::classify(&reply));
+                }
+                Ok(latencies)
+            }));
+        }
+        for handle in handles {
+            let latencies = handle.join().expect("bombard tcp client panicked")?;
+            all_latencies.extend(latencies);
+        }
+        Ok(())
+    })?;
+
+    Ok(report(
+        "closed-loop/tcp",
+        ops.load(Ordering::Relaxed),
+        started.elapsed(),
+        &tally,
+        &all_latencies,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ModelSpec, ServeConfig};
+
+    fn service(shards: u32) -> PlacementService {
+        PlacementService::start(ServeConfig {
+            shards,
+            model: ModelSpec::default_shared(),
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn small() -> BombardConfig {
+        BombardConfig {
+            population: 64,
+            clients: 2,
+            requests: 400,
+            ..BombardConfig::default()
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_config_error() {
+        let config = BombardConfig {
+            scenario: "rush-hour".into(),
+            ..BombardConfig::default()
+        };
+        let err = config.specs().unwrap_err().to_string();
+        assert!(err.contains("rush-hour") && err.contains("paper-week-f"), "{err}");
+    }
+
+    #[test]
+    fn closed_loop_places_everything_on_an_elastic_fleet() {
+        let svc = service(2);
+        let report = run_closed_loop(&svc, &small()).unwrap();
+        assert_eq!(report.placed, 400, "{report:?}");
+        assert_eq!(report.rejected + report.shed + report.unknown, 0);
+        assert_eq!(report.removed, report.placed, "window fully drained");
+        assert_eq!(report.ops, report.placed + report.removed);
+        let p = report.latency.expect("latencies recorded");
+        assert_eq!(p.count, 400);
+        assert!(p.p50 <= p.p99 && p.p99 <= p.max);
+        let final_report = svc.stop();
+        for shard in &final_report.shards {
+            let (alloc, _) = shard.model.totals();
+            assert!(alloc.is_empty(), "shard {} not drained", shard.shard);
+        }
+        final_report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn open_loop_completes_at_a_modest_rate() {
+        let svc = service(1);
+        let config = BombardConfig {
+            requests: 50,
+            ..small()
+        };
+        let report = run_open_loop(&svc, &config, 5_000.0).unwrap();
+        assert_eq!(report.placed, 50, "{report:?}");
+        assert_eq!(report.busy, 0);
+        assert!(report.latency.is_some());
+        svc.stop().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! Service errors.
+
+use thiserror::Error;
+
+/// Errors raised by the placement service and its frontends.
+#[derive(Debug, Error)]
+pub enum ServeError {
+    /// A configuration field failed validation.
+    #[error("invalid serve configuration: {0}")]
+    Config(String),
+
+    /// The admission queue of every eligible shard was full and the
+    /// caller asked not to block ([`crate::PlacementService::try_submit`]).
+    #[error("admission queue full; request dropped under backpressure")]
+    Busy,
+
+    /// The service stopped before answering — the request's reply
+    /// channel disconnected.
+    #[error("service stopped before replying")]
+    Disconnected,
+
+    /// A wire-protocol line could not be parsed.
+    #[error("bad request line: {0}")]
+    BadRequest(String),
+
+    /// Socket-level failure on the TCP frontend.
+    #[error("i/o error: {0}")]
+    Io(#[from] std::io::Error),
+}

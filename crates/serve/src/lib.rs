@@ -1,0 +1,50 @@
+//! # slackvm-serve
+//!
+//! An online placement service over the SlackVM deployment models: the
+//! offline replay engine's decision logic (`slackvm_sim`), turned into
+//! a long-running control plane that owns cluster state and answers
+//! placement requests concurrently.
+//!
+//! The architecture is sharded ownership, not shared locking:
+//!
+//! - [`shard`]: the PM fleet is partitioned across N shards, each a
+//!   single worker thread that owns its [`slackvm_sim::DeploymentModel`]
+//!   outright — admission within a shard takes no locks. Workers drain
+//!   their bounded admission queue in batches, shed requests whose
+//!   deadline passed while queued (oldest first, by FIFO construction),
+//!   and fall a rejected placement through to the next shard in the
+//!   ring before answering `Rejected`.
+//! - [`service`]: the embeddable [`PlacementService`] — routing by
+//!   lock-free shard summaries, backpressure on full queues, a placement
+//!   directory for remove/resize routing, telemetry (counters, latency
+//!   histograms, Prometheus exposition, optional time-series sampling),
+//!   and graceful drain-and-report shutdown.
+//! - [`wire`] / [`tcp`]: a line-delimited JSON protocol over plain
+//!   `std::net` TCP, plus a one-shot HTTP `GET` answer for Prometheus
+//!   scrapes — no async runtime, no serialization dependency.
+//! - [`bombard`]: a closed- and open-loop load generator replaying
+//!   workload-scenario VM shapes as live traffic, reporting throughput
+//!   and p50/p99/p999 placement latency.
+//! - [`replay`]: deterministic trace replay through the service. With
+//!   one shard in deterministic mode the service makes the same
+//!   decisions as offline `run_packing`, placement for placement
+//!   (proven by the `serve_differential` suite test).
+
+#![warn(missing_docs)]
+
+pub mod bombard;
+pub mod error;
+pub mod replay;
+pub mod request;
+pub mod service;
+pub mod shard;
+pub mod tcp;
+pub mod wire;
+
+pub use bombard::{run_closed_loop, run_open_loop, run_tcp, BombardConfig, BombardReport};
+pub use error::ServeError;
+pub use replay::{serve_replay, Decision, ReplaySummary};
+pub use request::{ModelSpec, Op, Outcome, Reply, ServeConfig};
+pub use service::{PlacementService, ServiceReport};
+pub use shard::{ShardReport, ShardSummary};
+pub use tcp::{TcpServer, TcpStats};

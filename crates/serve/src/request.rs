@@ -1,0 +1,286 @@
+//! Request and configuration types of the placement service.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use slackvm_model::{OversubLevel, PmConfig, PmId, VmId, VmSpec};
+use slackvm_sched::{IndexMode, PlacementPolicy, POLICY_NAMES};
+use slackvm_sim::{DedicatedDeployment, DeploymentModel, SharedDeployment};
+use slackvm_topology::topology_from_spec;
+
+use crate::error::ServeError;
+
+/// One placement-plane operation, as submitted by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Admit a VM into the fleet.
+    Place {
+        /// Client-chosen VM identity (must be fleet-unique).
+        id: VmId,
+        /// Requested shape and oversubscription level.
+        spec: VmSpec,
+    },
+    /// Release a previously placed VM.
+    Remove {
+        /// The VM to release.
+        id: VmId,
+    },
+    /// Vertically resize a placed VM in place.
+    Resize {
+        /// The VM to resize.
+        id: VmId,
+        /// New vCPU count.
+        vcpus: u32,
+        /// New memory size.
+        mem_mib: u64,
+    },
+}
+
+impl Op {
+    /// The VM the operation concerns.
+    pub fn vm(&self) -> VmId {
+        match self {
+            Op::Place { id, .. } | Op::Remove { id } | Op::Resize { id, .. } => *id,
+        }
+    }
+}
+
+/// The service's answer to one [`Op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Placed on this PM (PM ids are shard-local).
+    Placed(PmId),
+    /// Removed from this PM.
+    Removed(PmId),
+    /// Resize verdict: `accepted` is false when the hosting machine
+    /// could not absorb the new size (old size stays in force).
+    Resized {
+        /// Whether the resize was applied.
+        accepted: bool,
+    },
+    /// No shard could host the VM (capped fleets only).
+    Rejected,
+    /// Load-shed: the request's deadline passed while it was queued;
+    /// it was never executed.
+    Shed,
+    /// Remove/Resize for a VM the service does not host.
+    UnknownVm,
+}
+
+/// One reply, paired to its request by `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// The sequence number assigned at submission.
+    pub seq: u64,
+    /// Shard that produced the decision (`None` for front-door
+    /// rejections such as [`Outcome::UnknownVm`]).
+    pub shard: Option<u32>,
+    /// The decision.
+    pub outcome: Outcome,
+    /// Queueing plus service time observed by the worker, microseconds.
+    pub latency_us: u64,
+}
+
+/// Which deployment model each shard owns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// A SlackVM shared pool per shard.
+    Shared {
+        /// Worker topology spec (e.g. `"cores=32"`, see
+        /// [`slackvm_topology::topology_from_spec`]).
+        topology: String,
+        /// Worker memory.
+        mem_mib: u64,
+        /// Placement policy name (see [`POLICY_NAMES`]).
+        policy: String,
+        /// Total fleet cap, split evenly across shards (`None` for an
+        /// elastic fleet that opens PMs on demand).
+        fleet_cap: Option<u32>,
+    },
+    /// The dedicated per-level baseline per shard.
+    Dedicated {
+        /// Worker topology spec.
+        topology: String,
+        /// Worker memory.
+        mem_mib: u64,
+    },
+}
+
+impl ModelSpec {
+    /// The default shared pool: 32-core workers, 128 GiB, the paper's
+    /// progress+bestfit policy, elastic fleet.
+    pub fn default_shared() -> Self {
+        ModelSpec::Shared {
+            topology: "cores=32".into(),
+            mem_mib: slackvm_model::gib(128),
+            policy: "progress+bestfit".into(),
+            fleet_cap: None,
+        }
+    }
+
+    /// Builds the per-shard deployment model. `shards` is the total
+    /// shard count (a capped fleet is split `ceil(cap / shards)` each,
+    /// so the aggregate never falls below the configured cap).
+    pub fn build(&self, shards: u32) -> Result<DeploymentModel, ServeError> {
+        match self {
+            ModelSpec::Shared {
+                topology,
+                mem_mib,
+                policy,
+                fleet_cap,
+            } => {
+                let topo = Arc::new(
+                    topology_from_spec(topology).map_err(|e| ServeError::Config(e.to_string()))?,
+                );
+                let policy = PlacementPolicy::by_name(policy).ok_or_else(|| {
+                    ServeError::Config(format!(
+                        "unknown policy {policy:?} ({})",
+                        POLICY_NAMES.join(", ")
+                    ))
+                })?;
+                let pool = match fleet_cap {
+                    Some(cap) => {
+                        let per_shard = cap.div_ceil(shards.max(1));
+                        let mut pool =
+                            SharedDeployment::with_capped_cluster(topo, *mem_mib, per_shard);
+                        pool.policy = policy;
+                        pool
+                    }
+                    None => SharedDeployment::with_policy(topo, *mem_mib, policy),
+                };
+                Ok(DeploymentModel::Shared(pool))
+            }
+            ModelSpec::Dedicated { topology, mem_mib } => {
+                let topo =
+                    topology_from_spec(topology).map_err(|e| ServeError::Config(e.to_string()))?;
+                Ok(DeploymentModel::Dedicated(DedicatedDeployment::new(
+                    PmConfig::of(topo.num_cores(), *mem_mib),
+                    [
+                        OversubLevel::of(1),
+                        OversubLevel::of(2),
+                        OversubLevel::of(3),
+                    ],
+                )))
+            }
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of shards (single-threaded state owners).
+    pub shards: u32,
+    /// Bounded depth of each shard's admission queue; a full queue
+    /// blocks `submit` (backpressure) or fails `try_submit` (shedding
+    /// at the door).
+    pub queue_depth: usize,
+    /// Maximum requests drained per batch (amortizes index refresh and
+    /// metric flushing).
+    pub batch_max: usize,
+    /// Default per-request deadline; a request still queued past it is
+    /// shed. `None` disables shedding.
+    pub deadline: Option<Duration>,
+    /// Deterministic mode: requires one shard, ignores deadlines, and
+    /// makes the service reproduce offline `run_packing` decisions
+    /// exactly (proven by `tests/serve_differential.rs`).
+    pub deterministic: bool,
+    /// Per-shard deployment model.
+    pub model: ModelSpec,
+    /// Candidate-assembly mode for every shard.
+    pub index: IndexMode,
+    /// Sample in-flight depth / shed rate / per-shard utilization every
+    /// this many milliseconds (`None` disables the sampler thread).
+    pub sample_interval_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            queue_depth: 1024,
+            batch_max: 64,
+            deadline: None,
+            deterministic: false,
+            model: ModelSpec::default_shared(),
+            index: IndexMode::default(),
+            sample_interval_ms: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates field combinations.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::Config("shards must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue depth must be >= 1".into()));
+        }
+        if self.batch_max == 0 {
+            return Err(ServeError::Config("batch max must be >= 1".into()));
+        }
+        if self.deterministic && self.shards != 1 {
+            return Err(ServeError::Config(
+                "deterministic mode requires exactly one shard".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_degenerate_shapes() {
+        assert!(ServeConfig::default().validate().is_ok());
+        let mut c = ServeConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.shards = 4;
+        c.deterministic = true;
+        assert!(c.validate().is_err(), "deterministic needs one shard");
+        c.shards = 1;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn model_spec_build_reports_bad_names() {
+        let bad_policy = ModelSpec::Shared {
+            topology: "cores=8".into(),
+            mem_mib: slackvm_model::gib(32),
+            policy: "best-effort".into(),
+            fleet_cap: None,
+        };
+        let err = match bad_policy.build(1) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("bad policy accepted"),
+        };
+        assert!(err.contains("best-effort") && err.contains("progress"), "{err}");
+        let bad_topo = ModelSpec::Dedicated {
+            topology: "cores=banana".into(),
+            mem_mib: slackvm_model::gib(32),
+        };
+        assert!(bad_topo.build(1).is_err());
+    }
+
+    #[test]
+    fn capped_fleet_splits_across_shards() {
+        let spec = ModelSpec::Shared {
+            topology: "cores=8".into(),
+            mem_mib: slackvm_model::gib(32),
+            policy: "first-fit".into(),
+            fleet_cap: Some(5),
+        };
+        // ceil(5/2) = 3 PMs per shard; aggregate 6 >= requested 5.
+        for _ in 0..2 {
+            let model = spec.build(2).unwrap();
+            assert_eq!(model.opened_pms(), 0);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The embeddable placement service.
+//!
+//! [`PlacementService::start`] spawns one worker thread per shard, each
+//! owning a partition of the fleet, plus an optional sampler thread.
+//! Clients submit [`Op`]s through a bounded queue and receive [`Reply`]s
+//! on a channel they provide ([`PlacementService::submit_with`]) or via
+//! the synchronous convenience [`PlacementService::call`].
+//!
+//! Routing: `Place` goes to the shard with the shallowest queue (ties
+//! broken by least-allocated CPU, then lowest index); `Remove`/`Resize`
+//! are routed by the placement directory — a VM the directory does not
+//! know is answered `UnknownVm` at the front door without touching a
+//! worker.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use slackvm_model::VmId;
+use slackvm_telemetry::{prometheus, MetricsRegistry, TimeSeriesStore};
+
+use crate::error::ServeError;
+use crate::request::{Op, Outcome, Reply, ServeConfig};
+use crate::shard::{Msg, Request, ShardGauges, ShardReport, ShardSummary, Worker};
+
+/// Final state handed back by [`PlacementService::stop`].
+pub struct ServiceReport {
+    /// One report per shard, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServiceReport {
+    /// PMs opened across the whole fleet.
+    pub fn opened_pms(&self) -> u32 {
+        self.shards.iter().map(|s| s.model.opened_pms()).sum()
+    }
+
+    /// Total placements admitted.
+    pub fn admitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Total placements rejected.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Total requests shed.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Audits every shard's final model state (capacity bounds,
+    /// accounting consistency). Errors carry the shard index.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for report in &self.shards {
+            report
+                .model
+                .check_invariants()
+                .map_err(|e| format!("shard {}: {e}", report.shard))?;
+        }
+        Ok(())
+    }
+}
+
+/// A running sharded placement service. See the module docs.
+pub struct PlacementService {
+    senders: Vec<SyncSender<Msg>>,
+    summaries: Arc<Vec<ShardSummary>>,
+    directory: Arc<Mutex<HashMap<VmId, u32>>>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    series: Option<Arc<Mutex<TimeSeriesStore>>>,
+    workers: Vec<JoinHandle<ShardReport>>,
+    sampler: Option<(JoinHandle<()>, Arc<AtomicBool>)>,
+    seq: AtomicU64,
+    config: ServeConfig,
+    epoch: Instant,
+}
+
+impl PlacementService {
+    /// Validates the configuration, builds one deployment model per
+    /// shard, and spawns the worker (and sampler) threads.
+    pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let shards = config.shards as usize;
+        let mut models = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut model = config.model.build(config.shards)?;
+            model.set_index_mode(config.index);
+            models.push(model);
+        }
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Msg>(config.queue_depth);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let summaries: Arc<Vec<ShardSummary>> =
+            Arc::new((0..shards).map(|_| ShardSummary::default()).collect());
+        let directory: Arc<Mutex<HashMap<VmId, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut registry = MetricsRegistry::new();
+        // Batch sizes live in [1, batch_max]; powers of two cover the
+        // range without the microsecond-scale tail of the default
+        // duration layout.
+        registry.register_histogram(
+            "serve.batch",
+            (0..12).map(|i| (1u64 << i) as f64).collect(),
+        );
+        let metrics = Arc::new(Mutex::new(registry));
+        let series = config
+            .sample_interval_ms
+            .map(|_| Arc::new(Mutex::new(TimeSeriesStore::new())));
+        let epoch = Instant::now();
+
+        let mut workers = Vec::with_capacity(shards);
+        for (idx, (rx, model)) in receivers.into_iter().zip(models).enumerate() {
+            let worker = Worker {
+                idx: idx as u32,
+                rx,
+                peers: senders.clone(),
+                model,
+                summaries: Arc::clone(&summaries),
+                directory: Arc::clone(&directory),
+                metrics: Arc::clone(&metrics),
+                gauges: ShardGauges::for_shard(idx as u32),
+                batch_max: config.batch_max,
+                deterministic: config.deterministic,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("slackvm-shard-{idx}"))
+                    .spawn(move || worker.run())
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        let sampler = match (config.sample_interval_ms, series.as_ref()) {
+            (Some(interval_ms), Some(store)) => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let handle = Self::spawn_sampler(
+                    interval_ms,
+                    Arc::clone(store),
+                    Arc::clone(&summaries),
+                    Arc::clone(&stop),
+                    epoch,
+                )?;
+                Some((handle, stop))
+            }
+            _ => None,
+        };
+
+        Ok(PlacementService {
+            senders,
+            summaries,
+            directory,
+            metrics,
+            series,
+            workers,
+            sampler,
+            seq: AtomicU64::new(0),
+            config,
+            epoch,
+        })
+    }
+
+    fn spawn_sampler(
+        interval_ms: u64,
+        store: Arc<Mutex<TimeSeriesStore>>,
+        summaries: Arc<Vec<ShardSummary>>,
+        stop: Arc<AtomicBool>,
+        epoch: Instant,
+    ) -> Result<JoinHandle<()>, ServeError> {
+        std::thread::Builder::new()
+            .name("slackvm-sampler".into())
+            .spawn(move || {
+                let interval = Duration::from_millis(interval_ms.max(1));
+                loop {
+                    // Sample first, sleep after: even a service stopped
+                    // within one interval leaves a t=0 sample behind.
+                    // The time column carries milliseconds since service
+                    // start (not seconds): sampling is sub-second.
+                    let t_ms = epoch.elapsed().as_millis() as u64;
+                    let inflight: usize = summaries.iter().map(|s| s.queued()).sum();
+                    let shed: u64 = summaries.iter().map(|s| s.shed()).sum();
+                    let mut s = store.lock().expect("series lock");
+                    s.record("serve.inflight", t_ms, inflight as f64);
+                    s.record("serve.shed_total", t_ms, shed as f64);
+                    for (idx, sum) in summaries.iter().enumerate() {
+                        let cap = sum.capacity_cpu_millicores();
+                        let util = if cap == 0 {
+                            0.0
+                        } else {
+                            sum.used_cpu_millicores() as f64 / cap as f64
+                        };
+                        s.record(&format!("serve.shard{idx}.cpu_util"), t_ms, util);
+                    }
+                    drop(s);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .map_err(ServeError::Io)
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Per-shard scoreboards (queue depth, utilization, counts).
+    pub fn summaries(&self) -> &[ShardSummary] {
+        &self.summaries
+    }
+
+    /// Instant the service started; reply latencies and series sample
+    /// times are relative to it.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn route(&self, op: &Op) -> Result<u32, Outcome> {
+        match op {
+            // Least-loaded shard: shallowest queue, then least
+            // allocated CPU, then lowest index. Reading relaxed atomics
+            // keeps the router off every lock.
+            Op::Place { .. } => {
+                let mut best = 0u32;
+                let mut best_key = (usize::MAX, u64::MAX);
+                for (idx, s) in self.summaries.iter().enumerate() {
+                    let key = (s.queued(), s.used_cpu_millicores());
+                    if key < best_key {
+                        best_key = key;
+                        best = idx as u32;
+                    }
+                }
+                Ok(best)
+            }
+            Op::Remove { id } | Op::Resize { id, .. } => self
+                .directory
+                .lock()
+                .expect("directory lock")
+                .get(id)
+                .copied()
+                .ok_or(Outcome::UnknownVm),
+        }
+    }
+
+    fn make_request(&self, op: Op, reply: Sender<Reply>) -> (u64, Request) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let deadline = if self.config.deterministic {
+            None
+        } else {
+            self.config.deadline.map(|d| now + d)
+        };
+        (
+            seq,
+            Request {
+                seq,
+                op,
+                deadline,
+                enqueued: now,
+                tried: 0,
+                reply,
+            },
+        )
+    }
+
+    /// Front-door replies (e.g. `UnknownVm` for an undirected remove)
+    /// never reach a worker; answer on the caller's channel directly.
+    fn answer_front(&self, seq: u64, outcome: Outcome, reply: &Sender<Reply>) {
+        let _ = reply.send(Reply {
+            seq,
+            shard: None,
+            outcome,
+            latency_us: 0,
+        });
+        self.metrics.lock().expect("metrics lock").inc(
+            match outcome {
+                Outcome::UnknownVm => "serve.unknown_vm",
+                _ => "serve.requests",
+            },
+            1,
+        );
+    }
+
+    /// Submits an operation, blocking while the target shard's queue is
+    /// full (backpressure). The reply arrives on `reply`; returns the
+    /// sequence number that will tag it.
+    pub fn submit_with(&self, op: Op, reply: Sender<Reply>) -> Result<u64, ServeError> {
+        match self.route(&op) {
+            Ok(shard) => {
+                let (seq, req) = self.make_request(op, reply);
+                self.summaries[shard as usize].note_enqueued();
+                match self.senders[shard as usize].send(Msg::Req(req)) {
+                    Ok(()) => Ok(seq),
+                    Err(_) => {
+                        self.summaries[shard as usize].note_dequeued();
+                        Err(ServeError::Disconnected)
+                    }
+                }
+            }
+            Err(outcome) => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                self.answer_front(seq, outcome, &reply);
+                Ok(seq)
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`Self::submit_with`]: a full queue
+    /// returns [`ServeError::Busy`] instead of waiting — shedding at
+    /// the door, counted under `serve.busy`.
+    pub fn try_submit_with(&self, op: Op, reply: Sender<Reply>) -> Result<u64, ServeError> {
+        match self.route(&op) {
+            Ok(shard) => {
+                let (seq, req) = self.make_request(op, reply);
+                self.summaries[shard as usize].note_enqueued();
+                match self.senders[shard as usize].try_send(Msg::Req(req)) {
+                    Ok(()) => Ok(seq),
+                    Err(e) => {
+                        self.summaries[shard as usize].note_dequeued();
+                        self.metrics
+                            .lock()
+                            .expect("metrics lock")
+                            .inc("serve.busy", 1);
+                        match e {
+                            TrySendError::Full(_) => Err(ServeError::Busy),
+                            TrySendError::Disconnected(_) => Err(ServeError::Disconnected),
+                        }
+                    }
+                }
+            }
+            Err(outcome) => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                self.answer_front(seq, outcome, &reply);
+                Ok(seq)
+            }
+        }
+    }
+
+    /// Synchronous round trip: submit and wait for the reply.
+    pub fn call(&self, op: Op) -> Result<Reply, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(op, tx)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Renders the Prometheus exposition (metrics plus, when sampling
+    /// is on, the time series gauges).
+    pub fn metrics_exposition(&self) -> String {
+        let m = self.metrics.lock().expect("metrics lock");
+        match self.series.as_ref() {
+            Some(store) => {
+                let s = store.lock().expect("series lock");
+                prometheus::render(&m, Some(&s))
+            }
+            None => prometheus::render(&m, None),
+        }
+    }
+
+    /// The sampled time series as CSV (`None` when sampling is off).
+    pub fn series_csv(&self) -> Option<String> {
+        self.series
+            .as_ref()
+            .map(|s| s.lock().expect("series lock").to_csv())
+    }
+
+    /// Graceful shutdown: stops the sampler, tells every worker to
+    /// drain and exit, and joins them. Call once the caller has
+    /// received every reply it still cares about — requests in flight
+    /// are still answered, but nothing may be submitted afterwards.
+    pub fn stop(self) -> ServiceReport {
+        if let Some((handle, stop)) = self.sampler {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+        for tx in &self.senders {
+            // Workers are alive and draining, so a blocking send of the
+            // stop marker cannot wedge.
+            let _ = tx.send(Msg::Stop);
+        }
+        drop(self.senders);
+        let shards = self
+            .workers
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        ServiceReport { shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
+    use crate::request::ModelSpec;
+
+    fn small_config(shards: u32) -> ServeConfig {
+        ServeConfig {
+            shards,
+            model: ModelSpec::Shared {
+                topology: "cores=8".into(),
+                mem_mib: gib(32),
+                policy: "first-fit".into(),
+                fleet_cap: None,
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn place_remove_round_trip_on_one_shard() {
+        let svc = PlacementService::start(small_config(1)).unwrap();
+        let reply = svc
+            .call(Op::Place {
+                id: VmId(1),
+                spec: VmSpec::of(4, gib(8), OversubLevel::of(3)),
+            })
+            .unwrap();
+        let pm = match reply.outcome {
+            Outcome::Placed(pm) => pm,
+            other => panic!("expected placement, got {other:?}"),
+        };
+        let reply = svc.call(Op::Remove { id: VmId(1) }).unwrap();
+        assert_eq!(reply.outcome, Outcome::Removed(pm));
+        let report = svc.stop();
+        assert_eq!(report.admitted(), 1);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unknown_vm_is_answered_at_the_front_door() {
+        let svc = PlacementService::start(small_config(2)).unwrap();
+        let reply = svc.call(Op::Remove { id: VmId(99) }).unwrap();
+        assert_eq!(reply.outcome, Outcome::UnknownVm);
+        assert_eq!(reply.shard, None);
+        let reply = svc
+            .call(Op::Resize {
+                id: VmId(99),
+                vcpus: 2,
+                mem_mib: gib(4),
+            })
+            .unwrap();
+        assert_eq!(reply.outcome, Outcome::UnknownVm);
+        svc.stop();
+    }
+
+    #[test]
+    fn remove_routes_to_the_owning_shard() {
+        let svc = PlacementService::start(small_config(4)).unwrap();
+        for i in 0..16u64 {
+            let reply = svc
+                .call(Op::Place {
+                    id: VmId(i),
+                    spec: VmSpec::of(2, gib(4), OversubLevel::of(2)),
+                })
+                .unwrap();
+            assert!(matches!(reply.outcome, Outcome::Placed(_)), "{reply:?}");
+        }
+        for i in 0..16u64 {
+            let reply = svc.call(Op::Remove { id: VmId(i) }).unwrap();
+            assert!(matches!(reply.outcome, Outcome::Removed(_)), "{reply:?}");
+        }
+        let report = svc.stop();
+        assert_eq!(report.admitted(), 16);
+        for shard in &report.shards {
+            let (alloc, _) = shard.model.totals();
+            assert!(alloc.is_empty(), "shard {} not drained", shard.shard);
+        }
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capped_fleet_rejects_after_fall_through() {
+        let mut config = small_config(2);
+        config.model = ModelSpec::Shared {
+            topology: "cores=2".into(),
+            mem_mib: gib(4),
+            policy: "first-fit".into(),
+            fleet_cap: Some(2),
+        };
+        let svc = PlacementService::start(config).unwrap();
+        // Each shard caps at ceil(2/2) = 1 PM of 2 cores / 4 GiB at
+        // level 1 => fleet absorbs at most 2 such VMs, third rejected
+        // after trying both shards.
+        let mut placed = 0;
+        let mut rejected = 0;
+        for i in 0..3u64 {
+            let reply = svc
+                .call(Op::Place {
+                    id: VmId(i),
+                    spec: VmSpec::of(2, gib(4), OversubLevel::of(1)),
+                })
+                .unwrap();
+            match reply.outcome {
+                Outcome::Placed(_) => placed += 1,
+                Outcome::Rejected => rejected += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!((placed, rejected), (2, 1));
+        let report = svc.stop();
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exposition_carries_serve_counters_and_validates() {
+        let svc = PlacementService::start(small_config(1)).unwrap();
+        svc.call(Op::Place {
+            id: VmId(7),
+            spec: VmSpec::of(2, gib(4), OversubLevel::of(2)),
+        })
+        .unwrap();
+        let text = svc.metrics_exposition();
+        prometheus::validate(&text).unwrap();
+        assert!(text.contains("slackvm_serve_admitted"), "{text}");
+        assert!(text.contains("slackvm_build_info{"), "{text}");
+        svc.stop();
+    }
+}

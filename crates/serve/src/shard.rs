@@ -1,0 +1,427 @@
+//! Shard workers: single-threaded owners of a fleet partition.
+//!
+//! Each shard owns one [`DeploymentModel`] outright — admission within a
+//! shard is lock-free because exactly one thread ever touches the model.
+//! Coordination happens at the edges: a bounded MPSC admission queue in
+//! front of each worker, lock-striped shared metrics flushed once per
+//! batch, and atomic [`ShardSummary`] scoreboards the router reads
+//! without locking.
+//!
+//! Shutdown is an explicit [`Msg::Stop`] message rather than
+//! sender-drop: workers hold clones of *every* shard's sender (for
+//! rejection fall-through), so a drop-based protocol would deadlock —
+//! each worker would wait for the others to drop first.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use slackvm_model::{AllocView, VmId};
+use slackvm_sim::{DeploymentModel, SimError};
+use slackvm_telemetry::MetricsRegistry;
+
+use crate::request::{Op, Outcome, Reply};
+
+/// One queued request, carrying its reply channel.
+pub(crate) struct Request {
+    pub seq: u64,
+    pub op: Op,
+    /// Shed when still queued past this instant (`None`: never shed).
+    pub deadline: Option<Instant>,
+    /// Submission instant, for end-to-end latency accounting.
+    pub enqueued: Instant,
+    /// Shards that already rejected this request (fall-through hops).
+    pub tried: u32,
+    pub reply: Sender<Reply>,
+}
+
+/// The admission-queue message.
+pub(crate) enum Msg {
+    Req(Request),
+    /// Process what is queued, then exit — see the module docs for why
+    /// shutdown is a message and not a disconnect.
+    Stop,
+}
+
+/// A shard's lock-free scoreboard: queue depth and coarse utilization,
+/// refreshed by the owning worker once per batch and read by the router
+/// and the sampler without synchronization.
+#[derive(Debug, Default)]
+pub struct ShardSummary {
+    queued: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    opened_pms: AtomicU64,
+    used_cpu_mc: AtomicU64,
+    cap_cpu_mc: AtomicU64,
+}
+
+impl ShardSummary {
+    /// Requests currently queued (approximate under concurrency).
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Placements admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Placements rejected so far (after fall-through).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed past their deadline.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// PMs opened on this shard's partition.
+    pub fn opened_pms(&self) -> u64 {
+        self.opened_pms.load(Ordering::Relaxed)
+    }
+
+    /// Allocated CPU, millicores.
+    pub fn used_cpu_millicores(&self) -> u64 {
+        self.used_cpu_mc.load(Ordering::Relaxed)
+    }
+
+    /// Capacity over opened PMs, millicores.
+    pub fn capacity_cpu_millicores(&self) -> u64 {
+        self.cap_cpu_mc.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_enqueued(&self) {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_dequeued(&self) {
+        // Saturating: a racing reader must never observe a wrap-around.
+        let _ = self
+            .queued
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |q| {
+                Some(q.saturating_sub(1))
+            });
+    }
+
+    fn add_counts(&self, admitted: u64, rejected: u64, shed: u64) {
+        self.admitted.fetch_add(admitted, Ordering::Relaxed);
+        self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        self.shed.fetch_add(shed, Ordering::Relaxed);
+    }
+
+    fn refresh(&self, opened: u64, alloc: AllocView, cap: AllocView) {
+        self.opened_pms.store(opened, Ordering::Relaxed);
+        self.used_cpu_mc.store(alloc.cpu.0, Ordering::Relaxed);
+        self.cap_cpu_mc.store(cap.cpu.0, Ordering::Relaxed);
+    }
+}
+
+/// What a worker hands back when the service stops.
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: u32,
+    /// The final deployment state, for invariant audits and totals.
+    pub model: DeploymentModel,
+    /// Placements admitted by this shard.
+    pub admitted: u64,
+    /// Placements this shard answered `Rejected` for.
+    pub rejected: u64,
+    /// Requests this shard shed.
+    pub shed: u64,
+}
+
+/// Per-shard gauge names, leaked once per service start so the
+/// `&'static str`-keyed registry can carry them.
+pub(crate) struct ShardGauges {
+    pub opened: &'static str,
+    pub cpu_used_cores: &'static str,
+    pub queue_depth: &'static str,
+}
+
+impl ShardGauges {
+    pub(crate) fn for_shard(idx: u32) -> Self {
+        let leak = |s: String| -> &'static str { Box::leak(s.into_boxed_str()) };
+        ShardGauges {
+            opened: leak(format!("serve.shard{idx}.opened_pms")),
+            cpu_used_cores: leak(format!("serve.shard{idx}.cpu_used_cores")),
+            queue_depth: leak(format!("serve.shard{idx}.queue_depth")),
+        }
+    }
+}
+
+pub(crate) struct Worker {
+    pub idx: u32,
+    pub rx: std::sync::mpsc::Receiver<Msg>,
+    /// Senders to every shard (self included), for fall-through.
+    pub peers: Vec<SyncSender<Msg>>,
+    pub model: DeploymentModel,
+    pub summaries: Arc<Vec<ShardSummary>>,
+    pub directory: Arc<Mutex<HashMap<VmId, u32>>>,
+    pub metrics: Arc<Mutex<MetricsRegistry>>,
+    pub gauges: ShardGauges,
+    pub batch_max: usize,
+    /// Deterministic mode never sheds.
+    pub deterministic: bool,
+}
+
+/// Per-batch counter deltas, flushed under one metrics lock, plus the
+/// replies to release once the flush lands.
+#[derive(Default)]
+struct BatchStats {
+    requests: u64,
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    removed: u64,
+    resized: u64,
+    unknown: u64,
+    forwarded: u64,
+    latencies_us: Vec<u64>,
+    replies: Vec<(Sender<Reply>, Reply)>,
+}
+
+impl Worker {
+    /// The worker loop: block for one message, drain up to `batch_max`,
+    /// execute, flush. Returns the final state on [`Msg::Stop`] (after
+    /// draining whatever is still queued).
+    pub(crate) fn run(mut self) -> ShardReport {
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut shed = 0u64;
+        let mut draining = false;
+        loop {
+            let first = if draining {
+                match self.rx.try_recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            } else {
+                match self.rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            };
+            let mut batch: Vec<Request> = Vec::with_capacity(self.batch_max);
+            let mut msg = first;
+            loop {
+                match msg {
+                    Msg::Stop => draining = true,
+                    Msg::Req(r) => batch.push(r),
+                }
+                if batch.len() >= self.batch_max {
+                    break;
+                }
+                match self.rx.try_recv() {
+                    Ok(m) => msg = m,
+                    Err(_) => break,
+                }
+            }
+            if !batch.is_empty() {
+                let stats = self.process(batch);
+                admitted += stats.admitted;
+                rejected += stats.rejected;
+                shed += stats.shed;
+                self.summaries[self.idx as usize].add_counts(
+                    stats.admitted,
+                    stats.rejected,
+                    stats.shed,
+                );
+                self.flush(&stats);
+                // Replies go out only after the metrics flush: a client
+                // that has its reply in hand can scrape the exposition
+                // and find its own request already counted.
+                for (tx, reply) in stats.replies {
+                    let _ = tx.send(reply);
+                }
+            }
+        }
+        ShardReport {
+            shard: self.idx,
+            model: self.model,
+            admitted,
+            rejected,
+            shed,
+        }
+    }
+
+    fn process(&mut self, batch: Vec<Request>) -> BatchStats {
+        // One clock read amortized over the whole batch: deadlines are
+        // checked and latencies stamped against the same instant.
+        let now = Instant::now();
+        let mut stats = BatchStats {
+            latencies_us: Vec::with_capacity(batch.len()),
+            ..BatchStats::default()
+        };
+        let summary = &self.summaries[self.idx as usize];
+        for req in batch {
+            summary.note_dequeued();
+            stats.requests += 1;
+            let latency_us = now.saturating_duration_since(req.enqueued).as_micros() as u64;
+            // FIFO queues mean the oldest requests surface first, so
+            // shedding on dequeue is shed-oldest-first by construction.
+            if !self.deterministic {
+                if let Some(deadline) = req.deadline {
+                    if now > deadline {
+                        stats.shed += 1;
+                        self.answer(&mut stats, &req, Outcome::Shed, latency_us);
+                        continue;
+                    }
+                }
+            }
+            stats.latencies_us.push(latency_us);
+            match req.op {
+                Op::Place { id, spec } => match self.model.deploy(id, spec) {
+                    Ok(pm) => {
+                        stats.admitted += 1;
+                        self.directory
+                            .lock()
+                            .expect("directory lock")
+                            .insert(id, self.idx);
+                        self.answer(&mut stats, &req, Outcome::Placed(pm), latency_us);
+                    }
+                    Err(SimError::DeploymentFailed(_)) => {
+                        if !self.forward(req, &mut stats) {
+                            stats.rejected += 1;
+                        }
+                    }
+                    Err(SimError::Unsatisfiable(_)) => {
+                        // Exceeds an empty host: no shard can ever take
+                        // it, don't waste fall-through hops.
+                        stats.rejected += 1;
+                        self.answer(&mut stats, &req, Outcome::Rejected, latency_us);
+                    }
+                    Err(SimError::UnknownVm(_)) => unreachable!("deploy never reports UnknownVm"),
+                },
+                Op::Remove { id } => match self.model.remove(id) {
+                    Ok(pm) => {
+                        stats.removed += 1;
+                        self.directory.lock().expect("directory lock").remove(&id);
+                        self.answer(&mut stats, &req, Outcome::Removed(pm), latency_us);
+                    }
+                    Err(_) => {
+                        stats.unknown += 1;
+                        self.answer(&mut stats, &req, Outcome::UnknownVm, latency_us);
+                    }
+                },
+                Op::Resize { id, vcpus, mem_mib } => match self.model.resize(id, vcpus, mem_mib) {
+                    Ok(()) => {
+                        stats.resized += 1;
+                        self.answer(&mut stats, &req, Outcome::Resized { accepted: true }, latency_us);
+                    }
+                    Err(SimError::UnknownVm(_)) => {
+                        stats.unknown += 1;
+                        self.answer(&mut stats, &req, Outcome::UnknownVm, latency_us);
+                    }
+                    Err(_) => {
+                        stats.resized += 1;
+                        self.answer(&mut stats, &req, Outcome::Resized { accepted: false }, latency_us);
+                    }
+                },
+            }
+        }
+        let (alloc, cap) = self.model.totals();
+        summary.refresh(self.model.opened_pms() as u64, alloc, cap);
+        stats
+    }
+
+    /// Rejection fall-through: hand the request to the next shard in
+    /// the ring. `try_send`, never `send` — a worker blocking on a
+    /// full peer queue while that peer blocks back is a deadlock.
+    /// Returns false when the request was answered `Rejected` here.
+    fn forward(&self, mut req: Request, stats: &mut BatchStats) -> bool {
+        let shards = self.peers.len() as u32;
+        if req.tried + 1 >= shards {
+            let latency_us = Instant::now()
+                .saturating_duration_since(req.enqueued)
+                .as_micros() as u64;
+            self.answer(stats, &req, Outcome::Rejected, latency_us);
+            return false;
+        }
+        req.tried += 1;
+        let next = ((self.idx + 1) % shards) as usize;
+        self.summaries[next].note_enqueued();
+        match self.peers[next].try_send(Msg::Req(req)) {
+            Ok(()) => {
+                stats.forwarded += 1;
+                true
+            }
+            Err(TrySendError::Full(Msg::Req(r)) | TrySendError::Disconnected(Msg::Req(r))) => {
+                self.summaries[next].note_dequeued();
+                let latency_us = Instant::now()
+                    .saturating_duration_since(r.enqueued)
+                    .as_micros() as u64;
+                self.answer(stats, &r, Outcome::Rejected, latency_us);
+                false
+            }
+            Err(_) => unreachable!("only Req messages are forwarded"),
+        }
+    }
+
+    /// Queues the reply for release after the batch's metrics flush.
+    /// (A gone receiver at send time — caller stopped waiting — is not
+    /// an error.)
+    fn answer(&self, stats: &mut BatchStats, req: &Request, outcome: Outcome, latency_us: u64) {
+        stats.replies.push((
+            req.reply.clone(),
+            Reply {
+                seq: req.seq,
+                shard: Some(self.idx),
+                outcome,
+                latency_us,
+            },
+        ));
+    }
+
+    fn flush(&self, stats: &BatchStats) {
+        let summary = &self.summaries[self.idx as usize];
+        let mut m = self.metrics.lock().expect("metrics lock");
+        m.inc("serve.requests", stats.requests);
+        m.inc("serve.admitted", stats.admitted);
+        m.inc("serve.rejected", stats.rejected);
+        m.inc("serve.shed", stats.shed);
+        m.inc("serve.removed", stats.removed);
+        m.inc("serve.resized", stats.resized);
+        m.inc("serve.unknown_vm", stats.unknown);
+        m.inc("serve.forwarded", stats.forwarded);
+        m.observe("serve.batch", stats.requests as f64);
+        for us in &stats.latencies_us {
+            m.observe("serve.admit", *us as f64);
+        }
+        m.set_gauge(self.gauges.opened, summary.opened_pms() as f64);
+        m.set_gauge(
+            self.gauges.cpu_used_cores,
+            slackvm_model::Millicores(summary.used_cpu_millicores()).as_cores_f64(),
+        );
+        m.set_gauge(self.gauges.queue_depth, summary.queued() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_queue_depth_never_underflows() {
+        let s = ShardSummary::default();
+        s.note_dequeued();
+        assert_eq!(s.queued(), 0);
+        s.note_enqueued();
+        s.note_enqueued();
+        s.note_dequeued();
+        assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn shard_gauges_are_distinct_per_shard() {
+        let a = ShardGauges::for_shard(0);
+        let b = ShardGauges::for_shard(1);
+        assert_ne!(a.opened, b.opened);
+        assert!(a.opened.contains("shard0"));
+        assert!(b.queue_depth.contains("shard1"));
+    }
+}

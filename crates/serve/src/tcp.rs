@@ -1,0 +1,307 @@
+//! Line-JSON-over-TCP frontend.
+//!
+//! A plain `std::net` accept loop — one thread per connection, no async
+//! runtime. Each connection speaks the [`crate::wire`] protocol, one
+//! request line per reply line. Two extras ride on the same port:
+//!
+//! - an HTTP `GET` first line (e.g. `curl host:port/metrics`) is
+//!   answered with a one-shot Prometheus exposition snapshot;
+//! - `{"op":"shutdown"}` acknowledges, stops the accept loop, and
+//!   [`TcpServer::run`] returns the drained service report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::request::Outcome;
+use crate::service::{PlacementService, ServiceReport};
+use crate::wire;
+
+/// Frontend-level totals, returned by [`TcpServer::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Connections accepted (not counting the internal shutdown wake-up).
+    pub connections: u64,
+    /// Request lines executed.
+    pub requests: u64,
+    /// Lines that failed to parse.
+    pub bad_lines: u64,
+}
+
+#[derive(Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bad_lines: AtomicU64,
+}
+
+/// The TCP frontend: owns the listener and the service.
+pub struct TcpServer {
+    listener: TcpListener,
+    service: PlacementService,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) in front of an
+    /// already-started service.
+    pub fn bind(addr: &str, service: PlacementService) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(TcpServer { listener, service })
+    }
+
+    /// The bound address (the resolved port when bound with port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves until a client sends `{"op":"shutdown"}`, then drains the
+    /// service and returns the frontend totals plus the final report.
+    pub fn run(self) -> Result<(TcpStats, ServiceReport), ServeError> {
+        let addr = self.local_addr()?;
+        // `SyncSender` is `Sync`, so the whole service can be shared
+        // across connection threads behind one `Arc`.
+        let service = Arc::new(self.service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let mut handlers = Vec::new();
+
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            stats.connections.fetch_add(1, Ordering::Relaxed);
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name("slackvm-conn".into())
+                    .spawn(move || handle_connection(stream, addr, &service, &stop, &stats))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        drop(self.listener);
+        for h in handlers {
+            let _ = h.join();
+        }
+        let service = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| unreachable!("all connection threads joined"));
+        let report = service.stop();
+        Ok((
+            TcpStats {
+                connections: stats.connections.load(Ordering::Relaxed),
+                requests: stats.requests.load(Ordering::Relaxed),
+                bad_lines: stats.bad_lines.load(Ordering::Relaxed),
+            },
+            report,
+        ))
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    addr: SocketAddr,
+    service: &PlacementService,
+    stop: &AtomicBool,
+    stats: &SharedStats,
+) {
+    // Short read timeouts keep handlers responsive to the stop flag
+    // even while a client idles with the connection open. Nagle off:
+    // one-line replies must not wait out a delayed ACK.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` appends, so a timeout mid-line keeps the partial
+        // request and the next pass completes it.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        // A metrics scrape: answer one HTTP response and close.
+        if line.starts_with("GET ") {
+            let body = service.metrics_exposition();
+            let _ = write!(
+                writer,
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let _ = writer.flush();
+            break;
+        }
+        let response = match wire::parse_request(&line) {
+            Ok(wire::WireRequest::Op(op)) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                match service.call(op.clone()) {
+                    Ok(reply) => wire::render_reply(&op, &reply),
+                    Err(e) => wire::render_error(
+                        "error",
+                        Some(op.vm().0),
+                        &e.to_string().replace('"', "'"),
+                    ),
+                }
+            }
+            Ok(wire::WireRequest::Ping) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                wire::render_pong()
+            }
+            Ok(wire::WireRequest::Stats) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let (mut admitted, mut rejected, mut shed, mut opened) = (0, 0, 0, 0);
+                for s in service.summaries() {
+                    admitted += s.admitted();
+                    rejected += s.rejected();
+                    shed += s.shed();
+                    opened += s.opened_pms();
+                }
+                wire::render_stats(admitted, rejected, shed, opened)
+            }
+            Ok(wire::WireRequest::Shutdown) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(writer, "{}", wire::render_shutdown_ack());
+                let _ = writer.flush();
+                stop.store(true, Ordering::Relaxed);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                break;
+            }
+            Err(e) => {
+                stats.bad_lines.fetch_add(1, Ordering::Relaxed);
+                wire::render_error("parse", None, &e.to_string().replace('"', "'"))
+            }
+        };
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        line.clear();
+    }
+}
+
+/// Classifies a wire [`Outcome`] the way the stats counters do — used
+/// by the bombard client to tally TCP replies.
+pub fn classify(reply: &wire::WireReply) -> Outcome {
+    if reply.ok {
+        let pm = slackvm_model::PmId(reply.pm.unwrap_or(0) as u32);
+        match reply.op.as_deref() {
+            Some("remove") => Outcome::Removed(pm),
+            Some("resize") => Outcome::Resized {
+                accepted: reply.accepted.unwrap_or(false),
+            },
+            _ => Outcome::Placed(pm),
+        }
+    } else {
+        match reply.error.as_deref() {
+            Some("rejected") => Outcome::Rejected,
+            Some("shed") => Outcome::Shed,
+            _ => Outcome::UnknownVm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ModelSpec, ServeConfig};
+    use std::io::BufRead;
+
+    fn server() -> TcpServer {
+        let service = PlacementService::start(ServeConfig {
+            model: ModelSpec::Shared {
+                topology: "cores=8".into(),
+                mem_mib: slackvm_model::gib(32),
+                policy: "first-fit".into(),
+                fleet_cap: None,
+            },
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        TcpServer::bind("127.0.0.1:0", service).unwrap()
+    }
+
+    #[test]
+    fn wire_round_trip_place_stats_shutdown() {
+        let server = server();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut ask = |req: &str| -> String {
+            writeln!(writer, "{req}").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim().to_string()
+        };
+
+        assert_eq!(ask("{\"op\":\"ping\"}"), wire::render_pong());
+        let placed = ask("{\"op\":\"place\",\"id\":1,\"vcpus\":2,\"mem_mib\":2048,\"level\":2}");
+        let parsed = wire::parse_reply(&placed).unwrap();
+        assert!(parsed.ok, "{placed}");
+        let stats_line = ask("{\"op\":\"stats\"}");
+        assert!(stats_line.contains("\"admitted\":1"), "{stats_line}");
+        let bad = ask("{\"op\":\"warp\"}");
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        assert_eq!(ask("{\"op\":\"shutdown\"}"), wire::render_shutdown_ack());
+        drop(writer);
+        drop(reader);
+
+        let (tcp_stats, report) = handle.join().unwrap();
+        assert_eq!(report.admitted(), 1);
+        assert_eq!(tcp_stats.bad_lines, 1);
+        assert!(tcp_stats.requests >= 4);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn http_get_serves_a_prometheus_snapshot() {
+        let server = server();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("slackvm_build_info{"), "{response}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, "{{\"op\":\"shutdown\"}}").unwrap();
+        let (_, report) = handle.join().unwrap();
+        report.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,334 @@
+//! The line-delimited JSON wire protocol of the TCP frontend.
+//!
+//! One request per line, one reply line per request. The grammar is a
+//! deliberately tiny JSON subset — flat objects, string and unsigned
+//! integer fields, no escapes — parsed with hand-rolled field scanners
+//! so the frontend carries no serialization dependency.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"place","id":7,"vcpus":4,"mem_mib":8192,"level":3}
+//! {"op":"remove","id":7}
+//! {"op":"resize","id":7,"vcpus":8,"mem_mib":16384}
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Replies mirror the op and id, e.g.
+//! `{"ok":true,"op":"place","id":7,"pm":3,"shard":0,"latency_us":12}`;
+//! failures carry `"ok":false` and an `"error"` word (`"rejected"`,
+//! `"shed"`, `"unknown-vm"`, `"busy"`, `"bad-request"`).
+
+use slackvm_model::{OversubLevel, VmId, VmSpec};
+
+use crate::error::ServeError;
+use crate::request::{Op, Outcome, Reply};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// A placement-plane operation for the service.
+    Op(Op),
+    /// Liveness probe.
+    Ping,
+    /// Service-wide counters snapshot.
+    Stats,
+    /// Stop accepting connections and shut the service down.
+    Shutdown,
+}
+
+/// Scans `line` for `"key":<unsigned integer>`.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Scans `line` for `"key":"<string without escapes>"`.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+fn require(line: &str, key: &str) -> Result<u64, ServeError> {
+    field_u64(line, key)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing numeric field {key:?} in {line:?}")))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
+    let line = line.trim();
+    let op = field_str(line, "op")
+        .ok_or_else(|| ServeError::BadRequest(format!("missing \"op\" in {line:?}")))?;
+    match op {
+        "place" => {
+            let id = require(line, "id")?;
+            let vcpus = require(line, "vcpus")?;
+            let mem_mib = require(line, "mem_mib")?;
+            let level = field_u64(line, "level").unwrap_or(1);
+            if vcpus == 0 || mem_mib == 0 {
+                return Err(ServeError::BadRequest(
+                    "vcpus and mem_mib must be positive".into(),
+                ));
+            }
+            if !(1..=64).contains(&level) {
+                return Err(ServeError::BadRequest(format!(
+                    "level {level} outside 1..=64"
+                )));
+            }
+            Ok(WireRequest::Op(Op::Place {
+                id: VmId(id),
+                spec: VmSpec::of(vcpus as u32, mem_mib, OversubLevel::of(level as u32)),
+            }))
+        }
+        "remove" => Ok(WireRequest::Op(Op::Remove {
+            id: VmId(require(line, "id")?),
+        })),
+        "resize" => {
+            let id = require(line, "id")?;
+            let vcpus = require(line, "vcpus")?;
+            let mem_mib = require(line, "mem_mib")?;
+            if vcpus == 0 || mem_mib == 0 {
+                return Err(ServeError::BadRequest(
+                    "vcpus and mem_mib must be positive".into(),
+                ));
+            }
+            Ok(WireRequest::Op(Op::Resize {
+                id: VmId(id),
+                vcpus: vcpus as u32,
+                mem_mib,
+            }))
+        }
+        "ping" => Ok(WireRequest::Ping),
+        "stats" => Ok(WireRequest::Stats),
+        "shutdown" => Ok(WireRequest::Shutdown),
+        other => Err(ServeError::BadRequest(format!(
+            "unknown op {other:?} (place, remove, resize, ping, stats, shutdown)"
+        ))),
+    }
+}
+
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Place { .. } => "place",
+        Op::Remove { .. } => "remove",
+        Op::Resize { .. } => "resize",
+    }
+}
+
+fn shard_suffix(reply: &Reply) -> String {
+    match reply.shard {
+        Some(s) => format!(",\"shard\":{s},\"latency_us\":{}", reply.latency_us),
+        None => format!(",\"latency_us\":{}", reply.latency_us),
+    }
+}
+
+/// Renders the reply line for an executed operation.
+pub fn render_reply(op: &Op, reply: &Reply) -> String {
+    let name = op_name(op);
+    let id = op.vm().0;
+    match reply.outcome {
+        Outcome::Placed(pm) => format!(
+            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{id},\"pm\":{}{}}}",
+            pm.0,
+            shard_suffix(reply)
+        ),
+        Outcome::Removed(pm) => format!(
+            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{id},\"pm\":{}{}}}",
+            pm.0,
+            shard_suffix(reply)
+        ),
+        Outcome::Resized { accepted } => format!(
+            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{id},\"accepted\":{accepted}{}}}",
+            shard_suffix(reply)
+        ),
+        Outcome::Rejected => render_error(name, Some(id), "rejected"),
+        Outcome::Shed => render_error(name, Some(id), "shed"),
+        Outcome::UnknownVm => render_error(name, Some(id), "unknown-vm"),
+    }
+}
+
+/// Renders a failure line.
+pub fn render_error(op: &str, id: Option<u64>, error: &str) -> String {
+    match id {
+        Some(id) => format!("{{\"ok\":false,\"op\":\"{op}\",\"id\":{id},\"error\":\"{error}\"}}"),
+        None => format!("{{\"ok\":false,\"op\":\"{op}\",\"error\":\"{error}\"}}"),
+    }
+}
+
+/// Renders the `ping` reply.
+pub fn render_pong() -> String {
+    "{\"ok\":true,\"op\":\"ping\"}".to_string()
+}
+
+/// Renders the `stats` reply.
+pub fn render_stats(admitted: u64, rejected: u64, shed: u64, opened_pms: u64) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"stats\",\"admitted\":{admitted},\"rejected\":{rejected},\
+         \"shed\":{shed},\"opened_pms\":{opened_pms}}}"
+    )
+}
+
+/// Renders the `shutdown` acknowledgement.
+pub fn render_shutdown_ack() -> String {
+    "{\"ok\":true,\"op\":\"shutdown\"}".to_string()
+}
+
+/// Reads `"ok"` / `"op"` / `"pm"` / `"error"` off a reply line — what a
+/// client (the bombard driver) needs to classify an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReply {
+    /// The mirrored `"ok"` field.
+    pub ok: bool,
+    /// The mirrored operation name.
+    pub op: Option<String>,
+    /// Hosting PM for place/remove acks.
+    pub pm: Option<u64>,
+    /// Resize verdict on resize acks.
+    pub accepted: Option<bool>,
+    /// The error word on failures.
+    pub error: Option<String>,
+    /// Worker-observed latency, when present.
+    pub latency_us: Option<u64>,
+}
+
+/// Parses a reply line (client side).
+pub fn parse_reply(line: &str) -> Result<WireReply, ServeError> {
+    let line = line.trim();
+    let ok = if line.contains("\"ok\":true") {
+        true
+    } else if line.contains("\"ok\":false") {
+        false
+    } else {
+        return Err(ServeError::BadRequest(format!(
+            "reply without \"ok\" field: {line:?}"
+        )));
+    };
+    let accepted = if line.contains("\"accepted\":true") {
+        Some(true)
+    } else if line.contains("\"accepted\":false") {
+        Some(false)
+    } else {
+        None
+    };
+    Ok(WireReply {
+        ok,
+        op: field_str(line, "op").map(str::to_string),
+        pm: field_u64(line, "pm"),
+        accepted,
+        error: field_str(line, "error").map(str::to_string),
+        latency_us: field_u64(line, "latency_us"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::PmId;
+
+    #[test]
+    fn place_line_round_trips() {
+        let req =
+            parse_request("{\"op\":\"place\",\"id\":7,\"vcpus\":4,\"mem_mib\":8192,\"level\":3}")
+                .unwrap();
+        match req {
+            WireRequest::Op(Op::Place { id, spec }) => {
+                assert_eq!(id, VmId(7));
+                assert_eq!(spec.vcpus(), 4);
+                assert_eq!(spec.mem_mib(), 8192);
+                assert_eq!(spec.level.ratio(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn level_defaults_to_one() {
+        let req =
+            parse_request("{\"op\":\"place\",\"id\":1,\"vcpus\":2,\"mem_mib\":1024}").unwrap();
+        match req {
+            WireRequest::Op(Op::Place { spec, .. }) => assert_eq!(spec.level.ratio(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), WireRequest::Ping);
+        assert_eq!(
+            parse_request(" {\"op\":\"stats\"} ").unwrap(),
+            WireRequest::Stats
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            WireRequest::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_lines_name_the_defect() {
+        for (line, needle) in [
+            ("{\"op\":\"warp\"}", "unknown op"),
+            ("{\"id\":3}", "missing \"op\""),
+            ("{\"op\":\"place\",\"id\":3}", "vcpus"),
+            (
+                "{\"op\":\"place\",\"id\":3,\"vcpus\":0,\"mem_mib\":4}",
+                "positive",
+            ),
+            (
+                "{\"op\":\"place\",\"id\":3,\"vcpus\":1,\"mem_mib\":4,\"level\":99}",
+                "1..=64",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err().to_string();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn replies_render_and_parse_back() {
+        let op = Op::Place {
+            id: VmId(7),
+            spec: VmSpec::of(4, 8192, OversubLevel::of(3)),
+        };
+        let line = render_reply(
+            &op,
+            &Reply {
+                seq: 0,
+                shard: Some(2),
+                outcome: Outcome::Placed(PmId(3)),
+                latency_us: 12,
+            },
+        );
+        assert_eq!(
+            line,
+            "{\"ok\":true,\"op\":\"place\",\"id\":7,\"pm\":3,\"shard\":2,\"latency_us\":12}"
+        );
+        let parsed = parse_reply(&line).unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.op.as_deref(), Some("place"));
+        assert_eq!(parsed.pm, Some(3));
+        assert_eq!(parsed.latency_us, Some(12));
+
+        let shed = render_reply(
+            &op,
+            &Reply {
+                seq: 0,
+                shard: Some(0),
+                outcome: Outcome::Shed,
+                latency_us: 99,
+            },
+        );
+        let parsed = parse_reply(&shed).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error.as_deref(), Some("shed"));
+    }
+}

@@ -153,6 +153,17 @@ impl DeploymentModel {
             DeploymentModel::Shared(s) => s.cluster.index_mode(),
         }
     }
+
+    /// Audits every opened host's internal invariants (capacity bounds,
+    /// pin accounting, vNode bookkeeping). An error names the first
+    /// violating host — the safety net concurrency and soak tests lean
+    /// on after hammering a deployment.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            DeploymentModel::Dedicated(d) => d.check_invariants(),
+            DeploymentModel::Shared(s) => s.check_invariants(),
+        }
+    }
 }
 
 /// The baseline: per-level clusters of [`UniformMachine`]s, each placed
@@ -281,6 +292,34 @@ impl DedicatedDeployment {
         }
         Err(SimError::UnknownVm(id))
     }
+
+    /// Audits every opened machine: allocations must stay within the
+    /// hardware capacity of each per-level cluster.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (level, cluster) in &self.clusters {
+            for host in cluster.hosts() {
+                let alloc = host.alloc();
+                let config = host.config();
+                if alloc.cpu > config.cpu_capacity() {
+                    return Err(format!(
+                        "pm {} ({level}): cpu alloc {:?} exceeds capacity {:?}",
+                        host.id().0,
+                        alloc.cpu,
+                        config.cpu_capacity()
+                    ));
+                }
+                if alloc.mem_mib > config.mem_mib {
+                    return Err(format!(
+                        "pm {} ({level}): mem alloc {} MiB exceeds capacity {} MiB",
+                        host.id().0,
+                        alloc.mem_mib,
+                        config.mem_mib
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The SlackVM architecture: one shared pool of partitioned workers; all
@@ -294,15 +333,7 @@ pub struct SharedDeployment {
     vclusters: BTreeMap<OversubLevel, VCluster>,
 }
 
-/// Default weight of the Best-Fit consolidation term combined with the
-/// progress scorer (see [`CompositeScorer::progress_with_consolidation`]).
-///
-/// The progress score produces many exact ties (every balanced machine
-/// scores 0 for a balanced VM); a light consolidation bias resolves them
-/// towards the fullest machine, which is what production scoring stacks
-/// do ("alongside their others criteria", paper §VII-B). 0.15 reproduces
-/// the paper's headline savings most closely.
-pub const DEFAULT_CONSOLIDATION_WEIGHT: f64 = 0.15;
+pub use slackvm_sched::DEFAULT_CONSOLIDATION_WEIGHT;
 
 impl SharedDeployment {
     /// Builds a shared pool whose workers expose `topology` and
@@ -448,6 +479,17 @@ impl SharedDeployment {
         }
         obs.level_width_cores = widths;
         obs
+    }
+
+    /// Audits every opened worker's full hypervisor invariants (core
+    /// pinning, vNode spans, capacity bounds) via
+    /// [`PhysicalMachine::check_invariants`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for host in self.cluster.hosts() {
+            host.check_invariants()
+                .map_err(|e| format!("pm {}: {e}", host.id().0))?;
+        }
+        Ok(())
     }
 
     /// Aggregated pin churn across all workers.

@@ -14,6 +14,45 @@ use crate::timeseries::TimeSeriesStore;
 /// Prefix stamped on every exported family.
 pub const METRIC_PREFIX: &str = "slackvm_";
 
+/// The build identity stamped on every exposition as the conventional
+/// `slackvm_build_info{version,git_sha} 1` info-gauge, so a scrape can
+/// always be traced back to the producing build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Crate version (workspace-wide).
+    pub version: &'static str,
+    /// Git commit, when the build stamped one via `SLACKVM_GIT_SHA`.
+    pub git_sha: &'static str,
+}
+
+impl BuildInfo {
+    /// The identity of this build: the Cargo package version plus the
+    /// `SLACKVM_GIT_SHA` compile-time stamp (`"unknown"` outside
+    /// sha-stamped builds).
+    pub fn current() -> Self {
+        BuildInfo {
+            version: option_env!("CARGO_PKG_VERSION").unwrap_or("0.0.0"),
+            git_sha: option_env!("SLACKVM_GIT_SHA").unwrap_or("unknown"),
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        let prom = format!("{METRIC_PREFIX}build_info");
+        family(
+            out,
+            &prom,
+            "Build identity of the exposition producer (always 1).",
+            "gauge",
+        );
+        out.push_str(&prom);
+        out.push_str("{version=\"");
+        out.push_str(&escape_label_value(self.version));
+        out.push_str("\",git_sha=\"");
+        out.push_str(&escape_label_value(self.git_sha));
+        out.push_str("\"} 1\n");
+    }
+}
+
 /// Maps an internal metric name (dotted, dashed) onto the Prometheus
 /// name grammar: invalid characters become `_` and a leading digit gets
 /// a `_` prefix. An empty name renders as a single `_`.
@@ -123,11 +162,13 @@ pub fn render_metrics(metrics: &MetricsRegistry) -> String {
     render(metrics, None)
 }
 
-/// Renders the full exposition: counters, gauges, histograms, and (when
-/// given) the latest value of every sampled series as a labelled gauge
-/// family `slackvm_timeseries{series="..."}`.
+/// Renders the full exposition: the `slackvm_build_info` identity
+/// gauge, then counters, gauges, histograms, and (when given) the
+/// latest value of every sampled series as a labelled gauge family
+/// `slackvm_timeseries{series="..."}`.
 pub fn render(metrics: &MetricsRegistry, series: Option<&TimeSeriesStore>) -> String {
     let mut out = String::new();
+    BuildInfo::current().render(&mut out);
     for (name, value) in metrics.counters() {
         let prom = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
         family(
@@ -236,6 +277,7 @@ pub fn validate(text: &str) -> Result<(), String> {
         if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
             return Err(format!("line {lineno}: bad sample value {value:?}"));
         }
+        let mut label_keys: Vec<String> = Vec::new();
         let name = match name_and_labels.split_once('{') {
             Some((name, labels)) => {
                 let labels = labels
@@ -250,6 +292,7 @@ pub fn validate(text: &str) -> Result<(), String> {
                     if !valid_name(key) {
                         return Err(format!("line {lineno}: bad label name {key:?}"));
                     }
+                    label_keys.push(key.to_string());
                     // Scan to the closing unescaped quote.
                     let mut close = None;
                     let mut escaped = false;
@@ -274,6 +317,20 @@ pub fn validate(text: &str) -> Result<(), String> {
         if !valid_name(name) {
             return Err(format!("line {lineno}: bad metric name {name:?}"));
         }
+        if name == "slackvm_build_info" {
+            for required in ["version", "git_sha"] {
+                if !label_keys.iter().any(|k| k == required) {
+                    return Err(format!(
+                        "line {lineno}: build_info sample missing {required:?} label"
+                    ));
+                }
+            }
+            if value != "1" {
+                return Err(format!(
+                    "line {lineno}: build_info value must be 1, got {value:?}"
+                ));
+            }
+        }
         let Some((family, kind)) = &declared else {
             return Err(format!("line {lineno}: sample before any TYPE declaration"));
         };
@@ -297,6 +354,17 @@ pub fn validate(text: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// What `BuildInfo::current()` renders in the test environment,
+    /// where `SLACKVM_GIT_SHA` is unset.
+    fn build_info_family() -> String {
+        format!(
+            "# HELP slackvm_build_info Build identity of the exposition producer (always 1).\n\
+             # TYPE slackvm_build_info gauge\n\
+             slackvm_build_info{{version=\"{}\",git_sha=\"unknown\"}} 1\n",
+            option_env!("CARGO_PKG_VERSION").unwrap_or("0.0.0")
+        )
+    }
 
     #[test]
     fn sanitization_maps_dots_and_digits() {
@@ -326,7 +394,8 @@ mod tests {
         m.observe("sched.select", 5.0);
         m.observe("sched.select", 99.0);
         let text = render_metrics(&m);
-        let expected = "\
+        let expected = build_info_family()
+            + "\
 # HELP slackvm_sim_deployments SlackVM counter sim.deployments.
 # TYPE slackvm_sim_deployments counter
 slackvm_sim_deployments 42
@@ -374,9 +443,30 @@ slackvm_sched_select_count 3
     }
 
     #[test]
-    fn empty_registry_renders_empty() {
+    fn empty_registry_renders_just_build_info() {
         let text = render_metrics(&MetricsRegistry::new());
-        assert!(text.is_empty());
+        assert_eq!(text, build_info_family());
         validate(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_enforces_build_info_labels() {
+        let head = "# HELP slackvm_build_info h\n# TYPE slackvm_build_info gauge\n";
+        validate(&format!(
+            "{head}slackvm_build_info{{version=\"1.0\",git_sha=\"abc\"}} 1\n"
+        ))
+        .unwrap();
+        // Missing git_sha, missing version, bare sample, and a non-1 value.
+        for bad in [
+            "slackvm_build_info{version=\"1.0\"} 1\n",
+            "slackvm_build_info{git_sha=\"abc\"} 1\n",
+            "slackvm_build_info 1\n",
+            "slackvm_build_info{version=\"1.0\",git_sha=\"abc\"} 2\n",
+        ] {
+            assert!(
+                validate(&format!("{head}{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 }

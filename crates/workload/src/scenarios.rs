@@ -97,6 +97,27 @@ pub fn all(population: u32) -> Vec<Scenario> {
     ]
 }
 
+/// The stable names [`by_name`] resolves, in presentation order.
+pub const SCENARIO_NAMES: &[&str] = &[
+    "paper-week-f",
+    "burst-day",
+    "devtest-churn",
+    "enterprise-steady",
+];
+
+/// Looks a canned scenario up by its stable name — the registry behind
+/// every `--scenario` flag, so tools and error messages agree on the
+/// accepted set. Returns `None` for an unknown name.
+pub fn by_name(name: &str, population: u32) -> Option<Scenario> {
+    match name {
+        "paper-week-f" => Some(paper_week_f(population)),
+        "burst-day" => Some(burst_day(population)),
+        "devtest-churn" => Some(devtest_churn(population)),
+        "enterprise-steady" => Some(enterprise_steady(population)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +169,18 @@ mod tests {
             day as f64 > night as f64 * 1.5,
             "day {day} vs night {night}"
         );
+    }
+
+    #[test]
+    fn by_name_covers_exactly_the_canned_set() {
+        for scenario in all(40) {
+            let looked_up = by_name(&scenario.name, 40)
+                .unwrap_or_else(|| panic!("{} not resolvable by name", scenario.name));
+            assert_eq!(looked_up, scenario);
+            assert!(SCENARIO_NAMES.contains(&scenario.name.as_str()));
+        }
+        assert_eq!(SCENARIO_NAMES.len(), all(40).len());
+        assert!(by_name("paper-week-g", 40).is_none());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Concurrency property test: eight clients hammer a sharded
+//! `PlacementService` with interleaved place / resize / remove traffic
+//! and, whatever the interleaving, the drained fleet must satisfy the
+//! deployment invariants (capacity bounds, accounting consistency) and
+//! the reply ledger must balance.
+
+use proptest::prelude::*;
+
+use slackvm::prelude::*;
+use slackvm_serve::{ModelSpec, Op, Outcome, PlacementService, ServeConfig};
+
+const CLIENTS: u32 = 8;
+
+/// Splitmix-style per-client shape generator (the service must hold up
+/// under any traffic, so cheap pseudo-randomness is all we need).
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Default)]
+struct Ledger {
+    placed: u64,
+    rejected: u64,
+    removed: u64,
+    resized: u64,
+    unknown: u64,
+}
+
+fn hammer(service: &PlacementService, seed: u64, ops_per_client: u64) -> Ledger {
+    let mut total = Ledger::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..CLIENTS {
+            handles.push(scope.spawn(move || {
+                let mut rng = seed ^ (client as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                let mut alive: Vec<VmId> = Vec::new();
+                let mut ledger = Ledger::default();
+                for n in 0..ops_per_client {
+                    // Disjoint per-client id bands: collisions impossible.
+                    let id = VmId(client as u64 * 1_000_000 + n);
+                    let roll = next(&mut rng) % 10;
+                    let op = if roll < 6 || alive.is_empty() {
+                        let vcpus = 1 + (next(&mut rng) % 8) as u32;
+                        let mem = gib(1 + next(&mut rng) % 8);
+                        let level = OversubLevel::of(1 + (next(&mut rng) % 3) as u32);
+                        Op::Place {
+                            id,
+                            spec: VmSpec::of(vcpus, mem, level),
+                        }
+                    } else if roll < 8 {
+                        let victim = alive[(next(&mut rng) as usize) % alive.len()];
+                        Op::Remove { id: victim }
+                    } else {
+                        let victim = alive[(next(&mut rng) as usize) % alive.len()];
+                        Op::Resize {
+                            id: victim,
+                            vcpus: 1 + (next(&mut rng) % 8) as u32,
+                            mem_mib: gib(1 + next(&mut rng) % 8),
+                        }
+                    };
+                    let placed_id = matches!(op, Op::Place { .. }).then_some(id);
+                    let removed_id = match op {
+                        Op::Remove { id } => Some(id),
+                        _ => None,
+                    };
+                    let reply = service.call(op).expect("service alive");
+                    match reply.outcome {
+                        Outcome::Placed(_) => {
+                            ledger.placed += 1;
+                            alive.push(placed_id.expect("place op"));
+                        }
+                        Outcome::Rejected => ledger.rejected += 1,
+                        Outcome::Removed(_) => {
+                            ledger.removed += 1;
+                            let gone = removed_id.expect("remove op");
+                            alive.retain(|v| *v != gone);
+                        }
+                        Outcome::Resized { .. } => ledger.resized += 1,
+                        Outcome::UnknownVm => ledger.unknown += 1,
+                        Outcome::Shed => panic!("no deadlines configured, nothing may shed"),
+                    }
+                }
+                ledger
+            }));
+        }
+        for handle in handles {
+            let ledger = handle.join().expect("client panicked");
+            total.placed += ledger.placed;
+            total.rejected += ledger.rejected;
+            total.removed += ledger.removed;
+            total.resized += ledger.resized;
+            total.unknown += ledger.unknown;
+        }
+    });
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn concurrent_admission_preserves_capacity_invariants(
+        shards in 1u32..=4,
+        fleet_cap in 3u32..=10,
+        seed in 0u64..u64::MAX,
+    ) {
+        // A deliberately tight fleet so rejections and fall-through
+        // forwarding actually happen under contention.
+        let service = PlacementService::start(ServeConfig {
+            shards,
+            queue_depth: 64,
+            batch_max: 16,
+            model: ModelSpec::Shared {
+                topology: "cores=8".into(),
+                mem_mib: gib(32),
+                policy: "progress+bestfit".into(),
+                fleet_cap: Some(fleet_cap),
+            },
+            ..ServeConfig::default()
+        }).expect("service start");
+
+        let ledger = hammer(&service, seed, 120);
+        let report = service.stop();
+
+        // Every shard's final model satisfies the capacity invariants.
+        prop_assert!(report.check_invariants().is_ok(),
+            "{:?}", report.check_invariants());
+        // The reply ledger balances against the workers' own counts.
+        prop_assert_eq!(ledger.placed, report.admitted());
+        prop_assert_eq!(ledger.rejected, report.rejected());
+        prop_assert_eq!(report.shed(), 0);
+        // Removals can't outnumber placements; whatever is still alive
+        // is allocated on some shard.
+        prop_assert!(ledger.removed <= ledger.placed);
+        let live = ledger.placed - ledger.removed;
+        let mut hosting_shards = 0u64;
+        for shard in &report.shards {
+            let (alloc, cap) = shard.model.totals();
+            prop_assert!(alloc.cpu.0 <= cap.cpu.0,
+                "shard {} over CPU capacity", shard.shard);
+            if !alloc.is_empty() {
+                hosting_shards += 1;
+            }
+        }
+        if live == 0 {
+            prop_assert_eq!(hosting_shards, 0, "drained fleet must hold nothing");
+        }
+    }
+}

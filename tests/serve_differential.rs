@@ -1,0 +1,104 @@
+//! Differential proof that the online service is the offline engine.
+//!
+//! A single-shard `PlacementService` in deterministic mode, driven by
+//! `serve_replay`, must make exactly the decisions of the offline
+//! `run_packing` loop — the same VMs placed on the same PMs, the same
+//! VMs rejected, in the same order. Both sides are built from the same
+//! `ModelSpec`, so any divergence is a service bug, not a config skew.
+
+use slackvm::prelude::*;
+use slackvm::sim::run_packing_recorded;
+use slackvm::telemetry::{Event, Telemetry};
+use slackvm::workload::scenarios;
+use slackvm_serve::{serve_replay, ModelSpec, PlacementService, ServeConfig};
+
+/// The offline decision sequence: `(vm, Some(pm))` per placement,
+/// `(vm, None)` per rejection, in journal order.
+fn offline_decisions(
+    workload: &slackvm::workload::Workload,
+    spec: &ModelSpec,
+) -> (Vec<(VmId, Option<PmId>)>, slackvm::sim::PackingOutcome) {
+    let mut model = spec.build(1).expect("offline model");
+    let mut telemetry = Telemetry::new();
+    let outcome = run_packing_recorded(workload, &mut model, &mut telemetry);
+    let decisions = telemetry
+        .journal
+        .iter()
+        .filter_map(|record| match record.event {
+            Event::VmPlaced { vm, pm, .. } => Some((vm, Some(pm))),
+            Event::VmRejected { vm, .. } => Some((vm, None)),
+            _ => None,
+        })
+        .collect();
+    (decisions, outcome)
+}
+
+fn online_decisions(
+    workload: &slackvm::workload::Workload,
+    spec: &ModelSpec,
+) -> (Vec<(VmId, Option<PmId>)>, slackvm_serve::ServiceReport) {
+    let service = PlacementService::start(ServeConfig {
+        shards: 1,
+        deterministic: true,
+        model: spec.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("service start");
+    let summary = serve_replay(workload, &service).expect("serve replay");
+    let decisions = summary.decisions.iter().map(|d| (d.vm, d.pm)).collect();
+    (decisions, service.stop())
+}
+
+#[test]
+fn deterministic_serve_reproduces_offline_packing_event_for_event() {
+    let workload = scenarios::paper_week_f(120).generate(42);
+    let spec = ModelSpec::default_shared();
+    let (offline, outcome) = offline_decisions(&workload, &spec);
+    let (online, report) = online_decisions(&workload, &spec);
+
+    assert_eq!(online.len(), outcome.deployments as usize);
+    assert_eq!(online, offline, "decision sequences diverged");
+    assert_eq!(report.admitted() + report.rejected(), outcome.deployments as u64);
+    assert_eq!(report.rejected(), outcome.rejections as u64);
+    assert_eq!(report.opened_pms(), outcome.opened_pms);
+    report.check_invariants().expect("final state invariants");
+}
+
+#[test]
+fn capped_fleet_rejections_match_offline_too() {
+    // A deliberately small fleet forces rejections, so the equality
+    // also covers the rejected path and the post-rejection state.
+    let workload = scenarios::devtest_churn(150).generate(7);
+    let spec = ModelSpec::Shared {
+        topology: "cores=16".into(),
+        mem_mib: gib(64),
+        policy: "best-fit".into(),
+        fleet_cap: Some(6),
+    };
+    let (offline, outcome) = offline_decisions(&workload, &spec);
+    assert!(outcome.rejections > 0, "scenario must exercise rejections");
+    let (online, report) = online_decisions(&workload, &spec);
+    assert_eq!(online, offline, "decision sequences diverged");
+    assert_eq!(report.rejected(), outcome.rejections as u64);
+    assert_eq!(report.opened_pms(), outcome.opened_pms);
+    report.check_invariants().expect("final state invariants");
+}
+
+#[test]
+fn every_policy_round_trips_through_the_service() {
+    // Cheap smoke across the whole policy registry: online equals
+    // offline for each policy on a small trace.
+    let workload = scenarios::paper_week_f(40).generate(3);
+    for policy in slackvm::sched::POLICY_NAMES {
+        let spec = ModelSpec::Shared {
+            topology: "cores=32".into(),
+            mem_mib: gib(128),
+            policy: (*policy).into(),
+            fleet_cap: None,
+        };
+        let (offline, _) = offline_decisions(&workload, &spec);
+        let (online, report) = online_decisions(&workload, &spec);
+        assert_eq!(online, offline, "policy {policy} diverged");
+        report.check_invariants().expect("invariants");
+    }
+}
