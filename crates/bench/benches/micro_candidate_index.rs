@@ -118,14 +118,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("index/replay_day_f");
     group.sample_size(10);
     for mode in [IndexMode::Naive, IndexMode::Incremental] {
-        group.bench_with_input(BenchmarkId::new("shared", mode.name()), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut model =
-                    DeploymentModel::Shared(SharedDeployment::new(Arc::new(flat(32)), gib(128)))
-                        .with_index_mode(mode);
-                std::hint::black_box(run_packing(&workload, &mut model))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shared", mode.name()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut model = DeploymentModel::Shared(SharedDeployment::new(
+                        Arc::new(flat(32)),
+                        gib(128),
+                    ))
+                    .with_index_mode(mode);
+                    std::hint::black_box(run_packing(&workload, &mut model))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -11,9 +11,7 @@
 //! on a single-core container).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use slackvm_serve::{
-    run_closed_loop, BombardConfig, ModelSpec, Op, PlacementService, ServeConfig,
-};
+use slackvm_serve::{run_closed_loop, BombardConfig, ModelSpec, Op, PlacementService, ServeConfig};
 
 fn service(shards: u32) -> PlacementService {
     PlacementService::start(ServeConfig {
@@ -56,8 +54,11 @@ fn bench(c: &mut Criterion) {
         let mut n = 0u64;
         b.iter(|| {
             n += 1;
-            let spec =
-                slackvm_model::VmSpec::of(2, slackvm_model::gib(4), slackvm_model::OversubLevel::of(2));
+            let spec = slackvm_model::VmSpec::of(
+                2,
+                slackvm_model::gib(4),
+                slackvm_model::OversubLevel::of(2),
+            );
             std::hint::black_box(
                 svc.call(Op::Place {
                     id: slackvm_model::VmId(n),

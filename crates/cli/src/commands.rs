@@ -75,11 +75,16 @@ commands:
             [--queue-depth N] [--batch N] [--deadline-ms MS]
             [--model shared|dedicated] [--policy NAME] [--fleet N]
             [--index naive|incremental] [--topology SPEC] [--mem GIB]
-            [--sample-interval-ms MS]
+            [--sample-interval-ms MS] [--state-dir DIR]
+            [--fsync every|interval|off] [--fsync-interval-ms MS]
+            [--snapshot-every N] [--retain K]
                                  run the online placement service: line
                                  JSON over TCP, HTTP GET /metrics for a
                                  Prometheus snapshot; a client's
-                                 {\"op\":\"shutdown\"} stops it
+                                 {\"op\":\"shutdown\"} stops it;
+                                 --state-dir journals every committed
+                                 decision to a per-shard write-ahead
+                                 log and restarts recover the fleet
   bombard   [--addr HOST:PORT] [--scenario NAME] [--population N]
             [--seed S] [--clients N] [--requests N] [--rate R]
             [--shards N] [--policy NAME] [--fleet N] [--deadline-ms MS]
@@ -90,6 +95,15 @@ commands:
                                  service; --rate switches from closed
                                  to open loop; --shutdown stops the
                                  remote server afterwards
+  recover   --dir DIR            recover a serve state directory offline
+                                 and report per shard what a restart
+                                 would restore (snapshot, WAL tail,
+                                 torn bytes, VM/PM counts)
+  fsck      --dir DIR            verify a serve state directory: replay
+                                 the journal from genesis through a
+                                 fresh model and prove the recovered
+                                 state is exactly the committed
+                                 history (nonzero exit on divergence)
 
 providers: azure, ovhcloud, balanced
 "
@@ -360,7 +374,13 @@ fn load_trace(args: &Args) -> Result<Workload, CliError> {
         path: path.to_string(),
         source,
     })?;
-    let workload: Workload = serde_json::from_str(&raw)?;
+    // A truncated or corrupt trace must come back as one actionable
+    // line naming the file, never a panic or a bare parser message.
+    let workload: Workload = serde_json::from_str(&raw).map_err(|e| {
+        CliError::Invalid(format!(
+            "trace {path} is not valid JSON ({e}); was the file truncated mid-write?"
+        ))
+    })?;
     workload
         .validate()
         .map_err(|e| CliError::Invalid(format!("trace {path} is invalid: {e}")))?;
@@ -941,6 +961,32 @@ fn serve_model_spec(args: &Args) -> Result<slackvm_serve::ModelSpec, CliError> {
     }
 }
 
+/// The `--state-dir` family of durability options. The satellite flags
+/// are an error without `--state-dir` — silently ignoring an fsync
+/// policy the operator asked for would be worse than rejecting it.
+fn serve_durable(args: &Args) -> Result<Option<slackvm_serve::DurableOptions>, CliError> {
+    let Some(dir) = args.get("state-dir") else {
+        for key in ["fsync", "fsync-interval-ms", "snapshot-every", "retain"] {
+            if args.get(key).is_some() {
+                return Err(CliError::Invalid(format!("--{key} requires --state-dir")));
+            }
+        }
+        return Ok(None);
+    };
+    let fsync_raw = args.get_or("fsync", "every");
+    let interval_ms = args.get_parsed_or("fsync-interval-ms", 50)?;
+    let fsync = slackvm_serve::FsyncPolicy::parse(fsync_raw, interval_ms).ok_or_else(|| {
+        CliError::Invalid(format!(
+            "unknown fsync policy {fsync_raw:?} (every, interval, off)"
+        ))
+    })?;
+    let mut opts = slackvm_serve::DurableOptions::new(dir);
+    opts.fsync = fsync;
+    opts.snapshot_every = args.get_parsed_or("snapshot-every", 8192)?;
+    opts.retain = args.get_parsed_or("retain", 3)?;
+    Ok(Some(opts))
+}
+
 /// The serve/bombard options that shape the service itself.
 fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
     let index_raw = args.get_or("index", "incremental");
@@ -960,6 +1006,7 @@ fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
         model: serve_model_spec(args)?,
         index,
         sample_interval_ms: args.get_parsed("sample-interval-ms")?,
+        durable: serve_durable(args)?,
     })
 }
 
@@ -979,6 +1026,11 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "topology",
         "mem",
         "sample-interval-ms",
+        "state-dir",
+        "fsync",
+        "fsync-interval-ms",
+        "snapshot-every",
+        "retain",
     ])?;
     let config = serve_config(args)?;
     let addr = match args.get("addr") {
@@ -987,6 +1039,16 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     };
     let service = slackvm_serve::PlacementService::start(config)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
+    for r in service.recovery_reports() {
+        eprintln!(
+            "slackvm serve: shard {} recovered (snapshot {}, replayed {} records, torn {} B) in {} ms",
+            r.shard,
+            r.snapshot_seq.map_or_else(|| "none".into(), |s| s.to_string()),
+            r.records_replayed,
+            r.truncated_bytes,
+            r.elapsed.as_millis(),
+        );
+    }
     let server = slackvm_serve::TcpServer::bind(&addr, service)
         .map_err(|e| CliError::Invalid(format!("cannot bind {addr}: {e}")))?;
     let local = server
@@ -995,9 +1057,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     // Announce readiness before the blocking accept loop so scripts can
     // start bombarding as soon as this line appears.
     eprintln!("slackvm serve: listening on {local}");
-    let (stats, report) = server
-        .run()
-        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let (stats, report) = server.run().map_err(|e| CliError::Invalid(e.to_string()))?;
     report
         .check_invariants()
         .map_err(|e| CliError::Invalid(format!("post-shutdown invariant violation: {e}")))?;
@@ -1153,6 +1213,108 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Reads a state directory's manifest and rebuilds what each shard's
+/// worker starts from: an empty model shaped by the manifest, with the
+/// manifest's candidate-index mode applied.
+fn durable_models(
+    dir: &std::path::Path,
+) -> Result<(slackvm_durable::Manifest, Vec<DeploymentModel>), CliError> {
+    let manifest =
+        slackvm_durable::Manifest::load(dir).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let spec = slackvm_serve::ModelSpec::from_manifest_model(&manifest.model);
+    let index = IndexMode::parse(&manifest.index).ok_or_else(|| {
+        CliError::Invalid(format!(
+            "manifest names unknown index mode {:?}",
+            manifest.index
+        ))
+    })?;
+    let models = (0..manifest.shards)
+        .map(|_| {
+            let mut model = spec
+                .build(manifest.shards)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            model.set_index_mode(index);
+            Ok(model)
+        })
+        .collect::<Result<Vec<_>, CliError>>()?;
+    Ok((manifest, models))
+}
+
+/// `slackvm recover`
+pub fn recover(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&["dir"])?;
+    let dir = std::path::Path::new(args.get("dir").ok_or(CliError::MissingOption("dir"))?);
+    let (manifest, models) = durable_models(dir)?;
+    let mut out = format!(
+        "recover {}: {} shard(s), model {}, index {}\n",
+        dir.display(),
+        manifest.shards,
+        manifest.model.name(),
+        manifest.index,
+    );
+    for (shard, mut model) in models.into_iter().enumerate() {
+        let report = slackvm_durable::recover_shard(dir, shard as u32, &mut model)
+            .map_err(|e| CliError::Invalid(format!("shard {shard}: {e}")))?;
+        let state = model.capture_state();
+        let _ = writeln!(
+            out,
+            "  shard {shard}: {} VMs on {} PMs  snapshot {}  replayed {}/{} records  \
+             wal {} B  torn {} B  last seq {}  ({} ms)",
+            state.placements().count(),
+            state.opened_pms(),
+            report
+                .snapshot_seq
+                .map_or_else(|| "none".to_string(), |seq| format!("seq {seq}")),
+            report.records_replayed,
+            report.records_total,
+            report.wal_bytes,
+            report.truncated_bytes,
+            report.last_seq,
+            report.elapsed.as_millis(),
+        );
+    }
+    Ok(out)
+}
+
+/// `slackvm fsck`
+pub fn fsck(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&["dir"])?;
+    let dir = std::path::Path::new(args.get("dir").ok_or(CliError::MissingOption("dir"))?);
+    let (manifest, models) = durable_models(dir)?;
+    // One fresh model per shard for the genesis replay, beyond the one
+    // recover_shard restores into.
+    let (_, fresh_models) = durable_models(dir)?;
+    let mut out = format!("fsck {}: {} shard(s)\n", dir.display(), manifest.shards);
+    let mut broken = Vec::new();
+    for ((shard, mut model), mut fresh) in models.into_iter().enumerate().zip(fresh_models) {
+        slackvm_durable::recover_shard(dir, shard as u32, &mut model)
+            .map_err(|e| CliError::Invalid(format!("shard {shard}: {e}")))?;
+        let report = slackvm_durable::fsck_shard(dir, shard as u32, &model, &mut fresh)
+            .map_err(|e| CliError::Invalid(format!("shard {shard}: {e}")))?;
+        if report.ok() {
+            let _ = writeln!(
+                out,
+                "  shard {shard}: OK  {} records re-derived, {} torn bytes discarded",
+                report.records_checked, report.truncated_bytes,
+            );
+        } else {
+            for m in &report.mismatches {
+                let _ = writeln!(out, "  shard {shard}: MISMATCH  {m}");
+            }
+            broken.push(shard.to_string());
+        }
+    }
+    if broken.is_empty() {
+        out.push_str("fsck: clean — recovered state matches the committed history\n");
+        Ok(out)
+    } else {
+        Err(CliError::Invalid(format!(
+            "{out}fsck: shard(s) {} diverge from the committed history",
+            broken.join(", ")
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1247,7 +1409,13 @@ mod tests {
         .unwrap();
         for model in ["shared", "dedicated"] {
             let incr = run(&[
-                "replay", "--trace", path_str, "--model", model, "--index", "incremental",
+                "replay",
+                "--trace",
+                path_str,
+                "--model",
+                model,
+                "--index",
+                "incremental",
             ])
             .unwrap();
             let naive = run(&[
@@ -1619,7 +1787,13 @@ mod tests {
         // nonexistent path proves the ordering. Unknown policies get a
         // one-line error naming the options.
         let err = run(&[
-            "replay", "--trace", "/nonexistent/x.json", "--model", "shared", "--policy", "magic",
+            "replay",
+            "--trace",
+            "/nonexistent/x.json",
+            "--model",
+            "shared",
+            "--policy",
+            "magic",
         ])
         .unwrap_err()
         .to_string();
@@ -1643,7 +1817,11 @@ mod tests {
 
         // Same treatment for the index mode.
         let err = run(&[
-            "replay", "--trace", "/nonexistent/x.json", "--index", "hashed",
+            "replay",
+            "--trace",
+            "/nonexistent/x.json",
+            "--index",
+            "hashed",
         ])
         .unwrap_err()
         .to_string();
@@ -1653,15 +1831,28 @@ mod tests {
 
     #[test]
     fn serve_and_bombard_reject_bad_names_before_binding() {
-        let err = run(&["serve", "--policy", "magic"]).unwrap_err().to_string();
-        assert!(err.contains("magic") && err.contains("progress+bestfit"), "{err}");
+        let err = run(&["serve", "--policy", "magic"])
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("magic") && err.contains("progress+bestfit"),
+            "{err}"
+        );
         assert!(!err.contains('\n'), "error must be one line: {err}");
-        let err = run(&["serve", "--index", "hashed"]).unwrap_err().to_string();
-        assert!(err.contains("unknown index mode") && err.contains("incremental"), "{err}");
+        let err = run(&["serve", "--index", "hashed"])
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("unknown index mode") && err.contains("incremental"),
+            "{err}"
+        );
         let err = run(&["bombard", "--scenario", "rush-hour"])
             .unwrap_err()
             .to_string();
-        assert!(err.contains("rush-hour") && err.contains("paper-week-f"), "{err}");
+        assert!(
+            err.contains("rush-hour") && err.contains("paper-week-f"),
+            "{err}"
+        );
         let err = run(&["bombard", "--shutdown"]).unwrap_err().to_string();
         assert!(err.contains("--addr"), "{err}");
     }
@@ -1697,14 +1888,16 @@ mod tests {
         // --prom` without a series file.
         let exposition = std::fs::read_to_string(&prom).unwrap();
         slackvm::telemetry::prometheus::validate(&exposition).unwrap();
-        assert!(exposition.contains("slackvm_serve_admitted"), "{exposition}");
+        assert!(
+            exposition.contains("slackvm_serve_admitted"),
+            "{exposition}"
+        );
         assert!(exposition.contains("slackvm_build_info{"), "{exposition}");
         let dash = run(&["obs", "--prom", prom.to_str().unwrap()]).unwrap();
         assert!(dash.contains("valid Prometheus exposition"), "{dash}");
 
         // The sampler wrote a readable CSV.
-        let store =
-            TimeSeriesStore::from_csv(&std::fs::read_to_string(&series).unwrap()).unwrap();
+        let store = TimeSeriesStore::from_csv(&std::fs::read_to_string(&series).unwrap()).unwrap();
         assert!(store.series("serve.inflight").is_some());
 
         // Open loop at a modest rate also completes.
@@ -1812,6 +2005,93 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("JSON"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_traces_fail_with_one_line_errors_naming_the_file() {
+        let dir = std::env::temp_dir().join(format!("slackvm-cli-badtrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A trace chopped mid-write and one that is not JSON at all.
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, r#"{"arrivals": [{"at": 0, "vm""#).unwrap();
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, [0u8, 159, 146, 150, 255, 0, 17]).unwrap();
+        for path in [&truncated, &garbage] {
+            let path = path.to_str().unwrap();
+            let msg = run(&["replay", "--trace", path, "--model", "shared"])
+                .unwrap_err()
+                .to_string();
+            assert!(msg.contains(path), "error must name the file: {msg}");
+            assert!(!msg.contains('\n'), "error must be one line: {msg}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_flags_without_a_state_dir_are_rejected() {
+        let err = run(&["serve", "--fsync", "off"]).unwrap_err().to_string();
+        assert!(err.contains("--fsync requires --state-dir"), "{err}");
+        let err = run(&["serve", "--retain", "5"]).unwrap_err().to_string();
+        assert!(err.contains("--retain requires --state-dir"), "{err}");
+        // Bad fsync policy names fail before any socket is bound.
+        let err = run(&["serve", "--state-dir", "/tmp/x", "--fsync", "always"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("every, interval, off"), "{err}");
+        // Bombard never journals — the flags are unknown there.
+        let err = run(&["bombard", "--state-dir", "/tmp/x"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("state-dir"), "{err}");
+    }
+
+    #[test]
+    fn recover_and_fsck_audit_a_state_directory_written_by_the_service() {
+        use slackvm_serve::{DurableOptions, ModelSpec, Op, ServeConfig};
+        let dir = std::env::temp_dir().join(format!("slackvm-cli-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            shards: 2,
+            queue_depth: 64,
+            batch_max: 16,
+            deadline: None,
+            deterministic: false,
+            model: ModelSpec::default_shared(),
+            index: IndexMode::Incremental,
+            sample_interval_ms: None,
+            durable: Some(DurableOptions::new(&dir)),
+        };
+        let svc = slackvm_serve::PlacementService::start(config).unwrap();
+        for i in 0..10u64 {
+            svc.call(Op::Place {
+                id: VmId(i),
+                spec: VmSpec::of(2, gib(4), OversubLevel::of(2)),
+            })
+            .unwrap();
+        }
+        svc.call(Op::Remove { id: VmId(4) }).unwrap();
+        svc.stop();
+
+        let dir_str = dir.to_str().unwrap().to_string();
+        let out = run(&["recover", "--dir", &dir_str]).unwrap();
+        assert!(out.contains("2 shard(s)"), "{out}");
+        assert!(
+            out.contains("shard 0:") && out.contains("shard 1:"),
+            "{out}"
+        );
+        assert!(out.contains("torn 0 B"), "{out}");
+        let out = run(&["fsck", "--dir", &dir_str]).unwrap();
+        assert!(out.contains("fsck: clean"), "{out}");
+        assert!(out.contains("OK"), "{out}");
+
+        // A directory with no manifest is an error, not a panic.
+        let empty = dir.join("not-a-state-dir");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&["recover", "--dir", empty.to_str().unwrap()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("MANIFEST"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

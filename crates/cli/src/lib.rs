@@ -20,6 +20,8 @@
 //! | `recommend` | dynamic oversubscription-level recommendation |
 //! | `serve` | online placement service over TCP (line JSON) |
 //! | `bombard` | load generator for a placement service |
+//! | `recover` | offline recovery report for a serve state directory |
+//! | `fsck` | verify a state directory against its committed history |
 //!
 //! Command implementations return their report as a `String`, keeping
 //! them unit-testable; `main` only prints.
@@ -54,6 +56,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "recommend" => commands::recommend(args),
         "serve" => commands::serve(args),
         "bombard" => commands::bombard(args),
+        "recover" => commands::recover(args),
+        "fsck" => commands::fsck(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -83,6 +87,8 @@ mod tests {
             "calibrate",
             "serve",
             "bombard",
+            "recover",
+            "fsck",
         ] {
             assert!(help.contains(cmd), "help misses {cmd}");
         }

@@ -1,0 +1,361 @@
+//! Little-endian binary encodings of the durable on-disk payloads.
+//!
+//! Both the WAL record and the snapshot body use a fixed hand-rolled
+//! layout rather than a serialization framework: the bytes on disk are
+//! a compatibility contract, and integers-in-known-positions keep that
+//! contract auditable with `xxd`. Decoding validates every domain
+//! constraint (oversubscription level range, non-empty specs) so a
+//! CRC-passing but semantically impossible frame is still rejected.
+
+use slackvm_model::{OversubLevel, PmId, VmId, VmSpec};
+use slackvm_sim::{ClusterState, ModelState, PlacementRecord};
+
+use crate::wal::{WalOp, WalOutcome, WalRecord};
+
+/// A bounds-checked reader over an encoded payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Asserts the payload was fully consumed.
+    pub fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after a complete value",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: &VmSpec) {
+    put_u32(out, spec.vcpus());
+    put_u64(out, spec.mem_mib());
+    put_u32(out, spec.level.ratio());
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<VmSpec, String> {
+    let vcpus = r.u32()?;
+    let mem_mib = r.u64()?;
+    let level = OversubLevel::new(r.u32()?).map_err(|e| e.to_string())?;
+    VmSpec::new(vcpus, mem_mib, level).map_err(|e| e.to_string())
+}
+
+const OP_PLACE: u8 = 0;
+const OP_REMOVE: u8 = 1;
+const OP_RESIZE: u8 = 2;
+
+const OUT_PLACED: u8 = 0;
+const OUT_REMOVED: u8 = 1;
+const OUT_RESIZED: u8 = 2;
+const OUT_REJECTED: u8 = 3;
+
+/// Encodes a WAL record payload (the frame header is added by the
+/// writer).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, rec.seq);
+    match &rec.op {
+        WalOp::Place { id, spec } => {
+            out.push(OP_PLACE);
+            put_u64(&mut out, id.0);
+            put_spec(&mut out, spec);
+        }
+        WalOp::Remove { id } => {
+            out.push(OP_REMOVE);
+            put_u64(&mut out, id.0);
+        }
+        WalOp::Resize { id, vcpus, mem_mib } => {
+            out.push(OP_RESIZE);
+            put_u64(&mut out, id.0);
+            put_u32(&mut out, *vcpus);
+            put_u64(&mut out, *mem_mib);
+        }
+    }
+    match &rec.outcome {
+        WalOutcome::Placed(pm) => {
+            out.push(OUT_PLACED);
+            put_u32(&mut out, pm.0);
+        }
+        WalOutcome::Removed(pm) => {
+            out.push(OUT_REMOVED);
+            put_u32(&mut out, pm.0);
+        }
+        WalOutcome::Resized { accepted } => {
+            out.push(OUT_RESIZED);
+            out.push(*accepted as u8);
+        }
+        WalOutcome::Rejected => out.push(OUT_REJECTED),
+    }
+    out
+}
+
+/// Decodes a WAL record payload.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let op = match r.u8()? {
+        OP_PLACE => WalOp::Place {
+            id: VmId(r.u64()?),
+            spec: read_spec(&mut r)?,
+        },
+        OP_REMOVE => WalOp::Remove { id: VmId(r.u64()?) },
+        OP_RESIZE => WalOp::Resize {
+            id: VmId(r.u64()?),
+            vcpus: r.u32()?,
+            mem_mib: r.u64()?,
+        },
+        tag => return Err(format!("unknown op tag {tag}")),
+    };
+    let outcome = match r.u8()? {
+        OUT_PLACED => WalOutcome::Placed(PmId(r.u32()?)),
+        OUT_REMOVED => WalOutcome::Removed(PmId(r.u32()?)),
+        OUT_RESIZED => WalOutcome::Resized {
+            accepted: match r.u8()? {
+                0 => false,
+                1 => true,
+                v => return Err(format!("bad resize verdict byte {v}")),
+            },
+        },
+        OUT_REJECTED => WalOutcome::Rejected,
+        tag => return Err(format!("unknown outcome tag {tag}")),
+    };
+    r.finish()?;
+    Ok(WalRecord { seq, op, outcome })
+}
+
+const STATE_SHARED: u8 = 0;
+const STATE_DEDICATED: u8 = 1;
+
+fn put_cluster(out: &mut Vec<u8>, c: &ClusterState) {
+    put_u32(out, c.opened);
+    put_u32(out, c.placements.len() as u32);
+    for p in &c.placements {
+        put_u64(out, p.vm.0);
+        put_spec(out, &p.spec);
+        put_u32(out, p.pm.0);
+    }
+}
+
+fn read_cluster(r: &mut Reader<'_>) -> Result<ClusterState, String> {
+    let opened = r.u32()?;
+    let count = r.u32()?;
+    let mut placements = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let vm = VmId(r.u64()?);
+        let spec = read_spec(r)?;
+        let pm = PmId(r.u32()?);
+        placements.push(PlacementRecord { vm, spec, pm });
+    }
+    Ok(ClusterState { opened, placements })
+}
+
+/// Encodes a snapshot body.
+pub fn encode_state(state: &ModelState) -> Vec<u8> {
+    let mut out = Vec::new();
+    match state {
+        ModelState::Shared(c) => {
+            out.push(STATE_SHARED);
+            put_cluster(&mut out, c);
+        }
+        ModelState::Dedicated(levels) => {
+            out.push(STATE_DEDICATED);
+            put_u32(&mut out, levels.len() as u32);
+            for (level, c) in levels {
+                put_u32(&mut out, level.ratio());
+                put_cluster(&mut out, c);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a snapshot body.
+pub fn decode_state(payload: &[u8]) -> Result<ModelState, String> {
+    let mut r = Reader::new(payload);
+    let state = match r.u8()? {
+        STATE_SHARED => ModelState::Shared(read_cluster(&mut r)?),
+        STATE_DEDICATED => {
+            let n = r.u32()?;
+            let mut levels = Vec::with_capacity(n.min(64) as usize);
+            for _ in 0..n {
+                let level = OversubLevel::new(r.u32()?).map_err(|e| e.to_string())?;
+                levels.push((level, read_cluster(&mut r)?));
+            }
+            ModelState::Dedicated(levels)
+        }
+        tag => return Err(format!("unknown state tag {tag}")),
+    };
+    r.finish()?;
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::gib;
+
+    fn spec(vcpus: u32, level: u32) -> VmSpec {
+        VmSpec::of(vcpus, gib(vcpus as u64 * 4), OversubLevel::of(level))
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = [
+            WalRecord {
+                seq: 1,
+                op: WalOp::Place {
+                    id: VmId(7),
+                    spec: spec(4, 3),
+                },
+                outcome: WalOutcome::Placed(PmId(2)),
+            },
+            WalRecord {
+                seq: 2,
+                op: WalOp::Remove { id: VmId(7) },
+                outcome: WalOutcome::Removed(PmId(2)),
+            },
+            WalRecord {
+                seq: 3,
+                op: WalOp::Resize {
+                    id: VmId(9),
+                    vcpus: 8,
+                    mem_mib: gib(16),
+                },
+                outcome: WalOutcome::Resized { accepted: false },
+            },
+            WalRecord {
+                seq: u64::MAX,
+                op: WalOp::Place {
+                    id: VmId(u64::MAX),
+                    spec: spec(1, 1),
+                },
+                outcome: WalOutcome::Rejected,
+            },
+        ];
+        for rec in &records {
+            let bytes = encode_record(rec);
+            assert_eq!(&decode_record(&bytes).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let rec = WalRecord {
+            seq: 5,
+            op: WalOp::Remove { id: VmId(1) },
+            outcome: WalOutcome::Removed(PmId(0)),
+        };
+        let bytes = encode_record(&rec);
+        for cut in 0..bytes.len() {
+            assert!(decode_record(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_record(&padded).is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn impossible_domain_values_fail_decode() {
+        // A zero-vCPU spec and a level-0 ratio both pass CRC but must
+        // not construct.
+        let mut bad_level = encode_record(&WalRecord {
+            seq: 1,
+            op: WalOp::Place {
+                id: VmId(1),
+                spec: spec(1, 2),
+            },
+            outcome: WalOutcome::Rejected,
+        });
+        // level ratio sits in the last 4 bytes of the spec, before the
+        // outcome tag (1 byte from the end).
+        let n = bad_level.len();
+        bad_level[n - 5..n - 1].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_record(&bad_level).is_err());
+    }
+
+    #[test]
+    fn states_roundtrip() {
+        let shared = ModelState::Shared(ClusterState {
+            opened: 3,
+            placements: vec![
+                PlacementRecord {
+                    vm: VmId(1),
+                    spec: spec(2, 1),
+                    pm: PmId(0),
+                },
+                PlacementRecord {
+                    vm: VmId(2),
+                    spec: spec(4, 3),
+                    pm: PmId(2),
+                },
+            ],
+        });
+        let dedicated = ModelState::Dedicated(vec![
+            (OversubLevel::of(1), ClusterState::default()),
+            (
+                OversubLevel::of(3),
+                ClusterState {
+                    opened: 1,
+                    placements: vec![PlacementRecord {
+                        vm: VmId(9),
+                        spec: spec(1, 3),
+                        pm: PmId(0),
+                    }],
+                },
+            ),
+        ]);
+        for state in [shared, dedicated] {
+            let bytes = encode_state(&state);
+            assert_eq!(decode_state(&bytes).unwrap(), state);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Durability-layer errors.
+
+use thiserror::Error;
+
+/// Everything that can go wrong opening, writing, or recovering a
+/// shard's durable state.
+#[derive(Debug, Error)]
+pub enum DurableError {
+    /// An I/O operation failed; `context` names the file or step.
+    #[error("{context}: {source}")]
+    Io {
+        /// What was being done (usually a path).
+        context: String,
+        /// The underlying error.
+        #[source]
+        source: std::io::Error,
+    },
+
+    /// A file's contents failed structural validation beyond the point
+    /// torn-tail truncation can repair (bad magic, impossible field).
+    #[error("corrupt {what}: {detail}")]
+    Corrupt {
+        /// Which artifact (e.g. `"snapshot snap-…"`).
+        what: String,
+        /// What failed.
+        detail: String,
+    },
+
+    /// The manifest is missing, unreadable, or inconsistent with the
+    /// service configuration.
+    #[error("manifest: {0}")]
+    Manifest(String),
+
+    /// Restoring a snapshot into a deployment model failed.
+    #[error("snapshot restore: {0}")]
+    Restore(String),
+
+    /// Replaying a WAL record against the restored model failed — the
+    /// journal and snapshot disagree about history.
+    #[error("wal replay at seq {seq}: {detail}")]
+    Replay {
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl DurableError {
+    /// Wraps an I/O error with the path or step it occurred in.
+    pub fn io(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> DurableError {
+        let context = context.into();
+        move |source| DurableError::Io { context, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let err = DurableError::io("wal.log")(std::io::Error::other("disk on fire"));
+        assert!(err.to_string().contains("wal.log"), "{err}");
+        let err = DurableError::Replay {
+            seq: 7,
+            detail: "mismatched outcome".into(),
+        };
+        assert!(err.to_string().contains("seq 7"), "{err}");
+    }
+}

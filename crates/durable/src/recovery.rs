@@ -1,0 +1,446 @@
+//! Crash recovery and offline verification.
+//!
+//! [`recover_shard`] rebuilds a shard's deployment model from its state
+//! directory: restore the newest readable snapshot, then replay the
+//! journal tail (records with `seq` beyond the snapshot) through the
+//! *directed* placement primitive — each logged decision is re-applied
+//! to the PM it was committed to, not re-decided.
+//!
+//! [`fsck_shard`] is the adversarial counterpart: it replays the whole
+//! journal from genesis through the model's ordinary *decision* path
+//! and checks that every decision comes out the same — the
+//! decision-determinism property the differential suites prove — and
+//! that the final state equals the recovered one under
+//! [`ModelState::normalized`]. A pass means the snapshot+tail recovery
+//! is byte-for-byte equivalent to the service's actual committed
+//! history.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use slackvm_sim::{DeploymentModel, ModelState, SimError};
+
+use crate::error::DurableError;
+use crate::snapshot::load_latest_snapshot;
+use crate::wal::{scan_wal, WalOp, WalOutcome, WalRecord, WAL_FILE};
+
+/// `<root>/shard-<n>`, the per-shard state directory.
+pub fn shard_dir(root: &Path, shard: u32) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+/// What [`recover_shard`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Which shard.
+    pub shard: u32,
+    /// Sequence number of the restored snapshot, if one was usable.
+    pub snapshot_seq: Option<u64>,
+    /// Records in the journal's valid prefix (from genesis).
+    pub records_total: u64,
+    /// Records actually replayed (beyond the snapshot).
+    pub records_replayed: u64,
+    /// Journal bytes in the valid prefix.
+    pub wal_bytes: u64,
+    /// Torn-tail bytes discarded by the scan.
+    pub truncated_bytes: u64,
+    /// Highest committed sequence number (0 for a fresh shard) — the
+    /// writer resumes at `last_seq + 1`.
+    pub last_seq: u64,
+    /// Wall-clock recovery time.
+    pub elapsed: Duration,
+}
+
+/// Rebuilds `model` from `shard`'s state under `root`. The model must
+/// be freshly built from the manifest (empty); a missing or empty
+/// directory recovers to the empty state.
+pub fn recover_shard(
+    root: &Path,
+    shard: u32,
+    model: &mut DeploymentModel,
+) -> Result<RecoveryReport, DurableError> {
+    let start = Instant::now();
+    let dir = shard_dir(root, shard);
+    let snapshot = load_latest_snapshot(&dir)?;
+    let snapshot_seq = snapshot.as_ref().map(|(seq, _)| *seq);
+    if let Some((_, state)) = &snapshot {
+        model.restore_state(state).map_err(DurableError::Restore)?;
+    }
+    let scan = scan_wal(&dir.join(WAL_FILE))?;
+    let horizon = snapshot_seq.unwrap_or(0);
+    let mut replayed = 0u64;
+    for record in &scan.records {
+        if record.seq <= horizon {
+            continue;
+        }
+        apply_record(model, record)?;
+        replayed += 1;
+    }
+    model
+        .check_invariants()
+        .map_err(|e| DurableError::Restore(format!("post-recovery invariants: {e}")))?;
+    Ok(RecoveryReport {
+        shard,
+        snapshot_seq,
+        records_total: scan.records.len() as u64,
+        records_replayed: replayed,
+        wal_bytes: scan.valid_len,
+        truncated_bytes: scan.truncated_bytes(),
+        last_seq: scan.last_seq().unwrap_or(0).max(horizon),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Re-applies one committed decision to `model`, directed to the PM it
+/// was logged against.
+fn apply_record(model: &mut DeploymentModel, record: &WalRecord) -> Result<(), DurableError> {
+    let replay = |detail: String| DurableError::Replay {
+        seq: record.seq,
+        detail,
+    };
+    match (&record.op, &record.outcome) {
+        (WalOp::Place { id, spec }, WalOutcome::Placed(pm)) => model
+            .restore_placement(*id, *spec, *pm)
+            .map_err(|e| replay(format!("directed place of {id} on {pm}: {e}"))),
+        (WalOp::Place { .. }, WalOutcome::Rejected) => Ok(()),
+        (WalOp::Remove { id }, WalOutcome::Removed(pm)) => match model.remove(*id) {
+            Ok(actual) if actual == *pm => Ok(()),
+            Ok(actual) => Err(replay(format!(
+                "remove of {id} came off {actual}, journal says {pm}"
+            ))),
+            Err(e) => Err(replay(format!("remove of {id}: {e}"))),
+        },
+        (WalOp::Resize { id, vcpus, mem_mib }, WalOutcome::Resized { accepted: true }) => model
+            .resize(*id, *vcpus, *mem_mib)
+            .map_err(|e| replay(format!("accepted resize of {id}: {e}"))),
+        (WalOp::Resize { .. }, WalOutcome::Resized { accepted: false }) => Ok(()),
+        (op, outcome) => Err(replay(format!(
+            "op/outcome pair is impossible: {op:?} / {outcome:?}"
+        ))),
+    }
+}
+
+/// Cap on itemized mismatches in an [`FsckReport`].
+const MAX_MISMATCHES: usize = 32;
+
+/// What [`fsck_shard`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Which shard.
+    pub shard: u32,
+    /// Journal records re-derived.
+    pub records_checked: u64,
+    /// Torn-tail bytes the scan discarded.
+    pub truncated_bytes: u64,
+    /// Every divergence found (capped at [`MAX_MISMATCHES`] itemized
+    /// entries plus a summary line).
+    pub mismatches: Vec<String>,
+}
+
+impl FsckReport {
+    /// Whether the recovered state is provably the committed history.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Verifies `recovered` (the output of [`recover_shard`]) against a
+/// from-genesis replay of the journal through `fresh` — a second model
+/// built from the same manifest, still empty. Every journal decision
+/// is re-derived through the ordinary decision path and compared to
+/// what was logged; at the end the two states must normalize
+/// identically.
+pub fn fsck_shard(
+    root: &Path,
+    shard: u32,
+    recovered: &DeploymentModel,
+    fresh: &mut DeploymentModel,
+) -> Result<FsckReport, DurableError> {
+    let dir = shard_dir(root, shard);
+    let scan = scan_wal(&dir.join(WAL_FILE))?;
+    let mut mismatches = Vec::new();
+    let mut suppressed = 0usize;
+    let mut push = |mismatches: &mut Vec<String>, msg: String| {
+        if mismatches.len() < MAX_MISMATCHES {
+            mismatches.push(msg);
+        } else {
+            suppressed += 1;
+        }
+    };
+    for record in &scan.records {
+        let seq = record.seq;
+        match &record.op {
+            WalOp::Place { id, spec } => {
+                let derived = fresh.deploy(*id, *spec);
+                match (&derived, &record.outcome) {
+                    (Ok(pm), WalOutcome::Placed(logged)) if pm == logged => {}
+                    (
+                        Err(SimError::DeploymentFailed(_) | SimError::Unsatisfiable(_)),
+                        WalOutcome::Rejected,
+                    ) => {}
+                    _ => push(
+                        &mut mismatches,
+                        format!(
+                            "seq {seq}: place {id} re-derived as {derived:?}, journal says {:?}",
+                            record.outcome
+                        ),
+                    ),
+                }
+            }
+            WalOp::Remove { id } => {
+                let derived = fresh.remove(*id);
+                match (&derived, &record.outcome) {
+                    (Ok(pm), WalOutcome::Removed(logged)) if pm == logged => {}
+                    _ => push(
+                        &mut mismatches,
+                        format!(
+                            "seq {seq}: remove {id} re-derived as {derived:?}, journal says {:?}",
+                            record.outcome
+                        ),
+                    ),
+                }
+            }
+            WalOp::Resize { id, vcpus, mem_mib } => {
+                let derived = fresh.resize(*id, *vcpus, *mem_mib);
+                let accepted = match &record.outcome {
+                    WalOutcome::Resized { accepted } => Some(*accepted),
+                    _ => None,
+                };
+                match (&derived, accepted) {
+                    (Ok(()), Some(true)) => {}
+                    (
+                        Err(SimError::DeploymentFailed(_) | SimError::Unsatisfiable(_)),
+                        Some(false),
+                    ) => {}
+                    _ => push(
+                        &mut mismatches,
+                        format!(
+                            "seq {seq}: resize {id} re-derived as {derived:?}, journal says {:?}",
+                            record.outcome
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+    if suppressed > 0 {
+        mismatches.push(format!("... and {suppressed} more decision mismatches"));
+    }
+
+    let replayed = fresh.capture_state().normalized();
+    let live = recovered.capture_state().normalized();
+    if replayed != live {
+        mismatches.push(state_diff(&live, &replayed));
+    }
+    if let Err(e) = fresh.check_invariants() {
+        mismatches.push(format!("replayed model violates invariants: {e}"));
+    }
+    if let Err(e) = recovered.check_invariants() {
+        mismatches.push(format!("recovered model violates invariants: {e}"));
+    }
+    Ok(FsckReport {
+        shard,
+        records_checked: scan.records.len() as u64,
+        truncated_bytes: scan.truncated_bytes(),
+        mismatches,
+    })
+}
+
+/// A one-line summary of how two normalized states differ.
+fn state_diff(live: &ModelState, replayed: &ModelState) -> String {
+    let mut msg = format!(
+        "recovered state diverges from genesis replay: {} VMs on {} PMs recovered vs {} VMs on {} PMs replayed",
+        live.num_vms(),
+        live.opened_pms(),
+        replayed.num_vms(),
+        replayed.opened_pms(),
+    );
+    let lives: Vec<_> = live.placements().collect();
+    let reps: Vec<_> = replayed.placements().collect();
+    for (a, b) in lives.iter().zip(reps.iter()) {
+        if a != b {
+            msg.push_str(&format!("; first divergence: {a:?} vs {b:?}"));
+            break;
+        }
+    }
+    msg
+}
+
+// The recovery/fsck integration tests live in the workspace-level
+// `tests/durable_recovery.rs`, which exercises them end-to-end against
+// real deployment models; snapshot and WAL edge cases are unit-tested
+// in their own modules.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use crate::wal::WalWriter;
+    use slackvm_model::{gib, OversubLevel, PmId, VmId, VmSpec};
+    use slackvm_sched::PlacementPolicy;
+    use slackvm_sim::SharedDeployment;
+    use slackvm_topology::topology_from_spec;
+    use std::sync::Arc;
+
+    fn fresh_model() -> DeploymentModel {
+        let topo = Arc::new(topology_from_spec("cores=8").unwrap());
+        DeploymentModel::Shared(SharedDeployment::with_policy(
+            topo,
+            gib(32),
+            PlacementPolicy::FirstFit,
+        ))
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("slackvm-recover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> VmSpec {
+        VmSpec::of(2, gib(4), OversubLevel::of(2))
+    }
+
+    #[test]
+    fn empty_and_missing_directories_recover_to_genesis() {
+        let root = temp_root("empty");
+        let mut model = fresh_model();
+        let report = recover_shard(&root, 0, &mut model).unwrap();
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.last_seq, 0);
+        assert_eq!(model.opened_pms(), 0);
+        // Same with an existing but empty shard dir.
+        std::fs::create_dir_all(shard_dir(&root, 1)).unwrap();
+        let report = recover_shard(&root, 1, &mut fresh_model()).unwrap();
+        assert_eq!(report.snapshot_seq, None);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn wal_only_snapshot_only_and_combined_recoveries_agree() {
+        let root = temp_root("agree");
+        // Build reference history on a live model, journaling as the
+        // shard would.
+        let mut live = fresh_model();
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut wal = WalWriter::open(&dir.join(WAL_FILE), 0, crate::FsyncPolicy::Off).unwrap();
+        let mut seq = 0u64;
+        for i in 0..6u64 {
+            let id = VmId(i);
+            let pm = live.deploy(id, spec()).unwrap();
+            seq += 1;
+            wal.append(&WalRecord {
+                seq,
+                op: WalOp::Place { id, spec: spec() },
+                outcome: WalOutcome::Placed(pm),
+            })
+            .unwrap();
+            if i == 3 {
+                // Snapshot mid-history: records 1..=4 covered.
+                write_snapshot(&dir, seq, &live.capture_state()).unwrap();
+            }
+        }
+        let pm = live.remove(VmId(2)).unwrap();
+        seq += 1;
+        wal.append(&WalRecord {
+            seq,
+            op: WalOp::Remove { id: VmId(2) },
+            outcome: WalOutcome::Removed(pm),
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Combined: snapshot at 4 + tail 5..=7.
+        let mut recovered = fresh_model();
+        let report = recover_shard(&root, 0, &mut recovered).unwrap();
+        assert_eq!(report.snapshot_seq, Some(4));
+        assert_eq!(report.records_total, 7);
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.last_seq, 7);
+        assert_eq!(
+            recovered.capture_state().normalized(),
+            live.capture_state().normalized()
+        );
+
+        // fsck proves the recovery equals the committed history.
+        let fsck = fsck_shard(&root, 0, &recovered, &mut fresh_model()).unwrap();
+        assert!(fsck.ok(), "{:?}", fsck.mismatches);
+        assert_eq!(fsck.records_checked, 7);
+
+        // WAL-only: delete snapshots, recover again.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "snap") {
+                std::fs::remove_file(p).unwrap();
+            }
+        }
+        let mut wal_only = fresh_model();
+        let report = recover_shard(&root, 0, &mut wal_only).unwrap();
+        assert_eq!(report.snapshot_seq, None);
+        assert_eq!(report.records_replayed, 7);
+        assert_eq!(
+            wal_only.capture_state().normalized(),
+            live.capture_state().normalized()
+        );
+
+        // Snapshot-only: final snapshot, truncate the WAL away.
+        write_snapshot(&dir, seq, &live.capture_state()).unwrap();
+        std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+        let mut snap_only = fresh_model();
+        let report = recover_shard(&root, 0, &mut snap_only).unwrap();
+        assert_eq!(report.snapshot_seq, Some(7));
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(
+            snap_only.capture_state().normalized(),
+            live.capture_state().normalized()
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fsck_flags_a_doctored_journal() {
+        let root = temp_root("doctored");
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut live = fresh_model();
+        let pm = live.deploy(VmId(1), spec()).unwrap();
+        let mut wal = WalWriter::open(&dir.join(WAL_FILE), 0, crate::FsyncPolicy::Off).unwrap();
+        // Journal lies: claims the VM landed one PM over.
+        wal.append(&WalRecord {
+            seq: 1,
+            op: WalOp::Place {
+                id: VmId(1),
+                spec: spec(),
+            },
+            outcome: WalOutcome::Placed(PmId(pm.0 + 1)),
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let fsck = fsck_shard(&root, 0, &live, &mut fresh_model()).unwrap();
+        assert!(!fsck.ok());
+        assert!(
+            fsck.mismatches.iter().any(|m| m.contains("seq 1")),
+            "{:?}",
+            fsck.mismatches
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn impossible_op_outcome_pairs_fail_replay() {
+        let mut model = fresh_model();
+        let err = apply_record(
+            &mut model,
+            &WalRecord {
+                seq: 9,
+                op: WalOp::Remove { id: VmId(1) },
+                outcome: WalOutcome::Rejected,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("seq 9"), "{err}");
+    }
+}

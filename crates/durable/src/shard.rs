@@ -1,0 +1,245 @@
+//! The service-facing durability handle: one [`ShardDurable`] per
+//! shard worker, owning that shard's journal writer and snapshot
+//! cadence.
+//!
+//! The worker's contract is strict write-ahead ordering: it calls
+//! [`ShardDurable::append`] for every committed decision in a batch and
+//! [`ShardDurable::commit`] *before* releasing any of the batch's
+//! replies — a client can only observe a decision after it is durable
+//! (to the extent the configured fsync policy promises).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use slackvm_sim::DeploymentModel;
+use slackvm_telemetry::FsyncPolicy;
+
+use crate::error::DurableError;
+use crate::recovery::{recover_shard, shard_dir, RecoveryReport};
+use crate::snapshot::{prune_snapshots, write_snapshot};
+use crate::wal::{WalOp, WalOutcome, WalRecord, WalWriter, WAL_FILE};
+
+/// How a service persists its decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Root state directory (holds `MANIFEST` and `shard-N/`).
+    pub dir: PathBuf,
+    /// When journal batches become durability points.
+    pub fsync: FsyncPolicy,
+    /// Snapshot after this many appended records (per shard).
+    pub snapshot_every: u64,
+    /// Snapshots kept per shard (oldest pruned first, newest always
+    /// kept).
+    pub retain: usize,
+}
+
+impl DurableOptions {
+    /// Durability rooted at `dir` with the safe defaults: fsync every
+    /// batch, snapshot every 8192 records, keep 3 snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Every,
+            snapshot_every: 8192,
+            retain: 3,
+        }
+    }
+}
+
+/// One shard's durable state: journal writer plus snapshot cadence.
+pub struct ShardDurable {
+    dir: PathBuf,
+    wal: WalWriter,
+    next_seq: u64,
+    since_snapshot: u64,
+    snapshot_every: u64,
+    retain: usize,
+}
+
+impl ShardDurable {
+    /// Opens shard `shard`'s state under `opts.dir`, recovering `model`
+    /// from snapshot + journal tail (both may be absent — a fresh shard
+    /// recovers to genesis), truncating any torn journal tail, and
+    /// positioning the writer after the last committed record.
+    pub fn open(
+        opts: &DurableOptions,
+        shard: u32,
+        model: &mut DeploymentModel,
+    ) -> Result<(ShardDurable, RecoveryReport), DurableError> {
+        let dir = shard_dir(&opts.dir, shard);
+        std::fs::create_dir_all(&dir).map_err(DurableError::io(dir.display().to_string()))?;
+        let report = recover_shard(&opts.dir, shard, model)?;
+        let wal = WalWriter::open(&dir.join(WAL_FILE), report.wal_bytes, opts.fsync)?;
+        Ok((
+            ShardDurable {
+                dir,
+                wal,
+                next_seq: report.last_seq + 1,
+                since_snapshot: report.records_replayed,
+                snapshot_every: opts.snapshot_every.max(1),
+                retain: opts.retain,
+            },
+            report,
+        ))
+    }
+
+    /// Journals one committed decision; returns the frame size in
+    /// bytes. Not durable until [`commit`](Self::commit).
+    pub fn append(&mut self, op: WalOp, outcome: WalOutcome) -> Result<u64, DurableError> {
+        let record = WalRecord {
+            seq: self.next_seq,
+            op,
+            outcome,
+        };
+        let bytes = self.wal.append(&record)?;
+        self.next_seq += 1;
+        self.since_snapshot += 1;
+        Ok(bytes)
+    }
+
+    /// Makes the batch durable per the fsync policy; call before
+    /// releasing the batch's replies. Returns the fsync duration when
+    /// one happened.
+    pub fn commit(&mut self) -> Result<Option<Duration>, DurableError> {
+        self.wal.commit()
+    }
+
+    /// Takes a snapshot if the cadence says one is due. Returns whether
+    /// it did.
+    pub fn maybe_snapshot(&mut self, model: &DeploymentModel) -> Result<bool, DurableError> {
+        if self.since_snapshot < self.snapshot_every {
+            return Ok(false);
+        }
+        self.snapshot_now(model)?;
+        Ok(true)
+    }
+
+    /// Takes a snapshot unconditionally (the drain-to-snapshot path of
+    /// a clean shutdown). The journal is fsynced through the snapshot's
+    /// sequence number *first*, so a snapshot can never claim records
+    /// the journal might lose.
+    pub fn snapshot_now(&mut self, model: &DeploymentModel) -> Result<(), DurableError> {
+        self.wal.sync()?;
+        write_snapshot(&self.dir, self.next_seq - 1, &model.capture_state())?;
+        prune_snapshots(&self.dir, self.retain)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Sequence number of the last journaled record (0 if none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Journal bytes appended by this handle since open.
+    pub fn appended_bytes(&self) -> u64 {
+        self.wal.appended_bytes()
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.wal.policy()
+    }
+}
+
+impl std::fmt::Debug for ShardDurable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardDurable")
+            .field("dir", &self.dir)
+            .field("next_seq", &self.next_seq)
+            .field("since_snapshot", &self.since_snapshot)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
+    use slackvm_sched::PlacementPolicy;
+    use slackvm_sim::SharedDeployment;
+    use slackvm_topology::topology_from_spec;
+    use std::sync::Arc;
+
+    fn fresh_model() -> DeploymentModel {
+        let topo = Arc::new(topology_from_spec("cores=8").unwrap());
+        DeploymentModel::Shared(SharedDeployment::with_policy(
+            topo,
+            gib(32),
+            PlacementPolicy::FirstFit,
+        ))
+    }
+
+    fn temp_opts(tag: &str) -> DurableOptions {
+        let dir = std::env::temp_dir().join(format!("slackvm-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurableOptions {
+            fsync: FsyncPolicy::Off,
+            ..DurableOptions::new(dir)
+        }
+    }
+
+    #[test]
+    fn decisions_survive_reopen_and_seq_resumes() {
+        let opts = temp_opts("reopen");
+        let spec = VmSpec::of(2, gib(4), OversubLevel::of(2));
+        let mut model = fresh_model();
+        let (mut durable, report) = ShardDurable::open(&opts, 0, &mut model).unwrap();
+        assert_eq!(report.last_seq, 0);
+        for i in 0..4u64 {
+            let pm = model.deploy(VmId(i), spec).unwrap();
+            durable
+                .append(WalOp::Place { id: VmId(i), spec }, WalOutcome::Placed(pm))
+                .unwrap();
+        }
+        durable.commit().unwrap();
+        assert_eq!(durable.last_seq(), 4);
+        assert!(durable.appended_bytes() > 0);
+        drop(durable);
+
+        let mut recovered = fresh_model();
+        let (durable, report) = ShardDurable::open(&opts, 0, &mut recovered).unwrap();
+        assert_eq!(report.records_replayed, 4);
+        assert_eq!(durable.last_seq(), 4);
+        assert_eq!(
+            recovered.capture_state().normalized(),
+            model.capture_state().normalized()
+        );
+        std::fs::remove_dir_all(&opts.dir).ok();
+    }
+
+    #[test]
+    fn snapshot_cadence_fires_and_bounds_tail_replay() {
+        let mut opts = temp_opts("cadence");
+        opts.snapshot_every = 3;
+        opts.retain = 1;
+        let spec = VmSpec::of(1, gib(2), OversubLevel::of(2));
+        let mut model = fresh_model();
+        let (mut durable, _) = ShardDurable::open(&opts, 0, &mut model).unwrap();
+        let mut fired = 0;
+        for i in 0..7u64 {
+            let pm = model.deploy(VmId(i), spec).unwrap();
+            durable
+                .append(WalOp::Place { id: VmId(i), spec }, WalOutcome::Placed(pm))
+                .unwrap();
+            durable.commit().unwrap();
+            if durable.maybe_snapshot(&model).unwrap() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 2, "records 3 and 6 cross the cadence");
+        drop(durable);
+        let mut recovered = fresh_model();
+        let (_, report) = ShardDurable::open(&opts, 0, &mut recovered).unwrap();
+        assert_eq!(report.snapshot_seq, Some(6));
+        assert_eq!(
+            report.records_replayed, 1,
+            "only the tail past the snapshot"
+        );
+        assert_eq!(
+            recovered.capture_state().normalized(),
+            model.capture_state().normalized()
+        );
+        std::fs::remove_dir_all(&opts.dir).ok();
+    }
+}

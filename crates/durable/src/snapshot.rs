@@ -1,0 +1,222 @@
+//! Shard snapshots: periodic checkpoints of the logical model state.
+//!
+//! A snapshot file is:
+//!
+//! ```text
+//! [magic: b"SLKSNAP1"][seq: u64 le][len: u32 le][crc32: u32 le][state payload]
+//! ```
+//!
+//! where `seq` is the journal sequence number the snapshot covers —
+//! recovery restores the newest readable snapshot and replays only WAL
+//! records with `seq` greater than it. Snapshots are written to a
+//! temporary file, fsynced, and renamed into place, so a crash
+//! mid-snapshot leaves at most a stale `.tmp` that is never considered.
+//! Retention keeps the newest `K`; corrupt or torn snapshots are
+//! skipped in favor of the next-newest readable one.
+//!
+//! Snapshotting never truncates the WAL: the journal from genesis is
+//! the evidence `slackvm fsck` replays. Snapshots bound recovery
+//! *time*, not disk.
+
+use std::fs::{self, File};
+use std::io::{ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use slackvm_sim::ModelState;
+
+use crate::codec;
+use crate::crc32::crc32;
+use crate::error::DurableError;
+
+/// Leading magic of every snapshot file (versioned: bump the trailing
+/// digit on layout changes).
+pub const SNAP_MAGIC: &[u8; 8] = b"SLKSNAP1";
+
+/// Extension of finished snapshots.
+pub const SNAP_EXT: &str = "snap";
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:020}.{SNAP_EXT}")
+}
+
+/// Sequence number encoded in a snapshot file name, if it is one.
+fn parse_snap_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// Writes a snapshot covering journal records `..= seq` into `dir`,
+/// atomically. Returns the final path.
+pub fn write_snapshot(dir: &Path, seq: u64, state: &ModelState) -> Result<PathBuf, DurableError> {
+    let payload = codec::encode_state(state);
+    let mut bytes = Vec::with_capacity(24 + payload.len());
+    bytes.extend_from_slice(SNAP_MAGIC);
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join(format!("{}.tmp", snap_name(seq)));
+    let path = dir.join(snap_name(seq));
+    let write = || -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+        drop(f);
+        fs::rename(&tmp, &path)?;
+        // Persist the rename itself.
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    };
+    write().map_err(DurableError::io(path.display().to_string()))?;
+    Ok(path)
+}
+
+/// Reads and validates one snapshot file, returning its covered
+/// sequence number and state.
+pub fn read_snapshot(path: &Path) -> Result<(u64, ModelState), DurableError> {
+    let corrupt = |detail: String| DurableError::Corrupt {
+        what: format!("snapshot {}", path.display()),
+        detail,
+    };
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(DurableError::io(path.display().to_string()))?;
+    if bytes.len() < 24 || &bytes[..8] != SNAP_MAGIC {
+        return Err(corrupt("missing or wrong magic".into()));
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let payload = bytes
+        .get(24..24 + len)
+        .ok_or_else(|| corrupt("payload shorter than header claims".into()))?;
+    if bytes.len() != 24 + len {
+        return Err(corrupt("trailing bytes after payload".into()));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt("payload checksum mismatch".into()));
+    }
+    let state = codec::decode_state(payload).map_err(corrupt)?;
+    Ok((seq, state))
+}
+
+fn snapshot_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(DurableError::io(dir.display().to_string())(e)),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(DurableError::io(dir.display().to_string()))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_snap_name) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Loads the newest readable snapshot in `dir`, skipping corrupt ones.
+/// `None` when the directory holds no usable snapshot (including when
+/// it does not exist).
+pub fn load_latest_snapshot(dir: &Path) -> Result<Option<(u64, ModelState)>, DurableError> {
+    for (_, path) in snapshot_paths(dir)?.into_iter().rev() {
+        match read_snapshot(&path) {
+            Ok(loaded) => return Ok(Some(loaded)),
+            Err(DurableError::Corrupt { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes all but the newest `retain` snapshots (always keeps at least
+/// one). Returns how many were removed.
+pub fn prune_snapshots(dir: &Path, retain: usize) -> Result<usize, DurableError> {
+    let found = snapshot_paths(dir)?;
+    let keep = retain.max(1);
+    let mut removed = 0;
+    if found.len() > keep {
+        for (_, path) in &found[..found.len() - keep] {
+            fs::remove_file(path).map_err(DurableError::io(path.display().to_string()))?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel, PmId, VmId, VmSpec};
+    use slackvm_sim::{ClusterState, PlacementRecord};
+
+    fn state(n: u64) -> ModelState {
+        ModelState::Shared(ClusterState {
+            opened: 1,
+            placements: (0..n)
+                .map(|i| PlacementRecord {
+                    vm: VmId(i),
+                    spec: VmSpec::of(1, gib(2), OversubLevel::of(2)),
+                    pm: PmId(0),
+                })
+                .collect(),
+        })
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("slackvm-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins_and_corruption_falls_back() {
+        let dir = temp_dir("fallback");
+        assert_eq!(load_latest_snapshot(&dir).unwrap(), None);
+        write_snapshot(&dir, 10, &state(1)).unwrap();
+        let newest = write_snapshot(&dir, 20, &state(2)).unwrap();
+        let (seq, s) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!((seq, s.num_vms()), (20, 2));
+
+        // Corrupt the newest: recovery must fall back to seq 10.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let (seq, s) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!((seq, s.num_vms()), (10, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_the_newest_k() {
+        let dir = temp_dir("retain");
+        for seq in [5, 6, 7, 8] {
+            write_snapshot(&dir, seq, &state(seq)).unwrap();
+        }
+        assert_eq!(prune_snapshots(&dir, 2).unwrap(), 2);
+        let left = snapshot_paths(&dir).unwrap();
+        assert_eq!(left.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![7, 8]);
+        // retain=0 still keeps the newest.
+        assert_eq!(prune_snapshots(&dir, 0).unwrap(), 1);
+        assert_eq!(snapshot_paths(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_ignored() {
+        let dir = temp_dir("tmp");
+        write_snapshot(&dir, 3, &state(1)).unwrap();
+        fs::write(dir.join("snap-00000000000000000099.snap.tmp"), b"garbage").unwrap();
+        let (seq, _) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,364 @@
+//! The per-shard write-ahead log.
+//!
+//! An append-only file of length-prefixed frames:
+//!
+//! ```text
+//! [len: u32 le][crc32(payload): u32 le][payload: len bytes]
+//! ```
+//!
+//! Each payload is one [`WalRecord`] — a committed placement decision
+//! (see [`crate::codec`] for the byte layout). A crash can tear the
+//! tail: [`scan_wal`] walks frames from the start and stops at the
+//! first incomplete, checksum-failing, or undecodable frame, returning
+//! the valid prefix; [`WalWriter::open`] then truncates the file to
+//! that prefix so the orphaned bytes can never resurrect.
+//!
+//! What gets logged: state-changing decisions (successful places,
+//! removes, accepted and refused resizes) and terminal `Rejected`
+//! placements — the latter carry no state but are themselves
+//! deterministic decisions `slackvm fsck` re-derives. Load-shed and
+//! unknown-VM outcomes are *not* logged: they never reached the model.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use slackvm_model::{PmId, VmId, VmSpec};
+use slackvm_telemetry::{FsyncGate, FsyncPolicy};
+
+use crate::codec;
+use crate::crc32::crc32;
+use crate::error::DurableError;
+
+/// File name of a shard's journal within its state directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Upper bound on a single frame's payload; anything larger is treated
+/// as a torn or corrupt length field.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const FRAME_HEADER: u64 = 8;
+
+/// The operation half of a logged decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// An admission request.
+    Place {
+        /// The VM.
+        id: VmId,
+        /// Its requested shape.
+        spec: VmSpec,
+    },
+    /// A departure.
+    Remove {
+        /// The VM.
+        id: VmId,
+    },
+    /// A vertical resize.
+    Resize {
+        /// The VM.
+        id: VmId,
+        /// New vCPU count.
+        vcpus: u32,
+        /// New memory size.
+        mem_mib: u64,
+    },
+}
+
+/// The decision half: what the shard committed for the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOutcome {
+    /// Placed on this shard-local PM.
+    Placed(PmId),
+    /// Removed from this PM.
+    Removed(PmId),
+    /// Resize verdict.
+    Resized {
+        /// Whether the new size was applied.
+        accepted: bool,
+    },
+    /// Terminally rejected (capped fleet, no shard could host).
+    Rejected,
+}
+
+/// One committed decision: monotone sequence number, operation,
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Shard-local, strictly increasing from 1.
+    pub seq: u64,
+    /// The operation.
+    pub op: WalOp,
+    /// The committed decision.
+    pub outcome: WalOutcome,
+}
+
+/// Result of walking a journal from the start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+    /// Byte length of the file as found on disk.
+    pub file_len: u64,
+}
+
+impl WalScan {
+    /// Bytes beyond the last valid frame — non-zero after a torn write.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.file_len - self.valid_len
+    }
+
+    /// Sequence number of the last valid record.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.records.last().map(|r| r.seq)
+    }
+}
+
+/// Walks the journal at `path`, stopping at the first invalid frame.
+/// A missing file scans as empty — a brand-new shard has no journal
+/// yet.
+pub fn scan_wal(path: &Path) -> Result<WalScan, DurableError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                file_len: 0,
+            })
+        }
+        Err(e) => return Err(DurableError::io(path.display().to_string())(e)),
+    };
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)
+        .map_err(DurableError::io(path.display().to_string()))?;
+    Ok(scan_bytes(&buf))
+}
+
+/// Frame-walks an in-memory journal image (the core of [`scan_wal`],
+/// exposed for tests that corrupt bytes directly).
+pub fn scan_bytes(buf: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let Some(header) = buf.get(pos..pos + 8) else {
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len == 0 || len > MAX_FRAME_LEN {
+            break;
+        }
+        let Some(payload) = buf.get(pos + 8..pos + 8 + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = codec::decode_record(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len as usize;
+    }
+    WalScan {
+        records,
+        valid_len: pos as u64,
+        file_len: buf.len() as u64,
+    }
+}
+
+/// Appends frames to a journal whose valid prefix was established by a
+/// prior [`scan_wal`].
+pub struct WalWriter {
+    out: BufWriter<File>,
+    gate: FsyncGate,
+    appended: u64,
+    unsynced: bool,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the journal, truncates it to
+    /// `valid_len` — discarding any torn tail — and positions for
+    /// appends.
+    pub fn open(path: &Path, valid_len: u64, policy: FsyncPolicy) -> Result<Self, DurableError> {
+        let ctx = || path.display().to_string();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(DurableError::io(ctx()))?;
+        file.set_len(valid_len).map_err(DurableError::io(ctx()))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(DurableError::io(ctx()))?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            gate: FsyncGate::new(policy),
+            appended: 0,
+            unsynced: false,
+        })
+    }
+
+    /// Buffers one frame; returns its on-disk size in bytes. The record
+    /// is not durable until [`commit`](Self::commit) (policy permitting)
+    /// or [`sync`](Self::sync).
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
+        let payload = codec::encode_record(record);
+        let frame = FRAME_HEADER + payload.len() as u64;
+        self.out
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .and_then(|_| self.out.write_all(&crc32(&payload).to_le_bytes()))
+            .and_then(|_| self.out.write_all(&payload))
+            .map_err(DurableError::io("wal append"))?;
+        self.appended += frame;
+        self.unsynced = true;
+        Ok(frame)
+    }
+
+    /// Flushes buffered frames to the OS and, when the fsync policy
+    /// says the batch is a durability point, syncs them to stable
+    /// storage. Returns the fsync duration when one happened.
+    pub fn commit(&mut self) -> Result<Option<Duration>, DurableError> {
+        self.out.flush().map_err(DurableError::io("wal flush"))?;
+        if self.unsynced && self.gate.due() {
+            Ok(Some(self.sync_inner()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flushes and syncs unconditionally — the barrier before writing a
+    /// snapshot that claims the journal prefix, and the final act of a
+    /// clean shutdown.
+    pub fn sync(&mut self) -> Result<Duration, DurableError> {
+        self.out.flush().map_err(DurableError::io("wal flush"))?;
+        self.sync_inner()
+    }
+
+    fn sync_inner(&mut self) -> Result<Duration, DurableError> {
+        let start = Instant::now();
+        self.out
+            .get_ref()
+            .sync_data()
+            .map_err(DurableError::io("wal fsync"))?;
+        self.unsynced = false;
+        Ok(start.elapsed())
+    }
+
+    /// Bytes appended through this writer since it was opened.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.gate.policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel};
+
+    fn record(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Place {
+                id: VmId(seq),
+                spec: VmSpec::of(2, gib(4), OversubLevel::of(2)),
+            },
+            outcome: WalOutcome::Placed(PmId(0)),
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("slackvm-wal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn append_scan_roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, 0, FsyncPolicy::Off).unwrap();
+        for seq in 1..=5 {
+            w.append(&record(seq)).unwrap();
+        }
+        assert_eq!(w.commit().unwrap(), None, "Off policy never fsyncs");
+        drop(w);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.last_seq(), Some(5));
+        assert_eq!(scan.truncated_bytes(), 0);
+
+        // Reopen at the valid prefix and extend.
+        let mut w = WalWriter::open(&path, scan.valid_len, FsyncPolicy::Every).unwrap();
+        w.append(&record(6)).unwrap();
+        assert!(w.commit().unwrap().is_some(), "Every policy fsyncs");
+        drop(w);
+        assert_eq!(scan_wal(&path).unwrap().last_seq(), Some(6));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tails_truncate_to_the_valid_prefix() {
+        let mut image = Vec::new();
+        let mut lens = vec![0u64];
+        for seq in 1..=3 {
+            let payload = codec::encode_record(&record(seq));
+            image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            image.extend_from_slice(&crc32(&payload).to_le_bytes());
+            image.extend_from_slice(&payload);
+            lens.push(image.len() as u64);
+        }
+        // Chopping at every byte offset keeps exactly the frames that
+        // fit whole.
+        for cut in 0..=image.len() {
+            let scan = scan_bytes(&image[..cut]);
+            let whole = lens.iter().filter(|&&l| l <= cut as u64).count() - 1;
+            assert_eq!(scan.records.len(), whole, "cut at {cut}");
+            assert_eq!(scan.valid_len, lens[whole], "cut at {cut}");
+        }
+        // A flipped payload bit invalidates that frame and everything
+        // after it.
+        let mut flipped = image.clone();
+        let mid_frame = lens[1] as usize + 12;
+        flipped[mid_frame] ^= 0x40;
+        let scan = scan_bytes(&flipped);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.truncated_bytes(), image.len() as u64 - lens[1]);
+    }
+
+    #[test]
+    fn reopen_discards_the_torn_tail_permanently() {
+        let path = temp_path("tear");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, 0, FsyncPolicy::Off).unwrap();
+        for seq in 1..=2 {
+            w.append(&record(seq)).unwrap();
+        }
+        w.commit().unwrap();
+        drop(w);
+        // Simulate a torn append.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.len() as u64;
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1, 2, 3, 4, 5]);
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.valid_len, full);
+        assert!(scan.truncated_bytes() > 0);
+        let w = WalWriter::open(&path, scan.valid_len, FsyncPolicy::Off).unwrap();
+        drop(w);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            full,
+            "orphaned tail bytes must not survive a reopen"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

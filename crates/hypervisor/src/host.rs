@@ -78,6 +78,10 @@ pub trait Host {
     /// failure and for snapshots).
     fn vm_ids(&self) -> Vec<VmId>;
 
+    /// The hosted VMs with their current specs, ascending by id — the
+    /// non-destructive spec lookup durable state capture needs.
+    fn placements(&self) -> Vec<(VmId, VmSpec)>;
+
     /// True when nothing is hosted.
     fn is_idle(&self) -> bool {
         self.num_vms() == 0

@@ -422,6 +422,10 @@ impl Host for PhysicalMachine {
         self.vm_index.keys().copied().collect()
     }
 
+    fn placements(&self) -> Vec<(VmId, VmSpec)> {
+        self.snapshot().vms
+    }
+
     // `admission_headroom` uses the trait default: the memory bound is
     // exact (config mem − allocated mem = free mem), and no cheap vCPU
     // bound exists — existing vNode slack can make a VM's marginal core

@@ -169,6 +169,10 @@ impl Host for UniformMachine {
         self.vms.keys().copied().collect()
     }
 
+    fn placements(&self) -> Vec<(VmId, VmSpec)> {
+        self.vms.iter().map(|(id, spec)| (*id, *spec)).collect()
+    }
+
     fn admission_headroom(&self) -> crate::host::AdmissionHeadroom {
         // Both bounds are exact here: a single-level worker's only
         // constraints are the vCPU counter and DRAM (a level mismatch is

@@ -178,7 +178,8 @@ impl CandidateIndex {
         }
         if let Some(old) = &self.slots[i] {
             if old.live {
-                self.by_free_mem.remove(&(old.key.free_mem_mib, old.candidate.id.0));
+                self.by_free_mem
+                    .remove(&(old.key.free_mem_mib, old.candidate.id.0));
                 self.width_counts[width_of(old.key.free_mem_mib)] -= 1;
                 self.live -= 1;
             }
@@ -313,8 +314,8 @@ mod tests {
     fn gather_orders_by_id_and_applies_both_gates() {
         let index = index_of(&[
             cand(3, 64, None),
-            cand(0, 1, None),         // too little memory
-            cand(2, 64, Some(2)),     // too few vCPUs
+            cand(0, 1, None),     // too little memory
+            cand(2, 64, Some(2)), // too few vCPUs
             cand(1, 64, Some(8)),
         ]);
         let mut buf = Vec::new();
@@ -394,7 +395,10 @@ mod tests {
     #[test]
     fn mode_parsing() {
         assert_eq!(IndexMode::parse("naive"), Some(IndexMode::Naive));
-        assert_eq!(IndexMode::parse("incremental"), Some(IndexMode::Incremental));
+        assert_eq!(
+            IndexMode::parse("incremental"),
+            Some(IndexMode::Incremental)
+        );
         assert_eq!(IndexMode::parse("bogus"), None);
         assert_eq!(IndexMode::default().name(), "incremental");
     }

@@ -481,10 +481,8 @@ mod tests {
         let cands = vec![cand(4, 8, 32), cand(2, 2, 8), cand(7, 28, 112)];
         assert_eq!(policy.select(&cands, &vm(1, 1)), Some(PmId(2)));
         // Paired with a real scorer, the constant must not drown it out.
-        let policy = PlacementPolicy::weighted(vec![
-            (10.0, Box::new(Huge)),
-            (1.0, Box::new(BestFitScorer)),
-        ]);
+        let policy =
+            PlacementPolicy::weighted(vec![(10.0, Box::new(Huge)), (1.0, Box::new(BestFitScorer))]);
         // Best-fit prefers the fullest PM that still fits: id 7.
         assert_eq!(policy.select(&cands, &vm(1, 4)), Some(PmId(7)));
     }

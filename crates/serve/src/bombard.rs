@@ -163,13 +163,7 @@ impl Tally {
     }
 }
 
-fn report(
-    mode: &str,
-    ops: u64,
-    wall: Duration,
-    tally: &Tally,
-    latencies: &[f64],
-) -> BombardReport {
+fn report(mode: &str, ops: u64, wall: Duration, tally: &Tally, latencies: &[f64]) -> BombardReport {
     let wall_secs = wall.as_secs_f64().max(1e-9);
     BombardReport {
         mode: mode.into(),
@@ -343,9 +337,9 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
                 let mut reader = BufReader::new(stream);
                 let mut line = String::new();
                 let ask = |writer: &mut TcpStream,
-                               reader: &mut BufReader<TcpStream>,
-                               line: &mut String,
-                               req: String|
+                           reader: &mut BufReader<TcpStream>,
+                           line: &mut String,
+                           req: String|
                  -> Result<crate::wire::WireReply, ServeError> {
                     writeln!(writer, "{req}")?;
                     writer.flush()?;
@@ -438,7 +432,10 @@ mod tests {
             ..BombardConfig::default()
         };
         let err = config.specs().unwrap_err().to_string();
-        assert!(err.contains("rush-hour") && err.contains("paper-week-f"), "{err}");
+        assert!(
+            err.contains("rush-hour") && err.contains("paper-week-f"),
+            "{err}"
+        );
     }
 
     #[test]

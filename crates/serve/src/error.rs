@@ -26,4 +26,12 @@ pub enum ServeError {
     /// Socket-level failure on the TCP frontend.
     #[error("i/o error: {0}")]
     Io(#[from] std::io::Error),
+
+    /// The durability layer failed while opening or recovering shard
+    /// state at startup. (Failures *after* startup — a WAL append or
+    /// fsync going bad mid-flight — panic the owning shard worker
+    /// instead: the service must never acknowledge a decision it could
+    /// not persist.)
+    #[error("durability: {0}")]
+    Durable(#[from] slackvm_durable::DurableError),
 }

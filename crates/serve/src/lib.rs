@@ -29,6 +29,12 @@
 //!   one shard in deterministic mode the service makes the same
 //!   decisions as offline `run_packing`, placement for placement
 //!   (proven by the `serve_differential` suite test).
+//!
+//! With [`ServeConfig::durable`](request::ServeConfig::durable) set,
+//! every committed decision is journaled to a per-shard write-ahead
+//! log and snapshotted periodically (`slackvm_durable`); a restart
+//! against the same state directory recovers the fleet, and
+//! `slackvm fsck` proves the recovery equals the committed history.
 
 #![warn(missing_docs)]
 
@@ -47,4 +53,5 @@ pub use replay::{serve_replay, Decision, ReplaySummary};
 pub use request::{ModelSpec, Op, Outcome, Reply, ServeConfig};
 pub use service::{PlacementService, ServiceReport};
 pub use shard::{ShardReport, ShardSummary};
+pub use slackvm_durable::{DurableOptions, FsyncPolicy};
 pub use tcp::{TcpServer, TcpStats};

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use slackvm_durable::{DurableOptions, Manifest, ManifestModel};
 use slackvm_model::{OversubLevel, PmConfig, PmId, VmId, VmSpec};
 use slackvm_sched::{IndexMode, PlacementPolicy, POLICY_NAMES};
 use slackvm_sim::{DedicatedDeployment, DeploymentModel, SharedDeployment};
@@ -164,6 +165,51 @@ impl ModelSpec {
             }
         }
     }
+
+    /// The durability-layer mirror of this spec, as written to a state
+    /// directory's `MANIFEST`.
+    pub fn to_manifest_model(&self) -> ManifestModel {
+        match self {
+            ModelSpec::Shared {
+                topology,
+                mem_mib,
+                policy,
+                fleet_cap,
+            } => ManifestModel::Shared {
+                topology: topology.clone(),
+                mem_mib: *mem_mib,
+                policy: policy.clone(),
+                fleet_cap: *fleet_cap,
+            },
+            ModelSpec::Dedicated { topology, mem_mib } => ManifestModel::Dedicated {
+                topology: topology.clone(),
+                mem_mib: *mem_mib,
+            },
+        }
+    }
+
+    /// Rebuilds the spec a `MANIFEST` records — how `slackvm recover`
+    /// and `slackvm fsck` reconstruct deployment models with no service
+    /// configuration on the command line.
+    pub fn from_manifest_model(model: &ManifestModel) -> ModelSpec {
+        match model {
+            ManifestModel::Shared {
+                topology,
+                mem_mib,
+                policy,
+                fleet_cap,
+            } => ModelSpec::Shared {
+                topology: topology.clone(),
+                mem_mib: *mem_mib,
+                policy: policy.clone(),
+                fleet_cap: *fleet_cap,
+            },
+            ManifestModel::Dedicated { topology, mem_mib } => ModelSpec::Dedicated {
+                topology: topology.clone(),
+                mem_mib: *mem_mib,
+            },
+        }
+    }
 }
 
 /// Service configuration.
@@ -192,6 +238,12 @@ pub struct ServeConfig {
     /// Sample in-flight depth / shed rate / per-shard utilization every
     /// this many milliseconds (`None` disables the sampler thread).
     pub sample_interval_ms: Option<u64>,
+    /// Crash durability: journal every committed decision to a
+    /// write-ahead log and snapshot periodically under this state
+    /// directory. On restart against the same directory the service
+    /// recovers its placements. `None` keeps the service in-memory
+    /// only.
+    pub durable: Option<DurableOptions>,
 }
 
 impl Default for ServeConfig {
@@ -205,6 +257,7 @@ impl Default for ServeConfig {
             model: ModelSpec::default_shared(),
             index: IndexMode::default(),
             sample_interval_ms: None,
+            durable: None,
         }
     }
 }
@@ -226,7 +279,24 @@ impl ServeConfig {
                 "deterministic mode requires exactly one shard".into(),
             ));
         }
+        if let Some(durable) = &self.durable {
+            if durable.dir.as_os_str().is_empty() {
+                return Err(ServeError::Config(
+                    "state directory must not be empty".into(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The manifest this configuration writes into (and must agree
+    /// with) a state directory.
+    pub fn manifest(&self) -> Manifest {
+        Manifest {
+            shards: self.shards,
+            index: self.index.name().to_string(),
+            model: self.model.to_manifest_model(),
+        }
     }
 }
 
@@ -261,12 +331,43 @@ mod tests {
             Err(e) => e.to_string(),
             Ok(_) => panic!("bad policy accepted"),
         };
-        assert!(err.contains("best-effort") && err.contains("progress"), "{err}");
+        assert!(
+            err.contains("best-effort") && err.contains("progress"),
+            "{err}"
+        );
         let bad_topo = ModelSpec::Dedicated {
             topology: "cores=banana".into(),
             mem_mib: slackvm_model::gib(32),
         };
         assert!(bad_topo.build(1).is_err());
+    }
+
+    #[test]
+    fn manifest_mirrors_the_config_both_ways() {
+        let config = ServeConfig {
+            shards: 3,
+            model: ModelSpec::Shared {
+                topology: "cores=16".into(),
+                mem_mib: slackvm_model::gib(64),
+                policy: "progress+bestfit".into(),
+                fleet_cap: Some(30),
+            },
+            ..Default::default()
+        };
+        let manifest = config.manifest();
+        assert_eq!(manifest.shards, 3);
+        assert_eq!(
+            ModelSpec::from_manifest_model(&manifest.model),
+            config.model
+        );
+        let dedicated = ModelSpec::Dedicated {
+            topology: "cores=8".into(),
+            mem_mib: slackvm_model::gib(32),
+        };
+        assert_eq!(
+            ModelSpec::from_manifest_model(&dedicated.to_manifest_model()),
+            dedicated
+        );
     }
 
     #[test]

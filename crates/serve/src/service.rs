@@ -78,6 +78,7 @@ pub struct PlacementService {
     seq: AtomicU64,
     config: ServeConfig,
     epoch: Instant,
+    recovery: Vec<slackvm_durable::RecoveryReport>,
 }
 
 impl PlacementService {
@@ -91,6 +92,40 @@ impl PlacementService {
             let mut model = config.model.build(config.shards)?;
             model.set_index_mode(config.index);
             models.push(model);
+        }
+
+        // Durable mode: verify (or initialize) the state directory's
+        // manifest, then recover each shard's model from its snapshot
+        // and journal tail before any worker starts taking requests.
+        let mut durables: Vec<Option<slackvm_durable::ShardDurable>> =
+            (0..shards).map(|_| None).collect();
+        let mut recovery: Vec<slackvm_durable::RecoveryReport> = Vec::new();
+        if let Some(opts) = &config.durable {
+            std::fs::create_dir_all(&opts.dir).map_err(ServeError::Io)?;
+            let manifest = config.manifest();
+            if opts.dir.join(slackvm_durable::MANIFEST_FILE).exists() {
+                let found = slackvm_durable::Manifest::load(&opts.dir)?;
+                if found != manifest {
+                    return Err(ServeError::Config(format!(
+                        "state directory {} was written under a different service shape \
+                         (manifest records {} shards, model {:?}; configuration wants {} \
+                         shards, model {:?})",
+                        opts.dir.display(),
+                        found.shards,
+                        found.model,
+                        manifest.shards,
+                        manifest.model,
+                    )));
+                }
+            } else {
+                manifest.store(&opts.dir)?;
+            }
+            for (idx, model) in models.iter_mut().enumerate() {
+                let (handle, report) =
+                    slackvm_durable::ShardDurable::open(opts, idx as u32, model)?;
+                durables[idx] = Some(handle);
+                recovery.push(report);
+            }
         }
 
         let mut senders = Vec::with_capacity(shards);
@@ -107,15 +142,32 @@ impl PlacementService {
         // Batch sizes live in [1, batch_max]; powers of two cover the
         // range without the microsecond-scale tail of the default
         // duration layout.
-        registry.register_histogram(
-            "serve.batch",
-            (0..12).map(|i| (1u64 << i) as f64).collect(),
-        );
+        registry.register_histogram("serve.batch", (0..12).map(|i| (1u64 << i) as f64).collect());
+        if !recovery.is_empty() {
+            let replayed: u64 = recovery.iter().map(|r| r.records_replayed).sum();
+            let recovery_ms: f64 = recovery.iter().map(|r| r.elapsed.as_secs_f64() * 1e3).sum();
+            registry.inc("durable.records_replayed", replayed);
+            registry.set_gauge("durable.recovery_ms", recovery_ms);
+        }
         let metrics = Arc::new(Mutex::new(registry));
         let series = config
             .sample_interval_ms
             .map(|_| Arc::new(Mutex::new(TimeSeriesStore::new())));
         let epoch = Instant::now();
+
+        // Recovered placements must be routable before the first
+        // request: seed the remove/resize directory and the router's
+        // scoreboards from each shard's restored state.
+        if config.durable.is_some() {
+            let mut dir = directory.lock().expect("directory lock");
+            for (idx, model) in models.iter().enumerate() {
+                for placement in model.capture_state().placements() {
+                    dir.insert(placement.vm, idx as u32);
+                }
+                let (alloc, cap) = model.totals();
+                summaries[idx].refresh(model.opened_pms() as u64, alloc, cap);
+            }
+        }
 
         let mut workers = Vec::with_capacity(shards);
         for (idx, (rx, model)) in receivers.into_iter().zip(models).enumerate() {
@@ -130,6 +182,7 @@ impl PlacementService {
                 gauges: ShardGauges::for_shard(idx as u32),
                 batch_max: config.batch_max,
                 deterministic: config.deterministic,
+                durable: durables[idx].take(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -165,6 +218,7 @@ impl PlacementService {
             seq: AtomicU64::new(0),
             config,
             epoch,
+            recovery,
         })
     }
 
@@ -217,6 +271,12 @@ impl PlacementService {
     /// Per-shard scoreboards (queue depth, utilization, counts).
     pub fn summaries(&self) -> &[ShardSummary] {
         &self.summaries
+    }
+
+    /// What startup recovery did, one report per shard — empty when
+    /// the service is not durable.
+    pub fn recovery_reports(&self) -> &[slackvm_durable::RecoveryReport] {
+        &self.recovery
     }
 
     /// Instant the service started; reply latencies and series sample
@@ -400,8 +460,8 @@ impl PlacementService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
     use crate::request::ModelSpec;
+    use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
 
     fn small_config(shards: u32) -> ServeConfig {
         ServeConfig {
@@ -509,6 +569,71 @@ mod tests {
         assert_eq!((placed, rejected), (2, 1));
         let report = svc.stop();
         report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn durable_service_recovers_after_restart() {
+        use slackvm_durable::{DurableOptions, FsyncPolicy};
+        let dir =
+            std::env::temp_dir().join(format!("slackvm-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            durable: Some(DurableOptions {
+                fsync: FsyncPolicy::Every,
+                ..DurableOptions::new(&dir)
+            }),
+            ..small_config(2)
+        };
+
+        let svc = PlacementService::start(config.clone()).unwrap();
+        assert!(svc.recovery_reports().iter().all(|r| r.last_seq == 0));
+        for i in 0..8u64 {
+            let reply = svc
+                .call(Op::Place {
+                    id: VmId(i),
+                    spec: VmSpec::of(2, gib(4), OversubLevel::of(2)),
+                })
+                .unwrap();
+            assert!(matches!(reply.outcome, Outcome::Placed(_)), "{reply:?}");
+        }
+        svc.call(Op::Remove { id: VmId(3) }).unwrap();
+        let first = svc.stop();
+        first.check_invariants().unwrap();
+
+        // Restart against the same directory: state comes back, the
+        // directory routes a remove for a recovered VM, and a manifest
+        // mismatch is refused.
+        let svc = PlacementService::start(config.clone()).unwrap();
+        let replayed: u64 = svc
+            .recovery_reports()
+            .iter()
+            .map(|r| r.records_replayed)
+            .sum();
+        assert_eq!(replayed, 0, "clean shutdown snapshots leave no tail");
+        let reply = svc.call(Op::Remove { id: VmId(5) }).unwrap();
+        assert!(matches!(reply.outcome, Outcome::Removed(_)), "{reply:?}");
+        let second = svc.stop();
+        second.check_invariants().unwrap();
+        assert_eq!(
+            second.admitted(),
+            0,
+            "recovered placements are not re-admissions"
+        );
+        let total_vms: usize = second
+            .shards
+            .iter()
+            .map(|s| s.model.capture_state().num_vms())
+            .sum();
+        assert_eq!(total_vms, 6, "8 placed, 2 removed across both runs");
+
+        let mut mismatched = config;
+        mismatched.shards = 4;
+        let err = match PlacementService::start(mismatched) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("manifest mismatch accepted"),
+        };
+        assert!(err.contains("different service shape"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

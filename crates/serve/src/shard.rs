@@ -18,6 +18,7 @@ use std::sync::mpsc::{Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use slackvm_durable::{ShardDurable, WalOp, WalOutcome};
 use slackvm_model::{AllocView, VmId};
 use slackvm_sim::{DeploymentModel, SimError};
 use slackvm_telemetry::MetricsRegistry;
@@ -114,7 +115,7 @@ impl ShardSummary {
         self.shed.fetch_add(shed, Ordering::Relaxed);
     }
 
-    fn refresh(&self, opened: u64, alloc: AllocView, cap: AllocView) {
+    pub(crate) fn refresh(&self, opened: u64, alloc: AllocView, cap: AllocView) {
         self.opened_pms.store(opened, Ordering::Relaxed);
         self.used_cpu_mc.store(alloc.cpu.0, Ordering::Relaxed);
         self.cap_cpu_mc.store(cap.cpu.0, Ordering::Relaxed);
@@ -167,6 +168,10 @@ pub(crate) struct Worker {
     pub batch_max: usize,
     /// Deterministic mode never sheds.
     pub deterministic: bool,
+    /// Write-ahead journal of this shard's decisions, when the service
+    /// runs durable. Appends happen as decisions are made; the batch is
+    /// committed (fsync per policy) *before* any reply is released.
+    pub durable: Option<ShardDurable>,
 }
 
 /// Per-batch counter deltas, flushed under one metrics lock, plus the
@@ -183,6 +188,11 @@ struct BatchStats {
     forwarded: u64,
     latencies_us: Vec<u64>,
     replies: Vec<(Sender<Reply>, Reply)>,
+    /// Decisions to journal, in execution order (empty when the
+    /// service is not durable).
+    wal: Vec<(WalOp, WalOutcome)>,
+    /// Journal bytes appended while executing the batch.
+    wal_bytes: u64,
 }
 
 impl Worker {
@@ -226,19 +236,45 @@ impl Worker {
                 admitted += stats.admitted;
                 rejected += stats.rejected;
                 shed += stats.shed;
+                // Durability point: the batch's journal frames reach
+                // stable storage (per the fsync policy) before anything
+                // downstream — metrics, replies — can reveal the
+                // decisions. A failure here panics the worker rather
+                // than acknowledge an unpersisted decision.
+                let fsync = self
+                    .durable
+                    .as_mut()
+                    .map(|d| d.commit().expect("wal commit failed"))
+                    .unwrap_or_default();
                 self.summaries[self.idx as usize].add_counts(
                     stats.admitted,
                     stats.rejected,
                     stats.shed,
                 );
-                self.flush(&stats);
+                self.flush(&stats, fsync);
                 // Replies go out only after the metrics flush: a client
                 // that has its reply in hand can scrape the exposition
                 // and find its own request already counted.
                 for (tx, reply) in stats.replies {
                     let _ = tx.send(reply);
                 }
+                // Snapshot cadence runs after replies: it bounds future
+                // recovery time and should not sit in any request's
+                // latency path beyond the batch that crossed it.
+                if let Some(d) = self.durable.as_mut() {
+                    if d.maybe_snapshot(&self.model).expect("snapshot failed") {
+                        self.metrics
+                            .lock()
+                            .expect("metrics lock")
+                            .inc("durable.snapshots", 1);
+                    }
+                }
             }
+        }
+        // Drain-to-snapshot: a clean shutdown leaves the freshest
+        // possible checkpoint so the next start replays no tail.
+        if let Some(d) = self.durable.as_mut() {
+            d.snapshot_now(&self.model).expect("final snapshot failed");
         }
         ShardReport {
             shard: self.idx,
@@ -257,6 +293,11 @@ impl Worker {
             latencies_us: Vec::with_capacity(batch.len()),
             ..BatchStats::default()
         };
+        // Which decisions get journaled: state changes plus terminal
+        // `Rejected` placements (themselves deterministic decisions
+        // `slackvm fsck` re-derives). Shed and unknown-VM outcomes
+        // never touched the model and are not logged.
+        let journal = self.durable.is_some();
         let summary = &self.summaries[self.idx as usize];
         for req in batch {
             summary.note_dequeued();
@@ -278,6 +319,11 @@ impl Worker {
                 Op::Place { id, spec } => match self.model.deploy(id, spec) {
                     Ok(pm) => {
                         stats.admitted += 1;
+                        if journal {
+                            stats
+                                .wal
+                                .push((WalOp::Place { id, spec }, WalOutcome::Placed(pm)));
+                        }
                         self.directory
                             .lock()
                             .expect("directory lock")
@@ -287,12 +333,22 @@ impl Worker {
                     Err(SimError::DeploymentFailed(_)) => {
                         if !self.forward(req, &mut stats) {
                             stats.rejected += 1;
+                            if journal {
+                                stats
+                                    .wal
+                                    .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
+                            }
                         }
                     }
                     Err(SimError::Unsatisfiable(_)) => {
                         // Exceeds an empty host: no shard can ever take
                         // it, don't waste fall-through hops.
                         stats.rejected += 1;
+                        if journal {
+                            stats
+                                .wal
+                                .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
+                        }
                         self.answer(&mut stats, &req, Outcome::Rejected, latency_us);
                     }
                     Err(SimError::UnknownVm(_)) => unreachable!("deploy never reports UnknownVm"),
@@ -300,6 +356,11 @@ impl Worker {
                 Op::Remove { id } => match self.model.remove(id) {
                     Ok(pm) => {
                         stats.removed += 1;
+                        if journal {
+                            stats
+                                .wal
+                                .push((WalOp::Remove { id }, WalOutcome::Removed(pm)));
+                        }
                         self.directory.lock().expect("directory lock").remove(&id);
                         self.answer(&mut stats, &req, Outcome::Removed(pm), latency_us);
                     }
@@ -311,7 +372,18 @@ impl Worker {
                 Op::Resize { id, vcpus, mem_mib } => match self.model.resize(id, vcpus, mem_mib) {
                     Ok(()) => {
                         stats.resized += 1;
-                        self.answer(&mut stats, &req, Outcome::Resized { accepted: true }, latency_us);
+                        if journal {
+                            stats.wal.push((
+                                WalOp::Resize { id, vcpus, mem_mib },
+                                WalOutcome::Resized { accepted: true },
+                            ));
+                        }
+                        self.answer(
+                            &mut stats,
+                            &req,
+                            Outcome::Resized { accepted: true },
+                            latency_us,
+                        );
                     }
                     Err(SimError::UnknownVm(_)) => {
                         stats.unknown += 1;
@@ -319,13 +391,29 @@ impl Worker {
                     }
                     Err(_) => {
                         stats.resized += 1;
-                        self.answer(&mut stats, &req, Outcome::Resized { accepted: false }, latency_us);
+                        if journal {
+                            stats.wal.push((
+                                WalOp::Resize { id, vcpus, mem_mib },
+                                WalOutcome::Resized { accepted: false },
+                            ));
+                        }
+                        self.answer(
+                            &mut stats,
+                            &req,
+                            Outcome::Resized { accepted: false },
+                            latency_us,
+                        );
                     }
                 },
             }
         }
         let (alloc, cap) = self.model.totals();
         summary.refresh(self.model.opened_pms() as u64, alloc, cap);
+        if let Some(d) = self.durable.as_mut() {
+            for (op, outcome) in stats.wal.drain(..) {
+                stats.wal_bytes += d.append(op, outcome).expect("wal append failed");
+            }
+        }
         stats
     }
 
@@ -377,10 +465,17 @@ impl Worker {
         ));
     }
 
-    fn flush(&self, stats: &BatchStats) {
+    fn flush(&self, stats: &BatchStats, fsync: Option<std::time::Duration>) {
         let summary = &self.summaries[self.idx as usize];
         let mut m = self.metrics.lock().expect("metrics lock");
         m.inc("serve.requests", stats.requests);
+        if stats.wal_bytes > 0 {
+            m.inc("durable.wal_bytes", stats.wal_bytes);
+        }
+        if let Some(took) = fsync {
+            m.inc("durable.fsyncs", 1);
+            m.observe("durable.fsync", took.as_micros() as f64);
+        }
         m.inc("serve.admitted", stats.admitted);
         m.inc("serve.rejected", stats.rejected);
         m.inc("serve.shed", stats.shed);

@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn control_ops_parse() {
-        assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), WireRequest::Ping);
+        assert_eq!(
+            parse_request("{\"op\":\"ping\"}").unwrap(),
+            WireRequest::Ping
+        );
         assert_eq!(
             parse_request(" {\"op\":\"stats\"} ").unwrap(),
             WireRequest::Stats

@@ -115,7 +115,8 @@ impl<H: Host> Cluster<H> {
         self.index.clear();
         for host in &self.hosts {
             if !self.failed.contains(&host.id()) {
-                self.index.upsert(candidate_of(host), admission_key_of(host));
+                self.index
+                    .upsert(candidate_of(host), admission_key_of(host));
             }
         }
         self.index_synced = true;
@@ -134,7 +135,8 @@ impl<H: Host> Cluster<H> {
         }
         if let Some(host) = self.hosts.get(pm.0 as usize) {
             debug_assert_eq!(host.id(), pm, "hosts are dense by PmId");
-            self.index.upsert(candidate_of(host), admission_key_of(host));
+            self.index
+                .upsert(candidate_of(host), admission_key_of(host));
         }
     }
 
@@ -427,6 +429,48 @@ impl<H: Host> Cluster<H> {
         host.remove(id).expect("placement map is consistent");
         self.refresh_slot(pm);
         Ok(pm)
+    }
+
+    /// Places a VM on a *specific* PM, opening hosts through the
+    /// factory up to and including `pm` — the directed primitive state
+    /// restore and WAL replay use, where the target was decided by a
+    /// previous run and must not be re-chosen. Fails (`DeploymentFailed`)
+    /// when the target exceeds a host cap or cannot take the VM.
+    pub fn restore_placement(&mut self, id: VmId, spec: VmSpec, pm: PmId) -> Result<(), SimError> {
+        if self.placements.contains_key(&id) || !self.open_through(pm) {
+            return Err(SimError::DeploymentFailed(id));
+        }
+        let host = &mut self.hosts[pm.0 as usize];
+        if !host.can_host(&spec) {
+            return Err(SimError::DeploymentFailed(id));
+        }
+        host.deploy(id, spec).expect("can_host was just checked");
+        self.placements.insert(id, pm);
+        self.refresh_slot(pm);
+        Ok(())
+    }
+
+    /// Opens (empty) hosts until `opened` hosts exist, so a restored
+    /// cluster reports the same provisioned size as the captured one —
+    /// emptied-but-opened hosts stay candidates, exactly as they were.
+    pub fn ensure_opened(&mut self, opened: u32) -> bool {
+        opened == 0 || self.open_through(PmId(opened - 1))
+    }
+
+    /// Opens hosts densely up to and including `pm`; false when the
+    /// host cap forbids it.
+    fn open_through(&mut self, pm: PmId) -> bool {
+        if let Some(max) = self.max_hosts {
+            if pm.0 >= max {
+                return false;
+            }
+        }
+        while self.hosts.len() <= pm.0 as usize {
+            let id = PmId(self.hosts.len() as u32);
+            self.hosts.push((self.factory)(id));
+            self.refresh_slot(id);
+        }
+        true
     }
 
     /// Vertically resizes a hosted VM in place, returning the hosting

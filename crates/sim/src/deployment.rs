@@ -11,6 +11,43 @@ use slackvm_topology::{CpuTopology, DistanceMatrix, SelectionPolicy, TopologySel
 
 use crate::cluster::Cluster;
 use crate::error::SimError;
+use crate::state::{ClusterState, ModelState, PlacementRecord};
+
+/// Captures a cluster's logical state: provisioned size plus every
+/// live placement in host order.
+fn capture_cluster<H: Host>(cluster: &Cluster<H>) -> ClusterState {
+    let mut placements = Vec::with_capacity(cluster.num_vms());
+    for host in cluster.hosts() {
+        let pm = host.id();
+        placements.extend(
+            host.placements()
+                .into_iter()
+                .map(|(vm, spec)| PlacementRecord { vm, spec, pm }),
+        );
+    }
+    ClusterState {
+        opened: cluster.opened(),
+        placements,
+    }
+}
+
+/// Restores a captured cluster state onto a freshly built (empty)
+/// cluster via directed placements, then reopens emptied hosts so the
+/// provisioned size matches.
+fn restore_cluster<H: Host>(cluster: &mut Cluster<H>, state: &ClusterState) -> Result<(), String> {
+    for p in &state.placements {
+        cluster
+            .restore_placement(p.vm, p.spec, p.pm)
+            .map_err(|e| format!("restoring {} onto pm {}: {e}", p.vm, p.pm.0))?;
+    }
+    if !cluster.ensure_opened(state.opened) {
+        return Err(format!(
+            "captured state provisions {} hosts but the cluster is capped below that",
+            state.opened
+        ));
+    }
+    Ok(())
+}
 
 /// A deployment model: where VMs of each level may land and how targets
 /// are chosen.
@@ -164,6 +201,57 @@ impl DeploymentModel {
             DeploymentModel::Shared(s) => s.check_invariants(),
         }
     }
+
+    /// Captures the model's logical state — provisioned sizes and live
+    /// placements — as a serializable [`ModelState`] (the snapshot body
+    /// of the durability layer).
+    pub fn capture_state(&self) -> ModelState {
+        match self {
+            DeploymentModel::Shared(s) => ModelState::Shared(capture_cluster(&s.cluster)),
+            DeploymentModel::Dedicated(d) => ModelState::Dedicated(
+                d.clusters
+                    .iter()
+                    .map(|(level, c)| (*level, capture_cluster(c)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Restores a captured state onto this *freshly built, empty* model
+    /// (same config as the captured one). Placements are replayed as
+    /// directed deployments; the model-kind of `state` must match.
+    pub fn restore_state(&mut self, state: &ModelState) -> Result<(), String> {
+        match (self, state) {
+            (DeploymentModel::Shared(s), ModelState::Shared(cs)) => s.restore_state(cs),
+            (DeploymentModel::Dedicated(d), ModelState::Dedicated(levels)) => {
+                d.restore_state(levels)
+            }
+            (DeploymentModel::Shared(_), ModelState::Dedicated(_)) => {
+                Err("state captures a dedicated model, restore target is shared".into())
+            }
+            (DeploymentModel::Dedicated(_), ModelState::Shared(_)) => {
+                Err("state captures a shared model, restore target is dedicated".into())
+            }
+        }
+    }
+
+    /// Places a VM on the *specific* PM a previous run chose — the
+    /// directed primitive WAL-tail replay uses (never re-decides).
+    pub fn restore_placement(&mut self, id: VmId, spec: VmSpec, pm: PmId) -> Result<(), SimError> {
+        match self {
+            DeploymentModel::Shared(s) => {
+                s.cluster.restore_placement(id, spec, pm)?;
+                s.refresh_vcluster_recorded(
+                    pm,
+                    spec.level,
+                    0,
+                    &mut slackvm_telemetry::NullRecorder,
+                );
+                Ok(())
+            }
+            DeploymentModel::Dedicated(d) => d.restore_placement(id, spec, pm),
+        }
+    }
 }
 
 /// The baseline: per-level clusters of [`UniformMachine`]s, each placed
@@ -291,6 +379,34 @@ impl DedicatedDeployment {
             }
         }
         Err(SimError::UnknownVm(id))
+    }
+
+    /// The per-level cluster for `level`, created lazily with the
+    /// deployment's config and index mode.
+    fn cluster_entry(&mut self, level: OversubLevel) -> &mut Cluster<UniformMachine> {
+        let config = self.config;
+        let index_mode = self.index_mode;
+        self.clusters.entry(level).or_insert_with(|| {
+            Cluster::new(move |id| UniformMachine::new(id, config, level))
+                .with_index_mode(index_mode)
+        })
+    }
+
+    /// Directed placement onto a specific PM of the level's sub-cluster
+    /// (see [`DeploymentModel::restore_placement`]).
+    pub fn restore_placement(&mut self, id: VmId, spec: VmSpec, pm: PmId) -> Result<(), SimError> {
+        self.cluster_entry(spec.level)
+            .restore_placement(id, spec, pm)
+    }
+
+    /// Restores captured per-level states onto this freshly built,
+    /// empty baseline.
+    pub fn restore_state(&mut self, levels: &[(OversubLevel, ClusterState)]) -> Result<(), String> {
+        for (level, state) in levels {
+            restore_cluster(self.cluster_entry(*level), state)
+                .map_err(|e| format!("level {level}: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Audits every opened machine: allocations must stay within the
@@ -684,6 +800,22 @@ impl SharedDeployment {
         Ok(pm)
     }
 
+    /// Restores a captured pool state onto this freshly built, empty
+    /// pool, then rebuilds the per-level vCluster views from the
+    /// restored hosts.
+    pub fn restore_state(&mut self, state: &ClusterState) -> Result<(), String> {
+        restore_cluster(&mut self.cluster, state)?;
+        let touched: std::collections::BTreeSet<(PmId, OversubLevel)> = state
+            .placements
+            .iter()
+            .map(|p| (p.pm, p.spec.level))
+            .collect();
+        for (pm, level) in touched {
+            self.refresh_vcluster_recorded(pm, level, 0, &mut slackvm_telemetry::NullRecorder);
+        }
+        Ok(())
+    }
+
     /// Removes a VM from the shared pool.
     pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
         self.remove_recorded(id, 0, &mut slackvm_telemetry::NullRecorder)
@@ -818,6 +950,81 @@ mod tests {
         for host in s.cluster.hosts() {
             host.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn shared_state_roundtrips_through_capture() {
+        let mut s =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(builders::flat(8)), gib(32)));
+        for i in 0..10u64 {
+            s.deploy(
+                VmId(i),
+                spec(2 + (i % 3) as u32, 1 + i % 4, 1 + (i % 3) as u32),
+            )
+            .unwrap();
+        }
+        s.remove(VmId(4)).unwrap();
+        s.resize(VmId(7), 1, gib(1)).unwrap();
+        let state = s.capture_state();
+        let mut restored =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(builders::flat(8)), gib(32)));
+        restored.restore_state(&state).unwrap();
+        restored.check_invariants().unwrap();
+        assert_eq!(restored.capture_state().normalized(), state.normalized());
+        assert_eq!(restored.opened_pms(), s.opened_pms());
+        assert_eq!(restored.totals(), s.totals());
+        // The restored pool keeps making the same decisions.
+        let a = s.deploy(VmId(100), spec(2, 2, 1)).unwrap();
+        let b = restored.deploy(VmId(100), spec(2, 2, 1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dedicated_state_roundtrips_through_capture() {
+        let mut d = DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            levels(),
+        ));
+        for i in 0..8u64 {
+            d.deploy(VmId(i), spec(4, 4, 1 + (i % 3) as u32)).unwrap();
+        }
+        d.remove(VmId(2)).unwrap();
+        let state = d.capture_state();
+        let mut restored = DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            levels(),
+        ));
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.capture_state().normalized(), state.normalized());
+        assert_eq!(restored.opened_pms(), d.opened_pms());
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_model_kind() {
+        let s =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(builders::flat(8)), gib(32)));
+        let state = s.capture_state();
+        let mut d = DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            levels(),
+        ));
+        assert!(d.restore_state(&state).is_err());
+    }
+
+    #[test]
+    fn restore_placement_is_directed() {
+        let mut s =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(builders::flat(8)), gib(32)));
+        // Force pm 1 open even though pm 0 would have been chosen.
+        s.restore_placement(VmId(1), spec(2, 2, 1), PmId(1))
+            .unwrap();
+        assert_eq!(s.opened_pms(), 2);
+        // A duplicate id is refused, not silently double-placed.
+        assert!(s
+            .restore_placement(VmId(1), spec(2, 2, 1), PmId(0))
+            .is_err());
+        s.check_invariants().unwrap();
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod error;
 pub mod events;
 pub mod metrics;
 pub mod observe;
+pub mod state;
 pub mod steady;
 
 pub use cluster::Cluster;
@@ -45,4 +46,5 @@ pub use error::SimError;
 pub use events::{EventQueue, SimEvent};
 pub use metrics::{OccupancySample, PackingOutcome};
 pub use observe::{store_from_samples, ClusterObservables, ClusterSampler, PmUtilization};
+pub use state::{ClusterState, ModelState, PlacementRecord};
 pub use steady::{analyze_steady_state, SteadyStateSummary};

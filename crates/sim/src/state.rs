@@ -1,0 +1,150 @@
+//! Serializable logical state of a deployment model.
+//!
+//! A [`ModelState`] captures what a deployment model *decided* — which
+//! VMs live where, and how many PMs the cluster provisioned — rather
+//! than the hypervisor's internal layout (core pins, vNode spans).
+//! Restoring replays those decisions through the directed placement
+//! primitive ([`crate::Cluster::restore_placement`]), which rebuilds a
+//! valid internal layout for the same VM sets; per-host allocation
+//! totals, opened-PM counts, and every admission-relevant observable
+//! are functions of the VM set and therefore round-trip exactly. The
+//! durability layer (`slackvm-durable`) serializes this type into its
+//! snapshot files.
+
+use serde::{Deserialize, Serialize};
+
+use slackvm_model::{OversubLevel, PmId, VmId, VmSpec};
+
+/// One live placement: a VM, its current (post-resize) spec, and the
+/// PM hosting it. PM ids are cluster-local — the dedicated baseline
+/// scopes them per oversubscription level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementRecord {
+    /// The placed VM.
+    pub vm: VmId,
+    /// Its current shape and level.
+    pub spec: VmSpec,
+    /// The hosting PM.
+    pub pm: PmId,
+}
+
+/// Per-(sub)cluster state: provisioned size plus live placements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClusterState {
+    /// Hosts opened (provisioned), including currently-idle ones.
+    pub opened: u32,
+    /// Live placements, in each host's internal (ascending VM id)
+    /// order, hosts ascending.
+    pub placements: Vec<PlacementRecord>,
+}
+
+/// The logical state of a whole [`crate::DeploymentModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelState {
+    /// One shared pool.
+    Shared(ClusterState),
+    /// One sub-cluster per oversubscription level, ascending by level.
+    Dedicated(Vec<(OversubLevel, ClusterState)>),
+}
+
+impl ModelState {
+    /// Live placements across every (sub)cluster.
+    pub fn placements(&self) -> Box<dyn Iterator<Item = &PlacementRecord> + '_> {
+        match self {
+            ModelState::Shared(c) => Box::new(c.placements.iter()),
+            ModelState::Dedicated(levels) => {
+                Box::new(levels.iter().flat_map(|(_, c)| c.placements.iter()))
+            }
+        }
+    }
+
+    /// Number of live placements.
+    pub fn num_vms(&self) -> usize {
+        self.placements().count()
+    }
+
+    /// PMs provisioned across every (sub)cluster.
+    pub fn opened_pms(&self) -> u32 {
+        match self {
+            ModelState::Shared(c) => c.opened,
+            ModelState::Dedicated(levels) => levels.iter().map(|(_, c)| c.opened).sum(),
+        }
+    }
+
+    /// An order-independent form: placements sorted by VM id, levels by
+    /// ratio. Two states capturing the same logical cluster — however
+    /// their hosts happened to iterate — normalize identically, which
+    /// is the equality `slackvm fsck` checks.
+    pub fn normalized(&self) -> ModelState {
+        let norm = |c: &ClusterState| {
+            let mut placements = c.placements.clone();
+            placements.sort_by_key(|p| p.vm);
+            ClusterState {
+                opened: c.opened,
+                placements,
+            }
+        };
+        match self {
+            ModelState::Shared(c) => ModelState::Shared(norm(c)),
+            ModelState::Dedicated(levels) => {
+                let mut levels: Vec<_> = levels.iter().map(|(l, c)| (*l, norm(c))).collect();
+                levels.sort_by_key(|(l, _)| *l);
+                ModelState::Dedicated(levels)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::gib;
+
+    fn rec(vm: u64, pm: u32) -> PlacementRecord {
+        PlacementRecord {
+            vm: VmId(vm),
+            spec: VmSpec::of(2, gib(4), OversubLevel::of(1)),
+            pm: PmId(pm),
+        }
+    }
+
+    #[test]
+    fn normalization_is_order_independent() {
+        let a = ModelState::Shared(ClusterState {
+            opened: 2,
+            placements: vec![rec(3, 1), rec(1, 0), rec(2, 0)],
+        });
+        let b = ModelState::Shared(ClusterState {
+            opened: 2,
+            placements: vec![rec(1, 0), rec(2, 0), rec(3, 1)],
+        });
+        assert_ne!(a, b);
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.num_vms(), 3);
+        assert_eq!(a.opened_pms(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrips() {
+        let state = ModelState::Dedicated(vec![
+            (
+                OversubLevel::of(1),
+                ClusterState {
+                    opened: 1,
+                    placements: vec![rec(1, 0)],
+                },
+            ),
+            (
+                OversubLevel::of(3),
+                ClusterState {
+                    opened: 0,
+                    placements: vec![],
+                },
+            ),
+        ]);
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ModelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+        assert_eq!(back.opened_pms(), 1);
+    }
+}

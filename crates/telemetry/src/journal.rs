@@ -1,8 +1,89 @@
 //! The event journal and its JSONL exporter.
 
+use std::time::{Duration, Instant};
+
 use serde::{Deserialize, Serialize};
 
 use crate::event::Event;
+
+/// When a buffered log writer forces its bytes to stable storage.
+///
+/// A `flush` hands the buffer to the OS; only an `fsync` survives a
+/// machine crash. The policy trades durability for throughput:
+/// [`FsyncPolicy::Every`] makes each flush a durability point,
+/// [`FsyncPolicy::Interval`] bounds the data-loss window instead of the
+/// record count, and [`FsyncPolicy::Off`] leaves persistence timing to
+/// the OS entirely. Shared by [`JsonlWriter`] and the write-ahead log
+/// in `slackvm-durable`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync; the OS writes back when it pleases.
+    Off,
+    /// fsync on every flush.
+    Every,
+    /// fsync on a flush at most once per this interval.
+    Interval(Duration),
+}
+
+impl FsyncPolicy {
+    /// Resolves a policy name (`every`, `interval`, `off`);
+    /// `interval_ms` applies to `interval` only.
+    pub fn parse(name: &str, interval_ms: u64) -> Option<FsyncPolicy> {
+        match name {
+            "every" => Some(FsyncPolicy::Every),
+            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(interval_ms))),
+            "off" => Some(FsyncPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// The policy's canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Off => "off",
+            FsyncPolicy::Every => "every",
+            FsyncPolicy::Interval(_) => "interval",
+        }
+    }
+}
+
+/// Decides, flush by flush, whether an fsync is due under a policy.
+#[derive(Debug)]
+pub struct FsyncGate {
+    policy: FsyncPolicy,
+    last_sync: Option<Instant>,
+}
+
+impl FsyncGate {
+    /// A gate enforcing `policy`.
+    pub fn new(policy: FsyncPolicy) -> Self {
+        FsyncGate {
+            policy,
+            last_sync: None,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Whether the flush happening now must also fsync. Returning true
+    /// restarts the interval clock, so call exactly once per flush.
+    pub fn due(&mut self) -> bool {
+        match self.policy {
+            FsyncPolicy::Off => false,
+            FsyncPolicy::Every => true,
+            FsyncPolicy::Interval(every) => {
+                let due = self.last_sync.map_or(true, |at| at.elapsed() >= every);
+                if due {
+                    self.last_sync = Some(Instant::now());
+                }
+                due
+            }
+        }
+    }
+}
 
 /// One journal line: a simulation timestamp plus the event.
 ///
@@ -110,6 +191,7 @@ impl Journal {
 #[derive(Debug)]
 pub struct JsonlWriter {
     inner: Option<std::io::BufWriter<std::fs::File>>,
+    sync: FsyncGate,
 }
 
 impl JsonlWriter {
@@ -118,7 +200,28 @@ impl JsonlWriter {
         let file = std::fs::File::create(path)?;
         Ok(JsonlWriter {
             inner: Some(std::io::BufWriter::new(file)),
+            sync: FsyncGate::new(FsyncPolicy::Off),
         })
+    }
+
+    /// Opts into fsync-on-flush under `policy` — the crash-safety mode
+    /// journals written alongside a durable WAL should use, so a power
+    /// cut cannot keep WAL records the journal never saw.
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.sync = FsyncGate::new(policy);
+        self
+    }
+
+    /// Flushes the buffer to the OS and, when the fsync policy says the
+    /// flush is a durability point, forces it to stable storage.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let writer = self.inner.as_mut().expect("flush after finish()");
+        writer.flush()?;
+        if self.sync.due() {
+            writer.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 
     /// Appends one record as a JSON line.
@@ -135,11 +238,19 @@ impl JsonlWriter {
     }
 
     /// Flushes the buffer and closes the file. Call this to surface
-    /// write errors; the drop path can only swallow them.
+    /// write errors; the drop path can only swallow them. With any
+    /// fsync policy other than [`FsyncPolicy::Off`] the close is a
+    /// durability point regardless of the interval clock.
     pub fn finish(mut self) -> std::io::Result<()> {
         use std::io::Write as _;
         match self.inner.take() {
-            Some(mut writer) => writer.flush(),
+            Some(mut writer) => {
+                writer.flush()?;
+                if self.sync.policy() != FsyncPolicy::Off {
+                    writer.get_ref().sync_data()?;
+                }
+                Ok(())
+            }
             None => Ok(()),
         }
     }
@@ -150,6 +261,9 @@ impl Drop for JsonlWriter {
         use std::io::Write as _;
         if let Some(mut writer) = self.inner.take() {
             let _ = writer.flush();
+            if self.sync.policy() != FsyncPolicy::Off {
+                let _ = writer.get_ref().sync_data();
+            }
         }
     }
 }
@@ -256,5 +370,74 @@ mod tests {
     fn malformed_lines_error() {
         assert!(Journal::from_jsonl("{\"t\":1}").is_err());
         assert!(Journal::from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_names() {
+        assert_eq!(FsyncPolicy::parse("every", 0), Some(FsyncPolicy::Every));
+        assert_eq!(FsyncPolicy::parse("off", 0), Some(FsyncPolicy::Off));
+        assert_eq!(
+            FsyncPolicy::parse("interval", 50),
+            Some(FsyncPolicy::Interval(std::time::Duration::from_millis(50)))
+        );
+        assert_eq!(FsyncPolicy::parse("sometimes", 0), None);
+        for name in ["every", "interval", "off"] {
+            assert_eq!(FsyncPolicy::parse(name, 1).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn fsync_gate_follows_its_policy() {
+        let mut off = FsyncGate::new(FsyncPolicy::Off);
+        let mut every = FsyncGate::new(FsyncPolicy::Every);
+        for _ in 0..3 {
+            assert!(!off.due());
+            assert!(every.due());
+        }
+        // A long interval syncs once (the first flush) then goes quiet.
+        let mut interval =
+            FsyncGate::new(FsyncPolicy::Interval(std::time::Duration::from_secs(3600)));
+        assert!(interval.due());
+        assert!(!interval.due());
+        // A zero interval syncs on every flush.
+        let mut eager = FsyncGate::new(FsyncPolicy::Interval(std::time::Duration::ZERO));
+        assert!(eager.due() && eager.due());
+    }
+
+    #[test]
+    fn fsync_writer_persists_through_every_exit_path() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "slackvm-journal-fsync-{}.jsonl",
+            std::process::id()
+        ));
+        // Explicit flush mid-stream, then finish.
+        let mut writer = JsonlWriter::create(&path)
+            .unwrap()
+            .with_fsync(FsyncPolicy::Every);
+        writer.write(1, Event::PmOpened { pm: PmId(1) }).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(
+            Journal::from_jsonl(&std::fs::read_to_string(&path).unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        writer.write(2, Event::PmOpened { pm: PmId(2) }).unwrap();
+        writer.finish().unwrap();
+        // Drop path with a policy still flushes and syncs best-effort.
+        {
+            let mut writer = JsonlWriter::create(&path)
+                .unwrap()
+                .with_fsync(FsyncPolicy::Interval(std::time::Duration::from_secs(1)));
+            writer.write(3, Event::PmOpened { pm: PmId(3) }).unwrap();
+        }
+        assert_eq!(
+            Journal::from_jsonl(&std::fs::read_to_string(&path).unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -48,7 +48,7 @@ pub mod timeseries;
 pub mod trace;
 
 pub use event::Event;
-pub use journal::{EventRecord, Journal, JsonlWriter};
+pub use journal::{EventRecord, FsyncGate, FsyncPolicy, Journal, JsonlWriter};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSummary};
 pub use recorder::{NullRecorder, Recorder, SpanTimer};
 pub use timeseries::{Sampler, Series, SeriesPoint, SeriesSummary, TimeSeriesStore};

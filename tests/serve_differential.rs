@@ -58,7 +58,10 @@ fn deterministic_serve_reproduces_offline_packing_event_for_event() {
 
     assert_eq!(online.len(), outcome.deployments as usize);
     assert_eq!(online, offline, "decision sequences diverged");
-    assert_eq!(report.admitted() + report.rejected(), outcome.deployments as u64);
+    assert_eq!(
+        report.admitted() + report.rejected(),
+        outcome.deployments as u64
+    );
     assert_eq!(report.rejected(), outcome.rejections as u64);
     assert_eq!(report.opened_pms(), outcome.opened_pms);
     report.check_invariants().expect("final state invariants");
