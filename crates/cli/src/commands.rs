@@ -78,23 +78,37 @@ commands:
             [--sample-interval-ms MS] [--state-dir DIR]
             [--fsync every|interval|off] [--fsync-interval-ms MS]
             [--snapshot-every N] [--retain K]
+            [--obs-addr HOST:PORT] [--stall-ms MS]
+            [--trace off|stages] [--trace-sample N] [--trace-out FILE]
+            [--slo-window-s S] [--slo-p99-ms MS] [--slo-availability F]
                                  run the online placement service: line
                                  JSON over TCP, HTTP GET /metrics for a
                                  Prometheus snapshot; a client's
                                  {\"op\":\"shutdown\"} stops it;
                                  --state-dir journals every committed
                                  decision to a per-shard write-ahead
-                                 log and restarts recover the fleet
+                                 log and restarts recover the fleet;
+                                 --obs-addr starts a dedicated listener
+                                 serving /metrics, /healthz (per-shard
+                                 heartbeat watchdog), and /slo (rolling
+                                 error-budget scorecard) off the
+                                 request path; --trace-sample N records
+                                 every Nth request's full lifecycle as
+                                 Chrome-trace spans (--trace-out)
   bombard   [--addr HOST:PORT] [--scenario NAME] [--population N]
             [--seed S] [--clients N] [--requests N] [--rate R]
             [--shards N] [--policy NAME] [--fleet N] [--deadline-ms MS]
             [--series-out FILE] [--prom-out FILE] [--shutdown]
+            [--trace off|stages] [--trace-sample N] [--trace-out FILE]
                                  drive scenario traffic at a placement
                                  service — over TCP when --addr is
                                  given, else against an in-process
                                  service; --rate switches from closed
                                  to open loop; --shutdown stops the
-                                 remote server afterwards
+                                 remote server afterwards; the report
+                                 prints the server-side stage breakdown
+                                 (queue/place/commit) next to the
+                                 client-observed percentiles
   recover   --dir DIR            recover a serve state directory offline
                                  and report per shard what a restart
                                  would restore (snapshot, WAL tail,
@@ -987,6 +1001,48 @@ fn serve_durable(args: &Args) -> Result<Option<slackvm_serve::DurableOptions>, C
     Ok(Some(opts))
 }
 
+/// The request-tracing level. `--trace-sample N` upgrades the default
+/// stage-stamping level to full lifecycle sampling; `--trace off`
+/// removes even the per-batch clock reads from the hot path. A
+/// `--trace-out` without sampling is an error — no spans would ever be
+/// recorded, and an empty trace file the operator asked for would look
+/// like a bug downstream.
+fn serve_trace(args: &Args) -> Result<slackvm_serve::TraceLevel, CliError> {
+    let sample = args.get_parsed::<u64>("trace-sample")?;
+    if args.get("trace-out").is_some() && sample.is_none() {
+        return Err(CliError::Invalid(
+            "--trace-out requires --trace-sample (nothing records spans otherwise)".into(),
+        ));
+    }
+    match (args.get_or("trace", "stages"), sample) {
+        ("off", None) => Ok(slackvm_serve::TraceLevel::Off),
+        ("off", Some(_)) => Err(CliError::Invalid(
+            "--trace-sample conflicts with --trace off".into(),
+        )),
+        ("stages", None) => Ok(slackvm_serve::TraceLevel::Stages),
+        ("stages", Some(every)) => Ok(slackvm_serve::TraceLevel::Sampled { every }),
+        (other, _) => Err(CliError::Invalid(format!(
+            "unknown trace level {other:?} (off, stages; add --trace-sample N for spans)"
+        ))),
+    }
+}
+
+/// SLO targets for the `/slo` scorecard, defaulting to the library's
+/// targets; bounds are validated by the service config.
+fn serve_slo(args: &Args) -> Result<slackvm_serve::SloTargets, CliError> {
+    let mut slo = slackvm_serve::SloTargets::default();
+    if let Some(window) = args.get_parsed("slo-window-s")? {
+        slo.window_secs = window;
+    }
+    if let Some(p99_ms) = args.get_parsed::<u64>("slo-p99-ms")? {
+        slo.p99_us = p99_ms.saturating_mul(1000);
+    }
+    if let Some(availability) = args.get_parsed("slo-availability")? {
+        slo.availability = availability;
+    }
+    Ok(slo)
+}
+
 /// The serve/bombard options that shape the service itself.
 fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
     let index_raw = args.get_or("index", "incremental");
@@ -1007,6 +1063,9 @@ fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
         index,
         sample_interval_ms: args.get_parsed("sample-interval-ms")?,
         durable: serve_durable(args)?,
+        trace: serve_trace(args)?,
+        stall_threshold: std::time::Duration::from_millis(args.get_parsed_or("stall-ms", 2000)?),
+        slo: serve_slo(args)?,
     })
 }
 
@@ -1031,6 +1090,14 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "fsync-interval-ms",
         "snapshot-every",
         "retain",
+        "obs-addr",
+        "stall-ms",
+        "trace",
+        "trace-sample",
+        "trace-out",
+        "slo-window-s",
+        "slo-p99-ms",
+        "slo-availability",
     ])?;
     let config = serve_config(args)?;
     let addr = match args.get("addr") {
@@ -1049,6 +1116,17 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             r.elapsed.as_millis(),
         );
     }
+    // The observability plane binds before the request listener: a
+    // health probe must be answerable the moment traffic can arrive.
+    let obs = match args.get("obs-addr") {
+        Some(obs_addr) => {
+            let server = slackvm_serve::ObsServer::start(obs_addr, service.obs_handle())
+                .map_err(|e| CliError::Invalid(format!("cannot bind obs {obs_addr}: {e}")))?;
+            eprintln!("slackvm serve: observability on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let server = slackvm_serve::TcpServer::bind(&addr, service)
         .map_err(|e| CliError::Invalid(format!("cannot bind {addr}: {e}")))?;
     let local = server
@@ -1061,7 +1139,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     report
         .check_invariants()
         .map_err(|e| CliError::Invalid(format!("post-shutdown invariant violation: {e}")))?;
-    Ok(format!(
+    let mut out = format!(
         "serve: shutdown after {} connections, {} requests ({} bad lines)\n\
          admitted {}  rejected {}  shed {}  PMs opened {}",
         stats.connections,
@@ -1071,7 +1149,26 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         report.rejected(),
         report.shed(),
         report.opened_pms(),
-    ))
+    );
+    if let Some(obs) = obs {
+        let _ = write!(out, "\nobs: served {} scrapes", obs.stop());
+    }
+    if let Some(path) = args.get("trace-out") {
+        let json = report
+            .trace_json
+            .as_deref()
+            .expect("--trace-out validated to require --trace-sample");
+        std::fs::write(path, json).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
+        let _ = write!(out, "\nwrote {path} ({} bytes)", json.len());
+    }
+    let slow = report.render_slow_requests();
+    if !slow.is_empty() {
+        let _ = write!(out, "\nslowest sampled requests:\n{slow}");
+    }
+    Ok(out)
 }
 
 /// One-shot HTTP GET against the serve frontend, returning the
@@ -1117,6 +1214,13 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         "prom-out",
         "sample-interval-ms",
         "shutdown",
+        "trace",
+        "trace-sample",
+        "trace-out",
+        "stall-ms",
+        "slo-window-s",
+        "slo-p99-ms",
+        "slo-availability",
     ])?;
     let config = slackvm_serve::BombardConfig {
         scenario: args.get_or("scenario", "paper-week-f").to_string(),
@@ -1140,6 +1244,24 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
             return Err(CliError::Invalid(
                 "--rate and --series-out apply to in-process bombard only (drop --addr)".into(),
             ));
+        }
+        // Tracing and SLO targets belong to the server process; a
+        // remote bombard cannot set them and must not pretend to.
+        for key in [
+            "trace",
+            "trace-sample",
+            "trace-out",
+            "stall-ms",
+            "slo-window-s",
+            "slo-p99-ms",
+            "slo-availability",
+        ] {
+            if args.get(key).is_some() {
+                return Err(CliError::Invalid(format!(
+                    "--{key} configures the service, not the client — \
+                     pass it to `slackvm serve` (or drop --addr)"
+                )));
+            }
         }
         if config.requests > 0 {
             let report = slackvm_serve::run_tcp(addr, &config).map_err(invalid)?;
@@ -1202,6 +1324,14 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
     final_report
         .check_invariants()
         .map_err(|e| CliError::Invalid(format!("post-run invariant violation: {e}")))?;
+    if let Some(path) = args.get("trace-out") {
+        let json = final_report
+            .trace_json
+            .as_deref()
+            .expect("--trace-out validated to require --trace-sample");
+        write(path, json)?;
+        let _ = writeln!(out, "wrote {path} ({} bytes)", json.len());
+    }
     let _ = write!(
         out,
         "final: admitted {}  rejected {}  shed {}  PMs opened {}",
@@ -1210,6 +1340,10 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         final_report.shed(),
         final_report.opened_pms(),
     );
+    let slow = final_report.render_slow_requests();
+    if !slow.is_empty() {
+        let _ = write!(out, "\nslowest sampled requests:\n{slow}");
+    }
     Ok(out)
 }
 
@@ -2047,6 +2181,66 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_slo_flags_are_validated_before_binding() {
+        let err = run(&["serve", "--trace", "verbose"]).unwrap_err().to_string();
+        assert!(err.contains("unknown trace level"), "{err}");
+        let err = run(&["serve", "--trace-out", "/tmp/t.json"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--trace-out requires --trace-sample"), "{err}");
+        let err = run(&["serve", "--trace", "off", "--trace-sample", "4"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("conflicts"), "{err}");
+        let err = run(&["bombard", "--requests", "1", "--trace-sample", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("sampling period"), "{err}");
+        let err = run(&["bombard", "--requests", "1", "--stall-ms", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("stall threshold"), "{err}");
+        let err = run(&["bombard", "--requests", "1", "--slo-availability", "1.5"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("slo targets"), "{err}");
+        // A remote bombard cannot reconfigure the server's tracing.
+        let err = run(&["bombard", "--addr", "127.0.0.1:1", "--trace-sample", "4"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("slackvm serve"), "{err}");
+    }
+
+    #[test]
+    fn bombard_samples_a_chrome_trace_and_prints_the_stage_breakdown() {
+        let dir = std::env::temp_dir().join(format!("slackvm-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("spans.json");
+        let out = run(&[
+            "bombard",
+            "--requests",
+            "150",
+            "--population",
+            "24",
+            "--clients",
+            "2",
+            "--trace-sample",
+            "3",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("server     queue"), "{out}");
+        assert!(out.contains("slowest sampled requests:"), "{out}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        for span in ["serve.request", "serve.queue_wait", "serve.placement"] {
+            assert!(json.contains(&format!("\"name\":\"{span}\"")), "{span} missing");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn recover_and_fsck_audit_a_state_directory_written_by_the_service() {
         use slackvm_serve::{DurableOptions, ModelSpec, Op, ServeConfig};
         let dir = std::env::temp_dir().join(format!("slackvm-cli-durable-{}", std::process::id()));
@@ -2061,6 +2255,7 @@ mod tests {
             index: IndexMode::Incremental,
             sample_interval_ms: None,
             durable: Some(DurableOptions::new(&dir)),
+            ..ServeConfig::default()
         };
         let svc = slackvm_serve::PlacementService::start(config).unwrap();
         for i in 0..10u64 {

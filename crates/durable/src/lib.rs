@@ -52,4 +52,4 @@ pub use recovery::{fsck_shard, recover_shard, shard_dir, FsckReport, RecoveryRep
 pub use shard::{DurableOptions, ShardDurable};
 pub use slackvm_telemetry::FsyncPolicy;
 pub use snapshot::{load_latest_snapshot, prune_snapshots, read_snapshot, write_snapshot};
-pub use wal::{scan_wal, WalOp, WalOutcome, WalRecord, WalScan, WalWriter, WAL_FILE};
+pub use wal::{scan_wal, CommitStamp, WalOp, WalOutcome, WalRecord, WalScan, WalWriter, WAL_FILE};

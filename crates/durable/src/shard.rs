@@ -9,7 +9,6 @@
 //! (to the extent the configured fsync policy promises).
 
 use std::path::PathBuf;
-use std::time::Duration;
 
 use slackvm_sim::DeploymentModel;
 use slackvm_telemetry::FsyncPolicy;
@@ -17,7 +16,7 @@ use slackvm_telemetry::FsyncPolicy;
 use crate::error::DurableError;
 use crate::recovery::{recover_shard, shard_dir, RecoveryReport};
 use crate::snapshot::{prune_snapshots, write_snapshot};
-use crate::wal::{WalOp, WalOutcome, WalRecord, WalWriter, WAL_FILE};
+use crate::wal::{CommitStamp, WalOp, WalOutcome, WalRecord, WalWriter, WAL_FILE};
 
 /// How a service persists its decisions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,9 +97,10 @@ impl ShardDurable {
     }
 
     /// Makes the batch durable per the fsync policy; call before
-    /// releasing the batch's replies. Returns the fsync duration when
-    /// one happened.
-    pub fn commit(&mut self) -> Result<Option<Duration>, DurableError> {
+    /// releasing the batch's replies. Returns the commit's timing
+    /// stamp — the serving layer attributes its wall time to the
+    /// requests whose replies the commit gated.
+    pub fn commit(&mut self) -> Result<CommitStamp, DurableError> {
         self.wal.commit()
     }
 

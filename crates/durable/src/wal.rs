@@ -172,6 +172,18 @@ pub fn scan_bytes(buf: &[u8]) -> WalScan {
     }
 }
 
+/// Timing of one durability point: how long the whole commit took
+/// (buffered flush plus any fsync), and the fsync share when the policy
+/// made this batch durable. Serving layers attribute `wall` to the
+/// requests whose replies the commit gated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStamp {
+    /// Wall-clock duration of the commit call.
+    pub wall: Duration,
+    /// The fsync duration when one happened.
+    pub fsync: Option<Duration>,
+}
+
 /// Appends frames to a journal whose valid prefix was established by a
 /// prior [`scan_wal`].
 pub struct WalWriter {
@@ -222,14 +234,19 @@ impl WalWriter {
 
     /// Flushes buffered frames to the OS and, when the fsync policy
     /// says the batch is a durability point, syncs them to stable
-    /// storage. Returns the fsync duration when one happened.
-    pub fn commit(&mut self) -> Result<Option<Duration>, DurableError> {
+    /// storage. Returns the commit's timing stamp.
+    pub fn commit(&mut self) -> Result<CommitStamp, DurableError> {
+        let start = Instant::now();
         self.out.flush().map_err(DurableError::io("wal flush"))?;
-        if self.unsynced && self.gate.due() {
-            Ok(Some(self.sync_inner()?))
+        let fsync = if self.unsynced && self.gate.due() {
+            Some(self.sync_inner()?)
         } else {
-            Ok(None)
-        }
+            None
+        };
+        Ok(CommitStamp {
+            wall: start.elapsed(),
+            fsync,
+        })
     }
 
     /// Flushes and syncs unconditionally — the barrier before writing a
@@ -289,7 +306,11 @@ mod tests {
         for seq in 1..=5 {
             w.append(&record(seq)).unwrap();
         }
-        assert_eq!(w.commit().unwrap(), None, "Off policy never fsyncs");
+        assert_eq!(
+            w.commit().unwrap().fsync,
+            None,
+            "Off policy never fsyncs"
+        );
         drop(w);
         let scan = scan_wal(&path).unwrap();
         assert_eq!(scan.records.len(), 5);
@@ -299,7 +320,9 @@ mod tests {
         // Reopen at the valid prefix and extend.
         let mut w = WalWriter::open(&path, scan.valid_len, FsyncPolicy::Every).unwrap();
         w.append(&record(6)).unwrap();
-        assert!(w.commit().unwrap().is_some(), "Every policy fsyncs");
+        let stamp = w.commit().unwrap();
+        assert!(stamp.fsync.is_some(), "Every policy fsyncs");
+        assert!(stamp.wall >= stamp.fsync.unwrap(), "fsync is part of wall");
         drop(w);
         assert_eq!(scan_wal(&path).unwrap().last_seq(), Some(6));
         let _ = std::fs::remove_file(&path);

@@ -27,8 +27,9 @@ use slackvm_perf::TailPercentiles;
 use slackvm_workload::{scenarios, WorkloadEvent};
 
 use crate::error::ServeError;
-use crate::request::{Op, Outcome};
+use crate::request::{Op, Outcome, Reply};
 use crate::service::PlacementService;
+use crate::wire::WireReply;
 
 /// Load-generation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +115,71 @@ pub struct BombardReport {
     /// closed loop, worker-observed in open loop). `None` when nothing
     /// completed.
     pub latency: Option<TailPercentiles>,
+    /// Server-reported per-stage breakdown of the same requests, from
+    /// the stage fields replies carry when the service runs staged
+    /// tracing. Empty under `TraceLevel::Off`.
+    pub stages: StageBreakdown,
+}
+
+/// Server-side stage latencies of the bombarded requests: where the
+/// client-observed latency was actually spent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Queue-wait stage (enqueue → dequeue).
+    pub queue: Option<TailPercentiles>,
+    /// Placement stage (dequeue → decision).
+    pub place: Option<TailPercentiles>,
+    /// WAL-commit stage (zero-duration when the service is in-memory).
+    pub commit: Option<TailPercentiles>,
+}
+
+impl StageBreakdown {
+    /// Whether any stage was reported.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_none() && self.place.is_none() && self.commit.is_none()
+    }
+}
+
+/// Per-client accumulator of server-reported stage samples.
+#[derive(Default)]
+struct StageSamples {
+    queue: Vec<f64>,
+    place: Vec<f64>,
+    commit: Vec<f64>,
+}
+
+impl StageSamples {
+    fn note_reply(&mut self, reply: &Reply) {
+        self.queue.push(reply.queue_us as f64);
+        self.place.push(reply.place_us as f64);
+        self.commit.push(reply.commit_us as f64);
+    }
+
+    fn note_wire(&mut self, reply: &WireReply) {
+        if let Some(us) = reply.queue_us {
+            self.queue.push(us as f64);
+        }
+        if let Some(us) = reply.place_us {
+            self.place.push(us as f64);
+        }
+        if let Some(us) = reply.commit_us {
+            self.commit.push(us as f64);
+        }
+    }
+
+    fn absorb(&mut self, other: StageSamples) {
+        self.queue.extend(other.queue);
+        self.place.extend(other.place);
+        self.commit.extend(other.commit);
+    }
+
+    fn breakdown(&self) -> StageBreakdown {
+        StageBreakdown {
+            queue: TailPercentiles::of(&self.queue),
+            place: TailPercentiles::of(&self.place),
+            commit: TailPercentiles::of(&self.commit),
+        }
+    }
 }
 
 impl BombardReport {
@@ -135,6 +201,18 @@ impl BombardReport {
                 p.p50, p.p99, p.p999, p.max, p.count
             )),
             None => out.push_str("  latency    (no completed placements)\n"),
+        }
+        if !self.stages.is_empty() {
+            let cell = |p: &Option<TailPercentiles>| match p {
+                Some(p) => format!("p50 {:.0}/p99 {:.0} us", p.p50, p.p99),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "  server     queue {}  place {}  commit {}\n",
+                cell(&self.stages.queue),
+                cell(&self.stages.place),
+                cell(&self.stages.commit)
+            ));
         }
         out
     }
@@ -163,7 +241,14 @@ impl Tally {
     }
 }
 
-fn report(mode: &str, ops: u64, wall: Duration, tally: &Tally, latencies: &[f64]) -> BombardReport {
+fn report(
+    mode: &str,
+    ops: u64,
+    wall: Duration,
+    tally: &Tally,
+    latencies: &[f64],
+    stages: &StageSamples,
+) -> BombardReport {
     let wall_secs = wall.as_secs_f64().max(1e-9);
     BombardReport {
         mode: mode.into(),
@@ -177,6 +262,7 @@ fn report(mode: &str, ops: u64, wall: Duration, tally: &Tally, latencies: &[f64]
         unknown: tally.unknown.load(Ordering::Relaxed),
         removed: tally.removed.load(Ordering::Relaxed),
         latency: TailPercentiles::of(latencies),
+        stages: stages.breakdown(),
     }
 }
 
@@ -197,8 +283,10 @@ pub fn run_closed_loop(
     let per_client = config.requests / clients as u64;
     let tally = Tally::default();
     let ops = AtomicU64::new(0);
+    let staged = service.config().trace.stages();
     let started = Instant::now();
     let mut all_latencies: Vec<f64> = Vec::new();
+    let mut all_stages = StageSamples::default();
 
     std::thread::scope(|scope| -> Result<(), ServeError> {
         let mut handles = Vec::new();
@@ -206,42 +294,49 @@ pub fn run_closed_loop(
             let specs = &specs;
             let tally = &tally;
             let ops = &ops;
-            handles.push(scope.spawn(move || -> Result<Vec<f64>, ServeError> {
-                let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
-                let mut latencies = Vec::with_capacity(per_client as usize);
-                // Clients start at staggered offsets of the trace so the
-                // fleet sees the scenario's mix, not one slice of it.
-                let offset = (client as usize * specs.len()) / clients as usize;
-                for n in 0..per_client {
-                    let spec = specs[(offset + n as usize) % specs.len()];
-                    let id = client_vm_id(client, n);
-                    let t0 = Instant::now();
-                    let reply = service.call(Op::Place { id, spec })?;
-                    latencies.push(t0.elapsed().as_micros() as f64);
-                    ops.fetch_add(1, Ordering::Relaxed);
-                    tally.note(reply.outcome);
-                    if matches!(reply.outcome, Outcome::Placed(_)) {
-                        alive.push_back(id);
+            handles.push(
+                scope.spawn(move || -> Result<(Vec<f64>, StageSamples), ServeError> {
+                    let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
+                    let mut latencies = Vec::with_capacity(per_client as usize);
+                    let mut stages = StageSamples::default();
+                    // Clients start at staggered offsets of the trace so the
+                    // fleet sees the scenario's mix, not one slice of it.
+                    let offset = (client as usize * specs.len()) / clients as usize;
+                    for n in 0..per_client {
+                        let spec = specs[(offset + n as usize) % specs.len()];
+                        let id = client_vm_id(client, n);
+                        let t0 = Instant::now();
+                        let reply = service.call(Op::Place { id, spec })?;
+                        latencies.push(t0.elapsed().as_micros() as f64);
+                        if staged {
+                            stages.note_reply(&reply);
+                        }
+                        ops.fetch_add(1, Ordering::Relaxed);
+                        tally.note(reply.outcome);
+                        if matches!(reply.outcome, Outcome::Placed(_)) {
+                            alive.push_back(id);
+                        }
+                        if alive.len() > window {
+                            let oldest = alive.pop_front().expect("window > 0");
+                            let reply = service.call(Op::Remove { id: oldest })?;
+                            ops.fetch_add(1, Ordering::Relaxed);
+                            tally.note(reply.outcome);
+                        }
                     }
-                    if alive.len() > window {
-                        let oldest = alive.pop_front().expect("window > 0");
-                        let reply = service.call(Op::Remove { id: oldest })?;
+                    // Drain the window so the service ends empty.
+                    for id in alive {
+                        let reply = service.call(Op::Remove { id })?;
                         ops.fetch_add(1, Ordering::Relaxed);
                         tally.note(reply.outcome);
                     }
-                }
-                // Drain the window so the service ends empty.
-                for id in alive {
-                    let reply = service.call(Op::Remove { id })?;
-                    ops.fetch_add(1, Ordering::Relaxed);
-                    tally.note(reply.outcome);
-                }
-                Ok(latencies)
-            }));
+                    Ok((latencies, stages))
+                }),
+            );
         }
         for handle in handles {
-            let latencies = handle.join().expect("bombard client panicked")?;
+            let (latencies, stages) = handle.join().expect("bombard client panicked")?;
             all_latencies.extend(latencies);
+            all_stages.absorb(stages);
         }
         Ok(())
     })?;
@@ -252,6 +347,7 @@ pub fn run_closed_loop(
         started.elapsed(),
         &tally,
         &all_latencies,
+        &all_stages,
     ))
 }
 
@@ -292,11 +388,16 @@ pub fn run_open_loop(
         }
     }
     drop(reply_tx);
+    let staged = service.config().trace.stages();
     let mut latencies = Vec::with_capacity(submitted as usize);
+    let mut stages = StageSamples::default();
     for _ in 0..submitted {
         let reply = reply_rx.recv().map_err(|_| ServeError::Disconnected)?;
         tally.note(reply.outcome);
         latencies.push(reply.latency_us as f64);
+        if staged {
+            stages.note_reply(&reply);
+        }
     }
     Ok(report(
         "open-loop",
@@ -304,6 +405,7 @@ pub fn run_open_loop(
         started.elapsed(),
         &tally,
         &latencies,
+        &stages,
     ))
 }
 
@@ -321,6 +423,7 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
     let ops = AtomicU64::new(0);
     let started = Instant::now();
     let mut all_latencies: Vec<f64> = Vec::new();
+    let mut all_stages = StageSamples::default();
 
     std::thread::scope(|scope| -> Result<(), ServeError> {
         let mut handles = Vec::new();
@@ -329,66 +432,71 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
             let tally = &tally;
             let ops = &ops;
             let addr = addr.to_string();
-            handles.push(scope.spawn(move || -> Result<Vec<f64>, ServeError> {
-                let stream = TcpStream::connect(&addr)?;
-                // One-line requests: never wait out Nagle + delayed ACK.
-                stream.set_nodelay(true)?;
-                let mut writer = stream.try_clone()?;
-                let mut reader = BufReader::new(stream);
-                let mut line = String::new();
-                let ask = |writer: &mut TcpStream,
-                           reader: &mut BufReader<TcpStream>,
-                           line: &mut String,
-                           req: String|
-                 -> Result<crate::wire::WireReply, ServeError> {
-                    writeln!(writer, "{req}")?;
-                    writer.flush()?;
-                    line.clear();
-                    reader.read_line(line)?;
-                    crate::wire::parse_reply(line)
-                };
-                let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
-                let mut latencies = Vec::with_capacity(per_client as usize);
-                let offset = (client as usize * specs.len()) / clients as usize;
-                for n in 0..per_client {
-                    let spec = specs[(offset + n as usize) % specs.len()];
-                    let id = client_vm_id(client, n);
-                    let req = format!(
-                        "{{\"op\":\"place\",\"id\":{},\"vcpus\":{},\"mem_mib\":{},\"level\":{}}}",
-                        id.0,
-                        spec.vcpus(),
-                        spec.mem_mib(),
-                        spec.level.ratio()
-                    );
-                    let t0 = Instant::now();
-                    let reply = ask(&mut writer, &mut reader, &mut line, req)?;
-                    latencies.push(t0.elapsed().as_micros() as f64);
-                    ops.fetch_add(1, Ordering::Relaxed);
-                    let outcome = crate::tcp::classify(&reply);
-                    tally.note(outcome);
-                    if matches!(outcome, Outcome::Placed(_)) {
-                        alive.push_back(id);
+            handles.push(
+                scope.spawn(move || -> Result<(Vec<f64>, StageSamples), ServeError> {
+                    let stream = TcpStream::connect(&addr)?;
+                    // One-line requests: never wait out Nagle + delayed ACK.
+                    stream.set_nodelay(true)?;
+                    let mut writer = stream.try_clone()?;
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    let ask = |writer: &mut TcpStream,
+                               reader: &mut BufReader<TcpStream>,
+                               line: &mut String,
+                               req: String|
+                     -> Result<crate::wire::WireReply, ServeError> {
+                        writeln!(writer, "{req}")?;
+                        writer.flush()?;
+                        line.clear();
+                        reader.read_line(line)?;
+                        crate::wire::parse_reply(line)
+                    };
+                    let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
+                    let mut latencies = Vec::with_capacity(per_client as usize);
+                    let mut stages = StageSamples::default();
+                    let offset = (client as usize * specs.len()) / clients as usize;
+                    for n in 0..per_client {
+                        let spec = specs[(offset + n as usize) % specs.len()];
+                        let id = client_vm_id(client, n);
+                        let req = format!(
+                            "{{\"op\":\"place\",\"id\":{},\"vcpus\":{},\"mem_mib\":{},\"level\":{}}}",
+                            id.0,
+                            spec.vcpus(),
+                            spec.mem_mib(),
+                            spec.level.ratio()
+                        );
+                        let t0 = Instant::now();
+                        let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                        latencies.push(t0.elapsed().as_micros() as f64);
+                        stages.note_wire(&reply);
+                        ops.fetch_add(1, Ordering::Relaxed);
+                        let outcome = crate::tcp::classify(&reply);
+                        tally.note(outcome);
+                        if matches!(outcome, Outcome::Placed(_)) {
+                            alive.push_back(id);
+                        }
+                        if alive.len() > window {
+                            let oldest = alive.pop_front().expect("window > 0");
+                            let req = format!("{{\"op\":\"remove\",\"id\":{}}}", oldest.0);
+                            let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                            ops.fetch_add(1, Ordering::Relaxed);
+                            tally.note(crate::tcp::classify(&reply));
+                        }
                     }
-                    if alive.len() > window {
-                        let oldest = alive.pop_front().expect("window > 0");
-                        let req = format!("{{\"op\":\"remove\",\"id\":{}}}", oldest.0);
+                    for id in alive {
+                        let req = format!("{{\"op\":\"remove\",\"id\":{}}}", id.0);
                         let reply = ask(&mut writer, &mut reader, &mut line, req)?;
                         ops.fetch_add(1, Ordering::Relaxed);
                         tally.note(crate::tcp::classify(&reply));
                     }
-                }
-                for id in alive {
-                    let req = format!("{{\"op\":\"remove\",\"id\":{}}}", id.0);
-                    let reply = ask(&mut writer, &mut reader, &mut line, req)?;
-                    ops.fetch_add(1, Ordering::Relaxed);
-                    tally.note(crate::tcp::classify(&reply));
-                }
-                Ok(latencies)
-            }));
+                    Ok((latencies, stages))
+                }),
+            );
         }
         for handle in handles {
-            let latencies = handle.join().expect("bombard tcp client panicked")?;
+            let (latencies, stages) = handle.join().expect("bombard tcp client panicked")?;
             all_latencies.extend(latencies);
+            all_stages.absorb(stages);
         }
         Ok(())
     })?;
@@ -399,6 +507,7 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
         started.elapsed(),
         &tally,
         &all_latencies,
+        &all_stages,
     ))
 }
 
@@ -449,6 +558,11 @@ mod tests {
         let p = report.latency.expect("latencies recorded");
         assert_eq!(p.count, 400);
         assert!(p.p50 <= p.p99 && p.p99 <= p.max);
+        // Default trace level stages every request: the server-side
+        // breakdown rides back on the replies.
+        assert!(!report.stages.is_empty(), "{report:?}");
+        assert_eq!(report.stages.queue.as_ref().unwrap().count, 400);
+        assert!(report.render().contains("server     queue"), "{report:?}");
         let final_report = svc.stop();
         for shard in &final_report.shards {
             let (alloc, _) = shard.model.totals();

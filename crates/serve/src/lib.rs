@@ -29,6 +29,14 @@
 //!   one shard in deterministic mode the service makes the same
 //!   decisions as offline `run_packing`, placement for placement
 //!   (proven by the `serve_differential` suite test).
+//! - [`obs`]: the always-on observability plane — a dedicated
+//!   background HTTP listener (`serve --obs-addr`) serving `/metrics`,
+//!   `/healthz` (per-shard heartbeat watchdog), and `/slo` (rolling
+//!   error-budget scorecard) off the request path. Request-scoped
+//!   tracing ([`TraceLevel`]) mints a trace ID at the door, stamps
+//!   every lifecycle stage (door → queue → placement → WAL commit →
+//!   reply) into per-stage histograms, and can sample full request
+//!   lifecycles as Chrome-trace spans.
 //!
 //! With [`ServeConfig::durable`](request::ServeConfig::durable) set,
 //! every committed decision is journaled to a per-shard write-ahead
@@ -40,6 +48,7 @@
 
 pub mod bombard;
 pub mod error;
+pub mod obs;
 pub mod replay;
 pub mod request;
 pub mod service;
@@ -47,11 +56,15 @@ pub mod shard;
 pub mod tcp;
 pub mod wire;
 
-pub use bombard::{run_closed_loop, run_open_loop, run_tcp, BombardConfig, BombardReport};
+pub use bombard::{
+    run_closed_loop, run_open_loop, run_tcp, BombardConfig, BombardReport, StageBreakdown,
+};
 pub use error::ServeError;
+pub use obs::{HealthReport, ObsHandle, ObsServer, ShardHealth};
 pub use replay::{serve_replay, Decision, ReplaySummary};
-pub use request::{ModelSpec, Op, Outcome, Reply, ServeConfig};
+pub use request::{ModelSpec, Op, Outcome, Reply, ServeConfig, TraceLevel};
 pub use service::{PlacementService, ServiceReport};
 pub use shard::{ShardReport, ShardSummary};
 pub use slackvm_durable::{DurableOptions, FsyncPolicy};
+pub use slackvm_telemetry::{SloReport, SloTargets};
 pub use tcp::{TcpServer, TcpStats};

@@ -1,0 +1,335 @@
+//! The always-on observability plane: a dedicated background HTTP
+//! listener serving `/metrics`, `/healthz`, and `/slo` off the request
+//! path.
+//!
+//! The request listener answers `GET /metrics` too (handy for a quick
+//! `curl` against the service port), but a scrape there competes with
+//! admission traffic for accept slots and connection threads. The
+//! [`ObsServer`] binds its own port (`serve --obs-addr`) and serves
+//! scrapes, health probes, and SLO queries from an [`ObsHandle`] — a
+//! bundle of shared views onto the live service — so the observability
+//! plane keeps answering even while every request thread is saturated.
+//!
+//! - `/metrics` — the Prometheus exposition (same snapshot the request
+//!   listener serves).
+//! - `/healthz` — per-shard worker liveness. Workers stamp a heartbeat
+//!   every loop turn, including idle timeouts; a heartbeat older than
+//!   the configured stall threshold flips the endpoint to `503` with a
+//!   JSON report naming the wedged shard.
+//! - `/slo` — the rolling-window scorecard: p99 latency vs target,
+//!   shed rate, remaining error budget.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use slackvm_telemetry::{prometheus, MetricsRegistry, SloReport, SloTracker, TimeSeriesStore};
+
+use crate::error::ServeError;
+use crate::shard::{ms_since, ShardSummary};
+
+/// Shared views onto a live service, detached from its lifetime
+/// management: everything the observability listener needs, nothing it
+/// could wedge. Obtained from
+/// [`PlacementService::obs_handle`](crate::PlacementService::obs_handle).
+pub struct ObsHandle {
+    pub(crate) metrics: Arc<Mutex<MetricsRegistry>>,
+    pub(crate) series: Option<Arc<Mutex<TimeSeriesStore>>>,
+    pub(crate) summaries: Arc<Vec<ShardSummary>>,
+    pub(crate) slo: Arc<Mutex<SloTracker>>,
+    pub(crate) epoch: Instant,
+    pub(crate) stall_threshold: Duration,
+}
+
+impl ObsHandle {
+    /// The Prometheus exposition (metrics plus, when sampling is on,
+    /// the time-series gauges) — the same snapshot
+    /// `PlacementService::metrics_exposition` renders.
+    pub fn exposition(&self) -> String {
+        let m = self.metrics.lock().expect("metrics lock");
+        match self.series.as_ref() {
+            Some(store) => {
+                let s = store.lock().expect("series lock");
+                prometheus::render(&m, Some(&s))
+            }
+            None => prometheus::render(&m, None),
+        }
+    }
+
+    /// Per-shard worker liveness as of now.
+    pub fn health(&self) -> HealthReport {
+        let now_ms = ms_since(self.epoch);
+        let stall_ms = self.stall_threshold.as_millis() as u64;
+        let shards = self
+            .summaries
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| {
+                let beat_age_ms = now_ms.saturating_sub(s.last_beat_ms());
+                ShardHealth {
+                    shard: idx as u32,
+                    queued: s.queued(),
+                    beat_age_ms,
+                    stalled: beat_age_ms > stall_ms,
+                }
+            })
+            .collect();
+        HealthReport { stall_ms, shards }
+    }
+
+    /// The rolling-window SLO scorecard as of now.
+    pub fn slo(&self) -> SloReport {
+        self.slo
+            .lock()
+            .expect("slo lock")
+            .report(ms_since(self.epoch))
+    }
+}
+
+/// One shard's liveness line in a [`HealthReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: u32,
+    /// Requests queued at the shard right now.
+    pub queued: usize,
+    /// Milliseconds since the worker's last heartbeat.
+    pub beat_age_ms: u64,
+    /// Whether the heartbeat is older than the stall threshold.
+    pub stalled: bool,
+}
+
+/// The `/healthz` verdict: every shard's heartbeat age against the
+/// stall threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The stall threshold in force, milliseconds.
+    pub stall_ms: u64,
+    /// One line per shard, in shard order.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthReport {
+    /// Healthy iff no shard is stalled.
+    pub fn healthy(&self) -> bool {
+        self.shards.iter().all(|s| !s.stalled)
+    }
+
+    /// The report as one JSON object (hand-rolled, like the wire
+    /// protocol — no serialization framework on the service path).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"healthy\":{},\"stall_ms\":{},\"shards\":[",
+            self.healthy(),
+            self.stall_ms
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"queued\":{},\"beat_age_ms\":{},\"stalled\":{}}}",
+                s.shard, s.queued, s.beat_age_ms, s.stalled
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a complete HTTP/1.1 response with correct framing
+/// (`Content-Length`, `Connection: close`) — shared by the dedicated
+/// listener and the request listener's `GET` path.
+pub(crate) fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Routes one `GET` path to its endpoint and renders the full HTTP
+/// response.
+pub(crate) fn respond(path: &str, handle: &ObsHandle) -> String {
+    // Strip any query string: probes often add cache-busters.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" | "/" => http_response(
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &handle.exposition(),
+        ),
+        "/healthz" => {
+            let health = handle.health();
+            let status = if health.healthy() {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            http_response(status, "application/json", &health.to_json())
+        }
+        "/slo" => http_response("200 OK", "application/json", &handle.slo().to_json()),
+        _ => http_response("404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// The dedicated observability listener: one background thread, one
+/// HTTP request per connection.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<u64>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving `handle`
+    /// in a background thread.
+    pub fn start(addr: &str, handle: ObsHandle) -> Result<ObsServer, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("slackvm-obs".into())
+            .spawn(move || {
+                let mut served = 0u64;
+                for conn in listener.incoming() {
+                    if stop_seen.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    served += serve_one(stream, &handle);
+                }
+                served
+            })
+            .map_err(ServeError::Io)?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (the resolved port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and returns how many requests it served.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        self.thread
+            .take()
+            .and_then(|t| t.join().ok())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one HTTP request on `stream`. Returns 1 when a well-formed
+/// `GET` was answered (the shutdown wake-up connection reads as 0).
+fn serve_one(stream: TcpStream, handle: &ObsHandle) -> u64 {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return 0,
+    };
+    let mut first_line = String::new();
+    if BufReader::new(stream).read_line(&mut first_line).is_err() {
+        return 0;
+    }
+    let mut parts = first_line.split_whitespace();
+    let response = match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => respond(path, handle),
+        (Some(_), _) => http_response("405 Method Not Allowed", "text/plain", "GET only\n"),
+        (None, _) => return 0,
+    };
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_telemetry::SloTargets;
+
+    fn handle_with(stall: Duration) -> ObsHandle {
+        let summaries: Arc<Vec<ShardSummary>> = Arc::new(vec![ShardSummary::default()]);
+        summaries[0].heartbeat(0);
+        ObsHandle {
+            metrics: Arc::new(Mutex::new(MetricsRegistry::new())),
+            series: None,
+            summaries,
+            slo: Arc::new(Mutex::new(SloTracker::new(SloTargets::default()))),
+            epoch: Instant::now(),
+            stall_threshold: stall,
+        }
+    }
+
+    #[test]
+    fn http_framing_carries_content_length() {
+        let response = http_response("200 OK", "text/plain", "hello");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("Content-Length: 5\r\n"));
+        assert!(response.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn health_flips_when_the_heartbeat_goes_stale() {
+        let handle = handle_with(Duration::from_secs(3600));
+        let health = handle.health();
+        assert!(health.healthy(), "{health:?}");
+        assert!(health.to_json().contains("\"healthy\":true"));
+
+        let stale = handle_with(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(20));
+        let health = stale.health();
+        assert!(!health.healthy(), "{health:?}");
+        assert!(health.shards[0].stalled);
+        assert!(health.to_json().contains("\"stalled\":true"));
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_non_get_405() {
+        let handle = handle_with(Duration::from_secs(1));
+        assert!(respond("/nope", &handle).starts_with("HTTP/1.1 404"));
+        assert!(respond("/metrics?x=1", &handle).starts_with("HTTP/1.1 200"));
+        assert!(respond("/slo", &handle).contains("\"error_budget_remaining\""));
+    }
+
+    #[test]
+    fn obs_server_round_trip_over_tcp() {
+        use std::io::Read;
+        let server = ObsServer::start("127.0.0.1:0", handle_with(Duration::from_secs(3600)))
+            .unwrap();
+        let addr = server.local_addr();
+        let mut probe = |path: &str| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            out
+        };
+        assert!(probe("/healthz").starts_with("HTTP/1.1 200"));
+        assert!(probe("/slo").contains("\"p99_us\""));
+        let metrics = probe("/metrics");
+        assert!(metrics.contains("Content-Length:"), "{metrics}");
+        assert!(server.stop() >= 3);
+    }
+}

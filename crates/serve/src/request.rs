@@ -7,6 +7,7 @@ use slackvm_durable::{DurableOptions, Manifest, ManifestModel};
 use slackvm_model::{OversubLevel, PmConfig, PmId, VmId, VmSpec};
 use slackvm_sched::{IndexMode, PlacementPolicy, POLICY_NAMES};
 use slackvm_sim::{DedicatedDeployment, DeploymentModel, SharedDeployment};
+use slackvm_telemetry::SloTargets;
 use slackvm_topology::topology_from_spec;
 
 use crate::error::ServeError;
@@ -80,6 +81,57 @@ pub struct Reply {
     pub outcome: Outcome,
     /// Queueing plus service time observed by the worker, microseconds.
     pub latency_us: u64,
+    /// Request-scoped trace ID, minted at the door. Never zero for a
+    /// request that entered the service.
+    pub trace: u64,
+    /// Time spent queued (enqueue → dequeue), microseconds. Zero when
+    /// the service runs with [`TraceLevel::Off`].
+    pub queue_us: u64,
+    /// Time from dequeue to the placement decision, microseconds. Zero
+    /// under [`TraceLevel::Off`].
+    pub place_us: u64,
+    /// Wall time of the WAL commit that gated this reply, microseconds
+    /// (shared by every request in the batch; zero when the service is
+    /// not durable or under [`TraceLevel::Off`]).
+    pub commit_us: u64,
+}
+
+/// How much per-request timing the serve path records.
+///
+/// The default, [`TraceLevel::Stages`], stamps the lifecycle stages of
+/// every request (two extra clock reads per request) and folds them
+/// into the per-stage histograms. [`TraceLevel::Sampled`] additionally
+/// emits every `every`-th request's full lifecycle as Chrome-trace
+/// spans and feeds the per-shard slow-request digests.
+/// [`TraceLevel::Off`] restores the untraced hot path: one clock read
+/// per batch, no stage fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// No per-request stage timing (stage fields in replies are zero).
+    Off,
+    /// Stage timestamps and histograms for every request.
+    Stages,
+    /// `Stages`, plus full span emission for one request in `every`.
+    Sampled {
+        /// Sampling period: request sequence numbers divisible by this
+        /// are traced end to end. 1 traces everything.
+        every: u64,
+    },
+}
+
+impl TraceLevel {
+    /// Whether stage timestamps are being recorded at all.
+    pub fn stages(&self) -> bool {
+        !matches!(self, TraceLevel::Off)
+    }
+
+    /// The sampling period when span emission is on.
+    pub fn sample_every(&self) -> Option<u64> {
+        match self {
+            TraceLevel::Sampled { every } => Some(*every),
+            _ => None,
+        }
+    }
 }
 
 /// Which deployment model each shard owns.
@@ -244,6 +296,14 @@ pub struct ServeConfig {
     /// recovers its placements. `None` keeps the service in-memory
     /// only.
     pub durable: Option<DurableOptions>,
+    /// Per-request tracing depth (stage histograms, span sampling).
+    pub trace: TraceLevel,
+    /// Watchdog threshold for the `/healthz` plane: a shard whose
+    /// worker heartbeat is older than this is reported stalled and
+    /// flips the endpoint to 503.
+    pub stall_threshold: Duration,
+    /// Objectives the `/slo` plane scores the rolling window against.
+    pub slo: SloTargets,
 }
 
 impl Default for ServeConfig {
@@ -258,6 +318,9 @@ impl Default for ServeConfig {
             index: IndexMode::default(),
             sample_interval_ms: None,
             durable: None,
+            trace: TraceLevel::Stages,
+            stall_threshold: Duration::from_secs(2),
+            slo: SloTargets::default(),
         }
     }
 }
@@ -286,6 +349,19 @@ impl ServeConfig {
                 ));
             }
         }
+        if self.trace == (TraceLevel::Sampled { every: 0 }) {
+            return Err(ServeError::Config(
+                "trace sampling period must be >= 1".into(),
+            ));
+        }
+        if self.stall_threshold.is_zero() {
+            return Err(ServeError::Config(
+                "stall threshold must be nonzero".into(),
+            ));
+        }
+        self.slo
+            .validate()
+            .map_err(|e| ServeError::Config(format!("slo targets: {e}")))?;
         Ok(())
     }
 
@@ -317,6 +393,15 @@ mod tests {
         assert!(c.validate().is_err(), "deterministic needs one shard");
         c.shards = 1;
         assert!(c.validate().is_ok());
+        c.trace = TraceLevel::Sampled { every: 0 };
+        assert!(c.validate().is_err(), "sampling period 0 is degenerate");
+        c.trace = TraceLevel::Sampled { every: 8 };
+        assert!(c.validate().is_ok());
+        c.stall_threshold = Duration::ZERO;
+        assert!(c.validate().is_err(), "watchdog needs a nonzero threshold");
+        c.stall_threshold = Duration::from_millis(500);
+        c.slo.availability = 1.5;
+        assert!(c.validate().is_err(), "availability target out of range");
     }
 
     #[test]

@@ -20,16 +20,39 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use slackvm_model::VmId;
-use slackvm_telemetry::{prometheus, MetricsRegistry, TimeSeriesStore};
+use slackvm_telemetry::{
+    prometheus, MetricsRegistry, SloReport, SloTracker, SlowOpsDigest, TimeSeriesStore,
+    TraceBuilder, TraceSpan,
+};
 
 use crate::error::ServeError;
 use crate::request::{Op, Outcome, Reply, ServeConfig};
-use crate::shard::{Msg, Request, ShardGauges, ShardReport, ShardSummary, Worker};
+use crate::shard::{ms_since, Msg, Request, ShardGauges, ShardReport, ShardSummary, Worker};
+
+/// Mints a request-scoped trace ID from a sequence number: splitmix64
+/// masked to 48 bits (so IDs survive JSON round trips as exact
+/// integers), never zero.
+fn mint_trace(seq: u64) -> u64 {
+    let mut z = seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let id = z & ((1u64 << 48) - 1);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
 
 /// Final state handed back by [`PlacementService::stop`].
 pub struct ServiceReport {
     /// One report per shard, in shard order.
     pub shards: Vec<ShardReport>,
+    /// The sampled request lifecycles as Chrome trace-event JSON
+    /// (`None` unless the service ran with
+    /// [`TraceLevel::Sampled`](crate::TraceLevel::Sampled)).
+    pub trace_json: Option<String>,
 }
 
 impl ServiceReport {
@@ -51,6 +74,22 @@ impl ServiceReport {
     /// Total requests shed.
     pub fn shed(&self) -> u64 {
         self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Renders the per-shard slow-request digests, one header per shard
+    /// that sampled anything; empty when tracing was not sampled.
+    pub fn render_slow_requests(&self) -> String {
+        let mut out = String::new();
+        for shard in &self.shards {
+            if shard.slow.is_empty() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("shard {}:\n{}", shard.shard, shard.slow.render()));
+        }
+        out
     }
 
     /// Audits every shard's final model state (capacity bounds,
@@ -79,6 +118,8 @@ pub struct PlacementService {
     config: ServeConfig,
     epoch: Instant,
     recovery: Vec<slackvm_durable::RecoveryReport>,
+    slo: Arc<Mutex<SloTracker>>,
+    sink: Option<Arc<Mutex<TraceBuilder>>>,
 }
 
 impl PlacementService {
@@ -154,6 +195,16 @@ impl PlacementService {
             .sample_interval_ms
             .map(|_| Arc::new(Mutex::new(TimeSeriesStore::new())));
         let epoch = Instant::now();
+        let slo = Arc::new(Mutex::new(SloTracker::new(config.slo)));
+        let sink = config
+            .trace
+            .sample_every()
+            .map(|_| Arc::new(Mutex::new(TraceBuilder::new())));
+        // Seed every heartbeat at the epoch so the watchdog never
+        // mistakes "worker thread not yet scheduled" for a stall.
+        for summary in summaries.iter() {
+            summary.heartbeat(0);
+        }
 
         // Recovered placements must be routable before the first
         // request: seed the remove/resize directory and the router's
@@ -183,6 +234,12 @@ impl PlacementService {
                 batch_max: config.batch_max,
                 deterministic: config.deterministic,
                 durable: durables[idx].take(),
+                epoch,
+                level: config.trace,
+                sink: sink.clone(),
+                slo: Arc::clone(&slo),
+                slow: SlowOpsDigest::default(),
+                heartbeat_every: (config.stall_threshold / 4).min(Duration::from_millis(250)),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -219,6 +276,8 @@ impl PlacementService {
             config,
             epoch,
             recovery,
+            slo,
+            sink,
         })
     }
 
@@ -312,7 +371,7 @@ impl PlacementService {
         }
     }
 
-    fn make_request(&self, op: Op, reply: Sender<Reply>) -> (u64, Request) {
+    fn make_request(&self, op: Op, reply: Sender<Reply>, door: Instant) -> (u64, Request) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let deadline = if self.config.deterministic {
@@ -326,7 +385,9 @@ impl PlacementService {
                 seq,
                 op,
                 deadline,
+                door,
                 enqueued: now,
+                trace: mint_trace(seq),
                 tried: 0,
                 reply,
             },
@@ -341,6 +402,10 @@ impl PlacementService {
             shard: None,
             outcome,
             latency_us: 0,
+            trace: mint_trace(seq),
+            queue_us: 0,
+            place_us: 0,
+            commit_us: 0,
         });
         self.metrics.lock().expect("metrics lock").inc(
             match outcome {
@@ -355,9 +420,22 @@ impl PlacementService {
     /// full (backpressure). The reply arrives on `reply`; returns the
     /// sequence number that will tag it.
     pub fn submit_with(&self, op: Op, reply: Sender<Reply>) -> Result<u64, ServeError> {
+        self.submit_with_from(op, reply, Instant::now())
+    }
+
+    /// [`Self::submit_with`] with an explicit door-accept instant — the
+    /// moment the request crossed the service boundary (e.g. when its
+    /// bytes finished arriving on a socket), so the `serve.door` trace
+    /// stage covers parsing and routing, not just the queue hop.
+    pub fn submit_with_from(
+        &self,
+        op: Op,
+        reply: Sender<Reply>,
+        door: Instant,
+    ) -> Result<u64, ServeError> {
         match self.route(&op) {
             Ok(shard) => {
-                let (seq, req) = self.make_request(op, reply);
+                let (seq, req) = self.make_request(op, reply, door);
                 self.summaries[shard as usize].note_enqueued();
                 match self.senders[shard as usize].send(Msg::Req(req)) {
                     Ok(()) => Ok(seq),
@@ -377,11 +455,22 @@ impl PlacementService {
 
     /// Non-blocking variant of [`Self::submit_with`]: a full queue
     /// returns [`ServeError::Busy`] instead of waiting — shedding at
-    /// the door, counted under `serve.busy`.
+    /// the door, counted under `serve.busy` and held against the SLO
+    /// error budget.
     pub fn try_submit_with(&self, op: Op, reply: Sender<Reply>) -> Result<u64, ServeError> {
+        self.try_submit_with_from(op, reply, Instant::now())
+    }
+
+    /// [`Self::try_submit_with`] with an explicit door-accept instant.
+    pub fn try_submit_with_from(
+        &self,
+        op: Op,
+        reply: Sender<Reply>,
+        door: Instant,
+    ) -> Result<u64, ServeError> {
         match self.route(&op) {
             Ok(shard) => {
-                let (seq, req) = self.make_request(op, reply);
+                let (seq, req) = self.make_request(op, reply, door);
                 self.summaries[shard as usize].note_enqueued();
                 match self.senders[shard as usize].try_send(Msg::Req(req)) {
                     Ok(()) => Ok(seq),
@@ -391,6 +480,10 @@ impl PlacementService {
                             .lock()
                             .expect("metrics lock")
                             .inc("serve.busy", 1);
+                        self.slo
+                            .lock()
+                            .expect("slo lock")
+                            .record(ms_since(self.epoch), 0, false);
                         match e {
                             TrySendError::Full(_) => Err(ServeError::Busy),
                             TrySendError::Disconnected(_) => Err(ServeError::Disconnected),
@@ -411,6 +504,72 @@ impl PlacementService {
         let (tx, rx) = mpsc::channel();
         self.submit_with(op, tx)?;
         rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Synchronous round trip with an explicit door-accept instant.
+    pub fn call_from(&self, op: Op, door: Instant) -> Result<Reply, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with_from(op, tx, door)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Closes a request's lifecycle from the transport: observes the
+    /// reply-write stage (`serve.reply_us`) and, when the request was
+    /// sampled, emits its `serve.reply` span on the request's track.
+    /// Call after the reply's bytes have been written back.
+    pub fn note_reply_write(&self, reply: &Reply, write_started: Instant) {
+        if !self.config.trace.stages() {
+            return;
+        }
+        let dur_us = write_started.elapsed().as_micros() as u64;
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .observe("serve.reply_us", dur_us as f64);
+        if let (Some(sink), Some(every)) = (&self.sink, self.config.trace.sample_every()) {
+            if reply.seq % every == 0 && reply.trace != 0 {
+                let start_us = write_started
+                    .saturating_duration_since(self.epoch)
+                    .as_micros() as u64;
+                sink.lock().expect("trace sink lock").push_on(
+                    reply.trace,
+                    TraceSpan {
+                        name: "serve.reply",
+                        start_us,
+                        dur_us,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The rolling-window SLO scorecard as of now.
+    pub fn slo_report(&self) -> SloReport {
+        self.slo
+            .lock()
+            .expect("slo lock")
+            .report(ms_since(self.epoch))
+    }
+
+    /// The sampled spans accumulated so far as Chrome trace-event JSON
+    /// (`None` unless sampling is on). Cheap enough to call on a live
+    /// service; `stop` returns the final cut.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.sink
+            .as_ref()
+            .map(|s| s.lock().expect("trace sink lock").to_chrome_json())
+    }
+
+    /// Test hook: wedge shard `shard`'s worker for `dur` (it sleeps
+    /// without heartbeating, as a worker stuck in a pathological
+    /// placement would), so the `/healthz` watchdog can be exercised.
+    #[doc(hidden)]
+    pub fn inject_stall(&self, shard: u32, dur: Duration) -> Result<(), ServeError> {
+        self.senders
+            .get(shard as usize)
+            .ok_or_else(|| ServeError::Config(format!("no shard {shard}")))?
+            .send(Msg::Stall(dur))
+            .map_err(|_| ServeError::Disconnected)
     }
 
     /// Renders the Prometheus exposition (metrics plus, when sampling
@@ -448,12 +607,31 @@ impl PlacementService {
             let _ = tx.send(Msg::Stop);
         }
         drop(self.senders);
-        let shards = self
+        let shards: Vec<ShardReport> = self
             .workers
             .into_iter()
             .map(|h| h.join().expect("shard worker panicked"))
             .collect();
-        ServiceReport { shards }
+        // Render after the joins: every sampled span is in the sink.
+        let trace_json = self
+            .sink
+            .as_ref()
+            .map(|s| s.lock().expect("trace sink lock").to_chrome_json());
+        ServiceReport { shards, trace_json }
+    }
+
+    /// A detached handle for the background observability listener:
+    /// shared views of the metrics registry, time series, per-shard
+    /// scoreboards, and SLO window, valid for the service's lifetime.
+    pub fn obs_handle(&self) -> crate::obs::ObsHandle {
+        crate::obs::ObsHandle {
+            metrics: Arc::clone(&self.metrics),
+            series: self.series.as_ref().map(Arc::clone),
+            summaries: Arc::clone(&self.summaries),
+            slo: Arc::clone(&self.slo),
+            epoch: self.epoch,
+            stall_threshold: self.config.stall_threshold,
+        }
     }
 }
 

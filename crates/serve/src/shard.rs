@@ -14,16 +14,26 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use slackvm_durable::{ShardDurable, WalOp, WalOutcome};
+use slackvm_durable::{CommitStamp, ShardDurable, WalOp, WalOutcome};
 use slackvm_model::{AllocView, VmId};
 use slackvm_sim::{DeploymentModel, SimError};
-use slackvm_telemetry::MetricsRegistry;
+use slackvm_telemetry::{MetricsRegistry, SloTracker, SlowOpsDigest, TraceBuilder, TraceSpan};
 
-use crate::request::{Op, Outcome, Reply};
+use crate::request::{Op, Outcome, Reply, TraceLevel};
+
+/// Microseconds elapsed since the service's trace epoch.
+pub(crate) fn us_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_micros() as u64
+}
+
+/// Milliseconds elapsed since the service's trace epoch.
+pub(crate) fn ms_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
 
 /// One queued request, carrying its reply channel.
 pub(crate) struct Request {
@@ -31,8 +41,13 @@ pub(crate) struct Request {
     pub op: Op,
     /// Shed when still queued past this instant (`None`: never shed).
     pub deadline: Option<Instant>,
+    /// Door-accept instant — when the request crossed the service
+    /// boundary (TCP read complete / `submit` entered), before routing.
+    pub door: Instant,
     /// Submission instant, for end-to-end latency accounting.
     pub enqueued: Instant,
+    /// Request-scoped trace ID, minted at the door.
+    pub trace: u64,
     /// Shards that already rejected this request (fall-through hops).
     pub tried: u32,
     pub reply: Sender<Reply>,
@@ -44,6 +59,11 @@ pub(crate) enum Msg {
     /// Process what is queued, then exit — see the module docs for why
     /// shutdown is a message and not a disconnect.
     Stop,
+    /// Test hook: sleep this long mid-loop, wedging the worker so the
+    /// `/healthz` watchdog's stall detection can be exercised without
+    /// a pathological model.
+    #[allow(dead_code)]
+    Stall(Duration),
 }
 
 /// A shard's lock-free scoreboard: queue depth and coarse utilization,
@@ -58,6 +78,10 @@ pub struct ShardSummary {
     opened_pms: AtomicU64,
     used_cpu_mc: AtomicU64,
     cap_cpu_mc: AtomicU64,
+    /// Worker liveness heartbeat: milliseconds since the service epoch
+    /// at the worker's last loop turn (idle timeouts count — an idle
+    /// worker is alive, a wedged one is not).
+    last_beat_ms: AtomicU64,
 }
 
 impl ShardSummary {
@@ -115,6 +139,15 @@ impl ShardSummary {
         self.shed.fetch_add(shed, Ordering::Relaxed);
     }
 
+    pub(crate) fn heartbeat(&self, t_ms: u64) {
+        self.last_beat_ms.store(t_ms, Ordering::Relaxed);
+    }
+
+    /// Milliseconds-since-epoch of the worker's last heartbeat.
+    pub fn last_beat_ms(&self) -> u64 {
+        self.last_beat_ms.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn refresh(&self, opened: u64, alloc: AllocView, cap: AllocView) {
         self.opened_pms.store(opened, Ordering::Relaxed);
         self.used_cpu_mc.store(alloc.cpu.0, Ordering::Relaxed);
@@ -134,6 +167,9 @@ pub struct ShardReport {
     pub rejected: u64,
     /// Requests this shard shed.
     pub shed: u64,
+    /// Slowest sampled request lifecycles seen by this shard (empty
+    /// unless the service ran with [`TraceLevel::Sampled`]).
+    pub slow: SlowOpsDigest,
 }
 
 /// Per-shard gauge names, leaked once per service start so the
@@ -172,6 +208,21 @@ pub(crate) struct Worker {
     /// runs durable. Appends happen as decisions are made; the batch is
     /// committed (fsync per policy) *before* any reply is released.
     pub durable: Option<ShardDurable>,
+    /// The service's trace epoch: all stage timestamps and heartbeats
+    /// are offsets from this instant.
+    pub epoch: Instant,
+    /// How much per-request timing to record.
+    pub level: TraceLevel,
+    /// Shared span sink for sampled request lifecycles (present only
+    /// under [`TraceLevel::Sampled`]).
+    pub sink: Option<Arc<Mutex<TraceBuilder>>>,
+    /// Rolling SLO window, fed once per batch.
+    pub slo: Arc<Mutex<SloTracker>>,
+    /// Per-shard top-K slowest sampled requests.
+    pub slow: SlowOpsDigest,
+    /// Idle-wait bound of the loop: waking this often stamps the
+    /// liveness heartbeat even with no traffic.
+    pub heartbeat_every: Duration,
 }
 
 /// Per-batch counter deltas, flushed under one metrics lock, plus the
@@ -187,12 +238,31 @@ struct BatchStats {
     unknown: u64,
     forwarded: u64,
     latencies_us: Vec<u64>,
+    /// Queue-wait stage durations (enqueue → dequeue), when staged.
+    queue_waits_us: Vec<u64>,
+    /// Placement stage durations (dequeue → decision), when staged.
+    places_us: Vec<u64>,
+    /// Latencies of requests shed this batch (SLO "bad" events).
+    shed_latencies_us: Vec<u64>,
+    /// Sampled full lifecycles, emitted as spans after the commit.
+    sampled: Vec<SampledLifecycle>,
     replies: Vec<(Sender<Reply>, Reply)>,
     /// Decisions to journal, in execution order (empty when the
     /// service is not durable).
     wal: Vec<(WalOp, WalOutcome)>,
     /// Journal bytes appended while executing the batch.
     wal_bytes: u64,
+}
+
+/// Epoch-relative stage timestamps of one sampled request, captured
+/// while the batch executes and folded into Chrome-trace spans (one
+/// track per trace ID) once the batch's commit lands.
+struct SampledLifecycle {
+    trace: u64,
+    door_us: u64,
+    enq_us: u64,
+    deq_us: u64,
+    dec_us: u64,
 }
 
 impl Worker {
@@ -204,6 +274,7 @@ impl Worker {
         let mut rejected = 0u64;
         let mut shed = 0u64;
         let mut draining = false;
+        self.beat();
         loop {
             let first = if draining {
                 match self.rx.try_recv() {
@@ -211,9 +282,16 @@ impl Worker {
                     Err(_) => break,
                 }
             } else {
-                match self.rx.recv() {
+                match self.rx.recv_timeout(self.heartbeat_every) {
                     Ok(m) => m,
-                    Err(_) => break,
+                    // An idle worker is a live worker: the timeout wake
+                    // exists solely to stamp the liveness heartbeat so
+                    // the `/healthz` watchdog can tell idle from wedged.
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.beat();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             };
             let mut batch: Vec<Request> = Vec::with_capacity(self.batch_max);
@@ -222,6 +300,9 @@ impl Worker {
                 match msg {
                     Msg::Stop => draining = true,
                     Msg::Req(r) => batch.push(r),
+                    // Wedge simulation: sleep without heartbeating, as a
+                    // worker stuck in a pathological placement would.
+                    Msg::Stall(d) => std::thread::sleep(d),
                 }
                 if batch.len() >= self.batch_max {
                     break;
@@ -232,7 +313,7 @@ impl Worker {
                 }
             }
             if !batch.is_empty() {
-                let stats = self.process(batch);
+                let mut stats = self.process(batch);
                 admitted += stats.admitted;
                 rejected += stats.rejected;
                 shed += stats.shed;
@@ -241,17 +322,27 @@ impl Worker {
                 // downstream — metrics, replies — can reveal the
                 // decisions. A failure here panics the worker rather
                 // than acknowledge an unpersisted decision.
-                let fsync = self
+                let commit = self
                     .durable
                     .as_mut()
-                    .map(|d| d.commit().expect("wal commit failed"))
+                    .map(|d| d.commit().expect("wal commit failed"));
+                let commit_us = commit
+                    .map(|c| c.wall.as_micros() as u64)
                     .unwrap_or_default();
+                if self.level.stages() && commit_us > 0 {
+                    // The commit gated every reply in the batch equally:
+                    // its wall time is each request's wal_commit stage.
+                    for (_, reply) in stats.replies.iter_mut() {
+                        reply.commit_us = commit_us;
+                    }
+                }
+                self.emit_sampled(&stats, commit_us);
                 self.summaries[self.idx as usize].add_counts(
                     stats.admitted,
                     stats.rejected,
                     stats.shed,
                 );
-                self.flush(&stats, fsync);
+                self.flush(&stats, commit);
                 // Replies go out only after the metrics flush: a client
                 // that has its reply in hand can scrape the exposition
                 // and find its own request already counted.
@@ -270,6 +361,7 @@ impl Worker {
                     }
                 }
             }
+            self.beat();
         }
         // Drain-to-snapshot: a clean shutdown leaves the freshest
         // possible checkpoint so the next start replays no tail.
@@ -282,6 +374,66 @@ impl Worker {
             admitted,
             rejected,
             shed,
+            slow: self.slow,
+        }
+    }
+
+    /// Stamps the liveness heartbeat the `/healthz` watchdog reads.
+    fn beat(&self) {
+        self.summaries[self.idx as usize].heartbeat(ms_since(self.epoch));
+    }
+
+    /// Folds the batch's sampled lifecycles into the shared span sink
+    /// (one Chrome-trace track per trace ID) and the shard's slow-
+    /// request digest. The parent `serve.request` span stretches from
+    /// door accept through the WAL commit that gated the reply.
+    fn emit_sampled(&mut self, stats: &BatchStats, commit_us: u64) {
+        let Some(sink) = &self.sink else { return };
+        if stats.sampled.is_empty() {
+            return;
+        }
+        let mut sink = sink.lock().expect("trace sink lock");
+        for s in &stats.sampled {
+            let end_us = s.dec_us + commit_us;
+            let parent = TraceSpan {
+                name: "serve.request",
+                start_us: s.door_us,
+                dur_us: end_us.saturating_sub(s.door_us),
+            };
+            sink.push_on(s.trace, parent);
+            sink.push_on(
+                s.trace,
+                TraceSpan {
+                    name: "serve.door",
+                    start_us: s.door_us,
+                    dur_us: s.enq_us.saturating_sub(s.door_us),
+                },
+            );
+            sink.push_on(
+                s.trace,
+                TraceSpan {
+                    name: "serve.queue_wait",
+                    start_us: s.enq_us,
+                    dur_us: s.deq_us.saturating_sub(s.enq_us),
+                },
+            );
+            sink.push_on(
+                s.trace,
+                TraceSpan {
+                    name: "serve.placement",
+                    start_us: s.deq_us,
+                    dur_us: s.dec_us.saturating_sub(s.deq_us),
+                },
+            );
+            sink.push_on(
+                s.trace,
+                TraceSpan {
+                    name: "serve.wal_commit",
+                    start_us: s.dec_us,
+                    dur_us: commit_us,
+                },
+            );
+            self.slow.offer(parent);
         }
     }
 
@@ -298,6 +450,7 @@ impl Worker {
         // `slackvm fsck` re-derives). Shed and unknown-VM outcomes
         // never touched the model and are not logged.
         let journal = self.durable.is_some();
+        let staged = self.level.stages();
         let summary = &self.summaries[self.idx as usize];
         for req in batch {
             summary.note_dequeued();
@@ -309,12 +462,16 @@ impl Worker {
                 if let Some(deadline) = req.deadline {
                     if now > deadline {
                         stats.shed += 1;
-                        self.answer(&mut stats, &req, Outcome::Shed, latency_us);
+                        stats.shed_latencies_us.push(latency_us);
+                        self.answer(&mut stats, &req, Outcome::Shed, latency_us, None);
                         continue;
                     }
                 }
             }
             stats.latencies_us.push(latency_us);
+            // Stage stamp #1 of 2: the queue-wait hop ends here. The
+            // second lands in `answer`, once the decision exists.
+            let dequeued = if staged { Some(Instant::now()) } else { None };
             match req.op {
                 Op::Place { id, spec } => match self.model.deploy(id, spec) {
                     Ok(pm) => {
@@ -328,10 +485,10 @@ impl Worker {
                             .lock()
                             .expect("directory lock")
                             .insert(id, self.idx);
-                        self.answer(&mut stats, &req, Outcome::Placed(pm), latency_us);
+                        self.answer(&mut stats, &req, Outcome::Placed(pm), latency_us, dequeued);
                     }
                     Err(SimError::DeploymentFailed(_)) => {
-                        if !self.forward(req, &mut stats) {
+                        if !self.forward(req, &mut stats, dequeued) {
                             stats.rejected += 1;
                             if journal {
                                 stats
@@ -349,7 +506,7 @@ impl Worker {
                                 .wal
                                 .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
                         }
-                        self.answer(&mut stats, &req, Outcome::Rejected, latency_us);
+                        self.answer(&mut stats, &req, Outcome::Rejected, latency_us, dequeued);
                     }
                     Err(SimError::UnknownVm(_)) => unreachable!("deploy never reports UnknownVm"),
                 },
@@ -362,11 +519,11 @@ impl Worker {
                                 .push((WalOp::Remove { id }, WalOutcome::Removed(pm)));
                         }
                         self.directory.lock().expect("directory lock").remove(&id);
-                        self.answer(&mut stats, &req, Outcome::Removed(pm), latency_us);
+                        self.answer(&mut stats, &req, Outcome::Removed(pm), latency_us, dequeued);
                     }
                     Err(_) => {
                         stats.unknown += 1;
-                        self.answer(&mut stats, &req, Outcome::UnknownVm, latency_us);
+                        self.answer(&mut stats, &req, Outcome::UnknownVm, latency_us, dequeued);
                     }
                 },
                 Op::Resize { id, vcpus, mem_mib } => match self.model.resize(id, vcpus, mem_mib) {
@@ -383,11 +540,12 @@ impl Worker {
                             &req,
                             Outcome::Resized { accepted: true },
                             latency_us,
+                            dequeued,
                         );
                     }
                     Err(SimError::UnknownVm(_)) => {
                         stats.unknown += 1;
-                        self.answer(&mut stats, &req, Outcome::UnknownVm, latency_us);
+                        self.answer(&mut stats, &req, Outcome::UnknownVm, latency_us, dequeued);
                     }
                     Err(_) => {
                         stats.resized += 1;
@@ -402,6 +560,7 @@ impl Worker {
                             &req,
                             Outcome::Resized { accepted: false },
                             latency_us,
+                            dequeued,
                         );
                     }
                 },
@@ -421,13 +580,13 @@ impl Worker {
     /// the ring. `try_send`, never `send` — a worker blocking on a
     /// full peer queue while that peer blocks back is a deadlock.
     /// Returns false when the request was answered `Rejected` here.
-    fn forward(&self, mut req: Request, stats: &mut BatchStats) -> bool {
+    fn forward(&self, mut req: Request, stats: &mut BatchStats, dequeued: Option<Instant>) -> bool {
         let shards = self.peers.len() as u32;
         if req.tried + 1 >= shards {
             let latency_us = Instant::now()
                 .saturating_duration_since(req.enqueued)
                 .as_micros() as u64;
-            self.answer(stats, &req, Outcome::Rejected, latency_us);
+            self.answer(stats, &req, Outcome::Rejected, latency_us, dequeued);
             return false;
         }
         req.tried += 1;
@@ -443,7 +602,7 @@ impl Worker {
                 let latency_us = Instant::now()
                     .saturating_duration_since(r.enqueued)
                     .as_micros() as u64;
-                self.answer(stats, &r, Outcome::Rejected, latency_us);
+                self.answer(stats, &r, Outcome::Rejected, latency_us, dequeued);
                 false
             }
             Err(_) => unreachable!("only Req messages are forwarded"),
@@ -452,8 +611,41 @@ impl Worker {
 
     /// Queues the reply for release after the batch's metrics flush.
     /// (A gone receiver at send time — caller stopped waiting — is not
-    /// an error.)
-    fn answer(&self, stats: &mut BatchStats, req: &Request, outcome: Outcome, latency_us: u64) {
+    /// an error.) `dequeued` is the request's stage stamp #1; stamp #2
+    /// (the decision instant) is read here, closing the placement hop.
+    fn answer(
+        &self,
+        stats: &mut BatchStats,
+        req: &Request,
+        outcome: Outcome,
+        latency_us: u64,
+        dequeued: Option<Instant>,
+    ) {
+        let (queue_us, place_us) = match dequeued {
+            Some(deq) => {
+                let decided = Instant::now();
+                let queue_us = deq.saturating_duration_since(req.enqueued).as_micros() as u64;
+                let place_us = decided.saturating_duration_since(deq).as_micros() as u64;
+                stats.queue_waits_us.push(queue_us);
+                stats.places_us.push(place_us);
+                if let Some(every) = self.level.sample_every() {
+                    if req.seq % every == 0 {
+                        stats.sampled.push(SampledLifecycle {
+                            trace: req.trace,
+                            door_us: req.door.saturating_duration_since(self.epoch).as_micros()
+                                as u64,
+                            enq_us: req.enqueued.saturating_duration_since(self.epoch).as_micros()
+                                as u64,
+                            deq_us: deq.saturating_duration_since(self.epoch).as_micros() as u64,
+                            dec_us: decided.saturating_duration_since(self.epoch).as_micros()
+                                as u64,
+                        });
+                    }
+                }
+                (queue_us, place_us)
+            }
+            None => (0, 0),
+        };
         stats.replies.push((
             req.reply.clone(),
             Reply {
@@ -461,20 +653,35 @@ impl Worker {
                 shard: Some(self.idx),
                 outcome,
                 latency_us,
+                trace: req.trace,
+                queue_us,
+                place_us,
+                commit_us: 0,
             },
         ));
     }
 
-    fn flush(&self, stats: &BatchStats, fsync: Option<std::time::Duration>) {
+    fn flush(&self, stats: &BatchStats, commit: Option<CommitStamp>) {
         let summary = &self.summaries[self.idx as usize];
         let mut m = self.metrics.lock().expect("metrics lock");
         m.inc("serve.requests", stats.requests);
         if stats.wal_bytes > 0 {
             m.inc("durable.wal_bytes", stats.wal_bytes);
         }
-        if let Some(took) = fsync {
-            m.inc("durable.fsyncs", 1);
-            m.observe("durable.fsync", took.as_micros() as f64);
+        if let Some(stamp) = commit {
+            if let Some(took) = stamp.fsync {
+                m.inc("durable.fsyncs", 1);
+                m.observe("durable.fsync", took.as_micros() as f64);
+            }
+            if self.level.stages() {
+                m.observe("serve.wal_commit_us", stamp.wall.as_micros() as f64);
+            }
+        }
+        for us in &stats.queue_waits_us {
+            m.observe("serve.queue_wait_us", *us as f64);
+        }
+        for us in &stats.places_us {
+            m.observe("serve.placement_us", *us as f64);
         }
         m.inc("serve.admitted", stats.admitted);
         m.inc("serve.rejected", stats.rejected);
@@ -493,6 +700,17 @@ impl Worker {
             slackvm_model::Millicores(summary.used_cpu_millicores()).as_cores_f64(),
         );
         m.set_gauge(self.gauges.queue_depth, summary.queued() as f64);
+        drop(m);
+        // One SLO-window update per batch: executed requests are good
+        // events scored on latency, shed requests are bad events.
+        let t_ms = ms_since(self.epoch);
+        let mut slo = self.slo.lock().expect("slo lock");
+        for us in &stats.latencies_us {
+            slo.record(t_ms, *us, true);
+        }
+        for us in &stats.shed_latencies_us {
+            slo.record(t_ms, *us, false);
+        }
     }
 }
 

@@ -13,10 +13,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
-use crate::request::Outcome;
+use crate::request::{Outcome, Reply};
 use crate::service::{PlacementService, ServiceReport};
 use crate::wire;
 
@@ -146,24 +146,30 @@ fn handle_connection(
             line.clear();
             continue;
         }
-        // A metrics scrape: answer one HTTP response and close.
+        // The request line is complete: the request is through the
+        // door. Everything before this instant was the client's wire
+        // time; everything after is the service's.
+        let door = Instant::now();
+        // An HTTP probe: answer one properly framed response through
+        // the same responder the dedicated `--obs-addr` listener uses
+        // (`/metrics`, `/healthz`, `/slo`), and close.
         if line.starts_with("GET ") {
-            let body = service.metrics_exposition();
-            let _ = write!(
-                writer,
-                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
-                 Content-Length: {}\r\nConnection: close\r\n\r\n{}",
-                body.len(),
-                body
-            );
+            let path = line.split_whitespace().nth(1).unwrap_or("/metrics");
+            let handle = service.obs_handle();
+            let _ = writer.write_all(crate::obs::respond(path, &handle).as_bytes());
             let _ = writer.flush();
             break;
         }
+        let mut answered: Option<Reply> = None;
         let response = match wire::parse_request(&line) {
             Ok(wire::WireRequest::Op(op)) => {
                 stats.requests.fetch_add(1, Ordering::Relaxed);
-                match service.call(op.clone()) {
-                    Ok(reply) => wire::render_reply(&op, &reply),
+                match service.call_from(op.clone(), door) {
+                    Ok(reply) => {
+                        let rendered = wire::render_reply(&op, &reply);
+                        answered = Some(reply);
+                        rendered
+                    }
                     Err(e) => wire::render_error(
                         "error",
                         Some(op.vm().0),
@@ -200,8 +206,14 @@ fn handle_connection(
                 wire::render_error("parse", None, &e.to_string().replace('"', "'"))
             }
         };
+        let write_started = Instant::now();
         if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
             break;
+        }
+        // The reply's bytes are on the wire: close the lifecycle's
+        // final stage (histogram + sampled `serve.reply` span).
+        if let Some(reply) = answered {
+            service.note_reply_write(&reply, write_started);
         }
         line.clear();
     }
@@ -290,14 +302,24 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
 
-        let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").unwrap();
-        stream.flush().unwrap();
-        let mut response = String::new();
         use std::io::Read;
-        stream.read_to_string(&mut response).unwrap();
+        let mut probe = |path: &str| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path} HTTP/1.1\r\n\r\n").unwrap();
+            stream.flush().unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+        let response = probe("/metrics");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Content-Length:"), "{response}");
         assert!(response.contains("slackvm_build_info{"), "{response}");
+        let health = probe("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"healthy\":true"), "{health}");
+        let slo = probe("/slo");
+        assert!(slo.contains("\"error_budget_remaining\""), "{slo}");
 
         let mut stream = TcpStream::connect(addr).unwrap();
         writeln!(stream, "{{\"op\":\"shutdown\"}}").unwrap();

@@ -125,10 +125,22 @@ fn op_name(op: &Op) -> &'static str {
 }
 
 fn shard_suffix(reply: &Reply) -> String {
-    match reply.shard {
+    let mut out = match reply.shard {
         Some(s) => format!(",\"shard\":{s},\"latency_us\":{}", reply.latency_us),
         None => format!(",\"latency_us\":{}", reply.latency_us),
+    };
+    if reply.trace != 0 {
+        out.push_str(&format!(",\"trace\":{}", reply.trace));
     }
+    // Stage timings ride along only when the service recorded them
+    // (TraceLevel::Off leaves them zero and off the wire).
+    if reply.queue_us != 0 || reply.place_us != 0 || reply.commit_us != 0 {
+        out.push_str(&format!(
+            ",\"queue_us\":{},\"place_us\":{},\"commit_us\":{}",
+            reply.queue_us, reply.place_us, reply.commit_us
+        ));
+    }
+    out
 }
 
 /// Renders the reply line for an executed operation.
@@ -198,6 +210,14 @@ pub struct WireReply {
     pub error: Option<String>,
     /// Worker-observed latency, when present.
     pub latency_us: Option<u64>,
+    /// Request-scoped trace ID, when present.
+    pub trace: Option<u64>,
+    /// Queue-wait stage, microseconds, when the service staged it.
+    pub queue_us: Option<u64>,
+    /// Placement stage, microseconds, when staged.
+    pub place_us: Option<u64>,
+    /// WAL-commit stage, microseconds, when staged.
+    pub commit_us: Option<u64>,
 }
 
 /// Parses a reply line (client side).
@@ -226,6 +246,10 @@ pub fn parse_reply(line: &str) -> Result<WireReply, ServeError> {
         accepted,
         error: field_str(line, "error").map(str::to_string),
         latency_us: field_u64(line, "latency_us"),
+        trace: field_u64(line, "trace"),
+        queue_us: field_u64(line, "queue_us"),
+        place_us: field_u64(line, "place_us"),
+        commit_us: field_u64(line, "commit_us"),
     })
 }
 
@@ -309,6 +333,10 @@ mod tests {
                 shard: Some(2),
                 outcome: Outcome::Placed(PmId(3)),
                 latency_us: 12,
+                trace: 0,
+                queue_us: 0,
+                place_us: 0,
+                commit_us: 0,
             },
         );
         assert_eq!(
@@ -320,6 +348,7 @@ mod tests {
         assert_eq!(parsed.op.as_deref(), Some("place"));
         assert_eq!(parsed.pm, Some(3));
         assert_eq!(parsed.latency_us, Some(12));
+        assert_eq!(parsed.trace, None, "untraced replies stay terse");
 
         let shed = render_reply(
             &op,
@@ -328,10 +357,40 @@ mod tests {
                 shard: Some(0),
                 outcome: Outcome::Shed,
                 latency_us: 99,
+                trace: 0,
+                queue_us: 0,
+                place_us: 0,
+                commit_us: 0,
             },
         );
         let parsed = parse_reply(&shed).unwrap();
         assert!(!parsed.ok);
         assert_eq!(parsed.error.as_deref(), Some("shed"));
+    }
+
+    #[test]
+    fn traced_replies_carry_stage_fields() {
+        let op = Op::Place {
+            id: VmId(7),
+            spec: VmSpec::of(4, 8192, OversubLevel::of(3)),
+        };
+        let line = render_reply(
+            &op,
+            &Reply {
+                seq: 8,
+                shard: Some(1),
+                outcome: Outcome::Placed(PmId(0)),
+                latency_us: 40,
+                trace: 0x1234_5678_9abc,
+                queue_us: 41,
+                place_us: 9,
+                commit_us: 130,
+            },
+        );
+        let parsed = parse_reply(&line).unwrap();
+        assert_eq!(parsed.trace, Some(0x1234_5678_9abc));
+        assert_eq!(parsed.queue_us, Some(41));
+        assert_eq!(parsed.place_us, Some(9));
+        assert_eq!(parsed.commit_us, Some(130));
     }
 }

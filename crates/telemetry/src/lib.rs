@@ -44,6 +44,7 @@ pub mod journal;
 pub mod metrics;
 pub mod prometheus;
 pub mod recorder;
+pub mod slo;
 pub mod timeseries;
 pub mod trace;
 
@@ -51,6 +52,7 @@ pub use event::Event;
 pub use journal::{EventRecord, FsyncGate, FsyncPolicy, Journal, JsonlWriter};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSummary};
 pub use recorder::{NullRecorder, Recorder, SpanTimer};
+pub use slo::{SloReport, SloTargets, SloTracker};
 pub use timeseries::{Sampler, Series, SeriesPoint, SeriesSummary, TimeSeriesStore};
 pub use trace::{SlowOpsDigest, TraceBuilder, TraceSpan};
 

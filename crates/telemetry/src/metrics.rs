@@ -81,6 +81,25 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Folds another histogram with the *same bucket layout* into this
+    /// one — how rolling-window trackers aggregate per-second buckets.
+    ///
+    /// # Panics
+    /// Panics when the two layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merged histograms must share a bucket layout"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.total
@@ -379,6 +398,22 @@ mod tests {
         h.record(0.5);
         assert_eq!(h.percentile(-0.1), None);
         assert_eq!(h.percentile(1.5), None);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_into_one() {
+        let mut left = Histogram::duration_us();
+        let mut right = Histogram::duration_us();
+        let mut whole = Histogram::duration_us();
+        for (i, s) in [1.0, 7.0, 64.0, 900.0, 12_000.0].iter().enumerate() {
+            if i % 2 == 0 { &mut left } else { &mut right }.record(*s);
+            whole.record(*s);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        // Merging an empty histogram changes nothing.
+        left.merge(&Histogram::duration_us());
+        assert_eq!(left, whole);
     }
 
     #[test]

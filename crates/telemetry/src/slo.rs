@@ -1,0 +1,335 @@
+//! Rolling-window SLO accounting for the serving path.
+//!
+//! An [`SloTracker`] folds request latencies and failure marks into a
+//! ring of per-second buckets, so "p99 over the last minute" and
+//! "error budget left this window" are O(window) queries against live
+//! state instead of offline log crunching. The window slides by bucket
+//! reuse: writing into a second whose slot holds stale data resets that
+//! slot, so the tracker never allocates after construction.
+//!
+//! Two objectives are tracked against configurable [`SloTargets`]:
+//!
+//! - **latency**: windowed p99 of request latency vs `p99_us`;
+//! - **availability**: the fraction of requests answered successfully
+//!   (not shed, not refused at the door) vs `availability`. The error
+//!   budget is the classic SRE formulation: a target of 0.999 allows
+//!   0.1% bad requests per window; the report says how much of that
+//!   allowance is still unspent.
+
+use crate::metrics::Histogram;
+
+/// Service-level objectives the tracker scores against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTargets {
+    /// Rolling window width, seconds.
+    pub window_secs: u64,
+    /// Windowed p99 request-latency objective, microseconds.
+    pub p99_us: u64,
+    /// Fraction of requests that must be answered successfully
+    /// (e.g. `0.999` tolerates one bad request per thousand).
+    pub availability: f64,
+}
+
+impl Default for SloTargets {
+    fn default() -> Self {
+        SloTargets {
+            window_secs: 60,
+            p99_us: 100_000,
+            availability: 0.999,
+        }
+    }
+}
+
+impl SloTargets {
+    /// Rejects degenerate targets (zero window, availability outside
+    /// `(0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_secs == 0 {
+            return Err("SLO window must be >= 1 second".into());
+        }
+        if !(self.availability > 0.0 && self.availability <= 1.0) {
+            return Err(format!(
+                "SLO availability target {} outside (0, 1]",
+                self.availability
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One second of observations.
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Which absolute second this slot currently holds (`u64::MAX`:
+    /// never written).
+    second: u64,
+    latency: Histogram,
+    total: u64,
+    bad: u64,
+}
+
+impl Bucket {
+    fn empty() -> Self {
+        Bucket {
+            second: u64::MAX,
+            latency: Histogram::duration_us(),
+            total: 0,
+            bad: 0,
+        }
+    }
+
+    fn reset(&mut self, second: u64) {
+        self.second = second;
+        self.latency = Histogram::duration_us();
+        self.total = 0;
+        self.bad = 0;
+    }
+}
+
+/// What the window looks like right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloReport {
+    /// Window width the figures cover, seconds.
+    pub window_secs: u64,
+    /// Requests observed inside the window.
+    pub total: u64,
+    /// Requests that failed the availability objective (shed / refused).
+    pub bad: u64,
+    /// Windowed p99 request latency, microseconds (0 when idle).
+    pub p99_us: u64,
+    /// The latency objective.
+    pub target_p99_us: u64,
+    /// Whether the windowed p99 meets the objective.
+    pub latency_ok: bool,
+    /// `bad / total` (0 when idle).
+    pub shed_rate: f64,
+    /// Fraction of the window's error budget still unspent, clamped to
+    /// `[0, 1]`. 1.0 means no budget burned; 0.0 means the allowance is
+    /// exhausted (or overdrawn).
+    pub error_budget_remaining: f64,
+}
+
+impl SloReport {
+    /// Whether both objectives currently hold.
+    pub fn healthy(&self) -> bool {
+        self.latency_ok && self.error_budget_remaining > 0.0
+    }
+
+    /// The report as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"window_secs\":{},\"total\":{},\"bad\":{},\"p99_us\":{},\
+             \"target_p99_us\":{},\"latency_ok\":{},\"shed_rate\":{:.6},\
+             \"error_budget_remaining\":{:.6},\"healthy\":{}}}",
+            self.window_secs,
+            self.total,
+            self.bad,
+            self.p99_us,
+            self.target_p99_us,
+            self.latency_ok,
+            self.shed_rate,
+            self.error_budget_remaining,
+            self.healthy(),
+        )
+    }
+
+    /// A short human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "slo[{}s]: p99 {} us (target {} us, {})  shed {:.3}%  budget {:.1}% left  ({} reqs)",
+            self.window_secs,
+            self.p99_us,
+            self.target_p99_us,
+            if self.latency_ok { "ok" } else { "BREACH" },
+            self.shed_rate * 100.0,
+            self.error_budget_remaining * 100.0,
+            self.total,
+        )
+    }
+}
+
+/// Rolling-window SLO accounting: see the module docs.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    targets: SloTargets,
+    buckets: Vec<Bucket>,
+}
+
+impl SloTracker {
+    /// A tracker with `targets.window_secs` one-second buckets.
+    pub fn new(targets: SloTargets) -> Self {
+        let width = targets.window_secs.clamp(1, 3600) as usize;
+        SloTracker {
+            targets,
+            buckets: vec![Bucket::empty(); width],
+        }
+    }
+
+    /// The configured objectives.
+    pub fn targets(&self) -> SloTargets {
+        self.targets
+    }
+
+    fn bucket_at(&mut self, t_ms: u64) -> &mut Bucket {
+        let second = t_ms / 1000;
+        let idx = (second % self.buckets.len() as u64) as usize;
+        let bucket = &mut self.buckets[idx];
+        if bucket.second != second {
+            bucket.reset(second);
+        }
+        bucket
+    }
+
+    /// Records one answered request at `t_ms` (milliseconds since the
+    /// service epoch). `ok` is false for requests that failed the
+    /// availability objective (shed past deadline, refused at the door).
+    pub fn record(&mut self, t_ms: u64, latency_us: u64, ok: bool) {
+        let bucket = self.bucket_at(t_ms);
+        bucket.total += 1;
+        if ok {
+            bucket.latency.record(latency_us as f64);
+        } else {
+            bucket.bad += 1;
+        }
+    }
+
+    /// Scores the window ending at `t_ms`.
+    pub fn report(&self, t_ms: u64) -> SloReport {
+        let now_sec = t_ms / 1000;
+        let oldest = now_sec.saturating_sub(self.targets.window_secs - 1);
+        let mut latency = Histogram::duration_us();
+        let (mut total, mut bad) = (0u64, 0u64);
+        for bucket in &self.buckets {
+            if bucket.second == u64::MAX || bucket.second < oldest || bucket.second > now_sec {
+                continue;
+            }
+            total += bucket.total;
+            bad += bucket.bad;
+            latency.merge(&bucket.latency);
+        }
+        let p99_us = latency.percentile(0.99).unwrap_or(0.0) as u64;
+        let allowed = (1.0 - self.targets.availability) * total as f64;
+        let error_budget_remaining = if total == 0 {
+            1.0
+        } else if allowed <= 0.0 {
+            // A 1.0 availability target has no budget: any bad request
+            // exhausts it.
+            if bad == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (1.0 - bad as f64 / allowed).clamp(0.0, 1.0)
+        };
+        SloReport {
+            window_secs: self.targets.window_secs,
+            total,
+            bad,
+            p99_us,
+            target_p99_us: self.targets.p99_us,
+            latency_ok: p99_us <= self.targets.p99_us,
+            shed_rate: if total == 0 {
+                0.0
+            } else {
+                bad as f64 / total as f64
+            },
+            error_budget_remaining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_tracker_reports_full_budget() {
+        let t = SloTracker::new(SloTargets::default());
+        let r = t.report(5_000);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.p99_us, 0);
+        assert!(r.latency_ok);
+        assert_eq!(r.error_budget_remaining, 1.0);
+        assert!(r.healthy());
+        let json = r.to_json();
+        assert!(json.contains("\"healthy\":true"), "{json}");
+        assert!(r.render().contains("p99 0 us"));
+    }
+
+    #[test]
+    fn shed_requests_burn_the_error_budget() {
+        let mut t = SloTracker::new(SloTargets {
+            window_secs: 10,
+            p99_us: 1_000,
+            availability: 0.9,
+        });
+        // 100 requests, 5 shed: half of the 10% allowance burned.
+        for i in 0..100u64 {
+            t.record(1_000, 10, i >= 5);
+        }
+        let r = t.report(1_000);
+        assert_eq!((r.total, r.bad), (100, 5));
+        assert!((r.shed_rate - 0.05).abs() < 1e-9);
+        assert!((r.error_budget_remaining - 0.5).abs() < 1e-9, "{r:?}");
+        assert!(r.healthy());
+        // 10 more sheds overdraw the allowance entirely.
+        for _ in 0..10 {
+            t.record(1_500, 0, false);
+        }
+        let r = t.report(1_500);
+        assert_eq!(r.error_budget_remaining, 0.0);
+        assert!(!r.healthy());
+    }
+
+    #[test]
+    fn latency_breach_flips_the_objective() {
+        let mut t = SloTracker::new(SloTargets {
+            window_secs: 5,
+            p99_us: 100,
+            availability: 0.99,
+        });
+        for _ in 0..50 {
+            t.record(0, 10, true);
+        }
+        assert!(t.report(0).latency_ok);
+        for _ in 0..50 {
+            t.record(0, 10_000, true);
+        }
+        let r = t.report(0);
+        assert!(!r.latency_ok, "{r:?}");
+        assert!(!r.healthy());
+    }
+
+    #[test]
+    fn old_buckets_slide_out_of_the_window() {
+        let mut t = SloTracker::new(SloTargets {
+            window_secs: 3,
+            ..SloTargets::default()
+        });
+        t.record(0, 50, true);
+        assert_eq!(t.report(0).total, 1);
+        // Three seconds later the sample has aged out.
+        assert_eq!(t.report(3_000).total, 0);
+        // Writing into the wrapped slot resets the stale second.
+        t.record(3_000, 70, true);
+        assert_eq!(t.report(3_000).total, 1);
+    }
+
+    #[test]
+    fn degenerate_targets_are_rejected() {
+        assert!(SloTargets::default().validate().is_ok());
+        assert!(SloTargets {
+            window_secs: 0,
+            ..SloTargets::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SloTargets {
+            availability: 1.5,
+            ..SloTargets::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -18,10 +18,17 @@ pub struct TraceSpan {
     pub dur_us: u64,
 }
 
+/// The `tid` spans land on when recorded without an explicit track.
+pub const DEFAULT_TRACK: u64 = 1;
+
 /// Collects spans and renders the Chrome trace JSON.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceBuilder {
     spans: Vec<TraceSpan>,
+    /// Chrome `tid` per span, parallel to `spans`. Distinct tracks let
+    /// concurrent lifecycles (e.g. one per sampled request) render as
+    /// separate rows whose spans nest by time containment.
+    tracks: Vec<u64>,
 }
 
 impl TraceBuilder {
@@ -30,14 +37,26 @@ impl TraceBuilder {
         Self::default()
     }
 
-    /// Appends a closed span.
+    /// Appends a closed span on the default track.
     pub fn push(&mut self, span: TraceSpan) {
+        self.push_on(DEFAULT_TRACK, span);
+    }
+
+    /// Appends a closed span on an explicit track (Chrome `tid`).
+    pub fn push_on(&mut self, track: u64, span: TraceSpan) {
         self.spans.push(span);
+        self.tracks.push(track);
     }
 
     /// All spans, in recording order.
     pub fn spans(&self) -> &[TraceSpan] {
         &self.spans
+    }
+
+    /// The track (Chrome `tid`) of each span, parallel to
+    /// [`spans`](Self::spans).
+    pub fn tracks(&self) -> &[u64] {
+        &self.tracks
     }
 
     /// Number of spans.
@@ -52,27 +71,28 @@ impl TraceBuilder {
 
     /// Renders the Chrome trace-event JSON (open in Perfetto via
     /// <https://ui.perfetto.dev> or `chrome://tracing`).
+    ///
+    /// Rendered by hand, like the serve wire protocol: span names are
+    /// static identifiers and every other field is a number, so the
+    /// exporter needs no serialization framework and stays usable from
+    /// the service's hot-path drain.
     pub fn to_chrome_json(&self) -> String {
-        let events: Vec<serde_json::Value> = self
-            .spans
-            .iter()
-            .map(|s| {
-                serde_json::json!({
-                    "name": s.name,
-                    "cat": "slackvm",
-                    "ph": "X",
-                    "ts": s.start_us,
-                    "dur": s.dur_us,
-                    "pid": 1,
-                    "tid": 1,
-                })
-            })
-            .collect();
-        let doc = serde_json::json!({
-            "traceEvents": events,
-            "displayTimeUnit": "ms",
-        });
-        serde_json::to_string(&doc).expect("trace serializes")
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(32 + self.spans.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, (s, tid)) in self.spans.iter().zip(self.tracks.iter()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"slackvm\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                s.name, s.start_us, s.dur_us, tid
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
     }
 
     /// Writes the Chrome trace JSON to `path`.
@@ -210,24 +230,53 @@ mod tests {
         assert_eq!(t.len(), 2);
 
         let json = t.to_chrome_json();
-        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let events = doc["traceEvents"].as_array().unwrap();
-        assert_eq!(events.len(), 2);
-        assert_eq!(events[0]["name"], "sim.dispatch");
-        assert_eq!(events[0]["ph"], "X");
-        assert_eq!(events[1]["ts"], 3);
-        assert_eq!(events[1]["dur"], 5);
-        for e in events {
-            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
-                assert!(!e[key].is_null(), "missing {key}");
-            }
+        // The rendering is deterministic, so the shape can be pinned
+        // exactly; a real `serde_json` (when available) must agree.
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[\
+             {\"name\":\"sim.dispatch\",\"cat\":\"slackvm\",\"ph\":\"X\",\
+             \"ts\":0,\"dur\":12,\"pid\":1,\"tid\":1},\
+             {\"name\":\"sched.select\",\"cat\":\"slackvm\",\"ph\":\"X\",\
+             \"ts\":3,\"dur\":5,\"pid\":1,\"tid\":1}\
+             ],\"displayTimeUnit\":\"ms\"}"
+        );
+        if let Ok(doc) = serde_json::from_str::<serde_json::Value>(&json) {
+            let events = doc["traceEvents"].as_array().unwrap();
+            assert_eq!(events.len(), 2);
+            assert_eq!(events[0]["name"], "sim.dispatch");
+            assert_eq!(events[1]["ts"], 3);
         }
+    }
+
+    #[test]
+    fn explicit_tracks_land_in_the_tid_field() {
+        let mut t = TraceBuilder::new();
+        t.push(TraceSpan {
+            name: "default",
+            start_us: 0,
+            dur_us: 1,
+        });
+        t.push_on(
+            42,
+            TraceSpan {
+                name: "tracked",
+                start_us: 5,
+                dur_us: 2,
+            },
+        );
+        assert_eq!(t.tracks(), &[DEFAULT_TRACK, 42]);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"name\":\"default\",\"cat\":\"slackvm\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1"), "{json}");
+        assert!(json.contains("\"name\":\"tracked\",\"cat\":\"slackvm\",\"ph\":\"X\",\"ts\":5,\"dur\":2,\"pid\":1,\"tid\":42"), "{json}");
     }
 
     #[test]
     fn empty_trace_still_parses() {
         let json = TraceBuilder::new().to_chrome_json();
-        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 0);
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+        if let Ok(doc) = serde_json::from_str::<serde_json::Value>(&json) {
+            assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 0);
+        }
     }
 }

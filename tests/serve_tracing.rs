@@ -1,0 +1,271 @@
+//! End-to-end checks of the request-scoped tracing plane and the
+//! dedicated observability listener.
+//!
+//! - Every reply carries a nonzero, unique trace ID and stage
+//!   timestamps that are mutually consistent (a request cannot leave
+//!   the queue before the batch that drained it started).
+//! - Sampling every request through a durable single-shard service
+//!   yields Chrome-trace JSON whose five lifecycle stages all appear
+//!   and whose child spans nest inside their `serve.request` parent on
+//!   the same track.
+//! - Wedging a shard flips `/healthz` to 503 naming the stalled shard,
+//!   and the endpoint recovers once the worker resumes heartbeating.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
+use slackvm_serve::{
+    DurableOptions, ModelSpec, ObsServer, Op, Outcome, PlacementService, ServeConfig, TraceLevel,
+};
+
+fn shared_config(shards: u32) -> ServeConfig {
+    ServeConfig {
+        shards,
+        model: ModelSpec::Shared {
+            topology: "cores=16".into(),
+            mem_mib: gib(64),
+            policy: "progress+bestfit".into(),
+            fleet_cap: None,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn place(id: u64) -> Op {
+    Op::Place {
+        id: VmId(id),
+        spec: VmSpec::of(2, gib(2), OversubLevel::of(2)),
+    }
+}
+
+#[test]
+fn every_reply_carries_a_unique_trace_id_and_monotone_stages() {
+    let service = PlacementService::start(shared_config(1)).unwrap();
+    let mut traces = std::collections::HashSet::new();
+    for id in 0..200u64 {
+        let reply = service.call(place(id)).unwrap();
+        assert!(
+            matches!(reply.outcome, Outcome::Placed(_)),
+            "{:?}",
+            reply.outcome
+        );
+        assert_ne!(reply.trace, 0, "reply {id} has no trace ID");
+        assert!(reply.trace < 1 << 48, "trace IDs must stay JSON-safe");
+        assert!(traces.insert(reply.trace), "trace ID collision at {id}");
+        // The default level stamps stages: the dequeue happens at or
+        // after the batch start the worker derives `latency_us` from,
+        // and the decision comes after the dequeue.
+        assert!(
+            reply.queue_us >= reply.latency_us,
+            "queue_us {} < latency_us {}",
+            reply.queue_us,
+            reply.latency_us
+        );
+        assert_eq!(reply.commit_us, 0, "no WAL on a non-durable service");
+    }
+    // Front-door answers (unknown VM) are traced too: an operator
+    // grepping a trace ID out of an error reply must find it.
+    let reply = service.call(Op::Remove { id: VmId(999_999) }).unwrap();
+    assert_eq!(reply.outcome, Outcome::UnknownVm);
+    assert_ne!(reply.trace, 0);
+    assert!(traces.insert(reply.trace));
+    service.stop().check_invariants().unwrap();
+}
+
+#[test]
+fn trace_level_off_zeroes_the_stage_fields() {
+    let service = PlacementService::start(ServeConfig {
+        trace: TraceLevel::Off,
+        ..shared_config(1)
+    })
+    .unwrap();
+    let reply = service.call(place(1)).unwrap();
+    assert_ne!(reply.trace, 0, "IDs are minted even with timing off");
+    assert_eq!((reply.queue_us, reply.place_us, reply.commit_us), (0, 0, 0));
+    let report = service.stop();
+    assert!(report.trace_json.is_none(), "no sink without sampling");
+    report.check_invariants().unwrap();
+}
+
+/// One parsed event from the hand-rolled Chrome trace rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Span {
+    name: String,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+}
+
+/// Parses the exporter's deterministic output shape (each event is
+/// `{"name":"...","cat":"slackvm","ph":"X","ts":N,"dur":N,"pid":1,"tid":N}`)
+/// without a JSON library, so the check runs in every build flavour.
+fn parse_chrome(json: &str) -> Vec<Span> {
+    let field = |obj: &str, key: &str| -> String {
+        let tagged = format!("\"{key}\":");
+        let at = obj.find(&tagged).unwrap_or_else(|| panic!("{key} in {obj}"));
+        let rest = &obj[at + tagged.len()..];
+        rest.trim_start_matches('"')
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
+            .collect()
+    };
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    let body = &json["{\"traceEvents\":[".len()..];
+    let end = body.rfind(']').expect("closing bracket");
+    body[..end]
+        .split("},{")
+        .filter(|chunk| !chunk.trim().is_empty())
+        .map(|chunk| Span {
+            name: field(chunk, "name"),
+            ts: field(chunk, "ts").parse().unwrap(),
+            dur: field(chunk, "dur").parse().unwrap(),
+            tid: field(chunk, "tid").parse().unwrap(),
+        })
+        .collect()
+}
+
+#[test]
+fn sampled_lifecycles_render_all_five_stages_and_nest() {
+    let dir = std::env::temp_dir().join(format!("slackvm-it-tracing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = PlacementService::start(ServeConfig {
+        trace: TraceLevel::Sampled { every: 1 },
+        durable: Some(DurableOptions::new(&dir)),
+        ..shared_config(1)
+    })
+    .unwrap();
+    for id in 0..50u64 {
+        let reply = service.call(place(id)).unwrap();
+        assert!(matches!(reply.outcome, Outcome::Placed(_)));
+        assert!(reply.commit_us > 0, "durable replies carry the commit wall");
+        // Close the lifecycle the way the TCP frontend does once the
+        // reply bytes are written.
+        service.note_reply_write(&reply, Instant::now());
+    }
+    let report = service.stop();
+    let json = report.trace_json.as_deref().expect("sampling was on");
+    let spans = parse_chrome(json);
+    for stage in [
+        "serve.request",
+        "serve.door",
+        "serve.queue_wait",
+        "serve.placement",
+        "serve.wal_commit",
+        "serve.reply",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == stage),
+            "stage {stage} missing from {} spans",
+            spans.len()
+        );
+    }
+    // Children nest: on each track, the queue/placement/commit spans
+    // sit inside their `serve.request` parent's [ts, ts+dur] window.
+    let mut nested = 0usize;
+    for parent in spans.iter().filter(|s| s.name == "serve.request") {
+        for child in spans.iter().filter(|s| {
+            s.tid == parent.tid
+                && matches!(
+                    s.name.as_str(),
+                    "serve.door" | "serve.queue_wait" | "serve.placement" | "serve.wal_commit"
+                )
+        }) {
+            assert!(
+                child.ts >= parent.ts && child.ts + child.dur <= parent.ts + parent.dur,
+                "{child:?} escapes {parent:?}"
+            );
+            nested += 1;
+        }
+    }
+    assert!(nested >= 50, "only {nested} nested stage spans");
+    // A real JSON parser (when the build has one) must agree the
+    // document is well-formed.
+    if let Ok(doc) = serde_json::from_str::<serde_json::Value>(json) {
+        assert!(doc["traceEvents"].as_array().unwrap().len() >= spans.len());
+    }
+    // Sampling fed the slow-request digest too.
+    assert!(
+        report.render_slow_requests().contains("slowest operations"),
+        "{}",
+        report.render_slow_requests()
+    );
+    report.check_invariants().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn probe(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn healthz_flips_to_503_while_a_shard_is_wedged_and_recovers() {
+    let service = PlacementService::start(ServeConfig {
+        stall_threshold: Duration::from_millis(50),
+        ..shared_config(2)
+    })
+    .unwrap();
+    let obs = ObsServer::start("127.0.0.1:0", service.obs_handle()).unwrap();
+    let addr = obs.local_addr();
+
+    // Warm traffic so both the health and SLO planes have data.
+    for id in 0..20u64 {
+        service.call(place(id)).unwrap();
+    }
+    let healthy = probe(addr, "/healthz");
+    assert!(healthy.starts_with("HTTP/1.1 200 OK"), "{healthy}");
+    assert!(healthy.contains("\"healthy\":true"), "{healthy}");
+
+    // Wedge shard 0 long enough for several watchdog periods, then
+    // poll until the flip is visible (the worker sleeps mid-batch
+    // without heartbeating, exactly like a pathological placement).
+    service.inject_stall(0, Duration::from_millis(400)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let sick = loop {
+        let response = probe(addr, "/healthz");
+        if response.starts_with("HTTP/1.1 503") {
+            break response;
+        }
+        assert!(Instant::now() < deadline, "503 never arrived: {response}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(sick.contains("\"healthy\":false"), "{sick}");
+    assert!(
+        sick.contains("\"shard\":0,\"queued\""),
+        "report must name the shard: {sick}"
+    );
+    assert!(sick.contains("\"stalled\":true"), "{sick}");
+
+    // The worker wakes up, heartbeats, and the endpoint recovers.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let response = probe(addr, "/healthz");
+        if response.starts_with("HTTP/1.1 200 OK") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "recovery never came: {response}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The other two planes answer on the same listener.
+    let metrics = probe(addr, "/metrics");
+    assert!(metrics.contains("Content-Length:"), "{metrics}");
+    assert!(metrics.contains("slackvm_serve_admitted"), "{metrics}");
+    assert!(
+        metrics.contains("slackvm_serve_queue_wait_us"),
+        "stage histograms must be exposed: {metrics}"
+    );
+    let slo = probe(addr, "/slo");
+    assert!(slo.starts_with("HTTP/1.1 200 OK"), "{slo}");
+    assert!(slo.contains("\"error_budget_remaining\""), "{slo}");
+    assert!(slo.contains("\"shed_rate\""), "{slo}");
+
+    assert!(obs.stop() >= 4);
+    service.stop().check_invariants().unwrap();
+}
