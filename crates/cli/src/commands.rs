@@ -77,7 +77,7 @@ commands:
             [--index naive|incremental] [--topology SPEC] [--mem GIB]
             [--sample-interval-ms MS] [--state-dir DIR]
             [--fsync every|interval|off] [--fsync-interval-ms MS]
-            [--snapshot-every N] [--retain K]
+            [--snapshot-every N] [--retain K] [--durable-fail-stop]
             [--obs-addr HOST:PORT] [--stall-ms MS]
             [--trace off|stages] [--trace-sample N] [--trace-out FILE]
             [--slo-window-s S] [--slo-p99-ms MS] [--slo-availability F]
@@ -94,12 +94,19 @@ commands:
                                  error-budget scorecard) off the
                                  request path; --trace-sample N records
                                  every Nth request's full lifecycle as
-                                 Chrome-trace spans (--trace-out)
+                                 Chrome-trace spans (--trace-out);
+                                 fail-pm/drain-pm/recover-pm requests
+                                 evict a PM and re-place its VMs
+                                 through normal admission;
+                                 --durable-fail-stop panics the shard
+                                 on WAL errors instead of degrading to
+                                 journal-off
   bombard   [--addr HOST:PORT] [--scenario NAME] [--population N]
             [--seed S] [--clients N] [--requests N] [--rate R]
             [--shards N] [--policy NAME] [--fleet N] [--deadline-ms MS]
             [--series-out FILE] [--prom-out FILE] [--shutdown]
             [--trace off|stages] [--trace-sample N] [--trace-out FILE]
+            [--chaos-fail-every N]
                                  drive scenario traffic at a placement
                                  service — over TCP when --addr is
                                  given, else against an in-process
@@ -108,7 +115,11 @@ commands:
                                  remote server afterwards; the report
                                  prints the server-side stage breakdown
                                  (queue/place/commit) next to the
-                                 client-observed percentiles
+                                 client-observed percentiles;
+                                 --chaos-fail-every N makes client 0
+                                 fail and recover PMs every N of its
+                                 placements, exercising evacuation
+                                 under live load
   recover   --dir DIR            recover a serve state directory offline
                                  and report per shard what a restart
                                  would restore (snapshot, WAL tail,
@@ -1063,6 +1074,7 @@ fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
         index,
         sample_interval_ms: args.get_parsed("sample-interval-ms")?,
         durable: serve_durable(args)?,
+        durable_fail_stop: args.has_flag("durable-fail-stop"),
         trace: serve_trace(args)?,
         stall_threshold: std::time::Duration::from_millis(args.get_parsed_or("stall-ms", 2000)?),
         slo: serve_slo(args)?,
@@ -1090,6 +1102,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "fsync-interval-ms",
         "snapshot-every",
         "retain",
+        "durable-fail-stop",
         "obs-addr",
         "stall-ms",
         "trace",
@@ -1221,6 +1234,7 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         "slo-window-s",
         "slo-p99-ms",
         "slo-availability",
+        "chaos-fail-every",
     ])?;
     let config = slackvm_serve::BombardConfig {
         scenario: args.get_or("scenario", "paper-week-f").to_string(),
@@ -1228,6 +1242,7 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         seed: args.get_parsed_or("seed", 42)?,
         clients: args.get_parsed_or("clients", 4)?,
         requests: args.get_parsed_or("requests", 10_000)?,
+        chaos_fail_every: args.get_parsed("chaos-fail-every")?,
     };
     let invalid = |e: slackvm_serve::ServeError| CliError::Invalid(e.to_string());
     let write = |path: &str, content: &str| -> Result<(), CliError> {

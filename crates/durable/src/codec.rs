@@ -92,11 +92,16 @@ fn read_spec(r: &mut Reader<'_>) -> Result<VmSpec, String> {
 const OP_PLACE: u8 = 0;
 const OP_REMOVE: u8 = 1;
 const OP_RESIZE: u8 = 2;
+const OP_FAIL_PM: u8 = 3;
+const OP_RECOVER_PM: u8 = 4;
+const OP_DRAIN_PM: u8 = 5;
 
 const OUT_PLACED: u8 = 0;
 const OUT_REMOVED: u8 = 1;
 const OUT_RESIZED: u8 = 2;
 const OUT_REJECTED: u8 = 3;
+const OUT_HOST_DOWN: u8 = 4;
+const OUT_HOST_UP: u8 = 5;
 
 /// Encodes a WAL record payload (the frame header is added by the
 /// writer).
@@ -119,6 +124,18 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
             put_u32(&mut out, *vcpus);
             put_u64(&mut out, *mem_mib);
         }
+        WalOp::FailPm { pm } => {
+            out.push(OP_FAIL_PM);
+            put_u32(&mut out, pm.0);
+        }
+        WalOp::RecoverPm { pm } => {
+            out.push(OP_RECOVER_PM);
+            put_u32(&mut out, pm.0);
+        }
+        WalOp::DrainPm { pm } => {
+            out.push(OP_DRAIN_PM);
+            put_u32(&mut out, pm.0);
+        }
     }
     match &rec.outcome {
         WalOutcome::Placed(pm) => {
@@ -134,6 +151,11 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
             out.push(*accepted as u8);
         }
         WalOutcome::Rejected => out.push(OUT_REJECTED),
+        WalOutcome::HostDown { evicted } => {
+            out.push(OUT_HOST_DOWN);
+            put_u32(&mut out, *evicted);
+        }
+        WalOutcome::HostUp => out.push(OUT_HOST_UP),
     }
     out
 }
@@ -153,6 +175,9 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
             vcpus: r.u32()?,
             mem_mib: r.u64()?,
         },
+        OP_FAIL_PM => WalOp::FailPm { pm: PmId(r.u32()?) },
+        OP_RECOVER_PM => WalOp::RecoverPm { pm: PmId(r.u32()?) },
+        OP_DRAIN_PM => WalOp::DrainPm { pm: PmId(r.u32()?) },
         tag => return Err(format!("unknown op tag {tag}")),
     };
     let outcome = match r.u8()? {
@@ -166,6 +191,8 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
             },
         },
         OUT_REJECTED => WalOutcome::Rejected,
+        OUT_HOST_DOWN => WalOutcome::HostDown { evicted: r.u32()? },
+        OUT_HOST_UP => WalOutcome::HostUp,
         tag => return Err(format!("unknown outcome tag {tag}")),
     };
     r.finish()?;
@@ -183,6 +210,10 @@ fn put_cluster(out: &mut Vec<u8>, c: &ClusterState) {
         put_spec(out, &p.spec);
         put_u32(out, p.pm.0);
     }
+    put_u32(out, c.failed.len() as u32);
+    for pm in &c.failed {
+        put_u32(out, pm.0);
+    }
 }
 
 fn read_cluster(r: &mut Reader<'_>) -> Result<ClusterState, String> {
@@ -195,7 +226,16 @@ fn read_cluster(r: &mut Reader<'_>) -> Result<ClusterState, String> {
         let pm = PmId(r.u32()?);
         placements.push(PlacementRecord { vm, spec, pm });
     }
-    Ok(ClusterState { opened, placements })
+    let failed_count = r.u32()?;
+    let mut failed = Vec::with_capacity(failed_count.min(1 << 20) as usize);
+    for _ in 0..failed_count {
+        failed.push(PmId(r.u32()?));
+    }
+    Ok(ClusterState {
+        opened,
+        placements,
+        failed,
+    })
 }
 
 /// Encodes a snapshot body.
@@ -280,6 +320,21 @@ mod tests {
                 },
                 outcome: WalOutcome::Rejected,
             },
+            WalRecord {
+                seq: 4,
+                op: WalOp::FailPm { pm: PmId(3) },
+                outcome: WalOutcome::HostDown { evicted: 17 },
+            },
+            WalRecord {
+                seq: 5,
+                op: WalOp::DrainPm { pm: PmId(0) },
+                outcome: WalOutcome::HostDown { evicted: 0 },
+            },
+            WalRecord {
+                seq: 6,
+                op: WalOp::RecoverPm { pm: PmId(3) },
+                outcome: WalOutcome::HostUp,
+            },
         ];
         for rec in &records {
             let bytes = encode_record(rec);
@@ -338,6 +393,7 @@ mod tests {
                     pm: PmId(2),
                 },
             ],
+            failed: vec![PmId(1)],
         });
         let dedicated = ModelState::Dedicated(vec![
             (OversubLevel::of(1), ClusterState::default()),
@@ -350,6 +406,7 @@ mod tests {
                         spec: spec(1, 3),
                         pm: PmId(0),
                     }],
+                    failed: vec![],
                 },
             ),
         ]);

@@ -114,6 +114,20 @@ fn apply_record(model: &mut DeploymentModel, record: &WalRecord) -> Result<(), D
             .resize(*id, *vcpus, *mem_mib)
             .map_err(|e| replay(format!("accepted resize of {id}: {e}"))),
         (WalOp::Resize { .. }, WalOutcome::Resized { accepted: false }) => Ok(()),
+        (WalOp::FailPm { pm } | WalOp::DrainPm { pm }, WalOutcome::HostDown { evicted }) => {
+            let actual = model.fail_host(*pm).len() as u32;
+            if actual == *evicted {
+                Ok(())
+            } else {
+                Err(replay(format!(
+                    "failing {pm} evicted {actual} VMs, journal says {evicted}"
+                )))
+            }
+        }
+        (WalOp::RecoverPm { pm }, WalOutcome::HostUp) => {
+            model.repair_host(*pm);
+            Ok(())
+        }
         (op, outcome) => Err(replay(format!(
             "op/outcome pair is impossible: {op:?} / {outcome:?}"
         ))),
@@ -219,6 +233,31 @@ pub fn fsck_shard(
                             record.outcome
                         ),
                     ),
+                }
+            }
+            WalOp::FailPm { pm } | WalOp::DrainPm { pm } => {
+                let derived = fresh.fail_host(*pm).len() as u32;
+                match &record.outcome {
+                    WalOutcome::HostDown { evicted } if *evicted == derived => {}
+                    _ => push(
+                        &mut mismatches,
+                        format!(
+                            "seq {seq}: failing {pm} re-derived {derived} evictions, journal says {:?}",
+                            record.outcome
+                        ),
+                    ),
+                }
+            }
+            WalOp::RecoverPm { pm } => {
+                fresh.repair_host(*pm);
+                if record.outcome != WalOutcome::HostUp {
+                    push(
+                        &mut mismatches,
+                        format!(
+                            "seq {seq}: recover {pm} must log HostUp, journal says {:?}",
+                            record.outcome
+                        ),
+                    );
                 }
             }
         }
@@ -426,6 +465,77 @@ mod tests {
             "{:?}",
             fsck.mismatches
         );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Failure / recovery records replay and fsck exactly like
+    /// placement decisions: the evicted count is re-derived, displaced
+    /// VMs reappear as ordinary directed places, and the failed set
+    /// round-trips through the final state comparison.
+    #[test]
+    fn failure_records_recover_and_fsck() {
+        let root = temp_root("failure");
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut live = fresh_model();
+        let mut wal = WalWriter::open(&dir.join(WAL_FILE), 0, crate::FsyncPolicy::Off).unwrap();
+        let mut seq = 0u64;
+        let mut log = |wal: &mut WalWriter, op: WalOp, outcome: WalOutcome| {
+            seq += 1;
+            wal.append(&WalRecord { seq, op, outcome }).unwrap();
+        };
+        // Fill host 0 (8 cores) so a second host opens.
+        for i in 0..4u64 {
+            let id = VmId(i);
+            let pm = live.deploy(id, spec()).unwrap();
+            log(
+                &mut wal,
+                WalOp::Place { id, spec: spec() },
+                WalOutcome::Placed(pm),
+            );
+        }
+        // Fail host 0: its VMs evict, then re-place as normal deploys.
+        let evicted = live.fail_host(PmId(0));
+        log(
+            &mut wal,
+            WalOp::FailPm { pm: PmId(0) },
+            WalOutcome::HostDown {
+                evicted: evicted.len() as u32,
+            },
+        );
+        assert!(!evicted.is_empty());
+        for (id, vm_spec) in evicted {
+            let pm = live.deploy(id, vm_spec).unwrap();
+            assert_ne!(pm, PmId(0), "failed host must not admit");
+            log(
+                &mut wal,
+                WalOp::Place { id, spec: vm_spec },
+                WalOutcome::Placed(pm),
+            );
+        }
+        // Recover it, then a drain that evicts nothing.
+        live.repair_host(PmId(0));
+        log(&mut wal, WalOp::RecoverPm { pm: PmId(0) }, WalOutcome::HostUp);
+        let drained = live.fail_host(PmId(0));
+        log(
+            &mut wal,
+            WalOp::DrainPm { pm: PmId(0) },
+            WalOutcome::HostDown {
+                evicted: drained.len() as u32,
+            },
+        );
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut recovered = fresh_model();
+        recover_shard(&root, 0, &mut recovered).unwrap();
+        assert_eq!(
+            recovered.capture_state().normalized(),
+            live.capture_state().normalized()
+        );
+        assert_eq!(recovered.failed_pms(), 1);
+        let fsck = fsck_shard(&root, 0, &recovered, &mut fresh_model()).unwrap();
+        assert!(fsck.ok(), "{:?}", fsck.mismatches);
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -3,7 +3,7 @@
 //! A snapshot file is:
 //!
 //! ```text
-//! [magic: b"SLKSNAP1"][seq: u64 le][len: u32 le][crc32: u32 le][state payload]
+//! [magic: b"SLKSNAP2"][seq: u64 le][len: u32 le][crc32: u32 le][state payload]
 //! ```
 //!
 //! where `seq` is the journal sequence number the snapshot covers —
@@ -29,8 +29,10 @@ use crate::crc32::crc32;
 use crate::error::DurableError;
 
 /// Leading magic of every snapshot file (versioned: bump the trailing
-/// digit on layout changes).
-pub const SNAP_MAGIC: &[u8; 8] = b"SLKSNAP1";
+/// digit on layout changes). Version 2 added the failed-PM set to each
+/// cluster body; version-1 snapshots read as corrupt and recovery
+/// falls back to a full-journal replay, which stays correct.
+pub const SNAP_MAGIC: &[u8; 8] = b"SLKSNAP2";
 
 /// Extension of finished snapshots.
 pub const SNAP_EXT: &str = "snap";
@@ -166,6 +168,7 @@ mod tests {
                     pm: PmId(0),
                 })
                 .collect(),
+            failed: vec![],
         })
     }
 

@@ -14,10 +14,13 @@
 //! that prefix so the orphaned bytes can never resurrect.
 //!
 //! What gets logged: state-changing decisions (successful places,
-//! removes, accepted and refused resizes) and terminal `Rejected`
-//! placements — the latter carry no state but are themselves
-//! deterministic decisions `slackvm fsck` re-derives. Load-shed and
-//! unknown-VM outcomes are *not* logged: they never reached the model.
+//! removes, accepted and refused resizes, PM failures / drains /
+//! recoveries) and terminal `Rejected` placements — the latter carry
+//! no state but are themselves deterministic decisions `slackvm fsck`
+//! re-derives. Load-shed and unknown-VM outcomes are *not* logged:
+//! they never reached the model. An evacuation is its `FailPm` /
+//! `DrainPm` record followed by one ordinary `Place` record per
+//! displaced VM the fleet re-absorbed (lost VMs simply have none).
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -65,6 +68,23 @@ pub enum WalOp {
         /// New memory size.
         mem_mib: u64,
     },
+    /// A PM failure: the host goes out of service and evicts its VMs.
+    FailPm {
+        /// The shard-local PM.
+        pm: PmId,
+    },
+    /// A failed PM returning to service.
+    RecoverPm {
+        /// The shard-local PM.
+        pm: PmId,
+    },
+    /// A PM drain: operationally identical to a failure (evict, stop
+    /// admitting) but logged distinctly so history tells planned
+    /// maintenance from hardware loss.
+    DrainPm {
+        /// The shard-local PM.
+        pm: PmId,
+    },
 }
 
 /// The decision half: what the shard committed for the operation.
@@ -81,6 +101,16 @@ pub enum WalOutcome {
     },
     /// Terminally rejected (capped fleet, no shard could host).
     Rejected,
+    /// The PM went down (failed or draining), evicting this many VMs.
+    /// The displaced VMs' re-placements follow as ordinary `Place`
+    /// records, so replay reproduces the evacuation decision for
+    /// decision.
+    HostDown {
+        /// VMs evicted by the outage.
+        evicted: u32,
+    },
+    /// The PM returned to service.
+    HostUp,
 }
 
 /// One committed decision: monotone sequence number, operation,

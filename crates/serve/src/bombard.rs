@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use slackvm_model::{VmId, VmSpec};
+use slackvm_model::{PmId, VmId, VmSpec};
 use slackvm_perf::TailPercentiles;
 use slackvm_workload::{scenarios, WorkloadEvent};
 
@@ -44,6 +44,10 @@ pub struct BombardConfig {
     pub clients: u32,
     /// Total placement requests across all clients.
     pub requests: u64,
+    /// Chaos mode: every `N` of client 0's placements, interleave a
+    /// deterministic `fail-pm` or `recover-pm` control op. `None`
+    /// disables chaos.
+    pub chaos_fail_every: Option<u64>,
 }
 
 impl Default for BombardConfig {
@@ -54,11 +58,32 @@ impl Default for BombardConfig {
             seed: 42,
             clients: 4,
             requests: 10_000,
+            chaos_fail_every: None,
         }
     }
 }
 
 impl BombardConfig {
+    /// Rejects parameter combinations that break the generator's
+    /// invariants — per-client request counts that would spill one
+    /// client's VM ids into the next client's billion-wide band.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let clients = self.clients.max(1);
+        let per_client = self.requests / clients as u64;
+        if clients > 1 && per_client > CLIENT_ID_BAND {
+            return Err(ServeError::Config(format!(
+                "requests/clients = {per_client} exceeds the {CLIENT_ID_BAND}-wide \
+                 per-client VM-id band: client ids would collide"
+            )));
+        }
+        if self.chaos_fail_every == Some(0) {
+            return Err(ServeError::Config(
+                "chaos-fail-every must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// The VM shapes the generator cycles through: every arrival spec
     /// of the scenario's workload, in trace order.
     pub fn specs(&self) -> Result<Vec<VmSpec>, ServeError> {
@@ -111,6 +136,12 @@ pub struct BombardReport {
     pub unknown: u64,
     /// Window removals executed.
     pub removed: u64,
+    /// Chaos control ops issued (`fail-pm` + `recover-pm`).
+    pub chaos_ops: u64,
+    /// VMs evicted by chaos-injected PM failures.
+    pub evicted: u64,
+    /// Evicted VMs the service could not re-place anywhere (lost).
+    pub lost: u64,
     /// Placement latency distribution, microseconds (client-observed in
     /// closed loop, worker-observed in open loop). `None` when nothing
     /// completed.
@@ -195,6 +226,12 @@ impl BombardReport {
             "  outcomes   placed {}  rejected {}  shed {}  busy {}  unknown {}  removed {}\n",
             self.placed, self.rejected, self.shed, self.busy, self.unknown, self.removed
         ));
+        if self.chaos_ops > 0 {
+            out.push_str(&format!(
+                "  chaos      ops {}  evicted {}  lost {}\n",
+                self.chaos_ops, self.evicted, self.lost
+            ));
+        }
         match &self.latency {
             Some(p) => out.push_str(&format!(
                 "  latency    p50 {:.0} us  p99 {:.0} us  p999 {:.0} us  max {:.0} us  (n={})\n",
@@ -226,6 +263,9 @@ struct Tally {
     busy: AtomicU64,
     unknown: AtomicU64,
     removed: AtomicU64,
+    chaos_ops: AtomicU64,
+    evicted: AtomicU64,
+    lost: AtomicU64,
 }
 
 impl Tally {
@@ -237,6 +277,12 @@ impl Tally {
             Outcome::UnknownVm => self.unknown.fetch_add(1, Ordering::Relaxed),
             Outcome::Removed(_) => self.removed.fetch_add(1, Ordering::Relaxed),
             Outcome::Resized { .. } => 0,
+            Outcome::PmFailed { evicted, lost, .. } | Outcome::PmDraining { evicted, lost, .. } => {
+                self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+                self.lost.fetch_add(lost as u64, Ordering::Relaxed);
+                self.chaos_ops.fetch_add(1, Ordering::Relaxed)
+            }
+            Outcome::PmRecovered => self.chaos_ops.fetch_add(1, Ordering::Relaxed),
         };
     }
 }
@@ -261,15 +307,99 @@ fn report(
         busy: tally.busy.load(Ordering::Relaxed),
         unknown: tally.unknown.load(Ordering::Relaxed),
         removed: tally.removed.load(Ordering::Relaxed),
+        chaos_ops: tally.chaos_ops.load(Ordering::Relaxed),
+        evicted: tally.evicted.load(Ordering::Relaxed),
+        lost: tally.lost.load(Ordering::Relaxed),
         latency: TailPercentiles::of(latencies),
         stages: stages.breakdown(),
     }
 }
 
+/// Width of each client's private VM-id band.
+const CLIENT_ID_BAND: u64 = 1_000_000_000;
+
 /// Each client's VM ids live in a disjoint billion-wide band so clients
-/// can never collide.
+/// can never collide ([`BombardConfig::validate`] enforces the width).
 fn client_vm_id(client: u32, n: u64) -> VmId {
-    VmId(client as u64 * 1_000_000_000 + n)
+    VmId(client as u64 * CLIENT_ID_BAND + n)
+}
+
+/// Deterministic chaos driver: client 0 interleaves one `fail-pm` or
+/// `recover-pm` control op every `every` of its own placements. Targets
+/// are drawn from a splitmix of the workload seed, at most two PMs are
+/// down at any moment (the oldest is recovered first), and every PM
+/// still down when the client finishes is recovered so the run ends on
+/// a healthy fleet.
+struct Chaos {
+    every: u64,
+    shards: u32,
+    state: u64,
+    down: VecDeque<(u32, u32)>,
+}
+
+impl Chaos {
+    fn new(config: &BombardConfig, shards: u32) -> Option<Chaos> {
+        let every = config.chaos_fail_every.filter(|&n| n > 0)?;
+        Some(Chaos {
+            every,
+            shards: shards.max(1),
+            state: config.seed | 1,
+            down: VecDeque::new(),
+        })
+    }
+
+    fn splitmix(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The control op due after client 0's `n`-th placement, if any.
+    fn tick(&mut self, n: u64) -> Option<Op> {
+        if (n + 1) % self.every != 0 {
+            return None;
+        }
+        if self.down.len() >= 2 {
+            return self.recover_oldest();
+        }
+        let draw = self.splitmix();
+        let shard = (draw % self.shards as u64) as u32;
+        // Low PM ids are the ones a loaded shard has certainly opened.
+        let pm = ((draw >> 32) % 4) as u32;
+        if self.down.contains(&(shard, pm)) {
+            return self.recover_oldest();
+        }
+        self.down.push_back((shard, pm));
+        Some(Op::FailPm { shard, pm: PmId(pm) })
+    }
+
+    fn recover_oldest(&mut self) -> Option<Op> {
+        let (shard, pm) = self.down.pop_front()?;
+        Some(Op::RecoverPm {
+            shard,
+            pm: PmId(pm),
+        })
+    }
+
+    /// Recover-ops for every PM still down.
+    fn drain(&mut self) -> Vec<Op> {
+        std::iter::from_fn(|| self.recover_oldest()).collect()
+    }
+}
+
+/// Renders a chaos control op as a wire-protocol request line.
+fn chaos_wire_line(op: &Op) -> String {
+    match op {
+        Op::FailPm { shard, pm } => {
+            format!("{{\"op\":\"fail-pm\",\"shard\":{shard},\"pm\":{}}}", pm.0)
+        }
+        Op::RecoverPm { shard, pm } => {
+            format!("{{\"op\":\"recover-pm\",\"shard\":{shard},\"pm\":{}}}", pm.0)
+        }
+        _ => unreachable!("chaos issues only pm control ops"),
+    }
 }
 
 /// Closed-loop, in-process: see the module docs.
@@ -277,10 +407,12 @@ pub fn run_closed_loop(
     service: &PlacementService,
     config: &BombardConfig,
 ) -> Result<BombardReport, ServeError> {
+    config.validate()?;
     let specs = config.specs()?;
     let clients = config.clients.max(1);
     let window = (config.population / clients).max(1) as usize;
     let per_client = config.requests / clients as u64;
+    let shards = service.config().shards;
     let tally = Tally::default();
     let ops = AtomicU64::new(0);
     let staged = service.config().trace.stages();
@@ -299,6 +431,10 @@ pub fn run_closed_loop(
                     let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
                     let mut latencies = Vec::with_capacity(per_client as usize);
                     let mut stages = StageSamples::default();
+                    // Client 0 doubles as the chaos injector.
+                    let mut chaos = (client == 0)
+                        .then(|| Chaos::new(config, shards))
+                        .flatten();
                     // Clients start at staggered offsets of the trace so the
                     // fleet sees the scenario's mix, not one slice of it.
                     let offset = (client as usize * specs.len()) / clients as usize;
@@ -322,8 +458,21 @@ pub fn run_closed_loop(
                             ops.fetch_add(1, Ordering::Relaxed);
                             tally.note(reply.outcome);
                         }
+                        if let Some(chaos) = chaos.as_mut() {
+                            if let Some(op) = chaos.tick(n) {
+                                let reply = service.call(op)?;
+                                ops.fetch_add(1, Ordering::Relaxed);
+                                tally.note(reply.outcome);
+                            }
+                        }
                     }
-                    // Drain the window so the service ends empty.
+                    // Recover every PM chaos still has down, then drain the
+                    // window, so the run ends on a healthy, empty fleet.
+                    for op in chaos.as_mut().map(Chaos::drain).unwrap_or_default() {
+                        let reply = service.call(op)?;
+                        ops.fetch_add(1, Ordering::Relaxed);
+                        tally.note(reply.outcome);
+                    }
                     for id in alive {
                         let reply = service.call(Op::Remove { id })?;
                         ops.fetch_add(1, Ordering::Relaxed);
@@ -363,6 +512,7 @@ pub fn run_open_loop(
     if rate.is_nan() || rate <= 0.0 {
         return Err(ServeError::Config("open-loop rate must be positive".into()));
     }
+    config.validate()?;
     let specs = config.specs()?;
     let interval = Duration::from_secs_f64(1.0 / rate);
     let tally = Tally::default();
@@ -415,6 +565,7 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
 
+    config.validate()?;
     let specs = config.specs()?;
     let clients = config.clients.max(1);
     let window = (config.population / clients).max(1) as usize;
@@ -454,6 +605,9 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
                     let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
                     let mut latencies = Vec::with_capacity(per_client as usize);
                     let mut stages = StageSamples::default();
+                    // Client 0 doubles as the chaos injector; the shard count
+                    // is not visible over the wire, so chaos targets shard 0.
+                    let mut chaos = (client == 0).then(|| Chaos::new(config, 1)).flatten();
                     let offset = (client as usize * specs.len()) / clients as usize;
                     for n in 0..per_client {
                         let spec = specs[(offset + n as usize) % specs.len()];
@@ -482,6 +636,20 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
                             ops.fetch_add(1, Ordering::Relaxed);
                             tally.note(crate::tcp::classify(&reply));
                         }
+                        if let Some(chaos) = chaos.as_mut() {
+                            if let Some(op) = chaos.tick(n) {
+                                let req = chaos_wire_line(&op);
+                                let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                                ops.fetch_add(1, Ordering::Relaxed);
+                                tally.note(crate::tcp::classify(&reply));
+                            }
+                        }
+                    }
+                    for op in chaos.as_mut().map(Chaos::drain).unwrap_or_default() {
+                        let req = chaos_wire_line(&op);
+                        let reply = ask(&mut writer, &mut reader, &mut line, req)?;
+                        ops.fetch_add(1, Ordering::Relaxed);
+                        tally.note(crate::tcp::classify(&reply));
                     }
                     for id in alive {
                         let req = format!("{{\"op\":\"remove\",\"id\":{}}}", id.0);
@@ -565,6 +733,50 @@ mod tests {
         assert!(report.render().contains("server     queue"), "{report:?}");
         let final_report = svc.stop();
         for shard in &final_report.shards {
+            let (alloc, _) = shard.model.totals();
+            assert!(alloc.is_empty(), "shard {} not drained", shard.shard);
+        }
+        final_report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn colliding_client_bands_are_rejected() {
+        let config = BombardConfig {
+            clients: 2,
+            requests: 4_000_000_000,
+            ..BombardConfig::default()
+        };
+        let err = config.validate().unwrap_err().to_string();
+        assert!(err.contains("band"), "{err}");
+        assert!(BombardConfig::default().validate().is_ok());
+        let zero = BombardConfig {
+            chaos_fail_every: Some(0),
+            ..BombardConfig::default()
+        };
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn chaos_failures_evacuate_and_recover() {
+        let svc = service(2);
+        let config = BombardConfig {
+            chaos_fail_every: Some(25),
+            ..small()
+        };
+        let report = run_closed_loop(&svc, &config).unwrap();
+        assert!(report.chaos_ops > 0, "{report:?}");
+        // The elastic fleet always has room, so every evicted VM is
+        // re-placed and every window removal still finds its VM.
+        assert_eq!(report.placed, 400, "{report:?}");
+        assert_eq!(report.lost, 0, "{report:?}");
+        assert_eq!(report.unknown, 0, "{report:?}");
+        assert_eq!(
+            report.ops,
+            report.placed + report.removed + report.chaos_ops
+        );
+        let final_report = svc.stop();
+        for shard in &final_report.shards {
+            assert_eq!(shard.model.failed_pms(), 0, "shard {}", shard.shard);
             let (alloc, _) = shard.model.totals();
             assert!(alloc.is_empty(), "shard {} not drained", shard.shard);
         }

@@ -43,6 +43,15 @@
 //! log and snapshotted periodically (`slackvm_durable`); a restart
 //! against the same state directory recovers the fleet, and
 //! `slackvm fsck` proves the recovery equals the committed history.
+//!
+//! The fault-tolerance plane rides on the same machinery: `fail-pm`,
+//! `drain-pm`, and `recover-pm` control ops evict a PM's VMs and
+//! re-place them through the normal admission path (local first, then
+//! ring fall-through with bounded retry), journal every decision, and
+//! report any VM that could not be re-placed as lost — by id — in
+//! `/healthz` and the final service report. WAL append failures
+//! degrade the shard to journal-off instead of panicking unless
+//! `durable_fail_stop` asks for the old behavior.
 
 #![warn(missing_docs)]
 

@@ -12,10 +12,13 @@
 //!
 //! - `/metrics` — the Prometheus exposition (same snapshot the request
 //!   listener serves).
-//! - `/healthz` — per-shard worker liveness. Workers stamp a heartbeat
-//!   every loop turn, including idle timeouts; a heartbeat older than
-//!   the configured stall threshold flips the endpoint to `503` with a
-//!   JSON report naming the wedged shard.
+//! - `/healthz` — per-shard worker liveness and fault-plane state.
+//!   Workers stamp a heartbeat every loop turn, including idle
+//!   timeouts; a heartbeat older than the configured stall threshold
+//!   flips the endpoint to `503` with a JSON report naming the wedged
+//!   shard, as does a journal-degraded shard. Failed/draining PM
+//!   counts, evacuation progress, and lost-VM IDs ride along without
+//!   affecting the verdict.
 //! - `/slo` — the rolling-window scorecard: p99 latency vs target,
 //!   shed rate, remaining error budget.
 
@@ -26,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use slackvm_model::VmId;
 use slackvm_telemetry::{prometheus, MetricsRegistry, SloReport, SloTracker, TimeSeriesStore};
 
 use crate::error::ServeError;
@@ -42,6 +46,7 @@ pub struct ObsHandle {
     pub(crate) slo: Arc<Mutex<SloTracker>>,
     pub(crate) epoch: Instant,
     pub(crate) stall_threshold: Duration,
+    pub(crate) lost: Arc<Mutex<Vec<VmId>>>,
 }
 
 impl ObsHandle {
@@ -59,7 +64,7 @@ impl ObsHandle {
         }
     }
 
-    /// Per-shard worker liveness as of now.
+    /// Per-shard worker liveness and fault-plane state as of now.
     pub fn health(&self) -> HealthReport {
         let now_ms = ms_since(self.epoch);
         let stall_ms = self.stall_threshold.as_millis() as u64;
@@ -74,10 +79,19 @@ impl ObsHandle {
                     queued: s.queued(),
                     beat_age_ms,
                     stalled: beat_age_ms > stall_ms,
+                    failed_pms: s.failed_pms(),
+                    draining_pms: s.draining_pms(),
+                    evac_pending: s.evac_pending(),
+                    journal_degraded: s.journal_degraded(),
                 }
             })
             .collect();
-        HealthReport { stall_ms, shards }
+        let lost_vms = self.lost.lock().expect("lost ledger lock").clone();
+        HealthReport {
+            stall_ms,
+            shards,
+            lost_vms,
+        }
     }
 
     /// The rolling-window SLO scorecard as of now.
@@ -100,22 +114,41 @@ pub struct ShardHealth {
     pub beat_age_ms: u64,
     /// Whether the heartbeat is older than the stall threshold.
     pub stalled: bool,
+    /// PMs currently failed on this shard.
+    pub failed_pms: u64,
+    /// PMs currently draining on this shard. A draining shard stays
+    /// healthy; this plus `evac_pending` is its progress report.
+    pub draining_pms: u64,
+    /// Displaced VMs this shard forwarded into the ring whose
+    /// evacuation has not resolved yet (zero once the drain settles).
+    pub evac_pending: u64,
+    /// Whether the shard serves without durability after a journal
+    /// write failure. Flips `/healthz` to 503.
+    pub journal_degraded: bool,
 }
 
 /// The `/healthz` verdict: every shard's heartbeat age against the
-/// stall threshold.
+/// stall threshold, plus the fault plane's state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HealthReport {
     /// The stall threshold in force, milliseconds.
     pub stall_ms: u64,
     /// One line per shard, in shard order.
     pub shards: Vec<ShardHealth>,
+    /// VMs lost to evacuation so far, by ID.
+    pub lost_vms: Vec<VmId>,
 }
 
+/// At most this many lost-VM IDs are enumerated in the health JSON
+/// (the full count is always reported).
+const LOST_VMS_LISTED: usize = 32;
+
 impl HealthReport {
-    /// Healthy iff no shard is stalled.
+    /// Healthy iff no shard is stalled or journal-degraded. Failed or
+    /// draining PMs do not unhealth the service: evacuating around
+    /// failures is the plane working as designed.
     pub fn healthy(&self) -> bool {
-        self.shards.iter().all(|s| !s.stalled)
+        self.shards.iter().all(|s| !s.stalled && !s.journal_degraded)
     }
 
     /// The report as one JSON object (hand-rolled, like the wire
@@ -131,9 +164,25 @@ impl HealthReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"shard\":{},\"queued\":{},\"beat_age_ms\":{},\"stalled\":{}}}",
-                s.shard, s.queued, s.beat_age_ms, s.stalled
+                "{{\"shard\":{},\"queued\":{},\"beat_age_ms\":{},\"stalled\":{},\
+                 \"failed_pms\":{},\"draining_pms\":{},\"evac_pending\":{},\
+                 \"journal_degraded\":{}}}",
+                s.shard,
+                s.queued,
+                s.beat_age_ms,
+                s.stalled,
+                s.failed_pms,
+                s.draining_pms,
+                s.evac_pending,
+                s.journal_degraded
             ));
+        }
+        out.push_str(&format!("],\"lost_total\":{},\"lost_vms\":[", self.lost_vms.len()));
+        for (i, vm) in self.lost_vms.iter().take(LOST_VMS_LISTED).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&vm.0.to_string());
         }
         out.push_str("]}");
         out
@@ -279,6 +328,7 @@ mod tests {
             slo: Arc::new(Mutex::new(SloTracker::new(SloTargets::default()))),
             epoch: Instant::now(),
             stall_threshold: stall,
+            lost: Arc::new(Mutex::new(Vec::new())),
         }
     }
 

@@ -36,13 +36,41 @@ pub enum Op {
         /// New memory size.
         mem_mib: u64,
     },
+    /// Declare a PM failed: evict its VMs and re-place them through the
+    /// normal admission path. PM ids are shard-local, so the op names
+    /// the shard that owns the machine.
+    FailPm {
+        /// Shard owning the PM.
+        shard: u32,
+        /// The machine that failed.
+        pm: PmId,
+    },
+    /// Return a previously failed (or draining) PM to service.
+    RecoverPm {
+        /// Shard owning the PM.
+        shard: u32,
+        /// The machine to restore.
+        pm: PmId,
+    },
+    /// Drain a PM for maintenance: operationally identical to a
+    /// failure (evict and re-place), but journalled and reported
+    /// distinctly so an operator-initiated drain is never mistaken for
+    /// a crash in the decision history.
+    DrainPm {
+        /// Shard owning the PM.
+        shard: u32,
+        /// The machine to drain.
+        pm: PmId,
+    },
 }
 
 impl Op {
-    /// The VM the operation concerns.
-    pub fn vm(&self) -> VmId {
+    /// The VM the operation concerns (`None` for the PM-lifecycle
+    /// control ops, which address machines, not VMs).
+    pub fn vm(&self) -> Option<VmId> {
         match self {
-            Op::Place { id, .. } | Op::Remove { id } | Op::Resize { id, .. } => *id,
+            Op::Place { id, .. } | Op::Remove { id } | Op::Resize { id, .. } => Some(*id),
+            Op::FailPm { .. } | Op::RecoverPm { .. } | Op::DrainPm { .. } => None,
         }
     }
 }
@@ -67,6 +95,29 @@ pub enum Outcome {
     Shed,
     /// Remove/Resize for a VM the service does not host.
     UnknownVm,
+    /// A `FailPm` took effect: the evacuation scoreboard. `replaced`
+    /// counts displaced VMs re-admitted synchronously on the owning
+    /// shard; displaced VMs forwarded into the ring resolve later and
+    /// are tallied under `serve.evac.*` and the lost-VM ledger.
+    PmFailed {
+        /// VMs evicted from the failed machine.
+        evicted: u32,
+        /// Evicted VMs re-placed on this shard before the reply.
+        replaced: u32,
+        /// Evicted VMs already known lost (no shard could host them).
+        lost: u32,
+    },
+    /// A `RecoverPm` took effect; the machine accepts placements again.
+    PmRecovered,
+    /// A `DrainPm` took effect; same scoreboard as [`Outcome::PmFailed`].
+    PmDraining {
+        /// VMs evicted from the draining machine.
+        evicted: u32,
+        /// Evicted VMs re-placed on this shard before the reply.
+        replaced: u32,
+        /// Evicted VMs already known lost.
+        lost: u32,
+    },
 }
 
 /// One reply, paired to its request by `seq`.
@@ -296,6 +347,12 @@ pub struct ServeConfig {
     /// recovers its placements. `None` keeps the service in-memory
     /// only.
     pub durable: Option<DurableOptions>,
+    /// What a journal write failure does to its shard. `false` (the
+    /// default) degrades gracefully: the shard stops journalling, keeps
+    /// serving from memory, and `/healthz` names it journal-degraded.
+    /// `true` restores fail-stop behavior: the worker panics, taking
+    /// the shard down rather than serving without durability.
+    pub durable_fail_stop: bool,
     /// Per-request tracing depth (stage histograms, span sampling).
     pub trace: TraceLevel,
     /// Watchdog threshold for the `/healthz` plane: a shard whose
@@ -318,6 +375,7 @@ impl Default for ServeConfig {
             index: IndexMode::default(),
             sample_interval_ms: None,
             durable: None,
+            durable_fail_stop: false,
             trace: TraceLevel::Stages,
             stall_threshold: Duration::from_secs(2),
             slo: SloTargets::default(),
@@ -348,6 +406,11 @@ impl ServeConfig {
                     "state directory must not be empty".into(),
                 ));
             }
+        }
+        if self.durable_fail_stop && self.durable.is_none() {
+            return Err(ServeError::Config(
+                "durable fail-stop requires a state directory".into(),
+            ));
         }
         if self.trace == (TraceLevel::Sampled { every: 0 }) {
             return Err(ServeError::Config(

@@ -10,7 +10,9 @@
 //! broken by least-allocated CPU, then lowest index); `Remove`/`Resize`
 //! are routed by the placement directory — a VM the directory does not
 //! know is answered `UnknownVm` at the front door without touching a
-//! worker.
+//! worker. The PM-lifecycle control ops (`FailPm`/`RecoverPm`/
+//! `DrainPm`) carry their shard explicitly: PM ids are shard-local, so
+//! the operator names the shard that owns the machine.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,6 +55,9 @@ pub struct ServiceReport {
     /// (`None` unless the service ran with
     /// [`TraceLevel::Sampled`](crate::TraceLevel::Sampled)).
     pub trace_json: Option<String>,
+    /// VMs lost to evacuation, by ID: displaced by a PM failure or
+    /// drain and not re-placeable on any shard.
+    pub lost_vms: Vec<VmId>,
 }
 
 impl ServiceReport {
@@ -120,6 +125,7 @@ pub struct PlacementService {
     recovery: Vec<slackvm_durable::RecoveryReport>,
     slo: Arc<Mutex<SloTracker>>,
     sink: Option<Arc<Mutex<TraceBuilder>>>,
+    lost: Arc<Mutex<Vec<VmId>>>,
 }
 
 impl PlacementService {
@@ -220,6 +226,7 @@ impl PlacementService {
             }
         }
 
+        let lost: Arc<Mutex<Vec<VmId>>> = Arc::new(Mutex::new(Vec::new()));
         let mut workers = Vec::with_capacity(shards);
         for (idx, (rx, model)) in receivers.into_iter().zip(models).enumerate() {
             let worker = Worker {
@@ -234,6 +241,9 @@ impl PlacementService {
                 batch_max: config.batch_max,
                 deterministic: config.deterministic,
                 durable: durables[idx].take(),
+                fail_stop: config.durable_fail_stop,
+                lost: Arc::clone(&lost),
+                draining: Default::default(),
                 epoch,
                 level: config.trace,
                 sink: sink.clone(),
@@ -278,6 +288,7 @@ impl PlacementService {
             recovery,
             slo,
             sink,
+            lost,
         })
     }
 
@@ -368,6 +379,15 @@ impl PlacementService {
                 .get(id)
                 .copied()
                 .ok_or(Outcome::UnknownVm),
+            // Control ops name their shard; a shard the service does
+            // not run is refused at the front door.
+            Op::FailPm { shard, .. } | Op::RecoverPm { shard, .. } | Op::DrainPm { shard, .. } => {
+                if *shard < self.config.shards {
+                    Ok(*shard)
+                } else {
+                    Err(Outcome::Rejected)
+                }
+            }
         }
     }
 
@@ -389,6 +409,7 @@ impl PlacementService {
                 enqueued: now,
                 trace: mint_trace(seq),
                 tried: 0,
+                evac: None,
                 reply,
             },
         )
@@ -543,6 +564,12 @@ impl PlacementService {
         }
     }
 
+    /// VMs lost to evacuation so far, by ID (empty while every
+    /// displaced VM has been re-placed or is still in flight).
+    pub fn lost_vms(&self) -> Vec<VmId> {
+        self.lost.lock().expect("lost ledger lock").clone()
+    }
+
     /// The rolling-window SLO scorecard as of now.
     pub fn slo_report(&self) -> SloReport {
         self.slo
@@ -569,6 +596,18 @@ impl PlacementService {
             .get(shard as usize)
             .ok_or_else(|| ServeError::Config(format!("no shard {shard}")))?
             .send(Msg::Stall(dur))
+            .map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Test hook: simulate a journal write failure on shard `shard`, so
+    /// journal-degraded mode (or fail-stop) can be exercised without an
+    /// actual disk fault.
+    #[doc(hidden)]
+    pub fn inject_journal_degraded(&self, shard: u32) -> Result<(), ServeError> {
+        self.senders
+            .get(shard as usize)
+            .ok_or_else(|| ServeError::Config(format!("no shard {shard}")))?
+            .send(Msg::DegradeJournal)
             .map_err(|_| ServeError::Disconnected)
     }
 
@@ -617,7 +656,12 @@ impl PlacementService {
             .sink
             .as_ref()
             .map(|s| s.lock().expect("trace sink lock").to_chrome_json());
-        ServiceReport { shards, trace_json }
+        let lost_vms = self.lost.lock().expect("lost ledger lock").clone();
+        ServiceReport {
+            shards,
+            trace_json,
+            lost_vms,
+        }
     }
 
     /// A detached handle for the background observability listener:
@@ -631,6 +675,7 @@ impl PlacementService {
             slo: Arc::clone(&self.slo),
             epoch: self.epoch,
             stall_threshold: self.config.stall_threshold,
+            lost: Arc::clone(&self.lost),
         }
     }
 }

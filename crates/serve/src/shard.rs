@@ -12,14 +12,14 @@
 //! rejection fall-through), so a drop-based protocol would deadlock —
 //! each worker would wait for the others to drop first.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use slackvm_durable::{CommitStamp, ShardDurable, WalOp, WalOutcome};
-use slackvm_model::{AllocView, VmId};
+use slackvm_durable::{CommitStamp, DurableError, ShardDurable, WalOp, WalOutcome};
+use slackvm_model::{AllocView, PmId, VmId};
 use slackvm_sim::{DeploymentModel, SimError};
 use slackvm_telemetry::{MetricsRegistry, SloTracker, SlowOpsDigest, TraceBuilder, TraceSpan};
 
@@ -50,6 +50,12 @@ pub(crate) struct Request {
     pub trace: u64,
     /// Shards that already rejected this request (fall-through hops).
     pub tried: u32,
+    /// `Some(origin shard)` for an evacuation re-placement minted by a
+    /// `FailPm`/`DrainPm`: no client is waiting on the reply channel,
+    /// the deadline is `None` (evacuations are never shed), and the
+    /// terminal outcome is tallied against the origin's evacuation
+    /// scoreboard (and the lost-VM ledger) instead of a caller.
+    pub evac: Option<u32>,
     pub reply: Sender<Reply>,
 }
 
@@ -64,6 +70,10 @@ pub(crate) enum Msg {
     /// a pathological model.
     #[allow(dead_code)]
     Stall(Duration),
+    /// Test hook: simulate a journal write failure, so journal-degraded
+    /// mode can be exercised without an actual disk fault.
+    #[allow(dead_code)]
+    DegradeJournal,
 }
 
 /// A shard's lock-free scoreboard: queue depth and coarse utilization,
@@ -82,6 +92,17 @@ pub struct ShardSummary {
     /// at the worker's last loop turn (idle timeouts count — an idle
     /// worker is alive, a wedged one is not).
     last_beat_ms: AtomicU64,
+    /// PMs on this shard currently failed (crashed, not yet recovered).
+    failed_pms: AtomicU64,
+    /// PMs on this shard currently draining for maintenance.
+    draining_pms: AtomicU64,
+    /// Displaced VMs this shard has forwarded into the ring whose
+    /// evacuation has not resolved (placed or lost) yet — nonzero means
+    /// an evacuation is still in progress.
+    evac_pending: AtomicU64,
+    /// Set once the worker's journal has failed and the shard serves
+    /// without durability; `/healthz` names the shard.
+    journal_degraded: AtomicBool,
 }
 
 impl ShardSummary {
@@ -153,6 +174,49 @@ impl ShardSummary {
         self.used_cpu_mc.store(alloc.cpu.0, Ordering::Relaxed);
         self.cap_cpu_mc.store(cap.cpu.0, Ordering::Relaxed);
     }
+
+    /// PMs currently failed on this shard.
+    pub fn failed_pms(&self) -> u64 {
+        self.failed_pms.load(Ordering::Relaxed)
+    }
+
+    /// PMs currently draining on this shard.
+    pub fn draining_pms(&self) -> u64 {
+        self.draining_pms.load(Ordering::Relaxed)
+    }
+
+    /// Displaced VMs whose evacuation (forwarded into the ring by this
+    /// shard) has not resolved yet.
+    pub fn evac_pending(&self) -> u64 {
+        self.evac_pending.load(Ordering::Relaxed)
+    }
+
+    /// Whether this shard serves without durability after a journal
+    /// write failure.
+    pub fn journal_degraded(&self) -> bool {
+        self.journal_degraded.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_pm_health(&self, failed: u64, draining: u64) {
+        self.failed_pms.store(failed, Ordering::Relaxed);
+        self.draining_pms.store(draining, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_evac_started(&self) {
+        self.evac_pending.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_evac_resolved(&self) {
+        let _ = self
+            .evac_pending
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+                Some(p.saturating_sub(1))
+            });
+    }
+
+    pub(crate) fn set_journal_degraded(&self, degraded: bool) {
+        self.journal_degraded.store(degraded, Ordering::Relaxed);
+    }
 }
 
 /// What a worker hands back when the service stops.
@@ -208,6 +272,17 @@ pub(crate) struct Worker {
     /// runs durable. Appends happen as decisions are made; the batch is
     /// committed (fsync per policy) *before* any reply is released.
     pub durable: Option<ShardDurable>,
+    /// What a journal write failure does: `true` panics the worker
+    /// (fail-stop), `false` enters journal-degraded mode — the shard
+    /// keeps serving from memory and `/healthz` names it.
+    pub fail_stop: bool,
+    /// Service-wide ledger of VMs lost to evacuation: displaced by a
+    /// PM failure and not re-placeable anywhere in the ring.
+    pub lost: Arc<Mutex<Vec<VmId>>>,
+    /// PMs on this shard currently draining (operator-initiated, as
+    /// opposed to failed). The model tracks both identically; this set
+    /// keeps the distinction for health reporting.
+    pub draining: BTreeSet<PmId>,
     /// The service's trace epoch: all stage timestamps and heartbeats
     /// are offsets from this instant.
     pub epoch: Instant,
@@ -244,6 +319,14 @@ struct BatchStats {
     places_us: Vec<u64>,
     /// Latencies of requests shed this batch (SLO "bad" events).
     shed_latencies_us: Vec<u64>,
+    /// Displaced VMs re-placed this batch (locally or as a resolved
+    /// evacuation forward).
+    evac_replaced: u64,
+    /// Displaced VMs lost this batch — no shard could absorb them.
+    evac_lost: u64,
+    /// Latencies of evacuations lost this batch (SLO "bad" events:
+    /// losing a VM is the worst availability outcome the plane has).
+    evac_lost_latencies_us: Vec<u64>,
     /// Sampled full lifecycles, emitted as spans after the commit.
     sampled: Vec<SampledLifecycle>,
     replies: Vec<(Sender<Reply>, Reply)>,
@@ -252,6 +335,21 @@ struct BatchStats {
     wal: Vec<(WalOp, WalOutcome)>,
     /// Journal bytes appended while executing the batch.
     wal_bytes: u64,
+}
+
+/// How many `try_send` attempts an evacuation forward makes against a
+/// full peer queue before the VM is declared lost (backoff doubles
+/// from 50µs between attempts).
+const EVAC_RETRIES: u32 = 4;
+
+/// What [`Worker::forward`] did with a request.
+enum Forwarded {
+    /// Handed to the next shard in the ring; it will answer.
+    Sent,
+    /// Answered `Rejected` here (ring exhausted or peer unreachable).
+    Rejected,
+    /// Answered `Shed` here (deadline already passed).
+    Shed,
 }
 
 /// Epoch-relative stage timestamps of one sampled request, captured
@@ -275,6 +373,11 @@ impl Worker {
         let mut shed = 0u64;
         let mut draining = false;
         self.beat();
+        // A recovered model may come back with hosts already failed;
+        // publish them before the first request (the drain/fail
+        // distinction is not persisted — a recovered down host reads
+        // as failed until the operator recovers or re-drains it).
+        self.summaries[self.idx as usize].set_pm_health(self.model.failed_pms() as u64, 0);
         loop {
             let first = if draining {
                 match self.rx.try_recv() {
@@ -303,6 +406,7 @@ impl Worker {
                     // Wedge simulation: sleep without heartbeating, as a
                     // worker stuck in a pathological placement would.
                     Msg::Stall(d) => std::thread::sleep(d),
+                    Msg::DegradeJournal => self.journal_failure("append", None),
                 }
                 if batch.len() >= self.batch_max {
                     break;
@@ -320,12 +424,18 @@ impl Worker {
                 // Durability point: the batch's journal frames reach
                 // stable storage (per the fsync policy) before anything
                 // downstream — metrics, replies — can reveal the
-                // decisions. A failure here panics the worker rather
-                // than acknowledge an unpersisted decision.
-                let commit = self
-                    .durable
-                    .as_mut()
-                    .map(|d| d.commit().expect("wal commit failed"));
+                // decisions. A failure here fail-stops the worker or
+                // flips the shard to journal-degraded mode, per
+                // configuration — either way no reply is released on
+                // the strength of an unpersisted commit.
+                let commit = match self.durable.as_mut().map(|d| d.commit()) {
+                    Some(Ok(stamp)) => Some(stamp),
+                    Some(Err(e)) => {
+                        self.journal_failure("commit", Some(&e));
+                        None
+                    }
+                    None => None,
+                };
                 let commit_us = commit
                     .map(|c| c.wall.as_micros() as u64)
                     .unwrap_or_default();
@@ -352,21 +462,25 @@ impl Worker {
                 // Snapshot cadence runs after replies: it bounds future
                 // recovery time and should not sit in any request's
                 // latency path beyond the batch that crossed it.
-                if let Some(d) = self.durable.as_mut() {
-                    if d.maybe_snapshot(&self.model).expect("snapshot failed") {
+                let model = &self.model;
+                match self.durable.as_mut().map(|d| d.maybe_snapshot(model)) {
+                    Some(Ok(true)) => {
                         self.metrics
                             .lock()
                             .expect("metrics lock")
                             .inc("durable.snapshots", 1);
                     }
+                    Some(Err(e)) => self.journal_failure("snapshot", Some(&e)),
+                    _ => {}
                 }
             }
             self.beat();
         }
         // Drain-to-snapshot: a clean shutdown leaves the freshest
         // possible checkpoint so the next start replays no tail.
-        if let Some(d) = self.durable.as_mut() {
-            d.snapshot_now(&self.model).expect("final snapshot failed");
+        let model = &self.model;
+        if let Some(Err(e)) = self.durable.as_mut().map(|d| d.snapshot_now(model)) {
+            self.journal_failure("final snapshot", Some(&e));
         }
         ShardReport {
             shard: self.idx,
@@ -451,9 +565,8 @@ impl Worker {
         // never touched the model and are not logged.
         let journal = self.durable.is_some();
         let staged = self.level.stages();
-        let summary = &self.summaries[self.idx as usize];
         for req in batch {
-            summary.note_dequeued();
+            self.summaries[self.idx as usize].note_dequeued();
             stats.requests += 1;
             let latency_us = now.saturating_duration_since(req.enqueued).as_micros() as u64;
             // FIFO queues mean the oldest requests surface first, so
@@ -488,12 +601,15 @@ impl Worker {
                         self.answer(&mut stats, &req, Outcome::Placed(pm), latency_us, dequeued);
                     }
                     Err(SimError::DeploymentFailed(_)) => {
-                        if !self.forward(req, &mut stats, dequeued) {
-                            stats.rejected += 1;
-                            if journal {
-                                stats
-                                    .wal
-                                    .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
+                        match self.forward(req, &mut stats, dequeued) {
+                            Forwarded::Sent | Forwarded::Shed => {}
+                            Forwarded::Rejected => {
+                                stats.rejected += 1;
+                                if journal {
+                                    stats
+                                        .wal
+                                        .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
+                                }
                             }
                         }
                     }
@@ -564,48 +680,244 @@ impl Worker {
                         );
                     }
                 },
+                Op::FailPm { pm, .. } | Op::DrainPm { pm, .. } => {
+                    let drain = matches!(req.op, Op::DrainPm { .. });
+                    let evicted = self.model.fail_host(pm);
+                    if drain {
+                        self.draining.insert(pm);
+                    } else {
+                        self.draining.remove(&pm);
+                    }
+                    if journal {
+                        let op = if drain {
+                            WalOp::DrainPm { pm }
+                        } else {
+                            WalOp::FailPm { pm }
+                        };
+                        stats
+                            .wal
+                            .push((op, WalOutcome::HostDown { evicted: evicted.len() as u32 }));
+                    }
+                    {
+                        let mut dir = self.directory.lock().expect("directory lock");
+                        for (id, _) in &evicted {
+                            dir.remove(id);
+                        }
+                    }
+                    let total = evicted.len() as u32;
+                    let (replaced, lost) = self.evacuate(evicted, &mut stats, journal);
+                    let outcome = if drain {
+                        Outcome::PmDraining {
+                            evicted: total,
+                            replaced,
+                            lost,
+                        }
+                    } else {
+                        Outcome::PmFailed {
+                            evicted: total,
+                            replaced,
+                            lost,
+                        }
+                    };
+                    self.answer(&mut stats, &req, outcome, latency_us, dequeued);
+                }
+                Op::RecoverPm { pm, .. } => {
+                    self.model.repair_host(pm);
+                    self.draining.remove(&pm);
+                    if journal {
+                        stats.wal.push((WalOp::RecoverPm { pm }, WalOutcome::HostUp));
+                    }
+                    self.answer(&mut stats, &req, Outcome::PmRecovered, latency_us, dequeued);
+                }
             }
         }
         let (alloc, cap) = self.model.totals();
+        let summary = &self.summaries[self.idx as usize];
         summary.refresh(self.model.opened_pms() as u64, alloc, cap);
-        if let Some(d) = self.durable.as_mut() {
-            for (op, outcome) in stats.wal.drain(..) {
-                stats.wal_bytes += d.append(op, outcome).expect("wal append failed");
+        let down = self.model.failed_pms() as u64;
+        let draining_now = self.draining.len() as u64;
+        summary.set_pm_health(down.saturating_sub(draining_now), draining_now);
+        if self.durable.is_some() {
+            let mut failure = None;
+            let wal = std::mem::take(&mut stats.wal);
+            for (op, outcome) in wal {
+                match self.durable.as_mut().expect("durable checked above").append(op, outcome) {
+                    Ok(bytes) => stats.wal_bytes += bytes,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                self.journal_failure("append", Some(&e));
             }
         }
         stats
     }
 
+    /// Re-places the VMs a failed (or draining) host displaced, through
+    /// the normal admission path: local re-placement first (journalled
+    /// like any placement), then ring fall-through as evacuation
+    /// requests with bounded retry. A VM no shard can absorb is
+    /// recorded in the lost-VM ledger by ID. Returns how many were
+    /// re-placed locally and how many are already known lost;
+    /// forwarded evacuations resolve later and are tallied under
+    /// `serve.evac.*` as each lands.
+    fn evacuate(
+        &mut self,
+        evicted: Vec<(VmId, slackvm_model::VmSpec)>,
+        stats: &mut BatchStats,
+        journal: bool,
+    ) -> (u32, u32) {
+        let mut replaced = 0u32;
+        let mut lost = 0u32;
+        let single = self.peers.len() == 1;
+        for (id, spec) in evicted {
+            match self.model.deploy(id, spec) {
+                Ok(pm) => {
+                    replaced += 1;
+                    stats.admitted += 1;
+                    stats.evac_replaced += 1;
+                    if journal {
+                        stats
+                            .wal
+                            .push((WalOp::Place { id, spec }, WalOutcome::Placed(pm)));
+                    }
+                    self.directory
+                        .lock()
+                        .expect("directory lock")
+                        .insert(id, self.idx);
+                }
+                Err(_) if single => {
+                    // One shard is the whole ring: a local refusal is a
+                    // terminal rejection, the VM is lost.
+                    lost += 1;
+                    stats.rejected += 1;
+                    stats.evac_lost += 1;
+                    stats.evac_lost_latencies_us.push(0);
+                    if journal {
+                        stats
+                            .wal
+                            .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
+                    }
+                    self.lost.lock().expect("lost ledger lock").push(id);
+                }
+                Err(_) => {
+                    let now = Instant::now();
+                    let (tx, _) = std::sync::mpsc::channel();
+                    let req = Request {
+                        // No sampling track: evacuations carry trace 0
+                        // and a sequence no sampling period divides.
+                        seq: u64::MAX,
+                        op: Op::Place { id, spec },
+                        deadline: None,
+                        door: now,
+                        enqueued: now,
+                        trace: 0,
+                        tried: 0,
+                        evac: Some(self.idx),
+                        reply: tx,
+                    };
+                    self.summaries[self.idx as usize].note_evac_started();
+                    match self.forward(req, stats, None) {
+                        Forwarded::Sent => {}
+                        Forwarded::Shed => unreachable!("evacuations carry no deadline"),
+                        Forwarded::Rejected => {
+                            // `answer` already tallied the loss (ledger,
+                            // counters, pending); this shard's model did
+                            // refuse the VM, so the terminal rejection
+                            // is journalled here like any other.
+                            lost += 1;
+                            stats.rejected += 1;
+                            if journal {
+                                stats
+                                    .wal
+                                    .push((WalOp::Place { id, spec }, WalOutcome::Rejected));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (replaced, lost)
+    }
+
     /// Rejection fall-through: hand the request to the next shard in
     /// the ring. `try_send`, never `send` — a worker blocking on a
     /// full peer queue while that peer blocks back is a deadlock.
-    /// Returns false when the request was answered `Rejected` here.
-    fn forward(&self, mut req: Request, stats: &mut BatchStats, dequeued: Option<Instant>) -> bool {
+    /// Evacuation requests get a few bounded, backed-off retries
+    /// against a full peer before giving up (losing a VM is worth a
+    /// few hundred microseconds; an ordinary placement is not).
+    /// [`Forwarded::Rejected`]/[`Forwarded::Shed`] mean the request
+    /// was answered terminally here.
+    fn forward(
+        &self,
+        mut req: Request,
+        stats: &mut BatchStats,
+        dequeued: Option<Instant>,
+    ) -> Forwarded {
+        // A request whose deadline has already passed must not burn a
+        // fall-through hop: re-enqueueing it at a peer only to be shed
+        // on dequeue there wastes a queue slot and inflates its
+        // latency. Shed it now. (Evacuations carry no deadline.)
+        if !self.deterministic {
+            if let (Some(deadline), now) = (req.deadline, Instant::now()) {
+                if now > deadline {
+                    let latency_us = now.saturating_duration_since(req.enqueued).as_micros() as u64;
+                    stats.shed += 1;
+                    stats.shed_latencies_us.push(latency_us);
+                    self.answer(stats, &req, Outcome::Shed, latency_us, dequeued);
+                    return Forwarded::Shed;
+                }
+            }
+        }
         let shards = self.peers.len() as u32;
         if req.tried + 1 >= shards {
             let latency_us = Instant::now()
                 .saturating_duration_since(req.enqueued)
                 .as_micros() as u64;
             self.answer(stats, &req, Outcome::Rejected, latency_us, dequeued);
-            return false;
+            return Forwarded::Rejected;
         }
         req.tried += 1;
         let next = ((self.idx + 1) % shards) as usize;
-        self.summaries[next].note_enqueued();
-        match self.peers[next].try_send(Msg::Req(req)) {
-            Ok(()) => {
-                stats.forwarded += 1;
-                true
+        let evac = req.evac.is_some();
+        let mut attempts = 0u32;
+        let mut backoff = Duration::from_micros(50);
+        let mut msg = Msg::Req(req);
+        loop {
+            self.summaries[next].note_enqueued();
+            match self.peers[next].try_send(msg) {
+                Ok(()) => {
+                    stats.forwarded += 1;
+                    return Forwarded::Sent;
+                }
+                Err(TrySendError::Full(Msg::Req(r))) => {
+                    self.summaries[next].note_dequeued();
+                    attempts += 1;
+                    if evac && attempts < EVAC_RETRIES {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                        msg = Msg::Req(r);
+                        continue;
+                    }
+                    let latency_us = Instant::now()
+                        .saturating_duration_since(r.enqueued)
+                        .as_micros() as u64;
+                    self.answer(stats, &r, Outcome::Rejected, latency_us, dequeued);
+                    return Forwarded::Rejected;
+                }
+                Err(TrySendError::Disconnected(Msg::Req(r))) => {
+                    self.summaries[next].note_dequeued();
+                    let latency_us = Instant::now()
+                        .saturating_duration_since(r.enqueued)
+                        .as_micros() as u64;
+                    self.answer(stats, &r, Outcome::Rejected, latency_us, dequeued);
+                    return Forwarded::Rejected;
+                }
+                Err(_) => unreachable!("only Req messages are forwarded"),
             }
-            Err(TrySendError::Full(Msg::Req(r)) | TrySendError::Disconnected(Msg::Req(r))) => {
-                self.summaries[next].note_dequeued();
-                let latency_us = Instant::now()
-                    .saturating_duration_since(r.enqueued)
-                    .as_micros() as u64;
-                self.answer(stats, &r, Outcome::Rejected, latency_us, dequeued);
-                false
-            }
-            Err(_) => unreachable!("only Req messages are forwarded"),
         }
     }
 
@@ -621,6 +933,23 @@ impl Worker {
         latency_us: u64,
         dequeued: Option<Instant>,
     ) {
+        // Evacuation resolution: no client is listening, so the
+        // terminal outcome lands on the origin shard's scoreboard —
+        // and, for a loss, in the service-wide ledger by VM ID.
+        if let Some(origin) = req.evac {
+            match outcome {
+                Outcome::Placed(_) => stats.evac_replaced += 1,
+                Outcome::Rejected => {
+                    stats.evac_lost += 1;
+                    stats.evac_lost_latencies_us.push(latency_us);
+                    if let Some(id) = req.op.vm() {
+                        self.lost.lock().expect("lost ledger lock").push(id);
+                    }
+                }
+                _ => {}
+            }
+            self.summaries[origin as usize].note_evac_resolved();
+        }
         let (queue_us, place_us) = match dequeued {
             Some(deq) => {
                 let decided = Instant::now();
@@ -629,7 +958,7 @@ impl Worker {
                 stats.queue_waits_us.push(queue_us);
                 stats.places_us.push(place_us);
                 if let Some(every) = self.level.sample_every() {
-                    if req.seq % every == 0 {
+                    if req.seq % every == 0 && req.trace != 0 {
                         stats.sampled.push(SampledLifecycle {
                             trace: req.trace,
                             door_us: req.door.saturating_duration_since(self.epoch).as_micros()
@@ -661,6 +990,31 @@ impl Worker {
         ));
     }
 
+    /// A journal write failed. Under fail-stop the worker panics —
+    /// the shard goes down rather than serve without durability. The
+    /// default degrades gracefully: drop the journal, keep serving
+    /// from memory, and let `/healthz` name the degraded shard.
+    fn journal_failure(&mut self, stage: &str, err: Option<&DurableError>) {
+        let detail = err
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "fault injected".into());
+        if self.fail_stop {
+            panic!("shard {}: wal {stage} failed: {detail}", self.idx);
+        }
+        if self.durable.take().is_some() {
+            eprintln!(
+                "slackvm-serve: shard {}: journal {stage} failed ({detail}); \
+                 entering journal-degraded mode — decisions are no longer persisted",
+                self.idx
+            );
+            self.summaries[self.idx as usize].set_journal_degraded(true);
+            self.metrics
+                .lock()
+                .expect("metrics lock")
+                .inc("serve.journal_degraded", 1);
+        }
+    }
+
     fn flush(&self, stats: &BatchStats, commit: Option<CommitStamp>) {
         let summary = &self.summaries[self.idx as usize];
         let mut m = self.metrics.lock().expect("metrics lock");
@@ -690,6 +1044,12 @@ impl Worker {
         m.inc("serve.resized", stats.resized);
         m.inc("serve.unknown_vm", stats.unknown);
         m.inc("serve.forwarded", stats.forwarded);
+        if stats.evac_replaced > 0 {
+            m.inc("serve.evac.replaced", stats.evac_replaced);
+        }
+        if stats.evac_lost > 0 {
+            m.inc("serve.evac.lost", stats.evac_lost);
+        }
         m.observe("serve.batch", stats.requests as f64);
         for us in &stats.latencies_us {
             m.observe("serve.admit", *us as f64);
@@ -709,6 +1069,11 @@ impl Worker {
             slo.record(t_ms, *us, true);
         }
         for us in &stats.shed_latencies_us {
+            slo.record(t_ms, *us, false);
+        }
+        // A lost VM is the worst availability outcome the plane has:
+        // every loss burns SLO error budget like a shed request.
+        for us in &stats.evac_lost_latencies_us {
             slo.record(t_ms, *us, false);
         }
     }

@@ -172,7 +172,7 @@ fn handle_connection(
                     }
                     Err(e) => wire::render_error(
                         "error",
-                        Some(op.vm().0),
+                        op.vm().map(|v| v.0),
                         &e.to_string().replace('"', "'"),
                     ),
                 }
@@ -229,6 +229,17 @@ pub fn classify(reply: &wire::WireReply) -> Outcome {
             Some("resize") => Outcome::Resized {
                 accepted: reply.accepted.unwrap_or(false),
             },
+            Some("fail-pm") => Outcome::PmFailed {
+                evicted: reply.evicted.unwrap_or(0) as u32,
+                replaced: reply.replaced.unwrap_or(0) as u32,
+                lost: reply.lost.unwrap_or(0) as u32,
+            },
+            Some("drain-pm") => Outcome::PmDraining {
+                evicted: reply.evicted.unwrap_or(0) as u32,
+                replaced: reply.replaced.unwrap_or(0) as u32,
+                lost: reply.lost.unwrap_or(0) as u32,
+            },
+            Some("recover-pm") => Outcome::PmRecovered,
             _ => Outcome::Placed(pm),
         }
     } else {

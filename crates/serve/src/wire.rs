@@ -11,17 +11,23 @@
 //! {"op":"place","id":7,"vcpus":4,"mem_mib":8192,"level":3}
 //! {"op":"remove","id":7}
 //! {"op":"resize","id":7,"vcpus":8,"mem_mib":16384}
+//! {"op":"fail-pm","shard":0,"pm":3}
+//! {"op":"recover-pm","shard":0,"pm":3}
+//! {"op":"drain-pm","shard":0,"pm":3}
 //! {"op":"ping"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! (`shard` defaults to 0 on the PM-lifecycle ops; PM ids are
+//! shard-local.)
 //!
 //! Replies mirror the op and id, e.g.
 //! `{"ok":true,"op":"place","id":7,"pm":3,"shard":0,"latency_us":12}`;
 //! failures carry `"ok":false` and an `"error"` word (`"rejected"`,
 //! `"shed"`, `"unknown-vm"`, `"busy"`, `"bad-request"`).
 
-use slackvm_model::{OversubLevel, VmId, VmSpec};
+use slackvm_model::{OversubLevel, PmId, VmId, VmSpec};
 
 use crate::error::ServeError;
 use crate::request::{Op, Outcome, Reply};
@@ -107,11 +113,27 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
                 mem_mib,
             }))
         }
+        "fail-pm" | "recover-pm" | "drain-pm" => {
+            let shard = field_u64(line, "shard").unwrap_or(0);
+            let pm = require(line, "pm")?;
+            if shard > u32::MAX as u64 || pm > u32::MAX as u64 {
+                return Err(ServeError::BadRequest(
+                    "shard and pm must fit in 32 bits".into(),
+                ));
+            }
+            let (shard, pm) = (shard as u32, PmId(pm as u32));
+            Ok(WireRequest::Op(match op {
+                "fail-pm" => Op::FailPm { shard, pm },
+                "recover-pm" => Op::RecoverPm { shard, pm },
+                _ => Op::DrainPm { shard, pm },
+            }))
+        }
         "ping" => Ok(WireRequest::Ping),
         "stats" => Ok(WireRequest::Stats),
         "shutdown" => Ok(WireRequest::Shutdown),
         other => Err(ServeError::BadRequest(format!(
-            "unknown op {other:?} (place, remove, resize, ping, stats, shutdown)"
+            "unknown op {other:?} (place, remove, resize, fail-pm, recover-pm, \
+             drain-pm, ping, stats, shutdown)"
         ))),
     }
 }
@@ -121,6 +143,9 @@ fn op_name(op: &Op) -> &'static str {
         Op::Place { .. } => "place",
         Op::Remove { .. } => "remove",
         Op::Resize { .. } => "resize",
+        Op::FailPm { .. } => "fail-pm",
+        Op::RecoverPm { .. } => "recover-pm",
+        Op::DrainPm { .. } => "drain-pm",
     }
 }
 
@@ -146,25 +171,51 @@ fn shard_suffix(reply: &Reply) -> String {
 /// Renders the reply line for an executed operation.
 pub fn render_reply(op: &Op, reply: &Reply) -> String {
     let name = op_name(op);
-    let id = op.vm().0;
+    let id = op.vm().map(|v| v.0);
+    // The machine a PM-lifecycle op addressed, mirrored on its ack.
+    let target_pm = match op {
+        Op::FailPm { pm, .. } | Op::RecoverPm { pm, .. } | Op::DrainPm { pm, .. } => pm.0,
+        _ => 0,
+    };
     match reply.outcome {
         Outcome::Placed(pm) => format!(
-            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{id},\"pm\":{}{}}}",
+            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{},\"pm\":{}{}}}",
+            id.unwrap_or_default(),
             pm.0,
             shard_suffix(reply)
         ),
         Outcome::Removed(pm) => format!(
-            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{id},\"pm\":{}{}}}",
+            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{},\"pm\":{}{}}}",
+            id.unwrap_or_default(),
             pm.0,
             shard_suffix(reply)
         ),
         Outcome::Resized { accepted } => format!(
-            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{id},\"accepted\":{accepted}{}}}",
+            "{{\"ok\":true,\"op\":\"{name}\",\"id\":{},\"accepted\":{accepted}{}}}",
+            id.unwrap_or_default(),
             shard_suffix(reply)
         ),
-        Outcome::Rejected => render_error(name, Some(id), "rejected"),
-        Outcome::Shed => render_error(name, Some(id), "shed"),
-        Outcome::UnknownVm => render_error(name, Some(id), "unknown-vm"),
+        Outcome::Rejected => render_error(name, id, "rejected"),
+        Outcome::Shed => render_error(name, id, "shed"),
+        Outcome::UnknownVm => render_error(name, id, "unknown-vm"),
+        Outcome::PmFailed {
+            evicted,
+            replaced,
+            lost,
+        }
+        | Outcome::PmDraining {
+            evicted,
+            replaced,
+            lost,
+        } => format!(
+            "{{\"ok\":true,\"op\":\"{name}\",\"pm\":{target_pm},\"evicted\":{evicted},\
+             \"replaced\":{replaced},\"lost\":{lost}{}}}",
+            shard_suffix(reply)
+        ),
+        Outcome::PmRecovered => format!(
+            "{{\"ok\":true,\"op\":\"{name}\",\"pm\":{target_pm}{}}}",
+            shard_suffix(reply)
+        ),
     }
 }
 
@@ -206,6 +257,12 @@ pub struct WireReply {
     pub pm: Option<u64>,
     /// Resize verdict on resize acks.
     pub accepted: Option<bool>,
+    /// VMs evicted, on fail-pm/drain-pm acks.
+    pub evicted: Option<u64>,
+    /// VMs re-placed synchronously, on fail-pm/drain-pm acks.
+    pub replaced: Option<u64>,
+    /// VMs already known lost, on fail-pm/drain-pm acks.
+    pub lost: Option<u64>,
     /// The error word on failures.
     pub error: Option<String>,
     /// Worker-observed latency, when present.
@@ -244,6 +301,9 @@ pub fn parse_reply(line: &str) -> Result<WireReply, ServeError> {
         op: field_str(line, "op").map(str::to_string),
         pm: field_u64(line, "pm"),
         accepted,
+        evicted: field_u64(line, "evicted"),
+        replaced: field_u64(line, "replaced"),
+        lost: field_u64(line, "lost"),
         error: field_str(line, "error").map(str::to_string),
         latency_us: field_u64(line, "latency_us"),
         trace: field_u64(line, "trace"),
@@ -297,6 +357,58 @@ mod tests {
         assert_eq!(
             parse_request("{\"op\":\"shutdown\"}").unwrap(),
             WireRequest::Shutdown
+        );
+    }
+
+    #[test]
+    fn pm_lifecycle_ops_parse_and_acks_round_trip() {
+        let req = parse_request("{\"op\":\"fail-pm\",\"shard\":2,\"pm\":5}").unwrap();
+        assert_eq!(
+            req,
+            WireRequest::Op(Op::FailPm {
+                shard: 2,
+                pm: PmId(5)
+            })
+        );
+        // shard defaults to 0; pm is mandatory.
+        let req = parse_request("{\"op\":\"drain-pm\",\"pm\":1}").unwrap();
+        assert_eq!(
+            req,
+            WireRequest::Op(Op::DrainPm {
+                shard: 0,
+                pm: PmId(1)
+            })
+        );
+        assert!(parse_request("{\"op\":\"recover-pm\"}").is_err());
+
+        let op = Op::FailPm {
+            shard: 0,
+            pm: PmId(5),
+        };
+        let line = render_reply(
+            &op,
+            &Reply {
+                seq: 0,
+                shard: Some(0),
+                outcome: Outcome::PmFailed {
+                    evicted: 4,
+                    replaced: 3,
+                    lost: 1,
+                },
+                latency_us: 7,
+                trace: 0,
+                queue_us: 0,
+                place_us: 0,
+                commit_us: 0,
+            },
+        );
+        let parsed = parse_reply(&line).unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.op.as_deref(), Some("fail-pm"));
+        assert_eq!(parsed.pm, Some(5));
+        assert_eq!(
+            (parsed.evicted, parsed.replaced, parsed.lost),
+            (Some(4), Some(3), Some(1))
         );
     }
 

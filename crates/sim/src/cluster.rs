@@ -347,6 +347,13 @@ impl<H: Host> Cluster<H> {
         if self.failed.contains(&to) {
             return Err(SimError::DeploymentFailed(id));
         }
+        // An unopened destination must be refused *before* the VM is
+        // lifted off its source: hosts are dense by PmId, so a bounds
+        // check suffices, and every later early-return leaves the
+        // source untouched.
+        if to.0 as usize >= self.hosts.len() {
+            return Err(SimError::DeploymentFailed(id));
+        }
         // The host trait has no spec lookup, so lift the VM off its
         // source and roll back if the destination refuses it.
         let spec = self
@@ -360,7 +367,7 @@ impl<H: Host> Cluster<H> {
             .hosts
             .iter_mut()
             .find(|h| h.id() == to)
-            .ok_or(SimError::DeploymentFailed(id))?;
+            .expect("destination bounds-checked above");
         if dest.can_host(&spec) {
             dest.deploy(id, spec).expect("can_host checked");
             self.placements.insert(id, to);
@@ -406,6 +413,22 @@ impl<H: Host> Cluster<H> {
     pub fn repair_host(&mut self, pm: PmId) {
         self.failed.remove(&pm);
         self.refresh_slot(pm);
+    }
+
+    /// Marks a host failed *without* evicting anything — the restore
+    /// primitive for replaying a captured failed-set, where evictions
+    /// already happened before the capture. Deliberately does not open
+    /// hosts: the captured `opened` count is restored separately, and
+    /// a failure logged against a never-opened PM stays a pure
+    /// failed-set entry, exactly as the live cluster recorded it.
+    pub fn mark_failed(&mut self, pm: PmId) {
+        self.failed.insert(pm);
+        self.refresh_slot(pm);
+    }
+
+    /// The currently-failed hosts, ascending by id.
+    pub fn failed_ids(&self) -> Vec<PmId> {
+        self.failed.iter().copied().collect()
     }
 
     /// Whether a host is currently failed.
@@ -678,6 +701,68 @@ mod tests {
             picks
         };
         assert_eq!(drive(IndexMode::Naive), drive(IndexMode::Incremental));
+    }
+
+    /// Regression: migrating to an unknown (never-opened) PmId must be
+    /// a clean refusal. The pre-fix code removed the VM from its source
+    /// before discovering the destination didn't exist, losing the VM
+    /// while the placement map still claimed it lived on the source.
+    #[test]
+    fn migrate_to_unknown_destination_is_side_effect_free() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        c.deploy(VmId(0), spec(4, 8), &policy).unwrap();
+        let alloc_before = c.total_alloc();
+        assert_eq!(
+            c.migrate(VmId(0), PmId(99)).unwrap_err(),
+            SimError::DeploymentFailed(VmId(0))
+        );
+        // The VM is still on its source with its capacity accounted.
+        assert_eq!(c.location_of(VmId(0)), Some(PmId(0)));
+        assert_eq!(c.total_alloc(), alloc_before);
+        // And the placement map stayed consistent: removal works
+        // (pre-fix this panicked — the host no longer held the VM).
+        assert_eq!(c.remove(VmId(0)).unwrap(), PmId(0));
+    }
+
+    #[test]
+    fn migrate_moves_and_rolls_back() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        // Two hosts: a big VM on each, a small one on host 0.
+        c.deploy(VmId(0), spec(20, 100), &policy).unwrap();
+        c.deploy(VmId(1), spec(20, 100), &policy).unwrap();
+        c.deploy(VmId(2), spec(4, 8), &policy).unwrap();
+        assert_eq!(c.location_of(VmId(2)), Some(PmId(0)));
+        // A fitting migration moves the VM.
+        c.migrate(VmId(2), PmId(1)).unwrap();
+        assert_eq!(c.location_of(VmId(2)), Some(PmId(1)));
+        // A destination that cannot host rolls back onto the source.
+        assert!(c.migrate(VmId(0), PmId(1)).is_err());
+        assert_eq!(c.location_of(VmId(0)), Some(PmId(0)));
+        // A failed destination is refused up front.
+        c.fail_host(PmId(0));
+        assert!(c.migrate(VmId(2), PmId(0)).is_err());
+        assert_eq!(c.location_of(VmId(2)), Some(PmId(1)));
+    }
+
+    #[test]
+    fn mark_failed_restores_the_failed_set() {
+        let mut c = premium_cluster();
+        let policy = PlacementPolicy::FirstFit;
+        // Two opened hosts, then mark host 1 failed as a restore would.
+        c.deploy(VmId(0), spec(30, 30), &policy).unwrap();
+        c.deploy(VmId(1), spec(30, 30), &policy).unwrap();
+        c.remove(VmId(1)).unwrap();
+        c.mark_failed(PmId(1));
+        assert!(c.is_failed(PmId(1)));
+        assert_eq!(c.opened(), 2, "marking does not open hosts");
+        assert_eq!(c.failed_ids(), vec![PmId(1)]);
+        // Deploys skip the marked host: a new one opens instead.
+        c.deploy(VmId(2), spec(30, 30), &policy).unwrap();
+        assert_eq!(c.location_of(VmId(2)), Some(PmId(2)));
+        c.repair_host(PmId(1));
+        assert_eq!(c.failed_ids(), Vec::<PmId>::new());
     }
 
     #[test]

@@ -28,12 +28,14 @@ fn capture_cluster<H: Host>(cluster: &Cluster<H>) -> ClusterState {
     ClusterState {
         opened: cluster.opened(),
         placements,
+        failed: cluster.failed_ids(),
     }
 }
 
 /// Restores a captured cluster state onto a freshly built (empty)
 /// cluster via directed placements, then reopens emptied hosts so the
-/// provisioned size matches.
+/// provisioned size matches, and re-marks the captured failed set so
+/// a snapshot taken mid-outage keeps those hosts out of service.
 fn restore_cluster<H: Host>(cluster: &mut Cluster<H>, state: &ClusterState) -> Result<(), String> {
     for p in &state.placements {
         cluster
@@ -45,6 +47,9 @@ fn restore_cluster<H: Host>(cluster: &mut Cluster<H>, state: &ClusterState) -> R
             "captured state provisions {} hosts but the cluster is capped below that",
             state.opened
         ));
+    }
+    for pm in &state.failed {
+        cluster.mark_failed(*pm);
     }
     Ok(())
 }
@@ -235,6 +240,36 @@ impl DeploymentModel {
         }
     }
 
+    /// Fails a host: it stops accepting deployments and every hosted VM
+    /// is evicted and returned, for the caller to re-place or declare
+    /// lost. On the dedicated baseline, PM ids are per-level, so the
+    /// same id fails across every configured sub-cluster. Idempotent.
+    pub fn fail_host(&mut self, pm: PmId) -> Vec<(VmId, VmSpec)> {
+        match self {
+            DeploymentModel::Shared(s) => s.fail_host(pm),
+            DeploymentModel::Dedicated(d) => d.fail_host(pm),
+        }
+    }
+
+    /// Returns a failed host to service (e.g. after repair).
+    pub fn repair_host(&mut self, pm: PmId) {
+        match self {
+            DeploymentModel::Shared(s) => s.repair_host(pm),
+            DeploymentModel::Dedicated(d) => d.repair_host(pm),
+        }
+    }
+
+    /// Number of hosts currently failed (summed across sub-clusters on
+    /// the dedicated baseline).
+    pub fn failed_pms(&self) -> u32 {
+        match self {
+            DeploymentModel::Shared(s) => s.cluster.failed_count(),
+            DeploymentModel::Dedicated(d) => {
+                d.clusters.values().map(|c| c.failed_count()).sum()
+            }
+        }
+    }
+
     /// Places a VM on the *specific* PM a previous run chose — the
     /// directed primitive WAL-tail replay uses (never re-decides).
     pub fn restore_placement(&mut self, id: VmId, spec: VmSpec, pm: PmId) -> Result<(), SimError> {
@@ -379,6 +414,24 @@ impl DedicatedDeployment {
             }
         }
         Err(SimError::UnknownVm(id))
+    }
+
+    /// Fails `pm` across every configured sub-cluster (PM ids are
+    /// per-level on the baseline), returning the evictions in level
+    /// order. Idempotent per sub-cluster.
+    pub fn fail_host(&mut self, pm: PmId) -> Vec<(VmId, VmSpec)> {
+        let mut evicted = Vec::new();
+        for cluster in self.clusters.values_mut() {
+            evicted.extend(cluster.fail_host(pm));
+        }
+        evicted
+    }
+
+    /// Returns `pm` to service in every sub-cluster.
+    pub fn repair_host(&mut self, pm: PmId) {
+        for cluster in self.clusters.values_mut() {
+            cluster.repair_host(pm);
+        }
     }
 
     /// The per-level cluster for `level`, created lazily with the
@@ -576,6 +629,11 @@ impl SharedDeployment {
             self.refresh_vcluster_recorded(pm, level, time_secs, recorder);
         }
         evicted
+    }
+
+    /// Returns a failed worker to service (e.g. after repair).
+    pub fn repair_host(&mut self, pm: PmId) {
+        self.cluster.repair_host(pm);
     }
 
     /// Cluster observables; the per-level width is the total vNode cores

@@ -36,6 +36,10 @@ pub struct ClusterState {
     /// Live placements, in each host's internal (ascending VM id)
     /// order, hosts ascending.
     pub placements: Vec<PlacementRecord>,
+    /// Hosts currently failed (out of service), ascending by id.
+    /// Absent in pre-failure-plane captures, which defaults to none.
+    #[serde(default)]
+    pub failed: Vec<PmId>,
 }
 
 /// The logical state of a whole [`crate::DeploymentModel`].
@@ -79,9 +83,12 @@ impl ModelState {
         let norm = |c: &ClusterState| {
             let mut placements = c.placements.clone();
             placements.sort_by_key(|p| p.vm);
+            let mut failed = c.failed.clone();
+            failed.sort();
             ClusterState {
                 opened: c.opened,
                 placements,
+                failed,
             }
         };
         match self {
@@ -113,10 +120,12 @@ mod tests {
         let a = ModelState::Shared(ClusterState {
             opened: 2,
             placements: vec![rec(3, 1), rec(1, 0), rec(2, 0)],
+            failed: vec![PmId(1)],
         });
         let b = ModelState::Shared(ClusterState {
             opened: 2,
             placements: vec![rec(1, 0), rec(2, 0), rec(3, 1)],
+            failed: vec![PmId(1)],
         });
         assert_ne!(a, b);
         assert_eq!(a.normalized(), b.normalized());
@@ -132,6 +141,7 @@ mod tests {
                 ClusterState {
                     opened: 1,
                     placements: vec![rec(1, 0)],
+                    failed: vec![],
                 },
             ),
             (
@@ -139,6 +149,7 @@ mod tests {
                 ClusterState {
                     opened: 0,
                     placements: vec![],
+                    failed: vec![],
                 },
             ),
         ]);

@@ -192,17 +192,14 @@ fn crash_victim() {
         shards: 1,
         queue_depth: 256,
         batch_max: 32,
-        deadline: None,
-        deterministic: false,
         model: ModelSpec::default_shared(),
-        index: IndexMode::Incremental,
-        sample_interval_ms: None,
         durable: Some(ServeDurableOptions {
             fsync: FsyncPolicy::Every,
             snapshot_every: 512,
             retain: 2,
             ..ServeDurableOptions::new(&dir)
         }),
+        ..ServeConfig::default()
     };
     let svc = slackvm_serve::PlacementService::start(config).expect("victim starts");
     // A sliding window of live VMs: every iteration places one and
@@ -222,6 +219,133 @@ fn crash_victim() {
         }
     }
     svc.stop();
+}
+
+/// Child half of the evacuation crash test: like [`crash_victim`], but
+/// the loop also keeps failing and recovering PMs, so the journal the
+/// parent kills mid-write is full of `FailPm`/`RecoverPm` records and
+/// the evacuation re-placements they displaced. A no-op unless
+/// `SLACKVM_CRASH_EVAC_DIR` is set.
+#[test]
+fn crash_victim_evac() {
+    let Ok(dir) = std::env::var("SLACKVM_CRASH_EVAC_DIR") else {
+        return;
+    };
+    let config = ServeConfig {
+        shards: 1,
+        queue_depth: 256,
+        batch_max: 32,
+        model: ModelSpec::default_shared(),
+        durable: Some(ServeDurableOptions {
+            fsync: FsyncPolicy::Every,
+            snapshot_every: 512,
+            retain: 2,
+            ..ServeDurableOptions::new(&dir)
+        }),
+        ..ServeConfig::default()
+    };
+    let svc = slackvm_serve::PlacementService::start(config).expect("victim starts");
+    for i in 0..4_000_000u64 {
+        let reply = svc
+            .call(Op::Place {
+                id: VmId(i),
+                spec: VmSpec::of(2, gib(4), OversubLevel::of(1 + (i % 3) as u32)),
+            })
+            .expect("place");
+        assert!(matches!(reply.outcome, Outcome::Placed(_)), "{reply:?}");
+        if i >= 64 {
+            svc.call(Op::Remove { id: VmId(i - 64) }).expect("remove");
+        }
+        // Every 50 placements, knock a low PM over (evacuating its
+        // VMs through the normal admission path) and stand the
+        // previous casualty back up.
+        if i % 50 == 49 {
+            let pm = PmId(((i / 50) % 3) as u32);
+            let prev = PmId((((i / 50) + 2) % 3) as u32);
+            svc.call(Op::RecoverPm { shard: 0, pm: prev })
+                .expect("recover");
+            let reply = svc.call(Op::FailPm { shard: 0, pm }).expect("fail");
+            assert!(
+                matches!(reply.outcome, Outcome::PmFailed { lost: 0, .. }),
+                "elastic fleet re-places every evicted VM: {reply:?}"
+            );
+        }
+    }
+    svc.stop();
+}
+
+#[test]
+fn kill_nine_during_evacuation_recovers_and_passes_fsck() {
+    let dir = scratch("kill9-evac");
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args(["--exact", "crash_victim_evac", "--nocapture"])
+        .env("SLACKVM_CRASH_EVAC_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+
+    let wal = shard_dir(&dir, 0).join(WAL_FILE);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if std::fs::metadata(&wal)
+            .map(|m| m.len() > 64 * 1024)
+            .unwrap_or(false)
+        {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("victim exited on its own: {status}");
+        }
+        assert!(Instant::now() < deadline, "victim never produced a journal");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("kill -9");
+    child.wait().expect("reap");
+
+    // The committed history must actually contain the failure plane:
+    // host-down records and the evacuation re-placements they forced.
+    let manifest = Manifest::load(&dir).expect("manifest survives");
+    let scan = scan_wal(&wal).expect("scan");
+    assert!(
+        scan.records
+            .iter()
+            .any(|r| matches!(r.op, WalOp::FailPm { .. })),
+        "journal holds FailPm records"
+    );
+    assert!(
+        scan.records
+            .iter()
+            .any(|r| matches!(r.op, WalOp::RecoverPm { .. })),
+        "journal holds RecoverPm records"
+    );
+
+    // Recovery replays that history — evictions, re-placements, and
+    // repairs included — and fsck proves the replay from genesis lands
+    // on the exact same state.
+    let mut model = model_from(&manifest);
+    let report = recover_shard(&dir, 0, &mut model).expect("recovery");
+    model.check_invariants().expect("recovered invariants");
+    let mut fresh = model_from(&manifest);
+    let fsck = fsck_shard(&dir, 0, &model, &mut fresh).expect("fsck runs");
+    assert!(fsck.ok(), "post-SIGKILL divergence: {:?}", fsck.mismatches);
+    assert_eq!(fsck.records_checked, report.records_total);
+
+    // And the service restarts cleanly against the directory.
+    let config = ServeConfig {
+        shards: 1,
+        model: ModelSpec::default_shared(),
+        durable: Some(ServeDurableOptions::new(&dir)),
+        ..ServeConfig::default()
+    };
+    let svc = slackvm_serve::PlacementService::start(config).expect("restart");
+    let recovered: u64 = svc.recovery_reports().iter().map(|r| r.records_total).sum();
+    assert_eq!(recovered, report.records_total);
+    svc.stop()
+        .check_invariants()
+        .expect("post-restart invariants");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -281,12 +405,9 @@ fn kill_nine_mid_batch_recovers_and_passes_fsck() {
         shards: 1,
         queue_depth: 256,
         batch_max: 32,
-        deadline: None,
-        deterministic: false,
         model: ModelSpec::default_shared(),
-        index: IndexMode::Incremental,
-        sample_interval_ms: None,
         durable: Some(ServeDurableOptions::new(&dir)),
+        ..ServeConfig::default()
     };
     let svc = slackvm_serve::PlacementService::start(config).expect("restart");
     let recovered: u64 = svc.recovery_reports().iter().map(|r| r.records_total).sum();

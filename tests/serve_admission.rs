@@ -82,6 +82,11 @@ fn hammer(service: &PlacementService, seed: u64, ops_per_client: u64) -> Ledger 
                         Outcome::Resized { .. } => ledger.resized += 1,
                         Outcome::UnknownVm => ledger.unknown += 1,
                         Outcome::Shed => panic!("no deadlines configured, nothing may shed"),
+                        Outcome::PmFailed { .. }
+                        | Outcome::PmRecovered
+                        | Outcome::PmDraining { .. } => {
+                            panic!("no control ops issued, none may be answered")
+                        }
                     }
                 }
                 ledger
