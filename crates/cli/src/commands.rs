@@ -55,6 +55,18 @@ commands:
                                  script
   compact   --trace FILE [--at-day D]
                                  compaction analysis of the day-D state
+  rebalance plan|apply --trace FILE [--at N] [--model dedicated|shared]
+            [--policy NAME] [--fleet N] [--index naive|incremental]
+            [--topology SPEC] [--mem GIB] [--max-migrations N]
+            [--max-moved-gib G] [--max-concurrent N]
+                                 consolidation pass over the cluster
+                                 state a trace replay reaches at event
+                                 N (default: the whole trace): 'plan'
+                                 prints the migration plan, human then
+                                 JSON, moving nothing; 'apply' executes
+                                 it offline and reports active PMs
+                                 before/after under the migration
+                                 budget
   sweep     mc|population|seeds --provider P [--mix M] [--population N]
                                  sensitivity sweeps
   recommend --vcpus N --level L --demand d1,d2,...
@@ -81,6 +93,8 @@ commands:
             [--obs-addr HOST:PORT] [--stall-ms MS]
             [--trace off|stages] [--trace-sample N] [--trace-out FILE]
             [--slo-window-s S] [--slo-p99-ms MS] [--slo-availability F]
+            [--rebalance-every-ms MS] [--rebalance-max-migrations N]
+            [--rebalance-max-moved-gib G] [--rebalance-max-concurrent N]
                                  run the online placement service: line
                                  JSON over TCP, HTTP GET /metrics for a
                                  Prometheus snapshot; a client's
@@ -100,7 +114,14 @@ commands:
                                  through normal admission;
                                  --durable-fail-stop panics the shard
                                  on WAL errors instead of degrading to
-                                 journal-off
+                                 journal-off; --rebalance-every-ms runs
+                                 a background consolidation tick per
+                                 shard that migrates VMs off the
+                                 least-utilized PMs under the budget
+                                 flags, journalled like admissions and
+                                 paused while a PM is failed/draining,
+                                 the journal is degraded, or the SLO
+                                 error budget is burning
   bombard   [--addr HOST:PORT] [--scenario NAME] [--population N]
             [--seed S] [--clients N] [--requests N] [--rate R]
             [--shards N] [--policy NAME] [--fleet N] [--deadline-ms MS]
@@ -422,26 +443,12 @@ fn parse_policy(raw: &str) -> Result<slackvm::sched::PlacementPolicy, CliError> 
     })
 }
 
-/// `slackvm replay`
-pub fn replay(args: &Args) -> Result<String, CliError> {
-    args.expect_keys(&[
-        "trace",
-        "model",
-        "fleet",
-        "topology",
-        "mem",
-        "policy",
-        "index",
-        "events-out",
-        "trace-out",
-        "metrics-out",
-        "series-out",
-        "prom-out",
-        "sample-interval",
-        "sample-per-pm",
-    ])?;
-    // Validate the model/policy/index flags before the (potentially
-    // large) trace read so a typo dies in microseconds.
+/// Builds the deployment model the trace-replaying commands (`replay`,
+/// `rebalance`) run against, from the shared `--model`/`--policy`/
+/// `--fleet`/`--topology`/`--mem`/`--index` flag family. Everything is
+/// validated here, before the caller touches the (potentially large)
+/// trace file, so a typo dies in microseconds.
+fn trace_model(args: &Args) -> Result<DeploymentModel, CliError> {
     let fleet: Option<u32> = args.get_parsed("fleet")?;
     let topo = slackvm::topology::topology_from_spec(args.get_or("topology", "cores=32"))
         .map_err(|e| CliError::Invalid(e.to_string()))?;
@@ -488,6 +495,29 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
         ))
     })?;
     model.set_index_mode(index_mode);
+    Ok(model)
+}
+
+/// `slackvm replay`
+pub fn replay(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&[
+        "trace",
+        "model",
+        "fleet",
+        "topology",
+        "mem",
+        "policy",
+        "index",
+        "events-out",
+        "trace-out",
+        "metrics-out",
+        "series-out",
+        "prom-out",
+        "sample-interval",
+        "sample-per-pm",
+    ])?;
+    let mut model = trace_model(args)?;
+    let index_mode = model.index_mode();
     let workload = load_trace(args)?;
     let sampling = ["series-out", "prom-out", "sample-interval"]
         .iter()
@@ -676,6 +706,107 @@ pub fn compact(args: &Args) -> Result<String, CliError> {
         plan.reclaimed_pms(),
         plan.reclaimed_pms() as f64 / pool.cluster.opened().max(1) as f64 * 100.0,
     ))
+}
+
+/// The migration cost budget from a `--max-migrations`-style flag
+/// family; `keys` names the three flags in (migrations, moved-gib,
+/// concurrent) order so `serve` can prefix them without clashing with
+/// its other knobs.
+fn rebalance_budget(
+    args: &Args,
+    keys: [&'static str; 3],
+) -> Result<slackvm_rebalance::Budget, CliError> {
+    let mut budget = slackvm_rebalance::Budget::default();
+    budget.max_migrations = args.get_parsed_or(keys[0], budget.max_migrations)?;
+    if let Some(moved_gib) = args.get_parsed::<u64>(keys[1])? {
+        budget.max_moved_mem_mib = gib(moved_gib);
+    }
+    budget.max_concurrent = args.get_parsed_or(keys[2], budget.max_concurrent)?;
+    budget
+        .validate()
+        .map_err(|e| CliError::Invalid(format!("rebalance budget: {e}")))?;
+    Ok(budget)
+}
+
+/// `slackvm rebalance plan|apply`
+pub fn rebalance(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&[
+        "trace",
+        "at",
+        "model",
+        "fleet",
+        "topology",
+        "mem",
+        "policy",
+        "index",
+        "max-migrations",
+        "max-moved-gib",
+        "max-concurrent",
+    ])?;
+    let action = args.positionals.first().map(String::as_str).unwrap_or("plan");
+    if !matches!(action, "plan" | "apply") {
+        return Err(CliError::Invalid(format!(
+            "unknown rebalance action {action:?} (plan, apply)"
+        )));
+    }
+    // Budget and model flags are validated before the trace read, same
+    // contract as `replay`.
+    let budget = rebalance_budget(args, ["max-migrations", "max-moved-gib", "max-concurrent"])?;
+    let mut model = trace_model(args)?;
+    let at: Option<usize> = args.get_parsed("at")?;
+    let workload = load_trace(args)?;
+    let cutoff = at.unwrap_or(workload.events.len()).min(workload.events.len());
+    // Replay the trace prefix with `replay` semantics: a rejected
+    // placement is counted and skipped (its departure self-skips via
+    // the location probe), never an error.
+    let mut rejections = 0u32;
+    for (_, event) in workload.events.iter().take(cutoff) {
+        match event {
+            slackvm::workload::WorkloadEvent::Arrival(vm) => {
+                if model.deploy(vm.id, vm.spec).is_err() {
+                    rejections += 1;
+                }
+            }
+            slackvm::workload::WorkloadEvent::Departure { id } => {
+                if model.location_of(*id).is_some() {
+                    model
+                        .remove(*id)
+                        .map_err(|e| CliError::Invalid(format!("replay failed: {e}")))?;
+                }
+            }
+            slackvm::workload::WorkloadEvent::Resize { id, vcpus, mem_mib } => {
+                let _ = model.resize(*id, *vcpus, *mem_mib);
+            }
+        }
+    }
+    let mut out = format!(
+        "state at event {cutoff}/{}: {} PMs opened, {} active, {} rejection(s)\n",
+        workload.events.len(),
+        model.opened_pms(),
+        model.active_pms(),
+        rejections,
+    );
+    let plan = slackvm_rebalance::plan_rebalance(&model, &budget)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    out.push_str(&plan.render());
+    match action {
+        "plan" => {
+            // Dry run: the JSON rendering rides below the human one so
+            // scripts can split on the first '{'.
+            out.push_str(&plan.to_json());
+            out.push('\n');
+        }
+        _ => {
+            let report = slackvm_rebalance::apply_plan(&mut model, &plan)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            model.check_invariants().map_err(|e| {
+                CliError::Invalid(format!("post-apply invariant violation: {e}"))
+            })?;
+            out.push_str(&report.render());
+            out.push('\n');
+        }
+    }
+    Ok(out)
 }
 
 /// `slackvm sweep`
@@ -1054,6 +1185,44 @@ fn serve_slo(args: &Args) -> Result<slackvm_serve::SloTargets, CliError> {
     Ok(slo)
 }
 
+/// The `--rebalance-every-ms` family of background-consolidation
+/// options. As with `--state-dir`, the budget satellites are an error
+/// without the enabling flag — a budget the operator tuned for a tick
+/// that never runs is a typo, not a configuration.
+fn serve_rebalance(args: &Args) -> Result<Option<slackvm_serve::RebalanceOptions>, CliError> {
+    let Some(every_ms) = args.get_parsed::<u64>("rebalance-every-ms")? else {
+        for key in [
+            "rebalance-max-migrations",
+            "rebalance-max-moved-gib",
+            "rebalance-max-concurrent",
+        ] {
+            if args.get(key).is_some() {
+                return Err(CliError::Invalid(format!(
+                    "--{key} requires --rebalance-every-ms"
+                )));
+            }
+        }
+        return Ok(None);
+    };
+    if every_ms == 0 {
+        return Err(CliError::Invalid(
+            "--rebalance-every-ms must be >= 1 (omit the flag to disable rebalancing)".into(),
+        ));
+    }
+    let budget = rebalance_budget(
+        args,
+        [
+            "rebalance-max-migrations",
+            "rebalance-max-moved-gib",
+            "rebalance-max-concurrent",
+        ],
+    )?;
+    Ok(Some(slackvm_serve::RebalanceOptions {
+        every: std::time::Duration::from_millis(every_ms),
+        budget,
+    }))
+}
+
 /// The serve/bombard options that shape the service itself.
 fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
     let index_raw = args.get_or("index", "incremental");
@@ -1075,6 +1244,7 @@ fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
         sample_interval_ms: args.get_parsed("sample-interval-ms")?,
         durable: serve_durable(args)?,
         durable_fail_stop: args.has_flag("durable-fail-stop"),
+        rebalance: serve_rebalance(args)?,
         trace: serve_trace(args)?,
         stall_threshold: std::time::Duration::from_millis(args.get_parsed_or("stall-ms", 2000)?),
         slo: serve_slo(args)?,
@@ -1103,6 +1273,10 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "snapshot-every",
         "retain",
         "durable-fail-stop",
+        "rebalance-every-ms",
+        "rebalance-max-migrations",
+        "rebalance-max-moved-gib",
+        "rebalance-max-concurrent",
         "obs-addr",
         "stall-ms",
         "trace",
@@ -1234,6 +1408,10 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         "slo-window-s",
         "slo-p99-ms",
         "slo-availability",
+        "rebalance-every-ms",
+        "rebalance-max-migrations",
+        "rebalance-max-moved-gib",
+        "rebalance-max-concurrent",
         "chaos-fail-every",
     ])?;
     let config = slackvm_serve::BombardConfig {
@@ -1270,6 +1448,10 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
             "slo-window-s",
             "slo-p99-ms",
             "slo-availability",
+            "rebalance-every-ms",
+            "rebalance-max-migrations",
+            "rebalance-max-moved-gib",
+            "rebalance-max-concurrent",
         ] {
             if args.get(key).is_some() {
                 return Err(CliError::Invalid(format!(
@@ -1976,6 +2158,143 @@ mod tests {
         .to_string();
         assert!(err.contains("unknown index mode"), "{err}");
         assert!(!err.contains('\n'), "error must be one line: {err}");
+    }
+
+    fn idle_vm(
+        id: u64,
+        vcpus: u32,
+        mem_gib: u64,
+        at: u64,
+        until: u64,
+    ) -> (u64, slackvm::workload::WorkloadEvent) {
+        (
+            at,
+            slackvm::workload::WorkloadEvent::Arrival(Box::new(slackvm::workload::VmInstance {
+                id: VmId(id),
+                spec: VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(1)),
+                class: slackvm::workload::UsageClass::Idle,
+                usage: slackvm::workload::CpuUsageModel::Idle { base: 0.02 },
+                seed: id,
+                arrival_secs: at,
+                departure_secs: until,
+            })),
+        )
+    }
+
+    #[test]
+    fn rebalance_plan_and_apply_consolidate_a_fragmented_replay() {
+        use slackvm::workload::{Workload, WorkloadEvent};
+        let dir = std::env::temp_dir().join(format!("slackvm-cli-rebal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        // Two near-full PMs; the first drains to one small VM that
+        // first-fit parks back on it — classic departure fragmentation.
+        let workload = Workload {
+            events: vec![
+                idle_vm(0, 20, 80, 0, 500),
+                idle_vm(1, 20, 80, 0, 10_000),
+                (500, WorkloadEvent::Departure { id: VmId(0) }),
+                idle_vm(2, 4, 16, 600, 10_000),
+            ],
+        };
+        workload.validate().unwrap();
+        // The offline stub build has no serde; the real `cargo test`
+        // exercises the full path.
+        let Ok(json) = serde_json::to_string(&workload) else {
+            return;
+        };
+        std::fs::write(&path, json).unwrap();
+        let trace = path.to_str().unwrap();
+
+        let out = run(&["rebalance", "plan", "--trace", trace, "--policy", "first-fit"]).unwrap();
+        assert!(out.contains("2 PMs opened, 2 active"), "{out}");
+        assert!(out.contains("1 migration(s), 1 PM(s) freed"), "{out}");
+        assert!(out.contains("\"migrations\":1"), "{out}");
+        assert!(out.contains("vm-2  pm-0 -> pm-1"), "{out}");
+
+        // Before the departure there is nothing to consolidate.
+        let out = run(&[
+            "rebalance", "plan", "--trace", trace, "--policy", "first-fit", "--at", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("state at event 2/4"), "{out}");
+        assert!(out.contains("0 migration(s)"), "{out}");
+
+        let out = run(&["rebalance", "apply", "--trace", trace, "--policy", "first-fit"]).unwrap();
+        assert!(
+            out.contains("rebalance applied: 1 migration(s)"),
+            "{out}"
+        );
+        assert!(out.contains("active PMs 2 -> 1 (1 freed)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebalance_flag_validation_fires_before_trace_io() {
+        // A nonexistent trace path proves validation precedes IO.
+        let err = run(&[
+            "rebalance", "plan", "--trace", "/nonexistent/x.json", "--max-migrations", "0",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("max migrations"), "{err}");
+        assert!(!err.contains('\n'), "error must be one line: {err}");
+        let err = run(&["rebalance", "drain", "--trace", "/nonexistent/x.json"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("plan, apply"), "{err}");
+        let err = run(&[
+            "rebalance", "plan", "--trace", "/nonexistent/x.json",
+            "--model", "dedicated", "--policy", "best-fit",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("shared model only"), "{err}");
+    }
+
+    #[test]
+    fn serve_rebalance_flags_are_validated() {
+        let err = run(&["serve", "--rebalance-max-migrations", "4"])
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("--rebalance-max-migrations requires --rebalance-every-ms"),
+            "{err}"
+        );
+        let err = run(&["serve", "--rebalance-every-ms", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(">= 1"), "{err}");
+        let err = run(&[
+            "serve", "--rebalance-every-ms", "50", "--rebalance-max-concurrent", "0",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("rebalance budget"), "{err}");
+        // A remote bombard cannot reconfigure the server's rebalancer.
+        let err = run(&["bombard", "--addr", "127.0.0.1:1", "--rebalance-every-ms", "50"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("slackvm serve"), "{err}");
+    }
+
+    #[test]
+    fn bombard_in_process_with_rebalance_runs_clean() {
+        // The online tick interleaves with live admission; the final
+        // report's invariant check proves no VM was lost or duplicated.
+        let out = run(&[
+            "bombard",
+            "--requests",
+            "150",
+            "--population",
+            "24",
+            "--clients",
+            "2",
+            "--rebalance-every-ms",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("final: admitted 150"), "{out}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `replay` | replay a JSON trace against a deployment model |
 //! | `obs` | dashboard for a sampled run (series CSV, Prometheus) |
 //! | `compact` | compaction analysis of a mid-replay cluster state |
+//! | `rebalance` | plan/apply a consolidation pass over a replayed state |
 //! | `sweep` | sensitivity sweeps (`mc`, `population`, `seeds`) |
 //! | `recommend` | dynamic oversubscription-level recommendation |
 //! | `serve` | online placement service over TCP (line JSON) |
@@ -47,6 +48,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "replay" => commands::replay(args),
         "obs" => commands::obs(args),
         "compact" => commands::compact(args),
+        "rebalance" => commands::rebalance(args),
         "sweep" => commands::sweep(args),
         "layout" => commands::layout(args),
         "scenarios" => commands::scenarios(args),
@@ -78,6 +80,7 @@ mod tests {
             "replay",
             "obs",
             "compact",
+            "rebalance",
             "sweep",
             "recommend",
             "scenarios",

@@ -95,6 +95,7 @@ const OP_RESIZE: u8 = 2;
 const OP_FAIL_PM: u8 = 3;
 const OP_RECOVER_PM: u8 = 4;
 const OP_DRAIN_PM: u8 = 5;
+const OP_MIGRATE: u8 = 6;
 
 const OUT_PLACED: u8 = 0;
 const OUT_REMOVED: u8 = 1;
@@ -102,6 +103,7 @@ const OUT_RESIZED: u8 = 2;
 const OUT_REJECTED: u8 = 3;
 const OUT_HOST_DOWN: u8 = 4;
 const OUT_HOST_UP: u8 = 5;
+const OUT_MIGRATED: u8 = 6;
 
 /// Encodes a WAL record payload (the frame header is added by the
 /// writer).
@@ -136,6 +138,12 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
             out.push(OP_DRAIN_PM);
             put_u32(&mut out, pm.0);
         }
+        WalOp::Migrate { id, from, to } => {
+            out.push(OP_MIGRATE);
+            put_u64(&mut out, id.0);
+            put_u32(&mut out, from.0);
+            put_u32(&mut out, to.0);
+        }
     }
     match &rec.outcome {
         WalOutcome::Placed(pm) => {
@@ -156,6 +164,7 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
             put_u32(&mut out, *evicted);
         }
         WalOutcome::HostUp => out.push(OUT_HOST_UP),
+        WalOutcome::Migrated => out.push(OUT_MIGRATED),
     }
     out
 }
@@ -178,6 +187,11 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
         OP_FAIL_PM => WalOp::FailPm { pm: PmId(r.u32()?) },
         OP_RECOVER_PM => WalOp::RecoverPm { pm: PmId(r.u32()?) },
         OP_DRAIN_PM => WalOp::DrainPm { pm: PmId(r.u32()?) },
+        OP_MIGRATE => WalOp::Migrate {
+            id: VmId(r.u64()?),
+            from: PmId(r.u32()?),
+            to: PmId(r.u32()?),
+        },
         tag => return Err(format!("unknown op tag {tag}")),
     };
     let outcome = match r.u8()? {
@@ -193,6 +207,7 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
         OUT_REJECTED => WalOutcome::Rejected,
         OUT_HOST_DOWN => WalOutcome::HostDown { evicted: r.u32()? },
         OUT_HOST_UP => WalOutcome::HostUp,
+        OUT_MIGRATED => WalOutcome::Migrated,
         tag => return Err(format!("unknown outcome tag {tag}")),
     };
     r.finish()?;
@@ -335,6 +350,15 @@ mod tests {
                 op: WalOp::RecoverPm { pm: PmId(3) },
                 outcome: WalOutcome::HostUp,
             },
+            WalRecord {
+                seq: 7,
+                op: WalOp::Migrate {
+                    id: VmId(42),
+                    from: PmId(5),
+                    to: PmId(1),
+                },
+                outcome: WalOutcome::Migrated,
+            },
         ];
         for rec in &records {
             let bytes = encode_record(rec);
@@ -344,18 +368,31 @@ mod tests {
 
     #[test]
     fn truncated_and_trailing_payloads_are_rejected() {
-        let rec = WalRecord {
-            seq: 5,
-            op: WalOp::Remove { id: VmId(1) },
-            outcome: WalOutcome::Removed(PmId(0)),
-        };
-        let bytes = encode_record(&rec);
-        for cut in 0..bytes.len() {
-            assert!(decode_record(&bytes[..cut]).is_err(), "cut at {cut}");
+        let records = [
+            WalRecord {
+                seq: 5,
+                op: WalOp::Remove { id: VmId(1) },
+                outcome: WalOutcome::Removed(PmId(0)),
+            },
+            WalRecord {
+                seq: 6,
+                op: WalOp::Migrate {
+                    id: VmId(1),
+                    from: PmId(2),
+                    to: PmId(0),
+                },
+                outcome: WalOutcome::Migrated,
+            },
+        ];
+        for rec in records {
+            let bytes = encode_record(&rec);
+            for cut in 0..bytes.len() {
+                assert!(decode_record(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(decode_record(&padded).is_err(), "trailing byte accepted");
         }
-        let mut padded = bytes.clone();
-        padded.push(0);
-        assert!(decode_record(&padded).is_err(), "trailing byte accepted");
     }
 
     #[test]

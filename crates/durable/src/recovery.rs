@@ -128,6 +128,15 @@ fn apply_record(model: &mut DeploymentModel, record: &WalRecord) -> Result<(), D
             model.repair_host(*pm);
             Ok(())
         }
+        (WalOp::Migrate { id, from, to }, WalOutcome::Migrated) => {
+            match model.migrate(*id, *to) {
+                Ok(actual) if actual == *from => Ok(()),
+                Ok(actual) => Err(replay(format!(
+                    "migrate of {id} came off {actual}, journal says {from}"
+                ))),
+                Err(e) => Err(replay(format!("migrate of {id} to {to}: {e}"))),
+            }
+        }
         (op, outcome) => Err(replay(format!(
             "op/outcome pair is impossible: {op:?} / {outcome:?}"
         ))),
@@ -258,6 +267,25 @@ pub fn fsck_shard(
                             record.outcome
                         ),
                     );
+                }
+            }
+            WalOp::Migrate { id, from, to } => {
+                // Migrations are directed, not re-derived: the plan
+                // depended on tick timing, which is not part of the
+                // journal's deterministic input. fsck checks legality
+                // instead — the VM really was at `from` and `to`
+                // really admitted it under the hard constraints.
+                let derived = fresh.migrate(*id, *to);
+                match (&derived, &record.outcome) {
+                    (Ok(actual), WalOutcome::Migrated) if actual == from => {}
+                    _ => push(
+                        &mut mismatches,
+                        format!(
+                            "seq {seq}: migrate {id} -> {to} re-applied as {derived:?} \
+                             (from {from}), journal says {:?}",
+                            record.outcome
+                        ),
+                    ),
                 }
             }
         }
@@ -536,6 +564,97 @@ mod tests {
         assert_eq!(recovered.failed_pms(), 1);
         let fsck = fsck_shard(&root, 0, &recovered, &mut fresh_model()).unwrap();
         assert!(fsck.ok(), "{:?}", fsck.mismatches);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Rebalance migrations replay directed and fsck as legality
+    /// checks: replay lands the VM on the logged destination, and a
+    /// journal lying about the source is flagged.
+    #[test]
+    fn migrate_records_recover_and_fsck() {
+        let root = temp_root("migrate");
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut live = fresh_model();
+        let mut wal = WalWriter::open(&dir.join(WAL_FILE), 0, crate::FsyncPolicy::Off).unwrap();
+        let mut seq = 0u64;
+        let mut log = |wal: &mut WalWriter, op: WalOp, outcome: WalOutcome| {
+            seq += 1;
+            wal.append(&WalRecord { seq, op, outcome }).unwrap();
+        };
+        // Fill host 0 (8 cores), spill onto host 1, then drain host 0
+        // down to one VM and migrate it across.
+        for i in 0..9u64 {
+            let id = VmId(i);
+            let pm = live.deploy(id, spec()).unwrap();
+            log(
+                &mut wal,
+                WalOp::Place { id, spec: spec() },
+                WalOutcome::Placed(pm),
+            );
+        }
+        for i in 0..7u64 {
+            let pm = live.remove(VmId(i)).unwrap();
+            log(
+                &mut wal,
+                WalOp::Remove { id: VmId(i) },
+                WalOutcome::Removed(pm),
+            );
+        }
+        let from = live.migrate(VmId(7), PmId(1)).unwrap();
+        assert_eq!(from, PmId(0));
+        log(
+            &mut wal,
+            WalOp::Migrate {
+                id: VmId(7),
+                from,
+                to: PmId(1),
+            },
+            WalOutcome::Migrated,
+        );
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut recovered = fresh_model();
+        recover_shard(&root, 0, &mut recovered).unwrap();
+        assert_eq!(
+            recovered.capture_state().normalized(),
+            live.capture_state().normalized()
+        );
+        assert_eq!(recovered.location_of(VmId(7)), Some(PmId(1)));
+        let fsck = fsck_shard(&root, 0, &recovered, &mut fresh_model()).unwrap();
+        assert!(fsck.ok(), "{:?}", fsck.mismatches);
+
+        // Doctor the source PM in the migrate frame: fsck must flag it.
+        let image = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let scan = crate::wal::scan_bytes(&image);
+        assert_eq!(scan.records.len(), 17);
+        let mut doctored = Vec::new();
+        for (i, rec) in scan.records.iter().enumerate() {
+            let mut rec = *rec;
+            if i == 16 {
+                let WalOp::Migrate { id, to, .. } = rec.op else {
+                    panic!("last record is the migration");
+                };
+                rec.op = WalOp::Migrate {
+                    id,
+                    from: PmId(7),
+                    to,
+                };
+            }
+            let payload = crate::codec::encode_record(&rec);
+            doctored.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            doctored.extend_from_slice(&crate::crc32::crc32(&payload).to_le_bytes());
+            doctored.extend_from_slice(&payload);
+        }
+        std::fs::write(dir.join(WAL_FILE), &doctored).unwrap();
+        let fsck = fsck_shard(&root, 0, &recovered, &mut fresh_model()).unwrap();
+        assert!(!fsck.ok());
+        assert!(
+            fsck.mismatches.iter().any(|m| m.contains("seq 17")),
+            "{:?}",
+            fsck.mismatches
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -85,6 +85,19 @@ pub enum WalOp {
         /// The shard-local PM.
         pm: PmId,
     },
+    /// A rebalance migration: the background consolidation tick moved
+    /// the VM. Both endpoints are logged so replay is *directed* —
+    /// fsck checks legality (the VM really was at `from`, `to` really
+    /// admitted it), not re-derivation: plans depend on tick timing,
+    /// which is not part of the journal's deterministic input.
+    Migrate {
+        /// The VM.
+        id: VmId,
+        /// The source PM.
+        from: PmId,
+        /// The destination PM.
+        to: PmId,
+    },
 }
 
 /// The decision half: what the shard committed for the operation.
@@ -111,6 +124,9 @@ pub enum WalOutcome {
     },
     /// The PM returned to service.
     HostUp,
+    /// The migration was applied; the VM now lives on the `Migrate`
+    /// op's destination.
+    Migrated,
 }
 
 /// One committed decision: monotone sequence number, operation,

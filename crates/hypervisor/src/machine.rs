@@ -32,6 +32,7 @@ use crate::vnode::VNode;
 /// }
 /// assert_eq!(pm.vnode(OversubLevel::of(3)).unwrap().num_cores(), 1);
 /// ```
+#[derive(Clone)]
 pub struct PhysicalMachine {
     id: PmId,
     topology: Arc<CpuTopology>,

@@ -1,0 +1,164 @@
+//! The offline executor: validate, then migrate for real.
+
+use crate::plan::{PlannedMove, RebalancePlan};
+use crate::validate::validate_plan;
+use crate::RebalanceError;
+use slackvm_sim::DeploymentModel;
+
+/// What one [`apply_plan`] call did to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Migrations executed.
+    pub migrations: u32,
+    /// Total memory moved, in MiB.
+    pub moved_mem_mib: u64,
+    /// PMs hosting at least one VM before the plan ran.
+    pub active_before: u32,
+    /// PMs hosting at least one VM after the plan ran.
+    pub active_after: u32,
+}
+
+impl ApplyReport {
+    /// The consolidation win: PMs drained to empty.
+    pub fn pms_freed(&self) -> u32 {
+        self.active_before.saturating_sub(self.active_after)
+    }
+
+    /// One-line CLI rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "rebalance applied: {} migration(s), {} MiB moved, active PMs {} -> {} ({} freed)",
+            self.migrations,
+            self.moved_mem_mib,
+            self.active_before,
+            self.active_after,
+            self.pms_freed(),
+        )
+    }
+}
+
+/// Validates `plan` against `model`, then executes it move by move.
+///
+/// A plan that fails validation leaves the model untouched — this is
+/// the stale-snapshot defense: staleness is detected *before* the
+/// first migration, never discovered halfway through. Should a
+/// validated move still fail (which the exclusive borrow makes
+/// unreachable in practice), every already-applied move is migrated
+/// back before the error returns.
+pub fn apply_plan(
+    model: &mut DeploymentModel,
+    plan: &RebalancePlan,
+) -> Result<ApplyReport, RebalanceError> {
+    validate_plan(model, plan)?;
+    let active_before = model.active_pms();
+    let mut applied: Vec<&PlannedMove> = Vec::with_capacity(plan.moves.len());
+    for mv in &plan.moves {
+        let failure = match model.migrate(mv.vm, mv.to) {
+            Ok(from) if from == mv.from => {
+                applied.push(mv);
+                continue;
+            }
+            Ok(from) => {
+                // Moved from an unexpected source: put it back there.
+                model
+                    .migrate(mv.vm, from)
+                    .expect("undoing a just-made migration succeeds");
+                format!("{} was on pm-{}, plan said pm-{}", mv.vm, from.0, mv.from.0)
+            }
+            Err(e) => e.to_string(),
+        };
+        // Unwind in reverse order: each source re-admits exactly what
+        // it just gave up.
+        for done in applied.iter().rev() {
+            model
+                .migrate(done.vm, done.from)
+                .expect("rollback migration succeeds");
+        }
+        return Err(RebalanceError::Aborted {
+            vm: mv.vm,
+            reason: failure,
+        });
+    }
+    Ok(ApplyReport {
+        migrations: plan.moves.len() as u32,
+        moved_mem_mib: plan.moved_mem_mib,
+        active_before,
+        active_after: model.active_pms(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Budget;
+    use crate::planner::plan_rebalance;
+    use slackvm_model::{gib, OversubLevel, PmId, VmId, VmSpec};
+    use slackvm_sched::PlacementPolicy;
+    use slackvm_sim::SharedDeployment;
+    use std::sync::Arc;
+
+    fn spec(vcpus: u32, mem_gib: u64) -> VmSpec {
+        VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(1))
+    }
+
+    fn fragmented() -> DeploymentModel {
+        let mut s = SharedDeployment::with_policy(
+            Arc::new(slackvm_topology::builders::flat(32)),
+            gib(128),
+            PlacementPolicy::FirstFit,
+        );
+        s.deploy(VmId(0), spec(20, 80)).unwrap();
+        s.deploy(VmId(1), spec(20, 80)).unwrap();
+        s.remove(VmId(0)).unwrap();
+        s.deploy(VmId(2), spec(4, 16)).unwrap();
+        DeploymentModel::Shared(s)
+    }
+
+    #[test]
+    fn applying_a_plan_frees_the_pm() {
+        let mut model = fragmented();
+        let plan = plan_rebalance(&model, &Budget::default()).unwrap();
+        let report = apply_plan(&mut model, &plan).unwrap();
+        assert_eq!(report.pms_freed(), 1);
+        assert_eq!(report.active_before, 2);
+        assert_eq!(report.active_after, 1);
+        assert_eq!(report.migrations, 1);
+        assert_eq!(model.location_of(VmId(2)), Some(PmId(1)));
+        model.check_invariants().unwrap();
+        assert!(report.render().contains("active PMs 2 -> 1 (1 freed)"));
+    }
+
+    #[test]
+    fn stale_plan_is_rejected_whole_and_model_untouched() {
+        let mut model = fragmented();
+        let plan = plan_rebalance(&model, &Budget::default()).unwrap();
+        // The cluster changes underneath the planner.
+        model.remove(VmId(2)).unwrap();
+        model
+            .deploy(VmId(3), spec(2, 8))
+            .expect("fresh vm deploys fine");
+        let before = model.capture_state();
+        let err = apply_plan(&mut model, &plan);
+        assert!(matches!(err, Err(RebalanceError::Stale(_))), "{err:?}");
+        assert_eq!(
+            model.capture_state().normalized(),
+            before.normalized(),
+            "a rejected plan must not move anything"
+        );
+    }
+
+    #[test]
+    fn empty_plan_applies_as_a_no_op() {
+        let mut model = fragmented();
+        let plan = RebalancePlan {
+            model: model.name(),
+            moves: vec![],
+            pms_freed: 0,
+            moved_mem_mib: 0,
+            budget: Budget::default(),
+        };
+        let report = apply_plan(&mut model, &plan).unwrap();
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.pms_freed(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Plan and budget types shared by the planner, validator, and both
+//! executors.
+
+use slackvm_model::{PmId, VmId, VmSpec};
+
+/// The migration cost budget a plan must stay within.
+///
+/// Consolidation is worthless if it costs more than the PMs it frees:
+/// every live migration burns network bandwidth proportional to the
+/// VM's memory and risks a brown-out on both endpoints. The budget
+/// caps the damage per planning round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of migrations in one plan.
+    pub max_migrations: u32,
+    /// Maximum total memory moved, in MiB (the dominant live-migration
+    /// cost driver).
+    pub max_moved_mem_mib: u64,
+    /// Maximum migrations in flight at once — the online executor's
+    /// per-tick throttle; the offline executor applies serially and
+    /// only records it.
+    pub max_concurrent: u32,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_migrations: 32,
+            max_moved_mem_mib: slackvm_model::gib(256),
+            max_concurrent: 4,
+        }
+    }
+}
+
+impl Budget {
+    /// Rejects degenerate budgets (any zero bound means "never move
+    /// anything" and is almost certainly a flag typo).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_migrations == 0 {
+            return Err("max migrations must be >= 1".into());
+        }
+        if self.max_moved_mem_mib == 0 {
+            return Err("max moved memory must be >= 1 MiB".into());
+        }
+        if self.max_concurrent == 0 {
+            return Err("max concurrent migrations must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One planned migration: move `vm` (with the spec the planner saw)
+/// from `from` to `to`.
+///
+/// For the dedicated baseline, `spec.level` names the per-level
+/// sub-cluster both endpoints live in (PM ids are per-level
+/// namespaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// The VM to migrate.
+    pub vm: VmId,
+    /// Its spec at planning time — the validator rejects the plan if
+    /// the live spec differs (a resize raced the planner).
+    pub spec: VmSpec,
+    /// Source PM.
+    pub from: PmId,
+    /// Destination PM.
+    pub to: PmId,
+}
+
+/// An ordered migration plan. Moves must be applied in order: later
+/// moves may depend on the headroom earlier moves created.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalancePlan {
+    /// The model label the plan was computed against.
+    pub model: String,
+    /// The migrations, in application order.
+    pub moves: Vec<PlannedMove>,
+    /// PMs the planner drained to empty (the consolidation win).
+    pub pms_freed: u32,
+    /// Total memory moved, in MiB.
+    pub moved_mem_mib: u64,
+    /// The budget the plan was computed under.
+    pub budget: Budget,
+}
+
+impl RebalancePlan {
+    /// True when the planner found nothing worth moving.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Number of planned migrations.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Hand-rolled JSON rendering (the export path stays off serde so
+    /// it works in every build).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.moves.len() * 96);
+        out.push_str("{\"model\":\"");
+        out.push_str(&self.model.replace('\\', "\\\\").replace('"', "\\\""));
+        out.push_str("\",\"pms_freed\":");
+        out.push_str(&self.pms_freed.to_string());
+        out.push_str(",\"migrations\":");
+        out.push_str(&self.moves.len().to_string());
+        out.push_str(",\"moved_mem_mib\":");
+        out.push_str(&self.moved_mem_mib.to_string());
+        out.push_str(",\"budget\":{\"max_migrations\":");
+        out.push_str(&self.budget.max_migrations.to_string());
+        out.push_str(",\"max_moved_mem_mib\":");
+        out.push_str(&self.budget.max_moved_mem_mib.to_string());
+        out.push_str(",\"max_concurrent\":");
+        out.push_str(&self.budget.max_concurrent.to_string());
+        out.push_str("},\"moves\":[");
+        for (i, mv) in self.moves.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"vm\":{},\"from\":{},\"to\":{},\"vcpus\":{},\"mem_mib\":{},\"level\":{}}}",
+                mv.vm.0,
+                mv.from.0,
+                mv.to.0,
+                mv.spec.vcpus(),
+                mv.spec.mem_mib(),
+                mv.spec.level.ratio(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "rebalance plan for {}: {} migration(s), {} PM(s) freed, {} MiB moved \
+             (budget: {} moves / {} MiB / {} concurrent)\n",
+            self.model,
+            self.moves.len(),
+            self.pms_freed,
+            self.moved_mem_mib,
+            self.budget.max_migrations,
+            self.budget.max_moved_mem_mib,
+            self.budget.max_concurrent,
+        );
+        for mv in &self.moves {
+            out.push_str(&format!(
+                "  {}  pm-{} -> pm-{}  ({})\n",
+                mv.vm, mv.from.0, mv.to.0, mv.spec,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel};
+
+    fn plan() -> RebalancePlan {
+        RebalancePlan {
+            model: "slackvm/progress".into(),
+            moves: vec![PlannedMove {
+                vm: VmId(7),
+                spec: VmSpec::of(2, gib(4), OversubLevel::of(3)),
+                from: PmId(5),
+                to: PmId(1),
+            }],
+            pms_freed: 1,
+            moved_mem_mib: gib(4),
+            budget: Budget::default(),
+        }
+    }
+
+    #[test]
+    fn budget_rejects_zero_bounds() {
+        assert!(Budget::default().validate().is_ok());
+        for broken in [
+            Budget {
+                max_migrations: 0,
+                ..Budget::default()
+            },
+            Budget {
+                max_moved_mem_mib: 0,
+                ..Budget::default()
+            },
+            Budget {
+                max_concurrent: 0,
+                ..Budget::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken:?}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let json = plan().to_json();
+        assert_eq!(
+            json,
+            "{\"model\":\"slackvm/progress\",\"pms_freed\":1,\"migrations\":1,\
+             \"moved_mem_mib\":4096,\"budget\":{\"max_migrations\":32,\
+             \"max_moved_mem_mib\":262144,\"max_concurrent\":4},\
+             \"moves\":[{\"vm\":7,\"from\":5,\"to\":1,\"vcpus\":2,\"mem_mib\":4096,\"level\":3}]}"
+        );
+    }
+
+    #[test]
+    fn human_rendering_names_endpoints() {
+        let text = plan().render();
+        assert!(text.contains("1 migration(s), 1 PM(s) freed"), "{text}");
+        assert!(text.contains("vm-7  pm-5 -> pm-1"), "{text}");
+    }
+}

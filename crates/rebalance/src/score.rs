@@ -1,0 +1,278 @@
+//! Fragmentation scoring: per-PM packability metrics over a deployment
+//! snapshot.
+//!
+//! The scorer answers "how badly is the fleet packed right now?"
+//! without proposing any moves — the planner consumes its utilization
+//! ordering, operators read its rendering from the CLI, and the serve
+//! tick uses its empty-PM potential to decide whether planning is
+//! worth the latency.
+
+use slackvm_hypervisor::Host;
+use slackvm_model::{OversubLevel, PmId};
+use slackvm_sched::ratio_distance;
+use slackvm_sim::{Cluster, DeploymentModel};
+
+/// Packability metrics for one PM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmScore {
+    /// The PM (per-level namespace for the dedicated baseline).
+    pub pm: PmId,
+    /// The dedicated sub-cluster's level; `None` on the shared pool.
+    pub level: Option<OversubLevel>,
+    /// Hosted VMs.
+    pub vms: usize,
+    /// Whether the PM is marked failed (never a migration endpoint).
+    pub failed: bool,
+    /// Allocated physical cores / total cores.
+    pub cpu_util: f64,
+    /// Allocated memory / total memory.
+    pub mem_util: f64,
+    /// Free cores that cannot be sold at the PM's target M/C ratio
+    /// because the matching memory is gone — stranded capacity.
+    pub stranded_cores: f64,
+    /// Free memory (GiB) that cannot be sold because the matching
+    /// cores are gone.
+    pub stranded_mem_gib: f64,
+    /// Algorithm-2 distance of the allocated M/C ratio from the
+    /// hardware target ([`slackvm_sched::ratio_distance`]).
+    pub mc_distance: f64,
+}
+
+impl PmScore {
+    /// Mean of CPU and memory utilization — the drain-order key: the
+    /// emptier a PM, the cheaper it is to free.
+    pub fn utilization(&self) -> f64 {
+        0.5 * (self.cpu_util + self.mem_util)
+    }
+
+    /// True when nothing is hosted (the PM is already "free").
+    pub fn is_empty(&self) -> bool {
+        self.vms == 0
+    }
+}
+
+/// Fleet-wide fragmentation summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FragmentationReport {
+    /// One entry per opened PM, in scan order (shared: ascending PM
+    /// id; dedicated: ascending level, then PM id).
+    pub per_pm: Vec<PmScore>,
+}
+
+impl FragmentationReport {
+    /// Opened PMs hosting nothing — capacity already reclaimed.
+    pub fn empty_pms(&self) -> u32 {
+        self.per_pm
+            .iter()
+            .filter(|s| s.is_empty() && !s.failed)
+            .count() as u32
+    }
+
+    /// Total stranded cores across live PMs.
+    pub fn stranded_cores(&self) -> f64 {
+        self.live().map(|s| s.stranded_cores).sum()
+    }
+
+    /// Total stranded memory in GiB across live PMs.
+    pub fn stranded_mem_gib(&self) -> f64 {
+        self.live().map(|s| s.stranded_mem_gib).sum()
+    }
+
+    /// Empty-PM *potential*: an upper-bound estimate of how many
+    /// active PMs could be drained, assuming their allocation packs
+    /// perfectly into the rest of the fleet's headroom. The planner
+    /// will usually free fewer (placement is not a fluid); the gap
+    /// between potential and plan is the fragmentation the budget or
+    /// the packing rules would not let us recover.
+    pub fn drainable_potential(&self) -> u32 {
+        let mut active: Vec<&PmScore> = self.live().filter(|s| !s.is_empty()).collect();
+        active.sort_by(|a, b| a.utilization().total_cmp(&b.utilization()));
+        let mut free_cpu: f64 = self
+            .live()
+            .filter(|s| !s.is_empty())
+            .map(|s| 1.0 - s.cpu_util)
+            .sum();
+        let mut free_mem: f64 = self
+            .live()
+            .filter(|s| !s.is_empty())
+            .map(|s| 1.0 - s.mem_util)
+            .sum();
+        let mut drained = 0u32;
+        for pm in active {
+            // Draining pm consumes its allocation elsewhere and removes
+            // its own headroom from the pool.
+            let need_cpu = pm.cpu_util;
+            let need_mem = pm.mem_util;
+            let lost_cpu = 1.0 - pm.cpu_util;
+            let lost_mem = 1.0 - pm.mem_util;
+            if free_cpu - lost_cpu >= need_cpu && free_mem - lost_mem >= need_mem {
+                free_cpu -= lost_cpu + need_cpu;
+                free_mem -= lost_mem + need_mem;
+                drained += 1;
+            } else {
+                break;
+            }
+        }
+        drained
+    }
+
+    /// Operator-facing rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fragmentation: {} PM(s) scanned, {} empty, potential {} drainable, \
+             {:.1} stranded core(s), {:.1} GiB stranded\n",
+            self.per_pm.len(),
+            self.empty_pms(),
+            self.drainable_potential(),
+            self.stranded_cores(),
+            self.stranded_mem_gib(),
+        );
+        for s in &self.per_pm {
+            let level = match s.level {
+                Some(level) => format!(" level {level}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  pm-{}{}: {} vm(s), cpu {:.0}%, mem {:.0}%, m/c distance {:.2}{}\n",
+                s.pm.0,
+                level,
+                s.vms,
+                100.0 * s.cpu_util,
+                100.0 * s.mem_util,
+                s.mc_distance,
+                if s.failed { ", FAILED" } else { "" },
+            ));
+        }
+        out
+    }
+
+    fn live(&self) -> impl Iterator<Item = &PmScore> {
+        self.per_pm.iter().filter(|s| !s.failed)
+    }
+}
+
+/// Scores every opened PM of a deployment snapshot.
+pub fn score_model(model: &DeploymentModel) -> FragmentationReport {
+    let mut report = FragmentationReport::default();
+    match model {
+        DeploymentModel::Shared(s) => score_cluster(&s.cluster, None, &mut report),
+        DeploymentModel::Dedicated(d) => {
+            for (level, cluster) in d.clusters() {
+                score_cluster(cluster, Some(level), &mut report);
+            }
+        }
+    }
+    report
+}
+
+fn score_cluster<H: Host>(
+    cluster: &Cluster<H>,
+    level: Option<OversubLevel>,
+    report: &mut FragmentationReport,
+) {
+    for host in cluster.hosts() {
+        report
+            .per_pm
+            .push(score_host(host, level, cluster.is_failed(host.id())));
+    }
+}
+
+fn score_host<H: Host>(host: &H, level: Option<OversubLevel>, failed: bool) -> PmScore {
+    let config = host.config();
+    let alloc = host.alloc();
+    let cores = config.cores as f64;
+    let mem_gib = config.mem_mib as f64 / 1024.0;
+    let cpu_util = alloc.cpu.as_cores_f64() / cores;
+    let mem_util = alloc.mem_mib as f64 / config.mem_mib as f64;
+    let free_cores = cores - alloc.cpu.as_cores_f64();
+    let free_mem_gib = mem_gib - alloc.mem_mib as f64 / 1024.0;
+    let target = config.target_ratio().gib_per_core();
+    // Free cores are sellable only with `target` GiB apiece alongside
+    // them (and vice versa); the shortfall on either axis is stranded.
+    let sellable_cores = (free_mem_gib / target).min(free_cores);
+    PmScore {
+        pm: host.id(),
+        level,
+        vms: host.num_vms(),
+        failed,
+        cpu_util,
+        mem_util,
+        stranded_cores: free_cores - sellable_cores,
+        stranded_mem_gib: free_mem_gib - sellable_cores * target,
+        mc_distance: ratio_distance(&config, &alloc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slackvm_model::{gib, OversubLevel, VmId, VmSpec};
+    use slackvm_sim::SharedDeployment;
+    use std::sync::Arc;
+
+    fn shared() -> SharedDeployment {
+        SharedDeployment::new(Arc::new(slackvm_topology::builders::flat(32)), gib(128))
+    }
+
+    #[test]
+    fn balanced_pm_scores_clean() {
+        // 8 cores / 32 GiB on a 32-core / 128-GiB host: exactly the
+        // 4 GiB-per-core target, nothing stranded.
+        let mut s = shared();
+        s.deploy(VmId(0), VmSpec::of(8, gib(32), OversubLevel::PREMIUM))
+            .unwrap();
+        let report = score_model(&DeploymentModel::Shared(s));
+        assert_eq!(report.per_pm.len(), 1);
+        let pm = &report.per_pm[0];
+        assert_eq!(pm.vms, 1);
+        assert!(pm.mc_distance.abs() < 1e-9, "{pm:?}");
+        assert!(pm.stranded_cores.abs() < 1e-9, "{pm:?}");
+        assert!(pm.stranded_mem_gib.abs() < 1e-9, "{pm:?}");
+        assert!((pm.utilization() - 0.25).abs() < 1e-9, "{pm:?}");
+    }
+
+    #[test]
+    fn memory_exhaustion_strands_cores() {
+        // 2 cores / 120 GiB leaves 30 free cores but only 8 GiB: at
+        // the 4.0 target only 2 of those cores are sellable.
+        let mut s = shared();
+        s.deploy(VmId(0), VmSpec::of(2, gib(120), OversubLevel::PREMIUM))
+            .unwrap();
+        let report = score_model(&DeploymentModel::Shared(s));
+        let pm = &report.per_pm[0];
+        assert!((pm.stranded_cores - 28.0).abs() < 1e-9, "{pm:?}");
+        assert!(pm.stranded_mem_gib.abs() < 1e-9, "{pm:?}");
+        assert!(pm.mc_distance > 0.0, "{pm:?}");
+    }
+
+    #[test]
+    fn failed_pms_are_excluded_from_fleet_sums() {
+        let mut s = shared();
+        s.deploy(VmId(0), VmSpec::of(2, gib(120), OversubLevel::PREMIUM))
+            .unwrap();
+        let mut model = DeploymentModel::Shared(s);
+        let stranded_before = score_model(&model).stranded_cores();
+        assert!(stranded_before > 0.0);
+        model.fail_host(PmId(0));
+        let report = score_model(&model);
+        assert!(report.per_pm[0].failed);
+        assert_eq!(report.stranded_cores(), 0.0);
+        assert_eq!(report.empty_pms(), 0, "failed PMs are not 'free'");
+    }
+
+    #[test]
+    fn drainable_potential_sees_an_easy_merge() {
+        // Three 62.5%-full PMs (no two VMs co-fit, so every policy
+        // opens three): the aggregate headroom absorbs exactly one.
+        let mut s = shared();
+        for i in 0..3 {
+            s.deploy(VmId(i), VmSpec::of(20, gib(80), OversubLevel::PREMIUM))
+                .unwrap();
+        }
+        let report = score_model(&DeploymentModel::Shared(s));
+        assert_eq!(report.per_pm.len(), 3);
+        assert_eq!(report.drainable_potential(), 1);
+        let text = report.render();
+        assert!(text.contains("3 PM(s) scanned"), "{text}");
+    }
+}

@@ -37,7 +37,7 @@ pub mod vcluster;
 pub use filters::{AntiAffinityFilter, CpuCeilingFilter, Filter, MaxVmsFilter, ResourceFilter};
 pub use index::{AdmissionKey, CandidateIndex, GatherStats, IndexMode};
 pub use pipeline::{Candidate, PlacementPolicy, Scheduler, POLICY_NAMES};
-pub use progress::{progress_score, ProgressConfig};
+pub use progress::{progress_score, ratio_distance, ProgressConfig};
 pub use scorers::{
     BestFitScorer, CompositeScorer, DotProductScorer, NormBasedGreedyScorer, ProgressScorer,
     Scorer, WorstFitScorer, DEFAULT_CONSOLIDATION_WEIGHT,

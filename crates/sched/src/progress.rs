@@ -58,19 +58,19 @@ pub fn progress_score(
     let alloc_cpu = alloc.cpu.as_cores_f64();
     let alloc_mem = alloc.mem_mib as f64 / 1024.0;
 
-    let (current_ratio, next_ratio) = if alloc_cpu > 0.0 {
+    let (current_delta, next_ratio) = if alloc_cpu > 0.0 {
         (
-            alloc_mem / alloc_cpu,
+            ratio_distance(config, alloc),
             (alloc_mem + vm_mem) / (alloc_cpu + vm_cpu),
         )
     } else {
         if !knobs.empty_pm_is_ideal {
             return 0.0;
         }
-        (target, vm_mem / vm_cpu)
+        // Line 6: an idle PM sits exactly on its target ratio.
+        (0.0, vm_mem / vm_cpu)
     };
 
-    let current_delta = (current_ratio - target).abs();
     let next_delta = (next_ratio - target).abs();
     let mut progress = current_delta - next_delta;
     if progress < 0.0 && knobs.negative_load_factor {
@@ -78,6 +78,23 @@ pub fn progress_score(
         progress *= factor;
     }
     progress
+}
+
+/// Absolute distance between the PM's *allocated* M/C ratio and its
+/// hardware target ratio, in GiB per core — the quantity Algorithm 2
+/// drives towards zero with every placement. An idle PM is defined to
+/// sit on its target (distance zero), the `empty_pm_is_ideal` reading
+/// of line 6. The fragmentation scorer in `slackvm-rebalance` uses this
+/// as its per-PM imbalance metric so consolidation and admission agree
+/// on what "balanced" means.
+pub fn ratio_distance(config: &PmConfig, alloc: &AllocView) -> f64 {
+    let cpu = alloc.cpu.as_cores_f64();
+    if cpu <= 0.0 {
+        return 0.0;
+    }
+    let target = config.target_ratio().gib_per_core();
+    let mem = alloc.mem_mib as f64 / 1024.0;
+    (mem / cpu - target).abs()
 }
 
 #[cfg(test)]

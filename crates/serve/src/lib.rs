@@ -52,6 +52,15 @@
 //! `/healthz` and the final service report. WAL append failures
 //! degrade the shard to journal-off instead of panicking unless
 //! `durable_fail_stop` asks for the old behavior.
+//!
+//! With [`ServeConfig::rebalance`](request::ServeConfig::rebalance)
+//! set, each shard's worker runs a background consolidation tick
+//! between admission batches: it plans a drain of its least-utilized
+//! PMs (`slackvm_rebalance`), validates the plan, and executes a
+//! throttled slice of it as live migrations — journalled like any
+//! admission decision, paused automatically while a PM is failed or
+//! draining, the journal is degraded, or the SLO window is burning
+//! error budget.
 
 #![warn(missing_docs)]
 
@@ -71,9 +80,9 @@ pub use bombard::{
 pub use error::ServeError;
 pub use obs::{HealthReport, ObsHandle, ObsServer, ShardHealth};
 pub use replay::{serve_replay, Decision, ReplaySummary};
-pub use request::{ModelSpec, Op, Outcome, Reply, ServeConfig, TraceLevel};
+pub use request::{ModelSpec, Op, Outcome, RebalanceOptions, Reply, ServeConfig, TraceLevel};
 pub use service::{PlacementService, ServiceReport};
-pub use shard::{ShardReport, ShardSummary};
+pub use shard::{RebalanceSkip, RebalanceTick, ShardReport, ShardSummary};
 pub use slackvm_durable::{DurableOptions, FsyncPolicy};
 pub use slackvm_telemetry::{SloReport, SloTargets};
 pub use tcp::{TcpServer, TcpStats};

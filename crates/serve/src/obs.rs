@@ -220,7 +220,25 @@ pub(crate) fn respond(path: &str, handle: &ObsHandle) -> String {
             };
             http_response(status, "application/json", &health.to_json())
         }
-        "/slo" => http_response("200 OK", "application/json", &handle.slo().to_json()),
+        "/slo" => {
+            // The consolidation plane pauses itself on error-budget
+            // burn, so its progress rides on the SLO scorecard: splice
+            // fleet-wide rebalance totals into the JSON object.
+            let mut body = handle.slo().to_json();
+            let migrations: u64 = handle
+                .summaries
+                .iter()
+                .map(|s| s.rebalance_migrations())
+                .sum();
+            let freed: u64 = handle.summaries.iter().map(|s| s.rebalance_pms_freed()).sum();
+            if body.ends_with('}') {
+                body.pop();
+                body.push_str(&format!(
+                    ",\"rebalance\":{{\"migrations\":{migrations},\"pms_freed\":{freed}}}}}"
+                ));
+            }
+            http_response("200 OK", "application/json", &body)
+        }
         _ => http_response("404 Not Found", "text/plain", "not found\n"),
     }
 }

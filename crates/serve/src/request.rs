@@ -315,6 +315,34 @@ impl ModelSpec {
     }
 }
 
+/// Online consolidation: each shard's worker periodically plans a
+/// rebalance against its own model and executes a throttled slice of
+/// the plan between admission batches (`slackvm_rebalance`).
+///
+/// The tick pauses itself whenever the shard is doing anything more
+/// important: PMs draining or failed, the journal degraded, or the SLO
+/// tracker reporting error-budget burn. Consolidation is strictly
+/// optional work — it never competes with recovery or a struggling
+/// request path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceOptions {
+    /// Planning interval: how often an idle (or between-batches) worker
+    /// re-plans. Each tick executes at most
+    /// [`Budget::max_concurrent`](slackvm_rebalance::Budget) moves.
+    pub every: Duration,
+    /// Cost budget every planning pass runs under.
+    pub budget: slackvm_rebalance::Budget,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> Self {
+        RebalanceOptions {
+            every: Duration::from_secs(5),
+            budget: slackvm_rebalance::Budget::default(),
+        }
+    }
+}
+
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -361,6 +389,9 @@ pub struct ServeConfig {
     pub stall_threshold: Duration,
     /// Objectives the `/slo` plane scores the rolling window against.
     pub slo: SloTargets,
+    /// Online consolidation: background rebalance ticks per shard.
+    /// `None` (the default) never migrates on its own.
+    pub rebalance: Option<RebalanceOptions>,
 }
 
 impl Default for ServeConfig {
@@ -379,6 +410,7 @@ impl Default for ServeConfig {
             trace: TraceLevel::Stages,
             stall_threshold: Duration::from_secs(2),
             slo: SloTargets::default(),
+            rebalance: None,
         }
     }
 }
@@ -425,6 +457,17 @@ impl ServeConfig {
         self.slo
             .validate()
             .map_err(|e| ServeError::Config(format!("slo targets: {e}")))?;
+        if let Some(rebalance) = &self.rebalance {
+            if rebalance.every.is_zero() {
+                return Err(ServeError::Config(
+                    "rebalance interval must be nonzero".into(),
+                ));
+            }
+            rebalance
+                .budget
+                .validate()
+                .map_err(|e| ServeError::Config(format!("rebalance budget: {e}")))?;
+        }
         Ok(())
     }
 

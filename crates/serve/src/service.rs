@@ -250,6 +250,8 @@ impl PlacementService {
                 slo: Arc::clone(&slo),
                 slow: SlowOpsDigest::default(),
                 heartbeat_every: (config.stall_threshold / 4).min(Duration::from_millis(250)),
+                rebalance: config.rebalance.clone(),
+                last_rebalance: epoch,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -599,6 +601,26 @@ impl PlacementService {
             .map_err(|_| ServeError::Disconnected)
     }
 
+    /// Runs one rebalance tick on shard `shard` right now, bypassing
+    /// the configured interval (the safety interlocks still apply),
+    /// and blocks for its outcome. A worker started without
+    /// [`ServeConfig::rebalance`](crate::request::ServeConfig) reports
+    /// the tick skipped as disabled. Requests already queued ahead of
+    /// the trigger may execute after the tick — the trigger is a
+    /// consolidation nudge, not a barrier.
+    pub fn trigger_rebalance(
+        &self,
+        shard: u32,
+    ) -> Result<crate::shard::RebalanceTick, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.senders
+            .get(shard as usize)
+            .ok_or_else(|| ServeError::Config(format!("no shard {shard}")))?
+            .send(Msg::Rebalance(tx))
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
     /// Test hook: simulate a journal write failure on shard `shard`, so
     /// journal-degraded mode (or fail-stop) can be exercised without an
     /// actual disk fault.
@@ -857,6 +879,98 @@ mod tests {
         };
         assert!(err.contains("different service shape"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebalance_tick_consolidates_a_fragmented_shard() {
+        use crate::request::RebalanceOptions;
+        use slackvm_model::PmId;
+        let config = ServeConfig {
+            rebalance: Some(RebalanceOptions {
+                // Effectively never on its own: only explicit triggers.
+                every: Duration::from_secs(3600),
+                ..RebalanceOptions::default()
+            }),
+            ..small_config(1)
+        };
+        let svc = PlacementService::start(config).unwrap();
+        let place = |id: u64, vcpus: u32, mem_gib: u64| {
+            svc.call(Op::Place {
+                id: VmId(id),
+                spec: VmSpec::of(vcpus, gib(mem_gib), OversubLevel::of(1)),
+            })
+            .unwrap()
+            .outcome
+        };
+        // pm0 fills, VM1 opens pm1, VM0 leaves, VM2 lands first-fit on
+        // the now nearly-empty pm0: classic fragmentation.
+        assert!(matches!(place(0, 6, 24), Outcome::Placed(_)));
+        assert!(matches!(place(1, 6, 24), Outcome::Placed(_)));
+        assert_eq!(
+            svc.call(Op::Remove { id: VmId(0) }).unwrap().outcome,
+            Outcome::Removed(PmId(0))
+        );
+        assert!(matches!(place(2, 2, 8), Outcome::Placed(_)));
+
+        let tick = svc.trigger_rebalance(0).unwrap();
+        assert_eq!(tick.skipped, None);
+        assert_eq!(tick.migrations, 1);
+        assert_eq!(tick.pms_freed, 1);
+        assert_eq!(tick.deferred, 0);
+        assert_eq!(svc.summaries()[0].rebalance_migrations(), 1);
+        assert_eq!(svc.summaries()[0].rebalance_pms_freed(), 1);
+        let text = svc.metrics_exposition();
+        assert!(text.contains("slackvm_rebalance_migrations 1"), "{text}");
+        assert!(text.contains("slackvm_rebalance_plans 1"), "{text}");
+
+        // The migrated VM is still routable: it moved PMs, not shards.
+        assert_eq!(
+            svc.call(Op::Remove { id: VmId(2) }).unwrap().outcome,
+            Outcome::Removed(PmId(1))
+        );
+        let report = svc.stop();
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rebalance_tick_honors_its_interlocks() {
+        use crate::request::RebalanceOptions;
+        use crate::shard::RebalanceSkip;
+        use slackvm_model::PmId;
+        // No rebalance configured: the trigger reports it disabled.
+        let svc = PlacementService::start(small_config(1)).unwrap();
+        let tick = svc.trigger_rebalance(0).unwrap();
+        assert_eq!(tick.skipped, Some(RebalanceSkip::Disabled));
+        svc.stop();
+
+        let config = ServeConfig {
+            rebalance: Some(RebalanceOptions {
+                every: Duration::from_secs(3600),
+                ..RebalanceOptions::default()
+            }),
+            ..small_config(1)
+        };
+        let svc = PlacementService::start(config).unwrap();
+        svc.call(Op::Place {
+            id: VmId(0),
+            spec: VmSpec::of(2, gib(4), OversubLevel::of(1)),
+        })
+        .unwrap();
+        svc.call(Op::DrainPm {
+            shard: 0,
+            pm: PmId(0),
+        })
+        .unwrap();
+        let tick = svc.trigger_rebalance(0).unwrap();
+        assert_eq!(tick.skipped, Some(RebalanceSkip::Draining));
+        svc.call(Op::RecoverPm {
+            shard: 0,
+            pm: PmId(0),
+        })
+        .unwrap();
+        let tick = svc.trigger_rebalance(0).unwrap();
+        assert_eq!(tick.skipped, None, "recovering the PM resumes ticks");
+        svc.stop();
     }
 
     #[test]

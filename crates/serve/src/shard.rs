@@ -23,7 +23,7 @@ use slackvm_model::{AllocView, PmId, VmId};
 use slackvm_sim::{DeploymentModel, SimError};
 use slackvm_telemetry::{MetricsRegistry, SloTracker, SlowOpsDigest, TraceBuilder, TraceSpan};
 
-use crate::request::{Op, Outcome, Reply, TraceLevel};
+use crate::request::{Op, Outcome, RebalanceOptions, Reply, TraceLevel};
 
 /// Microseconds elapsed since the service's trace epoch.
 pub(crate) fn us_since(epoch: Instant) -> u64 {
@@ -74,6 +74,41 @@ pub(crate) enum Msg {
     /// mode can be exercised without an actual disk fault.
     #[allow(dead_code)]
     DegradeJournal,
+    /// Run one rebalance tick right now, bypassing the interval (the
+    /// safety interlocks still apply), and report what it did. Runs
+    /// inline at message-drain time: requests already drained into the
+    /// current batch execute after the tick.
+    Rebalance(Sender<RebalanceTick>),
+}
+
+/// Why a rebalance tick declined to plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceSkip {
+    /// The worker was started without rebalancing configured.
+    Disabled,
+    /// A PM on the shard is draining for maintenance.
+    Draining,
+    /// A PM on the shard is failed and not yet recovered.
+    FailedPms,
+    /// The shard serves without durability after a journal failure.
+    JournalDegraded,
+    /// The SLO tracker reports error-budget burn or a latency miss.
+    SloBurn,
+}
+
+/// What one online rebalance tick did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebalanceTick {
+    /// `Some` when the tick declined to plan (and why); `None` when a
+    /// planning pass ran, even one that found nothing to move.
+    pub skipped: Option<RebalanceSkip>,
+    /// Migrations executed this tick.
+    pub migrations: u32,
+    /// PMs drained to empty this tick.
+    pub pms_freed: u32,
+    /// Moves the plan wanted beyond this tick's concurrency throttle —
+    /// the next tick re-plans and picks them up.
+    pub deferred: u32,
 }
 
 /// A shard's lock-free scoreboard: queue depth and coarse utilization,
@@ -103,6 +138,10 @@ pub struct ShardSummary {
     /// Set once the worker's journal has failed and the shard serves
     /// without durability; `/healthz` names the shard.
     journal_degraded: AtomicBool,
+    /// Migrations the online rebalancer has executed on this shard.
+    rebalance_migrations: AtomicU64,
+    /// PMs the online rebalancer has drained to empty on this shard.
+    rebalance_pms_freed: AtomicU64,
 }
 
 impl ShardSummary {
@@ -217,6 +256,23 @@ impl ShardSummary {
     pub(crate) fn set_journal_degraded(&self, degraded: bool) {
         self.journal_degraded.store(degraded, Ordering::Relaxed);
     }
+
+    /// Migrations the online rebalancer has executed on this shard.
+    pub fn rebalance_migrations(&self) -> u64 {
+        self.rebalance_migrations.load(Ordering::Relaxed)
+    }
+
+    /// PMs the online rebalancer has drained to empty on this shard.
+    pub fn rebalance_pms_freed(&self) -> u64 {
+        self.rebalance_pms_freed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_rebalanced(&self, migrations: u64, pms_freed: u64) {
+        self.rebalance_migrations
+            .fetch_add(migrations, Ordering::Relaxed);
+        self.rebalance_pms_freed
+            .fetch_add(pms_freed, Ordering::Relaxed);
+    }
 }
 
 /// What a worker hands back when the service stops.
@@ -298,6 +354,10 @@ pub(crate) struct Worker {
     /// Idle-wait bound of the loop: waking this often stamps the
     /// liveness heartbeat even with no traffic.
     pub heartbeat_every: Duration,
+    /// Online consolidation config (`None`: rebalancing off).
+    pub rebalance: Option<RebalanceOptions>,
+    /// When the last rebalance tick ran (or was skipped).
+    pub last_rebalance: Instant,
 }
 
 /// Per-batch counter deltas, flushed under one metrics lock, plus the
@@ -392,6 +452,7 @@ impl Worker {
                     // the `/healthz` watchdog can tell idle from wedged.
                     Err(RecvTimeoutError::Timeout) => {
                         self.beat();
+                        self.maybe_rebalance();
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -407,6 +468,10 @@ impl Worker {
                     // worker stuck in a pathological placement would.
                     Msg::Stall(d) => std::thread::sleep(d),
                     Msg::DegradeJournal => self.journal_failure("append", None),
+                    Msg::Rebalance(ack) => {
+                        let tick = self.rebalance_tick();
+                        let _ = ack.send(tick);
+                    }
                 }
                 if batch.len() >= self.batch_max {
                     break;
@@ -474,6 +539,12 @@ impl Worker {
                     _ => {}
                 }
             }
+            // Consolidation interleaves with admission: the interval
+            // check is two clock reads, the tick itself only runs when
+            // due — and never while the worker is draining to exit.
+            if !draining {
+                self.maybe_rebalance();
+            }
             self.beat();
         }
         // Drain-to-snapshot: a clean shutdown leaves the freshest
@@ -495,6 +566,149 @@ impl Worker {
     /// Stamps the liveness heartbeat the `/healthz` watchdog reads.
     fn beat(&self) {
         self.summaries[self.idx as usize].heartbeat(ms_since(self.epoch));
+    }
+
+    /// Runs a rebalance tick if one is configured and due.
+    fn maybe_rebalance(&mut self) {
+        let due = match &self.rebalance {
+            Some(opts) => self.last_rebalance.elapsed() >= opts.every,
+            None => false,
+        };
+        if due {
+            self.rebalance_tick();
+        }
+    }
+
+    /// One online consolidation pass: plan against the live model this
+    /// worker exclusively owns, validate, then execute at most
+    /// `budget.max_concurrent` moves — journalled like any admission
+    /// decision, so `recover`/`fsck` replay the same history. The
+    /// safety interlocks pause consolidation whenever the shard has
+    /// anything more important going on.
+    fn rebalance_tick(&mut self) -> RebalanceTick {
+        self.last_rebalance = Instant::now();
+        let Some(opts) = self.rebalance.clone() else {
+            return RebalanceTick {
+                skipped: Some(RebalanceSkip::Disabled),
+                ..RebalanceTick::default()
+            };
+        };
+        let skip = if !self.draining.is_empty() {
+            Some(RebalanceSkip::Draining)
+        } else if self.model.failed_pms() > 0 {
+            Some(RebalanceSkip::FailedPms)
+        } else if self.summaries[self.idx as usize].journal_degraded() {
+            Some(RebalanceSkip::JournalDegraded)
+        } else {
+            let report = self
+                .slo
+                .lock()
+                .expect("slo lock")
+                .report(ms_since(self.epoch));
+            // An empty window scores healthy; only observed burn pauses.
+            (!report.healthy()).then_some(RebalanceSkip::SloBurn)
+        };
+        if skip.is_some() {
+            return RebalanceTick {
+                skipped: skip,
+                ..RebalanceTick::default()
+            };
+        }
+        let started = Instant::now();
+        let planned = slackvm_rebalance::plan_rebalance_avoiding(
+            &self.model,
+            &opts.budget,
+            &self.draining,
+        );
+        {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            m.inc("rebalance.plans", 1);
+            m.observe("rebalance.plan_us", started.elapsed().as_micros() as f64);
+        }
+        let done = RebalanceTick::default();
+        let Ok(plan) = planned else { return done };
+        if plan.is_empty() {
+            return done;
+        }
+        // The plan was made against the model this thread exclusively
+        // owns, so it cannot be stale — but invariants are checked, not
+        // trusted: execution still goes through the validator.
+        if slackvm_rebalance::validate_plan_avoiding(&self.model, &plan, &self.draining).is_err() {
+            return done;
+        }
+        let before = self.model.active_pms();
+        let throttle = (opts.budget.max_concurrent as usize).min(plan.moves.len());
+        let mut migrated = 0u32;
+        let mut journal: Vec<(WalOp, WalOutcome)> = Vec::new();
+        for mv in plan.moves.iter().take(throttle) {
+            match self.model.migrate(mv.vm, mv.to) {
+                Ok(from) if from == mv.from => {
+                    migrated += 1;
+                    if self.durable.is_some() {
+                        journal.push((
+                            WalOp::Migrate {
+                                id: mv.vm,
+                                from,
+                                to: mv.to,
+                            },
+                            WalOutcome::Migrated,
+                        ));
+                    }
+                }
+                Ok(from) => {
+                    // The validator makes this unreachable; put the VM
+                    // back and stop rather than trust a surprise.
+                    let _ = self.model.migrate(mv.vm, from);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if !journal.is_empty() {
+            let mut failure = None;
+            for (op, outcome) in journal {
+                match self
+                    .durable
+                    .as_mut()
+                    .expect("journal entries imply durable")
+                    .append(op, outcome)
+                {
+                    Ok(_) => {}
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                self.journal_failure("append", Some(&e));
+            }
+            // Migrations reach stable storage before the tick reports
+            // itself done, exactly like an admission batch.
+            if let Some(Err(e)) = self.durable.as_mut().map(|d| d.commit()) {
+                self.journal_failure("commit", Some(&e));
+            }
+        }
+        let freed = before.saturating_sub(self.model.active_pms());
+        {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            if migrated > 0 {
+                m.inc("rebalance.migrations", migrated as u64);
+            }
+            if freed > 0 {
+                m.inc("rebalance.pms_freed", freed as u64);
+            }
+        }
+        let summary = &self.summaries[self.idx as usize];
+        summary.note_rebalanced(migrated as u64, freed as u64);
+        let (alloc, cap) = self.model.totals();
+        summary.refresh(self.model.opened_pms() as u64, alloc, cap);
+        RebalanceTick {
+            skipped: None,
+            migrations: migrated,
+            pms_freed: freed,
+            deferred: (plan.moves.len() - throttle) as u32,
+        }
     }
 
     /// Folds the batch's sampled lifecycles into the shared span sink

@@ -147,6 +147,16 @@ impl DeploymentModel {
         }
     }
 
+    /// PMs currently hosting at least one VM across all (sub)clusters —
+    /// the quantity background consolidation tries to shrink (opened
+    /// counts never go down; active counts do when a PM is drained).
+    pub fn active_pms(&self) -> u32 {
+        match self {
+            DeploymentModel::Dedicated(d) => d.active_pms(),
+            DeploymentModel::Shared(s) => s.cluster.active(),
+        }
+    }
+
     /// Cluster-wide allocation and capacity over opened PMs.
     pub fn totals(&self) -> (AllocView, AllocView) {
         match self {
@@ -270,6 +280,28 @@ impl DeploymentModel {
         }
     }
 
+    /// Where a VM currently lives. On the dedicated baseline PM ids are
+    /// per-level, so the returned id is scoped to the sub-cluster of the
+    /// VM's level.
+    pub fn location_of(&self, id: VmId) -> Option<PmId> {
+        match self {
+            DeploymentModel::Shared(s) => s.cluster.location_of(id),
+            DeploymentModel::Dedicated(d) => d.location_of(id),
+        }
+    }
+
+    /// Moves a VM to a specific PM — the migration primitive the
+    /// consolidation plane executes. Returns the source PM on success;
+    /// on failure the VM stays where it was (no side effects). On the
+    /// dedicated baseline the move is scoped to the VM's own level
+    /// sub-cluster (PM ids are per-level).
+    pub fn migrate(&mut self, id: VmId, to: PmId) -> Result<PmId, SimError> {
+        match self {
+            DeploymentModel::Shared(s) => s.migrate_vm(id, to),
+            DeploymentModel::Dedicated(d) => d.migrate_vm(id, to),
+        }
+    }
+
     /// Places a VM on the *specific* PM a previous run chose — the
     /// directed primitive WAL-tail replay uses (never re-decides).
     pub fn restore_placement(&mut self, id: VmId, spec: VmSpec, pm: PmId) -> Result<(), SimError> {
@@ -343,6 +375,18 @@ impl DedicatedDeployment {
         self.clusters.values().map(|c| c.opened()).sum()
     }
 
+    /// PMs hosting at least one VM, summed over the per-level clusters.
+    pub fn active_pms(&self) -> u32 {
+        self.clusters.values().map(|c| c.active()).sum()
+    }
+
+    /// The configured levels with their clusters, ascending by level —
+    /// the per-level walk the consolidation planner drains each
+    /// dedicated sub-cluster with.
+    pub fn clusters(&self) -> impl Iterator<Item = (OversubLevel, &Cluster<UniformMachine>)> {
+        self.clusters.iter().map(|(level, c)| (*level, c))
+    }
+
     /// Cluster observables; the per-level "width" of the baseline is the
     /// physical cores allocated inside each dedicated sub-cluster (the
     /// quantity a shared pool carves into vNodes instead).
@@ -411,6 +455,25 @@ impl DedicatedDeployment {
                 // Through the cluster, not hosts_mut(): keeps the
                 // placement index dirty-tracked instead of invalidated.
                 return cluster.resize_vm(id, vcpus, mem_mib).map(|_| ());
+            }
+        }
+        Err(SimError::UnknownVm(id))
+    }
+
+    /// Where a VM lives (a per-level PM id — the baseline scopes ids to
+    /// each sub-cluster).
+    pub fn location_of(&self, id: VmId) -> Option<PmId> {
+        self.clusters.values().find_map(|c| c.location_of(id))
+    }
+
+    /// Moves a VM to `to` inside its own level's sub-cluster, returning
+    /// the source PM. Fails without side effects when the VM is unknown
+    /// or the destination cannot take it.
+    pub fn migrate_vm(&mut self, id: VmId, to: PmId) -> Result<PmId, SimError> {
+        for cluster in self.clusters.values_mut() {
+            if let Some(from) = cluster.location_of(id) {
+                cluster.migrate(id, to)?;
+                return Ok(from);
             }
         }
         Err(SimError::UnknownVm(id))
@@ -730,8 +793,16 @@ impl SharedDeployment {
         time_secs: u64,
         recorder: &mut R,
     ) -> (u32, u32) {
-        let snapshots: Vec<slackvm_hypervisor::MachineSnapshot> =
-            self.cluster.hosts().iter().map(|h| h.snapshot()).collect();
+        // Failed workers are out of service: their (evicted) snapshots
+        // must not enter the plan as sources, and moves onto them would
+        // be silently refused by `migrate` — keep them out entirely.
+        let snapshots: Vec<slackvm_hypervisor::MachineSnapshot> = self
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| !self.cluster.is_failed(h.id()))
+            .map(|h| h.snapshot())
+            .collect();
         let plan = slackvm_hypervisor::plan_compaction_recorded(&snapshots, time_secs, recorder);
         let mut migrations = 0u32;
         for mv in &plan.moves {
@@ -877,6 +948,31 @@ impl SharedDeployment {
     /// Removes a VM from the shared pool.
     pub fn remove(&mut self, id: VmId) -> Result<PmId, SimError> {
         self.remove_recorded(id, 0, &mut slackvm_telemetry::NullRecorder)
+    }
+
+    /// Moves a VM to a specific worker, returning the source PM and
+    /// refreshing the vCluster views at both endpoints. Fails without
+    /// side effects when the VM is unknown or the destination cannot
+    /// take it (including failed destinations).
+    pub fn migrate_vm(&mut self, id: VmId, to: PmId) -> Result<PmId, SimError> {
+        let from = self
+            .cluster
+            .location_of(id)
+            .ok_or(SimError::UnknownVm(id))?;
+        let level = self
+            .cluster
+            .hosts()
+            .iter()
+            .find(|h| h.id() == from)
+            .and_then(|h| h.level_of(id))
+            .expect("placement is consistent");
+        self.cluster.migrate(id, to)?;
+        if from != to {
+            let recorder = &mut slackvm_telemetry::NullRecorder;
+            self.refresh_vcluster_recorded(from, level, 0, recorder);
+            self.refresh_vcluster_recorded(to, level, 0, recorder);
+        }
+        Ok(from)
     }
 
     /// [`SharedDeployment::remove`] with telemetry: the vNode shrink or
@@ -1082,6 +1178,67 @@ mod tests {
         assert!(s
             .restore_placement(VmId(1), spec(2, 2, 1), PmId(0))
             .is_err());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn model_migrate_moves_and_is_side_effect_free_on_failure() {
+        // Shared pool: spread two workers, migrate back, vClusters track.
+        let mut s =
+            DeploymentModel::Shared(SharedDeployment::new(Arc::new(builders::flat(8)), gib(32)));
+        s.deploy(VmId(0), spec(6, 6, 1)).unwrap();
+        s.deploy(VmId(1), spec(6, 6, 1)).unwrap(); // forces pm 1 open
+        s.deploy(VmId(2), spec(2, 2, 3)).unwrap();
+        let from = s.location_of(VmId(2)).unwrap();
+        let to = if from == PmId(0) { PmId(1) } else { PmId(0) };
+        assert_eq!(s.migrate(VmId(2), to).unwrap(), from);
+        assert_eq!(s.location_of(VmId(2)), Some(to));
+        s.check_invariants().unwrap();
+        // An infeasible destination leaves everything in place.
+        let before = s.capture_state().normalized();
+        assert!(s.migrate(VmId(0), to).is_err());
+        assert_eq!(s.capture_state().normalized(), before);
+        assert!(matches!(
+            s.migrate(VmId(99), PmId(0)),
+            Err(SimError::UnknownVm(_))
+        ));
+
+        // Dedicated baseline: moves stay inside the VM's level cluster.
+        let mut d = DeploymentModel::Dedicated(DedicatedDeployment::new(
+            PmConfig::simulation_host(),
+            levels(),
+        ));
+        d.deploy(VmId(0), spec(20, 20, 1)).unwrap();
+        d.deploy(VmId(1), spec(20, 20, 1)).unwrap();
+        d.deploy(VmId(2), spec(4, 4, 1)).unwrap();
+        let from = d.location_of(VmId(2)).unwrap();
+        let to = if from == PmId(0) { PmId(1) } else { PmId(0) };
+        assert_eq!(d.migrate(VmId(2), to).unwrap(), from);
+        assert_eq!(d.location_of(VmId(2)), Some(to));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_skips_failed_workers() {
+        // Two lightly-loaded workers would normally consolidate; fail
+        // the destination and the planner must not touch it.
+        let mut s = SharedDeployment::with_policy(
+            Arc::new(builders::flat(32)),
+            gib(128),
+            PlacementPolicy::FirstFit,
+        );
+        s.deploy(VmId(0), spec(20, 20, 1)).unwrap();
+        s.deploy(VmId(1), spec(20, 20, 1)).unwrap();
+        s.remove(VmId(0)).unwrap();
+        s.deploy(VmId(2), spec(2, 2, 1)).unwrap();
+        let victim_pm = s.cluster.location_of(VmId(2)).unwrap();
+        assert_eq!(victim_pm, PmId(0), "first-fit backfills the freed host");
+        let other = PmId(1);
+        let evicted = s.fail_host(other);
+        assert_eq!(evicted.len(), 1, "the big VM evicts");
+        let (migrations, _) = s.compact_now();
+        assert_eq!(migrations, 0, "no live destination exists");
+        assert_eq!(s.cluster.location_of(VmId(2)), Some(victim_pm));
         s.check_invariants().unwrap();
     }
 

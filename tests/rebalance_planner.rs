@@ -1,0 +1,221 @@
+//! Property proofs for the consolidation planner.
+//!
+//! The unit tests inside `slackvm-rebalance` pin individual behaviors
+//! on hand-built fixtures; this suite attacks the planner/validator/
+//! executor stack with generated churn on *both* deployment models:
+//! every accepted plan must preserve the capacity and oversubscription
+//! invariants (checked by the models' own `check_invariants`, not by
+//! trusting the planner), move VMs without losing or reshaping any,
+//! stay inside its budget, and never touch a failed or draining PM —
+//! while the validator must reject every invariant-violating mutation
+//! of a genuine plan, and a plan computed against a stale snapshot
+//! must be rejected whole, leaving the model untouched.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use slackvm::prelude::*;
+use slackvm_rebalance::{
+    apply_plan, plan_rebalance, plan_rebalance_avoiding, validate_plan, validate_plan_avoiding,
+    Budget, RebalanceError,
+};
+
+/// A fresh model of either flavor on the paper's 32-core / 128 GiB
+/// worker shape, first-fit so churn leaves real fragmentation behind.
+fn model(dedicated: bool) -> DeploymentModel {
+    let levels = [
+        OversubLevel::of(1),
+        OversubLevel::of(2),
+        OversubLevel::of(3),
+    ];
+    if dedicated {
+        DeploymentModel::Dedicated(DedicatedDeployment::new(PmConfig::of(32, gib(128)), levels))
+    } else {
+        DeploymentModel::Shared(SharedDeployment::with_policy(
+            Arc::new(flat(32)),
+            gib(128),
+            PlacementPolicy::FirstFit,
+        ))
+    }
+}
+
+/// Deterministic arrival/departure churn: a departure-heavy tail makes
+/// the fleet fragment the way real fleets do (paper §VI — admission
+/// only ever packs forward).
+fn churn(model: &mut DeploymentModel, seed: u64, events: u64) {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut alive: Vec<VmId> = Vec::new();
+    for i in 0..events {
+        let r = next();
+        if alive.len() > 3 && r % 3 == 0 {
+            let id = alive.swap_remove((r >> 32) as usize % alive.len());
+            model.remove(id).expect("alive VM removes");
+        } else {
+            let spec = VmSpec::of(
+                1 + (r % 8) as u32,
+                gib(1 + (r >> 8) % 24),
+                OversubLevel::of(1 + ((r >> 16) % 3) as u32),
+            );
+            if model.deploy(VmId(i), spec).is_ok() {
+                alive.push(VmId(i));
+            }
+        }
+    }
+}
+
+/// Every live placement as `vm -> (spec, level)` — the conservation
+/// ledger a consolidation pass must not perturb.
+fn ledger(model: &DeploymentModel) -> BTreeMap<VmId, VmSpec> {
+    model
+        .capture_state()
+        .placements()
+        .map(|p| (p.vm, p.spec))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline property: on both models, under arbitrary churn
+    /// and an arbitrary (valid) budget, an accepted plan applies
+    /// cleanly, frees exactly what it promised, conserves every VM
+    /// byte-for-byte, and leaves a cluster that passes its own
+    /// invariant audit.
+    #[test]
+    fn accepted_plans_preserve_invariants_on_both_models(
+        seed in any::<u64>(),
+        events in 24u64..140,
+        max_migrations in 1u32..24,
+        max_moved_gib in 4u64..128,
+    ) {
+        for dedicated in [false, true] {
+            let mut live = model(dedicated);
+            churn(&mut live, seed, events);
+            live.check_invariants().expect("churned state is legal");
+            let before = ledger(&live);
+            let budget = Budget {
+                max_migrations,
+                max_moved_mem_mib: gib(max_moved_gib),
+                max_concurrent: 4,
+            };
+            let plan = plan_rebalance(&live, &budget).expect("planner runs");
+            prop_assert!(plan.moves.len() as u32 <= budget.max_migrations);
+            prop_assert!(plan.moved_mem_mib <= budget.max_moved_mem_mib);
+            validate_plan(&live, &plan).expect("fresh plan validates");
+
+            let active_before = live.active_pms();
+            let report = apply_plan(&mut live, &plan).expect("fresh plan applies");
+            live.check_invariants().expect("post-apply invariants");
+            prop_assert_eq!(report.active_before, active_before);
+            prop_assert!(report.active_after <= active_before);
+            prop_assert_eq!(report.pms_freed(), plan.pms_freed);
+            prop_assert_eq!(report.migrations as usize, plan.moves.len());
+            prop_assert_eq!(ledger(&live), before, "consolidation must conserve VMs");
+        }
+    }
+
+    /// Mutating any single aspect of a genuine plan — endpoints, spec,
+    /// duplication, budget conformance — must be caught by the
+    /// validator before anything moves.
+    #[test]
+    fn validator_rejects_every_invariant_violating_mutation(
+        seed in any::<u64>(),
+        events in 40u64..140,
+        kind in 0usize..5,
+    ) {
+        let mut live = model(false);
+        churn(&mut live, seed, events);
+        let plan = plan_rebalance(&live, &Budget::default()).expect("planner runs");
+        prop_assume!(!plan.is_empty());
+
+        let mut tampered = plan.clone();
+        match kind {
+            0 => {
+                // Swapped endpoints: the VM is not at `from`.
+                let mv = &mut tampered.moves[0];
+                std::mem::swap(&mut mv.from, &mut mv.to);
+            }
+            1 => tampered.moves[0].to = tampered.moves[0].from,
+            2 => tampered.moves[0].to = PmId(u32::MAX),
+            3 => {
+                // A spec lie: claims a different shape than the live VM.
+                let mv = &mut tampered.moves[0];
+                mv.spec = VmSpec::of(mv.spec.vcpus() + 1, mv.spec.mem_mib(), mv.spec.level);
+            }
+            _ => {
+                let dup = tampered.moves[0];
+                tampered.moves.push(dup);
+            }
+        }
+        prop_assert!(
+            validate_plan(&live, &tampered).is_err(),
+            "mutation kind {} must be rejected",
+            kind
+        );
+        // And because apply validates first, the model is untouched.
+        let before = live.capture_state().normalized();
+        prop_assert!(apply_plan(&mut live, &tampered).is_err());
+        prop_assert_eq!(live.capture_state().normalized(), before);
+    }
+}
+
+#[test]
+fn planner_never_touches_failed_or_draining_pms() {
+    let mut live = model(false);
+    churn(&mut live, 0xC0FFEE, 120);
+    // Knock one PM over and put another into the draining set; the
+    // planner must route around both, as source and as destination.
+    live.fail_host(PmId(0));
+    let avoid: BTreeSet<PmId> = [PmId(1)].into();
+    let plan =
+        plan_rebalance_avoiding(&live, &Budget::default(), &avoid).expect("planner runs");
+    for mv in &plan.moves {
+        for pm in [mv.from, mv.to] {
+            assert_ne!(pm, PmId(0), "failed PM touched: {mv:?}");
+            assert_ne!(pm, PmId(1), "draining PM touched: {mv:?}");
+        }
+    }
+    validate_plan_avoiding(&live, &plan, &avoid).expect("avoiding plan validates");
+}
+
+/// The stale-snapshot regression, on both models: a plan computed
+/// before the cluster changed is rejected whole — never partially
+/// applied — and the rejection classifies as `Stale`.
+#[test]
+fn a_stale_snapshot_plan_is_rejected_whole_on_both_models() {
+    for dedicated in [false, true] {
+        let mut live = model(dedicated);
+        // Two near-full PMs, then the first drains to one straggler:
+        // the canonical departure-fragmentation shape.
+        let spec = |v, m| VmSpec::of(v, gib(m), OversubLevel::of(1));
+        live.deploy(VmId(0), spec(20, 80)).unwrap();
+        live.deploy(VmId(1), spec(20, 80)).unwrap();
+        live.remove(VmId(0)).unwrap();
+        live.deploy(VmId(2), spec(4, 16)).unwrap();
+
+        let plan = plan_rebalance(&live, &Budget::default()).expect("planner runs");
+        assert!(!plan.is_empty(), "fixture must fragment (dedicated={dedicated})");
+
+        // The cluster moves on: the planned straggler departs.
+        live.remove(VmId(2)).unwrap();
+        let before = live.capture_state().normalized();
+        let err = apply_plan(&mut live, &plan).expect_err("stale plan must be rejected");
+        assert!(
+            matches!(err, RebalanceError::Stale(_)),
+            "expected Stale, got {err:?}"
+        );
+        assert_eq!(
+            live.capture_state().normalized(),
+            before,
+            "rejection must leave the model untouched (dedicated={dedicated})"
+        );
+        live.check_invariants().unwrap();
+    }
+}
