@@ -67,6 +67,22 @@ commands:
                                  it offline and reports active PMs
                                  before/after under the migration
                                  budget
+  pressure  status|plan|apply --trace FILE [--at N]
+            [--model dedicated|shared] [--policy NAME] [--fleet N]
+            [--index naive|incremental] [--topology SPEC] [--mem GIB]
+            [--max-migrations N] [--max-moved-gib G]
+            [--max-concurrent N] [--usage-seed S] [--hot-frac F]
+                                 hotspot report and spread-out
+                                 mitigation over the cluster state a
+                                 trace replay reaches at event N:
+                                 'status' prints the per-PM pressure
+                                 scorecard (hot/warm/cold), 'plan'
+                                 prints the mitigation plan that drains
+                                 hot PMs onto cold ones, 'apply'
+                                 executes it offline; --hot-frac marks
+                                 that fraction of VMs as hot under the
+                                 synthesized usage signal seeded by
+                                 --usage-seed
   sweep     mc|population|seeds --provider P [--mix M] [--population N]
                                  sensitivity sweeps
   recommend --vcpus N --level L --demand d1,d2,...
@@ -95,6 +111,9 @@ commands:
             [--slo-window-s S] [--slo-p99-ms MS] [--slo-availability F]
             [--rebalance-every-ms MS] [--rebalance-max-migrations N]
             [--rebalance-max-moved-gib G] [--rebalance-max-concurrent N]
+            [--pressure-every-ms MS] [--pressure-max-migrations N]
+            [--pressure-max-moved-gib G] [--pressure-max-concurrent N]
+            [--pressure-usage-seed S] [--pressure-hot-frac F]
                                  run the online placement service: line
                                  JSON over TCP, HTTP GET /metrics for a
                                  Prometheus snapshot; a client's
@@ -121,13 +140,22 @@ commands:
                                  flags, journalled like admissions and
                                  paused while a PM is failed/draining,
                                  the journal is degraded, or the SLO
-                                 error budget is burning
+                                 error budget is burning;
+                                 --pressure-every-ms runs the hotspot
+                                 mitigation tick that spreads VMs off
+                                 hot PMs onto cold ones under its own
+                                 budget flags (interlocked with the
+                                 consolidation tick — never both in
+                                 one tick, pressure first), with the
+                                 per-VM usage signal synthesized from
+                                 --pressure-usage-seed and
+                                 --pressure-hot-frac
   bombard   [--addr HOST:PORT] [--scenario NAME] [--population N]
             [--seed S] [--clients N] [--requests N] [--rate R]
             [--shards N] [--policy NAME] [--fleet N] [--deadline-ms MS]
             [--series-out FILE] [--prom-out FILE] [--shutdown]
             [--trace off|stages] [--trace-sample N] [--trace-out FILE]
-            [--chaos-fail-every N]
+            [--chaos-fail-every N] [--hot-frac F] [--usage-seed S]
                                  drive scenario traffic at a placement
                                  service — over TCP when --addr is
                                  given, else against an in-process
@@ -140,7 +168,13 @@ commands:
                                  --chaos-fail-every N makes client 0
                                  fail and recover PMs every N of its
                                  placements, exercising evacuation
-                                 under live load
+                                 under live load; --hot-frac F pins
+                                 that fraction of placed VMs in place
+                                 (they never depart mid-run), skewing
+                                 per-VM usage so hotspots form — the
+                                 signal the server's --pressure plane
+                                 (seeded with the same --usage-seed)
+                                 detects and mitigates
   recover   --dir DIR            recover a serve state directory offline
                                  and report per shard what a restart
                                  would restore (snapshot, WAL tail,
@@ -809,6 +843,131 @@ pub fn rebalance(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `slackvm pressure status|plan|apply`
+///
+/// Mirrors `rebalance`, but for the hotspot-mitigation plane: the trace
+/// prefix is replayed, every placed VM gets the same synthesized usage
+/// signal the serve tick derives from `--usage-seed`/`--hot-frac`, the
+/// samples run through the estimator pipeline, and the resulting
+/// demand drives the pressure report and (for plan/apply) a spread-out
+/// mitigation plan under the migration budget.
+pub fn pressure(args: &Args) -> Result<String, CliError> {
+    args.expect_keys(&[
+        "trace",
+        "at",
+        "model",
+        "fleet",
+        "topology",
+        "mem",
+        "policy",
+        "index",
+        "max-migrations",
+        "max-moved-gib",
+        "max-concurrent",
+        "usage-seed",
+        "hot-frac",
+    ])?;
+    let action = args
+        .positionals
+        .first()
+        .map(String::as_str)
+        .unwrap_or("status");
+    if !matches!(action, "status" | "plan" | "apply") {
+        return Err(CliError::Invalid(format!(
+            "unknown pressure action {action:?} (status, plan, apply)"
+        )));
+    }
+    let budget = rebalance_budget(args, ["max-migrations", "max-moved-gib", "max-concurrent"])?;
+    let usage_seed: u64 = args.get_parsed_or("usage-seed", 42)?;
+    let hot_frac: f64 = args.get_parsed_or("hot-frac", 0.0)?;
+    if !(0.0..=1.0).contains(&hot_frac) {
+        return Err(CliError::Invalid(
+            "--hot-frac must be within [0, 1]".into(),
+        ));
+    }
+    let thresholds = slackvm_pressure::PressureConfig::default();
+    let mut model = trace_model(args)?;
+    let at: Option<usize> = args.get_parsed("at")?;
+    let workload = load_trace(args)?;
+    let cutoff = at.unwrap_or(workload.events.len()).min(workload.events.len());
+    let mut rejections = 0u32;
+    for (_, event) in workload.events.iter().take(cutoff) {
+        match event {
+            slackvm::workload::WorkloadEvent::Arrival(vm) => {
+                if model.deploy(vm.id, vm.spec).is_err() {
+                    rejections += 1;
+                }
+            }
+            slackvm::workload::WorkloadEvent::Departure { id } => {
+                if model.location_of(*id).is_some() {
+                    model
+                        .remove(*id)
+                        .map_err(|e| CliError::Invalid(format!("replay failed: {e}")))?;
+                }
+            }
+            slackvm::workload::WorkloadEvent::Resize { id, vcpus, mem_mib } => {
+                let _ = model.resize(*id, *vcpus, *mem_mib);
+            }
+        }
+    }
+    // Feed the synthesized per-VM signal through the same estimator
+    // pipeline the serve tick runs, so an offline `pressure apply`
+    // plans exactly what the online tick would.
+    let mut tracker =
+        slackvm_pressure::UsageTracker::new(slackvm_pressure::EstimatorConfig::default());
+    slackvm_pressure::observe_model(&mut tracker, &model, |vm| {
+        slackvm_pressure::synth_frac(usage_seed, vm, hot_frac)
+    });
+    let usage = |vm| tracker.demand(vm);
+    let mut out = format!(
+        "state at event {cutoff}/{}: {} PMs opened, {} active, {} rejection(s)\n",
+        workload.events.len(),
+        model.opened_pms(),
+        model.active_pms(),
+        rejections,
+    );
+    if action == "status" {
+        let report =
+            slackvm_pressure::score_pressure(&model, &thresholds, &usage, &Default::default());
+        out.push_str(&report.render());
+        out.push_str(&report.to_json());
+        out.push('\n');
+        return Ok(out);
+    }
+    let plan = slackvm_pressure::plan_mitigation(&model, &thresholds, &budget, &usage)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    out.push_str(&plan.render());
+    match action {
+        "plan" => {
+            out.push_str(&plan.to_json());
+            out.push('\n');
+        }
+        _ => {
+            let report = slackvm_rebalance::apply_plan(&mut model, &plan.plan)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            model.check_invariants().map_err(|e| {
+                CliError::Invalid(format!("post-apply invariant violation: {e}"))
+            })?;
+            let after = slackvm_pressure::score_pressure(
+                &model,
+                &thresholds,
+                &usage,
+                &Default::default(),
+            );
+            out.push_str(&report.render());
+            let _ = writeln!(
+                out,
+                "\nafter: {} hot, {} warm, {} cold (peak score {:.2})",
+                after.hot(),
+                after.warm(),
+                after.cold(),
+                after.peak_score(),
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// `slackvm sweep`
 pub fn sweep(args: &Args) -> Result<String, CliError> {
     args.expect_keys(&["provider", "mix", "population", "seed"])?;
@@ -1223,6 +1382,47 @@ fn serve_rebalance(args: &Args) -> Result<Option<slackvm_serve::RebalanceOptions
     }))
 }
 
+/// The `--pressure-every-ms` family of hotspot-mitigation options,
+/// with the same satellites-require-the-enabling-flag contract as
+/// `serve_rebalance`.
+fn serve_pressure(args: &Args) -> Result<Option<slackvm_serve::PressureOptions>, CliError> {
+    let Some(every_ms) = args.get_parsed::<u64>("pressure-every-ms")? else {
+        for key in [
+            "pressure-max-migrations",
+            "pressure-max-moved-gib",
+            "pressure-max-concurrent",
+            "pressure-usage-seed",
+            "pressure-hot-frac",
+        ] {
+            if args.get(key).is_some() {
+                return Err(CliError::Invalid(format!(
+                    "--{key} requires --pressure-every-ms"
+                )));
+            }
+        }
+        return Ok(None);
+    };
+    if every_ms == 0 {
+        return Err(CliError::Invalid(
+            "--pressure-every-ms must be >= 1 (omit the flag to disable mitigation)".into(),
+        ));
+    }
+    let budget = rebalance_budget(
+        args,
+        [
+            "pressure-max-migrations",
+            "pressure-max-moved-gib",
+            "pressure-max-concurrent",
+        ],
+    )?;
+    let mut opts = slackvm_serve::PressureOptions::default();
+    opts.every = std::time::Duration::from_millis(every_ms);
+    opts.budget = budget;
+    opts.usage_seed = args.get_parsed_or("pressure-usage-seed", opts.usage_seed)?;
+    opts.hot_frac = args.get_parsed_or("pressure-hot-frac", opts.hot_frac)?;
+    Ok(Some(opts))
+}
+
 /// The serve/bombard options that shape the service itself.
 fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
     let index_raw = args.get_or("index", "incremental");
@@ -1245,6 +1445,7 @@ fn serve_config(args: &Args) -> Result<slackvm_serve::ServeConfig, CliError> {
         durable: serve_durable(args)?,
         durable_fail_stop: args.has_flag("durable-fail-stop"),
         rebalance: serve_rebalance(args)?,
+        pressure: serve_pressure(args)?,
         trace: serve_trace(args)?,
         stall_threshold: std::time::Duration::from_millis(args.get_parsed_or("stall-ms", 2000)?),
         slo: serve_slo(args)?,
@@ -1277,6 +1478,12 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "rebalance-max-migrations",
         "rebalance-max-moved-gib",
         "rebalance-max-concurrent",
+        "pressure-every-ms",
+        "pressure-max-migrations",
+        "pressure-max-moved-gib",
+        "pressure-max-concurrent",
+        "pressure-usage-seed",
+        "pressure-hot-frac",
         "obs-addr",
         "stall-ms",
         "trace",
@@ -1412,8 +1619,22 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         "rebalance-max-migrations",
         "rebalance-max-moved-gib",
         "rebalance-max-concurrent",
+        "pressure-every-ms",
+        "pressure-max-migrations",
+        "pressure-max-moved-gib",
+        "pressure-max-concurrent",
+        "pressure-usage-seed",
+        "pressure-hot-frac",
         "chaos-fail-every",
+        "hot-frac",
+        "usage-seed",
     ])?;
+    let hot_frac: f64 = args.get_parsed_or("hot-frac", 0.0)?;
+    if !(0.0..=1.0).contains(&hot_frac) {
+        return Err(CliError::Invalid(
+            "--hot-frac must be within [0, 1]".into(),
+        ));
+    }
     let config = slackvm_serve::BombardConfig {
         scenario: args.get_or("scenario", "paper-week-f").to_string(),
         population: args.get_parsed_or("population", 200)?,
@@ -1421,6 +1642,8 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
         clients: args.get_parsed_or("clients", 4)?,
         requests: args.get_parsed_or("requests", 10_000)?,
         chaos_fail_every: args.get_parsed("chaos-fail-every")?,
+        hot_frac,
+        usage_seed: args.get_parsed_or("usage-seed", 42)?,
     };
     let invalid = |e: slackvm_serve::ServeError| CliError::Invalid(e.to_string());
     let write = |path: &str, content: &str| -> Result<(), CliError> {
@@ -1452,6 +1675,12 @@ pub fn bombard(args: &Args) -> Result<String, CliError> {
             "rebalance-max-migrations",
             "rebalance-max-moved-gib",
             "rebalance-max-concurrent",
+            "pressure-every-ms",
+            "pressure-max-migrations",
+            "pressure-max-moved-gib",
+            "pressure-max-concurrent",
+            "pressure-usage-seed",
+            "pressure-hot-frac",
         ] {
             if args.get(key).is_some() {
                 return Err(CliError::Invalid(format!(
@@ -2295,6 +2524,165 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("final: admitted 150"), "{out}");
+    }
+
+    #[test]
+    fn pressure_status_plan_and_apply_over_a_skewed_replay() {
+        use slackvm::workload::Workload;
+        let dir = std::env::temp_dir().join(format!("slackvm-cli-press-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        // Pick VM ids the synthesized signal marks hot vs cold, so the
+        // fixture is stable whatever the splitmix draw does.
+        let hot: Vec<u64> = (0..64)
+            .filter(|&i| slackvm_pressure::is_hot(42, VmId(i), 0.5))
+            .collect();
+        let cold: Vec<u64> = (0..64)
+            .filter(|&i| !slackvm_pressure::is_hot(42, VmId(i), 0.5))
+            .collect();
+        assert!(hot.len() >= 2 && !cold.is_empty());
+        // Two hot 16-core VMs fill pm0 (32 cores); the cold VM opens
+        // pm1 — a hotspot next to a cold destination.
+        let workload = Workload {
+            events: vec![
+                idle_vm(hot[0], 16, 32, 0, 10_000),
+                idle_vm(hot[1], 16, 32, 0, 10_000),
+                idle_vm(cold[0], 4, 8, 0, 10_000),
+            ],
+        };
+        workload.validate().unwrap();
+        // The offline stub build has no serde; the real `cargo test`
+        // exercises the full path.
+        let Ok(json) = serde_json::to_string(&workload) else {
+            return;
+        };
+        std::fs::write(&path, json).unwrap();
+        let trace = path.to_str().unwrap();
+        let base = ["--trace", trace, "--policy", "first-fit", "--hot-frac", "0.5"];
+
+        let mut argv = vec!["pressure", "status"];
+        argv.extend(base);
+        let out = run(&argv).unwrap();
+        assert!(out.contains("2 PM(s) — 1 hot, 0 warm, 1 cold"), "{out}");
+        assert!(out.contains("\"hot\":1"), "{out}");
+
+        let mut argv = vec!["pressure", "plan"];
+        argv.extend(base);
+        let out = run(&argv).unwrap();
+        assert!(
+            out.contains("1 migration(s), hot PMs 1 -> 0 (1 cooled)"),
+            "{out}"
+        );
+        assert!(out.contains("\"hot_before\":1"), "{out}");
+        assert!(out.contains("pm-0 -> pm-1"), "{out}");
+
+        let mut argv = vec!["pressure", "apply"];
+        argv.extend(base);
+        let out = run(&argv).unwrap();
+        assert!(out.contains("after: 0 hot"), "{out}");
+
+        // Without --hot-frac every VM idles: nothing is hot, nothing moves.
+        let out = run(&[
+            "pressure", "plan", "--trace", trace, "--policy", "first-fit",
+        ])
+        .unwrap();
+        assert!(out.contains("0 migration(s), hot PMs 0 -> 0"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pressure_flag_validation_fires_before_trace_io() {
+        let err = run(&[
+            "pressure", "plan", "--trace", "/nonexistent/x.json", "--max-migrations", "0",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("max migrations"), "{err}");
+        let err = run(&["pressure", "melt", "--trace", "/nonexistent/x.json"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("status, plan, apply"), "{err}");
+        let err = run(&[
+            "pressure", "plan", "--trace", "/nonexistent/x.json", "--hot-frac", "1.5",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn serve_pressure_flags_are_validated() {
+        let err = run(&["serve", "--pressure-max-migrations", "4"])
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("--pressure-max-migrations requires --pressure-every-ms"),
+            "{err}"
+        );
+        let err = run(&["serve", "--pressure-every-ms", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(">= 1"), "{err}");
+        let err = run(&[
+            "serve", "--pressure-every-ms", "50", "--pressure-max-concurrent", "0",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("rebalance budget"), "{err}");
+        // A remote bombard cannot reconfigure the server's pressure plane,
+        // and the client-side hot fraction is bounds-checked up front.
+        let err = run(&["bombard", "--addr", "127.0.0.1:1", "--pressure-every-ms", "50"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("slackvm serve"), "{err}");
+        let err = run(&["bombard", "--hot-frac", "2"]).unwrap_err().to_string();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn bombard_in_process_with_both_background_planes_runs_clean() {
+        // Pressure and consolidation ticks interleave with live
+        // admission under a skewed, pinned-hot-VM load; the final
+        // report's invariant check proves no VM was lost or duplicated.
+        let dir = std::env::temp_dir().join(format!("slackvm-cli-planes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let series = dir.join("planes.csv");
+        let out = run(&[
+            "bombard",
+            "--requests",
+            "150",
+            "--population",
+            "24",
+            "--clients",
+            "2",
+            "--rebalance-every-ms",
+            "7",
+            "--pressure-every-ms",
+            "5",
+            "--pressure-hot-frac",
+            "0.3",
+            "--hot-frac",
+            "0.3",
+            "--series-out",
+            series.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("final: admitted 150"), "{out}");
+        // The sampler records both planes, and the obs dashboard
+        // surfaces them from the same CSV.
+        let csv = std::fs::read_to_string(&series).unwrap();
+        for name in [
+            "rebalance.migrations",
+            "rebalance.pms_freed",
+            "pressure.migrations",
+            "pressure.hot_pms",
+        ] {
+            assert!(csv.contains(name), "series CSV misses {name}");
+        }
+        let out = run(&["obs", "--series", series.to_str().unwrap()]).unwrap();
+        assert!(out.contains("pressure.hot_pms"), "{out}");
+        assert!(out.contains("rebalance.migrations"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `obs` | dashboard for a sampled run (series CSV, Prometheus) |
 //! | `compact` | compaction analysis of a mid-replay cluster state |
 //! | `rebalance` | plan/apply a consolidation pass over a replayed state |
+//! | `pressure` | hotspot report / spread-out mitigation over a replayed state |
 //! | `sweep` | sensitivity sweeps (`mc`, `population`, `seeds`) |
 //! | `recommend` | dynamic oversubscription-level recommendation |
 //! | `serve` | online placement service over TCP (line JSON) |
@@ -49,6 +50,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "obs" => commands::obs(args),
         "compact" => commands::compact(args),
         "rebalance" => commands::rebalance(args),
+        "pressure" => commands::pressure(args),
         "sweep" => commands::sweep(args),
         "layout" => commands::layout(args),
         "scenarios" => commands::scenarios(args),
@@ -81,6 +83,7 @@ mod tests {
             "obs",
             "compact",
             "rebalance",
+            "pressure",
             "sweep",
             "recommend",
             "scenarios",

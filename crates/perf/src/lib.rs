@@ -45,6 +45,6 @@ pub use model::{slowdown, ContentionModel};
 pub use percentile::{percentile, Percentiles, TailPercentiles};
 pub use pooling_study::{pooling_benefit, PoolingOutcome};
 pub use queueing::{erlang_c, MmcModel};
-pub use scenario::{Fig2Outcome, Fig2Scenario, LevelLatency, SlowdownCurve};
+pub use scenario::{paper_usage_mix, Fig2Outcome, Fig2Scenario, LevelLatency, SlowdownCurve};
 pub use slo::{Slo, SloPolicy, SloReport, SloRow};
 pub use span::ComputeSpan;

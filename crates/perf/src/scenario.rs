@@ -262,21 +262,15 @@ impl Fig2Scenario {
     }
 }
 
-/// Draws one VM of `level`: size from the level's catalog, behaviour
-/// from the paper's 10/60/30 class mix with CloudFactory-like utilization
-/// levels (most VMs run well below their allocation; the benchmark class
-/// bursts; interactive load follows a shared diurnal wave).
-pub(crate) fn sample_vm<R: Rng>(
-    rng: &mut R,
-    catalog: &Catalog,
-    level: OversubLevel,
-    id: u64,
-) -> VmInstance {
-    let flavor = catalog.sample_for_level(rng, level);
-    let spec = VmSpec::of(flavor.request.vcpus, flavor.request.mem_mib, level);
-    let seed: u64 = rng.gen();
-    let roll: f64 = rng.gen();
-    let (class, usage) = if roll < 0.10 {
+/// The contention model's §VII-A load mix as a pure function: maps a
+/// unit-interval `roll` and a per-VM `seed` to the 10/60/30 behaviour
+/// classes with CloudFactory-like utilization levels (most VMs run well
+/// below their allocation; the benchmark class bursts; interactive load
+/// follows a shared diurnal wave). [`Fig2Scenario`] draws through this,
+/// and `slackvm-pressure` derives its replay usage signal from the same
+/// mix so hotspot detection sees the load the latency model charges for.
+pub fn paper_usage_mix(roll: f64, seed: u64) -> (UsageClass, CpuUsageModel) {
+    if roll < 0.10 {
         (UsageClass::Idle, CpuUsageModel::Idle { base: 0.02 })
     } else if roll < 0.70 {
         (
@@ -299,7 +293,22 @@ pub(crate) fn sample_vm<R: Rng>(
                 phase_secs: seed % 1800,
             },
         )
-    };
+    }
+}
+
+/// Draws one VM of `level`: size from the level's catalog, behaviour
+/// from [`paper_usage_mix`].
+pub(crate) fn sample_vm<R: Rng>(
+    rng: &mut R,
+    catalog: &Catalog,
+    level: OversubLevel,
+    id: u64,
+) -> VmInstance {
+    let flavor = catalog.sample_for_level(rng, level);
+    let spec = VmSpec::of(flavor.request.vcpus, flavor.request.mem_mib, level);
+    let seed: u64 = rng.gen();
+    let roll: f64 = rng.gen();
+    let (class, usage) = paper_usage_mix(roll, seed);
     VmInstance {
         id: VmId(id),
         spec,

@@ -1,0 +1,325 @@
+//! Per-VM demand estimators: EWMA plus a windowed percentile.
+//!
+//! Raw usage samples are noisy (bursts, jitter) and a planner that
+//! chases instantaneous readings migrates VMs on every blip. The
+//! estimator folds the sample stream into two smoothed views — an
+//! exponentially weighted moving average (the trend) and a windowed
+//! percentile (the recent tail) — and the planner consumes the larger
+//! of the two, so a VM is sized by its bursts, not its idle valleys.
+//!
+//! Everything here is a pure function of the sample stream: replaying
+//! the same samples into a fresh estimator reproduces the same outputs
+//! bit for bit, which is what lets the offline `pressure apply` path
+//! and the online serve tick agree move for move.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use slackvm_model::VmId;
+
+/// Smoothing parameters shared by every per-VM estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// EWMA smoothing factor in `(0, 1]` — the weight of the newest
+    /// sample. 1.0 disables smoothing (the EWMA *is* the last sample).
+    pub alpha: f64,
+    /// Number of recent samples the percentile window retains.
+    pub window: usize,
+    /// The quantile of the window the planner reads, in `[0, 1]`
+    /// (0.9 = p90, the paper's reported tail).
+    pub quantile: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            alpha: 0.3,
+            window: 16,
+            quantile: 0.9,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// Rejects degenerate configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err("alpha must be in (0, 1]".into());
+        }
+        if self.window == 0 {
+            return Err("window must be >= 1 sample".into());
+        }
+        if !(0.0..=1.0).contains(&self.quantile) {
+            return Err("quantile must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// One VM's smoothed usage signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageEstimator {
+    ewma: f64,
+    seeded: bool,
+    window: VecDeque<f64>,
+}
+
+impl UsageEstimator {
+    /// A fresh estimator that has seen nothing.
+    pub fn new() -> UsageEstimator {
+        UsageEstimator {
+            ewma: 0.0,
+            seeded: false,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Folds one usage sample (fraction of the VM's vCPU allocation,
+    /// clamped to `[0, 1]`) into both views.
+    pub fn observe(&mut self, config: &EstimatorConfig, sample: f64) {
+        let s = if sample.is_finite() {
+            sample.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.ewma = if self.seeded {
+            config.alpha * s + (1.0 - config.alpha) * self.ewma
+        } else {
+            self.seeded = true;
+            s
+        };
+        self.window.push_back(s);
+        while self.window.len() > config.window.max(1) {
+            self.window.pop_front();
+        }
+    }
+
+    /// Number of samples currently retained in the window.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The exponentially weighted moving average, or `None` before the
+    /// first sample.
+    pub fn ewma(&self) -> Option<f64> {
+        self.seeded.then_some(self.ewma)
+    }
+
+    /// The nearest-rank `q`-quantile of the retained window, or `None`
+    /// before the first sample.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// The demand figure the planner consumes: the larger of the EWMA
+    /// and the windowed quantile, so neither a slow trend nor a recent
+    /// burst is under-counted. Zero before the first sample.
+    pub fn demand(&self, config: &EstimatorConfig) -> f64 {
+        let ewma = self.ewma().unwrap_or(0.0);
+        let tail = self.percentile(config.quantile).unwrap_or(0.0);
+        ewma.max(tail)
+    }
+}
+
+impl Default for UsageEstimator {
+    fn default() -> Self {
+        UsageEstimator::new()
+    }
+}
+
+/// The fleet's per-VM estimators, keyed by VM id.
+///
+/// The online executor owns one per shard and feeds it a sample per
+/// pressure tick; the offline CLI builds one from a replayed trace
+/// before planning. Departed VMs are pruned by [`UsageTracker::retain`]
+/// so the map tracks the live population, not history.
+#[derive(Debug, Clone, Default)]
+pub struct UsageTracker {
+    /// Smoothing parameters applied to every VM.
+    pub config: EstimatorConfig,
+    vms: BTreeMap<VmId, UsageEstimator>,
+}
+
+impl UsageTracker {
+    /// A tracker with the given smoothing parameters.
+    pub fn new(config: EstimatorConfig) -> UsageTracker {
+        UsageTracker {
+            config,
+            vms: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one sample for `vm`, creating its estimator on first sight.
+    pub fn observe(&mut self, vm: VmId, sample: f64) {
+        let config = self.config;
+        self.vms.entry(vm).or_default().observe(&config, sample);
+    }
+
+    /// The planner-facing demand fraction for `vm` (zero if unseen).
+    pub fn demand(&self, vm: VmId) -> f64 {
+        self.vms
+            .get(&vm)
+            .map_or(0.0, |est| est.demand(&self.config))
+    }
+
+    /// Number of VMs currently tracked.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// True when no VM has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Drops estimators for VMs not in the live set.
+    pub fn retain(&mut self, alive: impl Fn(VmId) -> bool) {
+        self.vms.retain(|vm, _| alive(*vm));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn config_rejects_degenerate_values() {
+        assert!(EstimatorConfig::default().validate().is_ok());
+        for broken in [
+            EstimatorConfig {
+                alpha: 0.0,
+                ..EstimatorConfig::default()
+            },
+            EstimatorConfig {
+                alpha: 1.5,
+                ..EstimatorConfig::default()
+            },
+            EstimatorConfig {
+                window: 0,
+                ..EstimatorConfig::default()
+            },
+            EstimatorConfig {
+                quantile: 1.1,
+                ..EstimatorConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken:?}");
+        }
+    }
+
+    #[test]
+    fn empty_estimator_reports_nothing() {
+        let est = UsageEstimator::new();
+        assert_eq!(est.ewma(), None);
+        assert_eq!(est.percentile(0.9), None);
+        assert_eq!(est.demand(&EstimatorConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn first_sample_seeds_the_ewma_exactly() {
+        let config = EstimatorConfig::default();
+        let mut est = UsageEstimator::new();
+        est.observe(&config, 0.7);
+        assert_eq!(est.ewma(), Some(0.7));
+        assert_eq!(est.percentile(0.9), Some(0.7));
+    }
+
+    #[test]
+    fn window_is_bounded_and_tail_tracks_bursts() {
+        let config = EstimatorConfig {
+            alpha: 0.1,
+            window: 4,
+            quantile: 0.9,
+        };
+        let mut est = UsageEstimator::new();
+        for _ in 0..32 {
+            est.observe(&config, 0.1);
+        }
+        est.observe(&config, 0.9); // one burst
+        assert_eq!(est.samples(), 4);
+        // The EWMA barely moved but the windowed tail caught the burst,
+        // and demand() takes the larger.
+        assert!(est.ewma().unwrap() < 0.3);
+        assert_eq!(est.percentile(0.9), Some(0.9));
+        assert_eq!(est.demand(&config), 0.9);
+    }
+
+    #[test]
+    fn samples_are_clamped_to_the_unit_interval() {
+        let config = EstimatorConfig::default();
+        let mut est = UsageEstimator::new();
+        est.observe(&config, 7.0);
+        est.observe(&config, -3.0);
+        est.observe(&config, f64::NAN);
+        assert!(est.demand(&config) <= 1.0);
+        assert!(est.percentile(0.0).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn tracker_prunes_departed_vms() {
+        let mut tracker = UsageTracker::default();
+        tracker.observe(VmId(1), 0.5);
+        tracker.observe(VmId(2), 0.9);
+        assert_eq!(tracker.len(), 2);
+        tracker.retain(|vm| vm == VmId(2));
+        assert_eq!(tracker.len(), 1);
+        assert_eq!(tracker.demand(VmId(1)), 0.0);
+        assert!(tracker.demand(VmId(2)) > 0.8);
+    }
+
+    proptest! {
+        /// Satellite property: both views are bounded by the observed
+        /// extremes — the estimator can interpolate, never extrapolate.
+        #[test]
+        fn outputs_are_bounded_by_observed_extremes(
+            samples in proptest::collection::vec(0.0f64..=1.0, 1..64),
+            alpha in 0.01f64..=1.0,
+            window in 1usize..32,
+            q in 0.0f64..=1.0,
+        ) {
+            let config = EstimatorConfig { alpha, window, quantile: q };
+            let mut est = UsageEstimator::new();
+            for &s in &samples {
+                est.observe(&config, s);
+            }
+            let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().copied().fold(0.0f64, f64::max);
+            let ewma = est.ewma().unwrap();
+            prop_assert!(ewma >= min - 1e-12 && ewma <= max + 1e-12, "ewma {ewma} outside [{min}, {max}]");
+            let p = est.percentile(q).unwrap();
+            prop_assert!(p >= min && p <= max, "p{q} = {p} outside [{min}, {max}]");
+            let d = est.demand(&config);
+            prop_assert!(d >= min - 1e-12 && d <= max + 1e-12);
+        }
+
+        /// Satellite property: replaying the same sample stream into a
+        /// fresh estimator reproduces identical outputs.
+        #[test]
+        fn replaying_the_same_stream_is_deterministic(
+            samples in proptest::collection::vec(0.0f64..=1.0, 0..64),
+            alpha in 0.01f64..=1.0,
+            window in 1usize..32,
+        ) {
+            let config = EstimatorConfig { alpha, window, quantile: 0.9 };
+            let mut a = UsageEstimator::new();
+            let mut b = UsageEstimator::new();
+            for &s in &samples {
+                a.observe(&config, s);
+            }
+            for &s in &samples {
+                b.observe(&config, s);
+            }
+            prop_assert_eq!(a.ewma(), b.ewma());
+            prop_assert_eq!(a.percentile(0.9), b.percentile(0.9));
+            prop_assert_eq!(a.demand(&config).to_bits(), b.demand(&config).to_bits());
+        }
+    }
+}

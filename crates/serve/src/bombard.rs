@@ -48,6 +48,17 @@ pub struct BombardConfig {
     /// deterministic `fail-pm` or `recover-pm` control op. `None`
     /// disables chaos.
     pub chaos_fail_every: Option<u64>,
+    /// Fraction of placed VMs pinned in place for the whole run
+    /// (never removed by the sliding window, drained only at the end).
+    /// The pinned set is exactly the VMs [`slackvm_pressure::is_hot`]
+    /// marks hot for `usage_seed`, so a server running the pressure
+    /// plane with the same seed sees its hot VMs accumulate into
+    /// hotspots instead of churning away. `0.0` disables pinning.
+    pub hot_frac: f64,
+    /// Seed for the hot-VM draw — pass the server's
+    /// `--pressure-usage-seed` so client pinning and server usage
+    /// synthesis agree on which VMs are hot.
+    pub usage_seed: u64,
 }
 
 impl Default for BombardConfig {
@@ -59,6 +70,8 @@ impl Default for BombardConfig {
             clients: 4,
             requests: 10_000,
             chaos_fail_every: None,
+            hot_frac: 0.0,
+            usage_seed: 42,
         }
     }
 }
@@ -79,6 +92,11 @@ impl BombardConfig {
         if self.chaos_fail_every == Some(0) {
             return Err(ServeError::Config(
                 "chaos-fail-every must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.hot_frac) {
+            return Err(ServeError::Config(
+                "hot-frac must be within [0, 1]".into(),
             ));
         }
         Ok(())
@@ -429,6 +447,7 @@ pub fn run_closed_loop(
             handles.push(
                 scope.spawn(move || -> Result<(Vec<f64>, StageSamples), ServeError> {
                     let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
+                    let mut pinned: Vec<VmId> = Vec::new();
                     let mut latencies = Vec::with_capacity(per_client as usize);
                     let mut stages = StageSamples::default();
                     // Client 0 doubles as the chaos injector.
@@ -450,7 +469,14 @@ pub fn run_closed_loop(
                         ops.fetch_add(1, Ordering::Relaxed);
                         tally.note(reply.outcome);
                         if matches!(reply.outcome, Outcome::Placed(_)) {
-                            alive.push_back(id);
+                            // Hot VMs sit out the sliding window: they stay
+                            // placed for the whole run, accumulating into the
+                            // hotspots the server's pressure plane hunts.
+                            if slackvm_pressure::is_hot(config.usage_seed, id, config.hot_frac) {
+                                pinned.push(id);
+                            } else {
+                                alive.push_back(id);
+                            }
                         }
                         if alive.len() > window {
                             let oldest = alive.pop_front().expect("window > 0");
@@ -473,7 +499,7 @@ pub fn run_closed_loop(
                         ops.fetch_add(1, Ordering::Relaxed);
                         tally.note(reply.outcome);
                     }
-                    for id in alive {
+                    for id in alive.into_iter().chain(pinned) {
                         let reply = service.call(Op::Remove { id })?;
                         ops.fetch_add(1, Ordering::Relaxed);
                         tally.note(reply.outcome);
@@ -603,6 +629,7 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
                         crate::wire::parse_reply(line)
                     };
                     let mut alive: VecDeque<VmId> = VecDeque::with_capacity(window + 1);
+                    let mut pinned: Vec<VmId> = Vec::new();
                     let mut latencies = Vec::with_capacity(per_client as usize);
                     let mut stages = StageSamples::default();
                     // Client 0 doubles as the chaos injector; the shard count
@@ -627,7 +654,11 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
                         let outcome = crate::tcp::classify(&reply);
                         tally.note(outcome);
                         if matches!(outcome, Outcome::Placed(_)) {
-                            alive.push_back(id);
+                            if slackvm_pressure::is_hot(config.usage_seed, id, config.hot_frac) {
+                                pinned.push(id);
+                            } else {
+                                alive.push_back(id);
+                            }
                         }
                         if alive.len() > window {
                             let oldest = alive.pop_front().expect("window > 0");
@@ -651,7 +682,7 @@ pub fn run_tcp(addr: &str, config: &BombardConfig) -> Result<BombardReport, Serv
                         ops.fetch_add(1, Ordering::Relaxed);
                         tally.note(crate::tcp::classify(&reply));
                     }
-                    for id in alive {
+                    for id in alive.into_iter().chain(pinned) {
                         let req = format!("{{\"op\":\"remove\",\"id\":{}}}", id.0);
                         let reply = ask(&mut writer, &mut reader, &mut line, req)?;
                         ops.fetch_add(1, Ordering::Relaxed);
@@ -781,6 +812,33 @@ mod tests {
             assert!(alloc.is_empty(), "shard {} not drained", shard.shard);
         }
         final_report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hot_pinned_vms_survive_the_window_and_drain_at_the_end() {
+        let svc = service(2);
+        let config = BombardConfig {
+            hot_frac: 0.25,
+            ..small()
+        };
+        let report = run_closed_loop(&svc, &config).unwrap();
+        // Every placed VM — windowed or pinned — is removed by the end,
+        // so the run still drains to an empty fleet.
+        assert_eq!(report.placed, 400, "{report:?}");
+        assert_eq!(report.removed, report.placed, "{report:?}");
+        assert_eq!(report.unknown, 0, "{report:?}");
+        let final_report = svc.stop();
+        for shard in &final_report.shards {
+            let (alloc, _) = shard.model.totals();
+            assert!(alloc.is_empty(), "shard {} not drained", shard.shard);
+        }
+        final_report.check_invariants().unwrap();
+
+        let bad = BombardConfig {
+            hot_frac: 1.5,
+            ..BombardConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -61,6 +61,16 @@
 //! admission decision, paused automatically while a PM is failed or
 //! draining, the journal is degraded, or the SLO window is burning
 //! error budget.
+//!
+//! With [`ServeConfig::pressure`](request::ServeConfig::pressure) set,
+//! the same worker loop also runs a hotspot-mitigation tick
+//! (`slackvm_pressure`): per-VM usage samples feed EWMA/percentile
+//! estimators, each PM gets an oversubscription-weighted pressure
+//! score with hysteresis (hot/warm/cold), and hot PMs are drained onto
+//! cold ones through the shared placement pipeline. The two planes are
+//! interlocked — a tick runs pressure *or* consolidation, never both,
+//! with pressure taking precedence — and pressure pauses on the same
+//! conditions consolidation does.
 
 #![warn(missing_docs)]
 
@@ -80,9 +90,13 @@ pub use bombard::{
 pub use error::ServeError;
 pub use obs::{HealthReport, ObsHandle, ObsServer, ShardHealth};
 pub use replay::{serve_replay, Decision, ReplaySummary};
-pub use request::{ModelSpec, Op, Outcome, RebalanceOptions, Reply, ServeConfig, TraceLevel};
+pub use request::{
+    ModelSpec, Op, Outcome, PressureOptions, RebalanceOptions, Reply, ServeConfig, TraceLevel,
+};
 pub use service::{PlacementService, ServiceReport};
-pub use shard::{RebalanceSkip, RebalanceTick, ShardReport, ShardSummary};
+pub use shard::{
+    PressureSkip, PressureTick, RebalanceSkip, RebalanceTick, ShardReport, ShardSummary,
+};
 pub use slackvm_durable::{DurableOptions, FsyncPolicy};
 pub use slackvm_telemetry::{SloReport, SloTargets};
 pub use tcp::{TcpServer, TcpStats};

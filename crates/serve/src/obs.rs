@@ -221,9 +221,9 @@ pub(crate) fn respond(path: &str, handle: &ObsHandle) -> String {
             http_response(status, "application/json", &health.to_json())
         }
         "/slo" => {
-            // The consolidation plane pauses itself on error-budget
-            // burn, so its progress rides on the SLO scorecard: splice
-            // fleet-wide rebalance totals into the JSON object.
+            // The consolidation and pressure planes pause themselves on
+            // error-budget burn, so their progress rides on the SLO
+            // scorecard: splice fleet-wide totals into the JSON object.
             let mut body = handle.slo().to_json();
             let migrations: u64 = handle
                 .summaries
@@ -231,10 +231,17 @@ pub(crate) fn respond(path: &str, handle: &ObsHandle) -> String {
                 .map(|s| s.rebalance_migrations())
                 .sum();
             let freed: u64 = handle.summaries.iter().map(|s| s.rebalance_pms_freed()).sum();
+            let spread: u64 = handle
+                .summaries
+                .iter()
+                .map(|s| s.pressure_migrations())
+                .sum();
+            let hot: u64 = handle.summaries.iter().map(|s| s.pressure_hot_pms()).sum();
             if body.ends_with('}') {
                 body.pop();
                 body.push_str(&format!(
-                    ",\"rebalance\":{{\"migrations\":{migrations},\"pms_freed\":{freed}}}}}"
+                    ",\"rebalance\":{{\"migrations\":{migrations},\"pms_freed\":{freed}}},\
+                     \"pressure\":{{\"migrations\":{spread},\"hot_pms\":{hot}}}}}"
                 ));
             }
             http_response("200 OK", "application/json", &body)

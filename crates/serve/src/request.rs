@@ -343,6 +343,46 @@ impl Default for RebalanceOptions {
     }
 }
 
+/// Online hotspot mitigation: each shard's worker periodically scores
+/// per-PM pressure from the synthesized usage signal
+/// (`slackvm_pressure::synth_frac`) and executes a throttled slice of
+/// the resulting spread-out plan between admission batches.
+///
+/// The pressure tick obeys the same pauses as consolidation (draining
+/// or failed PMs, a degraded journal, SLO burn) and is interlocked
+/// with it: when both are due in the same tick, mitigation runs and
+/// consolidation waits — packing tighter is pointless while a PM is
+/// saturating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureOptions {
+    /// Planning interval: how often an idle (or between-batches)
+    /// worker re-scores the fleet. Each tick executes at most
+    /// [`Budget::max_concurrent`](slackvm_rebalance::Budget) moves.
+    pub every: Duration,
+    /// Cost budget every mitigation pass runs under.
+    pub budget: slackvm_rebalance::Budget,
+    /// Hot/warm/cold thresholds and oversubscription weighting.
+    pub thresholds: slackvm_pressure::PressureConfig,
+    /// Seed of the synthesized per-VM usage profile. `bombard
+    /// --usage-seed` must match for the client-side hot set to line up.
+    pub usage_seed: u64,
+    /// Fraction of VM ids that are hot (benchmark-class) in the
+    /// synthesized profile.
+    pub hot_frac: f64,
+}
+
+impl Default for PressureOptions {
+    fn default() -> Self {
+        PressureOptions {
+            every: Duration::from_secs(5),
+            budget: slackvm_rebalance::Budget::default(),
+            thresholds: slackvm_pressure::PressureConfig::default(),
+            usage_seed: 42,
+            hot_frac: 0.0,
+        }
+    }
+}
+
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -392,6 +432,9 @@ pub struct ServeConfig {
     /// Online consolidation: background rebalance ticks per shard.
     /// `None` (the default) never migrates on its own.
     pub rebalance: Option<RebalanceOptions>,
+    /// Online hotspot mitigation: background pressure ticks per shard.
+    /// `None` (the default) never spreads on its own.
+    pub pressure: Option<PressureOptions>,
 }
 
 impl Default for ServeConfig {
@@ -411,6 +454,7 @@ impl Default for ServeConfig {
             stall_threshold: Duration::from_secs(2),
             slo: SloTargets::default(),
             rebalance: None,
+            pressure: None,
         }
     }
 }
@@ -467,6 +511,26 @@ impl ServeConfig {
                 .budget
                 .validate()
                 .map_err(|e| ServeError::Config(format!("rebalance budget: {e}")))?;
+        }
+        if let Some(pressure) = &self.pressure {
+            if pressure.every.is_zero() {
+                return Err(ServeError::Config(
+                    "pressure interval must be nonzero".into(),
+                ));
+            }
+            pressure
+                .budget
+                .validate()
+                .map_err(|e| ServeError::Config(format!("pressure budget: {e}")))?;
+            pressure
+                .thresholds
+                .validate()
+                .map_err(|e| ServeError::Config(format!("pressure thresholds: {e}")))?;
+            if !(0.0..=1.0).contains(&pressure.hot_frac) {
+                return Err(ServeError::Config(
+                    "pressure hot fraction must be within [0, 1]".into(),
+                ));
+            }
         }
         Ok(())
     }

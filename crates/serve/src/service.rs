@@ -252,6 +252,12 @@ impl PlacementService {
                 heartbeat_every: (config.stall_threshold / 4).min(Duration::from_millis(250)),
                 rebalance: config.rebalance.clone(),
                 last_rebalance: epoch,
+                pressure: config.pressure.clone(),
+                last_pressure: epoch,
+                usage: slackvm_pressure::UsageTracker::new(
+                    slackvm_pressure::EstimatorConfig::default(),
+                ),
+                pressure_states: Default::default(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -313,9 +319,19 @@ impl PlacementService {
                     let t_ms = epoch.elapsed().as_millis() as u64;
                     let inflight: usize = summaries.iter().map(|s| s.queued()).sum();
                     let shed: u64 = summaries.iter().map(|s| s.shed()).sum();
+                    let rebal_migrations: u64 =
+                        summaries.iter().map(|s| s.rebalance_migrations()).sum();
+                    let rebal_freed: u64 = summaries.iter().map(|s| s.rebalance_pms_freed()).sum();
+                    let press_migrations: u64 =
+                        summaries.iter().map(|s| s.pressure_migrations()).sum();
+                    let press_hot: u64 = summaries.iter().map(|s| s.pressure_hot_pms()).sum();
                     let mut s = store.lock().expect("series lock");
                     s.record("serve.inflight", t_ms, inflight as f64);
                     s.record("serve.shed_total", t_ms, shed as f64);
+                    s.record("rebalance.migrations", t_ms, rebal_migrations as f64);
+                    s.record("rebalance.pms_freed", t_ms, rebal_freed as f64);
+                    s.record("pressure.migrations", t_ms, press_migrations as f64);
+                    s.record("pressure.hot_pms", t_ms, press_hot as f64);
                     for (idx, sum) in summaries.iter().enumerate() {
                         let cap = sum.capacity_cpu_millicores();
                         let util = if cap == 0 {
@@ -617,6 +633,22 @@ impl PlacementService {
             .get(shard as usize)
             .ok_or_else(|| ServeError::Config(format!("no shard {shard}")))?
             .send(Msg::Rebalance(tx))
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Runs one pressure (hotspot-mitigation) tick on shard `shard`
+    /// right now, bypassing the configured interval (the safety
+    /// interlocks still apply), and blocks for its outcome. A worker
+    /// started without
+    /// [`ServeConfig::pressure`](crate::request::ServeConfig) reports
+    /// the tick skipped as disabled.
+    pub fn trigger_pressure(&self, shard: u32) -> Result<crate::shard::PressureTick, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.senders
+            .get(shard as usize)
+            .ok_or_else(|| ServeError::Config(format!("no shard {shard}")))?
+            .send(Msg::Pressure(tx))
             .map_err(|_| ServeError::Disconnected)?;
         rx.recv().map_err(|_| ServeError::Disconnected)
     }
@@ -969,6 +1001,107 @@ mod tests {
         })
         .unwrap();
         let tick = svc.trigger_rebalance(0).unwrap();
+        assert_eq!(tick.skipped, None, "recovering the PM resumes ticks");
+        svc.stop();
+    }
+
+    #[test]
+    fn pressure_tick_spreads_a_hotspot_onto_a_cold_pm() {
+        use crate::request::PressureOptions;
+        use slackvm_model::PmId;
+        let config = ServeConfig {
+            pressure: Some(PressureOptions {
+                // Only explicit triggers, and every VM runs hot.
+                every: Duration::from_secs(3600),
+                hot_frac: 1.0,
+                ..PressureOptions::default()
+            }),
+            ..small_config(1)
+        };
+        let svc = PlacementService::start(config).unwrap();
+        let place = |id: u64, vcpus: u32| {
+            svc.call(Op::Place {
+                id: VmId(id),
+                spec: VmSpec::of(vcpus, gib(8), OversubLevel::of(1)),
+            })
+            .unwrap()
+            .outcome
+        };
+        // Two 4-core VMs fill pm0's 8 cores; a third opens pm1 and
+        // departs, leaving an empty opened PM — the cold destination.
+        assert!(matches!(place(0, 4), Outcome::Placed(_)));
+        assert!(matches!(place(1, 4), Outcome::Placed(_)));
+        assert!(matches!(place(2, 4), Outcome::Placed(_)));
+        assert_eq!(
+            svc.call(Op::Remove { id: VmId(2) }).unwrap().outcome,
+            Outcome::Removed(PmId(1))
+        );
+
+        // With hot_frac 1.0 both VMs synthesize ~0.8-0.98 usage, so pm0
+        // scores hot; moving one 4-core VM to pm1 cools both sides.
+        let tick = svc.trigger_pressure(0).unwrap();
+        assert_eq!(tick.skipped, None);
+        assert_eq!(tick.hot_pms, 1, "{tick:?}");
+        assert_eq!(tick.migrations, 1, "{tick:?}");
+        assert_eq!(tick.deferred, 0);
+        assert_eq!(svc.summaries()[0].pressure_migrations(), 1);
+        let text = svc.metrics_exposition();
+        assert!(text.contains("slackvm_pressure_migrations 1"), "{text}");
+        assert!(text.contains("slackvm_pressure_plans 1"), "{text}");
+
+        // A second tick finds nothing left to spread.
+        let tick = svc.trigger_pressure(0).unwrap();
+        assert_eq!(tick.skipped, None);
+        assert_eq!(tick.migrations, 0, "{tick:?}");
+
+        // Both VMs remain routable after the move.
+        for id in [0u64, 1] {
+            assert!(matches!(
+                svc.call(Op::Remove { id: VmId(id) }).unwrap().outcome,
+                Outcome::Removed(_)
+            ));
+        }
+        let report = svc.stop();
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pressure_tick_honors_its_interlocks() {
+        use crate::request::PressureOptions;
+        use crate::shard::PressureSkip;
+        use slackvm_model::PmId;
+        // No pressure plane configured: the trigger reports it disabled.
+        let svc = PlacementService::start(small_config(1)).unwrap();
+        let tick = svc.trigger_pressure(0).unwrap();
+        assert_eq!(tick.skipped, Some(PressureSkip::Disabled));
+        svc.stop();
+
+        let config = ServeConfig {
+            pressure: Some(PressureOptions {
+                every: Duration::from_secs(3600),
+                ..PressureOptions::default()
+            }),
+            ..small_config(1)
+        };
+        let svc = PlacementService::start(config).unwrap();
+        svc.call(Op::Place {
+            id: VmId(0),
+            spec: VmSpec::of(2, gib(4), OversubLevel::of(1)),
+        })
+        .unwrap();
+        svc.call(Op::DrainPm {
+            shard: 0,
+            pm: PmId(0),
+        })
+        .unwrap();
+        let tick = svc.trigger_pressure(0).unwrap();
+        assert_eq!(tick.skipped, Some(PressureSkip::Draining));
+        svc.call(Op::RecoverPm {
+            shard: 0,
+            pm: PmId(0),
+        })
+        .unwrap();
+        let tick = svc.trigger_pressure(0).unwrap();
         assert_eq!(tick.skipped, None, "recovering the PM resumes ticks");
         svc.stop();
     }

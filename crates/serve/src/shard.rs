@@ -23,7 +23,7 @@ use slackvm_model::{AllocView, PmId, VmId};
 use slackvm_sim::{DeploymentModel, SimError};
 use slackvm_telemetry::{MetricsRegistry, SloTracker, SlowOpsDigest, TraceBuilder, TraceSpan};
 
-use crate::request::{Op, Outcome, RebalanceOptions, Reply, TraceLevel};
+use crate::request::{Op, Outcome, PressureOptions, RebalanceOptions, Reply, TraceLevel};
 
 /// Microseconds elapsed since the service's trace epoch.
 pub(crate) fn us_since(epoch: Instant) -> u64 {
@@ -79,6 +79,9 @@ pub(crate) enum Msg {
     /// inline at message-drain time: requests already drained into the
     /// current batch execute after the tick.
     Rebalance(Sender<RebalanceTick>),
+    /// Run one pressure (hotspot-mitigation) tick right now, bypassing
+    /// the interval; the same safety interlocks apply.
+    Pressure(Sender<PressureTick>),
 }
 
 /// Why a rebalance tick declined to plan.
@@ -108,6 +111,38 @@ pub struct RebalanceTick {
     pub pms_freed: u32,
     /// Moves the plan wanted beyond this tick's concurrency throttle —
     /// the next tick re-plans and picks them up.
+    pub deferred: u32,
+}
+
+/// Why a pressure tick declined to plan. Same pauses as
+/// [`RebalanceSkip`]: mitigation is background work and yields to
+/// anything more important the shard is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PressureSkip {
+    /// The worker was started without the pressure plane configured.
+    Disabled,
+    /// A PM on the shard is draining for maintenance.
+    Draining,
+    /// A PM on the shard is failed and not yet recovered.
+    FailedPms,
+    /// The shard serves without durability after a journal failure.
+    JournalDegraded,
+    /// The SLO tracker reports error-budget burn or a latency miss.
+    SloBurn,
+}
+
+/// What one online pressure tick did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PressureTick {
+    /// `Some` when the tick declined to plan (and why); `None` when a
+    /// scoring pass ran, even one that found no hot PM.
+    pub skipped: Option<PressureSkip>,
+    /// Hot PMs observed at the start of the tick.
+    pub hot_pms: u32,
+    /// Spread-out migrations executed this tick.
+    pub migrations: u32,
+    /// Moves the plan wanted beyond this tick's concurrency throttle —
+    /// the next tick re-scores and picks them up.
     pub deferred: u32,
 }
 
@@ -142,6 +177,10 @@ pub struct ShardSummary {
     rebalance_migrations: AtomicU64,
     /// PMs the online rebalancer has drained to empty on this shard.
     rebalance_pms_freed: AtomicU64,
+    /// Spread-out migrations the pressure plane has executed.
+    pressure_migrations: AtomicU64,
+    /// Hot PMs observed by the most recent pressure tick.
+    pressure_hot_pms: AtomicU64,
 }
 
 impl ShardSummary {
@@ -273,6 +312,23 @@ impl ShardSummary {
         self.rebalance_pms_freed
             .fetch_add(pms_freed, Ordering::Relaxed);
     }
+
+    /// Spread-out migrations the pressure plane has executed on this
+    /// shard.
+    pub fn pressure_migrations(&self) -> u64 {
+        self.pressure_migrations.load(Ordering::Relaxed)
+    }
+
+    /// Hot PMs the most recent pressure tick observed on this shard.
+    pub fn pressure_hot_pms(&self) -> u64 {
+        self.pressure_hot_pms.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_pressure(&self, migrations: u64, hot_pms: u64) {
+        self.pressure_migrations
+            .fetch_add(migrations, Ordering::Relaxed);
+        self.pressure_hot_pms.store(hot_pms, Ordering::Relaxed);
+    }
 }
 
 /// What a worker hands back when the service stops.
@@ -358,6 +414,19 @@ pub(crate) struct Worker {
     pub rebalance: Option<RebalanceOptions>,
     /// When the last rebalance tick ran (or was skipped).
     pub last_rebalance: Instant,
+    /// Online hotspot mitigation config (`None`: pressure plane off).
+    pub pressure: Option<PressureOptions>,
+    /// When the last pressure tick ran (or was skipped).
+    pub last_pressure: Instant,
+    /// Per-VM usage estimators, fed one synthesized sample per placed
+    /// VM at each pressure tick.
+    pub usage: slackvm_pressure::UsageTracker,
+    /// Each PM's classification from the last pressure tick — the
+    /// hysteresis memory the next tick classifies against.
+    pub pressure_states: std::collections::BTreeMap<
+        slackvm_pressure::StateKey,
+        slackvm_pressure::PressureState,
+    >,
 }
 
 /// Per-batch counter deltas, flushed under one metrics lock, plus the
@@ -452,7 +521,12 @@ impl Worker {
                     // the `/healthz` watchdog can tell idle from wedged.
                     Err(RecvTimeoutError::Timeout) => {
                         self.beat();
-                        self.maybe_rebalance();
+                        // Interlock: mitigation and consolidation pull
+                        // in opposite directions — if a pressure tick
+                        // ran, consolidation waits for the next turn.
+                        if !self.maybe_pressure() {
+                            self.maybe_rebalance();
+                        }
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -470,6 +544,10 @@ impl Worker {
                     Msg::DegradeJournal => self.journal_failure("append", None),
                     Msg::Rebalance(ack) => {
                         let tick = self.rebalance_tick();
+                        let _ = ack.send(tick);
+                    }
+                    Msg::Pressure(ack) => {
+                        let tick = self.pressure_tick();
                         let _ = ack.send(tick);
                     }
                 }
@@ -539,10 +617,12 @@ impl Worker {
                     _ => {}
                 }
             }
-            // Consolidation interleaves with admission: the interval
-            // check is two clock reads, the tick itself only runs when
-            // due — and never while the worker is draining to exit.
-            if !draining {
+            // Background planes interleave with admission: the interval
+            // checks are a few clock reads, a tick itself only runs
+            // when due — and never while the worker is draining to
+            // exit. Pressure preempts consolidation (see interlock
+            // note above).
+            if !draining && !self.maybe_pressure() {
                 self.maybe_rebalance();
             }
             self.beat();
@@ -576,6 +656,181 @@ impl Worker {
         };
         if due {
             self.rebalance_tick();
+        }
+    }
+
+    /// Runs a pressure tick if one is configured and due. Returns
+    /// whether a tick ran — the caller then skips consolidation for
+    /// this turn (mitigation preempts it).
+    fn maybe_pressure(&mut self) -> bool {
+        let due = match &self.pressure {
+            Some(opts) => self.last_pressure.elapsed() >= opts.every,
+            None => false,
+        };
+        if due {
+            self.pressure_tick();
+        }
+        due
+    }
+
+    /// One online hotspot-mitigation pass: feed the synthesized usage
+    /// signal into the per-VM estimators, score the fleet, and execute
+    /// at most `budget.max_concurrent` spread-out moves from the
+    /// mitigation plan — journalled as migrations like consolidation,
+    /// so `recover`/`fsck` replay the same history. The same safety
+    /// interlocks as [`Worker::rebalance_tick`] pause the plane.
+    fn pressure_tick(&mut self) -> PressureTick {
+        self.last_pressure = Instant::now();
+        let Some(opts) = self.pressure.clone() else {
+            return PressureTick {
+                skipped: Some(PressureSkip::Disabled),
+                ..PressureTick::default()
+            };
+        };
+        let skip = if !self.draining.is_empty() {
+            Some(PressureSkip::Draining)
+        } else if self.model.failed_pms() > 0 {
+            Some(PressureSkip::FailedPms)
+        } else if self.summaries[self.idx as usize].journal_degraded() {
+            Some(PressureSkip::JournalDegraded)
+        } else {
+            let report = self
+                .slo
+                .lock()
+                .expect("slo lock")
+                .report(ms_since(self.epoch));
+            (!report.healthy()).then_some(PressureSkip::SloBurn)
+        };
+        if skip.is_some() {
+            return PressureTick {
+                skipped: skip,
+                ..PressureTick::default()
+            };
+        }
+        let started = Instant::now();
+        let (seed, hot_frac) = (opts.usage_seed, opts.hot_frac);
+        slackvm_pressure::observe_model(&mut self.usage, &self.model, |vm| {
+            slackvm_pressure::synth_frac(seed, vm, hot_frac)
+        });
+        let planned = {
+            let tracker = &self.usage;
+            slackvm_pressure::plan_mitigation_avoiding(
+                &self.model,
+                &opts.thresholds,
+                &opts.budget,
+                &|vm| tracker.demand(vm),
+                &self.draining,
+                &self.pressure_states,
+            )
+        };
+        {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            m.inc("pressure.plans", 1);
+            m.observe("pressure.plan_us", started.elapsed().as_micros() as f64);
+        }
+        let done = PressureTick::default();
+        let Ok(plan) = planned else { return done };
+        let hot = plan.hot_before;
+        let summary = &self.summaries[self.idx as usize];
+        if plan.is_empty() {
+            summary.note_pressure(0, hot as u64);
+            self.metrics
+                .lock()
+                .expect("metrics lock")
+                .set_gauge("pressure.hot_pms", hot as f64);
+            self.pressure_states = plan.states_after;
+            return PressureTick {
+                skipped: None,
+                hot_pms: hot,
+                ..done
+            };
+        }
+        // Planned against the model this thread exclusively owns, so it
+        // cannot be stale — but checked, not trusted.
+        if slackvm_rebalance::validate_plan_avoiding(&self.model, &plan.plan, &self.draining)
+            .is_err()
+        {
+            return done;
+        }
+        let throttle = (opts.budget.max_concurrent as usize).min(plan.plan.moves.len());
+        let mut migrated = 0u32;
+        let mut journal: Vec<(WalOp, WalOutcome)> = Vec::new();
+        for mv in plan.plan.moves.iter().take(throttle) {
+            match self.model.migrate(mv.vm, mv.to) {
+                Ok(from) if from == mv.from => {
+                    migrated += 1;
+                    if self.durable.is_some() {
+                        journal.push((
+                            WalOp::Migrate {
+                                id: mv.vm,
+                                from,
+                                to: mv.to,
+                            },
+                            WalOutcome::Migrated,
+                        ));
+                    }
+                }
+                Ok(from) => {
+                    let _ = self.model.migrate(mv.vm, from);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if !journal.is_empty() {
+            let mut failure = None;
+            for (op, outcome) in journal {
+                match self
+                    .durable
+                    .as_mut()
+                    .expect("journal entries imply durable")
+                    .append(op, outcome)
+                {
+                    Ok(_) => {}
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                self.journal_failure("append", Some(&e));
+            }
+            // Spread-out migrations reach stable storage before the
+            // tick reports itself done, exactly like an admission batch.
+            if let Some(Err(e)) = self.durable.as_mut().map(|d| d.commit()) {
+                self.journal_failure("commit", Some(&e));
+            }
+        }
+        // Re-score the live model (a throttled tick executed only a
+        // prefix of the plan, so the plan's predicted states may run
+        // ahead of reality) for the next tick's hysteresis memory.
+        self.pressure_states = {
+            let tracker = &self.usage;
+            slackvm_pressure::score_pressure(
+                &self.model,
+                &opts.thresholds,
+                &|vm| tracker.demand(vm),
+                &self.pressure_states,
+            )
+            .states()
+        };
+        {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            if migrated > 0 {
+                m.inc("pressure.migrations", migrated as u64);
+            }
+            m.set_gauge("pressure.hot_pms", hot as f64);
+        }
+        let summary = &self.summaries[self.idx as usize];
+        summary.note_pressure(migrated as u64, hot as u64);
+        let (alloc, cap) = self.model.totals();
+        summary.refresh(self.model.opened_pms() as u64, alloc, cap);
+        PressureTick {
+            skipped: None,
+            hot_pms: hot,
+            migrations: migrated,
+            deferred: (plan.plan.moves.len() - throttle) as u32,
         }
     }
 

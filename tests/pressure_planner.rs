@@ -1,0 +1,210 @@
+//! Property proofs for the hotspot-mitigation planner.
+//!
+//! The unit tests inside `slackvm-pressure` pin individual behaviors
+//! on hand-built fixtures; this suite attacks the planner with
+//! generated churn and a generated usage skew on *both* deployment
+//! models, reusing the conservation harness the rebalance suite
+//! established: a mitigation plan must only ever move VMs *off* PMs
+//! the pressure report classified hot, only ever *onto* PMs it
+//! classified cold, stay inside its migration budget, conserve every
+//! VM byte-for-byte when applied, and leave a cluster that passes its
+//! own invariant audit — and it must route around failed and avoided
+//! PMs entirely.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use slackvm::prelude::*;
+use slackvm_pressure::{
+    plan_mitigation, plan_mitigation_avoiding, synth_frac, PressureConfig, PressureState,
+};
+use slackvm_rebalance::{apply_plan, validate_plan, Budget};
+
+/// A fresh model of either flavor on the paper's 32-core / 128 GiB
+/// worker shape, first-fit so churn leaves real skew behind.
+fn model(dedicated: bool) -> DeploymentModel {
+    let levels = [
+        OversubLevel::of(1),
+        OversubLevel::of(2),
+        OversubLevel::of(3),
+    ];
+    if dedicated {
+        DeploymentModel::Dedicated(DedicatedDeployment::new(PmConfig::of(32, gib(128)), levels))
+    } else {
+        DeploymentModel::Shared(SharedDeployment::with_policy(
+            Arc::new(flat(32)),
+            gib(128),
+            PlacementPolicy::FirstFit,
+        ))
+    }
+}
+
+/// Deterministic arrival/departure churn — same generator the
+/// rebalance property suite uses, so the fleets fragment identically.
+fn churn(model: &mut DeploymentModel, seed: u64, events: u64) {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut alive: Vec<VmId> = Vec::new();
+    for i in 0..events {
+        let r = next();
+        if alive.len() > 3 && r % 3 == 0 {
+            let id = alive.swap_remove((r >> 32) as usize % alive.len());
+            model.remove(id).expect("alive VM removes");
+        } else {
+            let spec = VmSpec::of(
+                1 + (r % 8) as u32,
+                gib(1 + (r >> 8) % 24),
+                OversubLevel::of(1 + ((r >> 16) % 3) as u32),
+            );
+            if model.deploy(VmId(i), spec).is_ok() {
+                alive.push(VmId(i));
+            }
+        }
+    }
+}
+
+/// Every live placement as `vm -> spec` — the conservation ledger a
+/// mitigation pass must not perturb.
+fn ledger(model: &DeploymentModel) -> BTreeMap<VmId, VmSpec> {
+    model
+        .capture_state()
+        .placements()
+        .map(|p| (p.vm, p.spec))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline property: under arbitrary churn, an arbitrary
+    /// usage skew, and an arbitrary (valid) budget, every planned move
+    /// leaves a PM the before-report called hot and lands on one it
+    /// called cold; the plan validates, applies cleanly, conserves
+    /// every VM, and the audited invariants hold afterwards.
+    #[test]
+    fn mitigation_moves_only_hot_to_cold_and_conserves_vms(
+        seed in any::<u64>(),
+        events in 24u64..140,
+        hot_frac in 0.0f64..1.0,
+        max_migrations in 1u32..24,
+    ) {
+        for dedicated in [false, true] {
+            let mut live = model(dedicated);
+            churn(&mut live, seed, events);
+            live.check_invariants().expect("churned state is legal");
+            let before_ledger = ledger(&live);
+            let budget = Budget {
+                max_migrations,
+                max_moved_mem_mib: gib(256),
+                max_concurrent: 4,
+            };
+            let config = PressureConfig::default();
+            let usage = |vm: VmId| synth_frac(seed, vm, hot_frac);
+            let plan =
+                plan_mitigation(&live, &config, &budget, &usage).expect("planner runs");
+            prop_assert!(plan.len() as u32 <= budget.max_migrations);
+            prop_assert!(plan.plan.moved_mem_mib <= budget.max_moved_mem_mib);
+            prop_assert!(plan.hot_after <= plan.hot_before);
+
+            let states = plan.before.states();
+            for mv in &plan.plan.moves {
+                let level = if dedicated { mv.spec.level.ratio() } else { 0 };
+                prop_assert_eq!(
+                    states.get(&(level, mv.from)).copied(),
+                    Some(PressureState::Hot),
+                    "victim pulled off a non-hot PM: {:?}",
+                    mv
+                );
+                // Destinations classify cold before any move lands on
+                // them (empty opened PMs score 0.0 and are cold too).
+                prop_assert_eq!(
+                    states.get(&(level, mv.to)).copied().unwrap_or(PressureState::Cold),
+                    PressureState::Cold,
+                    "spread onto a non-cold PM: {:?}",
+                    mv
+                );
+            }
+
+            validate_plan(&live, &plan.plan).expect("fresh plan validates");
+            let report = apply_plan(&mut live, &plan.plan).expect("fresh plan applies");
+            prop_assert_eq!(report.migrations as usize, plan.len());
+            live.check_invariants().expect("post-apply invariants");
+            prop_assert_eq!(ledger(&live), before_ledger, "mitigation must conserve VMs");
+        }
+    }
+
+    /// Mitigation never resurrects the consolidation objective: a plan
+    /// can only grow or hold the active-PM count — it spreads load, it
+    /// never stacks VMs onto fewer machines.
+    #[test]
+    fn mitigation_never_shrinks_the_active_fleet(
+        seed in any::<u64>(),
+        events in 24u64..140,
+        hot_frac in 0.0f64..1.0,
+    ) {
+        let mut live = model(false);
+        churn(&mut live, seed, events);
+        let usage = |vm: VmId| synth_frac(seed, vm, hot_frac);
+        let active_before = live.active_pms();
+        let plan = plan_mitigation(&live, &PressureConfig::default(), &Budget::default(), &usage)
+            .expect("planner runs");
+        apply_plan(&mut live, &plan.plan).expect("applies");
+        prop_assert!(
+            live.active_pms() >= active_before,
+            "mitigation consolidated: {} -> {}",
+            active_before,
+            live.active_pms()
+        );
+    }
+}
+
+#[test]
+fn planner_never_touches_failed_or_avoided_pms() {
+    let mut live = model(false);
+    churn(&mut live, 0xC0FFEE, 120);
+    live.fail_host(PmId(0));
+    let avoid: BTreeSet<PmId> = [PmId(1)].into();
+    // Every VM runs hot so the planner wants to touch everything it may.
+    let usage = |vm: VmId| synth_frac(7, vm, 1.0);
+    let plan = plan_mitigation_avoiding(
+        &live,
+        &PressureConfig::default(),
+        &Budget::default(),
+        &usage,
+        &avoid,
+        &BTreeMap::new(),
+    )
+    .expect("planner runs");
+    for mv in &plan.plan.moves {
+        for pm in [mv.from, mv.to] {
+            assert_ne!(pm, PmId(0), "failed PM touched: {mv:?}");
+            assert_ne!(pm, PmId(1), "avoided PM touched: {mv:?}");
+        }
+    }
+}
+
+/// Determinism across repeated runs on identical inputs: byte-equal
+/// JSON plans, the property replay and the offline/online differential
+/// both lean on it.
+#[test]
+fn planning_is_deterministic_under_replay() {
+    for dedicated in [false, true] {
+        let build = || {
+            let mut live = model(dedicated);
+            churn(&mut live, 0xBEEF, 120);
+            live
+        };
+        let usage = |vm: VmId| synth_frac(42, vm, 0.5);
+        let a = plan_mitigation(&build(), &PressureConfig::default(), &Budget::default(), &usage)
+            .expect("planner runs");
+        let b = plan_mitigation(&build(), &PressureConfig::default(), &Budget::default(), &usage)
+            .expect("planner runs");
+        assert_eq!(a.to_json(), b.to_json(), "dedicated={dedicated}");
+    }
+}
